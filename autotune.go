@@ -1,0 +1,42 @@
+package moe
+
+import (
+	"moe/internal/exec"
+)
+
+// Real-execution autotuning: the same policies that drive the simulator can
+// drive actual goroutine worker pools, deciding per parallel region how
+// many workers to fan out to from live Go-runtime metrics (the
+// GOMAXPROCS-tuning analog).
+
+// Tuner drives a kernel's parallel regions with a thread-selection policy.
+type Tuner = exec.Tuner
+
+// Kernel is a parallel computation the tuner can drive.
+type Kernel = exec.Kernel
+
+// RegionResult reports one executed parallel region.
+type RegionResult = exec.RegionResult
+
+// NewTuner wraps a policy for real execution; maxWorkers ≤ 0 selects the
+// machine's CPU count.
+func NewTuner(p Policy, maxWorkers int) (*Tuner, error) {
+	return exec.NewTuner(p, maxWorkers)
+}
+
+// Built-in kernels covering the three workload characters the paper's
+// benchmarks span.
+
+// NewBlackScholesKernel returns a compute-bound option-pricing kernel over
+// n options (the blackscholes analog).
+func NewBlackScholesKernel(n int) Kernel { return exec.NewBlackScholes(n) }
+
+// NewSparseMatVecKernel returns a memory-bound irregular-access kernel: an
+// n-row sparse matrix–vector product with nnzPerRow nonzeros per row (the
+// cg analog).
+func NewSparseMatVecKernel(n, nnzPerRow int) Kernel { return exec.NewSparseMatVec(n, nnzPerRow) }
+
+// NewStencilKernel returns a synchronization-sensitive streaming kernel
+// over an n-point grid (the mg/lu analog). Call its Swap method between
+// sweeps when using it directly.
+func NewStencilKernel(n int) *exec.Stencil { return exec.NewStencil(n) }

@@ -1,0 +1,371 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// on the simulator substrate. Each benchmark runs the corresponding
+// experiment end to end (training is done once and shared) and reports the
+// headline numbers via b.ReportMetric, so `go test -bench=.` both times the
+// pipeline and reproduces the paper's rows. The full-scale version of every
+// experiment is available through cmd/moebench -full.
+package moe_test
+
+import (
+	"sync"
+	"testing"
+
+	"moe/internal/experiments"
+	"moe/internal/trace"
+	"moe/internal/training"
+	"moe/internal/workload"
+)
+
+// The bench lab trains once per binary invocation.
+var (
+	benchOnce sync.Once
+	benchLab  *experiments.Lab
+	benchErr  error
+)
+
+func lab(b *testing.B) *experiments.Lab {
+	b.Helper()
+	benchOnce.Do(func() {
+		ds, err := training.Generate(training.Config{
+			Duration:           60,
+			WorkloadsPerTarget: 7,
+			Seed:               42,
+		})
+		if err != nil {
+			benchErr = err
+			return
+		}
+		benchLab = experiments.NewLabFromData(ds)
+	})
+	if benchErr != nil {
+		b.Fatalf("bench lab: %v", benchErr)
+	}
+	return benchLab
+}
+
+// benchScale keeps per-iteration work bounded; cmd/moebench -full runs the
+// full 16-program, 3-repeat versions.
+func benchScale() experiments.Scale {
+	return experiments.Scale{
+		Targets: []string{"lu", "cg", "mg", "bscholes"},
+		Repeats: 1,
+		Seed:    0xbe9c,
+	}
+}
+
+// reportTable surfaces a table's headline row as benchmark metrics.
+func reportTable(b *testing.B, t *experiments.Table, row string) {
+	b.Helper()
+	for i, col := range t.Columns {
+		for _, r := range t.Rows {
+			if r.Label == row && i < len(r.Values) {
+				b.ReportMetric(r.Values[i], col+"_x")
+			}
+		}
+	}
+}
+
+func BenchmarkFig01LiveTrace(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.LiveTraceSummary(42); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig02Motivation(b *testing.B) {
+	l := lab(b)
+	for i := 0; i < b.N; i++ {
+		points, _, err := l.Motivation(7)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(points) == 0 {
+			b.Fatal("no timeline")
+		}
+	}
+}
+
+func BenchmarkFig03MotivationSpeedup(b *testing.B) {
+	l := lab(b)
+	var last *experiments.Table
+	for i := 0; i < b.N; i++ {
+		_, t, err := l.Motivation(7)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = t
+	}
+	if v, err := last.Get("mixture", "speedup"); err == nil {
+		b.ReportMetric(v, "mixture_x")
+	}
+}
+
+func BenchmarkTable01Coefficients(b *testing.B) {
+	l := lab(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := l.CoefficientsTable(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig06FeatureImpact(b *testing.B) {
+	l := lab(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := l.FeatureImpact(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig07Static(b *testing.B) {
+	l := lab(b)
+	var last *experiments.Table
+	for i := 0; i < b.N; i++ {
+		t, err := l.Static(benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = t
+	}
+	reportTable(b, last, "hmean")
+}
+
+func BenchmarkFig08Summary(b *testing.B) {
+	l := lab(b)
+	var last *experiments.Table
+	for i := 0; i < b.N; i++ {
+		t, err := l.Summary(benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = t
+	}
+	reportTable(b, last, "hmean")
+}
+
+func benchDynamic(b *testing.B, size workload.Size, freq trace.Frequency) {
+	l := lab(b)
+	var last *experiments.Table
+	for i := 0; i < b.N; i++ {
+		t, err := l.DynamicScenario(size, freq, benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = t
+	}
+	reportTable(b, last, "hmean")
+}
+
+func BenchmarkFig09SmallLow(b *testing.B)  { benchDynamic(b, workload.Small, trace.LowFrequency) }
+func BenchmarkFig10SmallHigh(b *testing.B) { benchDynamic(b, workload.Small, trace.HighFrequency) }
+func BenchmarkFig11LargeLow(b *testing.B)  { benchDynamic(b, workload.Large, trace.LowFrequency) }
+func BenchmarkFig12LargeHigh(b *testing.B) { benchDynamic(b, workload.Large, trace.HighFrequency) }
+
+func BenchmarkFig13aWorkloadImpact(b *testing.B) {
+	l := lab(b)
+	sc := benchScale()
+	sc.Targets = sc.Targets[:2]
+	var last *experiments.Table
+	for i := 0; i < b.N; i++ {
+		t, err := l.WorkloadImpact(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = t
+	}
+	reportTable(b, last, "workload")
+}
+
+func BenchmarkFig13bAdaptivePairs(b *testing.B) {
+	l := lab(b)
+	var last *experiments.Table
+	for i := 0; i < b.N; i++ {
+		t, err := l.AdaptivePairs(benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = t
+	}
+	reportTable(b, last, "pair")
+}
+
+func BenchmarkFig14aLiveStudy(b *testing.B) {
+	l := lab(b)
+	var last *experiments.Table
+	for i := 0; i < b.N; i++ {
+		t, err := l.LiveStudy(benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = t
+	}
+	reportTable(b, last, "hmean")
+}
+
+func BenchmarkFig14bAffinity(b *testing.B) {
+	l := lab(b)
+	sc := benchScale()
+	sc.Targets = sc.Targets[:2]
+	var last *experiments.Table
+	for i := 0; i < b.N; i++ {
+		t, err := l.Affinity(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = t
+	}
+	if v, err := last.Get("mixture", "gain"); err == nil {
+		b.ReportMetric(v, "mixture_affinity_gain_x")
+	}
+}
+
+func BenchmarkFig14cMonolithic(b *testing.B) {
+	l := lab(b)
+	var last *experiments.Table
+	for i := 0; i < b.N; i++ {
+		t, err := l.MonolithicVsMixture(benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = t
+	}
+	reportTable(b, last, "hmean")
+}
+
+func BenchmarkFig15aEnvAccuracy(b *testing.B) {
+	l := lab(b)
+	var last *experiments.Table
+	for i := 0; i < b.N; i++ {
+		t, err := l.EnvAccuracy(benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = t
+	}
+	if v, err := last.Get("mixture", "accuracy"); err == nil {
+		b.ReportMetric(v, "mixture_acc")
+	}
+}
+
+func BenchmarkFig15bSelectionFreq(b *testing.B) {
+	l := lab(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := l.SelectionFrequency(benchScale()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig15cNumExperts(b *testing.B) {
+	l := lab(b)
+	sc := benchScale()
+	sc.Targets = sc.Targets[:2]
+	var last *experiments.Table
+	for i := 0; i < b.N; i++ {
+		t, err := l.NumExperts(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = t
+	}
+	if v, err := last.Get("mixture of 4", "speedup"); err == nil {
+		b.ReportMetric(v, "mixture4_x")
+	}
+}
+
+func BenchmarkFig16Granularity(b *testing.B) {
+	l := lab(b)
+	sc := benchScale()
+	sc.Targets = sc.Targets[:2]
+	var last *experiments.Table
+	for i := 0; i < b.N; i++ {
+		t, err := l.Granularity(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = t
+	}
+	if v, err := last.Get("8 experts", "speedup"); err == nil {
+		b.ReportMetric(v, "experts8_x")
+	}
+}
+
+func BenchmarkFig17ThreadDist(b *testing.B) {
+	l := lab(b)
+	sc := benchScale()
+	sc.Targets = sc.Targets[:2]
+	for i := 0; i < b.N; i++ {
+		if _, err := l.ThreadDistribution(sc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationGating(b *testing.B) {
+	l := lab(b)
+	sc := benchScale()
+	sc.Targets = sc.Targets[:2]
+	for i := 0; i < b.N; i++ {
+		if _, err := l.AblationGating(sc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationFeatures(b *testing.B) {
+	l := lab(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := l.AblationFeatures(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTrainingPipeline times end-to-end training-data generation and
+// expert construction (the one-off cost of §5.2.1).
+func BenchmarkTrainingPipeline(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		ds, err := training.Generate(training.Config{
+			Duration:           20,
+			WorkloadsPerTarget: 2,
+			Seed:               uint64(i + 1),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := training.BuildExperts4(ds); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPortability evaluates the mixture on machine sizes the experts
+// never saw (the §9 future-work study).
+func BenchmarkPortability(b *testing.B) {
+	l := lab(b)
+	sc := benchScale()
+	sc.Targets = sc.Targets[:2]
+	for i := 0; i < b.N; i++ {
+		if _, err := l.Portability(sc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkChurn measures the arriving/departing-workload extension.
+func BenchmarkChurn(b *testing.B) {
+	l := lab(b)
+	sc := benchScale()
+	sc.Targets = sc.Targets[:2]
+	var last *experiments.Table
+	for i := 0; i < b.N; i++ {
+		t, err := l.Churn(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = t
+	}
+	reportTable(b, last, "hmean")
+}

@@ -1,0 +1,106 @@
+// Command moerun runs a single target × workload × policy scenario and
+// prints the outcome, optionally with a Fig 2-style thread timeline.
+//
+// Usage:
+//
+//	moerun -target lu -workload mg -policy mixture
+//	moerun -target cg -workload is,cg -policy analytic -freq high -timeline
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"moe/internal/core"
+	"moe/internal/experiments"
+	"moe/internal/trace"
+	"moe/internal/training"
+	"moe/internal/workload"
+)
+
+func main() {
+	target := flag.String("target", "lu", "target program (see moetrace -programs)")
+	wl := flag.String("workload", "mg", "comma-separated workload programs (empty = isolated)")
+	policyName := flag.String("policy", "mixture", "policy: default|online|offline|analytic|mixture|oracle")
+	freq := flag.String("freq", "low", "hardware change frequency: low|high|static")
+	seed := flag.Uint64("seed", 42, "scenario seed")
+	timeline := flag.Bool("timeline", false, "print the thread-choice timeline")
+	flag.Parse()
+
+	var hwFreq trace.Frequency
+	switch *freq {
+	case "low":
+		hwFreq = trace.LowFrequency
+	case "high":
+		hwFreq = trace.HighFrequency
+	case "static":
+		hwFreq = trace.Static
+	default:
+		fmt.Fprintf(os.Stderr, "moerun: unknown frequency %q\n", *freq)
+		os.Exit(2)
+	}
+	if _, err := workload.ByName(*target); err != nil {
+		fmt.Fprintf(os.Stderr, "moerun: %v (programs: %s)\n", err, strings.Join(workload.Names(), ", "))
+		os.Exit(2)
+	}
+
+	fmt.Fprintln(os.Stderr, "moerun: training experts…")
+	lab, err := experiments.NewLab(training.Config{Seed: *seed})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "moerun: %v\n", err)
+		os.Exit(1)
+	}
+
+	var programs []string
+	if *wl != "" {
+		programs = strings.Split(*wl, ",")
+	}
+	spec := experiments.ScenarioSpec{
+		Target:        *target,
+		Workload:      programs,
+		HWFreq:        hwFreq,
+		Seed:          *seed,
+		RecordSamples: *timeline,
+	}
+	base, err := lab.Run(spec, experiments.PolicyDefault)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "moerun: baseline: %v\n", err)
+		os.Exit(1)
+	}
+	out, err := lab.Run(spec, experiments.PolicyName(*policyName))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "moerun: %v\n", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("target %s with workload [%s], %s hardware changes\n", *target, *wl, *freq)
+	fmt.Printf("  default : %8.1f s\n", base.ExecTime)
+	fmt.Printf("  %-8s: %8.1f s  (%.2fx speedup)\n", *policyName, out.ExecTime, base.ExecTime/out.ExecTime)
+	fmt.Printf("  workload throughput vs default: %.2fx\n", out.WorkloadThroughput/base.WorkloadThroughput)
+
+	if mix, ok := out.Policy.(*core.Mixture); ok {
+		st := mix.Snapshot()
+		fmt.Printf("  expert selection:")
+		for i, f := range st.SelectionFraction {
+			fmt.Printf(" E%d=%.0f%%", i+1, 100*f)
+		}
+		fmt.Printf("  env accuracy=%.0f%%\n", 100*st.MixtureEnvAccuracy)
+	}
+
+	if *timeline {
+		tr, err := out.Result.Target()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "moerun: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println("\ntime    avail  wl-threads  threads  region")
+		for i, s := range tr.Samples {
+			if i%10 != 0 {
+				continue
+			}
+			fmt.Printf("%6.1f  %5d  %10d  %7d  %s\n", s.Time, s.Available, s.WorkldThr, s.Threads, s.RegionName)
+		}
+	}
+}

@@ -1,0 +1,78 @@
+// Command moetrace generates and inspects the dynamic-environment traces:
+// the Fig 1 live-system log and the §6.4 hardware-availability schedules.
+//
+// Usage:
+//
+//	moetrace -kind live -samples 20      # live-system trace summary + samples
+//	moetrace -kind hardware -freq high   # a hardware-change schedule
+//	moetrace -programs                   # list benchmark programs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"moe/internal/trace"
+	"moe/internal/workload"
+)
+
+func main() {
+	kind := flag.String("kind", "live", "trace kind: live|hardware")
+	freq := flag.String("freq", "low", "hardware frequency: low|high")
+	seed := flag.Uint64("seed", 42, "generation seed")
+	samples := flag.Int("samples", 20, "number of samples to print")
+	duration := flag.Float64("duration", 600, "hardware trace duration (s)")
+	programs := flag.Bool("programs", false, "list benchmark programs and exit")
+	flag.Parse()
+
+	if *programs {
+		for _, p := range workload.Catalog() {
+			fmt.Printf("%-10s %-8s regions=%d iterations=%d work=%.0f ws=%.1fGB memint=%.2f\n",
+				p.Name, p.Suite, len(p.Regions), p.Iterations, p.TotalWork(), p.WorkingSetGB, p.AvgMemIntensity())
+		}
+		return
+	}
+
+	switch *kind {
+	case "live":
+		lt, err := trace.GenerateLive(trace.NewRNG(*seed), trace.DefaultLiveConfig())
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "moetrace: %v\n", err)
+			os.Exit(1)
+		}
+		points := lt.Points()
+		fmt.Printf("live trace: %d samples over %.0f h\n", len(points), points[len(points)-1].Time/3600)
+		step := len(points) / *samples
+		if step < 1 {
+			step = 1
+		}
+		fmt.Println("time(h)   threads  procs")
+		for i := 0; i < len(points); i += step {
+			p := points[i]
+			bar := strings.Repeat("#", p.Threads*40/5824)
+			fmt.Printf("%7.1f  %8d  %5d  %s\n", p.Time/3600, p.Threads, p.Procs, bar)
+		}
+	case "hardware":
+		f := trace.LowFrequency
+		if *freq == "high" {
+			f = trace.HighFrequency
+		}
+		hw, err := trace.GenerateHardware(trace.NewRNG(*seed), 32, f, *duration)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "moetrace: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("hardware schedule (%s frequency, 32-core machine):\n", f)
+		for _, ev := range hw.Events() {
+			if int(ev.Time) > int(*duration) {
+				break
+			}
+			fmt.Printf("t=%6.0f  procs=%2d  %s\n", ev.Time, ev.Processors, strings.Repeat("#", ev.Processors))
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "moetrace: unknown kind %q\n", *kind)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,100 @@
+// Command moetrain trains the mixture's experts on the simulator and
+// prints the Table-1-style coefficient matrix plus cross-validation
+// quality.
+//
+// Usage:
+//
+//	moetrain                 # default training setup (§5.1/§5.2)
+//	moetrain -seed 7 -k 8    # different seed; eight-expert pool
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"moe/internal/experiments"
+	"moe/internal/expert"
+	"moe/internal/training"
+)
+
+func main() {
+	seed := flag.Uint64("seed", 42, "training seed")
+	k := flag.Int("k", 4, "expert pool size (1, 2, 4 or 8)")
+	runs := flag.Int("runs", 0, "training runs per target (0 = default)")
+	out := flag.String("o", "", "write the trained experts to this JSON file")
+	flag.Parse()
+
+	start := time.Now()
+	ds, err := training.Generate(training.Config{Seed: *seed, WorkloadsPerTarget: *runs})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "moetrain: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("generated %d training samples in %.1fs\n\n", len(ds.Samples), time.Since(start).Seconds())
+
+	var set expert.Set
+	switch *k {
+	case 1:
+		mono, err := training.BuildMonolithic(ds)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "moetrain: %v\n", err)
+			os.Exit(1)
+		}
+		set = expert.Set{mono}
+	case 2:
+		s2, err := training.BuildExperts2(ds)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "moetrain: %v\n", err)
+			os.Exit(1)
+		}
+		set = s2
+	case 4:
+		s4, err := training.BuildExperts4(ds)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "moetrain: %v\n", err)
+			os.Exit(1)
+		}
+		set = s4
+	case 8:
+		s8, err := training.BuildExperts8(ds)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "moetrain: %v\n", err)
+			os.Exit(1)
+		}
+		set = s8
+	default:
+		fmt.Fprintf(os.Stderr, "moetrain: unsupported pool size %d (want 1, 2, 4 or 8)\n", *k)
+		os.Exit(2)
+	}
+	fmt.Println("experts:")
+	for _, e := range set {
+		fmt.Printf("  %s: %s\n", e.Name, e.TrainedOn)
+	}
+	fmt.Println()
+	if *out != "" {
+		if err := expert.SaveSet(set, *out); err != nil {
+			fmt.Fprintf(os.Stderr, "moetrain: saving %s: %v\n", *out, err)
+			os.Exit(1)
+		}
+		fmt.Printf("saved %d experts to %s\n\n", len(set), *out)
+	}
+
+	lab := experiments.NewLabFromData(ds)
+	if *k == 4 {
+		t, err := lab.CoefficientsTable()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "moetrain: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Print(t.String())
+		fmt.Println()
+	}
+	cv, err := lab.CrossValidation()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "moetrain: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Print(cv.String())
+}

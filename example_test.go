@@ -1,0 +1,68 @@
+package moe_test
+
+import (
+	"fmt"
+
+	"moe"
+)
+
+// The canonical Table 1 experts run without any training: build a mixture,
+// wrap it in a Runtime, and ask for a thread count at a parallel region.
+func ExampleNewRuntime() {
+	mixture, err := moe.NewMixture(moe.CanonicalExperts())
+	if err != nil {
+		panic(err)
+	}
+	rt, err := moe.NewRuntime(mixture, 32)
+	if err != nil {
+		panic(err)
+	}
+	// The worked example of the paper's §5.4: timestamp t1's feature
+	// vector.
+	f := moe.CombineFeatures(
+		moe.CodeFeatures{LoadStore: 0.032, Instructions: 0.026, Branches: 0.2},
+		moe.EnvFeatures{
+			WorkloadThreads: 4, Processors: 8, RunQueue: 16,
+			Load1: 4.76, Load5: 2.17, CachedMem: 1.11, PageFreeRate: 1.65,
+		},
+	)
+	n := rt.Decide(moe.Observation{Time: 0, Features: f, RegionStart: true})
+	fmt.Println(n >= 1 && n <= 8)
+	// Output: true
+}
+
+// Simulate runs a co-execution scenario on the built-in evaluation
+// machine; the same seed replays identical external conditions for every
+// policy, so comparisons are exact.
+func ExampleSimulate() {
+	spec := moe.Simulation{
+		Target:    "cg",
+		Policy:    moe.NewDefaultPolicy(),
+		Workload:  []string{"is"},
+		Frequency: moe.StaticSystem,
+		Seed:      1,
+	}
+	res, err := moe.Simulate(spec)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(res.ExecTime > 0, res.Decisions > 0)
+	// Output: true true
+}
+
+// Policies share one interface, so baselines and the mixture are
+// interchangeable everywhere.
+func ExamplePolicy() {
+	policies := []moe.Policy{
+		moe.NewDefaultPolicy(),
+		moe.NewOnlinePolicy(),
+		moe.NewAnalyticPolicy(1),
+	}
+	for _, p := range policies {
+		fmt.Println(p.Name())
+	}
+	// Output:
+	// default
+	// online
+	// analytic
+}

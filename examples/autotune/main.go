@@ -1,0 +1,84 @@
+// Autotune: real execution — the mixture (with the paper's published
+// Table 1 experts, no training needed) decides, per parallel region, how
+// many goroutines three real kernels should fan out to, reading live Go
+// runtime metrics. Background load arrives halfway through; watch the
+// worker counts adapt.
+//
+//	go run ./examples/autotune
+package main
+
+import (
+	"fmt"
+	"log"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"moe"
+)
+
+func main() {
+	mixture, err := moe.NewMixture(moe.CanonicalExperts())
+	if err != nil {
+		log.Fatal(err)
+	}
+	tuner, err := moe.NewTuner(mixture, runtime.NumCPU())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	kernels := []struct {
+		name   string
+		kernel moe.Kernel
+		items  int
+	}{
+		{"blackscholes (compute-bound)", moe.NewBlackScholesKernel(200_000), 200_000},
+		{"spmv (memory-bound)", moe.NewSparseMatVecKernel(100_000, 16), 100_000},
+		{"stencil (sync-sensitive)", moe.NewStencilKernel(400_000), 400_000},
+	}
+
+	// Background load: after half the regions, spin goroutines that
+	// compete for the CPUs — the "external workload" of the paper.
+	var stop atomic.Bool
+	startLoad := func(n int) {
+		for i := 0; i < n; i++ {
+			go func() {
+				x := 1.0
+				for !stop.Load() {
+					for j := 0; j < 1_000_000; j++ {
+						x = x*1.0000001 + 0.5
+					}
+					runtime.Gosched()
+				}
+				_ = x
+			}()
+		}
+	}
+	defer stop.Store(true)
+
+	const regionsPerKernel = 12
+	for _, k := range kernels {
+		fmt.Printf("\n%s, %d regions of %d items:\n", k.name, regionsPerKernel, k.items)
+		for r := 0; r < regionsPerKernel; r++ {
+			if r == regionsPerKernel/2 {
+				fmt.Println("  -- background load arrives (4 spinner goroutines) --")
+				startLoad(4)
+				time.Sleep(50 * time.Millisecond)
+			}
+			res := tuner.ExecuteRegion(k.kernel, k.items)
+			fmt.Printf("  region %2d: %2d workers, %8.0f items/s (%.1f ms)\n",
+				r, res.Workers, res.Rate, res.Duration.Seconds()*1000)
+			if s, ok := k.kernel.(interface{ Swap() }); ok {
+				s.Swap()
+			}
+		}
+		stop.Store(true)
+		time.Sleep(20 * time.Millisecond)
+		stop = atomic.Bool{}
+	}
+
+	fmt.Println("\nworker-count distribution across all regions:")
+	for n, frac := range tuner.WorkerHistogram() {
+		fmt.Printf("  %2d workers: %4.0f%%\n", n, 100*frac)
+	}
+}

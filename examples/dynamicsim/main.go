@@ -1,0 +1,79 @@
+// Dynamicsim: the paper's headline comparison on a small scale — every
+// policy (OpenMP default, online hill climbing, offline model, analytic
+// runtime, mixture of experts) on the same dynamic scenarios, with the
+// same external conditions replayed for each.
+//
+//	go run ./examples/dynamicsim
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"moe"
+)
+
+func main() {
+	fmt.Println("training…")
+	data, err := moe.Train(moe.TrainingConfig{Seed: 1, WorkloadsPerTarget: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	experts4, err := moe.BuildExperts(data, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mono, err := moe.BuildExperts(data, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Policy constructors — fresh stateful instance per run.
+	policies := []struct {
+		name  string
+		build func() (moe.Policy, error)
+	}{
+		{"online", func() (moe.Policy, error) { return moe.NewOnlinePolicy(), nil }},
+		{"offline", func() (moe.Policy, error) { return moe.NewOfflinePolicy(mono) }},
+		{"analytic", func() (moe.Policy, error) { return moe.NewAnalyticPolicy(9), nil }},
+		{"mixture", func() (moe.Policy, error) { return moe.NewTrainedMixture(data, experts4) }},
+	}
+
+	scenarios := []struct {
+		label    string
+		workload []string
+	}{
+		{"small workload (is, cg)", []string{"is", "cg"}},
+		{"large workload (bt, sp, equake, is, cg, art)", []string{"bt", "sp", "equake", "is", "cg", "art"}},
+	}
+
+	for _, target := range []string{"lu", "mg", "fmine"} {
+		for _, sc := range scenarios {
+			fmt.Printf("\n%s in %s:\n", target, sc.label)
+			spec := moe.Simulation{
+				Target:    target,
+				Workload:  sc.workload,
+				Frequency: moe.LowFrequency,
+				Seed:      7,
+			}
+			spec.Policy = moe.NewDefaultPolicy()
+			base, err := moe.Simulate(spec)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("  %-9s %8.1f s\n", "default", base.ExecTime)
+			for _, p := range policies {
+				pol, err := p.build()
+				if err != nil {
+					log.Fatal(err)
+				}
+				spec.Policy = pol
+				out, err := moe.Simulate(spec)
+				if err != nil {
+					log.Fatal(err)
+				}
+				fmt.Printf("  %-9s %8.1f s  (%.2fx)\n", p.name, out.ExecTime, base.ExecTime/out.ExecTime)
+			}
+		}
+	}
+}

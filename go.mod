@@ -1,0 +1,3 @@
+module moe
+
+go 1.22

@@ -1,0 +1,283 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"moe/internal/expert"
+	"moe/internal/features"
+	"moe/internal/regress"
+	"moe/internal/sim"
+)
+
+func flatModel(val float64) *regress.Model {
+	return &regress.Model{Weights: make([]float64, features.Dim), Bias: val}
+}
+
+// envExpert predicts a fixed thread count and a fixed environment norm.
+func envExpert(name string, threads, env float64) *expert.Expert {
+	return &expert.Expert{
+		Name:       name,
+		Threads:    flatModel(threads),
+		Env:        expert.NormEnvModel{Model: flatModel(env)},
+		MaxThreads: 32,
+	}
+}
+
+func stateWithNorm(norm float64) features.Vector {
+	var f features.Vector
+	// Put the whole norm on one environment dimension for clarity.
+	f[features.CPULoad1] = norm
+	f[features.Processors] = 0
+	return f
+}
+
+func decide(m *Mixture, norm float64) int {
+	return m.Decide(sim.Decision{
+		Features:       stateWithNorm(norm),
+		MaxThreads:     32,
+		AvailableProcs: 32,
+	})
+}
+
+func TestMixtureSelectsAccurateExpert(t *testing.T) {
+	// Expert A predicts env 10 (right); expert B predicts env 50
+	// (wrong). After warm-up the mixture must use A's thread count.
+	set := expert.Set{envExpert("A", 4, 10), envExpert("B", 20, 50)}
+	m, err := NewMixture(set, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var last int
+	for i := 0; i < 50; i++ {
+		last = decide(m, 10)
+	}
+	if last != 4 {
+		t.Errorf("mixture chose %d threads, want accurate expert A's 4", last)
+	}
+	st := m.Snapshot()
+	if st.SelectionFraction[0] < 0.6 {
+		t.Errorf("A selected only %.0f%%", 100*st.SelectionFraction[0])
+	}
+	if st.EnvAccuracy[0] < 0.9 {
+		t.Errorf("A's accuracy %.2f should be high", st.EnvAccuracy[0])
+	}
+	if st.EnvAccuracy[1] > 0.1 {
+		t.Errorf("B's accuracy %.2f should be low", st.EnvAccuracy[1])
+	}
+}
+
+func TestMixtureSwitchesWithRegime(t *testing.T) {
+	// A is accurate in the low-norm regime, B in the high-norm regime;
+	// the mixture must switch experts when the environment changes —
+	// the §3 motivation behaviour.
+	set := expert.Set{envExpert("A", 4, 10), envExpert("B", 20, 100)}
+	m, err := NewMixture(set, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 60; i++ {
+		decide(m, 10)
+	}
+	if got := decide(m, 10); got != 4 {
+		t.Fatalf("low regime chose %d", got)
+	}
+	var last int
+	for i := 0; i < 60; i++ {
+		last = decide(m, 100)
+	}
+	if last != 20 {
+		t.Errorf("high regime chose %d, want B's 20", last)
+	}
+}
+
+func TestMixtureValidation(t *testing.T) {
+	if _, err := NewMixture(nil, Options{}); err == nil {
+		t.Error("empty set should error")
+	}
+}
+
+func TestSnapshotConsistency(t *testing.T) {
+	set := expert.Set{envExpert("A", 4, 10), envExpert("B", 20, 50)}
+	m, _ := NewMixture(set, Options{})
+	for i := 0; i < 30; i++ {
+		decide(m, 10)
+	}
+	st := m.Snapshot()
+	if st.Decisions != 30 {
+		t.Errorf("decisions = %d", st.Decisions)
+	}
+	sum := 0.0
+	for _, f := range st.SelectionFraction {
+		sum += f
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("selection fractions sum to %v", sum)
+	}
+	histSum := 0.0
+	for _, f := range st.ThreadHistogram {
+		histSum += f
+	}
+	if math.Abs(histSum-1) > 1e-9 {
+		t.Errorf("thread histogram sums to %v", histSum)
+	}
+	if m.String() == "" {
+		t.Error("String should describe the mixture")
+	}
+}
+
+func TestHyperplaneSelectorLearnsPartition(t *testing.T) {
+	// Errors depend on the state: expert 0 is best when load < 50,
+	// expert 1 when load ≥ 50. The selector must learn the split.
+	sel := NewHyperplaneSelector(2, 0)
+	errsFor := func(f features.Vector) []float64 {
+		if f[features.CPULoad1] < 50 {
+			return []float64{1, 10}
+		}
+		return []float64{10, 1}
+	}
+	for epoch := 0; epoch < 200; epoch++ {
+		f := stateWithNorm(float64((epoch * 13) % 100))
+		sel.Update(f, errsFor(f))
+	}
+	right := 0
+	for v := 0.0; v < 100; v += 5 {
+		f := stateWithNorm(v)
+		want := 0
+		if v >= 50 {
+			want = 1
+		}
+		if sel.Select(f) == want {
+			right++
+		}
+	}
+	if right < 15 { // 20 probes; allow boundary slack
+		t.Errorf("selector classified %d/20 regimes correctly", right)
+	}
+	if sel.MissRate() == 0 {
+		t.Error("selector should have recorded some learning misses")
+	}
+}
+
+func TestHyperplaneSelectorSingleExpert(t *testing.T) {
+	sel := NewHyperplaneSelector(1, 0)
+	if sel.Select(stateWithNorm(3)) != 0 {
+		t.Error("single-expert selector must return 0")
+	}
+	sel.Update(stateWithNorm(3), []float64{1}) // must not panic
+}
+
+func TestHyperplaneSelectorPretrain(t *testing.T) {
+	sel := NewHyperplaneSelector(2, 0)
+	theta := [][]float64{make([]float64, features.Dim+1), make([]float64, features.Dim+1)}
+	// Expert 1 wins everywhere via its bias.
+	theta[1][features.Dim] = 5
+	var mean, std [features.Dim]float64
+	for i := range std {
+		std[i] = 1
+	}
+	if err := sel.Pretrain(theta, mean, std, 100); err != nil {
+		t.Fatal(err)
+	}
+	if sel.Select(stateWithNorm(10)) != 1 {
+		t.Error("pretrained bias should select expert 1")
+	}
+	if err := sel.Pretrain(theta[:1], mean, std, 100); err == nil {
+		t.Error("wrong hyperplane count should error")
+	}
+	if err := sel.Pretrain([][]float64{{1}, {2}}, mean, std, 100); err == nil {
+		t.Error("wrong width should error")
+	}
+}
+
+func TestHyperplaneSelectorAccuracyPenalty(t *testing.T) {
+	// Pretrained to prefer expert 0, but expert 0's errors are always
+	// far worse: the recent-accuracy penalty must eventually flip the
+	// choice even without a separating feature.
+	sel := NewHyperplaneSelector(2, 0)
+	theta := [][]float64{make([]float64, features.Dim+1), make([]float64, features.Dim+1)}
+	theta[0][features.Dim] = 1
+	var mean, std [features.Dim]float64
+	for i := range std {
+		std[i] = 1
+	}
+	if err := sel.Pretrain(theta, mean, std, 100); err != nil {
+		t.Fatal(err)
+	}
+	f := stateWithNorm(5)
+	for i := 0; i < 100; i++ {
+		sel.Update(f, []float64{10, 1})
+	}
+	if sel.Select(f) != 1 {
+		t.Error("persistently inaccurate expert should be demoted")
+	}
+}
+
+func TestAccuracySelector(t *testing.T) {
+	sel := NewAccuracySelector(3, 0)
+	if sel.Name() != "accuracy-ema" {
+		t.Errorf("name = %s", sel.Name())
+	}
+	var f features.Vector
+	for i := 0; i < 20; i++ {
+		sel.Update(f, []float64{5, 1, 9})
+	}
+	if got := sel.Select(f); got != 1 {
+		t.Errorf("accuracy selector chose %d, want 1", got)
+	}
+	// Wrong-length updates are ignored.
+	sel.Update(f, []float64{1})
+	if got := sel.Select(f); got != 1 {
+		t.Errorf("after bad update chose %d", got)
+	}
+}
+
+func TestFixedAndRandomSelectors(t *testing.T) {
+	var f features.Vector
+	fx := FixedSelector{Index: 2}
+	if fx.Select(f) != 2 {
+		t.Error("fixed selector wrong")
+	}
+	fx.Update(f, nil) // no-op
+
+	r := NewRandomSelector(4, 9)
+	counts := make([]int, 4)
+	for i := 0; i < 4000; i++ {
+		counts[r.Select(f)]++
+	}
+	for i, c := range counts {
+		if c < 700 || c > 1300 {
+			t.Errorf("random selector bucket %d = %d, far from uniform", i, c)
+		}
+	}
+}
+
+func TestArgminWithMeanGate(t *testing.T) {
+	if got := argminWithMeanGate([]float64{1, 10, 10}); got != 0 {
+		t.Errorf("clear winner: %d", got)
+	}
+	if got := argminWithMeanGate([]float64{5, 5, 5}); got != -1 {
+		t.Errorf("no winner should gate out: %d", got)
+	}
+	if got := argminWithMeanGate([]float64{3}); got != 0 {
+		t.Errorf("single expert: %d", got)
+	}
+}
+
+func TestMixtureWithCanonicalExperts(t *testing.T) {
+	// The shipped Table 1 experts must run end to end.
+	m, err := NewMixture(expert.Canonical4(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var f features.Vector
+	f[features.Processors] = 8
+	f[features.WorkloadThreads] = 4
+	f[features.CPULoad1] = 6
+	for i := 0; i < 10; i++ {
+		n := m.Decide(sim.Decision{Features: f, MaxThreads: 32, AvailableProcs: 8})
+		if n < 1 || n > 32 {
+			t.Fatalf("decision %d out of range", n)
+		}
+	}
+}

@@ -1,0 +1,235 @@
+// Package core implements the paper's contribution: the mixture-of-experts
+// expert selector (§4.2, §5.3). Given a pool of offline experts, the online
+// model M decides which expert to consult at each control point. Because
+// the quality of a thread prediction cannot be observed directly — the
+// speedup other thread counts would have achieved is counterfactual — M
+// selects using a proxy: each expert's *environment predictor*. At every
+// timestep the previous step's environment predictions are scored against
+// the now-observed environment norm, and the feature space is repartitioned
+// so that each region is owned by the expert whose predictions have been
+// most accurate there.
+//
+// Two selector implementations are provided:
+//
+//   - HyperplaneSelector: the paper's scheme — a series of hyperplanes S in
+//     the 10-dimensional feature space defining the region owned by each
+//     expert, adjusted online using data from the last timestep only;
+//   - AccuracySelector: a simpler gating baseline that tracks an
+//     exponentially decayed per-expert accuracy and picks the current best
+//     regardless of feature-space position. Used by the ablation benches.
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"moe/internal/expert"
+	"moe/internal/features"
+	"moe/internal/sim"
+	"moe/internal/stats"
+)
+
+// Selector is the gating model M: it names the expert to use for a state f
+// and learns from environment-prediction errors.
+type Selector interface {
+	// Select returns the index of the expert to consult for state f.
+	Select(f features.Vector) int
+	// Update incorporates the outcome of the previous timestep: the state
+	// it was decided in, and each expert's absolute environment error a^k
+	// at that state.
+	Update(f features.Vector, errors []float64)
+	// Name identifies the selector variant.
+	Name() string
+}
+
+// Mixture is the complete runtime policy: a pool of experts plus a selector,
+// implementing sim.Policy. It records the bookkeeping behind the analysis
+// figures: per-expert selection counts (Fig 15b), environment-prediction
+// accuracy (Fig 15a) and chosen-thread histograms (Fig 17).
+type Mixture struct {
+	experts  expert.Set
+	selector Selector
+
+	// pending holds last step's state and per-expert environment
+	// predictions, scored when the next observation arrives.
+	pendingValid bool
+	pendingFeat  features.Vector
+	pendingPred  []expert.EnvPrediction
+
+	// Analysis bookkeeping.
+	selections   *stats.Histogram // expert index → times chosen
+	threadHist   *stats.Histogram
+	accurate     []int // per expert: predictions within tolerance
+	observations []int // per expert: scored predictions
+	mixAccurate  int   // chosen expert's prediction within tolerance
+	mixObserved  int
+	errSum       []float64 // per expert: Σ a^k, for normalized error
+	obsNormSum   float64   // Σ ‖e‖ observed, to normalize errors
+}
+
+// Options configures a mixture.
+type Options struct {
+	// Selector picks the gating implementation; nil selects the paper's
+	// hyperplane scheme with default learning rate.
+	Selector Selector
+}
+
+// NewMixture builds the mixture policy over the given experts.
+func NewMixture(set expert.Set, opts Options) (*Mixture, error) {
+	if err := set.Validate(); err != nil {
+		return nil, err
+	}
+	sel := opts.Selector
+	if sel == nil {
+		sel = NewHyperplaneSelector(len(set), 0)
+	}
+	return &Mixture{
+		experts:      set,
+		selector:     sel,
+		selections:   stats.NewHistogram(),
+		threadHist:   stats.NewHistogram(),
+		accurate:     make([]int, len(set)),
+		observations: make([]int, len(set)),
+		errSum:       make([]float64, len(set)),
+	}, nil
+}
+
+// Name implements sim.Policy.
+func (m *Mixture) Name() string { return "mixture" }
+
+// Experts returns the expert pool.
+func (m *Mixture) Experts() expert.Set { return m.experts }
+
+// Decide implements sim.Policy: score last step's predictions against the
+// newly observed environment, update the selector, select an expert for the
+// current state, and return its thread prediction.
+func (m *Mixture) Decide(d sim.Decision) int {
+	f := d.Features
+	observedEnv := f.EnvPart()
+	observedNorm := observedEnv.Norm()
+
+	// Score the pending predictions now that e_t is observable. Per §5.3
+	// only this single (last-timestep) observation updates M.
+	if m.pendingValid {
+		// Gating errors (likelihood-scaled when available) drive the
+		// selector; raw errors back the Fig 15a accuracy statistics.
+		// The applicability factor inflates the error of experts whose
+		// training never covered this state (input likelihood, the
+		// gating of the classic mixture-of-experts formulation): a
+		// 12-core-trained expert is no authority on a 32-processor
+		// machine no matter how lucky its last prediction was.
+		errors := make([]float64, len(m.experts))
+		raw := make([]float64, len(m.experts))
+		for k := range m.experts {
+			errors[k] = m.pendingPred[k].Error(observedEnv) * applicabilityFactor(m.experts[k], m.pendingFeat)
+			raw[k] = m.pendingPred[k].RawError(observedEnv)
+			m.errSum[k] += raw[k]
+			m.observations[k]++
+			if withinEnvTolerance(raw[k], observedNorm) {
+				m.accurate[k]++
+			}
+		}
+		m.obsNormSum += observedNorm
+		m.selector.Update(m.pendingFeat, errors)
+
+		// Mixture-level accuracy: was the *chosen* expert accurate?
+		chosen := m.selector.Select(m.pendingFeat)
+		m.mixObserved++
+		if withinEnvTolerance(raw[chosen], observedNorm) {
+			m.mixAccurate++
+		}
+	}
+
+	// Select and predict for the current state.
+	k := m.selector.Select(f)
+	m.selections.Add(k)
+	n := m.experts[k].PredictThreads(f, d.MaxThreads)
+	m.threadHist.Add(n)
+
+	// Stash this step's environment predictions for scoring next time.
+	if m.pendingPred == nil {
+		m.pendingPred = make([]expert.EnvPrediction, len(m.experts))
+	}
+	for i, e := range m.experts {
+		m.pendingPred[i] = e.PredictEnv(f)
+	}
+	m.pendingFeat = f
+	m.pendingValid = true
+
+	return n
+}
+
+// applicabilityFactor grows the gating error of an expert whose training
+// distribution does not cover the state: 1 in distribution, quadratic in
+// the worst single-feature surprise beyond 3σ.
+func applicabilityFactor(e *expert.Expert, f features.Vector) float64 {
+	z := e.MaxEnvZ(f)
+	if z <= 4 {
+		return 1
+	}
+	d := z - 4
+	return 1 + 0.25*d*d
+}
+
+// envAccuracyTolerance is the relative tolerance within which an
+// environment prediction counts as accurate for the Fig 15a statistic.
+const envAccuracyTolerance = 0.15
+
+// withinEnvTolerance reports whether a prediction error is small relative
+// to the observed environment's magnitude.
+func withinEnvTolerance(err, observedNorm float64) bool {
+	scale := math.Abs(observedNorm)
+	if scale < 1 {
+		scale = 1
+	}
+	return err <= envAccuracyTolerance*scale
+}
+
+// Stats is the analysis snapshot backing Figs 15a, 15b and 17.
+type Stats struct {
+	// SelectionFraction[k] is how often expert k was chosen.
+	SelectionFraction []float64
+	// EnvAccuracy[k] is the fraction of expert k's environment
+	// predictions within tolerance of the observation.
+	EnvAccuracy []float64
+	// MixtureEnvAccuracy scores only the chosen expert at each step —
+	// the mixture's effective environment-prediction accuracy.
+	MixtureEnvAccuracy float64
+	// NormalizedError[k] is Σa^k / Σ‖e‖, the normalized difference
+	// plotted in Fig 15a.
+	NormalizedError []float64
+	// ThreadHistogram counts decisions per thread count (Fig 17).
+	ThreadHistogram map[int]float64
+	// Decisions is the total number of decisions made.
+	Decisions int
+}
+
+// Snapshot returns the current analysis statistics.
+func (m *Mixture) Snapshot() Stats {
+	k := len(m.experts)
+	st := Stats{
+		SelectionFraction: make([]float64, k),
+		EnvAccuracy:       make([]float64, k),
+		NormalizedError:   make([]float64, k),
+		ThreadHistogram:   m.threadHist.Normalized(),
+		Decisions:         m.selections.Total(),
+	}
+	for i := 0; i < k; i++ {
+		st.SelectionFraction[i] = m.selections.Fraction(i)
+		if m.observations[i] > 0 {
+			st.EnvAccuracy[i] = float64(m.accurate[i]) / float64(m.observations[i])
+		}
+		if m.obsNormSum > 0 {
+			st.NormalizedError[i] = m.errSum[i] / m.obsNormSum
+		}
+	}
+	if m.mixObserved > 0 {
+		st.MixtureEnvAccuracy = float64(m.mixAccurate) / float64(m.mixObserved)
+	}
+	return st
+}
+
+// String summarizes the mixture for logs.
+func (m *Mixture) String() string {
+	return fmt.Sprintf("mixture(%d experts, %s selector)", len(m.experts), m.selector.Name())
+}

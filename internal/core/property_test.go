@@ -1,0 +1,152 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"moe/internal/expert"
+	"moe/internal/features"
+	"moe/internal/sim"
+)
+
+// Property tests on the selector and mixture invariants.
+
+func cleanVec(raw [features.Dim]float64) features.Vector {
+	var f features.Vector
+	for i := range f {
+		x := raw[i]
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			x = 0
+		}
+		f[i] = math.Mod(math.Abs(x), 1e4)
+	}
+	return f
+}
+
+func TestHyperplaneSelectorAlwaysInRange(t *testing.T) {
+	// Arbitrary interleavings of Select and Update never produce an
+	// out-of-range expert index or a panic.
+	f := func(k8 uint8, states [][features.Dim]float64, errsRaw [][4]float64) bool {
+		k := int(k8%4) + 1
+		sel := NewHyperplaneSelector(k, 0)
+		for i, raw := range states {
+			v := cleanVec(raw)
+			if got := sel.Select(v); got < 0 || got >= k {
+				return false
+			}
+			errs := make([]float64, k)
+			if i < len(errsRaw) {
+				for j := 0; j < k; j++ {
+					errs[j] = math.Abs(math.Mod(errsRaw[i][j%4], 1e3))
+				}
+			}
+			sel.Update(v, errs)
+			if got := sel.Select(v); got < 0 || got >= k {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHyperplaneSelectorIgnoresWrongWidthUpdates(t *testing.T) {
+	sel := NewHyperplaneSelector(3, 0)
+	var f features.Vector
+	sel.Update(f, []float64{1})       // too narrow: ignored
+	sel.Update(f, make([]float64, 7)) // too wide: ignored
+	if got := sel.Select(f); got < 0 || got > 2 {
+		t.Errorf("selection %d out of range", got)
+	}
+}
+
+func TestMixtureDecisionsAlwaysInRange(t *testing.T) {
+	// The canonical experts driven by arbitrary feature states and caps
+	// always produce a legal thread count and never panic.
+	set := expert.Canonical4()
+	f := func(states [][features.Dim]float64, cap8 bool) bool {
+		m, err := NewMixture(set, Options{})
+		if err != nil {
+			return false
+		}
+		maxN := 32
+		if cap8 {
+			maxN = 8
+		}
+		for i, raw := range states {
+			v := cleanVec(raw)
+			n := m.Decide(sim.Decision{
+				Time:           float64(i),
+				Features:       v,
+				MaxThreads:     maxN,
+				AvailableProcs: maxN,
+			})
+			if n < 1 || n > maxN {
+				return false
+			}
+		}
+		st := m.Snapshot()
+		sum := 0.0
+		for _, frac := range st.SelectionFraction {
+			if frac < 0 || frac > 1 {
+				return false
+			}
+			sum += frac
+		}
+		return len(states) == 0 || math.Abs(sum-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMixtureAccuracyBoundsProperty(t *testing.T) {
+	// Whatever the inputs, every accuracy statistic stays in [0, 1].
+	set := expert.Canonical4()
+	f := func(states [][features.Dim]float64) bool {
+		m, err := NewMixture(set, Options{})
+		if err != nil {
+			return false
+		}
+		for i, raw := range states {
+			m.Decide(sim.Decision{Time: float64(i), Features: cleanVec(raw), MaxThreads: 32, AvailableProcs: 32})
+		}
+		st := m.Snapshot()
+		for _, a := range st.EnvAccuracy {
+			if a < 0 || a > 1 {
+				return false
+			}
+		}
+		return st.MixtureEnvAccuracy >= 0 && st.MixtureEnvAccuracy <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestApplicabilityFactorMonotone(t *testing.T) {
+	e := &expert.Expert{Name: "a"}
+	for i := range e.FeatMean {
+		e.FeatMean[i] = 10
+		e.FeatStd[i] = 1
+	}
+	prev := 0.0
+	for z := 0.0; z < 20; z += 0.5 {
+		var f features.Vector
+		for i := range f {
+			f[i] = 10
+		}
+		f[features.Processors] = 10 + z
+		got := applicabilityFactor(e, f)
+		if got < 1 {
+			t.Fatalf("factor below 1 at z=%v", z)
+		}
+		if got < prev {
+			t.Fatalf("factor not monotone at z=%v", z)
+		}
+		prev = got
+	}
+}

@@ -1,0 +1,222 @@
+// Package exec is the real-execution backend: actual goroutine worker
+// pools running compute-, memory- and synchronization-bound kernels, tuned
+// by the same policies the simulator evaluates. It is the repository's
+// GOMAXPROCS-tuning analog — the library deciding, per parallel region, how
+// many workers a Go program should fan out to, from live runtime metrics.
+package exec
+
+import (
+	"math"
+	"sync"
+
+	"moe/internal/features"
+)
+
+// Kernel is one parallel computation: Process handles a contiguous item
+// range on one worker.
+type Kernel interface {
+	// Name identifies the kernel.
+	Name() string
+	// Code returns the static features of the kernel's loop (f1–f3
+	// analog, normalized like the simulator's catalog entries).
+	Code() features.Code
+	// Process computes items [lo, hi).
+	Process(lo, hi int)
+}
+
+// RunRegion executes items [0, n) across `workers` goroutines with a final
+// join — one OpenMP-style parallel region.
+func RunRegion(k Kernel, items, workers int) {
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > items {
+		workers = items
+	}
+	if workers <= 1 {
+		k.Process(0, items)
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (items + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > items {
+			hi = items
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			k.Process(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// BlackScholes is the compute-bound kernel: option pricing with the
+// Black–Scholes closed form, the blackscholes workload of Parsec (§6.2).
+type BlackScholes struct {
+	Spot, Strike, Rate, Vol, T []float64
+	Out                        []float64
+}
+
+// NewBlackScholes builds a pricing problem of n options with deterministic
+// pseudo-random parameters.
+func NewBlackScholes(n int) *BlackScholes {
+	b := &BlackScholes{
+		Spot:   make([]float64, n),
+		Strike: make([]float64, n),
+		Rate:   make([]float64, n),
+		Vol:    make([]float64, n),
+		T:      make([]float64, n),
+		Out:    make([]float64, n),
+	}
+	state := uint64(0x9e3779b97f4a7c15)
+	next := func() float64 {
+		state = state*6364136223846793005 + 1442695040888963407
+		return float64(state>>11) / (1 << 53)
+	}
+	for i := 0; i < n; i++ {
+		b.Spot[i] = 50 + 100*next()
+		b.Strike[i] = 50 + 100*next()
+		b.Rate[i] = 0.01 + 0.05*next()
+		b.Vol[i] = 0.1 + 0.5*next()
+		b.T[i] = 0.25 + 2*next()
+	}
+	return b
+}
+
+// Name implements Kernel.
+func (*BlackScholes) Name() string { return "blackscholes" }
+
+// Code implements Kernel: compute-bound, few memory operations.
+func (*BlackScholes) Code() features.Code {
+	return features.Code{LoadStore: 0.024, Instructions: 0.1, Branches: 0.008}
+}
+
+// Process implements Kernel.
+func (b *BlackScholes) Process(lo, hi int) {
+	for i := lo; i < hi; i++ {
+		s, k, r, v, t := b.Spot[i], b.Strike[i], b.Rate[i], b.Vol[i], b.T[i]
+		sq := v * math.Sqrt(t)
+		d1 := (math.Log(s/k) + (r+v*v/2)*t) / sq
+		d2 := d1 - sq
+		b.Out[i] = s*cnd(d1) - k*math.Exp(-r*t)*cnd(d2)
+	}
+}
+
+// cnd is the cumulative normal distribution (Abramowitz–Stegun 26.2.17).
+func cnd(x float64) float64 {
+	neg := x < 0
+	if neg {
+		x = -x
+	}
+	k := 1 / (1 + 0.2316419*x)
+	poly := k * (0.319381530 + k*(-0.356563782+k*(1.781477937+k*(-1.821255978+k*1.330274429))))
+	c := 1 - math.Exp(-x*x/2)/math.Sqrt(2*math.Pi)*poly
+	if neg {
+		return 1 - c
+	}
+	return c
+}
+
+// SparseMatVec is the memory-bound kernel: sparse matrix–vector product
+// with irregular access, the cg workload analog.
+type SparseMatVec struct {
+	RowPtr []int
+	Col    []int
+	Val    []float64
+	X, Y   []float64
+}
+
+// NewSparseMatVec builds an n-row sparse matrix with nnzPerRow random
+// nonzeros per row.
+func NewSparseMatVec(n, nnzPerRow int) *SparseMatVec {
+	m := &SparseMatVec{
+		RowPtr: make([]int, n+1),
+		Col:    make([]int, n*nnzPerRow),
+		Val:    make([]float64, n*nnzPerRow),
+		X:      make([]float64, n),
+		Y:      make([]float64, n),
+	}
+	state := uint64(0xdeadbeefcafef00d)
+	next := func() uint64 {
+		state = state*6364136223846793005 + 1442695040888963407
+		return state >> 33
+	}
+	for i := 0; i < n; i++ {
+		m.RowPtr[i] = i * nnzPerRow
+		for j := 0; j < nnzPerRow; j++ {
+			m.Col[i*nnzPerRow+j] = int(next() % uint64(n))
+			m.Val[i*nnzPerRow+j] = 1 / float64(j+1)
+		}
+		m.X[i] = float64(i%97) / 97
+	}
+	m.RowPtr[n] = n * nnzPerRow
+	return m
+}
+
+// Name implements Kernel.
+func (*SparseMatVec) Name() string { return "spmv" }
+
+// Code implements Kernel: memory-bound with irregular access.
+func (*SparseMatVec) Code() features.Code {
+	return features.Code{LoadStore: 0.066, Instructions: 0.1, Branches: 0.009}
+}
+
+// Process implements Kernel: rows are the items.
+func (m *SparseMatVec) Process(lo, hi int) {
+	for i := lo; i < hi; i++ {
+		sum := 0.0
+		for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
+			sum += m.Val[k] * m.X[m.Col[k]]
+		}
+		m.Y[i] = sum
+	}
+}
+
+// Stencil is the synchronization-sensitive kernel: a 1-D 3-point stencil
+// sweep; every region is a full sweep with a barrier at the join, the
+// mg/lu workload analog.
+type Stencil struct {
+	A, B []float64
+}
+
+// NewStencil builds a grid of n points.
+func NewStencil(n int) *Stencil {
+	s := &Stencil{A: make([]float64, n), B: make([]float64, n)}
+	for i := range s.A {
+		s.A[i] = float64(i % 13)
+	}
+	return s
+}
+
+// Name implements Kernel.
+func (*Stencil) Name() string { return "stencil" }
+
+// Code implements Kernel: streaming memory with moderate compute.
+func (*Stencil) Code() features.Code {
+	return features.Code{LoadStore: 0.06, Instructions: 0.1, Branches: 0.006}
+}
+
+// Process implements Kernel.
+func (s *Stencil) Process(lo, hi int) {
+	n := len(s.A)
+	for i := lo; i < hi; i++ {
+		left, right := i-1, i+1
+		if left < 0 {
+			left = 0
+		}
+		if right >= n {
+			right = n - 1
+		}
+		s.B[i] = 0.25*s.A[left] + 0.5*s.A[i] + 0.25*s.A[right]
+	}
+}
+
+// Swap exchanges the stencil buffers between sweeps.
+func (s *Stencil) Swap() { s.A, s.B = s.B, s.A }

@@ -1,0 +1,87 @@
+package exec
+
+import (
+	"runtime"
+	"time"
+
+	"moe/internal/features"
+	"moe/internal/stats"
+)
+
+// MetricSampler derives the Table 1 environment features (f4–f10) from the
+// live Go runtime — the real-machine analog of the simulator's /proc
+// metrics:
+//
+//	f4 workload threads  → goroutines beyond our own workers
+//	f5 processors        → GOMAXPROCS
+//	f6 run queue         → runnable goroutines in excess of CPUs
+//	f7/f8 load averages  → 1- and 5-minute EMAs of the goroutine count
+//	f9 cached memory     → heap in use (GB)
+//	f10 page free rate   → GC cycles per second (memory reclaim pressure)
+type MetricSampler struct {
+	load1, load5 *stats.EMA
+	lastSample   time.Time
+	lastGC       uint32
+	gcRate       *stats.EMA
+	start        time.Time
+}
+
+// NewMetricSampler returns a sampler; call Sample at decision points.
+func NewMetricSampler() *MetricSampler {
+	now := time.Now()
+	return &MetricSampler{
+		load1:      stats.NewEMA(60),
+		load5:      stats.NewEMA(300),
+		gcRate:     stats.NewEMA(10),
+		lastSample: now,
+		start:      now,
+	}
+}
+
+// Sample reads the runtime and returns the environment features. ownWorkers
+// is the number of goroutines the caller itself currently runs, excluded
+// from the workload-thread feature (f4 counts *external* load).
+func (m *MetricSampler) Sample(ownWorkers int) features.Env {
+	now := time.Now()
+	dt := now.Sub(m.lastSample).Seconds()
+	m.lastSample = now
+
+	goroutines := runtime.NumGoroutine()
+	procs := runtime.GOMAXPROCS(0)
+
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	gcDelta := float64(ms.NumGC - m.lastGC)
+	m.lastGC = ms.NumGC
+	gcPerSec := 0.0
+	if dt > 0 {
+		gcPerSec = m.gcRate.Update(gcDelta/dt, dt)
+	}
+
+	load1 := m.load1.Update(float64(goroutines), dt)
+	load5 := m.load5.Update(float64(goroutines), dt)
+
+	external := goroutines - ownWorkers
+	if external < 0 {
+		external = 0
+	}
+	runq := goroutines - procs
+	if runq < 0 {
+		runq = 0
+	}
+	return features.Env{
+		WorkloadThreads: float64(external),
+		Processors:      float64(procs),
+		RunQueue:        float64(runq),
+		Load1:           load1,
+		Load5:           load5,
+		CachedMem:       float64(ms.HeapInuse) / (1 << 30),
+		PageFreeRate:    gcPerSec,
+	}
+}
+
+// Elapsed returns seconds since the sampler was created — the Time input
+// for runtime decisions.
+func (m *MetricSampler) Elapsed() float64 {
+	return time.Since(m.start).Seconds()
+}

@@ -1,0 +1,97 @@
+package exec
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"moe/internal/features"
+	"moe/internal/sim"
+	"moe/internal/stats"
+)
+
+// Tuner drives a Kernel's parallel regions with a thread-selection policy,
+// sampling live runtime metrics between regions — the end-to-end
+// GOMAXPROCS-analog autotuner.
+type Tuner struct {
+	policy  sim.Policy
+	sampler *MetricSampler
+	maxN    int
+	lastN   int
+	region  int
+	hist    *stats.Histogram
+	// prevRate carries the last region's achieved rate into the next
+	// decision (measurement-driven policies need it).
+	prevRate float64
+}
+
+// NewTuner wraps a policy. maxWorkers ≤ 0 selects the machine's CPU count.
+func NewTuner(p sim.Policy, maxWorkers int) (*Tuner, error) {
+	if p == nil {
+		return nil, fmt.Errorf("exec: nil policy")
+	}
+	if maxWorkers <= 0 {
+		maxWorkers = runtime.NumCPU()
+	}
+	return &Tuner{
+		policy:  p,
+		sampler: NewMetricSampler(),
+		maxN:    maxWorkers,
+		lastN:   1,
+		hist:    stats.NewHistogram(),
+	}, nil
+}
+
+// RegionResult reports one executed region.
+type RegionResult struct {
+	Workers  int
+	Items    int
+	Duration time.Duration
+	// Rate is items per second.
+	Rate float64
+}
+
+// ExecuteRegion runs one parallel region of the kernel over `items` items:
+// sample the environment, consult the policy, fan out, measure.
+func (t *Tuner) ExecuteRegion(k Kernel, items int) RegionResult {
+	env := t.sampler.Sample(t.lastN)
+	f := features.Combine(k.Code(), env)
+	procs := int(env.Processors)
+
+	// The previous region's achieved rate feeds measurement-driven
+	// policies; the first region reports zero.
+	n := t.policy.Decide(sim.Decision{
+		Time:           t.sampler.Elapsed(),
+		Features:       f,
+		Rate:           t.prevRate,
+		CurrentThreads: t.lastN,
+		MaxThreads:     t.maxN,
+		AvailableProcs: procs,
+		RegionStart:    true,
+		RegionIndex:    t.region,
+	})
+	n = stats.ClampInt(n, 1, t.maxN)
+
+	start := time.Now()
+	RunRegion(k, items, n)
+	elapsed := time.Since(start)
+
+	rate := 0.0
+	if secs := elapsed.Seconds(); secs > 0 {
+		rate = float64(items) / secs
+	}
+	t.prevRate = rate
+	t.lastN = n
+	t.region++
+	t.hist.Add(n)
+	return RegionResult{Workers: n, Items: items, Duration: elapsed, Rate: rate}
+}
+
+// WorkerHistogram returns the distribution of chosen worker counts.
+func (t *Tuner) WorkerHistogram() map[int]float64 { return t.hist.Normalized() }
+
+// Regions returns how many regions have executed.
+func (t *Tuner) Regions() int { return t.region }
+
+// PolicyName reports the wrapped policy.
+func (t *Tuner) PolicyName() string { return t.policy.Name() }

@@ -1,0 +1,99 @@
+package experiments
+
+import (
+	"moe/internal/features"
+	"moe/internal/stats"
+	"moe/internal/trace"
+	"moe/internal/training"
+	"moe/internal/workload"
+)
+
+// AblationGating compares expert-selection mechanisms with the same expert
+// pool: the paper's hyperplane partition (with its offline prior), the
+// hyperplane partition without the offline prior (pure online, §5.3 as
+// written), a pure recent-accuracy EMA gate, and a random gate (lower
+// bound). The oracle policy bounds the achievable headroom.
+func (l *Lab) AblationGating(sc Scale) (*Table, error) {
+	names := []PolicyName{
+		PolicyMixture,
+		PolicyMixtureNoPretrain,
+		PolicyMixtureAccuracyGate,
+		PolicyMixtureRandomGate,
+		PolicyOracle,
+	}
+	labels := map[PolicyName]string{
+		PolicyMixture:             "hyperplane+prior",
+		PolicyMixtureNoPretrain:   "hyperplane online-only",
+		PolicyMixtureAccuracyGate: "accuracy EMA gate",
+		PolicyMixtureRandomGate:   "random gate",
+		PolicyOracle:              "oracle (bound)",
+	}
+	t := &Table{
+		Title:   "Ablation — expert selector variants (speedup over default)",
+		Columns: []string{"small/low", "large/low"},
+	}
+	kinds := []struct {
+		size workload.Size
+		freq trace.Frequency
+	}{
+		{workload.Small, trace.LowFrequency},
+		{workload.Large, trace.LowFrequency},
+	}
+	for _, name := range names {
+		vals := make([]float64, 0, len(kinds))
+		for _, kind := range kinds {
+			var sp []float64
+			for _, target := range sc.Targets {
+				v, _, err := l.targetScenarioSpeedups(target, kind.size, kind.freq, []PolicyName{name}, sc)
+				if err != nil {
+					return nil, err
+				}
+				sp = append(sp, v[name])
+			}
+			vals = append(vals, stats.HMean(sp))
+		}
+		t.AddRow(labels[name], vals...)
+	}
+	return t, nil
+}
+
+// AblationFeatures measures how the thread predictor degrades when trained
+// on reduced feature sets: environment-only (no code features) and
+// code-only (no environment), versus the full 10 features — the design
+// choice behind Table 1's mixed feature set.
+func (l *Lab) AblationFeatures() (*Table, error) {
+	t := &Table{
+		Title:   "Ablation — feature-set content (leave-one-program-out accuracy)",
+		Columns: []string{"accuracy", "MAE"},
+	}
+	masks := []struct {
+		label string
+		keep  func(i int) bool
+	}{
+		{"full 10 features", func(int) bool { return true }},
+		{"environment only", func(i int) bool { return i >= 3 }},
+		{"code only", func(i int) bool { return i < 3 }},
+	}
+	for _, m := range masks {
+		acc, mae, err := l.maskedCV(m.keep)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(m.label, acc, mae)
+	}
+	return t, nil
+}
+
+// maskedCV runs leave-one-program-out cross validation of the thread
+// predictor with a feature mask.
+func (l *Lab) maskedCV(keep func(i int) bool) (accuracy, mae float64, err error) {
+	mask := make([]bool, features.Dim)
+	for i := range mask {
+		mask[i] = keep(i)
+	}
+	metrics, err := training.CrossValidateThreadMasked(l.DS, mask)
+	if err != nil {
+		return 0, 0, err
+	}
+	return metrics.Accuracy, metrics.MAE, nil
+}

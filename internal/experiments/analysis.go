@@ -1,0 +1,351 @@
+package experiments
+
+import (
+	"fmt"
+
+	"moe/internal/core"
+	"moe/internal/sim"
+	"moe/internal/stats"
+	"moe/internal/trace"
+	"moe/internal/training"
+	"moe/internal/workload"
+)
+
+// Affinity reproduces Fig 14b (§7.6): every policy with and without
+// affinity scheduling, in the small-workload low-frequency setting ("the
+// scenario likely to benefit most from thread scheduling"), averaged over
+// targets.
+func (l *Lab) Affinity(sc Scale) (*Table, error) {
+	t := &Table{
+		Title:   "Fig 14b — affinity scheduling impact (small workload, low frequency)",
+		Columns: []string{"no-affinity", "affinity", "gain"},
+	}
+	for _, name := range BaselinePolicies {
+		var off, on []float64
+		for _, target := range sc.Targets {
+			for si, set := range workload.Sets(workload.Small) {
+				spec := ScenarioSpec{
+					Target:   target,
+					Workload: set.Programs,
+					HWFreq:   trace.LowFrequency,
+					Seed:     sc.Seed + uint64(si)*7907,
+				}
+				sp, _, err := l.scenarioSpeedups(spec, []PolicyName{name}, sc.Repeats)
+				if err != nil {
+					return nil, err
+				}
+				off = append(off, sp[name])
+
+				spec.Affinity = true
+				spA, _, err := l.scenarioSpeedups(spec, []PolicyName{name}, sc.Repeats)
+				if err != nil {
+					return nil, err
+				}
+				on = append(on, spA[name])
+			}
+		}
+		o, a := stats.HMean(off), stats.HMean(on)
+		t.AddRow(string(name), o, a, a/o)
+	}
+	t.Notes = append(t.Notes,
+		"speedups are over the default policy *without* affinity in the same scenario",
+	)
+	return t, nil
+}
+
+// MonolithicVsMixture reproduces Fig 14c (§7.7): a single aggregate model
+// trained on the same total data versus the four-expert mixture, averaged
+// over the dynamic scenarios.
+func (l *Lab) MonolithicVsMixture(sc Scale) (*Table, error) {
+	names := []PolicyName{PolicyMonolithic, PolicyMixture}
+	t := &Table{
+		Title:   "Fig 14c — monolithic model vs mixture of experts (speedup over default)",
+		Columns: policyColumns(names),
+	}
+	per := make(map[PolicyName][]float64)
+	for _, kind := range scenarioKinds {
+		for _, target := range sc.Targets {
+			sp, _, err := l.targetScenarioSpeedups(target, kind.Size, kind.Freq, names, sc)
+			if err != nil {
+				return nil, err
+			}
+			for _, n := range names {
+				per[n] = append(per[n], sp[n])
+			}
+		}
+	}
+	vals := make([]float64, len(names))
+	for i, n := range names {
+		vals[i] = stats.HMean(per[n])
+	}
+	t.AddRow("hmean", vals...)
+	return t, nil
+}
+
+// mixtureStats runs the mixture in every dynamic scenario and accumulates
+// its Snapshot statistics; shared by the Fig 15 and Fig 17 experiments.
+func (l *Lab) mixtureStats(sc Scale) (map[string][]core.Stats, error) {
+	out := make(map[string][]core.Stats)
+	for _, kind := range scenarioKinds {
+		for _, target := range sc.Targets {
+			for si, set := range workload.Sets(kind.Size) {
+				spec := ScenarioSpec{
+					Target:   target,
+					Workload: set.Programs,
+					HWFreq:   kind.Freq,
+					Seed:     sc.Seed + uint64(si)*7907,
+				}
+				run, err := l.Run(spec, PolicyMixture)
+				if err != nil {
+					return nil, err
+				}
+				mix, ok := run.Policy.(*core.Mixture)
+				if !ok {
+					return nil, fmt.Errorf("experiments: mixture policy has unexpected type %T", run.Policy)
+				}
+				out[kind.Label] = append(out[kind.Label], mix.Snapshot())
+			}
+		}
+	}
+	return out, nil
+}
+
+// EnvAccuracy reproduces Fig 15a: the environment-prediction accuracy of
+// each expert (normalized difference between observed and predicted
+// environment within tolerance) and of the mixture's chosen expert,
+// averaged across all dynamic scenarios.
+func (l *Lab) EnvAccuracy(sc Scale) (*Table, error) {
+	statsByKind, err := l.mixtureStats(sc)
+	if err != nil {
+		return nil, err
+	}
+	var expertAcc [4][]float64
+	var mixAcc []float64
+	for _, snaps := range statsByKind {
+		for _, s := range snaps {
+			for k := 0; k < len(s.EnvAccuracy) && k < 4; k++ {
+				expertAcc[k] = append(expertAcc[k], s.EnvAccuracy[k])
+			}
+			mixAcc = append(mixAcc, s.MixtureEnvAccuracy)
+		}
+	}
+	t := &Table{
+		Title:   "Fig 15a — environment predictor accuracy",
+		Columns: []string{"accuracy"},
+	}
+	for k := 0; k < 4; k++ {
+		t.AddRow(fmt.Sprintf("E%d", k+1), stats.Mean(expertAcc[k]))
+	}
+	t.AddRow("mixture", stats.Mean(mixAcc))
+	return t, nil
+}
+
+// SelectionFrequency reproduces Fig 15b: how often each expert is selected
+// in each dynamic scenario.
+func (l *Lab) SelectionFrequency(sc Scale) (*Table, error) {
+	statsByKind, err := l.mixtureStats(sc)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Title:   "Fig 15b — expert selection frequency per scenario",
+		Columns: []string{"E1", "E2", "E3", "E4"},
+	}
+	for _, kind := range scenarioKinds {
+		var frac [4][]float64
+		for _, s := range statsByKind[kind.Label] {
+			for k := 0; k < len(s.SelectionFraction) && k < 4; k++ {
+				frac[k] = append(frac[k], s.SelectionFraction[k])
+			}
+		}
+		t.AddRow(kind.Label,
+			stats.Mean(frac[0]), stats.Mean(frac[1]), stats.Mean(frac[2]), stats.Mean(frac[3]))
+	}
+	return t, nil
+}
+
+// NumExperts reproduces Fig 15c (§8.3): target speedup with each individual
+// expert and with mixtures of growing size, in the large-workload
+// low-frequency scenario.
+func (l *Lab) NumExperts(sc Scale) (*Table, error) {
+	t := &Table{
+		Title:   "Fig 15c — effect of the number of experts (large workload, low frequency)",
+		Columns: []string{"speedup"},
+	}
+	sets := workload.Sets(workload.Large)
+
+	// Individual experts.
+	for k := 0; k < 4; k++ {
+		var sp []float64
+		for _, target := range sc.Targets {
+			for si, set := range sets {
+				v, err := l.comparativeRun(target, set.Programs, trace.LowFrequency, sc, uint64(si),
+					func(uint64) (sim.Policy, error) { return l.SingleExpertPolicy(target, k) })
+				if err != nil {
+					return nil, err
+				}
+				sp = append(sp, v)
+			}
+		}
+		t.AddRow(fmt.Sprintf("E%d alone", k+1), stats.HMean(sp))
+	}
+	// Growing mixtures.
+	for k := 2; k <= 4; k++ {
+		var sp []float64
+		for _, target := range sc.Targets {
+			for si, set := range sets {
+				v, err := l.comparativeRun(target, set.Programs, trace.LowFrequency, sc, uint64(si),
+					func(uint64) (sim.Policy, error) { return l.SubsetMixturePolicy(target, k) })
+				if err != nil {
+					return nil, err
+				}
+				sp = append(sp, v)
+			}
+		}
+		t.AddRow(fmt.Sprintf("mixture of %d", k), stats.HMean(sp))
+	}
+	return t, nil
+}
+
+// Granularity reproduces Fig 16 (§8.4): monolithic vs 4 experts vs 8
+// experts in the small-workload low-frequency scenario.
+func (l *Lab) Granularity(sc Scale) (*Table, error) {
+	names := []PolicyName{PolicyMonolithic, PolicyMixture, PolicyMixture8}
+	t := &Table{
+		Title:   "Fig 16 — expert granularity (small workload, low frequency)",
+		Columns: []string{"speedup"},
+	}
+	labels := map[PolicyName]string{
+		PolicyMonolithic: "monolithic",
+		PolicyMixture:    "4 experts",
+		PolicyMixture8:   "8 experts",
+	}
+	for _, name := range names {
+		var sp []float64
+		for _, target := range sc.Targets {
+			v, _, err := l.targetScenarioSpeedups(target, workload.Small, trace.LowFrequency, []PolicyName{name}, sc)
+			if err != nil {
+				return nil, err
+			}
+			sp = append(sp, v[name])
+		}
+		t.AddRow(labels[name], stats.HMean(sp))
+	}
+	return t, nil
+}
+
+// ThreadDistribution reproduces Fig 17: the distribution of thread numbers
+// chosen by each individual expert and by the mixture, pooled over the
+// dynamic scenarios. Reported as the share of decisions in thread-count
+// quartile bands of the 32-core machine.
+func (l *Lab) ThreadDistribution(sc Scale) (*Table, error) {
+	bands := []struct {
+		label  string
+		lo, hi int
+	}{
+		{"1-8", 1, 8},
+		{"9-16", 9, 16},
+		{"17-24", 17, 24},
+		{"25-32", 25, 32},
+	}
+	cols := make([]string, len(bands))
+	for i, b := range bands {
+		cols[i] = b.label
+	}
+	t := &Table{Title: "Fig 17 — thread number distribution", Columns: cols}
+
+	sets := workload.Sets(workload.Small)
+	collect := func(build func(target string) (*core.Mixture, error)) (*stats.Histogram, error) {
+		hist := stats.NewHistogram()
+		for _, target := range sc.Targets {
+			for si, set := range sets {
+				spec := ScenarioSpec{
+					Target:   target,
+					Workload: set.Programs,
+					HWFreq:   trace.LowFrequency,
+					Seed:     sc.Seed + uint64(si)*7907,
+				}
+				pol, err := build(target)
+				if err != nil {
+					return nil, err
+				}
+				run, err := l.RunWithPolicy(spec, pol)
+				if err != nil {
+					return nil, err
+				}
+				mix := run.Policy.(*core.Mixture)
+				for bin, frac := range mix.Snapshot().ThreadHistogram {
+					hist.AddN(bin, int(frac*1000))
+				}
+			}
+		}
+		return hist, nil
+	}
+
+	addRow := func(label string, hist *stats.Histogram) {
+		vals := make([]float64, len(bands))
+		for i, b := range bands {
+			count := 0
+			for bin := b.lo; bin <= b.hi; bin++ {
+				count += hist.Count(bin)
+			}
+			if hist.Total() > 0 {
+				vals[i] = float64(count) / float64(hist.Total())
+			}
+		}
+		t.AddRow(label, vals...)
+	}
+
+	for k := 0; k < 4; k++ {
+		kk := k
+		hist, err := collect(func(target string) (*core.Mixture, error) {
+			p, err := l.SingleExpertPolicy(target, kk)
+			if err != nil {
+				return nil, err
+			}
+			return p.(*core.Mixture), nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		addRow(fmt.Sprintf("E%d", k+1), hist)
+	}
+	hist, err := collect(func(target string) (*core.Mixture, error) {
+		m, err := l.models(target)
+		if err != nil {
+			return nil, err
+		}
+		return training.NewMixturePolicy(m.sub, m.set4)
+	})
+	if err != nil {
+		return nil, err
+	}
+	addRow("mixture", hist)
+	return t, nil
+}
+
+// comparativeRun measures exec-time speedup of a custom-built policy over
+// the default in one scenario configuration, averaged over repeats.
+func (l *Lab) comparativeRun(target string, wl []string, freq trace.Frequency, sc Scale, salt uint64,
+	build func(seed uint64) (sim.Policy, error)) (float64, error) {
+	var base, pol float64
+	for r := 0; r < max(1, sc.Repeats); r++ {
+		seed := sc.Seed + salt*7907 + uint64(r)*1000003
+		spec := ScenarioSpec{Target: target, Workload: wl, HWFreq: freq, Seed: seed}
+		b, err := l.Run(spec, PolicyDefault)
+		if err != nil {
+			return 0, err
+		}
+		p, err := build(seed)
+		if err != nil {
+			return 0, err
+		}
+		out, err := l.RunWithPolicy(spec, p)
+		if err != nil {
+			return 0, err
+		}
+		base += b.ExecTime
+		pol += out.ExecTime
+	}
+	return base / pol, nil
+}

@@ -1,0 +1,130 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ASCII bar rendering for experiment tables, so `moebench -chart` shows the
+// figures as figures. One bar per (row, column) value, scaled to the
+// table's maximum.
+
+// chartWidth is the bar length of the largest value.
+const chartWidth = 48
+
+// Chart renders the table as horizontal bars. Values are assumed
+// non-negative (speedups, fractions); negative values render as empty bars
+// with the numeric value still printed.
+func (t *Table) Chart() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s ==\n", t.Title)
+
+	maxVal := 0.0
+	for _, r := range t.Rows {
+		for _, v := range r.Values {
+			if v > maxVal {
+				maxVal = v
+			}
+		}
+	}
+	if maxVal <= 0 {
+		maxVal = 1
+	}
+	labelW := 10
+	for _, r := range t.Rows {
+		if len(r.Label) > labelW {
+			labelW = len(r.Label)
+		}
+	}
+	colW := 8
+	for _, c := range t.Columns {
+		if len(c) > colW {
+			colW = len(c)
+		}
+	}
+
+	for _, r := range t.Rows {
+		for i, v := range r.Values {
+			col := ""
+			if i < len(t.Columns) {
+				col = t.Columns[i]
+			}
+			label := ""
+			if i == 0 {
+				label = r.Label
+			}
+			bar := 0
+			if v > 0 {
+				bar = int(v / maxVal * chartWidth)
+				if bar == 0 {
+					bar = 1
+				}
+			}
+			fmt.Fprintf(&b, "%-*s  %-*s %7.3f  %s\n", labelW, label, colW, col, v, strings.Repeat("█", bar))
+		}
+		if len(r.Values) > 1 {
+			b.WriteByte('\n')
+		}
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// Sparkline renders a numeric series as a compact unicode sparkline, used
+// by the timeline tooling.
+func Sparkline(values []float64) string {
+	if len(values) == 0 {
+		return ""
+	}
+	ticks := []rune("▁▂▃▄▅▆▇█")
+	lo, hi := values[0], values[0]
+	for _, v := range values {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	span := hi - lo
+	var b strings.Builder
+	for _, v := range values {
+		idx := 0
+		if span > 0 {
+			idx = int((v - lo) / span * float64(len(ticks)-1))
+		}
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(ticks) {
+			idx = len(ticks) - 1
+		}
+		b.WriteRune(ticks[idx])
+	}
+	return b.String()
+}
+
+// TimelineSparklines summarizes Fig 2 timelines as one sparkline per
+// policy plus the environment, a compact alternative to FormatTimeline.
+func TimelineSparklines(points []TimelinePoint) string {
+	if len(points) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	series := func(extract func(TimelinePoint) float64) []float64 {
+		out := make([]float64, len(points))
+		for i, p := range points {
+			out[i] = extract(p)
+		}
+		return out
+	}
+	fmt.Fprintf(&b, "%-12s %s\n", "procs", Sparkline(series(func(p TimelinePoint) float64 { return float64(p.Processors) })))
+	fmt.Fprintf(&b, "%-12s %s\n", "wl-threads", Sparkline(series(func(p TimelinePoint) float64 { return float64(p.WorkloadThreads) })))
+	for _, name := range []PolicyName{PolicyDefault, PolicyAnalytic, "expert1", "expert2", PolicyMixture} {
+		n := name
+		fmt.Fprintf(&b, "%-12s %s\n", n, Sparkline(series(func(p TimelinePoint) float64 { return float64(p.Threads[n]) })))
+	}
+	return b.String()
+}

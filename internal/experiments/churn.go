@@ -1,0 +1,142 @@
+package experiments
+
+import (
+	"fmt"
+
+	"moe/internal/sim"
+	"moe/internal/stats"
+	"moe/internal/trace"
+	"moe/internal/workload"
+)
+
+// Churn extends the paper's fixed-workload scenarios with the arrival and
+// departure pattern of the Fig 1 production log: workload programs arrive
+// in staggered waves and *leave when they finish* instead of looping
+// forever, so the external load rises and falls during the target's run.
+// This is the regime the paper's introduction motivates ("the environment
+// is shared, dynamic and unknown") distilled into one experiment: policies
+// must ride load transitions in both directions.
+func (l *Lab) Churn(sc Scale) (*Table, error) {
+	t := &Table{
+		Title:   "Churn — workloads arriving and departing mid-run (speedup over default)",
+		Columns: policyColumns(BaselinePolicies),
+	}
+	per := make(map[PolicyName][]float64)
+	for ti, target := range sc.Targets {
+		speedups, err := l.churnSpeedups(target, sc, uint64(ti))
+		if err != nil {
+			return nil, err
+		}
+		vals := make([]float64, len(BaselinePolicies))
+		for i, n := range BaselinePolicies {
+			vals[i] = speedups[n]
+			per[n] = append(per[n], speedups[n])
+		}
+		t.AddRow(target, vals...)
+	}
+	hm := make([]float64, len(BaselinePolicies))
+	for i, n := range BaselinePolicies {
+		hm[i] = stats.HMean(per[n])
+	}
+	t.AddRow("hmean", hm...)
+	return t, nil
+}
+
+// churnSpeedups runs the churn scenario for one target under every policy
+// with identical conditions.
+func (l *Lab) churnSpeedups(target string, sc Scale, salt uint64) (map[PolicyName]float64, error) {
+	run := func(name PolicyName, seed uint64) (float64, error) {
+		p, err := l.NewPolicy(name, target, seed)
+		if err != nil {
+			return 0, err
+		}
+		out, err := l.runChurn(target, p, seed)
+		if err != nil {
+			return 0, err
+		}
+		return out, nil
+	}
+	out := make(map[PolicyName]float64, len(BaselinePolicies))
+	for r := 0; r < max(1, sc.Repeats); r++ {
+		seed := sc.Seed + salt*104729 + uint64(r)*1000003
+		base, err := run(PolicyDefault, seed)
+		if err != nil {
+			return nil, err
+		}
+		for _, name := range BaselinePolicies {
+			v, err := run(name, seed)
+			if err != nil {
+				return nil, err
+			}
+			out[name] += v / base / float64(max(1, sc.Repeats))
+		}
+	}
+	// Convert accumulated time ratios into speedups.
+	for name, ratio := range out {
+		out[name] = 1 / ratio
+	}
+	return out, nil
+}
+
+// runChurn assembles the arrival/departure scenario: three waves of
+// finite (non-looping) workload programs, staggered so load rises, peaks
+// and drains during the target's execution, plus hardware churn.
+func (l *Lab) runChurn(target string, p sim.Policy, seed uint64) (float64, error) {
+	prog, err := workload.ByName(target)
+	if err != nil {
+		return 0, err
+	}
+	machine := l.Eval
+	hw, err := trace.GenerateHardware(trace.NewRNG(seed^0xc4a412), machine.Cores, trace.LowFrequency, DefaultMaxTime)
+	if err != nil {
+		return 0, err
+	}
+	machine.Hardware = hw
+
+	waves := []struct {
+		programs []string
+		delay    float64
+	}{
+		{[]string{"cg", "ft"}, 0},
+		{[]string{"bt", "art", "is"}, 60},
+		{[]string{"mg", "equake"}, 150},
+	}
+	specs := []sim.ProgramSpec{{Program: prog.Clone(), Policy: p, Target: true}}
+	for wi, wave := range waves {
+		for pi, name := range wave.programs {
+			wp, err := workload.ByName(name)
+			if err != nil {
+				return 0, err
+			}
+			dp, err := l.NewPolicy(PolicyDefault, name, seed+uint64(wi*7+pi))
+			if err != nil {
+				return 0, err
+			}
+			specs = append(specs, sim.ProgramSpec{
+				Program:    wp.Clone(),
+				Policy:     dp,
+				StartDelay: wave.delay,
+				// Non-looping: each program departs when it finishes.
+			})
+		}
+	}
+	res, err := sim.Run(sim.Scenario{
+		Machine:   machine,
+		Programs:  specs,
+		MaxTime:   DefaultMaxTime,
+		RateNoise: DefaultRateNoise,
+		Seed:      seed,
+	})
+	if err != nil {
+		return 0, err
+	}
+	tr, err := res.Target()
+	if err != nil {
+		return 0, err
+	}
+	exec, err := effectiveExecTime(tr, prog.TotalWork(), DefaultMaxTime)
+	if err != nil {
+		return 0, fmt.Errorf("experiments: churn target %s: %w", target, err)
+	}
+	return exec, nil
+}

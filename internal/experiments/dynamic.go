@@ -1,0 +1,230 @@
+package experiments
+
+import (
+	"fmt"
+
+	"moe/internal/stats"
+	"moe/internal/trace"
+	"moe/internal/workload"
+)
+
+// Scale sizes an experiment sweep. The paper evaluates every benchmark with
+// three repeats; quick scale keeps CI and bench runs affordable.
+type Scale struct {
+	// Targets are the evaluated benchmark programs.
+	Targets []string
+	// Repeats per configuration (§6.1 uses 3).
+	Repeats int
+	// Seed bases all scenario seeds.
+	Seed uint64
+}
+
+// FullScale evaluates all 16 catalog programs with 3 repeats.
+func FullScale() Scale {
+	return Scale{Targets: EvalTargets(), Repeats: DefaultRepeats, Seed: 0xe7a1}
+}
+
+// QuickScale evaluates a representative subset (both scalability classes,
+// all three suites) with one repeat.
+func QuickScale() Scale {
+	return Scale{
+		Targets: []string{"lu", "cg", "bt", "mg", "is", "bscholes", "equake", "fmine"},
+		Repeats: 1,
+		Seed:    0xe7a1,
+	}
+}
+
+// scenarioSpeedups runs one scenario spec under the default baseline plus
+// every named policy with identical seeds, averaged over repeats, and
+// returns speedups over default and relative workload throughput.
+func (l *Lab) scenarioSpeedups(spec ScenarioSpec, names []PolicyName, repeats int) (map[PolicyName]float64, map[PolicyName]float64, error) {
+	if repeats <= 0 {
+		repeats = DefaultRepeats
+	}
+	execSum := make(map[PolicyName]float64, len(names))
+	wlSum := make(map[PolicyName]float64, len(names))
+	var baseExec, baseWL float64
+	for r := 0; r < repeats; r++ {
+		s := spec
+		s.Seed = spec.Seed + uint64(r)*1000003
+		base, err := l.Run(s, PolicyDefault)
+		if err != nil {
+			return nil, nil, err
+		}
+		baseExec += base.ExecTime
+		baseWL += base.WorkloadThroughput
+		for _, name := range names {
+			out, err := l.Run(s, name)
+			if err != nil {
+				return nil, nil, err
+			}
+			execSum[name] += out.ExecTime
+			wlSum[name] += out.WorkloadThroughput
+		}
+	}
+	speedups := make(map[PolicyName]float64, len(names))
+	wlRel := make(map[PolicyName]float64, len(names))
+	for _, name := range names {
+		speedups[name] = baseExec / execSum[name]
+		if baseWL > 0 {
+			wlRel[name] = wlSum[name] / baseWL
+		}
+	}
+	return speedups, wlRel, nil
+}
+
+// targetScenarioSpeedups averages a target's speedups over the Table 3
+// workload sets of the given size ("all results are averaged over these
+// different benchmark sets", §6.4).
+func (l *Lab) targetScenarioSpeedups(target string, size workload.Size, freq trace.Frequency, names []PolicyName, sc Scale) (map[PolicyName]float64, map[PolicyName]float64, error) {
+	sets := workload.Sets(size)
+	if len(sets) == 0 {
+		return nil, nil, fmt.Errorf("experiments: no workload sets for size %q", size)
+	}
+	acc := make(map[PolicyName][]float64)
+	accWL := make(map[PolicyName][]float64)
+	for si, set := range sets {
+		spec := ScenarioSpec{
+			Target:   target,
+			Workload: set.Programs,
+			HWFreq:   freq,
+			Seed:     sc.Seed + uint64(si)*7907,
+		}
+		sp, wl, err := l.scenarioSpeedups(spec, names, sc.Repeats)
+		if err != nil {
+			return nil, nil, err
+		}
+		for _, n := range names {
+			acc[n] = append(acc[n], sp[n])
+			accWL[n] = append(accWL[n], wl[n])
+		}
+	}
+	out := make(map[PolicyName]float64, len(names))
+	outWL := make(map[PolicyName]float64, len(names))
+	for _, n := range names {
+		out[n] = stats.Mean(acc[n])
+		outWL[n] = stats.Mean(accWL[n])
+	}
+	return out, outWL, nil
+}
+
+// DynamicScenario reproduces one of Figs 9–12: per-benchmark speedups over
+// the OpenMP default for each policy, in one workload-size ×
+// hardware-frequency setting, with the harmonic mean in the final row.
+func (l *Lab) DynamicScenario(size workload.Size, freq trace.Frequency, sc Scale) (*Table, error) {
+	t := &Table{
+		Title:   fmt.Sprintf("Speedup over default — %s workload, %s frequency hardware change", size, freq),
+		Columns: policyColumns(BaselinePolicies),
+	}
+	perPolicy := make(map[PolicyName][]float64)
+	for _, target := range sc.Targets {
+		sp, _, err := l.targetScenarioSpeedups(target, size, freq, BaselinePolicies, sc)
+		if err != nil {
+			return nil, err
+		}
+		vals := make([]float64, len(BaselinePolicies))
+		for i, n := range BaselinePolicies {
+			vals[i] = sp[n]
+			perPolicy[n] = append(perPolicy[n], sp[n])
+		}
+		t.AddRow(target, vals...)
+	}
+	hm := make([]float64, len(BaselinePolicies))
+	for i, n := range BaselinePolicies {
+		hm[i] = stats.HMean(perPolicy[n])
+	}
+	t.AddRow("hmean", hm...)
+	return t, nil
+}
+
+// scenarioKinds enumerates the four dynamic settings of §7.2.
+var scenarioKinds = []struct {
+	Label string
+	Size  workload.Size
+	Freq  trace.Frequency
+}{
+	{"small/low", workload.Small, trace.LowFrequency},
+	{"small/high", workload.Small, trace.HighFrequency},
+	{"large/low", workload.Large, trace.LowFrequency},
+	{"large/high", workload.Large, trace.HighFrequency},
+}
+
+// Summary reproduces Fig 8: harmonic-mean speedup of each policy per
+// dynamic scenario plus the overall mean and median across all targets and
+// scenarios.
+func (l *Lab) Summary(sc Scale) (*Table, error) {
+	t := &Table{
+		Title:   "Fig 8 — speedup over OpenMP default across dynamic scenarios",
+		Columns: policyColumns(BaselinePolicies),
+	}
+	all := make(map[PolicyName][]float64)
+	for _, kind := range scenarioKinds {
+		per := make(map[PolicyName][]float64)
+		for _, target := range sc.Targets {
+			sp, _, err := l.targetScenarioSpeedups(target, kind.Size, kind.Freq, BaselinePolicies, sc)
+			if err != nil {
+				return nil, err
+			}
+			for _, n := range BaselinePolicies {
+				per[n] = append(per[n], sp[n])
+				all[n] = append(all[n], sp[n])
+			}
+		}
+		vals := make([]float64, len(BaselinePolicies))
+		for i, n := range BaselinePolicies {
+			vals[i] = stats.HMean(per[n])
+		}
+		t.AddRow(kind.Label, vals...)
+	}
+	mean := make([]float64, len(BaselinePolicies))
+	med := make([]float64, len(BaselinePolicies))
+	for i, n := range BaselinePolicies {
+		mean[i] = stats.HMean(all[n])
+		m, err := stats.Median(all[n])
+		if err != nil {
+			return nil, err
+		}
+		med[i] = m
+	}
+	t.AddRow("hmean", mean...)
+	t.AddRow("median", med...)
+	return t, nil
+}
+
+// Static reproduces Fig 7: each policy on an isolated static system (no
+// workload, fixed processor count). The mixture must add no overhead here
+// (Result 1).
+func (l *Lab) Static(sc Scale) (*Table, error) {
+	t := &Table{
+		Title:   "Fig 7 — isolated static system (speedup over default)",
+		Columns: policyColumns(BaselinePolicies),
+	}
+	perPolicy := make(map[PolicyName][]float64)
+	for _, target := range sc.Targets {
+		spec := ScenarioSpec{Target: target, HWFreq: trace.Static, Seed: sc.Seed}
+		sp, _, err := l.scenarioSpeedups(spec, BaselinePolicies, sc.Repeats)
+		if err != nil {
+			return nil, err
+		}
+		vals := make([]float64, len(BaselinePolicies))
+		for i, n := range BaselinePolicies {
+			vals[i] = sp[n]
+			perPolicy[n] = append(perPolicy[n], sp[n])
+		}
+		t.AddRow(target, vals...)
+	}
+	hm := make([]float64, len(BaselinePolicies))
+	for i, n := range BaselinePolicies {
+		hm[i] = stats.HMean(perPolicy[n])
+	}
+	t.AddRow("hmean", hm...)
+	return t, nil
+}
+
+func policyColumns(names []PolicyName) []string {
+	out := make([]string, len(names))
+	for i, n := range names {
+		out[i] = string(n)
+	}
+	return out
+}

@@ -1,0 +1,122 @@
+package experiments
+
+import (
+	"moe/internal/stats"
+)
+
+// WorkloadImpact reproduces Fig 13a: the effect of each target policy on
+// co-executing workload performance, relative to the default policy,
+// averaged across all experiment settings. Result 3: the mixture never
+// slows workloads and improves them on average (reduced system-wide
+// contention benefits everyone).
+func (l *Lab) WorkloadImpact(sc Scale) (*Table, error) {
+	t := &Table{
+		Title:   "Fig 13a — workload performance relative to default",
+		Columns: policyColumns(BaselinePolicies),
+	}
+	per := make(map[PolicyName][]float64)
+	for _, kind := range scenarioKinds {
+		for _, target := range sc.Targets {
+			_, wl, err := l.targetScenarioSpeedups(target, kind.Size, kind.Freq, BaselinePolicies, sc)
+			if err != nil {
+				return nil, err
+			}
+			for _, n := range BaselinePolicies {
+				per[n] = append(per[n], wl[n])
+			}
+		}
+	}
+	vals := make([]float64, len(BaselinePolicies))
+	for i, n := range BaselinePolicies {
+		vals[i] = stats.HMean(per[n])
+	}
+	t.AddRow("workload", vals...)
+	return t, nil
+}
+
+// AdaptivePairs reproduces Fig 13b (§7.4): both the target and the workload
+// adapt with the same policy; the reported value is the combined speedup of
+// the pair over both running the default, averaged across program pairs.
+// Result 4: smart policies on both sides create a win–win, and the mixture
+// most of all.
+func (l *Lab) AdaptivePairs(sc Scale) (*Table, error) {
+	t := &Table{
+		Title:   "Fig 13b — both programs adaptive (combined speedup over default/default)",
+		Columns: policyColumns(BaselinePolicies),
+	}
+
+	// Program pairs: each target with a partner of the opposite
+	// scalability character, cycling through the scale's target list.
+	targets := sc.Targets
+	per := make(map[PolicyName][]float64)
+	for i, target := range targets {
+		partner := targets[(i+len(targets)/2)%len(targets)]
+		if partner == target {
+			continue
+		}
+		for _, name := range BaselinePolicies {
+			combined, err := l.adaptivePair(target, partner, name, sc, uint64(i))
+			if err != nil {
+				return nil, err
+			}
+			per[name] = append(per[name], combined)
+		}
+	}
+	vals := make([]float64, len(BaselinePolicies))
+	for i, n := range BaselinePolicies {
+		vals[i] = stats.HMean(per[n])
+	}
+	t.AddRow("pair", vals...)
+	return t, nil
+}
+
+// adaptivePair measures the combined-execution speedup when target and
+// partner both use the named policy versus both using the default. The
+// combined metric is the harmonic mean of the two programs' individual
+// speedups (equal weight to both sides of the pair).
+func (l *Lab) adaptivePair(target, partner string, name PolicyName, sc Scale, salt uint64) (float64, error) {
+	run := func(policyName PolicyName) (float64, float64, error) {
+		var sumT, sumW float64
+		for r := 0; r < max(1, sc.Repeats); r++ {
+			spec := ScenarioSpec{
+				Target:         target,
+				Workload:       []string{partner},
+				HWFreq:         scenarioKinds[0].Freq,
+				WorkloadPolicy: policyName,
+				Seed:           sc.Seed + salt*65537 + uint64(r)*1000003,
+			}
+			out, err := l.Run(spec, policyName)
+			if err != nil {
+				return 0, 0, err
+			}
+			sumT += out.ExecTime
+			sumW += out.WorkloadThroughput
+		}
+		return sumT, sumW, nil
+	}
+	baseT, baseW, err := run(PolicyDefault)
+	if err != nil {
+		return 0, err
+	}
+	polT, polW, err := run(name)
+	if err != nil {
+		return 0, err
+	}
+	spT := baseT / polT
+	spW := 1.0
+	if baseW > 0 && polW > 0 {
+		spW = polW / baseW
+	}
+	h, err := stats.HarmonicMean([]float64{spT, spW})
+	if err != nil {
+		return 0, err
+	}
+	return h, nil
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,206 @@
+package experiments
+
+import (
+	"fmt"
+	"sync"
+
+	"moe/internal/core"
+	"moe/internal/expert"
+	"moe/internal/policy"
+	"moe/internal/sim"
+	"moe/internal/training"
+	"moe/internal/workload"
+)
+
+// PolicyName identifies a thread-selection policy under evaluation.
+type PolicyName string
+
+// The policies of §6.3 plus the analysis/ablation variants.
+const (
+	PolicyDefault  PolicyName = "default"
+	PolicyOnline   PolicyName = "online"
+	PolicyOffline  PolicyName = "offline"
+	PolicyAnalytic PolicyName = "analytic"
+	PolicyMixture  PolicyName = "mixture"
+	// PolicyMixture2 and PolicyMixture8 vary the expert pool size (§3,
+	// §8.4).
+	PolicyMixture2 PolicyName = "mixture2"
+	PolicyMixture8 PolicyName = "mixture8"
+	// PolicyMonolithic runs the single aggregate model with the full
+	// mixture machinery (§7.7 / Fig 14c).
+	PolicyMonolithic PolicyName = "monolithic"
+	// PolicyOracle uses the simulator's ground truth (headroom bound).
+	PolicyOracle PolicyName = "oracle"
+	// Ablation variants of the mixture's selector.
+	PolicyMixtureAccuracyGate PolicyName = "mixture-accuracy-gate"
+	PolicyMixtureRandomGate   PolicyName = "mixture-random-gate"
+	PolicyMixtureNoPretrain   PolicyName = "mixture-no-pretrain"
+)
+
+// BaselinePolicies are the schemes of every headline figure, in the order
+// the paper lists them.
+var BaselinePolicies = []PolicyName{PolicyOnline, PolicyOffline, PolicyAnalytic, PolicyMixture}
+
+// Lab owns the trained models and hands out policy instances. Expert sets
+// respect the paper's leave-one-out deployment rule (§5.2.3): models used
+// for a target are trained without that target's data.
+type Lab struct {
+	// DS is the full training dataset (NAS programs, both platforms).
+	DS *training.DataSet
+	// Eval is the evaluation machine (Table 2).
+	Eval sim.MachineConfig
+
+	mu    sync.Mutex
+	cache map[string]*targetModels
+}
+
+// targetModels are the per-excluded-target model builds.
+type targetModels struct {
+	sub  *training.DataSet
+	set2 expert.Set
+	set4 expert.Set
+	set8 expert.Set
+	mono *expert.Expert
+}
+
+// NewLab generates training data and returns a ready lab. The zero Config
+// value selects the paper's training setup.
+func NewLab(cfg training.Config) (*Lab, error) {
+	ds, err := training.Generate(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Lab{DS: ds, Eval: sim.Eval32(), cache: make(map[string]*targetModels)}, nil
+}
+
+// NewLabFromData wraps an existing dataset (used by tests that share one
+// generation across many experiments).
+func NewLabFromData(ds *training.DataSet) *Lab {
+	return &Lab{DS: ds, Eval: sim.Eval32(), cache: make(map[string]*targetModels)}
+}
+
+// models returns (building and caching on first use) the model set trained
+// without the named target program.
+func (l *Lab) models(target string) (*targetModels, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if m, ok := l.cache[target]; ok {
+		return m, nil
+	}
+	sub := l.DS.ExcludeProgram(target)
+	set2, err := training.BuildExperts2(sub)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: experts2 without %s: %w", target, err)
+	}
+	set4, err := training.BuildExperts4(sub)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: experts4 without %s: %w", target, err)
+	}
+	set8, err := training.BuildExperts8(sub)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: experts8 without %s: %w", target, err)
+	}
+	mono, err := training.BuildMonolithic(sub)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: monolithic without %s: %w", target, err)
+	}
+	m := &targetModels{sub: sub, set2: set2, set4: set4, set8: set8, mono: mono}
+	l.cache[target] = m
+	return m, nil
+}
+
+// Experts4 exposes the four-expert pool trained without the target (for
+// analysis experiments that inspect experts directly).
+func (l *Lab) Experts4(target string) (expert.Set, error) {
+	m, err := l.models(target)
+	if err != nil {
+		return nil, err
+	}
+	return m.set4, nil
+}
+
+// TrainingSubset exposes the leave-one-out dataset for a target.
+func (l *Lab) TrainingSubset(target string) (*training.DataSet, error) {
+	m, err := l.models(target)
+	if err != nil {
+		return nil, err
+	}
+	return m.sub, nil
+}
+
+// NewPolicy builds a fresh policy instance of the named kind for the given
+// target program. Policies are stateful; never share one across runs.
+func (l *Lab) NewPolicy(name PolicyName, target string, seed uint64) (sim.Policy, error) {
+	switch name {
+	case PolicyDefault:
+		return policy.NewDefault(), nil
+	case PolicyOnline:
+		return policy.NewOnline(), nil
+	case PolicyAnalytic:
+		return policy.NewAnalytic(policy.AnalyticOptions{Seed: seed}), nil
+	case PolicyOracle:
+		return sim.OraclePolicy{}, nil
+	}
+
+	m, err := l.models(target)
+	if err != nil {
+		return nil, err
+	}
+	switch name {
+	case PolicyOffline:
+		return policy.NewOffline(m.mono.Threads, m.mono.MaxThreads), nil
+	case PolicyMonolithic:
+		return core.NewMixture(expert.Set{m.mono}, core.Options{})
+	case PolicyMixture:
+		return training.NewMixturePolicy(m.sub, m.set4)
+	case PolicyMixture2:
+		return training.NewMixturePolicy(m.sub, m.set2)
+	case PolicyMixture8:
+		return training.NewMixturePolicy(m.sub, m.set8)
+	case PolicyMixtureAccuracyGate:
+		return core.NewMixture(m.set4, core.Options{Selector: core.NewAccuracySelector(len(m.set4), 0)})
+	case PolicyMixtureRandomGate:
+		return core.NewMixture(m.set4, core.Options{Selector: core.NewRandomSelector(len(m.set4), seed)})
+	case PolicyMixtureNoPretrain:
+		return core.NewMixture(m.set4, core.Options{})
+	default:
+		return nil, fmt.Errorf("experiments: unknown policy %q", name)
+	}
+}
+
+// SingleExpertPolicy wraps one expert from the four-expert pool as a
+// standalone policy (the individual bars of Fig 15c).
+func (l *Lab) SingleExpertPolicy(target string, idx int) (sim.Policy, error) {
+	m, err := l.models(target)
+	if err != nil {
+		return nil, err
+	}
+	if idx < 0 || idx >= len(m.set4) {
+		return nil, fmt.Errorf("experiments: expert index %d out of range", idx)
+	}
+	return core.NewMixture(expert.Set{m.set4[idx]}, core.Options{})
+}
+
+// SubsetMixturePolicy builds a mixture over the first k experts of the
+// four-expert pool (the "adding experts" sweep of Fig 15c).
+func (l *Lab) SubsetMixturePolicy(target string, k int) (sim.Policy, error) {
+	m, err := l.models(target)
+	if err != nil {
+		return nil, err
+	}
+	if k < 1 || k > len(m.set4) {
+		return nil, fmt.Errorf("experiments: subset size %d out of range", k)
+	}
+	return training.NewMixturePolicy(m.sub, m.set4[:k])
+}
+
+// EvalTargets returns the benchmark programs evaluated in the paper's
+// figures: every catalog program (NAS + SpecOMP + Parsec, §6.2).
+func EvalTargets() []string {
+	progs := workload.Catalog()
+	names := make([]string, len(progs))
+	for i, p := range progs {
+		names[i] = p.Name
+	}
+	return names
+}

@@ -1,0 +1,153 @@
+package experiments
+
+import (
+	"moe/internal/sim"
+	"moe/internal/stats"
+	"moe/internal/trace"
+	"moe/internal/workload"
+)
+
+// LiveTraceSummary reproduces the Fig 1 observation: it synthesizes the
+// 50-hour production log and reports its activity statistics (peak and mean
+// thread population, capacity-loss window). The window around the 175,000th
+// second — the one §3 zooms into — is summarized separately.
+func LiveTraceSummary(seed uint64) (*Table, error) {
+	cfg := trace.DefaultLiveConfig()
+	lt, err := trace.GenerateLive(trace.NewRNG(seed), cfg)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Title:   "Fig 1 — live-system trace statistics (50 h production log)",
+		Columns: []string{"value"},
+	}
+	points := lt.Points()
+	var sum float64
+	peak := 0
+	minProcs := cfg.MaxProcs
+	for _, p := range points {
+		sum += float64(p.Threads)
+		if p.Threads > peak {
+			peak = p.Threads
+		}
+		if p.Procs < minProcs {
+			minProcs = p.Procs
+		}
+	}
+	t.AddRow("samples", float64(len(points)))
+	t.AddRow("mean threads", sum/float64(len(points)))
+	t.AddRow("peak threads", float64(peak))
+	t.AddRow("max processors", float64(cfg.MaxProcs))
+	t.AddRow("min processors", float64(minProcs))
+
+	window := lt.Window(175000-600, 175000+600)
+	var wsum float64
+	for _, p := range window {
+		wsum += float64(p.Threads)
+	}
+	if len(window) > 0 {
+		t.AddRow("window@175k mean threads", wsum/float64(len(window)))
+	}
+	return t, nil
+}
+
+// LiveStudy reproduces Fig 14a (§7.5): the live workload pattern — including
+// the hardware failure that halves the processors for two hours — replayed
+// scaled-down on the evaluation platform, summarized over all benchmarks.
+func (l *Lab) LiveStudy(sc Scale) (*Table, error) {
+	maxTime := DefaultMaxTime * 1.0
+	// The §7.5 episode scaled down: full capacity, half capacity for the
+	// middle stretch, recovery — proportionally compressed into the
+	// scenario length.
+	hw, err := trace.FailureHardware(l.Eval.Cores, maxTime*0.3, maxTime*0.4)
+	if err != nil {
+		return nil, err
+	}
+
+	t := &Table{
+		Title:   "Fig 14a — live case study with hardware failure (speedup over default)",
+		Columns: policyColumns(BaselinePolicies),
+	}
+	per := make(map[PolicyName][]float64)
+	// The live workload: a mixed bag of co-runners whose thread demand
+	// was scaled with capacity (§7.5) — the default policy does that
+	// naturally (threads = available processors).
+	liveWorkload := []string{"cg", "ft", "art"}
+	for ti, target := range sc.Targets {
+		for _, name := range BaselinePolicies {
+			sp, err := l.liveSpeedup(target, liveWorkload, hw, name, sc, uint64(ti))
+			if err != nil {
+				return nil, err
+			}
+			per[name] = append(per[name], sp)
+		}
+	}
+	vals := make([]float64, len(BaselinePolicies))
+	for i, n := range BaselinePolicies {
+		vals[i] = stats.HMean(per[n])
+	}
+	t.AddRow("hmean", vals...)
+	return t, nil
+}
+
+// liveSpeedup runs one live-study target under a fixed failure trace.
+func (l *Lab) liveSpeedup(target string, wl []string, hw *trace.HardwareTrace, name PolicyName, sc Scale, salt uint64) (float64, error) {
+	run := func(policyName PolicyName, seed uint64) (float64, error) {
+		p, err := l.NewPolicy(policyName, target, seed)
+		if err != nil {
+			return 0, err
+		}
+		prog, err := workload.ByName(target)
+		if err != nil {
+			return 0, err
+		}
+		machine := l.Eval
+		machine.Hardware = hw
+		specs := []sim.ProgramSpec{{Program: prog.Clone(), Policy: p, Target: true}}
+		for i, w := range wl {
+			wp, err := workload.ByName(w)
+			if err != nil {
+				return 0, err
+			}
+			dp, err := l.NewPolicy(PolicyDefault, w, seed+uint64(i))
+			if err != nil {
+				return 0, err
+			}
+			specs = append(specs, sim.ProgramSpec{Program: wp.Clone(), Policy: dp, Loop: true})
+		}
+		res, err := sim.Run(sim.Scenario{
+			Machine:   machine,
+			Programs:  specs,
+			MaxTime:   DefaultMaxTime,
+			RateNoise: DefaultRateNoise,
+			Seed:      seed,
+		})
+		if err != nil {
+			return 0, err
+		}
+		tr, err := res.Target()
+		if err != nil {
+			return 0, err
+		}
+		prog2, err := workload.ByName(target)
+		if err != nil {
+			return 0, err
+		}
+		return effectiveExecTime(tr, prog2.TotalWork(), DefaultMaxTime)
+	}
+	var base, pol float64
+	for r := 0; r < max(1, sc.Repeats); r++ {
+		seed := sc.Seed + salt*99991 + uint64(r)*1000003
+		b, err := run(PolicyDefault, seed)
+		if err != nil {
+			return 0, err
+		}
+		v, err := run(name, seed)
+		if err != nil {
+			return 0, err
+		}
+		base += b
+		pol += v
+	}
+	return base / pol, nil
+}

@@ -1,0 +1,184 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"moe/internal/core"
+	"moe/internal/sim"
+	"moe/internal/trace"
+	"moe/internal/training"
+	"moe/internal/workload"
+)
+
+// TimelinePoint is one sample of the Fig 2 timelines: the environment plus
+// each policy's thread choice at that moment.
+type TimelinePoint struct {
+	Time            float64
+	WorkloadThreads int
+	Processors      int
+	Threads         map[PolicyName]int
+}
+
+// Motivation reproduces the §3 case study: target lu co-executing with
+// workload mg, replaying the window of the live trace around the 175,000th
+// second scaled to the evaluation machine. It returns the per-policy thread
+// timelines (Fig 2) and the resulting speedups over the default (Fig 3).
+// The policy set matches the figure: analytic, the two §3 experts, and the
+// two-expert mixture.
+func (l *Lab) Motivation(seed uint64) ([]TimelinePoint, *Table, error) {
+	const target, wl = "lu", "mg"
+
+	// Scaled-down live window, as §3 describes ("we replicated this
+	// pattern in a scaled down experiment").
+	live, err := trace.GenerateLive(trace.NewRNG(seed), trace.DefaultLiveConfig())
+	if err != nil {
+		return nil, nil, err
+	}
+	window := live.Window(175000-300, 175000+900)
+	hw, _, err := trace.ScaleTo(window, l.Eval.Cores)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	m, err := l.models(target)
+	if err != nil {
+		return nil, nil, err
+	}
+	expertPolicy := func(idx int) (sim.Policy, error) {
+		if idx < 0 || idx >= len(m.set2) {
+			return nil, fmt.Errorf("experiments: motivation expert %d out of range", idx)
+		}
+		return core.NewMixture(m.set2[idx:idx+1], core.Options{})
+	}
+
+	type entry struct {
+		name  PolicyName
+		build func(seed uint64) (sim.Policy, error)
+	}
+	policies := []entry{
+		{PolicyDefault, func(s uint64) (sim.Policy, error) { return l.NewPolicy(PolicyDefault, target, s) }},
+		{PolicyAnalytic, func(s uint64) (sim.Policy, error) { return l.NewPolicy(PolicyAnalytic, target, s) }},
+		{"expert1", func(uint64) (sim.Policy, error) { return expertPolicy(0) }},
+		{"expert2", func(uint64) (sim.Policy, error) { return expertPolicy(1) }},
+		{PolicyMixture, func(uint64) (sim.Policy, error) { return training.NewMixturePolicy(m.sub, m.set2) }},
+	}
+
+	timelines := make(map[PolicyName][]sim.Sample, len(policies))
+	execTimes := make(map[PolicyName]float64, len(policies))
+	for _, e := range policies {
+		p, err := e.build(seed)
+		if err != nil {
+			return nil, nil, err
+		}
+		run, err := l.runOnTrace(target, []string{wl}, hw, p, seed, true)
+		if err != nil {
+			return nil, nil, err
+		}
+		tr, err := run.Result.Target()
+		if err != nil {
+			return nil, nil, err
+		}
+		timelines[e.name] = tr.Samples
+		execTimes[e.name] = run.ExecTime
+	}
+
+	// Merge the per-policy samples onto a common time grid (Fig 2 plots
+	// them against one shared x-axis).
+	var points []TimelinePoint
+	ref := timelines[PolicyDefault]
+	for i, s := range ref {
+		pt := TimelinePoint{
+			Time:            s.Time,
+			WorkloadThreads: s.WorkldThr,
+			Processors:      s.Available,
+			Threads:         make(map[PolicyName]int, len(policies)),
+		}
+		for _, e := range policies {
+			samples := timelines[e.name]
+			if i < len(samples) {
+				pt.Threads[e.name] = samples[i].Threads
+			}
+		}
+		points = append(points, pt)
+	}
+
+	t := &Table{
+		Title:   "Fig 3 — motivation case study (lu vs mg): speedup over default",
+		Columns: []string{"speedup"},
+	}
+	for _, e := range policies[1:] {
+		t.AddRow(string(e.name), execTimes[PolicyDefault]/execTimes[e.name])
+	}
+	return points, t, nil
+}
+
+// runOnTrace runs a single scenario with a caller-fixed hardware trace
+// (ScenarioSpec regenerates hardware from its seed, so fixed-trace
+// experiments bypass it).
+func (l *Lab) runOnTrace(target string, wl []string, hw *trace.HardwareTrace, p sim.Policy, seed uint64, record bool) (*RunOutcome, error) {
+	machine := l.Eval
+	machine.Hardware = hw
+	return l.runDirect(target, wl, machine, p, seed, record)
+}
+
+// runDirect assembles and runs a scenario without trace generation.
+func (l *Lab) runDirect(target string, wl []string, machine sim.MachineConfig, p sim.Policy, seed uint64, record bool) (*RunOutcome, error) {
+	prog, err := workload.ByName(target)
+	if err != nil {
+		return nil, err
+	}
+	specs := []sim.ProgramSpec{{Program: prog.Clone(), Policy: p, Target: true}}
+	for i, w := range wl {
+		wp, err := workload.ByName(w)
+		if err != nil {
+			return nil, err
+		}
+		wp = wp.Clone()
+		dp, err := l.NewPolicy(PolicyDefault, w, seed+uint64(i))
+		if err != nil {
+			return nil, err
+		}
+		specs = append(specs, sim.ProgramSpec{Program: wp, Policy: dp, Loop: true})
+	}
+	res, err := sim.Run(sim.Scenario{
+		Machine:       machine,
+		Programs:      specs,
+		MaxTime:       DefaultMaxTime,
+		RateNoise:     DefaultRateNoise,
+		Seed:          seed,
+		RecordSamples: record,
+	})
+	if err != nil {
+		return nil, err
+	}
+	tr, err := res.Target()
+	if err != nil {
+		return nil, err
+	}
+	exec, err := effectiveExecTime(tr, prog.TotalWork(), DefaultMaxTime)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %s under %s: %w", target, p.Name(), err)
+	}
+	return &RunOutcome{ExecTime: exec, WorkloadThroughput: res.WorkloadThroughput(), Policy: p, Result: res}, nil
+}
+
+// FormatTimeline renders Fig 2 as text: one line per sample window showing
+// the environment and each policy's thread choice.
+func FormatTimeline(points []TimelinePoint, every int) string {
+	if every < 1 {
+		every = 1
+	}
+	var b strings.Builder
+	b.WriteString("time    procs  wl-threads  default  analytic  expert1  expert2  mixture\n")
+	for i, pt := range points {
+		if i%every != 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "%6.1f  %5d  %10d  %7d  %8d  %7d  %7d  %7d\n",
+			pt.Time, pt.Processors, pt.WorkloadThreads,
+			pt.Threads[PolicyDefault], pt.Threads[PolicyAnalytic],
+			pt.Threads["expert1"], pt.Threads["expert2"], pt.Threads[PolicyMixture])
+	}
+	return b.String()
+}

@@ -1,0 +1,64 @@
+package experiments
+
+import (
+	"fmt"
+
+	"moe/internal/sim"
+	"moe/internal/stats"
+	"moe/internal/trace"
+	"moe/internal/workload"
+)
+
+// Portability addresses the paper's stated future work (§9): "To ensure
+// portability and robustness of our approach, we also plan to evaluate on
+// alternative hardware platforms." The experts stay trained on the 12- and
+// 32-core platforms; evaluation runs on machines the models never saw. The
+// mixture must degrade gracefully — the out-of-distribution machinery
+// (speedup-surface extrapolation, applicability gating) exists for exactly
+// this case.
+func (l *Lab) Portability(sc Scale) (*Table, error) {
+	platforms := []struct {
+		label string
+		cfg   sim.MachineConfig
+	}{
+		{"32-core (trained)", sim.Eval32()},
+		{"16-core (unseen)", sim.MachineConfig{Cores: 16, MemoryGB: 32}},
+		{"48-core (unseen)", sim.MachineConfig{Cores: 48, MemoryGB: 96}},
+	}
+	t := &Table{
+		Title:   "Portability (§9) — mixture speedup over default on unseen platforms (small workload, low frequency)",
+		Columns: policyColumns(BaselinePolicies),
+	}
+	saved := l.Eval
+	defer func() { l.Eval = saved }()
+
+	for _, pl := range platforms {
+		l.Eval = pl.cfg
+		per := make(map[PolicyName][]float64)
+		for _, target := range sc.Targets {
+			for si, set := range workload.Sets(workload.Small) {
+				spec := ScenarioSpec{
+					Target:   target,
+					Workload: set.Programs,
+					HWFreq:   trace.LowFrequency,
+					Seed:     sc.Seed + uint64(si)*7907,
+				}
+				sp, _, err := l.scenarioSpeedups(spec, BaselinePolicies, sc.Repeats)
+				if err != nil {
+					return nil, fmt.Errorf("experiments: portability on %s: %w", pl.label, err)
+				}
+				for _, n := range BaselinePolicies {
+					per[n] = append(per[n], sp[n])
+				}
+			}
+		}
+		vals := make([]float64, len(BaselinePolicies))
+		for i, n := range BaselinePolicies {
+			vals[i] = stats.HMean(per[n])
+		}
+		t.AddRow(pl.label, vals...)
+	}
+	t.Notes = append(t.Notes,
+		"experts remain trained on the 12-/32-core platforms; unseen machines exercise the out-of-distribution path")
+	return t, nil
+}

@@ -1,0 +1,97 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation (§3, §5–§8) on the simulator substrate. Each experiment is a
+// function from a Lab (trained models + scenario machinery) to a Table that
+// prints the same rows/series the paper reports. The per-experiment index
+// in DESIGN.md maps figure numbers to the functions here.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a printable experiment result: named rows by named columns.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    []Row
+	// Notes carries methodology remarks printed under the table.
+	Notes []string
+}
+
+// Row is one labelled result line.
+type Row struct {
+	Label  string
+	Values []float64
+}
+
+// AddRow appends a row.
+func (t *Table) AddRow(label string, values ...float64) {
+	t.Rows = append(t.Rows, Row{Label: label, Values: values})
+}
+
+// Get returns the value at (rowLabel, column), for tests and summaries.
+func (t *Table) Get(rowLabel, column string) (float64, error) {
+	col := -1
+	for i, c := range t.Columns {
+		if c == column {
+			col = i
+			break
+		}
+	}
+	if col < 0 {
+		return 0, fmt.Errorf("experiments: table %q has no column %q", t.Title, column)
+	}
+	for _, r := range t.Rows {
+		if r.Label == rowLabel {
+			if col >= len(r.Values) {
+				return 0, fmt.Errorf("experiments: row %q of %q has no column %d", rowLabel, t.Title, col)
+			}
+			return r.Values[col], nil
+		}
+	}
+	return 0, fmt.Errorf("experiments: table %q has no row %q", t.Title, rowLabel)
+}
+
+// MustGet is Get for tests that construct the table themselves.
+func (t *Table) MustGet(rowLabel, column string) float64 {
+	v, err := t.Get(rowLabel, column)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s ==\n", t.Title)
+	labelW := 12
+	for _, r := range t.Rows {
+		if len(r.Label) > labelW {
+			labelW = len(r.Label)
+		}
+	}
+	colW := 9
+	for _, c := range t.Columns {
+		if len(c) > colW {
+			colW = len(c)
+		}
+	}
+	fmt.Fprintf(&b, "%-*s", labelW+2, "")
+	for _, c := range t.Columns {
+		fmt.Fprintf(&b, "%*s", colW+2, c)
+	}
+	b.WriteByte('\n')
+	for _, r := range t.Rows {
+		fmt.Fprintf(&b, "%-*s", labelW+2, r.Label)
+		for _, v := range r.Values {
+			fmt.Fprintf(&b, "%*.3f", colW+2, v)
+		}
+		b.WriteByte('\n')
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}

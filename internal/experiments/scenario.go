@@ -1,0 +1,183 @@
+package experiments
+
+import (
+	"fmt"
+
+	"moe/internal/sim"
+	"moe/internal/trace"
+	"moe/internal/workload"
+)
+
+// Defaults for the evaluation protocol (§6).
+const (
+	// DefaultMaxTime bounds one co-execution run in virtual seconds.
+	DefaultMaxTime = 3000
+	// DefaultRateNoise is the relative measurement noise policies see.
+	DefaultRateNoise = 0.12
+	// DefaultRepeats mirrors §6.1: "each experiment was repeated 3 times
+	// and the mean value of program execution time reported".
+	DefaultRepeats = 3
+)
+
+// ScenarioSpec is one co-execution experiment configuration.
+type ScenarioSpec struct {
+	// Target program name.
+	Target string
+	// Workload programs that co-execute (loop until the target
+	// finishes); empty means isolated.
+	Workload []string
+	// HWFreq selects the hardware-change frequency (§6.4).
+	HWFreq trace.Frequency
+	// Affinity enables affinity scheduling (§7.6).
+	Affinity bool
+	// WorkloadPolicy names the policy workload programs run; empty means
+	// the OpenMP default. The adaptive-workload experiment (§7.4) sets
+	// this.
+	WorkloadPolicy PolicyName
+	// Seed drives hardware trace generation and measurement noise; vary
+	// it across repeats.
+	Seed uint64
+	// MaxTime overrides DefaultMaxTime when positive.
+	MaxTime float64
+	// RecordSamples forwards to the engine (timeline figures).
+	RecordSamples bool
+}
+
+// RunOutcome is the result of one scenario run under one policy.
+type RunOutcome struct {
+	// ExecTime is the target's completion time (virtual seconds).
+	ExecTime float64
+	// WorkloadThroughput is aggregate workload work per second (Fig 13a).
+	WorkloadThroughput float64
+	// Policy is the policy instance after the run (for mixture
+	// statistics).
+	Policy sim.Policy
+	// Result is the raw simulation result.
+	Result *sim.Result
+}
+
+// Run executes the scenario under the named target policy.
+func (l *Lab) Run(spec ScenarioSpec, name PolicyName) (*RunOutcome, error) {
+	p, err := l.NewPolicy(name, spec.Target, spec.Seed)
+	if err != nil {
+		return nil, err
+	}
+	return l.RunWithPolicy(spec, p)
+}
+
+// RunWithPolicy executes the scenario with a caller-supplied target policy
+// instance (single-expert and subset-mixture runs).
+func (l *Lab) RunWithPolicy(spec ScenarioSpec, target sim.Policy) (*RunOutcome, error) {
+	prog, err := workload.ByName(spec.Target)
+	if err != nil {
+		return nil, err
+	}
+	maxTime := spec.MaxTime
+	if maxTime <= 0 {
+		maxTime = DefaultMaxTime
+	}
+
+	machine := l.Eval
+	machine.Affinity = spec.Affinity
+	rng := trace.NewRNG(spec.Seed ^ 0x5ce4a510)
+	hw, err := trace.GenerateHardware(rng, machine.Cores, spec.HWFreq, maxTime)
+	if err != nil {
+		return nil, err
+	}
+	machine.Hardware = hw
+
+	specs := []sim.ProgramSpec{{Program: prog.Clone(), Policy: target, Target: true}}
+	for i, name := range spec.Workload {
+		wl, err := workload.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		wp, err := l.workloadPolicy(spec, name, spec.Seed+uint64(i)*7919)
+		if err != nil {
+			return nil, err
+		}
+		specs = append(specs, sim.ProgramSpec{Program: wl.Clone(), Policy: wp, Loop: true})
+	}
+
+	res, err := sim.Run(sim.Scenario{
+		Machine:       machine,
+		Programs:      specs,
+		MaxTime:       maxTime,
+		RateNoise:     DefaultRateNoise,
+		Seed:          spec.Seed,
+		RecordSamples: spec.RecordSamples,
+	})
+	if err != nil {
+		return nil, err
+	}
+	tr, err := res.Target()
+	if err != nil {
+		return nil, err
+	}
+	exec, err := effectiveExecTime(tr, prog.TotalWork(), maxTime)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: target %s under %s: %w", spec.Target, target.Name(), err)
+	}
+	return &RunOutcome{
+		ExecTime:           exec,
+		WorkloadThroughput: res.WorkloadThroughput(),
+		Policy:             target,
+		Result:             res,
+	}, nil
+}
+
+// effectiveExecTime returns the target's completion time; when the run was
+// cut off by the time cap, completion is extrapolated from the achieved
+// work rate (a policy that pins a program at a crawl still gets a finite —
+// terrible — number instead of aborting the sweep).
+func effectiveExecTime(tr *sim.ProgramResult, totalWork, maxTime float64) (float64, error) {
+	if tr.Finished {
+		return tr.ExecTime, nil
+	}
+	if tr.WorkDone <= 0 || totalWork <= 0 {
+		return 0, fmt.Errorf("no progress within %.0fs", maxTime)
+	}
+	return maxTime * totalWork / tr.WorkDone, nil
+}
+
+// workloadPolicy builds the policy driving a workload program.
+func (l *Lab) workloadPolicy(spec ScenarioSpec, program string, seed uint64) (sim.Policy, error) {
+	name := spec.WorkloadPolicy
+	if name == "" {
+		name = PolicyDefault
+	}
+	return l.NewPolicy(name, program, seed)
+}
+
+// Speedup runs the scenario under both the baseline (OpenMP default) and
+// the named policy with identical seeds — "the same external workload is
+// reproduced for all evaluated policies" (§6.4) — averaged over repeats,
+// and returns exec-time speedup over the default plus the relative
+// workload throughput.
+func (l *Lab) Speedup(spec ScenarioSpec, name PolicyName, repeats int) (speedup, workloadRel float64, err error) {
+	if repeats <= 0 {
+		repeats = DefaultRepeats
+	}
+	var sumBase, sumPol, sumWLBase, sumWLPol float64
+	for r := 0; r < repeats; r++ {
+		s := spec
+		s.Seed = spec.Seed + uint64(r)*1000003
+		base, err := l.Run(s, PolicyDefault)
+		if err != nil {
+			return 0, 0, err
+		}
+		out, err := l.Run(s, name)
+		if err != nil {
+			return 0, 0, err
+		}
+		sumBase += base.ExecTime
+		sumPol += out.ExecTime
+		sumWLBase += base.WorkloadThroughput
+		sumWLPol += out.WorkloadThroughput
+	}
+	speedup = sumBase / sumPol
+	if sumWLBase > 0 {
+		workloadRel = sumWLPol / sumWLBase
+	}
+	return speedup, workloadRel, nil
+}

@@ -1,0 +1,45 @@
+package expert
+
+import "moe/internal/regress"
+
+// Canonical4 returns the four experts with the regression coefficients
+// published in Table 1 of the paper (weights w1..w10 for the thread
+// predictor, m1..m10 for the environment predictor, and the regression
+// constant β). They let the library run out of the box, exactly as the
+// authors shipped their trained models; retraining on the simulator
+// (internal/training) produces experts adapted to this substrate instead.
+//
+// The paper's experts were trained on (Fig 5): E1/E2 on scalable programs,
+// E3/E4 on non-scalable programs, each pair on the 12- and 32-core
+// platforms.
+func Canonical4() Set {
+	mk := func(name string, w, m []float64, maxThreads int, trainedOn string) *Expert {
+		wm, err := regress.FromCoefficients(w)
+		if err != nil {
+			panic(err) // static data; length is fixed below
+		}
+		mm, err := regress.FromCoefficients(m)
+		if err != nil {
+			panic(err)
+		}
+		return &Expert{Name: name, Threads: wm, Env: NormEnvModel{Model: mm}, MaxThreads: maxThreads, TrainedOn: trainedOn}
+	}
+	return Set{
+		mk("E1",
+			[]float64{1.05, -1.52, 0.87, -0.62, 0.98, 0.003, 0.002, -0.013, -0.07, 0.004, -1.21},
+			[]float64{-0.47, 0.35, 1.15, 0.39, 0.46, 0.29, 0.17, 0.64, 0.01, 0.002, 0.25},
+			32, "scalable programs"),
+		mk("E2",
+			[]float64{-0.84, 1.12, 0.84, 0.05, 0.98, 0.02, 0.03, 0.227, 0.002, -0.08, -6.8},
+			[]float64{1.02, -0.78, 0.05, 0.44, 0.002, 0.23, 0.09, 0.6, 0.05, -0.04, 0.28},
+			32, "scalable programs"),
+		mk("E3",
+			[]float64{0.14, 0.95, -0.87, -0.48, 0.99, -0.15, 0.473, -1.07, 0.007, 0.01, -3.03},
+			[]float64{1.1, 1.10, 0.54, 0.44, 0.142, 0.25, 0.07, 0.15, 0.06, 0.14, 0.33},
+			32, "non-scalable programs"),
+		mk("E4",
+			[]float64{0.05, 0.03, -0.57, 0.004, 0.92, 0.22, 0.01, -0.62, 0.03, -0.14, -2.5},
+			[]float64{0.74, 1.03, 1.12, 0.39, 0.74, 0.28, 0.09, 0.59, 0.12, 0.00, -0.0},
+			32, "non-scalable programs"),
+	}
+}

@@ -1,0 +1,154 @@
+package expert
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"moe/internal/features"
+	"moe/internal/regress"
+)
+
+// Persistence: trained experts serialize to JSON so the one-off training
+// cost (§5.2.1) is paid once and the coefficients ship with an application,
+// exactly as the paper ships Table 1.
+
+// expertJSON is the serialized form of one expert.
+type expertJSON struct {
+	Name       string      `json:"name"`
+	TrainedOn  string      `json:"trained_on"`
+	MaxThreads int         `json:"max_threads"`
+	Threads    []float64   `json:"threads"` // w coefficients + bias
+	Speedup    []float64   `json:"speedup,omitempty"`
+	EnvNorm    []float64   `json:"env_norm,omitempty"` // norm-model coefficients
+	EnvVec     [][]float64 `json:"env_vec,omitempty"`  // per-dimension coefficients
+	EnvSigma   []float64   `json:"env_sigma,omitempty"`
+	FeatMean   []float64   `json:"feat_mean"`
+	FeatStd    []float64   `json:"feat_std"`
+}
+
+type setJSON struct {
+	// Version guards the format for future changes.
+	Version int          `json:"version"`
+	Experts []expertJSON `json:"experts"`
+}
+
+// MarshalSet serializes an expert set to JSON.
+func MarshalSet(s Set) ([]byte, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	out := setJSON{Version: 1}
+	for _, e := range s {
+		if e.HeuristicFn != nil {
+			return nil, fmt.Errorf("expert: %s wraps a hand-written heuristic, which cannot be serialized (only its linear shim would survive)", e.Name)
+		}
+		ej := expertJSON{
+			Name:       e.Name,
+			TrainedOn:  e.TrainedOn,
+			MaxThreads: e.MaxThreads,
+			Threads:    e.Threads.Coefficients(),
+			FeatMean:   e.FeatMean[:],
+			FeatStd:    e.FeatStd[:],
+		}
+		if e.Speedup != nil {
+			ej.Speedup = e.Speedup.Model.Coefficients()
+		}
+		switch env := e.Env.(type) {
+		case NormEnvModel:
+			ej.EnvNorm = env.Model.Coefficients()
+		case VectorEnvModel:
+			for _, m := range env.Models {
+				ej.EnvVec = append(ej.EnvVec, m.Coefficients())
+			}
+			ej.EnvSigma = env.Sigma[:]
+		default:
+			return nil, fmt.Errorf("expert: cannot serialize environment model %T", e.Env)
+		}
+		out.Experts = append(out.Experts, ej)
+	}
+	return json.MarshalIndent(out, "", "  ")
+}
+
+// UnmarshalSet reconstructs an expert set from JSON.
+func UnmarshalSet(data []byte) (Set, error) {
+	var in setJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return nil, fmt.Errorf("expert: parsing expert set: %w", err)
+	}
+	if in.Version != 1 {
+		return nil, fmt.Errorf("expert: unsupported expert-set version %d", in.Version)
+	}
+	var set Set
+	for i, ej := range in.Experts {
+		w, err := regress.FromCoefficients(ej.Threads)
+		if err != nil {
+			return nil, fmt.Errorf("expert %d (%s): thread model: %w", i, ej.Name, err)
+		}
+		e := &Expert{
+			Name:       ej.Name,
+			TrainedOn:  ej.TrainedOn,
+			MaxThreads: ej.MaxThreads,
+			Threads:    w,
+		}
+		copy(e.FeatMean[:], ej.FeatMean)
+		copy(e.FeatStd[:], ej.FeatStd)
+		if len(ej.Speedup) > 0 {
+			sm, err := regress.FromCoefficients(ej.Speedup)
+			if err != nil {
+				return nil, fmt.Errorf("expert %d (%s): speedup model: %w", i, ej.Name, err)
+			}
+			e.Speedup = &SpeedupModel{Model: sm}
+		}
+		switch {
+		case len(ej.EnvVec) > 0:
+			if len(ej.EnvVec) != features.EnvDim {
+				return nil, fmt.Errorf("expert %d (%s): %d env dimensions, want %d", i, ej.Name, len(ej.EnvVec), features.EnvDim)
+			}
+			var vm VectorEnvModel
+			for d, co := range ej.EnvVec {
+				m, err := regress.FromCoefficients(co)
+				if err != nil {
+					return nil, fmt.Errorf("expert %d (%s): env dim %d: %w", i, ej.Name, d, err)
+				}
+				vm.Models[d] = m
+			}
+			copy(vm.Sigma[:], ej.EnvSigma)
+			e.Env = vm
+		case len(ej.EnvNorm) > 0:
+			m, err := regress.FromCoefficients(ej.EnvNorm)
+			if err != nil {
+				return nil, fmt.Errorf("expert %d (%s): env model: %w", i, ej.Name, err)
+			}
+			e.Env = NormEnvModel{Model: m}
+		default:
+			return nil, fmt.Errorf("expert %d (%s): no environment model", i, ej.Name)
+		}
+		if err := e.Validate(); err != nil {
+			return nil, err
+		}
+		set = append(set, e)
+	}
+	if err := set.Validate(); err != nil {
+		return nil, err
+	}
+	return set, nil
+}
+
+// SaveSet writes an expert set to a JSON file.
+func SaveSet(s Set, path string) error {
+	data, err := MarshalSet(s)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// LoadSet reads an expert set from a JSON file.
+func LoadSet(path string) (Set, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("expert: reading %s: %w", path, err)
+	}
+	return UnmarshalSet(data)
+}

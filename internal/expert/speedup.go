@@ -1,0 +1,80 @@
+package expert
+
+import (
+	"fmt"
+	"math"
+
+	"moe/internal/features"
+	"moe/internal/regress"
+)
+
+// SpeedupModel is the paper's model x(n, f) (§4.1): given a candidate
+// thread number n and the current state f it approximates the speedup the
+// region would achieve. The thread predictor is then
+// w(f) = argmax_n x(n, f), evaluated by enumerating candidate thread
+// counts.
+//
+// x is linear over an engineered basis that includes n, n² and the
+// interactions of n with the environment features that determine how many
+// threads are worth running (available processors, external load). The
+// interactions are what let the argmax shift with the environment even far
+// outside the training range: a direct n = w·f predictor must extrapolate
+// the optimum itself, while x only has to keep its curvature pointed the
+// right way.
+type SpeedupModel struct {
+	Model *regress.Model
+}
+
+// speedupBasisDim is the engineered-basis width: the 10 raw features plus
+// n, n², and n interacted with the features that determine how many threads
+// pay off — external load, processors, run queue, load average, and the
+// memory-boundedness of the loop's code.
+const speedupBasisDim = features.Dim + 8
+
+// SpeedupBasis expands (f, n) into the regression basis for x.
+func SpeedupBasis(f features.Vector, n int) []float64 {
+	x := make([]float64, speedupBasisDim)
+	copy(x, f[:])
+	nf := float64(n)
+	x[features.Dim+0] = nf
+	x[features.Dim+1] = nf * nf
+	x[features.Dim+2] = nf * f[features.WorkloadThreads]
+	x[features.Dim+3] = nf * f[features.Processors]
+	x[features.Dim+4] = nf * f[features.RunQueueSize]
+	x[features.Dim+5] = nf * f[features.CPULoad5]
+	x[features.Dim+6] = nf * f[features.LoadStoreCount]
+	x[features.Dim+7] = nf * nf * f[features.WorkloadThreads]
+	return x
+}
+
+// Predict returns x(n, f), the approximated speedup of running with n
+// threads in state f.
+func (s *SpeedupModel) Predict(f features.Vector, n int) float64 {
+	return s.Model.MustPredict(SpeedupBasis(f, n))
+}
+
+// Best returns argmax_n x(n, f) over 1..maxN and the predicted speedup
+// there — the thread predictor w of §4.1.
+func (s *SpeedupModel) Best(f features.Vector, maxN int) (int, float64) {
+	if maxN < 1 {
+		maxN = 1
+	}
+	bestN, bestV := 1, math.Inf(-1)
+	for n := 1; n <= maxN; n++ {
+		if v := s.Predict(f, n); v > bestV {
+			bestN, bestV = n, v
+		}
+	}
+	return bestN, bestV
+}
+
+// Validate checks the model shape.
+func (s *SpeedupModel) Validate() error {
+	if s == nil || s.Model == nil {
+		return fmt.Errorf("expert: nil speedup model")
+	}
+	if s.Model.Dim() != speedupBasisDim {
+		return fmt.Errorf("expert: speedup model has %d basis features, want %d", s.Model.Dim(), speedupBasisDim)
+	}
+	return nil
+}

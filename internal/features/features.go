@@ -1,0 +1,221 @@
+// Package features defines the 10-dimensional feature vector of Table 1 in
+// the paper: three static code features extracted from the parallel loop
+// (f1–f3) and seven runtime environment features sampled from the operating
+// system (f4–f10). The paper formalizes the "environment" as the norm of the
+// runtime features (§5.2.2); that norm is the quantity the environment
+// predictors are trained to forecast and the quantity the expert selector
+// compares against observations.
+package features
+
+import (
+	"fmt"
+	"math"
+)
+
+// Dim is the number of features in a vector (Table 1).
+const Dim = 10
+
+// Indices of the individual features, matching Table 1 ordering (f1..f10 →
+// 0..9).
+const (
+	LoadStoreCount  = iota // f1: loads+stores in the loop, normalized
+	Instructions           // f2: instruction count, normalized
+	Branches               // f3: branch count, normalized
+	WorkloadThreads        // f4: threads belonging to external workloads
+	Processors             // f5: currently available processors
+	RunQueueSize           // f6: runq-sz
+	CPULoad1               // f7: ldavg-1
+	CPULoad5               // f8: ldavg-5
+	CachedMemory           // f9: cached memory (GB)
+	PageFreeRate           // f10: pages freed per second (thousands)
+)
+
+// EnvStart is the first environment-feature index; features
+// [EnvStart, Dim) constitute the environment e (§5.2.2: f4–f10).
+const EnvStart = WorkloadThreads
+
+// EnvDim is the number of environment features.
+const EnvDim = Dim - EnvStart
+
+// Names holds the short feature names from Table 1, indexed by feature
+// index.
+var Names = [Dim]string{
+	"load/store count",
+	"instructions",
+	"branches",
+	"workload threads",
+	"processors",
+	"run queue size (runq-sz)",
+	"cpu load (ldavg-1)",
+	"cpu load (ldavg-5)",
+	"cached memory",
+	"pages free list rate",
+}
+
+// Sources notes where each feature comes from (Table 1 "type" column).
+var Sources = [Dim]string{
+	"compiler", "compiler", "compiler",
+	"linux", "linux", "linux", "linux", "linux", "linux", "linux",
+}
+
+// Vector is a full feature vector f = c ‖ e at one timestamp (§4.1).
+type Vector [Dim]float64
+
+// Code holds only the static code features c = (f1, f2, f3), normalized to
+// the total instruction count of the program (§5.2.2).
+type Code struct {
+	LoadStore    float64
+	Instructions float64
+	Branches     float64
+}
+
+// Env holds only the runtime environment features e = (f4 … f10).
+type Env struct {
+	WorkloadThreads float64 // threads of co-executing programs
+	Processors      float64 // available processors
+	RunQueue        float64 // runnable threads not running
+	Load1           float64 // 1-minute load average
+	Load5           float64 // 5-minute load average
+	CachedMem       float64 // cached memory, GB
+	PageFreeRate    float64 // pages freed / s, thousands
+}
+
+// Combine builds the full feature vector f = c ‖ e.
+func Combine(c Code, e Env) Vector {
+	return Vector{
+		c.LoadStore, c.Instructions, c.Branches,
+		e.WorkloadThreads, e.Processors, e.RunQueue,
+		e.Load1, e.Load5, e.CachedMem, e.PageFreeRate,
+	}
+}
+
+// CodePart extracts the static code features from v.
+func (v Vector) CodePart() Code {
+	return Code{LoadStore: v[LoadStoreCount], Instructions: v[Instructions], Branches: v[Branches]}
+}
+
+// EnvPart extracts the environment features from v.
+func (v Vector) EnvPart() Env {
+	return Env{
+		WorkloadThreads: v[WorkloadThreads],
+		Processors:      v[Processors],
+		RunQueue:        v[RunQueueSize],
+		Load1:           v[CPULoad1],
+		Load5:           v[CPULoad5],
+		CachedMem:       v[CachedMemory],
+		PageFreeRate:    v[PageFreeRate],
+	}
+}
+
+// Slice returns v as a plain slice (copy), convenient for the regression
+// package.
+func (v Vector) Slice() []float64 {
+	out := make([]float64, Dim)
+	copy(out, v[:])
+	return out
+}
+
+// FromSlice builds a Vector from xs, which must have exactly Dim entries.
+func FromSlice(xs []float64) (Vector, error) {
+	var v Vector
+	if len(xs) != Dim {
+		return v, fmt.Errorf("features: need %d values, got %d", Dim, len(xs))
+	}
+	copy(v[:], xs)
+	return v, nil
+}
+
+// Norm returns the Euclidean norm of the environment features f4–f10. The
+// paper defines the environment as this norm (§5.2.2), and the expert
+// selector compares predicted against observed norms (§5.3).
+func (e Env) Norm() float64 {
+	return math.Sqrt(e.WorkloadThreads*e.WorkloadThreads +
+		e.Processors*e.Processors +
+		e.RunQueue*e.RunQueue +
+		e.Load1*e.Load1 +
+		e.Load5*e.Load5 +
+		e.CachedMem*e.CachedMem +
+		e.PageFreeRate*e.PageFreeRate)
+}
+
+// EnvNorm returns the environment norm of the vector's runtime features.
+func (v Vector) EnvNorm() float64 { return v.EnvPart().Norm() }
+
+// Dot returns the inner product of v with a weight slice of length Dim or
+// Dim+1; with Dim+1 the final entry is treated as the regression constant β
+// (Table 1).
+func (v Vector) Dot(w []float64) (float64, error) {
+	switch len(w) {
+	case Dim:
+		s := 0.0
+		for i := range v {
+			s += v[i] * w[i]
+		}
+		return s, nil
+	case Dim + 1:
+		s := w[Dim]
+		for i := range v {
+			s += v[i] * w[i]
+		}
+		return s, nil
+	default:
+		return 0, fmt.Errorf("features: weight length %d, want %d or %d", len(w), Dim, Dim+1)
+	}
+}
+
+// Sub returns v - u.
+func (v Vector) Sub(u Vector) Vector {
+	var out Vector
+	for i := range v {
+		out[i] = v[i] - u[i]
+	}
+	return out
+}
+
+// Distance returns the Euclidean distance between v and u in the full
+// feature space.
+func (v Vector) Distance(u Vector) float64 {
+	s := 0.0
+	for i := range v {
+		d := v[i] - u[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}
+
+// LessEq reports whether v ≤ u componentwise in the environment dimensions.
+// The paper's worked example (§5.4) classifies a point against a hyperplane
+// S with exactly this comparison (f ≤ S selects the expert below the plane).
+// Only environment features participate: the code features describe the
+// program, not the system state the hyperplanes partition.
+func (v Vector) LessEq(u Vector) bool {
+	ge, le := 0, 0
+	for i := EnvStart; i < Dim; i++ {
+		if v[i] <= u[i] {
+			le++
+		} else {
+			ge++
+		}
+	}
+	return le >= ge
+}
+
+// NormalizeCode returns code features normalized to the given total
+// instruction count, per §5.2.2 ("code features at every loop were
+// normalized to the total number of instructions in the program").
+func NormalizeCode(loadStore, instructions, branches, totalInstructions float64) Code {
+	if totalInstructions <= 0 {
+		return Code{}
+	}
+	return Code{
+		LoadStore:    loadStore / totalInstructions,
+		Instructions: instructions / totalInstructions,
+		Branches:     branches / totalInstructions,
+	}
+}
+
+// String renders the vector compactly for logs and test failures.
+func (v Vector) String() string {
+	return fmt.Sprintf("[c=%.3f,%.3f,%.3f e=%.1f,%.1f,%.1f,%.2f,%.2f,%.2f,%.2f]",
+		v[0], v[1], v[2], v[3], v[4], v[5], v[6], v[7], v[8], v[9])
+}

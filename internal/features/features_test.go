@@ -1,0 +1,188 @@
+package features
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func sampleEnv() Env {
+	return Env{
+		WorkloadThreads: 16, Processors: 8, RunQueue: 16,
+		Load1: 4.76, Load5: 2.17, CachedMem: 1.11, PageFreeRate: 1.65,
+	}
+}
+
+func TestCombineRoundTrip(t *testing.T) {
+	c := Code{LoadStore: 0.032, Instructions: 0.026, Branches: 0.2}
+	e := sampleEnv()
+	v := Combine(c, e)
+	if got := v.CodePart(); got != c {
+		t.Errorf("CodePart = %+v, want %+v", got, c)
+	}
+	if got := v.EnvPart(); got != e {
+		t.Errorf("EnvPart = %+v, want %+v", got, e)
+	}
+}
+
+func TestVectorLayoutMatchesTable1(t *testing.T) {
+	v := Combine(Code{LoadStore: 1, Instructions: 2, Branches: 3},
+		Env{WorkloadThreads: 4, Processors: 5, RunQueue: 6, Load1: 7, Load5: 8, CachedMem: 9, PageFreeRate: 10})
+	for i := 0; i < Dim; i++ {
+		if v[i] != float64(i+1) {
+			t.Fatalf("feature f%d = %v, want %d (Table 1 ordering broken)", i+1, v[i], i+1)
+		}
+	}
+}
+
+func TestEnvNorm(t *testing.T) {
+	e := Env{WorkloadThreads: 3, Processors: 4}
+	if got := e.Norm(); !floatsClose(got, 5, 1e-12) {
+		t.Errorf("Norm = %v, want 5", got)
+	}
+	v := Combine(Code{LoadStore: 100, Instructions: 100, Branches: 100}, e)
+	if got := v.EnvNorm(); !floatsClose(got, 5, 1e-12) {
+		t.Errorf("EnvNorm must ignore code features: %v", got)
+	}
+}
+
+func TestSliceAndFromSlice(t *testing.T) {
+	v := Combine(Code{LoadStore: 1}, sampleEnv())
+	s := v.Slice()
+	if len(s) != Dim {
+		t.Fatalf("Slice length %d", len(s))
+	}
+	s[0] = 999 // must be a copy
+	if v[0] == 999 {
+		t.Error("Slice aliases the vector")
+	}
+	back, err := FromSlice(v.Slice())
+	if err != nil || back != v {
+		t.Errorf("FromSlice round trip failed: %v (%v)", back, err)
+	}
+	if _, err := FromSlice([]float64{1, 2}); err == nil {
+		t.Error("FromSlice with wrong length should error")
+	}
+}
+
+func TestDot(t *testing.T) {
+	var v Vector
+	for i := range v {
+		v[i] = 1
+	}
+	w := make([]float64, Dim)
+	for i := range w {
+		w[i] = 2
+	}
+	got, err := v.Dot(w)
+	if err != nil || got != 20 {
+		t.Errorf("Dot = %v (%v), want 20", got, err)
+	}
+	// With bias.
+	wb := append(w, 5.0)
+	got, err = v.Dot(wb)
+	if err != nil || got != 25 {
+		t.Errorf("Dot with bias = %v (%v), want 25", got, err)
+	}
+	if _, err := v.Dot(w[:3]); err == nil {
+		t.Error("Dot with wrong length should error")
+	}
+}
+
+func TestDistanceAndSub(t *testing.T) {
+	var a, b Vector
+	a[0], b[0] = 3, 0
+	a[5], b[5] = 0, 4
+	if got := a.Distance(b); !floatsClose(got, 5, 1e-12) {
+		t.Errorf("Distance = %v, want 5", got)
+	}
+	d := a.Sub(b)
+	if d[0] != 3 || d[5] != -4 {
+		t.Errorf("Sub = %v", d)
+	}
+	if a.Distance(a) != 0 {
+		t.Error("Distance to self should be 0")
+	}
+}
+
+func TestDistanceSymmetricNonNegative(t *testing.T) {
+	f := func(raw1, raw2 [Dim]float64) bool {
+		var a, b Vector
+		for i := 0; i < Dim; i++ {
+			a[i], b[i] = clean(raw1[i]), clean(raw2[i])
+		}
+		d1, d2 := a.Distance(b), b.Distance(a)
+		return d1 >= 0 && floatsClose(d1, d2, 1e-9*(1+d1))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLessEqEnvMajority(t *testing.T) {
+	var lo, hi Vector
+	for i := EnvStart; i < Dim; i++ {
+		lo[i] = 1
+		hi[i] = 2
+	}
+	if !lo.LessEq(hi) {
+		t.Error("lo should be ≤ hi")
+	}
+	if hi.LessEq(lo) {
+		t.Error("hi should not be ≤ lo")
+	}
+	// Code features must not participate.
+	lo[0], lo[1], lo[2] = 100, 100, 100
+	if !lo.LessEq(hi) {
+		t.Error("code features should not affect LessEq")
+	}
+}
+
+func TestNormalizeCode(t *testing.T) {
+	c := NormalizeCode(50, 100, 10, 1000)
+	if c.LoadStore != 0.05 || c.Instructions != 0.1 || c.Branches != 0.01 {
+		t.Errorf("NormalizeCode = %+v", c)
+	}
+	if got := NormalizeCode(1, 2, 3, 0); got != (Code{}) {
+		t.Errorf("NormalizeCode with zero total = %+v, want zero", got)
+	}
+}
+
+func TestNamesComplete(t *testing.T) {
+	for i, n := range Names {
+		if n == "" {
+			t.Errorf("feature %d has no name", i)
+		}
+	}
+	for i, s := range Sources {
+		if s != "compiler" && s != "linux" {
+			t.Errorf("feature %d has unexpected source %q", i, s)
+		}
+	}
+	if Sources[LoadStoreCount] != "compiler" || Sources[WorkloadThreads] != "linux" {
+		t.Error("source assignment broken")
+	}
+}
+
+func TestEnvDimConstants(t *testing.T) {
+	if EnvStart != 3 || EnvDim != 7 || Dim != 10 {
+		t.Errorf("dimension constants: EnvStart=%d EnvDim=%d Dim=%d", EnvStart, EnvDim, Dim)
+	}
+}
+
+func TestStringIsCompact(t *testing.T) {
+	v := Combine(Code{}, sampleEnv())
+	s := v.String()
+	if len(s) == 0 || s[0] != '[' {
+		t.Errorf("String = %q", s)
+	}
+}
+
+func floatsClose(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func clean(x float64) float64 {
+	if math.IsNaN(x) || math.IsInf(x, 0) {
+		return 0
+	}
+	return math.Mod(x, 1e6)
+}

@@ -1,0 +1,90 @@
+package features
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Impact records how crucial one feature is to one model, following the
+// paper's definition (§5.2.2): "feature impact (π) is the drop in prediction
+// accuracy of the model when this feature alone was removed from the
+// feature-set". Fig 6 shows these values normalized per expert.
+type Impact struct {
+	Feature int     // feature index (0-based; Table 1's f_{i+1})
+	Name    string  // feature name from Table 1
+	Drop    float64 // raw accuracy drop when the feature is ablated
+	Share   float64 // Drop normalized over all features of the model
+}
+
+// AccuracyFn evaluates a model variant trained without the given feature
+// (−1 means the full feature set) and returns its prediction accuracy in
+// [0, 1]. The concrete retraining lives in internal/training; this package
+// only owns the π bookkeeping so the definition sits next to the feature
+// set.
+type AccuracyFn func(withoutFeature int) (float64, error)
+
+// ComputeImpacts evaluates π for every feature of one model. The returned
+// slice is ordered by feature index; Share values sum to 1 when any feature
+// has positive impact.
+func ComputeImpacts(accuracy AccuracyFn) ([]Impact, error) {
+	full, err := accuracy(-1)
+	if err != nil {
+		return nil, fmt.Errorf("features: full-model accuracy: %w", err)
+	}
+	impacts := make([]Impact, Dim)
+	total := 0.0
+	for i := 0; i < Dim; i++ {
+		reduced, err := accuracy(i)
+		if err != nil {
+			return nil, fmt.Errorf("features: accuracy without %s: %w", Names[i], err)
+		}
+		drop := full - reduced
+		if drop < 0 {
+			drop = 0 // removing a feature never "counts negatively" toward π
+		}
+		impacts[i] = Impact{Feature: i, Name: Names[i], Drop: drop}
+		total += drop
+	}
+	if total > 0 {
+		for i := range impacts {
+			impacts[i].Share = impacts[i].Drop / total
+		}
+	}
+	return impacts, nil
+}
+
+// RankImpacts returns the impacts sorted by descending share (stable for
+// equal shares, preserving Table 1 order).
+func RankImpacts(impacts []Impact) []Impact {
+	out := append([]Impact(nil), impacts...)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Share > out[j].Share })
+	return out
+}
+
+// AverageImpacts averages π across several models (the value printed under
+// each pie chart in Fig 6 is the per-feature impact averaged across all
+// experts). All slices must have length Dim.
+func AverageImpacts(perModel [][]Impact) ([]Impact, error) {
+	if len(perModel) == 0 {
+		return nil, fmt.Errorf("features: no models to average")
+	}
+	avg := make([]Impact, Dim)
+	for i := 0; i < Dim; i++ {
+		avg[i] = Impact{Feature: i, Name: Names[i]}
+	}
+	for _, impacts := range perModel {
+		if len(impacts) != Dim {
+			return nil, fmt.Errorf("features: impact slice has length %d, want %d", len(impacts), Dim)
+		}
+		for i, im := range impacts {
+			avg[i].Drop += im.Drop
+			avg[i].Share += im.Share
+		}
+	}
+	n := float64(len(perModel))
+	for i := range avg {
+		avg[i].Drop /= n
+		avg[i].Share /= n
+	}
+	return avg, nil
+}

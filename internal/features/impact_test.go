@@ -1,0 +1,113 @@
+package features
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestComputeImpacts(t *testing.T) {
+	// A synthetic model whose accuracy drops 0.2 without feature 0, 0.1
+	// without feature 5, and improves (drop clamps to 0) without 9.
+	acc := func(without int) (float64, error) {
+		switch without {
+		case -1:
+			return 0.9, nil
+		case 0:
+			return 0.7, nil
+		case 5:
+			return 0.8, nil
+		case 9:
+			return 0.95, nil
+		default:
+			return 0.9, nil
+		}
+	}
+	impacts, err := ComputeImpacts(acc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(impacts) != Dim {
+		t.Fatalf("got %d impacts", len(impacts))
+	}
+	if !floatsClose(impacts[0].Drop, 0.2, 1e-12) || !floatsClose(impacts[5].Drop, 0.1, 1e-12) {
+		t.Errorf("drops: %v, %v", impacts[0].Drop, impacts[5].Drop)
+	}
+	if impacts[9].Drop != 0 {
+		t.Errorf("negative drop should clamp to 0, got %v", impacts[9].Drop)
+	}
+	sum := 0.0
+	for _, im := range impacts {
+		sum += im.Share
+	}
+	if !floatsClose(sum, 1, 1e-9) {
+		t.Errorf("shares sum to %v", sum)
+	}
+	if !floatsClose(impacts[0].Share, 2.0/3, 1e-9) {
+		t.Errorf("share of f1 = %v, want 2/3", impacts[0].Share)
+	}
+}
+
+func TestComputeImpactsPropagatesErrors(t *testing.T) {
+	wantErr := errors.New("boom")
+	if _, err := ComputeImpacts(func(int) (float64, error) { return 0, wantErr }); err == nil {
+		t.Error("full-model error should propagate")
+	}
+	calls := 0
+	if _, err := ComputeImpacts(func(without int) (float64, error) {
+		calls++
+		if without == 3 {
+			return 0, wantErr
+		}
+		return 0.5, nil
+	}); err == nil {
+		t.Error("per-feature error should propagate")
+	}
+}
+
+func TestComputeImpactsAllZero(t *testing.T) {
+	impacts, err := ComputeImpacts(func(int) (float64, error) { return 0.5, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, im := range impacts {
+		if im.Share != 0 {
+			t.Errorf("zero-drop model should have zero shares, got %v", im.Share)
+		}
+	}
+}
+
+func TestRankImpacts(t *testing.T) {
+	impacts := []Impact{
+		{Feature: 0, Share: 0.1},
+		{Feature: 1, Share: 0.5},
+		{Feature: 2, Share: 0.4},
+	}
+	ranked := RankImpacts(impacts)
+	if ranked[0].Feature != 1 || ranked[1].Feature != 2 || ranked[2].Feature != 0 {
+		t.Errorf("RankImpacts order: %v", ranked)
+	}
+	// Input untouched.
+	if impacts[0].Feature != 0 {
+		t.Error("RankImpacts mutated input")
+	}
+}
+
+func TestAverageImpacts(t *testing.T) {
+	a := make([]Impact, Dim)
+	b := make([]Impact, Dim)
+	a[0] = Impact{Feature: 0, Drop: 0.2, Share: 1}
+	b[0] = Impact{Feature: 0, Drop: 0.4, Share: 0.5}
+	avg, err := AverageImpacts([][]Impact{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !floatsClose(avg[0].Drop, 0.3, 1e-12) || !floatsClose(avg[0].Share, 0.75, 1e-12) {
+		t.Errorf("avg = %+v", avg[0])
+	}
+	if _, err := AverageImpacts(nil); err == nil {
+		t.Error("empty input should error")
+	}
+	if _, err := AverageImpacts([][]Impact{{}}); err == nil {
+		t.Error("wrong-length slice should error")
+	}
+}

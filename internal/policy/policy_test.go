@@ -1,0 +1,169 @@
+package policy
+
+import (
+	"testing"
+
+	"moe/internal/features"
+	"moe/internal/regress"
+	"moe/internal/sim"
+)
+
+func decision(t float64, avail, cur int, rate float64) sim.Decision {
+	var f features.Vector
+	f[features.Processors] = float64(avail)
+	return sim.Decision{
+		Time:           t,
+		Features:       f,
+		Rate:           rate,
+		CurrentThreads: cur,
+		MaxThreads:     32,
+		AvailableProcs: avail,
+	}
+}
+
+func TestDefaultFollowsProcessors(t *testing.T) {
+	p := NewDefault()
+	if p.Name() != "default" {
+		t.Errorf("name = %s", p.Name())
+	}
+	if got := p.Decide(decision(0, 17, 1, 0)); got != 17 {
+		t.Errorf("default = %d, want 17", got)
+	}
+	if got := p.Decide(decision(1, 8, 17, 0)); got != 8 {
+		t.Errorf("default after change = %d, want 8", got)
+	}
+}
+
+func TestOnlineStartsConservative(t *testing.T) {
+	p := NewOnline()
+	if got := p.Decide(decision(0, 32, 1, 0)); got != 16 {
+		t.Errorf("first decision = %d, want avail/2 = 16", got)
+	}
+}
+
+func TestOnlineClimbsTowardBetterRates(t *testing.T) {
+	p := NewOnline()
+	n := p.Decide(decision(0, 32, 1, 0))
+	// Feed a rate landscape peaked at 8 threads: the climber must move
+	// toward it (downward from 16) over time.
+	rate := func(n int) float64 {
+		d := float64(n - 8)
+		return 100 - d*d
+	}
+	tm := 0.0
+	for i := 0; i < 100; i++ {
+		tm += OnlineAdaptInterval
+		n = p.Decide(decision(tm, 32, n, rate(n)))
+	}
+	if n < 4 || n > 12 {
+		t.Errorf("climber ended at %d, want near the peak 8", n)
+	}
+}
+
+func TestOnlineRespectsInterval(t *testing.T) {
+	p := NewOnline()
+	n0 := p.Decide(decision(0, 32, 1, 0))
+	// Decisions inside the adaptation interval must not move.
+	n1 := p.Decide(decision(0.5, 32, n0, 50))
+	n2 := p.Decide(decision(1.0, 32, n1, 60))
+	if n1 != n0 || n2 != n0 {
+		t.Errorf("climber moved mid-interval: %d %d %d", n0, n1, n2)
+	}
+}
+
+func TestOfflinePredicts(t *testing.T) {
+	// Model: n = processors (coefficient 1 on f5).
+	w := make([]float64, features.Dim)
+	w[features.Processors] = 1
+	p := NewOffline(&regress.Model{Weights: w, Bias: 0}, 12)
+	if got := p.Decide(decision(0, 10, 1, 0)); got != 10 {
+		t.Errorf("offline = %d, want 10", got)
+	}
+	// Cap at the training platform size.
+	if got := p.Decide(decision(0, 30, 1, 0)); got != 12 {
+		t.Errorf("offline cap = %d, want 12", got)
+	}
+	if p.Name() != "offline" {
+		t.Errorf("name = %s", p.Name())
+	}
+}
+
+func TestAnalyticProbesThenCommits(t *testing.T) {
+	p := NewAnalytic(AnalyticOptions{ProbeInterval: 1, CommitInterval: 10, Seed: 3})
+	seen := map[int]bool{}
+	tm := 0.0
+	var lastN int
+	for i := 0; i < 8; i++ {
+		lastN = p.Decide(decision(tm, 32, lastN, 10))
+		seen[lastN] = true
+		tm += 0.5
+	}
+	if len(seen) < 2 {
+		t.Errorf("analytic should try two probe thread counts, saw %v", seen)
+	}
+	// After both probes it commits and holds.
+	committed := p.Decide(decision(tm, 32, lastN, 10))
+	for i := 0; i < 6; i++ {
+		tm += 0.5
+		if got := p.Decide(decision(tm, 32, committed, 10)); got != committed {
+			t.Fatalf("analytic moved during commit: %d vs %d", got, committed)
+		}
+	}
+}
+
+func TestAnalyticReexploresOnDeviation(t *testing.T) {
+	p := NewAnalytic(AnalyticOptions{ProbeInterval: 1, CommitInterval: 1000, Seed: 5})
+	tm := 0.0
+	var n int
+	// Drive through the probe phase with a steady rate.
+	for i := 0; i < 10; i++ {
+		n = p.Decide(decision(tm, 32, n, 10))
+		tm += 0.5
+	}
+	committed := n
+	// Crash the observed rate: the deviation check must trigger fresh
+	// probing (thread count changes) long before the commit expires.
+	changed := false
+	for i := 0; i < 20; i++ {
+		tm += 0.5
+		if got := p.Decide(decision(tm, 32, n, 0.5)); got != committed {
+			changed = true
+			break
+		}
+	}
+	if !changed {
+		t.Error("analytic never re-explored after a large rate deviation")
+	}
+}
+
+func TestAnalyticDeterministicWithSeed(t *testing.T) {
+	run := func() []int {
+		p := NewAnalytic(AnalyticOptions{Seed: 11})
+		var out []int
+		tm := 0.0
+		n := 0
+		for i := 0; i < 50; i++ {
+			n = p.Decide(decision(tm, 32, n, 10))
+			out = append(out, n)
+			tm += 0.5
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("analytic with same seed diverged")
+		}
+	}
+}
+
+func TestOracleFallback(t *testing.T) {
+	o := &Oracle{}
+	if got := o.Decide(decision(0, 13, 1, 0)); got != 13 {
+		t.Errorf("oracle without BestFn = %d, want available processors", got)
+	}
+	o.BestFn = func(sim.Decision) int { return 7 }
+	if got := o.Decide(decision(0, 13, 1, 0)); got != 7 {
+		t.Errorf("oracle with BestFn = %d, want 7", got)
+	}
+}

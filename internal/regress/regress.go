@@ -1,0 +1,233 @@
+// Package regress implements the ordinary-least-squares linear regression
+// the paper uses to build its thread and environment predictors (§5.2.3):
+// "a linear regression technique employing standard least squares", fit with
+// leave-one-out cross validation. Models are 10-dimensional linear functions
+// plus a regression constant β, exactly the shape of Table 1.
+//
+// The solver works on the normal equations with Gaussian elimination and
+// partial pivoting; a small ridge term is retried automatically when the
+// system is singular (which happens when training data does not span the
+// feature space, e.g. a fixed processor count).
+package regress
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrNoData is returned when a fit is requested with no samples.
+var ErrNoData = errors.New("regress: no training samples")
+
+// ErrSingular is returned when the normal equations are singular even after
+// ridge regularization.
+var ErrSingular = errors.New("regress: singular system")
+
+// Sample is one training observation: a feature vector and the value the
+// model should predict for it (best thread count for w models, next
+// environment norm for m models).
+type Sample struct {
+	X []float64
+	Y float64
+}
+
+// Model is a fitted linear model y = w·x + β.
+type Model struct {
+	Weights []float64 // one per feature
+	Bias    float64   // β, the regression constant of Table 1
+}
+
+// Predict evaluates the model at x. The length of x must match the number
+// of weights.
+func (m *Model) Predict(x []float64) (float64, error) {
+	if len(x) != len(m.Weights) {
+		return 0, fmt.Errorf("regress: predict with %d features, model has %d", len(x), len(m.Weights))
+	}
+	y := m.Bias
+	for i, w := range m.Weights {
+		y += w * x[i]
+	}
+	return y, nil
+}
+
+// MustPredict is Predict for callers that construct x with the model's own
+// dimensionality; it panics on mismatch, which indicates a programming
+// error rather than bad data.
+func (m *Model) MustPredict(x []float64) float64 {
+	y, err := m.Predict(x)
+	if err != nil {
+		panic(err)
+	}
+	return y
+}
+
+// Dim returns the number of features the model expects.
+func (m *Model) Dim() int { return len(m.Weights) }
+
+// Coefficients returns the weights with the bias appended, matching the
+// Table 1 layout (w1..w10, β).
+func (m *Model) Coefficients() []float64 {
+	out := make([]float64, len(m.Weights)+1)
+	copy(out, m.Weights)
+	out[len(m.Weights)] = m.Bias
+	return out
+}
+
+// FromCoefficients builds a model from a Table-1-style coefficient slice
+// (weights followed by bias).
+func FromCoefficients(coeffs []float64) (*Model, error) {
+	if len(coeffs) < 2 {
+		return nil, fmt.Errorf("regress: need at least one weight plus bias, got %d values", len(coeffs))
+	}
+	w := make([]float64, len(coeffs)-1)
+	copy(w, coeffs[:len(coeffs)-1])
+	return &Model{Weights: w, Bias: coeffs[len(coeffs)-1]}, nil
+}
+
+// Options configures a fit.
+type Options struct {
+	// Ridge is the L2 regularization strength added to the normal
+	// equations' diagonal (bias excluded). Zero requests pure OLS with an
+	// automatic tiny-ridge retry if the system is singular.
+	Ridge float64
+	// Mask, when non-nil, marks features to exclude from the fit (true =
+	// keep). Excluded features get weight 0 in the returned model, so the
+	// model still accepts full-width inputs. This implements the
+	// leave-one-feature-out ablation behind the paper's feature-impact
+	// metric (Fig 6).
+	Mask []bool
+}
+
+// Fit computes the least-squares model for the samples. All samples must
+// share the same dimensionality.
+func Fit(samples []Sample, opts Options) (*Model, error) {
+	if len(samples) == 0 {
+		return nil, ErrNoData
+	}
+	dim := len(samples[0].X)
+	if dim == 0 {
+		return nil, errors.New("regress: zero-dimensional samples")
+	}
+	for i, s := range samples {
+		if len(s.X) != dim {
+			return nil, fmt.Errorf("regress: sample %d has %d features, want %d", i, len(s.X), dim)
+		}
+	}
+	if opts.Mask != nil && len(opts.Mask) != dim {
+		return nil, fmt.Errorf("regress: mask length %d, want %d", len(opts.Mask), dim)
+	}
+
+	// Active feature indices after masking.
+	active := make([]int, 0, dim)
+	for i := 0; i < dim; i++ {
+		if opts.Mask == nil || opts.Mask[i] {
+			active = append(active, i)
+		}
+	}
+	n := len(active) + 1 // +1 for the bias column
+
+	// Normal equations A·θ = b with A = XᵀX, b = Xᵀy over the augmented
+	// design matrix (active features + constant 1 column).
+	a := make([][]float64, n)
+	for i := range a {
+		a[i] = make([]float64, n)
+	}
+	b := make([]float64, n)
+	row := make([]float64, n)
+	for _, s := range samples {
+		for j, fi := range active {
+			row[j] = s.X[fi]
+		}
+		row[n-1] = 1
+		for i := 0; i < n; i++ {
+			for j := i; j < n; j++ {
+				a[i][j] += row[i] * row[j]
+			}
+			b[i] += row[i] * s.Y
+		}
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < i; j++ {
+			a[i][j] = a[j][i]
+		}
+	}
+
+	ridge := opts.Ridge
+	theta, err := solveWithRidge(a, b, ridge, n)
+	if err != nil {
+		return nil, err
+	}
+
+	weights := make([]float64, dim)
+	for j, fi := range active {
+		weights[fi] = theta[j]
+	}
+	return &Model{Weights: weights, Bias: theta[n-1]}, nil
+}
+
+// solveWithRidge solves (A + λI)θ = b, retrying with growing λ when the
+// system is singular. The bias row (last) is never regularized.
+func solveWithRidge(a [][]float64, b []float64, ridge float64, n int) ([]float64, error) {
+	for attempt := 0; attempt < 4; attempt++ {
+		m := make([][]float64, n)
+		for i := range m {
+			m[i] = append([]float64(nil), a[i]...)
+			if i < n-1 {
+				m[i][i] += ridge
+			}
+		}
+		theta, err := solve(m, append([]float64(nil), b...))
+		if err == nil {
+			return theta, nil
+		}
+		if ridge == 0 {
+			ridge = 1e-8
+		} else {
+			ridge *= 1e3
+		}
+	}
+	return nil, ErrSingular
+}
+
+// solve performs in-place Gaussian elimination with partial pivoting on the
+// augmented system m·x = b.
+func solve(m [][]float64, b []float64) ([]float64, error) {
+	n := len(m)
+	for col := 0; col < n; col++ {
+		// Partial pivot: largest absolute value in this column.
+		pivot := col
+		best := math.Abs(m[col][col])
+		for r := col + 1; r < n; r++ {
+			if v := math.Abs(m[r][col]); v > best {
+				best, pivot = v, r
+			}
+		}
+		if best < 1e-12 {
+			return nil, ErrSingular
+		}
+		if pivot != col {
+			m[col], m[pivot] = m[pivot], m[col]
+			b[col], b[pivot] = b[pivot], b[col]
+		}
+		inv := 1 / m[col][col]
+		for r := col + 1; r < n; r++ {
+			f := m[r][col] * inv
+			if f == 0 {
+				continue
+			}
+			for c := col; c < n; c++ {
+				m[r][c] -= f * m[col][c]
+			}
+			b[r] -= f * b[col]
+		}
+	}
+	x := make([]float64, n)
+	for r := n - 1; r >= 0; r-- {
+		sum := b[r]
+		for c := r + 1; c < n; c++ {
+			sum -= m[r][c] * x[c]
+		}
+		x[r] = sum / m[r][r]
+	}
+	return x, nil
+}

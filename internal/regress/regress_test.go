@@ -1,0 +1,178 @@
+package regress
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"moe/internal/trace"
+)
+
+// genLinear builds samples from a known linear model plus optional noise.
+func genLinear(weights []float64, bias float64, n int, noise float64, seed uint64) []Sample {
+	rng := trace.NewRNG(seed)
+	out := make([]Sample, n)
+	for i := range out {
+		x := make([]float64, len(weights))
+		y := bias
+		for j := range x {
+			x[j] = rng.Range(-5, 5)
+			y += weights[j] * x[j]
+		}
+		if noise > 0 {
+			y += rng.Norm() * noise
+		}
+		out[i] = Sample{X: x, Y: y}
+	}
+	return out
+}
+
+func TestFitRecoversExactModel(t *testing.T) {
+	weights := []float64{2, -1, 0.5}
+	samples := genLinear(weights, 3, 50, 0, 1)
+	m, err := Fit(samples, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, w := range weights {
+		if math.Abs(m.Weights[i]-w) > 1e-6 {
+			t.Errorf("weight %d = %v, want %v", i, m.Weights[i], w)
+		}
+	}
+	if math.Abs(m.Bias-3) > 1e-6 {
+		t.Errorf("bias = %v, want 3", m.Bias)
+	}
+}
+
+func TestFitRecoversUnderNoise(t *testing.T) {
+	weights := []float64{1.5, -2}
+	samples := genLinear(weights, 0.7, 2000, 0.1, 2)
+	m, err := Fit(samples, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, w := range weights {
+		if math.Abs(m.Weights[i]-w) > 0.05 {
+			t.Errorf("weight %d = %v, want ~%v", i, m.Weights[i], w)
+		}
+	}
+}
+
+func TestFitErrors(t *testing.T) {
+	if _, err := Fit(nil, Options{}); err == nil {
+		t.Error("no samples should error")
+	}
+	if _, err := Fit([]Sample{{X: nil, Y: 1}}, Options{}); err == nil {
+		t.Error("zero-dimensional should error")
+	}
+	if _, err := Fit([]Sample{{X: []float64{1}, Y: 1}, {X: []float64{1, 2}, Y: 2}}, Options{}); err == nil {
+		t.Error("inconsistent dimensions should error")
+	}
+	if _, err := Fit([]Sample{{X: []float64{1, 2}, Y: 1}}, Options{Mask: []bool{true}}); err == nil {
+		t.Error("wrong mask length should error")
+	}
+}
+
+func TestFitSingularFallsBackToRidge(t *testing.T) {
+	// Feature 1 is a copy of feature 0: the normal equations are
+	// singular; the ridge retry must still produce a usable model.
+	samples := make([]Sample, 20)
+	rng := trace.NewRNG(3)
+	for i := range samples {
+		x := rng.Range(-1, 1)
+		samples[i] = Sample{X: []float64{x, x}, Y: 3 * x}
+	}
+	m, err := Fit(samples, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred, err := m.Predict([]float64{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(pred-3) > 1e-3 {
+		t.Errorf("collinear fit predicts %v, want ~3", pred)
+	}
+}
+
+func TestFitMaskZeroesExcludedWeights(t *testing.T) {
+	samples := genLinear([]float64{2, 5}, 1, 100, 0, 4)
+	mask := []bool{true, false}
+	m, err := Fit(samples, Options{Mask: mask})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Weights[1] != 0 {
+		t.Errorf("masked weight should be 0, got %v", m.Weights[1])
+	}
+	// The model still accepts full-width inputs.
+	if _, err := m.Predict([]float64{1, 2}); err != nil {
+		t.Errorf("masked model rejected full-width input: %v", err)
+	}
+}
+
+func TestPredictDimensionCheck(t *testing.T) {
+	m := &Model{Weights: []float64{1, 2}, Bias: 0}
+	if _, err := m.Predict([]float64{1}); err == nil {
+		t.Error("wrong input width should error")
+	}
+	got, err := m.Predict([]float64{1, 1})
+	if err != nil || got != 3 {
+		t.Errorf("Predict = %v (%v)", got, err)
+	}
+	if m.Dim() != 2 {
+		t.Errorf("Dim = %d", m.Dim())
+	}
+}
+
+func TestMustPredictPanicsOnMismatch(t *testing.T) {
+	m := &Model{Weights: []float64{1}, Bias: 0}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustPredict should panic on width mismatch")
+		}
+	}()
+	m.MustPredict([]float64{1, 2})
+}
+
+func TestCoefficientsRoundTrip(t *testing.T) {
+	m := &Model{Weights: []float64{1, 2, 3}, Bias: 4}
+	co := m.Coefficients()
+	if len(co) != 4 || co[3] != 4 {
+		t.Fatalf("Coefficients = %v", co)
+	}
+	back, err := FromCoefficients(co)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Bias != 4 || back.Weights[2] != 3 {
+		t.Errorf("round trip = %+v", back)
+	}
+	if _, err := FromCoefficients([]float64{1}); err == nil {
+		t.Error("too-short coefficients should error")
+	}
+}
+
+func TestFitInterpolatesExactlyProperty(t *testing.T) {
+	// For any well-conditioned linear target, OLS on noiseless data
+	// predicts held-out points of the same model exactly.
+	f := func(w1, w2, b int8) bool {
+		weights := []float64{float64(w1) / 10, float64(w2) / 10}
+		samples := genLinear(weights, float64(b)/10, 60, 0, uint64(uint8(w1))+uint64(uint8(w2))*251+1)
+		m, err := Fit(samples, Options{})
+		if err != nil {
+			return false
+		}
+		test := genLinear(weights, float64(b)/10, 10, 0, 777)
+		for _, s := range test {
+			pred, err := m.Predict(s.X)
+			if err != nil || math.Abs(pred-s.Y) > 1e-5 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,163 @@
+package regress
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Metrics summarizes prediction quality over a validation set.
+type Metrics struct {
+	MAE      float64 // mean absolute error
+	RMSE     float64 // root mean squared error
+	R2       float64 // coefficient of determination
+	Accuracy float64 // fraction of predictions within Tolerance of truth
+	N        int     // number of validation samples
+}
+
+// Tolerance is the relative error within which a prediction counts as
+// "accurate" for the Accuracy metric. The paper reports environment
+// predictors as "accurate ~80% of the time" with accuracy measured as the
+// normalized difference between observed and predicted environment
+// (Fig 15a); 15% relative tolerance reproduces that notion.
+const Tolerance = 0.15
+
+// Evaluate scores a fitted model against samples.
+func Evaluate(m *Model, samples []Sample) (Metrics, error) {
+	if len(samples) == 0 {
+		return Metrics{}, ErrNoData
+	}
+	var sumAbs, sumSq, sumY float64
+	accurate := 0
+	for _, s := range samples {
+		sumY += s.Y
+	}
+	meanY := sumY / float64(len(samples))
+	var ssTot, ssRes float64
+	for i, s := range samples {
+		pred, err := m.Predict(s.X)
+		if err != nil {
+			return Metrics{}, fmt.Errorf("regress: evaluating sample %d: %w", i, err)
+		}
+		err2 := pred - s.Y
+		sumAbs += math.Abs(err2)
+		sumSq += err2 * err2
+		ssRes += err2 * err2
+		d := s.Y - meanY
+		ssTot += d * d
+		if withinTolerance(pred, s.Y) {
+			accurate++
+		}
+	}
+	n := float64(len(samples))
+	metrics := Metrics{
+		MAE:      sumAbs / n,
+		RMSE:     math.Sqrt(sumSq / n),
+		Accuracy: float64(accurate) / n,
+		N:        len(samples),
+	}
+	if ssTot > 0 {
+		metrics.R2 = 1 - ssRes/ssTot
+	} else if ssRes == 0 {
+		metrics.R2 = 1
+	}
+	return metrics, nil
+}
+
+// withinTolerance reports whether pred is within the relative Tolerance of
+// truth (absolute tolerance of Tolerance near zero truth values).
+func withinTolerance(pred, truth float64) bool {
+	scale := math.Abs(truth)
+	if scale < 1 {
+		scale = 1
+	}
+	return math.Abs(pred-truth) <= Tolerance*scale
+}
+
+// GroupKeyFn assigns each sample to a cross-validation group. The paper
+// uses leave-one-out at *program* granularity (§5.2.3: "if we are trying to
+// predict the number of threads for program bt, we ensure that bt is not
+// part of the training set"); the key is typically the program name index.
+type GroupKeyFn func(i int) string
+
+// LeaveOneOut runs leave-one-group-out cross validation: for each distinct
+// group, fit on all other groups and evaluate on the held-out group. The
+// returned metrics are aggregated over all held-out predictions.
+func LeaveOneOut(samples []Sample, key GroupKeyFn, opts Options) (Metrics, error) {
+	if len(samples) == 0 {
+		return Metrics{}, ErrNoData
+	}
+	if key == nil {
+		return Metrics{}, errors.New("regress: nil group key function")
+	}
+	groups := make(map[string][]int)
+	for i := range samples {
+		k := key(i)
+		groups[k] = append(groups[k], i)
+	}
+	if len(groups) < 2 {
+		return Metrics{}, errors.New("regress: leave-one-out needs at least two groups")
+	}
+
+	var all []heldOut
+	for g, held := range groups {
+		train := make([]Sample, 0, len(samples)-len(held))
+		heldSet := make(map[int]bool, len(held))
+		for _, i := range held {
+			heldSet[i] = true
+		}
+		for i, s := range samples {
+			if !heldSet[i] {
+				train = append(train, s)
+			}
+		}
+		model, err := Fit(train, opts)
+		if err != nil {
+			return Metrics{}, fmt.Errorf("regress: fold %q: %w", g, err)
+		}
+		for _, i := range held {
+			pred, err := model.Predict(samples[i].X)
+			if err != nil {
+				return Metrics{}, err
+			}
+			all = append(all, heldOut{pred: pred, truth: samples[i].Y})
+		}
+	}
+	return aggregate(all), nil
+}
+
+type heldOut struct{ pred, truth float64 }
+
+func aggregate(outs []heldOut) Metrics {
+	var sumAbs, sumSq, sumY float64
+	accurate := 0
+	for _, o := range outs {
+		sumY += o.truth
+	}
+	meanY := sumY / float64(len(outs))
+	var ssTot, ssRes float64
+	for _, o := range outs {
+		e := o.pred - o.truth
+		sumAbs += math.Abs(e)
+		sumSq += e * e
+		ssRes += e * e
+		d := o.truth - meanY
+		ssTot += d * d
+		if withinTolerance(o.pred, o.truth) {
+			accurate++
+		}
+	}
+	n := float64(len(outs))
+	m := Metrics{
+		MAE:      sumAbs / n,
+		RMSE:     math.Sqrt(sumSq / n),
+		Accuracy: float64(accurate) / n,
+		N:        len(outs),
+	}
+	if ssTot > 0 {
+		m.R2 = 1 - ssRes/ssTot
+	} else if ssRes == 0 {
+		m.R2 = 1
+	}
+	return m
+}

@@ -1,0 +1,147 @@
+package regress
+
+import (
+	"fmt"
+	"math"
+	"testing"
+)
+
+func TestEvaluatePerfectModel(t *testing.T) {
+	samples := genLinear([]float64{1, 1}, 0, 50, 0, 9)
+	m, err := Fit(samples, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics, err := Evaluate(m, samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if metrics.MAE > 1e-9 || metrics.RMSE > 1e-9 {
+		t.Errorf("perfect model has errors: %+v", metrics)
+	}
+	if metrics.Accuracy != 1 {
+		t.Errorf("perfect model accuracy = %v", metrics.Accuracy)
+	}
+	if math.Abs(metrics.R2-1) > 1e-9 {
+		t.Errorf("perfect model R2 = %v", metrics.R2)
+	}
+	if metrics.N != 50 {
+		t.Errorf("N = %d", metrics.N)
+	}
+}
+
+func TestEvaluateConstantModelR2(t *testing.T) {
+	// A model that always predicts the mean has R² = 0.
+	samples := []Sample{
+		{X: []float64{0}, Y: 1},
+		{X: []float64{0}, Y: 3},
+	}
+	m := &Model{Weights: []float64{0}, Bias: 2}
+	metrics, err := Evaluate(m, samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(metrics.R2) > 1e-9 {
+		t.Errorf("mean model R2 = %v, want 0", metrics.R2)
+	}
+}
+
+func TestEvaluateErrors(t *testing.T) {
+	m := &Model{Weights: []float64{1}, Bias: 0}
+	if _, err := Evaluate(m, nil); err == nil {
+		t.Error("empty set should error")
+	}
+	if _, err := Evaluate(m, []Sample{{X: []float64{1, 2}, Y: 1}}); err == nil {
+		t.Error("dimension mismatch should error")
+	}
+}
+
+func TestWithinTolerance(t *testing.T) {
+	// Relative tolerance away from zero.
+	if !withinTolerance(108, 100) {
+		t.Error("8% error at scale 100 should be within a 15% tolerance")
+	}
+	if withinTolerance(120, 100) {
+		t.Error("20% error should be outside tolerance")
+	}
+	// Absolute tolerance near zero.
+	if !withinTolerance(0.1, 0) {
+		t.Error("0.1 absolute at scale ~0 should be within tolerance")
+	}
+	if withinTolerance(0.5, 0) {
+		t.Error("0.5 absolute at scale ~0 should be outside tolerance")
+	}
+}
+
+func TestLeaveOneOutGroupsByKey(t *testing.T) {
+	// Two groups drawn from the same linear model: each fold trains on
+	// the other and predicts perfectly.
+	var samples []Sample
+	samples = append(samples, genLinear([]float64{2}, 1, 20, 0, 11)...)
+	samples = append(samples, genLinear([]float64{2}, 1, 20, 0, 12)...)
+	key := func(i int) string {
+		if i < 20 {
+			return "a"
+		}
+		return "b"
+	}
+	metrics, err := LeaveOneOut(samples, key, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if metrics.MAE > 1e-6 {
+		t.Errorf("cross-model LOO MAE = %v", metrics.MAE)
+	}
+	if metrics.N != 40 {
+		t.Errorf("N = %d, want 40", metrics.N)
+	}
+}
+
+func TestLeaveOneOutDetectsGroupShift(t *testing.T) {
+	// Group b has a different bias; holding it out must show error.
+	var samples []Sample
+	samples = append(samples, genLinear([]float64{1}, 0, 30, 0, 13)...)
+	shifted := genLinear([]float64{1}, 10, 30, 0, 14)
+	samples = append(samples, shifted...)
+	key := func(i int) string {
+		if i < 30 {
+			return "a"
+		}
+		return "b"
+	}
+	metrics, err := LeaveOneOut(samples, key, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if metrics.MAE < 1 {
+		t.Errorf("group shift should produce large LOO error, got MAE=%v", metrics.MAE)
+	}
+}
+
+func TestLeaveOneOutErrors(t *testing.T) {
+	if _, err := LeaveOneOut(nil, func(int) string { return "" }, Options{}); err == nil {
+		t.Error("empty samples should error")
+	}
+	s := genLinear([]float64{1}, 0, 5, 0, 15)
+	if _, err := LeaveOneOut(s, nil, Options{}); err == nil {
+		t.Error("nil key should error")
+	}
+	if _, err := LeaveOneOut(s, func(int) string { return "only" }, Options{}); err == nil {
+		t.Error("single group should error")
+	}
+}
+
+func TestLeaveOneOutManyGroups(t *testing.T) {
+	var samples []Sample
+	for g := 0; g < 5; g++ {
+		samples = append(samples, genLinear([]float64{1, -1}, 2, 12, 0.01, uint64(20+g))...)
+	}
+	key := func(i int) string { return fmt.Sprintf("g%d", i/12) }
+	metrics, err := LeaveOneOut(samples, key, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if metrics.Accuracy < 0.9 {
+		t.Errorf("near-noiseless LOO accuracy = %v", metrics.Accuracy)
+	}
+}

@@ -1,0 +1,510 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"moe/internal/features"
+	"moe/internal/stats"
+	"moe/internal/trace"
+	"moe/internal/workload"
+)
+
+// Timestep constants. The engine advances in fixed dt steps; policies are
+// consulted every ControlInterval and at region boundaries, matching a
+// runtime that re-decides the thread count at every parallel loop.
+const (
+	DefaultDT              = 0.1 // seconds of virtual time per step
+	DefaultControlInterval = 0.5 // seconds between policy consultations
+)
+
+// ProgramSpec binds a program model to the policy that controls it and the
+// role it plays in the scenario.
+type ProgramSpec struct {
+	Program *workload.Program
+	Policy  Policy
+	// Loop makes the program restart when it completes, modelling
+	// external workloads that keep the system busy until the target
+	// finishes (§6.1: "continue running till the other finishes").
+	Loop bool
+	// Target marks the program whose completion ends the scenario.
+	Target bool
+	// StartDelay postpones the program's arrival.
+	StartDelay float64
+}
+
+// Sample is one timestep observation of a program, used to build training
+// data and the timeline figures (Fig 2).
+type Sample struct {
+	Time     float64
+	Features features.Vector
+	EnvNorm  float64 // ‖e‖ of the environment features at this time
+	Threads  int     // thread count in force
+	Rate     float64 // instantaneous work rate
+	BestRate float64 // rate the oracle thread count would achieve
+	OracleN  int     // oracle-optimal thread count at this instant
+	// RateCurve holds the ground-truth parallel-phase rate for every
+	// thread count 1..cores (RecordOracle only); it labels the paper's
+	// speedup model x(n, f) (§4.1).
+	RateCurve  []float64
+	Region     int // flat region-execution index
+	Available  int // processors online
+	WorkldThr  int // external workload threads
+	RegionName string
+}
+
+// ProgramResult summarizes one program's run.
+type ProgramResult struct {
+	Name string
+	// Finished reports whether the program ran to completion (targets) —
+	// looping workloads never finish.
+	Finished bool
+	// ExecTime is the completion time for finished programs, else the
+	// scenario duration.
+	ExecTime float64
+	// WorkDone is total work units completed (loops included), the
+	// throughput measure used for workload impact (Fig 13a).
+	WorkDone float64
+	// Samples holds the per-control-interval trace if sampling was
+	// enabled.
+	Samples []Sample
+	// ThreadHist counts control intervals spent at each thread count
+	// (Fig 17).
+	ThreadHist *stats.Histogram
+	// DecisionCount is how many times the policy was consulted.
+	DecisionCount int
+}
+
+// Result is a completed scenario.
+type Result struct {
+	Programs []ProgramResult
+	// Duration is the virtual time the scenario ran.
+	Duration float64
+	// TargetIndex is the index of the target program in Programs, or -1.
+	TargetIndex int
+}
+
+// Target returns the target program's result.
+func (r *Result) Target() (*ProgramResult, error) {
+	if r.TargetIndex < 0 || r.TargetIndex >= len(r.Programs) {
+		return nil, fmt.Errorf("sim: result has no target program")
+	}
+	return &r.Programs[r.TargetIndex], nil
+}
+
+// WorkloadThroughput returns total work per second completed by non-target
+// programs, the workload-performance measure of Fig 13a.
+func (r *Result) WorkloadThroughput() float64 {
+	if r.Duration <= 0 {
+		return 0
+	}
+	sum := 0.0
+	for i := range r.Programs {
+		if i != r.TargetIndex {
+			sum += r.Programs[i].WorkDone
+		}
+	}
+	return sum / r.Duration
+}
+
+// Scenario is one co-execution experiment.
+type Scenario struct {
+	Machine  MachineConfig
+	Programs []ProgramSpec
+	// MaxTime bounds the run; required so broken policies cannot hang.
+	MaxTime float64
+	// DT and ControlInterval override the defaults when positive.
+	DT              float64
+	ControlInterval float64
+	// RecordSamples enables per-interval traces on all programs (memory
+	// proportional to duration; off for bulk sweeps).
+	RecordSamples bool
+	// RecordOracle additionally computes the oracle thread count at each
+	// control point (used for training-data generation; costs one rate
+	// evaluation per candidate thread count).
+	RecordOracle bool
+	// RateNoise is the relative standard deviation of multiplicative
+	// measurement noise applied to the Rate reported to policies (real
+	// runtimes time intervals against a noisy clock on a noisy machine).
+	// Actual simulated progress is unaffected. Zero disables noise.
+	RateNoise float64
+	// Seed drives the measurement-noise stream; the default (0) derives
+	// a fixed seed so runs stay reproducible.
+	Seed uint64
+}
+
+// instance is the runtime state of one program. Each region executes in
+// two phases: the serial prologue (one runnable thread) followed by the
+// parallel phase (the policy-chosen thread count).
+type instance struct {
+	spec         ProgramSpec
+	threads      int
+	regionIdx    int     // flat region-execution index
+	serialLeft   float64 // serial work left in the current region
+	parallelLeft float64 // parallel work left in the current region
+	arrived      bool
+	finished     bool
+	finishTime   float64
+	workDone     float64
+	// control-interval accounting
+	intervalWork  float64
+	lastRate      float64
+	nextControl   float64
+	regionPending bool // region boundary reached; consult policy
+	// extWL smooths the instance's view of external workload threads
+	// (total runnable minus own demand) so the program's own
+	// serial/parallel transitions do not masquerade as workload churn.
+	extWL  *stats.EMA
+	result ProgramResult
+}
+
+// enterRegion loads the region at the instance's current index, carrying
+// surplus progress from the previous step into the serial phase first.
+func (in *instance) enterRegion(surplus float64) {
+	r := in.spec.Program.RegionAt(in.regionIdx)
+	in.serialLeft = (1 - r.ParallelFrac) * r.Work
+	in.parallelLeft = r.ParallelFrac * r.Work
+	in.serialLeft -= surplus
+	if in.serialLeft < 0 {
+		in.parallelLeft += in.serialLeft
+		in.serialLeft = 0
+	}
+	in.regionPending = true
+}
+
+// engineState carries the shared per-step machine state.
+type engineState struct {
+	cfg       MachineConfig
+	load1     *stats.EMA
+	load5     *stats.EMA
+	pageEMA   *stats.EMA
+	wlEMA     *stats.EMA // short smoothing of runnable threads (sar-style)
+	runqEMA   *stats.EMA // short smoothing of the run queue
+	lastHW    int
+	hwChange  float64 // time of last hardware change, drives migration churn
+	noise     *trace.RNG
+	rateNoise float64
+}
+
+// Run executes the scenario to completion of the target (or MaxTime) and
+// returns per-program results.
+func Run(s Scenario) (*Result, error) {
+	cfg := s.Machine.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if len(s.Programs) == 0 {
+		return nil, fmt.Errorf("sim: scenario has no programs")
+	}
+	if s.MaxTime <= 0 {
+		return nil, fmt.Errorf("sim: scenario needs positive MaxTime")
+	}
+	dt := s.DT
+	if dt <= 0 {
+		dt = DefaultDT
+	}
+	ctrl := s.ControlInterval
+	if ctrl <= 0 {
+		ctrl = DefaultControlInterval
+	}
+
+	targetIdx := -1
+	insts := make([]*instance, len(s.Programs))
+	for i, spec := range s.Programs {
+		if spec.Program == nil {
+			return nil, fmt.Errorf("sim: program %d is nil", i)
+		}
+		if spec.Policy == nil {
+			return nil, fmt.Errorf("sim: program %d (%s) has no policy", i, spec.Program.Name)
+		}
+		if err := spec.Program.Validate(); err != nil {
+			return nil, err
+		}
+		if spec.Target {
+			if targetIdx >= 0 {
+				return nil, fmt.Errorf("sim: multiple target programs")
+			}
+			targetIdx = i
+		}
+		insts[i] = &instance{
+			spec:    spec,
+			threads: 1,
+			extWL:   stats.NewEMA(2),
+			result: ProgramResult{
+				Name:       spec.Program.Name,
+				ThreadHist: stats.NewHistogram(),
+			},
+		}
+		insts[i].enterRegion(0)
+	}
+
+	seed := s.Seed
+	if seed == 0 {
+		seed = 0x517a7e51 + uint64(len(s.Programs))
+	}
+	es := &engineState{
+		cfg:       cfg,
+		load1:     stats.NewEMA(60),
+		load5:     stats.NewEMA(300),
+		pageEMA:   stats.NewEMA(5),
+		wlEMA:     stats.NewEMA(2),
+		runqEMA:   stats.NewEMA(2),
+		lastHW:    cfg.availableAt(0),
+		hwChange:  -1e9,
+		noise:     trace.NewRNG(seed),
+		rateNoise: s.RateNoise,
+	}
+
+	steps := int(math.Ceil(s.MaxTime / dt))
+	for step := 0; step <= steps; step++ {
+		t := float64(step) * dt
+		avail := cfg.availableAt(t)
+		if avail != es.lastHW {
+			es.lastHW = avail
+			es.hwChange = t
+		}
+
+		// Arrival and completion bookkeeping.
+		for _, in := range insts {
+			if !in.arrived && t >= in.spec.StartDelay {
+				in.arrived = true
+				in.nextControl = t
+			}
+		}
+
+		// Shared machine state for this step.
+		env, rawRunnable := sampleEnv(insts, es, t, avail, dt)
+		for _, in := range insts {
+			if in.arrived && !in.finished {
+				ext := float64(rawRunnable - in.demand())
+				if ext < 0 {
+					ext = 0
+				}
+				in.extWL.Update(ext, dt)
+			}
+		}
+
+		// Policy control points.
+		for _, in := range insts {
+			if !in.arrived || in.finished {
+				continue
+			}
+			if t+1e-9 >= in.nextControl || in.regionPending {
+				consult(in, insts, es, env, t, avail, ctrl, s)
+			}
+		}
+
+		// Advance every live program by dt.
+		for _, in := range insts {
+			if !in.arrived || in.finished {
+				continue
+			}
+			// Consume the step's time across phase and region
+			// boundaries, re-evaluating the rate whenever the phase
+			// changes: serial work progresses at the serial rate,
+			// parallel work at the parallel rate, never mixed. Other
+			// programs' demands are held constant within the step.
+			remaining := dt
+			for iter := 0; remaining > 1e-12 && !in.finished && iter < 64; iter++ {
+				rate := progressRate(in, insts, es, avail, in.threads)
+				if rate <= 0 {
+					break
+				}
+				phaseLeft := &in.parallelLeft
+				if in.serialLeft > 0 {
+					phaseLeft = &in.serialLeft
+				}
+				done := rate * remaining
+				if done < *phaseLeft {
+					*phaseLeft -= done
+					in.workDone += done
+					in.intervalWork += done
+					remaining = 0
+					break
+				}
+				// Phase exhausted: charge only the time it needed.
+				in.workDone += *phaseLeft
+				in.intervalWork += *phaseLeft
+				remaining -= *phaseLeft / rate
+				*phaseLeft = 0
+				if in.serialLeft <= 0 && in.parallelLeft <= 0 {
+					// Region complete; move to the next.
+					in.regionIdx++
+					if in.regionIdx >= in.spec.Program.RegionCount() {
+						if in.spec.Loop {
+							in.regionIdx = 0
+							in.enterRegion(0)
+						} else {
+							in.finished = true
+							in.finishTime = t + dt - remaining
+						}
+					} else {
+						in.enterRegion(0)
+					}
+				}
+			}
+		}
+
+		// Scenario ends when the target finishes.
+		if targetIdx >= 0 && insts[targetIdx].finished {
+			break
+		}
+		allDone := true
+		for _, in := range insts {
+			if !in.finished {
+				allDone = false
+				break
+			}
+		}
+		if allDone {
+			break
+		}
+	}
+
+	res := &Result{TargetIndex: targetIdx}
+	duration := 0.0
+	for _, in := range insts {
+		r := in.result
+		r.Finished = in.finished
+		if in.finished {
+			r.ExecTime = in.finishTime
+		} else {
+			r.ExecTime = s.MaxTime
+		}
+		r.WorkDone = in.workDone
+		if r.ExecTime > duration {
+			duration = r.ExecTime
+		}
+		res.Programs = append(res.Programs, r)
+	}
+	if targetIdx >= 0 && insts[targetIdx].finished {
+		duration = insts[targetIdx].finishTime
+	}
+	res.Duration = duration
+	return res, nil
+}
+
+// consult invokes the instance's policy at a control point.
+func consult(in *instance, insts []*instance, es *engineState, env features.Env, t float64, avail int, ctrl float64, s Scenario) {
+	prog := in.spec.Program
+	code := prog.CodeFeatures(in.regionIdx)
+	feat := features.Combine(code, envExcluding(env, in))
+
+	// Instantaneous rate over the last control interval, with optional
+	// measurement noise (the simulated progress itself is exact; only
+	// what the policy observes is noisy).
+	rate := in.lastRate
+	if t > 0 && in.intervalWork > 0 {
+		rate = in.intervalWork / ctrl
+		if es.rateNoise > 0 {
+			factor := 1 + es.rateNoise*es.noise.Norm()
+			if factor < 0.1 {
+				factor = 0.1
+			}
+			rate *= factor
+		}
+	}
+
+	d := Decision{
+		Time:           t,
+		Features:       feat,
+		Rate:           rate,
+		CurrentThreads: in.threads,
+		MaxThreads:     es.cfg.Cores,
+		AvailableProcs: avail,
+		RegionStart:    in.regionPending,
+		RegionIndex:    in.regionIdx,
+	}
+	var n int
+	if oa, isOracle := in.spec.Policy.(OracleAware); isOracle {
+		oracleN, _ := oracleThreads(in, insts, es, avail)
+		n = oa.DecideWithOracle(d, oracleN)
+	} else {
+		n = in.spec.Policy.Decide(d)
+	}
+	// Programs may oversubscribe (OMP_NUM_THREADS can exceed the core
+	// count) but not without bound; Decision.MaxThreads advertises the
+	// sensible cap, the engine only guards against runaway values.
+	n = stats.ClampInt(n, 1, 4*es.cfg.Cores)
+	in.threads = n
+	in.result.DecisionCount++
+	in.result.ThreadHist.Add(n)
+
+	if s.RecordSamples {
+		sample := Sample{
+			Time:       t,
+			Features:   feat,
+			EnvNorm:    feat.EnvNorm(),
+			Threads:    n,
+			Rate:       rate,
+			Region:     in.regionIdx,
+			Available:  avail,
+			WorkldThr:  int(feat[features.WorkloadThreads]),
+			RegionName: prog.RegionAt(in.regionIdx).Name,
+		}
+		if s.RecordOracle {
+			bestN, bestRate := oracleThreads(in, insts, es, avail)
+			sample.OracleN = bestN
+			curve := make([]float64, es.cfg.Cores)
+			for n := 1; n <= es.cfg.Cores; n++ {
+				curve[n-1] = parallelPhaseRate(in, insts, es, avail, n)
+			}
+			sample.RateCurve = curve
+			sample.BestRate = bestRate
+		}
+		in.result.Samples = append(in.result.Samples, sample)
+	}
+
+	in.lastRate = rate
+	in.intervalWork = 0
+	in.nextControl = t + ctrl
+	in.regionPending = false
+}
+
+// oracleThreads evaluates every thread count and returns the best — the
+// simulator analog of exhaustively running all thread counts, used to label
+// training data. "Best" is the smallest count within 1% of the peak rate:
+// rate curves flatten near their top, and the smallest near-optimal count
+// is both a stable regression label and the efficient choice (equal speed,
+// less system load).
+func oracleThreads(in *instance, insts []*instance, es *engineState, avail int) (int, float64) {
+	rates := make([]float64, es.cfg.Cores)
+	peak := -1.0
+	for n := 1; n <= es.cfg.Cores; n++ {
+		r := parallelPhaseRate(in, insts, es, avail, n)
+		rates[n-1] = r
+		if r > peak {
+			peak = r
+		}
+	}
+	for n := 1; n <= es.cfg.Cores; n++ {
+		if rates[n-1] >= 0.99*peak {
+			return n, rates[n-1]
+		}
+	}
+	return 1, rates[0]
+}
+
+// RateCurve evaluates the ground-truth rate model for every thread count
+// from 1 to cfg.Cores in a hypothetical environment described by the number
+// of co-running programs (each assumed to demand their fair slot fully),
+// their total threads and aggregate memory pressure. It backs calibration
+// tests and the model-inspection tooling.
+func RateCurve(cfg MachineConfig, region workload.Region, otherPrograms, otherThreads int, otherMemPressure float64, avail int) []float64 {
+	cfg = cfg.withDefaults()
+	out := make([]float64, cfg.Cores)
+	perOther := 0
+	if otherPrograms > 0 {
+		perOther = otherThreads / otherPrograms
+	}
+	for n := 1; n <= cfg.Cores; n++ {
+		demands := make([]int, 1+otherPrograms)
+		demands[0] = n
+		for i := 1; i <= otherPrograms; i++ {
+			demands[i] = perOther
+		}
+		shares := ProgramShares(demands, avail)
+		out[n-1] = regionRate(cfg, region, n, shares[0], otherThreads, otherMemPressure, avail)
+	}
+	return out
+}

@@ -1,0 +1,331 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"moe/internal/trace"
+	"moe/internal/workload"
+)
+
+func smallProgram(name string, regions, iterations int) *workload.Program {
+	rs := make([]workload.Region, regions)
+	for i := range rs {
+		rs[i] = workload.Region{
+			Name: "r", Work: 2, ParallelFrac: 0.9, MemIntensity: 0.4,
+			SyncCost: 0.01, Grain: 16, LoadStore: 10, Instructions: 100, Branches: 5,
+		}
+	}
+	p := &workload.Program{Name: name, Suite: workload.NAS, Regions: rs, Iterations: iterations, WorkingSetGB: 1}
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func TestRunValidation(t *testing.T) {
+	prog := smallProgram("p", 1, 1)
+	cases := []Scenario{
+		{},                  // no machine
+		{Machine: Eval32()}, // no programs
+		{Machine: Eval32(), Programs: []ProgramSpec{{Program: prog, Policy: FixedThreads(1)}}}, // no MaxTime
+		{Machine: Eval32(), Programs: []ProgramSpec{{Program: nil, Policy: FixedThreads(1)}}, MaxTime: 10},
+		{Machine: Eval32(), Programs: []ProgramSpec{{Program: prog}}, MaxTime: 10}, // no policy
+		{Machine: Eval32(), Programs: []ProgramSpec{
+			{Program: prog, Policy: FixedThreads(1), Target: true},
+			{Program: prog, Policy: FixedThreads(1), Target: true},
+		}, MaxTime: 10}, // two targets
+	}
+	for i, s := range cases {
+		if _, err := Run(s); err == nil {
+			t.Errorf("case %d should error", i)
+		}
+	}
+}
+
+func TestRunCompletesIsolatedProgram(t *testing.T) {
+	prog := smallProgram("p", 2, 3)
+	res, err := Run(Scenario{
+		Machine:  Eval32(),
+		Programs: []ProgramSpec{{Program: prog, Policy: FixedThreads(8), Target: true}},
+		MaxTime:  10000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := res.Target()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tr.Finished {
+		t.Fatal("target should finish")
+	}
+	if tr.ExecTime <= 0 || tr.ExecTime > 10000 {
+		t.Errorf("exec time %v", tr.ExecTime)
+	}
+	// All work accounted for (small tolerance for the final partial step).
+	if math.Abs(tr.WorkDone-prog.TotalWork()) > 0.5 {
+		t.Errorf("work done %v, program total %v", tr.WorkDone, prog.TotalWork())
+	}
+}
+
+func TestMoreThreadsFasterWhenIsolatedAndScalable(t *testing.T) {
+	run := func(n int) float64 {
+		prog := smallProgram("p", 2, 3)
+		res, err := Run(Scenario{
+			Machine:  Eval32(),
+			Programs: []ProgramSpec{{Program: prog, Policy: FixedThreads(n), Target: true}},
+			MaxTime:  100000,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr, _ := res.Target()
+		return tr.ExecTime
+	}
+	t1, t8 := run(1), run(8)
+	if t8 >= t1 {
+		t.Errorf("8 threads (%v) should beat 1 thread (%v) in isolation", t8, t1)
+	}
+	if t1/t8 < 4 {
+		t.Errorf("speedup %v too small for a p=0.9 grain-16 program", t1/t8)
+	}
+}
+
+func TestSerialPhaseDemand(t *testing.T) {
+	// A p=0 program is all-serial: its demand stays 1 regardless of
+	// policy, so a co-runner should get almost the whole machine.
+	serial := &workload.Program{
+		Name: "serial", Suite: workload.NAS, Iterations: 1,
+		Regions: []workload.Region{{
+			Name: "s", Work: 50, ParallelFrac: 0, MemIntensity: 0.1,
+			SyncCost: 0, Grain: 1, LoadStore: 1, Instructions: 10, Branches: 1,
+		}},
+	}
+	if err := serial.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	par := smallProgram("par", 2, 30)
+	res, err := Run(Scenario{
+		Machine: Eval32(),
+		Programs: []ProgramSpec{
+			{Program: par, Policy: FixedThreads(16), Target: true},
+			{Program: serial, Policy: FixedThreads(32), Loop: true},
+		},
+		MaxTime: 100000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, _ := res.Target()
+
+	// Against a genuinely parallel co-runner the target must be slower.
+	wide := smallProgram("wide", 2, 20)
+	wide.Regions[0].MemIntensity = 0.8
+	wide.Regions[1].MemIntensity = 0.8
+	res2, err := Run(Scenario{
+		Machine: Eval32(),
+		Programs: []ProgramSpec{
+			{Program: smallProgram("par", 2, 30), Policy: FixedThreads(16), Target: true},
+			{Program: wide, Policy: FixedThreads(32), Loop: true},
+		},
+		MaxTime: 100000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr2, _ := res2.Target()
+	if tr2.ExecTime <= tr.ExecTime {
+		t.Errorf("parallel co-runner (%v) should hurt more than serial co-runner (%v)", tr2.ExecTime, tr.ExecTime)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() (float64, float64) {
+		res, err := Run(Scenario{
+			Machine: Eval32(),
+			Programs: []ProgramSpec{
+				{Program: smallProgram("a", 3, 4), Policy: FixedThreads(6), Target: true},
+				{Program: smallProgram("b", 2, 2), Policy: FixedThreads(12), Loop: true},
+			},
+			MaxTime:   100000,
+			RateNoise: 0.2,
+			Seed:      99,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr, _ := res.Target()
+		return tr.ExecTime, res.WorkloadThroughput()
+	}
+	e1, w1 := run()
+	e2, w2 := run()
+	if e1 != e2 || w1 != w2 {
+		t.Errorf("identical scenarios diverged: %v/%v vs %v/%v", e1, w1, e2, w2)
+	}
+}
+
+func TestHardwareTraceLimitsProgress(t *testing.T) {
+	run := func(hw *trace.HardwareTrace) float64 {
+		m := Eval32()
+		m.Hardware = hw
+		res, err := Run(Scenario{
+			Machine:  m,
+			Programs: []ProgramSpec{{Program: smallProgram("p", 2, 4), Policy: FixedThreads(32), Target: true}},
+			MaxTime:  100000,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr, _ := res.Target()
+		return tr.ExecTime
+	}
+	full := run(trace.StaticHardware(32))
+	quarter := run(trace.StaticHardware(8))
+	if quarter <= full {
+		t.Errorf("fewer processors (%v) should be slower than full machine (%v)", quarter, full)
+	}
+}
+
+func TestWorkloadLoopsUntilTargetFinishes(t *testing.T) {
+	res, err := Run(Scenario{
+		Machine: Eval32(),
+		Programs: []ProgramSpec{
+			{Program: smallProgram("t", 2, 6), Policy: FixedThreads(8), Target: true},
+			{Program: smallProgram("w", 1, 1), Policy: FixedThreads(8), Loop: true},
+		},
+		MaxTime: 100000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Programs[1].Finished {
+		t.Error("looping workload should never report finished")
+	}
+	// The loop must have restarted: work done beyond one pass.
+	if res.Programs[1].WorkDone <= smallProgram("w", 1, 1).TotalWork() {
+		t.Error("workload did not loop")
+	}
+	if res.WorkloadThroughput() <= 0 {
+		t.Error("workload throughput should be positive")
+	}
+}
+
+func TestStartDelay(t *testing.T) {
+	res, err := Run(Scenario{
+		Machine: Eval32(),
+		Programs: []ProgramSpec{
+			{Program: smallProgram("t", 2, 4), Policy: FixedThreads(8), Target: true},
+			{Program: smallProgram("w", 2, 4), Policy: FixedThreads(32), Loop: true, StartDelay: 1e7},
+		},
+		MaxTime: 100000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The workload never arrives, so its work is zero.
+	if res.Programs[1].WorkDone != 0 {
+		t.Errorf("delayed workload did work: %v", res.Programs[1].WorkDone)
+	}
+}
+
+func TestSamplesRecorded(t *testing.T) {
+	res, err := Run(Scenario{
+		Machine:       Eval32(),
+		Programs:      []ProgramSpec{{Program: smallProgram("t", 2, 4), Policy: FixedThreads(8), Target: true}},
+		MaxTime:       100000,
+		RecordSamples: true,
+		RecordOracle:  true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, _ := res.Target()
+	if len(tr.Samples) == 0 {
+		t.Fatal("no samples recorded")
+	}
+	for _, s := range tr.Samples {
+		if s.OracleN < 1 || s.OracleN > 32 {
+			t.Errorf("oracle thread count %d out of range", s.OracleN)
+		}
+		if len(s.RateCurve) != 32 {
+			t.Errorf("rate curve length %d", len(s.RateCurve))
+		}
+		if s.EnvNorm <= 0 {
+			t.Error("environment norm should be positive")
+		}
+		if s.Features[4] != float64(s.Available) {
+			t.Error("f5 must equal available processors")
+		}
+	}
+}
+
+func TestOraclePolicyBeatsFixedExtremes(t *testing.T) {
+	run := func(p Policy) float64 {
+		m := Eval32()
+		hw, err := trace.GenerateHardware(trace.NewRNG(3), 32, trace.LowFrequency, 10000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.Hardware = hw
+		res, err := Run(Scenario{
+			Machine: m,
+			Programs: []ProgramSpec{
+				{Program: smallProgram("t", 2, 6), Policy: p, Target: true},
+				{Program: smallProgram("w", 2, 2), Policy: FixedThreads(32), Loop: true},
+			},
+			MaxTime: 100000,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr, _ := res.Target()
+		return tr.ExecTime
+	}
+	oracle := run(OraclePolicy{})
+	if one := run(FixedThreads(1)); oracle > one {
+		t.Errorf("oracle (%v) lost to 1 thread (%v)", oracle, one)
+	}
+	if wide := run(FixedThreads(32)); oracle > wide*1.001 {
+		t.Errorf("oracle (%v) lost to 32 threads (%v)", oracle, wide)
+	}
+}
+
+func TestThreadHistogramAndDecisions(t *testing.T) {
+	res, err := Run(Scenario{
+		Machine:  Eval32(),
+		Programs: []ProgramSpec{{Program: smallProgram("t", 2, 4), Policy: FixedThreads(5), Target: true}},
+		MaxTime:  100000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, _ := res.Target()
+	if tr.DecisionCount == 0 {
+		t.Fatal("no decisions recorded")
+	}
+	if tr.ThreadHist.Count(5) != tr.DecisionCount {
+		t.Error("all decisions should be 5 threads")
+	}
+}
+
+func TestRateNoiseOnlyAffectsObservation(t *testing.T) {
+	run := func(noise float64) float64 {
+		res, err := Run(Scenario{
+			Machine:   Eval32(),
+			Programs:  []ProgramSpec{{Program: smallProgram("t", 2, 4), Policy: FixedThreads(8), Target: true}},
+			MaxTime:   100000,
+			RateNoise: noise,
+			Seed:      1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr, _ := res.Target()
+		return tr.ExecTime
+	}
+	// A fixed policy ignores Rate, so noise must not change the outcome.
+	if run(0) != run(0.5) {
+		t.Error("rate noise changed actual progress under a fixed policy")
+	}
+}

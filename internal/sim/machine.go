@@ -1,0 +1,139 @@
+// Package sim is the platform substrate: a discrete-time simulator of a
+// shared multicore machine running several multithreaded programs under an
+// OS-style fair scheduler. It stands in for the paper's 32-core Xeon +
+// Linux testbed (Table 2) and produces the runtime observables the policies
+// consume: available processors, run queue length, 1- and 5-minute load
+// averages, cached memory and page-free rate (Table 1, f4–f10), plus each
+// program's instantaneous progress.
+//
+// The performance model captures the effects thread selection trades off:
+//
+//   - Amdahl scaling limited by each region's parallel fraction and grain;
+//   - fair-share time slicing — when runnable threads exceed available
+//     processors every thread gets a fraction of a core;
+//   - oversubscription cost — context switching inflates execution time as
+//     the run queue grows;
+//   - memory-system contention — memory-intensive co-runners depress each
+//     other, scaled by each region's memory intensity;
+//   - synchronization cost growing with thread count (barriers,
+//     reductions), which is what makes over-threading irregular programs
+//     slow (§7.1);
+//   - optional affinity scheduling (§7.6), which removes most of the
+//     thread-migration penalty.
+package sim
+
+import (
+	"fmt"
+
+	"moe/internal/trace"
+)
+
+// MachineConfig describes the simulated platform. Defaults mirror Table 2's
+// evaluation machine (32 cores as 4 one-socket nodes of 8 cores each,
+// 64 GB RAM, shared LLC).
+type MachineConfig struct {
+	// Cores is the total number of hardware contexts.
+	Cores int
+	// Sockets is the number of NUMA nodes the cores are spread over
+	// (Table 2: "4 one-socket nodes, 8 cores/socket"). 0 means a single
+	// socket. Threads scattered across sockets pay a remote-memory
+	// penalty that affinity scheduling (§7.6) largely removes by packing
+	// them.
+	Sockets int
+	// MemoryGB is the installed RAM, bounding cached memory (f9).
+	MemoryGB float64
+	// Hardware drives processor availability over time; nil means all
+	// cores are always available.
+	Hardware *trace.HardwareTrace
+	// Affinity enables affinity scheduling (threads pinned to cores),
+	// §7.6.
+	Affinity bool
+
+	// Model constants; zero values select the calibrated defaults below.
+
+	// OversubPenalty scales the context-switch cost of oversubscription.
+	OversubPenalty float64
+	// ContentionScale scales the memory-contention slowdown.
+	ContentionScale float64
+	// MigrationPenalty scales the thread-migration cost that affinity
+	// scheduling removes.
+	MigrationPenalty float64
+	// AffinityResidual is the fraction of the migration penalty that
+	// remains when affinity scheduling is enabled.
+	AffinityResidual float64
+	// NUMAPenalty scales the remote-memory cost of threads scattered
+	// across sockets.
+	NUMAPenalty float64
+}
+
+// Calibrated model defaults. They were tuned so an isolated scalable
+// program reaches ≥ P/4 speedup on P cores (the paper's scalability
+// criterion) while irregular programs peak well below the core count.
+const (
+	DefaultOversubPenalty   = 0.35
+	DefaultContentionScale  = 1.6
+	DefaultMigrationPenalty = 0.25
+	DefaultAffinityResidual = 0.3
+	DefaultNUMAPenalty      = 0.4
+)
+
+// Eval32 returns the Table 2 evaluation platform: 32-core Xeon as 4
+// one-socket nodes of 8 cores, 64 GB RAM.
+func Eval32() MachineConfig {
+	return MachineConfig{Cores: 32, Sockets: 4, MemoryGB: 64}
+}
+
+// Train12 returns the 12-core training platform of §5.1 (two 6-core
+// sockets).
+func Train12() MachineConfig {
+	return MachineConfig{Cores: 12, Sockets: 2, MemoryGB: 24}
+}
+
+// withDefaults fills zero-valued model constants.
+func (c MachineConfig) withDefaults() MachineConfig {
+	if c.OversubPenalty == 0 {
+		c.OversubPenalty = DefaultOversubPenalty
+	}
+	if c.ContentionScale == 0 {
+		c.ContentionScale = DefaultContentionScale
+	}
+	if c.MigrationPenalty == 0 {
+		c.MigrationPenalty = DefaultMigrationPenalty
+	}
+	if c.AffinityResidual == 0 {
+		c.AffinityResidual = DefaultAffinityResidual
+	}
+	if c.NUMAPenalty == 0 {
+		c.NUMAPenalty = DefaultNUMAPenalty
+	}
+	if c.Sockets <= 0 {
+		c.Sockets = 1
+	}
+	return c
+}
+
+// validate checks the configuration.
+func (c MachineConfig) validate() error {
+	if c.Cores <= 0 {
+		return fmt.Errorf("sim: machine needs positive core count, got %d", c.Cores)
+	}
+	if c.MemoryGB <= 0 {
+		return fmt.Errorf("sim: machine needs positive memory, got %g GB", c.MemoryGB)
+	}
+	return nil
+}
+
+// availableAt returns the processors available at virtual time t.
+func (c MachineConfig) availableAt(t float64) int {
+	if c.Hardware == nil {
+		return c.Cores
+	}
+	p := c.Hardware.At(t)
+	if p > c.Cores {
+		p = c.Cores
+	}
+	if p < 1 {
+		p = 1
+	}
+	return p
+}

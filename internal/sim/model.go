@@ -1,0 +1,355 @@
+package sim
+
+import (
+	"math"
+
+	"moe/internal/features"
+	"moe/internal/workload"
+)
+
+// ProgramShares water-fills the available processors across programs: each
+// live program is entitled to an equal slot, programs demanding fewer
+// threads than their slot cede the surplus, and the surplus is repeatedly
+// redistributed. This models per-process (cgroup/autogroup) fairness in the
+// OS scheduler: a program cannot grab more CPU simply by spawning more
+// threads — which is exactly why over-threading a loaded machine hurts
+// (§7.1: "spawning many threads slows down the program") and why thread
+// selection matters at all.
+//
+// demands[i] is program i's runnable thread count; the returned slice gives
+// each program's core allocation (Σ ≤ avail, allocation_i ≤ demands_i).
+func ProgramShares(demands []int, avail int) []float64 {
+	out := make([]float64, len(demands))
+	remaining := float64(avail)
+	unsat := 0
+	for _, d := range demands {
+		if d > 0 {
+			unsat++
+		}
+	}
+	// Iterative water-fill: at each round give every unsatisfied program
+	// an equal share of what remains; programs whose demand is below the
+	// share are finalized and their leftover is redistributed.
+	for unsat > 0 && remaining > 1e-9 {
+		slot := remaining / float64(unsat)
+		progressed := false
+		for i, d := range demands {
+			if d <= 0 || out[i] > 0 {
+				continue
+			}
+			if float64(d) <= slot {
+				out[i] = float64(d)
+				remaining -= float64(d)
+				unsat--
+				progressed = true
+			}
+		}
+		if !progressed {
+			// Every remaining program wants at least a full slot:
+			// split evenly and finish.
+			for i, d := range demands {
+				if d > 0 && out[i] == 0 {
+					out[i] = slot
+				}
+			}
+			remaining = 0
+			break
+		}
+	}
+	return out
+}
+
+// demand returns the instance's current runnable thread count: regions
+// execute their serial prologue on one thread before fanning out, so a
+// program's load on the machine fluctuates at region granularity — the
+// bursty behaviour visible in the paper's live trace (Fig 1) and the reason
+// slow-reacting policies lose to instantaneous ones.
+func (in *instance) demand() int {
+	if in.serialLeft > 0 {
+		return 1
+	}
+	return in.threads
+}
+
+// progressRate computes an instance's instantaneous work rate (units/s)
+// given a hypothetical thread count n (only meaningful during the parallel
+// phase; serial progress ignores n). Other instances are taken at their
+// current demands.
+func progressRate(in *instance, insts []*instance, es *engineState, avail, n int) float64 {
+	demands := make([]int, 0, len(insts))
+	otherThreads := 0
+	otherMem := 0.0
+	self := -1
+	for _, o := range insts {
+		if !o.arrived || o.finished {
+			continue
+		}
+		if o == in {
+			self = len(demands)
+			if in.serialLeft > 0 {
+				demands = append(demands, 1)
+			} else {
+				demands = append(demands, n)
+			}
+			continue
+		}
+		dem := o.demand()
+		demands = append(demands, dem)
+		otherThreads += dem
+		region := o.spec.Program.RegionAt(o.regionIdx)
+		active := dem
+		if active > region.Grain {
+			active = region.Grain
+		}
+		otherMem += float64(active) * region.MemIntensity
+	}
+	if self < 0 {
+		return 0
+	}
+	shares := ProgramShares(demands, avail)
+	region := in.spec.Program.RegionAt(in.regionIdx)
+	if in.serialLeft > 0 {
+		return serialRate(es.cfg, region, shares[self], otherThreads+1, otherMem, avail)
+	}
+	return parallelRate(es.cfg, region, n, shares[self], otherThreads, otherMem, avail)
+}
+
+// parallelPhaseRate computes the rate the instance's *parallel* phase would
+// achieve with n threads, regardless of its current phase — the quantity
+// the oracle label and thread policies care about (thread counts only
+// matter once the region fans out).
+func parallelPhaseRate(in *instance, insts []*instance, es *engineState, avail, n int) float64 {
+	demands := make([]int, 0, len(insts))
+	otherThreads := 0
+	otherMem := 0.0
+	self := -1
+	for _, o := range insts {
+		if !o.arrived || o.finished {
+			continue
+		}
+		if o == in {
+			self = len(demands)
+			demands = append(demands, n)
+			continue
+		}
+		dem := o.demand()
+		demands = append(demands, dem)
+		otherThreads += dem
+		region := o.spec.Program.RegionAt(o.regionIdx)
+		active := dem
+		if active > region.Grain {
+			active = region.Grain
+		}
+		otherMem += float64(active) * region.MemIntensity
+	}
+	if self < 0 {
+		return 0
+	}
+	shares := ProgramShares(demands, avail)
+	region := in.spec.Program.RegionAt(in.regionIdx)
+	return parallelRate(es.cfg, region, n, shares[self], otherThreads, otherMem, avail)
+}
+
+// parallelRate is the performance model for a region's parallel phase: work
+// units per second with n threads given the program's core allocation
+// (slot), the other programs' runnable threads and aggregate memory demand,
+// and the processors online. The model composes multiplicatively:
+//
+//	rate(n) = cores(n, slot) · contention · 1/(1+sync) · 1/(1+oversub) · 1/(1+migration)
+//
+// Each term responds to the environment the way the paper's narrative
+// requires: co-running workloads shrink the slot and raise oversubscription;
+// fewer processors do the same; memory-intensive co-runners depress
+// memory-bound regions; thread counts beyond the slot buy no CPU but pay
+// synchronization, switching and locality costs; affinity scheduling
+// suppresses the migration cost.
+func parallelRate(cfg MachineConfig, region workload.Region, n int, slot float64, otherThreads int, otherMemPressure float64, avail int) float64 {
+	if n < 1 {
+		n = 1
+	}
+	if avail < 1 {
+		avail = 1
+	}
+	if slot <= 0 {
+		slot = 1e-3
+	}
+	useful := n
+	if useful > region.Grain {
+		useful = region.Grain
+	}
+
+	// Per-thread speed under the program's slot.
+	perThread := slot / float64(n)
+	if perThread > 1 {
+		perThread = 1
+	}
+
+	parCores := float64(useful) * perThread
+	if parCores > slot {
+		parCores = slot
+	}
+	if parCores < 1e-6 {
+		parCores = 1e-6
+	}
+	rate := parCores
+
+	// Memory contention: pressure per online core from co-runners and
+	// from the program's own active threads once bandwidth saturates.
+	ownMem := float64(useful) * region.MemIntensity
+	pressure := (otherMemPressure + 0.5*ownMem) / float64(avail)
+	rate /= 1 + cfg.ContentionScale*region.MemIntensity*pressure
+
+	// Synchronization: barrier/reduction cost grows with thread count
+	// and is amplified when threads time-share (descheduled mid-barrier).
+	syncFactor := region.SyncCost * float64(n-1) * (1 + 3*(1-perThread))
+	rate /= 1 + syncFactor
+
+	// Oversubscription: context-switch overhead. The background term
+	// reflects machine-wide thrashing; the own term charges for own
+	// threads beyond the program's slot.
+	total := float64(n + otherThreads)
+	if over := (total - float64(avail)) / float64(avail); over > 0 {
+		rate /= 1 + cfg.OversubPenalty*0.3*over
+	}
+	if ownOver := (float64(n) - slot) / math.Max(slot, 1); ownOver > 0 {
+		rate /= 1 + cfg.OversubPenalty*0.25*ownOver
+	}
+
+	rate /= 1 + migrationFactor(cfg, region, total, avail)
+	rate /= 1 + numaFactor(cfg, region, n)
+	return rate
+}
+
+// serialRate is the performance model for a region's serial prologue: one
+// runnable thread, so thread count and synchronization play no role, but
+// memory contention and migration still apply.
+func serialRate(cfg MachineConfig, region workload.Region, slot float64, totalThreads int, otherMemPressure float64, avail int) float64 {
+	if avail < 1 {
+		avail = 1
+	}
+	speed := slot
+	if speed > 1 {
+		speed = 1
+	}
+	if speed <= 0 {
+		speed = 1e-3
+	}
+	pressure := otherMemPressure / float64(avail)
+	speed /= 1 + cfg.ContentionScale*region.MemIntensity*pressure
+	speed /= 1 + migrationFactor(cfg, region, float64(totalThreads), avail)
+	return speed
+}
+
+// numaFactor models remote-memory access across sockets (Table 2's
+// four-node topology): without affinity the OS scatters a program's
+// threads across up to min(n, sockets) sockets; with affinity threads are
+// packed onto the fewest sockets that hold them. Memory-bound code pays
+// for every remote socket in play.
+func numaFactor(cfg MachineConfig, region workload.Region, n int) float64 {
+	if cfg.Sockets <= 1 {
+		return 0
+	}
+	coresPerSocket := cfg.Cores / cfg.Sockets
+	if coresPerSocket < 1 {
+		coresPerSocket = 1
+	}
+	var socketsUsed int
+	if cfg.Affinity {
+		socketsUsed = (n + coresPerSocket - 1) / coresPerSocket
+	} else {
+		socketsUsed = n
+		if socketsUsed > cfg.Sockets {
+			socketsUsed = cfg.Sockets
+		}
+	}
+	if socketsUsed <= 1 {
+		return 0
+	}
+	remote := float64(socketsUsed-1) / float64(socketsUsed)
+	return cfg.NUMAPenalty * region.MemIntensity * remote
+}
+
+// migrationFactor models lost locality from OS thread migration;
+// memory-intensive code pays most, and affinity scheduling (§7.6) pins
+// threads and removes most of the cost.
+func migrationFactor(cfg MachineConfig, region workload.Region, totalThreads float64, avail int) float64 {
+	churn := math.Min(1, totalThreads/float64(avail))
+	migration := cfg.MigrationPenalty * region.MemIntensity * churn
+	if cfg.Affinity {
+		migration *= cfg.AffinityResidual
+	}
+	return migration
+}
+
+// regionRate is the amortized whole-region rate (serial prologue plus
+// parallel phase) used by calibration tooling: the harmonic composition of
+// the two phases weighted by the region's parallel fraction.
+func regionRate(cfg MachineConfig, region workload.Region, n int, slot float64, otherThreads int, otherMemPressure float64, avail int) float64 {
+	p := region.ParallelFrac
+	ser := serialRate(cfg, region, math.Min(slot, 1), otherThreads+1, otherMemPressure, avail)
+	par := parallelRate(cfg, region, n, slot, otherThreads, otherMemPressure, avail)
+	return 1 / ((1-p)/ser + p/par)
+}
+
+// sampleEnv builds the machine-wide environment at time t and advances the
+// metric state (load averages, page-scan EMA). Call once per timestep. The
+// second return is the raw (unsmoothed) runnable thread count.
+func sampleEnv(insts []*instance, es *engineState, t float64, avail int, dt float64) (features.Env, int) {
+	runnable := 0
+	memGB := 0.0
+	for _, in := range insts {
+		if !in.arrived || in.finished {
+			continue
+		}
+		runnable += in.demand()
+		memGB += in.spec.Program.WorkingSetGB
+	}
+
+	load1 := es.load1.Update(float64(runnable), dt)
+	load5 := es.load5.Update(float64(runnable), dt)
+
+	runqNow := runnable - avail
+	if runqNow < 0 {
+		runqNow = 0
+	}
+	// Thread counts and the run queue are reported as short sampling-
+	// interval averages, the way sar/vmstat report them — instantaneous
+	// spikes from co-runners fanning out and joining are smoothed away.
+	smoothRunnable := es.wlEMA.Update(float64(runnable), dt)
+	runq := es.runqEMA.Update(float64(runqNow), dt)
+
+	// Cached memory: working sets fill the page cache; memory pressure
+	// evicts pages, observable as the page-free rate (f10, thousands of
+	// pages/s).
+	cached := memGB
+	pageFree := 0.1 // background reclaim
+	if cached > es.cfg.MemoryGB {
+		overGB := cached - es.cfg.MemoryGB
+		cached = es.cfg.MemoryGB
+		pageFree += overGB * 0.8
+	}
+	pageFree = es.pageEMA.Update(pageFree, dt)
+
+	return features.Env{
+		WorkloadThreads: smoothRunnable, // per-program view uses its own smoothed external count
+		Processors:      float64(avail),
+		RunQueue:        runq,
+		Load1:           load1,
+		Load5:           load5,
+		CachedMem:       cached,
+		PageFreeRate:    pageFree,
+	}, runnable
+}
+
+// envExcluding adapts the machine-wide environment to one program's view:
+// f4 counts only *external* workload threads (§5.2.2 "workload threads"),
+// smoothed per instance so the program's own phase transitions do not
+// appear as workload churn.
+func envExcluding(env features.Env, self *instance) features.Env {
+	out := env
+	out.WorkloadThreads = self.extWL.Value()
+	if out.WorkloadThreads < 0 {
+		out.WorkloadThreads = 0
+	}
+	return out
+}

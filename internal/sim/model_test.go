@@ -1,0 +1,191 @@
+package sim
+
+import (
+	"testing"
+
+	"moe/internal/workload"
+)
+
+func testRegion(p, mem, sync float64, grain int) workload.Region {
+	return workload.Region{
+		Name: "r", Work: 1, ParallelFrac: p, MemIntensity: mem,
+		SyncCost: sync, Grain: grain, LoadStore: 10, Instructions: 100, Branches: 5,
+	}
+}
+
+func TestParallelRateScalesWithThreads(t *testing.T) {
+	cfg := Eval32().withDefaults()
+	r := testRegion(0.99, 0.05, 0.001, 256)
+	// Isolated: the whole machine is the slot.
+	r1 := parallelRate(cfg, r, 1, 32, 0, 0, 32)
+	r16 := parallelRate(cfg, r, 16, 32, 0, 0, 32)
+	r32 := parallelRate(cfg, r, 32, 32, 0, 0, 32)
+	if !(r32 > r16 && r16 > r1) {
+		t.Errorf("compute-bound region should scale: %v %v %v", r1, r16, r32)
+	}
+	if r32 < 20*r1 {
+		t.Errorf("near-linear kernel speedup only %v at 32 threads", r32/r1)
+	}
+}
+
+func TestParallelRateGrainCaps(t *testing.T) {
+	cfg := Eval32().withDefaults()
+	r := testRegion(0.95, 0.3, 0.005, 8)
+	r8 := parallelRate(cfg, r, 8, 32, 0, 0, 32)
+	r32 := parallelRate(cfg, r, 32, 32, 0, 0, 32)
+	if r32 >= r8 {
+		t.Errorf("threads beyond grain should not help: r8=%v r32=%v", r8, r32)
+	}
+}
+
+func TestParallelRateSyncPenalty(t *testing.T) {
+	cfg := Eval32().withDefaults()
+	quiet := testRegion(0.95, 0.3, 0.001, 64)
+	noisy := testRegion(0.95, 0.3, 0.05, 64)
+	if parallelRate(cfg, noisy, 32, 32, 0, 0, 32) >= parallelRate(cfg, quiet, 32, 32, 0, 0, 32) {
+		t.Error("higher sync cost should slow a wide region")
+	}
+}
+
+func TestParallelRateContention(t *testing.T) {
+	cfg := Eval32().withDefaults()
+	memBound := testRegion(0.95, 0.9, 0.005, 32)
+	loaded := parallelRate(cfg, memBound, 8, 8, 96, 80, 32)
+	alone := parallelRate(cfg, memBound, 8, 8, 0, 0, 32)
+	if loaded >= alone {
+		t.Error("memory pressure from co-runners should depress a memory-bound region")
+	}
+	computeBound := testRegion(0.95, 0.05, 0.005, 32)
+	dropMem := alone / loaded
+	dropCompute := parallelRate(cfg, computeBound, 8, 8, 0, 0, 32) /
+		parallelRate(cfg, computeBound, 8, 8, 96, 80, 32)
+	if dropCompute >= dropMem {
+		t.Errorf("memory-bound code should suffer more from contention: %v vs %v", dropMem, dropCompute)
+	}
+}
+
+func TestParallelRateOversubscriptionOptimum(t *testing.T) {
+	// With a small slot, the best thread count is near the slot, not the
+	// machine width — the physics behind §7.1's "spawning many threads
+	// slows down the program".
+	cfg := Eval32().withDefaults()
+	r := testRegion(0.97, 0.5, 0.01, 64)
+	slot := 4.6
+	bestN, bestV := 0, -1.0
+	for n := 1; n <= 32; n++ {
+		v := parallelRate(cfg, r, n, slot, 192, 120, 32)
+		if v > bestV {
+			bestN, bestV = n, v
+		}
+	}
+	if bestN > 12 {
+		t.Errorf("loaded optimum at %d threads; expected near the slot (~5)", bestN)
+	}
+	wide := parallelRate(cfg, r, 32, slot, 192, 120, 32)
+	if wide >= bestV*0.95 {
+		t.Error("machine-width threading should be visibly worse than the optimum under load")
+	}
+}
+
+func TestSerialRate(t *testing.T) {
+	cfg := Eval32().withDefaults()
+	r := testRegion(0.9, 0.5, 0.01, 32)
+	full := serialRate(cfg, r, 1, 1, 0, 32)
+	if full > 1 {
+		t.Errorf("serial speed cannot exceed one core: %v", full)
+	}
+	squeezed := serialRate(cfg, r, 0.5, 200, 100, 32)
+	if squeezed >= full {
+		t.Error("a squeezed slot plus contention should slow the serial phase")
+	}
+}
+
+func TestAffinityReducesMigrationCost(t *testing.T) {
+	base := Eval32().withDefaults()
+	withAff := base
+	withAff.Affinity = true
+	r := testRegion(0.95, 0.8, 0.01, 32)
+	plain := parallelRate(base, r, 8, 8, 64, 40, 32)
+	pinned := parallelRate(withAff, r, 8, 8, 64, 40, 32)
+	if pinned <= plain {
+		t.Error("affinity should speed up a memory-bound region on a busy machine")
+	}
+	// Compute-bound code barely cares.
+	c := testRegion(0.99, 0.02, 0.001, 64)
+	plainC := parallelRate(base, c, 8, 8, 64, 40, 32)
+	pinnedC := parallelRate(withAff, c, 8, 8, 64, 40, 32)
+	if (pinned/plain - 1) <= (pinnedC/plainC - 1) {
+		t.Error("affinity gain should be larger for memory-bound code")
+	}
+}
+
+func TestRegionRateComposesPhases(t *testing.T) {
+	cfg := Eval32().withDefaults()
+	r := testRegion(0.5, 0.1, 0.001, 64)
+	// With p=0.5, even infinite parallelism at most doubles throughput.
+	r32 := regionRate(cfg, r, 32, 32, 0, 0, 32)
+	r1 := regionRate(cfg, r, 1, 32, 0, 0, 32)
+	if r32/r1 > 2.01 {
+		t.Errorf("Amdahl bound violated: speedup %v with p=0.5", r32/r1)
+	}
+}
+
+func TestRateCurveShape(t *testing.T) {
+	cfg := Eval32()
+	prog, err := workload.ByName("ep")
+	if err != nil {
+		t.Fatal(err)
+	}
+	iso := RateCurve(cfg, prog.Regions[0], 0, 0, 0, 32)
+	if len(iso) != 32 {
+		t.Fatalf("curve length %d", len(iso))
+	}
+	if iso[31] < iso[0]*20 {
+		t.Errorf("ep isolated speedup only %v", iso[31]/iso[0])
+	}
+	cg, _ := workload.ByName("cg")
+	cgIso := RateCurve(cfg, cg.Regions[0], 0, 0, 0, 32)
+	peak, peakN := -1.0, 0
+	for i, v := range cgIso {
+		if v > peak {
+			peak, peakN = v, i+1
+		}
+	}
+	if peakN > 20 {
+		t.Errorf("cg isolated optimum at %d threads; should peak early (irregular program)", peakN)
+	}
+	if cgIso[31] >= peak {
+		t.Error("cg at 32 threads should be worse than its peak (§7.1)")
+	}
+}
+
+func TestScalabilityClassesDiverge(t *testing.T) {
+	// The P/4 split the experts are built on must hold in the model:
+	// ep/lu/bt/sp scale, cg/is/mg/art don't (32-core machine).
+	cfg := Eval32()
+	speedupAt32 := func(name string) float64 {
+		p, err := workload.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Work-weighted speedup across regions.
+		var t1, t32 float64
+		for _, r := range p.Regions {
+			c1 := RateCurve(cfg, r, 0, 0, 0, 32)[0]
+			c32 := RateCurve(cfg, r, 0, 0, 0, 32)[31]
+			t1 += r.Work / c1
+			t32 += r.Work / c32
+		}
+		return t1 / t32
+	}
+	for _, name := range []string{"ep", "lu", "bt", "sp"} {
+		if s := speedupAt32(name); s < 8 {
+			t.Errorf("%s speedup %v < P/4: should be scalable", name, s)
+		}
+	}
+	for _, name := range []string{"cg", "is", "art"} {
+		if s := speedupAt32(name); s >= 8 {
+			t.Errorf("%s speedup %v ≥ P/4: should be non-scalable", name, s)
+		}
+	}
+}

@@ -1,0 +1,89 @@
+package sim
+
+import "moe/internal/features"
+
+// Decision is the information a thread-selection policy sees at each control
+// point. Control points occur at every parallel-region start and every
+// control interval within a region — matching a runtime that can only change
+// thread counts at loop boundaries but encounters loops frequently.
+type Decision struct {
+	// Time is the virtual time in seconds.
+	Time float64
+	// Features is the full 10-feature state f = c ‖ e (Table 1): the
+	// current region's code features plus the sampled environment.
+	Features features.Vector
+	// Rate is the controlled program's instantaneous progress rate (work
+	// units per second) over the last control interval; 0 at the first
+	// decision.
+	Rate float64
+	// CurrentThreads is the thread count currently in force.
+	CurrentThreads int
+	// MaxThreads is the hard cap (machine core count).
+	MaxThreads int
+	// AvailableProcs is the number of processors currently online (f5,
+	// duplicated from Features for convenience).
+	AvailableProcs int
+	// RegionStart is true when a new parallel region is beginning.
+	RegionStart bool
+	// RegionIndex is the flat index of the current region execution.
+	RegionIndex int
+}
+
+// Policy selects the number of threads for one program. Implementations
+// must be deterministic given their construction inputs; any randomness must
+// come from an injected seed so experiment replays are exact (§6.4).
+type Policy interface {
+	// Name identifies the policy in reports ("default", "mixture", …).
+	Name() string
+	// Decide returns the thread count to use from this control point on.
+	// Returns are clamped by the engine to [1, MaxThreads].
+	Decide(d Decision) int
+}
+
+// PolicyFactory builds a fresh policy instance for one program run. Stateful
+// policies (online, analytic, mixture) must not be shared across programs or
+// repeated runs, so scenarios take factories rather than instances.
+type PolicyFactory func() Policy
+
+// Func adapts a function to the Policy interface for tests and simple
+// built-ins.
+type Func struct {
+	PolicyName string
+	DecideFn   func(d Decision) int
+}
+
+// Name implements Policy.
+func (f Func) Name() string { return f.PolicyName }
+
+// Decide implements Policy.
+func (f Func) Decide(d Decision) int { return f.DecideFn(d) }
+
+// FixedThreads returns a policy that always chooses n threads.
+func FixedThreads(n int) Policy {
+	return Func{PolicyName: "fixed", DecideFn: func(Decision) int { return n }}
+}
+
+// OracleAware policies receive, in addition to the ordinary decision
+// context, the ground-truth best thread count computed from the simulator's
+// rate model — the analog of exhaustively timing every thread count at this
+// instant. Only the engine can provide it; such policies are for
+// training-data generation and headroom ablations, not realizable runtimes.
+type OracleAware interface {
+	Policy
+	// DecideWithOracle is called by the engine instead of Decide.
+	DecideWithOracle(d Decision, oracleN int) int
+}
+
+// OraclePolicy always uses the ground-truth best thread count. It bounds
+// how much headroom the learned policies leave on the table.
+type OraclePolicy struct{}
+
+// Name implements Policy.
+func (OraclePolicy) Name() string { return "oracle" }
+
+// Decide implements Policy; outside an engine (no oracle available) it
+// falls back to the default policy's choice.
+func (OraclePolicy) Decide(d Decision) int { return d.AvailableProcs }
+
+// DecideWithOracle implements OracleAware.
+func (OraclePolicy) DecideWithOracle(_ Decision, oracleN int) int { return oracleN }

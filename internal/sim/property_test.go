@@ -1,0 +1,136 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"moe/internal/workload"
+)
+
+// Property tests on the engine's physical invariants.
+
+func randProgram(name string, seed uint8) *workload.Program {
+	// Deterministic variety from the seed byte.
+	s := float64(seed)
+	p := &workload.Program{
+		Name:  name,
+		Suite: workload.NAS,
+		Regions: []workload.Region{{
+			Name:         "r",
+			Work:         1 + math.Mod(s*1.37, 4),
+			ParallelFrac: 0.5 + math.Mod(s*0.031, 0.49),
+			MemIntensity: math.Mod(s*0.047, 0.95),
+			SyncCost:     math.Mod(s*0.0013, 0.03),
+			Grain:        4 + int(seed)%60,
+			LoadStore:    10 + s,
+			Instructions: 100,
+			Branches:     5,
+		}},
+		Iterations:   2 + int(seed)%6,
+		WorkingSetGB: math.Mod(s*0.17, 8),
+	}
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func TestEngineInvariantsProperty(t *testing.T) {
+	f := func(seedA, seedB uint8, nA, nB uint8) bool {
+		progA := randProgram("a", seedA)
+		progB := randProgram("b", seedB)
+		res, err := Run(Scenario{
+			Machine: Eval32(),
+			Programs: []ProgramSpec{
+				{Program: progA, Policy: FixedThreads(1 + int(nA)%32), Target: true},
+				{Program: progB, Policy: FixedThreads(1 + int(nB)%32), Loop: true},
+			},
+			MaxTime: 5000,
+		})
+		if err != nil {
+			return false
+		}
+		tr, err := res.Target()
+		if err != nil || !tr.Finished {
+			return false
+		}
+		// Physical invariants: positive finite time, exact work books,
+		// serial lower bound (cannot beat one unconditioned core per
+		// work unit... i.e. exec ≥ total work / machine size).
+		if tr.ExecTime <= 0 || math.IsNaN(tr.ExecTime) || math.IsInf(tr.ExecTime, 0) {
+			return false
+		}
+		if math.Abs(tr.WorkDone-progA.TotalWork()) > 1e-6 {
+			return false
+		}
+		if tr.ExecTime < progA.TotalWork()/float64(32)-1e-9 {
+			return false // faster than the whole machine could possibly go
+		}
+		// The workload made progress and its books are non-negative.
+		return res.Programs[1].WorkDone >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEngineDeterminismProperty(t *testing.T) {
+	f := func(seedA, seedB, nA uint8, noise bool) bool {
+		run := func() float64 {
+			rn := 0.0
+			if noise {
+				rn = 0.2
+			}
+			res, err := Run(Scenario{
+				Machine: Eval32(),
+				Programs: []ProgramSpec{
+					{Program: randProgram("a", seedA), Policy: FixedThreads(1 + int(nA)%32), Target: true},
+					{Program: randProgram("b", seedB), Policy: FixedThreads(8), Loop: true},
+				},
+				MaxTime:   5000,
+				RateNoise: rn,
+				Seed:      uint64(seedA)<<8 | uint64(seedB),
+			})
+			if err != nil {
+				return math.NaN()
+			}
+			tr, _ := res.Target()
+			return tr.ExecTime
+		}
+		a, b := run(), run()
+		return a == b && !math.IsNaN(a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMoreCoRunnersNeverSpeedTargetUp(t *testing.T) {
+	// Adding a co-runner can only slow the target (or leave it equal).
+	f := func(seedA, seedB uint8) bool {
+		exec := func(withCoRunner bool) float64 {
+			specs := []ProgramSpec{
+				{Program: randProgram("a", seedA), Policy: FixedThreads(8), Target: true},
+			}
+			if withCoRunner {
+				specs = append(specs, ProgramSpec{Program: randProgram("b", seedB), Policy: FixedThreads(16), Loop: true})
+			}
+			res, err := Run(Scenario{Machine: Eval32(), Programs: specs, MaxTime: 5000})
+			if err != nil {
+				return math.NaN()
+			}
+			tr, _ := res.Target()
+			return tr.ExecTime
+		}
+		alone, shared := exec(false), exec(true)
+		// Phase transitions inside a timestep shift completion by up to
+		// one dt per region execution (the engine's spill
+		// approximation), so the comparison carries that tolerance.
+		tol := DefaultDT * float64(randProgram("a", seedA).RegionCount()+1)
+		return !math.IsNaN(alone) && shared >= alone-tol
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

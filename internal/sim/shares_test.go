@@ -1,0 +1,104 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestProgramSharesBasic(t *testing.T) {
+	// Two saturated programs split evenly.
+	shares := ProgramShares([]int{32, 32}, 32)
+	if !close(shares[0], 16) || !close(shares[1], 16) {
+		t.Errorf("even split: %v", shares)
+	}
+	// A small demand cedes its surplus.
+	shares = ProgramShares([]int{2, 32}, 32)
+	if !close(shares[0], 2) || !close(shares[1], 30) {
+		t.Errorf("water-fill: %v", shares)
+	}
+	// Undersubscribed machine: everyone gets their demand.
+	shares = ProgramShares([]int{4, 4}, 32)
+	if !close(shares[0], 4) || !close(shares[1], 4) {
+		t.Errorf("undersubscribed: %v", shares)
+	}
+	// Zero demand gets nothing.
+	shares = ProgramShares([]int{0, 16}, 8)
+	if shares[0] != 0 || !close(shares[1], 8) {
+		t.Errorf("zero demand: %v", shares)
+	}
+}
+
+func TestProgramSharesCascade(t *testing.T) {
+	// 3 programs on 12 cores: slot 4; the demand-2 program frees 2 cores
+	// split between the other two.
+	shares := ProgramShares([]int{2, 20, 20}, 12)
+	if !close(shares[0], 2) || !close(shares[1], 5) || !close(shares[2], 5) {
+		t.Errorf("cascade: %v", shares)
+	}
+}
+
+func TestProgramSharesProperties(t *testing.T) {
+	f := func(rawDemands []uint8, rawAvail uint8) bool {
+		avail := int(rawAvail%64) + 1
+		demands := make([]int, len(rawDemands))
+		total := 0
+		for i, d := range rawDemands {
+			demands[i] = int(d % 100)
+			total += demands[i]
+		}
+		shares := ProgramShares(demands, avail)
+		sum := 0.0
+		for i, s := range shares {
+			if s < -1e-9 || s > float64(demands[i])+1e-9 {
+				return false // allocation within [0, demand]
+			}
+			sum += s
+		}
+		if sum > float64(avail)+1e-6 {
+			return false // never over-allocate
+		}
+		// Work-conserving: if total demand ≥ avail, all cores are used.
+		if total >= avail && sum < float64(avail)-1e-6 {
+			return false
+		}
+		// If total demand < avail, everyone is satisfied.
+		if total < avail {
+			for i, s := range shares {
+				if !close(s, float64(demands[i])) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestProgramSharesFairness(t *testing.T) {
+	// Equal demands get equal shares.
+	f := func(rawN, rawAvail uint8) bool {
+		n := int(rawN%6) + 2
+		avail := int(rawAvail%32) + 1
+		demands := make([]int, n)
+		for i := range demands {
+			demands[i] = 64
+		}
+		shares := ProgramShares(demands, avail)
+		for _, s := range shares[1:] {
+			if !close(s, shares[0]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func close(a, b float64) bool {
+	return math.Abs(a-b) <= 1e-9*(1+math.Abs(a)+math.Abs(b))
+}

@@ -1,0 +1,281 @@
+// Package stats provides the small statistical toolkit used throughout the
+// repository: central tendencies (the paper reports harmonic means to avoid
+// outliers, §7), dispersion, histograms for the distribution figures, and
+// online exponential moving averages used by the simulated load-average
+// metrics.
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// ErrEmpty is returned by aggregations that are undefined on empty input.
+var ErrEmpty = errors.New("stats: empty input")
+
+// Mean returns the arithmetic mean of xs, or 0 if xs is empty.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// HarmonicMean returns the harmonic mean of xs. The paper reports harmonic
+// means of speedups to avoid overweighting outliers (§7). All inputs must be
+// positive; non-positive values make the harmonic mean undefined and yield an
+// error.
+func HarmonicMean(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	sum := 0.0
+	for _, x := range xs {
+		if x <= 0 {
+			return 0, errors.New("stats: harmonic mean requires positive values")
+		}
+		sum += 1 / x
+	}
+	return float64(len(xs)) / sum, nil
+}
+
+// HMean is HarmonicMean with errors collapsed to 0, for reporting paths where
+// inputs are speedups already validated to be positive.
+func HMean(xs []float64) float64 {
+	h, err := HarmonicMean(xs)
+	if err != nil {
+		return 0
+	}
+	return h
+}
+
+// GeoMean returns the geometric mean of xs. All values must be positive.
+func GeoMean(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	sum := 0.0
+	for _, x := range xs {
+		if x <= 0 {
+			return 0, errors.New("stats: geometric mean requires positive values")
+		}
+		sum += math.Log(x)
+	}
+	return math.Exp(sum / float64(len(xs))), nil
+}
+
+// Median returns the median of xs without mutating it.
+func Median(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	cp := append([]float64(nil), xs...)
+	sort.Float64s(cp)
+	n := len(cp)
+	if n%2 == 1 {
+		return cp[n/2], nil
+	}
+	return (cp[n/2-1] + cp[n/2]) / 2, nil
+}
+
+// Variance returns the population variance of xs, or 0 for fewer than two
+// samples.
+func Variance(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	sum := 0.0
+	for _, x := range xs {
+		d := x - m
+		sum += d * d
+	}
+	return sum / float64(len(xs))
+}
+
+// StdDev returns the population standard deviation of xs.
+func StdDev(xs []float64) float64 {
+	return math.Sqrt(Variance(xs))
+}
+
+// MinMax returns the smallest and largest values in xs.
+func MinMax(xs []float64) (lo, hi float64, err error) {
+	if len(xs) == 0 {
+		return 0, 0, ErrEmpty
+	}
+	lo, hi = xs[0], xs[0]
+	for _, x := range xs[1:] {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	return lo, hi, nil
+}
+
+// Clamp restricts x to [lo, hi].
+func Clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}
+
+// ClampInt restricts x to [lo, hi].
+func ClampInt(x, lo, hi int) int {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}
+
+// EMA is an exponential moving average over a virtual-time signal. It mirrors
+// how Linux computes load averages: the decay depends on the elapsed time and
+// a fixed time constant, so irregular sampling intervals are handled
+// correctly.
+type EMA struct {
+	// TimeConstant is the e-folding period in the same unit as the dt
+	// passed to Update (seconds in this repository).
+	TimeConstant float64
+
+	value       float64
+	initialized bool
+}
+
+// NewEMA returns an EMA with the given time constant. The first Update seeds
+// the average with the observed value.
+func NewEMA(timeConstant float64) *EMA {
+	return &EMA{TimeConstant: timeConstant}
+}
+
+// Update advances the average by dt with the instantaneous value x and
+// returns the new average.
+func (e *EMA) Update(x, dt float64) float64 {
+	if !e.initialized {
+		e.value = x
+		e.initialized = true
+		return e.value
+	}
+	if dt <= 0 || e.TimeConstant <= 0 {
+		return e.value
+	}
+	alpha := 1 - math.Exp(-dt/e.TimeConstant)
+	e.value += alpha * (x - e.value)
+	return e.value
+}
+
+// Value returns the current average (0 before the first Update).
+func (e *EMA) Value() float64 { return e.value }
+
+// Reset clears the average so the next Update seeds it again.
+func (e *EMA) Reset() { e.value = 0; e.initialized = false }
+
+// Histogram counts observations into fixed integer-labelled bins. It backs
+// the thread-number distribution figure (Fig 17) and the expert-selection
+// frequency figure (Fig 15b).
+type Histogram struct {
+	counts map[int]int
+	total  int
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram {
+	return &Histogram{counts: make(map[int]int)}
+}
+
+// Add records one observation of bin.
+func (h *Histogram) Add(bin int) {
+	h.counts[bin]++
+	h.total++
+}
+
+// AddN records n observations of bin.
+func (h *Histogram) AddN(bin, n int) {
+	if n <= 0 {
+		return
+	}
+	h.counts[bin] += n
+	h.total += n
+}
+
+// Count returns the number of observations of bin.
+func (h *Histogram) Count(bin int) int { return h.counts[bin] }
+
+// Total returns the total number of observations.
+func (h *Histogram) Total() int { return h.total }
+
+// Fraction returns the share of observations in bin, or 0 when empty.
+func (h *Histogram) Fraction(bin int) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return float64(h.counts[bin]) / float64(h.total)
+}
+
+// Bins returns the occupied bins in ascending order.
+func (h *Histogram) Bins() []int {
+	bins := make([]int, 0, len(h.counts))
+	for b := range h.counts {
+		bins = append(bins, b)
+	}
+	sort.Ints(bins)
+	return bins
+}
+
+// Mode returns the bin with the most observations; ties break toward the
+// smaller bin. The second return is false when the histogram is empty.
+func (h *Histogram) Mode() (int, bool) {
+	if h.total == 0 {
+		return 0, false
+	}
+	best, bestCount := 0, -1
+	for _, b := range h.Bins() {
+		if c := h.counts[b]; c > bestCount {
+			best, bestCount = b, c
+		}
+	}
+	return best, true
+}
+
+// Normalized returns bin → fraction for every occupied bin.
+func (h *Histogram) Normalized() map[int]float64 {
+	out := make(map[int]float64, len(h.counts))
+	for b, c := range h.counts {
+		out[b] = float64(c) / float64(h.total)
+	}
+	return out
+}
+
+// Quantile returns the q-th quantile (0 ≤ q ≤ 1) of the binned observations.
+func (h *Histogram) Quantile(q float64) (int, error) {
+	if h.total == 0 {
+		return 0, ErrEmpty
+	}
+	q = Clamp(q, 0, 1)
+	target := int(math.Ceil(q * float64(h.total)))
+	if target < 1 {
+		target = 1
+	}
+	seen := 0
+	bins := h.Bins()
+	for _, b := range bins {
+		seen += h.counts[b]
+		if seen >= target {
+			return b, nil
+		}
+	}
+	return bins[len(bins)-1], nil
+}

@@ -1,0 +1,292 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol
+}
+
+func TestMean(t *testing.T) {
+	cases := []struct {
+		in   []float64
+		want float64
+	}{
+		{nil, 0},
+		{[]float64{5}, 5},
+		{[]float64{1, 2, 3, 4}, 2.5},
+		{[]float64{-1, 1}, 0},
+	}
+	for _, c := range cases {
+		if got := Mean(c.in); !almostEqual(got, c.want, 1e-12) {
+			t.Errorf("Mean(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestHarmonicMean(t *testing.T) {
+	got, err := HarmonicMean([]float64{1, 2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 3 / (1.0 + 0.5 + 0.25)
+	if !almostEqual(got, want, 1e-12) {
+		t.Errorf("HarmonicMean = %v, want %v", got, want)
+	}
+	if _, err := HarmonicMean(nil); err == nil {
+		t.Error("HarmonicMean(nil) should error")
+	}
+	if _, err := HarmonicMean([]float64{1, 0}); err == nil {
+		t.Error("HarmonicMean with zero should error")
+	}
+	if _, err := HarmonicMean([]float64{1, -2}); err == nil {
+		t.Error("HarmonicMean with negative should error")
+	}
+}
+
+func TestHarmonicMeanLeqArithmetic(t *testing.T) {
+	// AM–HM inequality on positive inputs.
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			v := math.Abs(x)
+			if v > 1e-6 && v < 1e6 {
+				xs = append(xs, v)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		h, err := HarmonicMean(xs)
+		if err != nil {
+			return false
+		}
+		return h <= Mean(xs)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	got, err := GeoMean([]float64{1, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(got, 2, 1e-12) {
+		t.Errorf("GeoMean(1,4) = %v, want 2", got)
+	}
+	if _, err := GeoMean([]float64{0}); err == nil {
+		t.Error("GeoMean with zero should error")
+	}
+}
+
+func TestMedian(t *testing.T) {
+	got, err := Median([]float64{5, 1, 3})
+	if err != nil || got != 3 {
+		t.Errorf("Median odd = %v (%v), want 3", got, err)
+	}
+	got, err = Median([]float64{4, 1, 3, 2})
+	if err != nil || got != 2.5 {
+		t.Errorf("Median even = %v (%v), want 2.5", got, err)
+	}
+	// Median must not mutate the input.
+	in := []float64{3, 1, 2}
+	if _, err := Median(in); err != nil {
+		t.Fatal(err)
+	}
+	if in[0] != 3 || in[1] != 1 || in[2] != 2 {
+		t.Errorf("Median mutated input: %v", in)
+	}
+	if _, err := Median(nil); err == nil {
+		t.Error("Median(nil) should error")
+	}
+}
+
+func TestVarianceStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Variance(xs); !almostEqual(got, 4, 1e-12) {
+		t.Errorf("Variance = %v, want 4", got)
+	}
+	if got := StdDev(xs); !almostEqual(got, 2, 1e-12) {
+		t.Errorf("StdDev = %v, want 2", got)
+	}
+	if Variance([]float64{1}) != 0 {
+		t.Error("Variance of one sample should be 0")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	lo, hi, err := MinMax([]float64{3, -1, 7, 2})
+	if err != nil || lo != -1 || hi != 7 {
+		t.Errorf("MinMax = (%v, %v, %v)", lo, hi, err)
+	}
+	if _, _, err := MinMax(nil); err == nil {
+		t.Error("MinMax(nil) should error")
+	}
+}
+
+func TestClamp(t *testing.T) {
+	if Clamp(5, 0, 3) != 3 || Clamp(-1, 0, 3) != 0 || Clamp(2, 0, 3) != 2 {
+		t.Error("Clamp misbehaves")
+	}
+	if ClampInt(5, 0, 3) != 3 || ClampInt(-1, 0, 3) != 0 || ClampInt(2, 0, 3) != 2 {
+		t.Error("ClampInt misbehaves")
+	}
+}
+
+func TestEMASeedsAndConverges(t *testing.T) {
+	e := NewEMA(10)
+	if got := e.Update(5, 1); got != 5 {
+		t.Errorf("first update should seed: got %v", got)
+	}
+	// Constant input converges to the input.
+	for i := 0; i < 1000; i++ {
+		e.Update(3, 1)
+	}
+	if !almostEqual(e.Value(), 3, 1e-6) {
+		t.Errorf("EMA did not converge: %v", e.Value())
+	}
+}
+
+func TestEMATimeConstant(t *testing.T) {
+	// After exactly one time constant, the EMA covers 1-1/e of a step.
+	e := NewEMA(60)
+	e.Update(0, 1)
+	e.Update(1, 60)
+	want := 1 - math.Exp(-1)
+	if !almostEqual(e.Value(), want, 1e-9) {
+		t.Errorf("EMA after one tc = %v, want %v", e.Value(), want)
+	}
+}
+
+func TestEMAIgnoresNonPositiveDT(t *testing.T) {
+	e := NewEMA(10)
+	e.Update(5, 1)
+	if got := e.Update(100, 0); got != 5 {
+		t.Errorf("dt=0 should not move the EMA: %v", got)
+	}
+	e.Reset()
+	if e.Value() != 0 {
+		t.Error("Reset should zero the EMA")
+	}
+	if got := e.Update(7, 1); got != 7 {
+		t.Errorf("after Reset the next update should seed: %v", got)
+	}
+}
+
+func TestEMABounded(t *testing.T) {
+	// The EMA stays within the range of its inputs.
+	f := func(vals []float64, dts []float64) bool {
+		e := NewEMA(5)
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for i, v := range vals {
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e100 {
+				continue
+			}
+			dt := 1.0
+			if i < len(dts) {
+				dt = math.Abs(dts[i])
+				if math.IsNaN(dt) || math.IsInf(dt, 0) {
+					dt = 1
+				}
+			}
+			e.Update(v, dt)
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		if math.IsInf(lo, 1) {
+			return true
+		}
+		return e.Value() >= lo-1e-9 && e.Value() <= hi+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram()
+	if _, ok := h.Mode(); ok {
+		t.Error("empty histogram should have no mode")
+	}
+	h.Add(3)
+	h.Add(3)
+	h.Add(5)
+	h.AddN(7, 0) // no-op
+	h.AddN(7, -2)
+	if h.Total() != 3 {
+		t.Errorf("Total = %d, want 3", h.Total())
+	}
+	if h.Count(3) != 2 || h.Count(5) != 1 || h.Count(7) != 0 {
+		t.Error("counts wrong")
+	}
+	if !almostEqual(h.Fraction(3), 2.0/3, 1e-12) {
+		t.Errorf("Fraction(3) = %v", h.Fraction(3))
+	}
+	if mode, ok := h.Mode(); !ok || mode != 3 {
+		t.Errorf("Mode = %d, %v", mode, ok)
+	}
+	bins := h.Bins()
+	if len(bins) != 2 || bins[0] != 3 || bins[1] != 5 {
+		t.Errorf("Bins = %v", bins)
+	}
+	norm := h.Normalized()
+	sum := 0.0
+	for _, f := range norm {
+		sum += f
+	}
+	if !almostEqual(sum, 1, 1e-12) {
+		t.Errorf("Normalized sums to %v", sum)
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := NewHistogram()
+	for i := 1; i <= 100; i++ {
+		h.Add(i)
+	}
+	q50, err := h.Quantile(0.5)
+	if err != nil || q50 != 50 {
+		t.Errorf("Quantile(0.5) = %d (%v), want 50", q50, err)
+	}
+	q0, _ := h.Quantile(0)
+	if q0 != 1 {
+		t.Errorf("Quantile(0) = %d, want 1", q0)
+	}
+	q1, _ := h.Quantile(1)
+	if q1 != 100 {
+		t.Errorf("Quantile(1) = %d, want 100", q1)
+	}
+	empty := NewHistogram()
+	if _, err := empty.Quantile(0.5); err == nil {
+		t.Error("Quantile on empty should error")
+	}
+}
+
+func TestHistogramFractionsSumToOne(t *testing.T) {
+	f := func(bins []uint8) bool {
+		h := NewHistogram()
+		for _, b := range bins {
+			h.Add(int(b))
+		}
+		if h.Total() == 0 {
+			return true
+		}
+		sum := 0.0
+		for _, b := range h.Bins() {
+			sum += h.Fraction(b)
+		}
+		return almostEqual(sum, 1, 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

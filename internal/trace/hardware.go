@@ -1,0 +1,176 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Frequency selects how often the number of available processors changes
+// (§6.4: "reduced or increased every 20 seconds and 10 seconds in low
+// frequency and high frequency settings respectively").
+type Frequency int
+
+const (
+	// LowFrequency changes the processor count every 20 seconds.
+	LowFrequency Frequency = iota
+	// HighFrequency changes the processor count every 10 seconds.
+	HighFrequency
+	// Static never changes the processor count (the isolated static
+	// system of §7.1).
+	Static
+)
+
+// Period returns the change interval in seconds, or 0 for Static.
+func (f Frequency) Period() float64 {
+	switch f {
+	case LowFrequency:
+		return 20
+	case HighFrequency:
+		return 10
+	default:
+		return 0
+	}
+}
+
+// String implements fmt.Stringer.
+func (f Frequency) String() string {
+	switch f {
+	case LowFrequency:
+		return "low"
+	case HighFrequency:
+		return "high"
+	case Static:
+		return "static"
+	default:
+		return fmt.Sprintf("Frequency(%d)", int(f))
+	}
+}
+
+// HardwareEvent is one change in processor availability.
+type HardwareEvent struct {
+	Time       float64 // virtual seconds from scenario start
+	Processors int     // processors available from this time onward
+}
+
+// HardwareTrace is a piecewise-constant schedule of available processors.
+// Events are kept sorted by time; the processor count before the first
+// event is the count of the first event.
+type HardwareTrace struct {
+	events []HardwareEvent
+}
+
+// NewHardwareTrace builds a trace from events, sorting them by time. At
+// least one event is required and every processor count must be positive.
+func NewHardwareTrace(events []HardwareEvent) (*HardwareTrace, error) {
+	if len(events) == 0 {
+		return nil, fmt.Errorf("trace: hardware trace needs at least one event")
+	}
+	cp := append([]HardwareEvent(nil), events...)
+	sort.SliceStable(cp, func(i, j int) bool { return cp[i].Time < cp[j].Time })
+	for _, ev := range cp {
+		if ev.Processors <= 0 {
+			return nil, fmt.Errorf("trace: non-positive processor count %d at t=%.1f", ev.Processors, ev.Time)
+		}
+	}
+	return &HardwareTrace{events: cp}, nil
+}
+
+// StaticHardware returns a trace that always reports p processors.
+func StaticHardware(p int) *HardwareTrace {
+	t, err := NewHardwareTrace([]HardwareEvent{{Time: 0, Processors: p}})
+	if err != nil {
+		panic(err) // unreachable for p > 0; p <= 0 is programmer error
+	}
+	return t
+}
+
+// At returns the number of processors available at virtual time t.
+func (h *HardwareTrace) At(t float64) int {
+	p := h.events[0].Processors
+	for _, ev := range h.events {
+		if ev.Time > t {
+			break
+		}
+		p = ev.Processors
+	}
+	return p
+}
+
+// Events returns a copy of the schedule.
+func (h *HardwareTrace) Events() []HardwareEvent {
+	return append([]HardwareEvent(nil), h.events...)
+}
+
+// MaxProcessors returns the largest processor count in the trace.
+func (h *HardwareTrace) MaxProcessors() int {
+	maxP := 0
+	for _, ev := range h.events {
+		if ev.Processors > maxP {
+			maxP = ev.Processors
+		}
+	}
+	return maxP
+}
+
+// GenerateHardware produces a §6.4-style schedule for a machine with
+// maxProcs processors over duration seconds: every Period() seconds the
+// available count is raised or lowered by a random step, staying within
+// [minProcs, maxProcs]. With Static frequency the count stays at maxProcs.
+func GenerateHardware(rng *RNG, maxProcs int, freq Frequency, duration float64) (*HardwareTrace, error) {
+	if maxProcs <= 0 {
+		return nil, fmt.Errorf("trace: maxProcs must be positive, got %d", maxProcs)
+	}
+	if freq == Static {
+		return StaticHardware(maxProcs), nil
+	}
+	period := freq.Period()
+	minProcs := maxProcs / 4
+	if minProcs < 1 {
+		minProcs = 1
+	}
+	events := []HardwareEvent{{Time: 0, Processors: maxProcs}}
+	cur := maxProcs
+	for t := period; t < duration; t += period {
+		// Step size up to a quarter of the machine; direction biased
+		// toward returning to full capacity when low, mirroring the
+		// churn in Fig 1 (dips followed by recovery).
+		maxStep := maxProcs / 4
+		if maxStep < 1 {
+			maxStep = 1
+		}
+		step := rng.IntRange(1, maxStep)
+		down := rng.Float64() < 0.5
+		if cur-step < minProcs {
+			down = false
+		} else if cur+step > maxProcs {
+			down = true
+		}
+		if down {
+			cur -= step
+		} else {
+			cur += step
+		}
+		if cur < minProcs {
+			cur = minProcs
+		}
+		if cur > maxProcs {
+			cur = maxProcs
+		}
+		events = append(events, HardwareEvent{Time: t, Processors: cur})
+	}
+	return NewHardwareTrace(events)
+}
+
+// FailureHardware models the §7.5 case study: the machine runs at full
+// capacity, loses half its processors at failAt, and recovers at failAt +
+// outage. Used by the live-system experiment (Fig 14a).
+func FailureHardware(maxProcs int, failAt, outage float64) (*HardwareTrace, error) {
+	if maxProcs < 2 {
+		return nil, fmt.Errorf("trace: failure trace needs at least 2 processors, got %d", maxProcs)
+	}
+	return NewHardwareTrace([]HardwareEvent{
+		{Time: 0, Processors: maxProcs},
+		{Time: failAt, Processors: maxProcs / 2},
+		{Time: failAt + outage, Processors: maxProcs},
+	})
+}

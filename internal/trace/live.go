@@ -1,0 +1,195 @@
+package trace
+
+import (
+	"fmt"
+	"math"
+)
+
+// LivePoint is one sample of system activity in a live trace: how many
+// workload threads are running and how many processors are up. Fig 1 plots
+// exactly this signal ("number of threads vs. time") over 50 hours of a
+// production HPC system.
+type LivePoint struct {
+	Time    float64 // seconds since trace start
+	Threads int     // total workload threads active
+	Procs   int     // processors available
+}
+
+// LiveTrace is a synthetic reproduction of the Fig 1 production log: bursty
+// thread activity with quiet valleys, diurnal swell, and occasional capacity
+// loss. The §7.5 case study replays a window of it scaled to the evaluation
+// machine.
+type LiveTrace struct {
+	points []LivePoint
+	period float64
+}
+
+// LiveConfig parameterizes trace synthesis.
+type LiveConfig struct {
+	Duration   float64 // total seconds (paper: 50 h = 180000 s)
+	SamplePerd float64 // seconds between samples
+	MaxThreads int     // peak workload thread population
+	MaxProcs   int     // full machine capacity
+	// FailureAt/FailureLen model the observed hardware failure where half
+	// the processors were unavailable for two hours (§7.5). Zero disables.
+	FailureAt  float64
+	FailureLen float64
+}
+
+// DefaultLiveConfig mirrors the paper's observation window: 50 hours of
+// activity on a machine with thousands of hardware contexts, including the
+// two-hour half-capacity outage, sampled every 10 s.
+func DefaultLiveConfig() LiveConfig {
+	return LiveConfig{
+		Duration:   50 * 3600,
+		SamplePerd: 10,
+		MaxThreads: 5824, // paper: 5824 hardware contexts
+		MaxProcs:   2912, // paper: 2912 cores
+		FailureAt:  30 * 3600,
+		FailureLen: 2 * 3600,
+	}
+}
+
+// GenerateLive synthesizes a live trace. The signal combines a diurnal
+// component, bursts with exponentially distributed lifetimes, and noise;
+// this reproduces the qualitative structure of Fig 1 (highly dynamic, with
+// both saturated and idle periods).
+func GenerateLive(rng *RNG, cfg LiveConfig) (*LiveTrace, error) {
+	if cfg.Duration <= 0 || cfg.SamplePerd <= 0 {
+		return nil, fmt.Errorf("trace: live config needs positive duration and sample period")
+	}
+	if cfg.MaxThreads <= 0 || cfg.MaxProcs <= 0 {
+		return nil, fmt.Errorf("trace: live config needs positive thread and processor capacity")
+	}
+	n := int(cfg.Duration/cfg.SamplePerd) + 1
+	points := make([]LivePoint, 0, n)
+
+	// Burst process: jobs arrive in clumps and hold threads for a while.
+	type burst struct {
+		threads int
+		until   float64
+	}
+	var bursts []burst
+	baseline := float64(cfg.MaxThreads) * 0.15
+
+	for i := 0; i < n; i++ {
+		t := float64(i) * cfg.SamplePerd
+
+		// Diurnal swell with a 24h period.
+		diurnal := 0.25 * float64(cfg.MaxThreads) * (0.5 + 0.5*math.Sin(2*math.Pi*t/86400-math.Pi/2))
+
+		// Spawn new bursts at random; heavier bursts are rarer.
+		if rng.Float64() < 0.05 {
+			size := int(rng.Exp(float64(cfg.MaxThreads) * 0.12))
+			if size > 0 {
+				bursts = append(bursts, burst{
+					threads: size,
+					until:   t + rng.Exp(1200), // mean 20-minute jobs
+				})
+			}
+		}
+		active := 0
+		alive := bursts[:0]
+		for _, b := range bursts {
+			if b.until > t {
+				active += b.threads
+				alive = append(alive, b)
+			}
+		}
+		bursts = alive
+
+		noise := rng.Norm() * float64(cfg.MaxThreads) * 0.02
+		threads := int(baseline + diurnal + float64(active) + noise)
+		if threads < 0 {
+			threads = 0
+		}
+		if threads > cfg.MaxThreads {
+			threads = cfg.MaxThreads
+		}
+
+		procs := cfg.MaxProcs
+		if cfg.FailureLen > 0 && t >= cfg.FailureAt && t < cfg.FailureAt+cfg.FailureLen {
+			procs = cfg.MaxProcs / 2
+		}
+		points = append(points, LivePoint{Time: t, Threads: threads, Procs: procs})
+	}
+	return &LiveTrace{points: points, period: cfg.SamplePerd}, nil
+}
+
+// Points returns the samples (shared slice; callers must not mutate).
+func (l *LiveTrace) Points() []LivePoint { return l.points }
+
+// Len returns the number of samples.
+func (l *LiveTrace) Len() int { return len(l.points) }
+
+// At returns the sample covering virtual time t (the last sample at or
+// before t).
+func (l *LiveTrace) At(t float64) LivePoint {
+	if len(l.points) == 0 {
+		return LivePoint{}
+	}
+	idx := int(t / l.period)
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(l.points) {
+		idx = len(l.points) - 1
+	}
+	return l.points[idx]
+}
+
+// Window extracts the samples in [from, to) rebased to start at time 0.
+// §3 zooms into the window around the 175,000th second; §7.5 replays such a
+// window scaled down to the evaluation platform.
+func (l *LiveTrace) Window(from, to float64) []LivePoint {
+	var out []LivePoint
+	for _, p := range l.points {
+		if p.Time >= from && p.Time < to {
+			out = append(out, LivePoint{Time: p.Time - from, Threads: p.Threads, Procs: p.Procs})
+		}
+	}
+	return out
+}
+
+// ScaleTo rescales a window of the live trace onto a machine with maxProcs
+// processors, "where the number of workload threads was scaled down in
+// proportion with the maximum number of processors" (§7.5). It returns a
+// hardware trace plus the workload-thread target at each sample.
+func ScaleTo(points []LivePoint, maxProcs int) (*HardwareTrace, []LivePoint, error) {
+	if len(points) == 0 {
+		return nil, nil, fmt.Errorf("trace: empty live window")
+	}
+	if maxProcs <= 0 {
+		return nil, nil, fmt.Errorf("trace: maxProcs must be positive, got %d", maxProcs)
+	}
+	origMax := 0
+	for _, p := range points {
+		if p.Procs > origMax {
+			origMax = p.Procs
+		}
+	}
+	if origMax == 0 {
+		return nil, nil, fmt.Errorf("trace: live window has no processors")
+	}
+	scale := float64(maxProcs) / float64(origMax)
+	events := make([]HardwareEvent, 0, len(points))
+	scaled := make([]LivePoint, 0, len(points))
+	lastProcs := -1
+	for _, p := range points {
+		procs := int(math.Round(float64(p.Procs) * scale))
+		if procs < 1 {
+			procs = 1
+		}
+		threads := int(math.Round(float64(p.Threads) * scale))
+		scaled = append(scaled, LivePoint{Time: p.Time, Threads: threads, Procs: procs})
+		if procs != lastProcs {
+			events = append(events, HardwareEvent{Time: p.Time, Processors: procs})
+			lastProcs = procs
+		}
+	}
+	hw, err := NewHardwareTrace(events)
+	if err != nil {
+		return nil, nil, err
+	}
+	return hw, scaled, nil
+}

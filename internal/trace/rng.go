@@ -1,0 +1,101 @@
+// Package trace provides the dynamic-environment machinery of the paper's
+// experimental setup (§6.4): schedules that vary the number of available
+// processors at low (every 20 s) or high (every 10 s) frequency, workload
+// arrival patterns, and the synthetic "live system" trace used for Fig 1 and
+// the real-world case study (§7.5, a hardware failure that removes half the
+// processors for two hours).
+//
+// Everything in this package is deterministic given a seed so that "the same
+// external workload is reproduced for all evaluated policies in all cases"
+// (§6.4) — the property the paper relies on for fair comparison.
+package trace
+
+import "math"
+
+// RNG is a SplitMix64 pseudo-random generator. It is tiny, fast, has
+// well-understood statistical quality, and — unlike math/rand's global state
+// — gives the simulator reproducible, independently seedable streams.
+type RNG struct {
+	state uint64
+}
+
+// NewRNG returns a generator seeded with seed.
+func NewRNG(seed uint64) *RNG {
+	return &RNG{state: seed}
+}
+
+// Uint64 returns the next raw 64-bit value.
+func (r *RNG) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform value in [0, n). It panics if n <= 0 (programmer
+// error).
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("trace: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Range returns a uniform value in [lo, hi].
+func (r *RNG) Range(lo, hi float64) float64 {
+	if hi <= lo {
+		return lo
+	}
+	return lo + r.Float64()*(hi-lo)
+}
+
+// IntRange returns a uniform integer in [lo, hi] inclusive.
+func (r *RNG) IntRange(lo, hi int) int {
+	if hi <= lo {
+		return lo
+	}
+	return lo + r.Intn(hi-lo+1)
+}
+
+// Norm returns a standard normal sample via Box–Muller.
+func (r *RNG) Norm() float64 {
+	u1 := r.Float64()
+	for u1 == 0 {
+		u1 = r.Float64()
+	}
+	u2 := r.Float64()
+	return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+}
+
+// Exp returns an exponential sample with the given mean.
+func (r *RNG) Exp(mean float64) float64 {
+	u := r.Float64()
+	for u == 0 {
+		u = r.Float64()
+	}
+	return -mean * math.Log(u)
+}
+
+// Split derives an independent child generator; the parent advances once.
+func (r *RNG) Split() *RNG {
+	return NewRNG(r.Uint64())
+}
+
+// Perm returns a random permutation of [0, n).
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}

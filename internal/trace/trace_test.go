@@ -1,0 +1,362 @@
+package trace
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed must produce the same stream")
+		}
+	}
+	c := NewRNG(43)
+	same := 0
+	a = NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("different seeds collide too often: %d/100", same)
+	}
+}
+
+func TestRNGFloat64Range(t *testing.T) {
+	r := NewRNG(7)
+	sum := 0.0
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+		sum += f
+	}
+	if mean := sum / 10000; math.Abs(mean-0.5) > 0.02 {
+		t.Errorf("Float64 mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestRNGIntn(t *testing.T) {
+	r := NewRNG(9)
+	counts := make([]int, 5)
+	for i := 0; i < 5000; i++ {
+		v := r.Intn(5)
+		if v < 0 || v >= 5 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+		counts[v]++
+	}
+	for i, c := range counts {
+		if c < 800 || c > 1200 {
+			t.Errorf("Intn bucket %d count %d far from uniform", i, c)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) should panic")
+		}
+	}()
+	r.Intn(0)
+}
+
+func TestRNGRangeHelpers(t *testing.T) {
+	r := NewRNG(11)
+	for i := 0; i < 1000; i++ {
+		v := r.Range(2, 3)
+		if v < 2 || v > 3 {
+			t.Fatalf("Range out of bounds: %v", v)
+		}
+		n := r.IntRange(4, 6)
+		if n < 4 || n > 6 {
+			t.Fatalf("IntRange out of bounds: %d", n)
+		}
+	}
+	if r.Range(5, 5) != 5 || r.Range(5, 4) != 5 {
+		t.Error("degenerate Range should return lo")
+	}
+	if r.IntRange(5, 5) != 5 || r.IntRange(5, 4) != 5 {
+		t.Error("degenerate IntRange should return lo")
+	}
+}
+
+func TestRNGNormMoments(t *testing.T) {
+	r := NewRNG(13)
+	var sum, sumSq float64
+	const n = 20000
+	for i := 0; i < n; i++ {
+		v := r.Norm()
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean) > 0.05 {
+		t.Errorf("Norm mean = %v", mean)
+	}
+	if math.Abs(variance-1) > 0.05 {
+		t.Errorf("Norm variance = %v", variance)
+	}
+}
+
+func TestRNGExpMean(t *testing.T) {
+	r := NewRNG(15)
+	sum := 0.0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		v := r.Exp(10)
+		if v < 0 {
+			t.Fatal("Exp produced negative value")
+		}
+		sum += v
+	}
+	if mean := sum / n; math.Abs(mean-10) > 0.5 {
+		t.Errorf("Exp mean = %v, want ~10", mean)
+	}
+}
+
+func TestRNGPerm(t *testing.T) {
+	r := NewRNG(17)
+	p := r.Perm(10)
+	seen := make([]bool, 10)
+	for _, v := range p {
+		if v < 0 || v >= 10 || seen[v] {
+			t.Fatalf("Perm invalid: %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestRNGSplitIndependence(t *testing.T) {
+	r := NewRNG(19)
+	c1 := r.Split()
+	c2 := r.Split()
+	if c1.Uint64() == c2.Uint64() {
+		t.Error("split children should differ")
+	}
+}
+
+func TestHardwareTraceAt(t *testing.T) {
+	hw, err := NewHardwareTrace([]HardwareEvent{
+		{Time: 10, Processors: 16},
+		{Time: 0, Processors: 32}, // out of order on purpose
+		{Time: 20, Processors: 8},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		t    float64
+		want int
+	}{{-5, 32}, {0, 32}, {5, 32}, {10, 16}, {15, 16}, {20, 8}, {1000, 8}}
+	for _, c := range cases {
+		if got := hw.At(c.t); got != c.want {
+			t.Errorf("At(%v) = %d, want %d", c.t, got, c.want)
+		}
+	}
+	if hw.MaxProcessors() != 32 {
+		t.Errorf("MaxProcessors = %d", hw.MaxProcessors())
+	}
+}
+
+func TestHardwareTraceValidation(t *testing.T) {
+	if _, err := NewHardwareTrace(nil); err == nil {
+		t.Error("empty trace should error")
+	}
+	if _, err := NewHardwareTrace([]HardwareEvent{{Time: 0, Processors: 0}}); err == nil {
+		t.Error("zero processors should error")
+	}
+}
+
+func TestStaticHardware(t *testing.T) {
+	hw := StaticHardware(12)
+	if hw.At(0) != 12 || hw.At(1e9) != 12 {
+		t.Error("static hardware should be constant")
+	}
+}
+
+func TestGenerateHardwareBounds(t *testing.T) {
+	f := func(seed uint64, highFreq bool) bool {
+		freq := LowFrequency
+		if highFreq {
+			freq = HighFrequency
+		}
+		hw, err := GenerateHardware(NewRNG(seed), 32, freq, 600)
+		if err != nil {
+			return false
+		}
+		for _, ev := range hw.Events() {
+			if ev.Processors < 8 || ev.Processors > 32 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGenerateHardwarePeriod(t *testing.T) {
+	hw, err := GenerateHardware(NewRNG(1), 32, LowFrequency, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := hw.Events()
+	// Every 20s over 100s: events at 0, 20, 40, 60, 80.
+	if len(events) != 5 {
+		t.Fatalf("low-frequency events = %d, want 5", len(events))
+	}
+	for i, ev := range events {
+		if ev.Time != float64(i*20) {
+			t.Errorf("event %d at %v, want %d", i, ev.Time, i*20)
+		}
+	}
+	hwHigh, err := GenerateHardware(NewRNG(1), 32, HighFrequency, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hwHigh.Events()) != 10 {
+		t.Errorf("high-frequency events = %d, want 10", len(hwHigh.Events()))
+	}
+}
+
+func TestGenerateHardwareStatic(t *testing.T) {
+	hw, err := GenerateHardware(NewRNG(1), 16, Static, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hw.Events()) != 1 || hw.At(999) != 16 {
+		t.Error("static generation should hold the full count")
+	}
+	if _, err := GenerateHardware(NewRNG(1), 0, Static, 10); err == nil {
+		t.Error("non-positive cores should error")
+	}
+}
+
+func TestFailureHardware(t *testing.T) {
+	hw, err := FailureHardware(32, 100, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hw.At(50) != 32 || hw.At(100) != 16 || hw.At(149) != 16 || hw.At(151) != 32 {
+		t.Error("failure trace shape wrong")
+	}
+	if _, err := FailureHardware(1, 0, 1); err == nil {
+		t.Error("single-core failure trace should error")
+	}
+}
+
+func TestFrequencyStrings(t *testing.T) {
+	if LowFrequency.String() != "low" || HighFrequency.String() != "high" || Static.String() != "static" {
+		t.Error("frequency names wrong")
+	}
+	if LowFrequency.Period() != 20 || HighFrequency.Period() != 10 || Static.Period() != 0 {
+		t.Error("frequency periods wrong")
+	}
+}
+
+func TestGenerateLive(t *testing.T) {
+	cfg := LiveConfig{
+		Duration: 3600, SamplePerd: 10,
+		MaxThreads: 1000, MaxProcs: 500,
+		FailureAt: 1000, FailureLen: 500,
+	}
+	lt, err := GenerateLive(NewRNG(5), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lt.Len() != 361 {
+		t.Errorf("samples = %d, want 361", lt.Len())
+	}
+	sawFailure := false
+	for _, p := range lt.Points() {
+		if p.Threads < 0 || p.Threads > cfg.MaxThreads {
+			t.Fatalf("threads out of range: %d", p.Threads)
+		}
+		if p.Time >= 1000 && p.Time < 1500 {
+			if p.Procs != 250 {
+				t.Fatalf("failure window procs = %d", p.Procs)
+			}
+			sawFailure = true
+		} else if p.Procs != 500 {
+			t.Fatalf("normal procs = %d", p.Procs)
+		}
+	}
+	if !sawFailure {
+		t.Error("no failure-window sample")
+	}
+}
+
+func TestGenerateLiveErrors(t *testing.T) {
+	if _, err := GenerateLive(NewRNG(1), LiveConfig{}); err == nil {
+		t.Error("zero config should error")
+	}
+	if _, err := GenerateLive(NewRNG(1), LiveConfig{Duration: 10, SamplePerd: 1}); err == nil {
+		t.Error("zero capacities should error")
+	}
+}
+
+func TestLiveTraceAtAndWindow(t *testing.T) {
+	cfg := LiveConfig{Duration: 100, SamplePerd: 10, MaxThreads: 10, MaxProcs: 5}
+	lt, err := GenerateLive(NewRNG(5), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := lt.At(-5); got != lt.Points()[0] {
+		t.Error("At before start should clamp")
+	}
+	if got := lt.At(1e9); got != lt.Points()[lt.Len()-1] {
+		t.Error("At after end should clamp")
+	}
+	w := lt.Window(30, 60)
+	if len(w) != 3 {
+		t.Fatalf("window size = %d, want 3", len(w))
+	}
+	if w[0].Time != 0 {
+		t.Errorf("window should rebase to 0, got %v", w[0].Time)
+	}
+}
+
+func TestScaleTo(t *testing.T) {
+	points := []LivePoint{
+		{Time: 0, Threads: 1000, Procs: 500},
+		{Time: 10, Threads: 500, Procs: 250},
+	}
+	hw, scaled, err := ScaleTo(points, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scaled[0].Threads != 64 || scaled[0].Procs != 32 {
+		t.Errorf("scaled[0] = %+v", scaled[0])
+	}
+	if scaled[1].Procs != 16 {
+		t.Errorf("scaled[1] = %+v", scaled[1])
+	}
+	if hw.At(0) != 32 || hw.At(10) != 16 {
+		t.Error("scaled hardware trace wrong")
+	}
+	if _, _, err := ScaleTo(nil, 32); err == nil {
+		t.Error("empty window should error")
+	}
+	if _, _, err := ScaleTo(points, 0); err == nil {
+		t.Error("non-positive target should error")
+	}
+}
+
+func TestDefaultLiveConfigMatchesPaper(t *testing.T) {
+	cfg := DefaultLiveConfig()
+	if cfg.Duration != 50*3600 {
+		t.Errorf("duration = %v, want 50 h", cfg.Duration)
+	}
+	if cfg.MaxProcs != 2912 || cfg.MaxThreads != 5824 {
+		t.Errorf("capacities = %d/%d, want the paper's 2912 cores / 5824 contexts", cfg.MaxProcs, cfg.MaxThreads)
+	}
+	if cfg.FailureLen != 2*3600 {
+		t.Errorf("failure length = %v, want 2 h", cfg.FailureLen)
+	}
+}

@@ -1,0 +1,161 @@
+package training
+
+import (
+	"fmt"
+	"math"
+
+	"moe/internal/core"
+	"moe/internal/expert"
+	"moe/internal/features"
+)
+
+// TrainGating fits the offline prior for the expert selector: a multiclass
+// perceptron over standardized features whose label for each training
+// sample is the expert whose thread predictor would have served that state
+// best. The returned selector starts from this partition and keeps adapting
+// online from environment-prediction errors, realizing the paper's
+// combination of offline prior models and online learning (§1).
+//
+// epochs ≤ 0 selects the default (8 passes).
+func TrainGating(ds *DataSet, set expert.Set, epochs int) (*core.HyperplaneSelector, error) {
+	if len(ds.Samples) == 0 {
+		return nil, fmt.Errorf("training: gating needs training samples")
+	}
+	if err := set.Validate(); err != nil {
+		return nil, err
+	}
+	if epochs <= 0 {
+		epochs = 8
+	}
+	k := len(set)
+	sel := core.NewHyperplaneSelector(k, 0)
+	if k == 1 {
+		return sel, nil
+	}
+
+	// Standardization statistics over the training features.
+	var mean, std [features.Dim]float64
+	n := float64(len(ds.Samples))
+	for _, s := range ds.Samples {
+		for i := 0; i < features.Dim; i++ {
+			mean[i] += s.Features[i]
+		}
+	}
+	for i := range mean {
+		mean[i] /= n
+	}
+	for _, s := range ds.Samples {
+		for i := 0; i < features.Dim; i++ {
+			d := s.Features[i] - mean[i]
+			std[i] += d * d
+		}
+	}
+	for i := range std {
+		std[i] = math.Sqrt(std[i] / n)
+		if std[i] < 1e-6 {
+			std[i] = 1
+		}
+	}
+
+	// For each sample, evaluate every expert's thread choice against the
+	// sample's measured speedup curve. The best expert is the label; the
+	// *regret* of picking another expert (relative speedup lost) weights
+	// the perceptron updates, so routing mistakes that barely matter
+	// teach gently while catastrophic ones teach hard.
+	speedupAt := func(s LabeledSample, n int) float64 {
+		if len(s.Speedups) == 0 {
+			return 1
+		}
+		if n < 1 {
+			n = 1
+		}
+		if n > len(s.Speedups) {
+			n = len(s.Speedups)
+		}
+		return s.Speedups[n-1]
+	}
+	labels := make([]int, len(ds.Samples))
+	gains := make([][]float64, len(ds.Samples)) // per-expert achieved speedup
+	for si, s := range ds.Samples {
+		gains[si] = make([]float64, k)
+		best, bestV := 0, math.Inf(-1)
+		for ki, e := range set {
+			v := speedupAt(s, e.PredictThreads(s.Features, 0))
+			gains[si][ki] = v
+			if v > bestV {
+				best, bestV = ki, v
+			}
+		}
+		labels[si] = best
+	}
+
+	// Averaged cost-sensitive multiclass perceptron.
+	theta := make([][]float64, k)
+	sum := make([][]float64, k)
+	for i := range theta {
+		theta[i] = make([]float64, features.Dim+1)
+		sum[i] = make([]float64, features.Dim+1)
+	}
+	x := make([]float64, features.Dim+1)
+	updates := 0.0
+	const rate = 0.1
+	for ep := 0; ep < epochs; ep++ {
+		for si, s := range ds.Samples {
+			for i := 0; i < features.Dim; i++ {
+				x[i] = (s.Features[i] - mean[i]) / std[i]
+			}
+			x[features.Dim] = 1
+			pred, predV := 0, math.Inf(-1)
+			for ki := range theta {
+				v := 0.0
+				for i := range x {
+					v += theta[ki][i] * x[i]
+				}
+				if v > predV {
+					pred, predV = ki, v
+				}
+			}
+			if pred != labels[si] {
+				label := labels[si]
+				regret := 0.0
+				if gains[si][label] > 0 {
+					regret = (gains[si][label] - gains[si][pred]) / gains[si][label]
+				}
+				if regret > 0 {
+					for i := range x {
+						theta[label][i] += rate * regret * x[i]
+						theta[pred][i] -= rate * regret * x[i]
+					}
+				}
+			}
+			for ki := range theta {
+				for i := range x {
+					sum[ki][i] += theta[ki][i]
+				}
+			}
+			updates++
+		}
+	}
+	for ki := range sum {
+		for i := range sum[ki] {
+			sum[ki][i] /= updates
+		}
+	}
+
+	if err := sel.Pretrain(sum, mean, std, n); err != nil {
+		return nil, err
+	}
+	return sel, nil
+}
+
+// NewMixturePolicy builds a ready-to-run mixture over the expert set with
+// an offline-pretrained gating selector — the configuration the paper
+// evaluates. Each call returns a fresh policy instance (mixtures are
+// stateful and must not be shared between runs).
+func NewMixturePolicy(ds *DataSet, set expert.Set) (*core.Mixture, error) {
+	sel, err := TrainGating(ds, set, 0)
+	if err != nil {
+		return nil, err
+	}
+	return core.NewMixture(set, core.Options{Selector: sel})
+}

@@ -1,0 +1,117 @@
+package training
+
+import (
+	"testing"
+
+	"moe/internal/core"
+	"moe/internal/expert"
+	"moe/internal/features"
+	"moe/internal/sim"
+)
+
+func TestSlotHeuristic(t *testing.T) {
+	state := func(avail, ext float64) features.Vector {
+		var f features.Vector
+		f[features.Processors] = avail
+		f[features.WorkloadThreads] = ext
+		return f
+	}
+	// Isolated: claim the whole machine.
+	if got := SlotHeuristic(state(32, 0)); got != 32 {
+		t.Errorf("isolated = %d, want 32", got)
+	}
+	// One saturated co-runner: claim about half.
+	if got := SlotHeuristic(state(32, 32)); got != 16 {
+		t.Errorf("one co-runner = %d, want 16", got)
+	}
+	// Heavy load: small slot.
+	if got := SlotHeuristic(state(32, 192)); got > 6 || got < 2 {
+		t.Errorf("heavy load = %d, want a small slot", got)
+	}
+	// Degenerate availability.
+	if got := SlotHeuristic(state(0, 100)); got != 1 {
+		t.Errorf("zero processors = %d, want 1", got)
+	}
+}
+
+func TestRetrofit(t *testing.T) {
+	ds := tinyDataset(t)
+	e, err := Retrofit("H", SlotHeuristic, ds, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// The heuristic keeps full authority over thread counts.
+	var f features.Vector
+	f[features.Processors] = 32
+	f[features.WorkloadThreads] = 32
+	if got := e.PredictThreads(f, 0); got != SlotHeuristic(f) {
+		t.Errorf("retrofitted expert predicts %d, heuristic says %d", got, SlotHeuristic(f))
+	}
+	// The environment predictor exists and produces vector forecasts.
+	p := e.PredictEnv(ds.Samples[0].Features)
+	if !p.HasVec {
+		t.Error("retrofitted environment predictor should be the vector model")
+	}
+	// Feature statistics were fitted (the selector's applicability
+	// gating needs them).
+	if e.FeatStd[features.Processors] <= 0 {
+		t.Error("missing feature statistics")
+	}
+}
+
+func TestRetrofitValidation(t *testing.T) {
+	ds := tinyDataset(t)
+	if _, err := Retrofit("H", nil, ds, 32); err == nil {
+		t.Error("nil heuristic should error")
+	}
+	if _, err := Retrofit("H", SlotHeuristic, &DataSet{}, 32); err == nil {
+		t.Error("empty dataset should error")
+	}
+	if _, err := Retrofit("H", SlotHeuristic, ds, 0); err == nil {
+		t.Error("zero cap should error")
+	}
+}
+
+func TestRetrofittedExpertJoinsMixture(t *testing.T) {
+	// The §9 extension: a hand-written analytic model selected by the
+	// mixture approach. Build 4 trained experts + the retrofitted
+	// heuristic and run the 5-expert mixture.
+	ds := tinyDataset(t)
+	set, err := BuildExperts4(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := Retrofit("H", SlotHeuristic, ds, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := append(expert.Set{}, set...)
+	pool = append(pool, h)
+	m, err := core.NewMixture(pool, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range ds.Samples[:50] {
+		n := m.Decide(decisionAt(s.Features, i))
+		if n < 1 || n > 32 {
+			t.Fatalf("5-expert mixture produced %d threads", n)
+		}
+	}
+	st := m.Snapshot()
+	if len(st.SelectionFraction) != 5 {
+		t.Errorf("selection fractions for %d experts", len(st.SelectionFraction))
+	}
+}
+
+// decisionAt wraps a feature vector as a minimal decision context.
+func decisionAt(f features.Vector, i int) sim.Decision {
+	return sim.Decision{
+		Time:           float64(i) * 0.5,
+		Features:       f,
+		MaxThreads:     32,
+		AvailableProcs: int(f[features.Processors]),
+	}
+}

@@ -1,0 +1,88 @@
+package training
+
+import (
+	"fmt"
+
+	"moe/internal/features"
+	"moe/internal/regress"
+)
+
+// PredictorKind selects which of an expert's two models to validate.
+type PredictorKind int
+
+// The two predictors of §4.1.
+const (
+	ThreadPredictor PredictorKind = iota
+	EnvPredictor
+)
+
+// String implements fmt.Stringer.
+func (k PredictorKind) String() string {
+	if k == ThreadPredictor {
+		return "thread"
+	}
+	return "environment"
+}
+
+// CrossValidate runs leave-one-program-out cross validation (§5.2.3: the
+// program being predicted is excluded from the training set) on the chosen
+// predictor over the dataset.
+func CrossValidate(ds *DataSet, kind PredictorKind) (regress.Metrics, error) {
+	if len(ds.Samples) == 0 {
+		return regress.Metrics{}, fmt.Errorf("training: cross-validation on empty dataset")
+	}
+	var samples []regress.Sample
+	if kind == ThreadPredictor {
+		samples = ds.threadSamples()
+	} else {
+		samples = ds.envNormSamples()
+	}
+	key := func(i int) string { return ds.Samples[i].Program }
+	return regress.LeaveOneOut(samples, key, regress.Options{Ridge: 1e-6})
+}
+
+// CrossValidateThreadMasked is CrossValidate for the thread predictor with
+// a feature mask (true = keep), backing the feature-set ablation.
+func CrossValidateThreadMasked(ds *DataSet, mask []bool) (regress.Metrics, error) {
+	if len(ds.Samples) == 0 {
+		return regress.Metrics{}, fmt.Errorf("training: cross-validation on empty dataset")
+	}
+	key := func(i int) string { return ds.Samples[i].Program }
+	return regress.LeaveOneOut(ds.threadSamples(), key, regress.Options{Ridge: 1e-6, Mask: mask})
+}
+
+// ImpactAccuracyFn returns a features.AccuracyFn for the dataset: it
+// retrains the chosen predictor without one feature and reports held-out
+// accuracy, implementing the paper's feature-impact metric π (§5.2.2 — "the
+// drop in prediction accuracy of the model when this feature alone was
+// removed from the feature-set").
+func ImpactAccuracyFn(ds *DataSet, kind PredictorKind) features.AccuracyFn {
+	var samples []regress.Sample
+	if kind == ThreadPredictor {
+		samples = ds.threadSamples()
+	} else {
+		samples = ds.envNormSamples()
+	}
+	key := func(i int) string { return ds.Samples[i].Program }
+	return func(without int) (float64, error) {
+		opts := regress.Options{Ridge: 1e-6}
+		if without >= 0 {
+			mask := make([]bool, features.Dim)
+			for i := range mask {
+				mask[i] = i != without
+			}
+			opts.Mask = mask
+		}
+		m, err := regress.LeaveOneOut(samples, key, opts)
+		if err != nil {
+			return 0, err
+		}
+		return m.Accuracy, nil
+	}
+}
+
+// FeatureImpacts computes π for every feature of the chosen predictor over
+// the dataset (one pie chart of Fig 6).
+func FeatureImpacts(ds *DataSet, kind PredictorKind) ([]features.Impact, error) {
+	return features.ComputeImpacts(ImpactAccuracyFn(ds, kind))
+}

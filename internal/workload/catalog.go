@@ -1,0 +1,193 @@
+package workload
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Catalog returns models for the benchmark programs named in the paper's
+// figures: the OpenMP C NAS programs (bt, cg, ep, ft, is, lu, mg, sp), the
+// SpecOMP C programs (ammp, art, equake, swim) and Parsec programs
+// (blackscholes, bodytrack, freqmine, fluidanimate). Parameters encode each
+// program's published character:
+//
+//   - ep is embarrassingly parallel (compute-bound Monte Carlo);
+//   - bt/sp/lu are CFD solvers with good but sub-linear scaling;
+//   - cg and mg have irregular memory access and barriers — the programs
+//     §7.1 reports as slowing down when too many threads are spawned;
+//   - ft and is are memory-bandwidth bound;
+//   - art and equake (SpecOMP) are memory-bound/irregular, ammp computes;
+//   - blackscholes is compute-bound and scalable, bodytrack and
+//     fluidanimate are synchronization-heavy, freqmine is irregular.
+//
+// Work totals are sized so that an isolated run on the 32-core evaluation
+// machine takes on the order of 1–3 virtual minutes, mirroring the relative
+// lengths of the suites' largest inputs.
+func Catalog() []*Program {
+	progs := []*Program{
+		// --- NAS ---
+		build("bt", NAS, 40, 5.2, []Region{
+			{Name: "x-solve", Work: 1.3, ParallelFrac: 0.985, MemIntensity: 0.38, SyncCost: 0.004, Grain: 64, LoadStore: 42, Instructions: 100, Branches: 6},
+			{Name: "y-solve", Work: 1.3, ParallelFrac: 0.985, MemIntensity: 0.40, SyncCost: 0.004, Grain: 64, LoadStore: 44, Instructions: 102, Branches: 6},
+			{Name: "z-solve", Work: 1.4, ParallelFrac: 0.982, MemIntensity: 0.45, SyncCost: 0.005, Grain: 64, LoadStore: 47, Instructions: 104, Branches: 7},
+			{Name: "add", Work: 0.4, ParallelFrac: 0.97, MemIntensity: 0.55, SyncCost: 0.003, Grain: 64, LoadStore: 52, Instructions: 90, Branches: 4},
+		}),
+		build("cg", NAS, 50, 7.0, []Region{
+			{Name: "sparse-matvec", Work: 1.5, ParallelFrac: 0.94, MemIntensity: 0.89, SyncCost: 0.021, Grain: 12, LoadStore: 66, Instructions: 100, Branches: 9},
+			{Name: "dot-reduce", Work: 0.35, ParallelFrac: 0.88, MemIntensity: 0.64, SyncCost: 0.024, Grain: 10, LoadStore: 50, Instructions: 80, Branches: 5},
+		}),
+		build("ep", NAS, 16, 0.3, []Region{
+			{Name: "random-pairs", Work: 7.0, ParallelFrac: 0.998, MemIntensity: 0.04, SyncCost: 0.0008, Grain: 256, LoadStore: 18, Instructions: 100, Branches: 11},
+		}),
+		build("ft", NAS, 22, 6.5, []Region{
+			{Name: "fft-xy", Work: 2.2, ParallelFrac: 0.97, MemIntensity: 0.62, SyncCost: 0.005, Grain: 20, LoadStore: 55, Instructions: 100, Branches: 5},
+			{Name: "transpose", Work: 1.1, ParallelFrac: 0.93, MemIntensity: 0.78, SyncCost: 0.007, Grain: 16, LoadStore: 70, Instructions: 85, Branches: 4},
+			{Name: "fft-z", Work: 1.6, ParallelFrac: 0.96, MemIntensity: 0.58, SyncCost: 0.005, Grain: 20, LoadStore: 54, Instructions: 98, Branches: 5},
+		}),
+		build("is", NAS, 36, 4.0, []Region{
+			{Name: "rank", Work: 1.5, ParallelFrac: 0.90, MemIntensity: 0.88, SyncCost: 0.010, Grain: 10, LoadStore: 75, Instructions: 100, Branches: 8},
+			{Name: "key-scan", Work: 0.5, ParallelFrac: 0.80, MemIntensity: 0.70, SyncCost: 0.016, Grain: 8, LoadStore: 60, Instructions: 70, Branches: 12},
+		}),
+		build("lu", NAS, 45, 5.8, []Region{
+			{Name: "ssor-lower", Work: 1.2, ParallelFrac: 0.975, MemIntensity: 0.48, SyncCost: 0.007, Grain: 48, LoadStore: 49, Instructions: 100, Branches: 8},
+			{Name: "ssor-upper", Work: 1.2, ParallelFrac: 0.975, MemIntensity: 0.48, SyncCost: 0.007, Grain: 48, LoadStore: 49, Instructions: 100, Branches: 8},
+			{Name: "rhs", Work: 0.9, ParallelFrac: 0.985, MemIntensity: 0.42, SyncCost: 0.004, Grain: 64, LoadStore: 45, Instructions: 95, Branches: 6},
+		}),
+		build("mg", NAS, 30, 7.5, []Region{
+			{Name: "restrict", Work: 1.0, ParallelFrac: 0.93, MemIntensity: 0.74, SyncCost: 0.015, Grain: 14, LoadStore: 64, Instructions: 95, Branches: 7},
+			{Name: "smooth", Work: 1.6, ParallelFrac: 0.95, MemIntensity: 0.70, SyncCost: 0.013, Grain: 16, LoadStore: 60, Instructions: 100, Branches: 6},
+			{Name: "interp", Work: 0.9, ParallelFrac: 0.92, MemIntensity: 0.72, SyncCost: 0.016, Grain: 14, LoadStore: 62, Instructions: 92, Branches: 8},
+		}),
+		build("sp", NAS, 42, 5.0, []Region{
+			{Name: "x-sweep", Work: 1.2, ParallelFrac: 0.98, MemIntensity: 0.44, SyncCost: 0.006, Grain: 56, LoadStore: 46, Instructions: 100, Branches: 6},
+			{Name: "y-sweep", Work: 1.2, ParallelFrac: 0.98, MemIntensity: 0.44, SyncCost: 0.006, Grain: 56, LoadStore: 46, Instructions: 100, Branches: 6},
+			{Name: "z-sweep", Work: 1.3, ParallelFrac: 0.975, MemIntensity: 0.50, SyncCost: 0.007, Grain: 56, LoadStore: 50, Instructions: 102, Branches: 7},
+			{Name: "txinvr", Work: 0.5, ParallelFrac: 0.96, MemIntensity: 0.40, SyncCost: 0.004, Grain: 64, LoadStore: 40, Instructions: 88, Branches: 5},
+		}),
+		// --- SpecOMP ---
+		build("ammp", SpecOMP, 28, 2.2, []Region{
+			{Name: "mm-fv-update", Work: 2.4, ParallelFrac: 0.97, MemIntensity: 0.30, SyncCost: 0.005, Grain: 64, LoadStore: 38, Instructions: 100, Branches: 10},
+			{Name: "neighbor-list", Work: 1.0, ParallelFrac: 0.90, MemIntensity: 0.52, SyncCost: 0.011, Grain: 32, LoadStore: 55, Instructions: 90, Branches: 14},
+		}),
+		build("art", SpecOMP, 34, 3.6, []Region{
+			{Name: "match", Work: 1.6, ParallelFrac: 0.91, MemIntensity: 0.86, SyncCost: 0.012, Grain: 10, LoadStore: 72, Instructions: 100, Branches: 9},
+			{Name: "train-f1", Work: 0.9, ParallelFrac: 0.87, MemIntensity: 0.80, SyncCost: 0.015, Grain: 8, LoadStore: 68, Instructions: 88, Branches: 8},
+		}),
+		build("equake", SpecOMP, 30, 4.4, []Region{
+			{Name: "smvp", Work: 1.8, ParallelFrac: 0.93, MemIntensity: 0.76, SyncCost: 0.010, Grain: 14, LoadStore: 70, Instructions: 100, Branches: 7},
+			{Name: "time-integrate", Work: 0.8, ParallelFrac: 0.95, MemIntensity: 0.50, SyncCost: 0.006, Grain: 18, LoadStore: 48, Instructions: 92, Branches: 5},
+		}),
+		build("swim", SpecOMP, 26, 6.8, []Region{
+			{Name: "calc1", Work: 1.4, ParallelFrac: 0.97, MemIntensity: 0.80, SyncCost: 0.005, Grain: 18, LoadStore: 74, Instructions: 100, Branches: 3},
+			{Name: "calc2", Work: 1.4, ParallelFrac: 0.97, MemIntensity: 0.82, SyncCost: 0.005, Grain: 18, LoadStore: 76, Instructions: 100, Branches: 3},
+			{Name: "calc3", Work: 1.2, ParallelFrac: 0.96, MemIntensity: 0.78, SyncCost: 0.006, Grain: 18, LoadStore: 72, Instructions: 96, Branches: 4},
+		}),
+		// --- Parsec ---
+		build("bscholes", Parsec, 24, 0.6, []Region{
+			{Name: "price-options", Work: 3.6, ParallelFrac: 0.995, MemIntensity: 0.10, SyncCost: 0.001, Grain: 128, LoadStore: 24, Instructions: 100, Branches: 8},
+		}),
+		build("btrack", Parsec, 26, 1.8, []Region{
+			{Name: "edge-detect", Work: 1.1, ParallelFrac: 0.94, MemIntensity: 0.46, SyncCost: 0.012, Grain: 14, LoadStore: 50, Instructions: 100, Branches: 12},
+			{Name: "particle-weights", Work: 1.5, ParallelFrac: 0.92, MemIntensity: 0.36, SyncCost: 0.018, Grain: 12, LoadStore: 42, Instructions: 96, Branches: 16},
+			{Name: "resample", Work: 0.5, ParallelFrac: 0.75, MemIntensity: 0.44, SyncCost: 0.022, Grain: 8, LoadStore: 46, Instructions: 70, Branches: 13},
+		}),
+		build("fmine", Parsec, 22, 3.0, []Region{
+			{Name: "build-fptree", Work: 1.3, ParallelFrac: 0.85, MemIntensity: 0.66, SyncCost: 0.016, Grain: 8, LoadStore: 58, Instructions: 100, Branches: 18},
+			{Name: "mine-patterns", Work: 2.2, ParallelFrac: 0.92, MemIntensity: 0.58, SyncCost: 0.010, Grain: 14, LoadStore: 52, Instructions: 105, Branches: 20},
+		}),
+		build("fanimate", Parsec, 32, 2.4, []Region{
+			{Name: "rebuild-grid", Work: 0.7, ParallelFrac: 0.88, MemIntensity: 0.60, SyncCost: 0.020, Grain: 10, LoadStore: 56, Instructions: 90, Branches: 10},
+			{Name: "compute-forces", Work: 1.8, ParallelFrac: 0.96, MemIntensity: 0.48, SyncCost: 0.014, Grain: 16, LoadStore: 48, Instructions: 100, Branches: 9},
+			{Name: "advance", Work: 0.6, ParallelFrac: 0.93, MemIntensity: 0.52, SyncCost: 0.017, Grain: 14, LoadStore: 50, Instructions: 85, Branches: 7},
+		}),
+	}
+	return progs
+}
+
+// build assembles and validates one program; construction errors are
+// programmer errors in the static catalog, so they panic.
+func build(name string, suite Suite, iterations int, workingSetGB float64, regions []Region) *Program {
+	p := &Program{
+		Name:         name,
+		Suite:        suite,
+		Regions:      regions,
+		Iterations:   iterations,
+		WorkingSetGB: workingSetGB,
+	}
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	p.finalize()
+	return p
+}
+
+// ByName returns the catalog program with the given name.
+func ByName(name string) (*Program, error) {
+	for _, p := range Catalog() {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	return nil, fmt.Errorf("workload: unknown program %q", name)
+}
+
+// Names returns all catalog program names, sorted.
+func Names() []string {
+	progs := Catalog()
+	names := make([]string, len(progs))
+	for i, p := range progs {
+		names[i] = p.Name
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Size labels the workload configurations of Table 3.
+type Size string
+
+// Workload sizes from Table 3.
+const (
+	Small Size = "small"
+	Large Size = "large"
+)
+
+// Set is one external-workload configuration: the programs that co-execute
+// with the target.
+type Set struct {
+	Size     Size
+	Variant  int // (i) = 1, (ii) = 2, matching Table 3 rows
+	Programs []string
+}
+
+// Sets returns the workload configurations of Table 3. ft stands in for the
+// table's "fft" (the NAS fast Fourier transform benchmark).
+func Sets(size Size) []Set {
+	switch size {
+	case Small:
+		return []Set{
+			{Size: Small, Variant: 1, Programs: []string{"is", "cg"}},
+			{Size: Small, Variant: 2, Programs: []string{"ammp", "ft"}},
+		}
+	case Large:
+		return []Set{
+			{Size: Large, Variant: 1, Programs: []string{"bt", "sp", "equake", "is", "cg", "art"}},
+			{Size: Large, Variant: 2, Programs: []string{"bscholes", "lu", "bt", "sp", "fmine", "art", "mg"}},
+		}
+	default:
+		return nil
+	}
+}
+
+// SetPrograms resolves a workload set to program models (fresh clones, so
+// callers can rescale work without aliasing the catalog).
+func SetPrograms(s Set) ([]*Program, error) {
+	progs := make([]*Program, 0, len(s.Programs))
+	for _, name := range s.Programs {
+		p, err := ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		progs = append(progs, p.Clone())
+	}
+	return progs, nil
+}

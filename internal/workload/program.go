@@ -1,0 +1,192 @@
+// Package workload models the parallel programs of the paper's evaluation
+// (§6.2): the OpenMP C programs from NAS, SpecOMP and Parsec. Real binaries
+// cannot run here, so each program is an analytic model of its parallel
+// structure — the quantity thread selection actually responds to. A program
+// is a sequence of parallel regions; each region carries the static code
+// features of Table 1 (f1–f3) plus the execution characteristics that
+// determine how it scales: serial fraction, memory intensity, per-thread
+// synchronization cost, and the maximum useful parallelism of its loops.
+//
+// The models are differentiated along the axes the paper's analysis uses:
+// scalable vs non-scalable (§5.1's P/4 rule splits training programs this
+// way), compute- vs memory-bound, and regular vs irregular/barrier-heavy
+// (§7.1 singles out mg, cg and art as irregular programs that slow down
+// when over-threaded).
+package workload
+
+import (
+	"fmt"
+
+	"moe/internal/features"
+)
+
+// Suite identifies the benchmark suite a program belongs to.
+type Suite string
+
+// Benchmark suites used in the paper's evaluation.
+const (
+	NAS     Suite = "NAS"
+	SpecOMP Suite = "SpecOMP"
+	Parsec  Suite = "Parsec"
+)
+
+// Region is one parallel region (an OpenMP parallel loop plus its serial
+// prologue). The runtime selects a thread count each time a region starts.
+type Region struct {
+	// Name identifies the region within its program (e.g. "sparse-matvec").
+	Name string
+	// Work is the amount of computation in abstract work units; one unit
+	// takes one second on one uncontended core with no overheads.
+	Work float64
+	// ParallelFrac is the Amdahl parallel fraction p of the region.
+	ParallelFrac float64
+	// MemIntensity in [0,1] is the share of cycles stalled on the memory
+	// system; it controls sensitivity to LLC/bandwidth contention.
+	MemIntensity float64
+	// SyncCost is the per-extra-thread relative overhead of barriers and
+	// reductions: running with n threads multiplies execution time by
+	// (1 + SyncCost·(n−1)).
+	SyncCost float64
+	// Grain is the maximum useful parallelism of the region's loops;
+	// threads beyond Grain do no useful work.
+	Grain int
+	// LoadStore, Instructions, Branches are the raw static code features
+	// (f1–f3) before per-program normalization.
+	LoadStore, Instructions, Branches float64
+}
+
+// Program is a complete benchmark model.
+type Program struct {
+	Name  string
+	Suite Suite
+	// Regions execute in order; Iterations repeats the whole sequence
+	// (time-stepped solvers run many sweeps over the same loops).
+	Regions    []Region
+	Iterations int
+	// WorkingSetGB is the resident working set, feeding the cached-memory
+	// and page-free-rate metrics (f9, f10).
+	WorkingSetGB float64
+	// totalInstructions normalizes the code features (§5.2.2).
+	totalInstructions float64
+}
+
+// Validate checks model invariants. It is called by the catalog constructor
+// and exposed for tests and external program definitions.
+func (p *Program) Validate() error {
+	if p.Name == "" {
+		return fmt.Errorf("workload: program with empty name")
+	}
+	if len(p.Regions) == 0 {
+		return fmt.Errorf("workload: program %s has no regions", p.Name)
+	}
+	if p.Iterations <= 0 {
+		return fmt.Errorf("workload: program %s has non-positive iterations", p.Name)
+	}
+	for i, r := range p.Regions {
+		switch {
+		case r.Work <= 0:
+			return fmt.Errorf("workload: %s region %d (%s) has non-positive work", p.Name, i, r.Name)
+		case r.ParallelFrac < 0 || r.ParallelFrac > 1:
+			return fmt.Errorf("workload: %s region %d (%s) parallel fraction %.3f outside [0,1]", p.Name, i, r.Name, r.ParallelFrac)
+		case r.MemIntensity < 0 || r.MemIntensity > 1:
+			return fmt.Errorf("workload: %s region %d (%s) memory intensity %.3f outside [0,1]", p.Name, i, r.Name, r.MemIntensity)
+		case r.SyncCost < 0:
+			return fmt.Errorf("workload: %s region %d (%s) negative sync cost", p.Name, i, r.Name)
+		case r.Grain <= 0:
+			return fmt.Errorf("workload: %s region %d (%s) non-positive grain", p.Name, i, r.Name)
+		case r.Instructions <= 0:
+			return fmt.Errorf("workload: %s region %d (%s) non-positive instruction count", p.Name, i, r.Name)
+		}
+	}
+	if p.WorkingSetGB < 0 {
+		return fmt.Errorf("workload: program %s has negative working set", p.Name)
+	}
+	return nil
+}
+
+// finalize computes derived quantities; must be called after construction.
+func (p *Program) finalize() {
+	total := 0.0
+	for _, r := range p.Regions {
+		total += r.Instructions
+	}
+	p.totalInstructions = total * float64(p.Iterations)
+}
+
+// TotalInstructions returns the instruction total used for normalization.
+func (p *Program) TotalInstructions() float64 { return p.totalInstructions }
+
+// TotalWork returns the total work units over all iterations.
+func (p *Program) TotalWork() float64 {
+	sum := 0.0
+	for _, r := range p.Regions {
+		sum += r.Work
+	}
+	return sum * float64(p.Iterations)
+}
+
+// RegionCount returns the number of region executions in one full run.
+func (p *Program) RegionCount() int { return len(p.Regions) * p.Iterations }
+
+// RegionAt maps a flat region-execution index (0 … RegionCount-1) to the
+// region it executes.
+func (p *Program) RegionAt(idx int) Region {
+	return p.Regions[idx%len(p.Regions)]
+}
+
+// CodeFeatures returns the normalized static code features of region idx
+// (per §5.2.2, normalized to the program's total instruction count).
+func (p *Program) CodeFeatures(idx int) features.Code {
+	r := p.RegionAt(idx)
+	// Scale keeps normalized features in a numerically convenient range
+	// comparable to the worked example in §5.4 (values around 0.01–0.6).
+	const scale = 10
+	return features.NormalizeCode(r.LoadStore*scale, r.Instructions*scale, r.Branches*scale, p.totalInstructions)
+}
+
+// AvgMemIntensity returns the work-weighted mean memory intensity, used by
+// the finer-granularity expert split (§8.4).
+func (p *Program) AvgMemIntensity() float64 {
+	var sum, w float64
+	for _, r := range p.Regions {
+		sum += r.MemIntensity * r.Work
+		w += r.Work
+	}
+	if w == 0 {
+		return 0
+	}
+	return sum / w
+}
+
+// AvgSyncCost returns the work-weighted mean synchronization cost.
+func (p *Program) AvgSyncCost() float64 {
+	var sum, w float64
+	for _, r := range p.Regions {
+		sum += r.SyncCost * r.Work
+		w += r.Work
+	}
+	if w == 0 {
+		return 0
+	}
+	return sum / w
+}
+
+// Clone returns a deep copy; instances mutate nothing, but experiments that
+// rescale work (e.g. to shorten benches) need private copies.
+func (p *Program) Clone() *Program {
+	cp := *p
+	cp.Regions = append([]Region(nil), p.Regions...)
+	return &cp
+}
+
+// ScaleWork multiplies all region work by factor (> 0), preserving shape
+// while shortening or lengthening the run.
+func (p *Program) ScaleWork(factor float64) error {
+	if factor <= 0 {
+		return fmt.Errorf("workload: scale factor must be positive, got %g", factor)
+	}
+	for i := range p.Regions {
+		p.Regions[i].Work *= factor
+	}
+	return nil
+}

@@ -1,0 +1,265 @@
+package workload
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestCatalogValid(t *testing.T) {
+	progs := Catalog()
+	if len(progs) != 16 {
+		t.Fatalf("catalog has %d programs, want 16", len(progs))
+	}
+	seen := map[string]bool{}
+	suites := map[Suite]int{}
+	for _, p := range progs {
+		if err := p.Validate(); err != nil {
+			t.Errorf("program %s invalid: %v", p.Name, err)
+		}
+		if seen[p.Name] {
+			t.Errorf("duplicate program %s", p.Name)
+		}
+		seen[p.Name] = true
+		suites[p.Suite]++
+		if p.TotalInstructions() <= 0 {
+			t.Errorf("%s has no instruction total", p.Name)
+		}
+	}
+	if suites[NAS] != 8 {
+		t.Errorf("NAS programs = %d, want 8 (bt cg ep ft is lu mg sp)", suites[NAS])
+	}
+	if suites[SpecOMP] != 4 || suites[Parsec] != 4 {
+		t.Errorf("suites = %v", suites)
+	}
+}
+
+func TestPaperProgramsPresent(t *testing.T) {
+	// Every program named in the paper's figures must exist.
+	for _, name := range []string{
+		"bt", "cg", "ep", "ft", "is", "lu", "mg", "sp",
+		"ammp", "art", "equake",
+		"bscholes", "btrack", "fmine",
+	} {
+		if _, err := ByName(name); err != nil {
+			t.Errorf("missing program %s: %v", name, err)
+		}
+	}
+}
+
+func TestByNameUnknown(t *testing.T) {
+	if _, err := ByName("nope"); err == nil {
+		t.Error("unknown name should error")
+	}
+}
+
+func TestNamesSorted(t *testing.T) {
+	names := Names()
+	if len(names) != 16 {
+		t.Fatalf("Names() = %d entries", len(names))
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Errorf("names not sorted: %s before %s", names[i-1], names[i])
+		}
+	}
+}
+
+func TestValidateRejectsBadRegions(t *testing.T) {
+	base := func() *Program {
+		return &Program{
+			Name:       "x",
+			Regions:    []Region{{Name: "r", Work: 1, ParallelFrac: 0.5, MemIntensity: 0.5, Grain: 4, Instructions: 10}},
+			Iterations: 1,
+		}
+	}
+	if err := base().Validate(); err != nil {
+		t.Fatalf("base should validate: %v", err)
+	}
+	mutations := []func(*Program){
+		func(p *Program) { p.Name = "" },
+		func(p *Program) { p.Regions = nil },
+		func(p *Program) { p.Iterations = 0 },
+		func(p *Program) { p.Regions[0].Work = 0 },
+		func(p *Program) { p.Regions[0].ParallelFrac = 1.2 },
+		func(p *Program) { p.Regions[0].ParallelFrac = -0.1 },
+		func(p *Program) { p.Regions[0].MemIntensity = 2 },
+		func(p *Program) { p.Regions[0].SyncCost = -1 },
+		func(p *Program) { p.Regions[0].Grain = 0 },
+		func(p *Program) { p.Regions[0].Instructions = 0 },
+		func(p *Program) { p.WorkingSetGB = -1 },
+	}
+	for i, mutate := range mutations {
+		p := base()
+		mutate(p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("mutation %d should invalidate", i)
+		}
+	}
+}
+
+func TestTotalWorkAndRegionCount(t *testing.T) {
+	p, err := ByName("cg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantWork := (1.5 + 0.35) * 50
+	if got := p.TotalWork(); !close(got, wantWork) {
+		t.Errorf("TotalWork = %v, want %v", got, wantWork)
+	}
+	if p.RegionCount() != 100 {
+		t.Errorf("RegionCount = %d, want 100", p.RegionCount())
+	}
+	// RegionAt cycles.
+	if p.RegionAt(0).Name != p.RegionAt(2).Name {
+		t.Error("RegionAt should cycle through regions")
+	}
+	if p.RegionAt(0).Name == p.RegionAt(1).Name {
+		t.Error("consecutive regions should differ for cg")
+	}
+}
+
+func TestCodeFeaturesNormalized(t *testing.T) {
+	for _, p := range Catalog() {
+		for i := 0; i < len(p.Regions); i++ {
+			c := p.CodeFeatures(i)
+			if c.LoadStore <= 0 || c.Instructions <= 0 || c.Branches <= 0 {
+				t.Errorf("%s region %d has non-positive code features: %+v", p.Name, i, c)
+			}
+			if c.Instructions > 1 {
+				t.Errorf("%s region %d instructions feature %v not normalized", p.Name, i, c.Instructions)
+			}
+		}
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	p, _ := ByName("lu")
+	cp := p.Clone()
+	cp.Regions[0].Work = 999
+	if p.Regions[0].Work == 999 {
+		t.Error("Clone shares region storage")
+	}
+}
+
+func TestScaleWork(t *testing.T) {
+	p, _ := ByName("lu")
+	cp := p.Clone()
+	before := cp.TotalWork()
+	if err := cp.ScaleWork(0.5); err != nil {
+		t.Fatal(err)
+	}
+	if got := cp.TotalWork(); !close(got, before/2) {
+		t.Errorf("scaled work = %v, want %v", got, before/2)
+	}
+	if err := cp.ScaleWork(0); err == nil {
+		t.Error("zero factor should error")
+	}
+	if err := cp.ScaleWork(-1); err == nil {
+		t.Error("negative factor should error")
+	}
+}
+
+func TestAvgIntensities(t *testing.T) {
+	ep, _ := ByName("ep")
+	cg, _ := ByName("cg")
+	if ep.AvgMemIntensity() >= cg.AvgMemIntensity() {
+		t.Error("ep (compute) should have lower memory intensity than cg")
+	}
+	bs, _ := ByName("bscholes")
+	fa, _ := ByName("fanimate")
+	if bs.AvgSyncCost() >= fa.AvgSyncCost() {
+		t.Error("blackscholes should have lower sync cost than fluidanimate")
+	}
+	empty := &Program{}
+	if empty.AvgMemIntensity() != 0 || empty.AvgSyncCost() != 0 {
+		t.Error("empty program averages should be 0")
+	}
+}
+
+func TestSetsMatchTable3(t *testing.T) {
+	small := Sets(Small)
+	if len(small) != 2 {
+		t.Fatalf("small sets = %d", len(small))
+	}
+	if !equalStrings(small[0].Programs, []string{"is", "cg"}) {
+		t.Errorf("small (i) = %v", small[0].Programs)
+	}
+	if !equalStrings(small[1].Programs, []string{"ammp", "ft"}) {
+		t.Errorf("small (ii) = %v", small[1].Programs)
+	}
+	large := Sets(Large)
+	if len(large) != 2 {
+		t.Fatalf("large sets = %d", len(large))
+	}
+	if len(large[0].Programs) != 6 || len(large[1].Programs) != 7 {
+		t.Errorf("large set sizes = %d, %d", len(large[0].Programs), len(large[1].Programs))
+	}
+	if Sets("bogus") != nil {
+		t.Error("unknown size should return nil")
+	}
+}
+
+func TestSetProgramsResolves(t *testing.T) {
+	for _, size := range []Size{Small, Large} {
+		for _, set := range Sets(size) {
+			progs, err := SetPrograms(set)
+			if err != nil {
+				t.Fatalf("set %v: %v", set, err)
+			}
+			if len(progs) != len(set.Programs) {
+				t.Errorf("set %v resolved %d programs", set, len(progs))
+			}
+			// Clones: mutating must not touch the catalog.
+			progs[0].Regions[0].Work = 1e9
+			orig, _ := ByName(set.Programs[0])
+			if orig.Regions[0].Work == 1e9 {
+				t.Error("SetPrograms should clone")
+			}
+		}
+	}
+}
+
+func TestScaleWorkPreservesShape(t *testing.T) {
+	f := func(factorRaw uint8) bool {
+		factor := 0.1 + float64(factorRaw)/64
+		p, _ := ByName("mg")
+		cp := p.Clone()
+		if err := cp.ScaleWork(factor); err != nil {
+			return false
+		}
+		// Ratios between regions are preserved.
+		r0 := p.Regions[0].Work / p.Regions[1].Work
+		r1 := cp.Regions[0].Work / cp.Regions[1].Work
+		return close(r0, r1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func close(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d < 1e-9*(1+abs(a)+abs(b))
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,152 @@
+// Package moe is a mixture-of-experts runtime for thread-count selection in
+// dynamic environments, reproducing Emani & O'Boyle, "Celebrating
+// Diversity: A Mixture of Experts Approach for Runtime Mapping in Dynamic
+// Environments" (PLDI 2015).
+//
+// The core idea: no single thread-selection policy fits every environment.
+// The runtime therefore keeps a pool of offline-trained experts — each a
+// pair of linear models, a thread predictor w and an environment predictor
+// m — and an online selector that, at every parallel region, picks the
+// expert whose recent *environment* predictions have been most accurate.
+// Environment-prediction accuracy is observable at every timestep, unlike
+// thread-prediction quality (the speedup other thread counts would have
+// achieved is counterfactual), and because w and m are fitted to the same
+// training data they are accurate in the same regions of the feature space.
+//
+// # Layout
+//
+//   - Runtime: the decision loop a host program embeds — feed it the
+//     Table 1 features at each parallel region, get a thread count back.
+//   - Training: build experts by simulation (Train) or load the paper's
+//     published Table 1 coefficients (CanonicalExperts).
+//   - Simulation: the dynamic-environment substrate (shared multicore
+//     machine, co-executing workloads, processor hotplug) used for
+//     training, evaluation, and the examples.
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// paper-vs-measured results of every figure.
+package moe
+
+import (
+	"fmt"
+
+	"moe/internal/core"
+	"moe/internal/expert"
+	"moe/internal/features"
+	"moe/internal/sim"
+	"moe/internal/training"
+)
+
+// Re-exported core types. The feature vector layout follows Table 1 of the
+// paper: three static code features and seven runtime environment features.
+type (
+	// Features is the 10-dimensional state f = c ‖ e of Table 1.
+	Features = features.Vector
+	// CodeFeatures are the static loop features f1–f3.
+	CodeFeatures = features.Code
+	// EnvFeatures are the runtime environment features f4–f10.
+	EnvFeatures = features.Env
+	// Expert is one offline-trained policy: thread predictor +
+	// environment predictor.
+	Expert = expert.Expert
+	// ExpertSet is an ordered expert pool.
+	ExpertSet = expert.Set
+	// Mixture is the runtime mixture-of-experts policy.
+	Mixture = core.Mixture
+	// MixtureStats is the analysis snapshot (selection frequencies,
+	// environment accuracy, thread histogram).
+	MixtureStats = core.Stats
+	// Policy is the decision interface shared with the simulator.
+	Policy = sim.Policy
+	// Decision is the per-control-point context a Policy sees.
+	Decision = sim.Decision
+	// TrainingConfig controls simulated training-data generation.
+	TrainingConfig = training.Config
+	// TrainingData is a labelled dataset of training observations.
+	TrainingData = training.DataSet
+)
+
+// CombineFeatures assembles the full feature vector from code and
+// environment parts.
+func CombineFeatures(c CodeFeatures, e EnvFeatures) Features {
+	return features.Combine(c, e)
+}
+
+// CanonicalExperts returns the four experts with the exact regression
+// coefficients published in Table 1 of the paper. They run out of the box;
+// experts trained on this repository's simulator (Train + BuildExperts)
+// are adapted to the simulated substrate instead.
+func CanonicalExperts() ExpertSet { return expert.Canonical4() }
+
+// Train generates a labelled training dataset by simulation, following the
+// paper's methodology (§5.2.1): one target co-executing with workload
+// programs, thread counts varied for both, on 12- and 32-core platforms.
+// A zero Config selects the paper's setup.
+func Train(cfg TrainingConfig) (*TrainingData, error) {
+	return training.Generate(cfg)
+}
+
+// BuildExperts constructs an expert pool from training data. Supported
+// sizes: 1 (the monolithic aggregate model of §7.7), 2 (the §3 motivation
+// pair), 4 (the paper's deployed configuration, Fig 5) and 8 (the finer
+// granularity of §8.4).
+func BuildExperts(ds *TrainingData, k int) (ExpertSet, error) {
+	switch k {
+	case 1:
+		mono, err := training.BuildMonolithic(ds)
+		if err != nil {
+			return nil, err
+		}
+		return ExpertSet{mono}, nil
+	case 2:
+		return training.BuildExperts2(ds)
+	case 4:
+		return training.BuildExperts4(ds)
+	case 8:
+		return training.BuildExperts8(ds)
+	default:
+		return nil, fmt.Errorf("moe: unsupported expert pool size %d (want 1, 2, 4 or 8)", k)
+	}
+}
+
+// NewMixture builds the runtime mixture policy over an expert pool with
+// the default (hyperplane) selector learnt purely online, per §5.3.
+func NewMixture(set ExpertSet) (*Mixture, error) {
+	return core.NewMixture(set, core.Options{})
+}
+
+// NewTrainedMixture builds the configuration the paper evaluates: the
+// expert pool gated by a selector whose feature-space partition is
+// pretrained on the same dataset and keeps adapting online — the
+// combination of offline prior models and online learning (§1).
+func NewTrainedMixture(ds *TrainingData, set ExpertSet) (*Mixture, error) {
+	return training.NewMixturePolicy(ds, set)
+}
+
+// SaveExperts writes a trained expert set to a JSON file, so the one-off
+// training cost is paid once and the coefficients ship with an application
+// — exactly how the paper ships Table 1.
+func SaveExperts(set ExpertSet, path string) error {
+	return expert.SaveSet(set, path)
+}
+
+// LoadExperts reads an expert set saved by SaveExperts.
+func LoadExperts(path string) (ExpertSet, error) {
+	return expert.LoadSet(path)
+}
+
+// Heuristic is a hand-written thread-selection rule.
+type Heuristic = training.Heuristic
+
+// RetrofitExpert wraps a hand-written heuristic as an expert the mixture
+// can select (§4.1's retrofitting, §9's "hand written analytic models …
+// selected by a mixtures approach"): the heuristic keeps full authority
+// over thread counts, and the training data supplies only the environment
+// predictor that lets the selector judge when the heuristic fits.
+func RetrofitExpert(name string, h Heuristic, ds *TrainingData, maxThreads int) (*Expert, error) {
+	return training.Retrofit(name, h, ds, maxThreads)
+}
+
+// SlotHeuristic is a built-in hand-written rule: claim the program's fair
+// share of the machine as estimated from the load features.
+func SlotHeuristic(f Features) int { return training.SlotHeuristic(f) }

@@ -1,0 +1,260 @@
+package moe_test
+
+import (
+	"sync"
+	"testing"
+
+	"moe"
+)
+
+// The facade tests share one small training run.
+var (
+	facadeOnce sync.Once
+	facadeData *moe.TrainingData
+	facadeErr  error
+)
+
+func trainedData(t *testing.T) *moe.TrainingData {
+	t.Helper()
+	facadeOnce.Do(func() {
+		facadeData, facadeErr = moe.Train(moe.TrainingConfig{
+			Duration:           30,
+			WorkloadsPerTarget: 3,
+			Seed:               11,
+		})
+	})
+	if facadeErr != nil {
+		t.Fatalf("training failed: %v", facadeErr)
+	}
+	return facadeData
+}
+
+func TestCanonicalExpertsRunnable(t *testing.T) {
+	set := moe.CanonicalExperts()
+	if len(set) != 4 {
+		t.Fatalf("canonical experts = %d", len(set))
+	}
+	m, err := moe.NewMixture(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := moe.NewRuntime(m, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := moe.CombineFeatures(
+		moe.CodeFeatures{LoadStore: 0.032, Instructions: 0.026, Branches: 0.2},
+		moe.EnvFeatures{WorkloadThreads: 4, Processors: 8, RunQueue: 16, Load1: 4.76, Load5: 2.17, CachedMem: 1.11, PageFreeRate: 1.65},
+	)
+	for i := 0; i < 5; i++ {
+		n := rt.Decide(moe.Observation{Time: float64(i), Features: f, RegionStart: i == 0})
+		if n < 1 || n > 32 {
+			t.Fatalf("decision %d out of range", n)
+		}
+	}
+	if rt.Decisions() != 5 {
+		t.Errorf("decisions = %d", rt.Decisions())
+	}
+	if _, ok := rt.MixtureStatsSnapshot(); !ok {
+		t.Error("mixture stats should be available")
+	}
+	if rt.PolicyName() != "mixture" {
+		t.Errorf("policy name = %s", rt.PolicyName())
+	}
+}
+
+func TestBuildExpertsSizes(t *testing.T) {
+	data := trainedData(t)
+	for _, k := range []int{1, 2, 4, 8} {
+		set, err := moe.BuildExperts(data, k)
+		if err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		if len(set) != k {
+			t.Errorf("k=%d built %d experts", k, len(set))
+		}
+	}
+	if _, err := moe.BuildExperts(data, 3); err == nil {
+		t.Error("unsupported size should error")
+	}
+}
+
+func TestNewRuntimeValidation(t *testing.T) {
+	if _, err := moe.NewRuntime(nil, 8); err == nil {
+		t.Error("nil policy should error")
+	}
+	if _, err := moe.NewRuntime(moe.NewDefaultPolicy(), 0); err == nil {
+		t.Error("zero maxThreads should error")
+	}
+}
+
+func TestSimulateMixtureBeatsDefaultUnderLoad(t *testing.T) {
+	data := trainedData(t)
+	set, err := moe.BuildExperts(data, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mix, err := moe.NewTrainedMixture(data, set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := moe.Simulation{
+		Target:    "cg",
+		Workload:  []string{"is", "cg"},
+		Frequency: moe.LowFrequency,
+		Seed:      7,
+	}
+	spec.Policy = moe.NewDefaultPolicy()
+	base, err := moe.Simulate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.Policy = mix
+	tuned, err := moe.Simulate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tuned.ExecTime >= base.ExecTime {
+		t.Errorf("mixture (%v) should beat default (%v) for cg under load", tuned.ExecTime, base.ExecTime)
+	}
+	if tuned.Decisions == 0 {
+		t.Error("no decisions recorded")
+	}
+}
+
+func TestSimulateValidation(t *testing.T) {
+	if _, err := moe.Simulate(moe.Simulation{Target: "lu"}); err == nil {
+		t.Error("missing policy should error")
+	}
+	if _, err := moe.Simulate(moe.Simulation{Target: "nope", Policy: moe.NewDefaultPolicy()}); err == nil {
+		t.Error("unknown target should error")
+	}
+}
+
+func TestSimulateWorkloadPolicies(t *testing.T) {
+	// Smart-vs-smart (§7.4): both sides adaptive must still run to
+	// completion and report workload throughput.
+	out, err := moe.Simulate(moe.Simulation{
+		Target:           "lu",
+		Policy:           moe.NewOnlinePolicy(),
+		Workload:         []string{"cg"},
+		WorkloadPolicies: []moe.Policy{moe.NewOnlinePolicy()},
+		Frequency:        moe.LowFrequency,
+		Seed:             5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.WorkloadThroughput <= 0 {
+		t.Error("workload throughput missing")
+	}
+}
+
+func TestBaselinePolicyConstructors(t *testing.T) {
+	data := trainedData(t)
+	mono, err := moe.BuildExperts(data, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	off, err := moe.NewOfflinePolicy(mono)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []moe.Policy{
+		moe.NewDefaultPolicy(), moe.NewOnlinePolicy(), off, moe.NewAnalyticPolicy(3),
+	} {
+		if p.Name() == "" {
+			t.Error("policy without a name")
+		}
+	}
+	if _, err := moe.NewOfflinePolicy(nil); err == nil {
+		t.Error("empty expert set should error")
+	}
+}
+
+func TestProgramsListed(t *testing.T) {
+	progs := moe.Programs()
+	if len(progs) != 16 {
+		t.Errorf("programs = %d", len(progs))
+	}
+}
+
+func TestTunerWithRealKernels(t *testing.T) {
+	m, err := moe.NewMixture(moe.CanonicalExperts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tuner, err := moe.NewTuner(m, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := moe.NewBlackScholesKernel(20_000)
+	for i := 0; i < 3; i++ {
+		res := tuner.ExecuteRegion(k, 20_000)
+		if res.Workers < 1 {
+			t.Fatalf("region %d: %d workers", i, res.Workers)
+		}
+	}
+	st := moe.NewStencilKernel(10_000)
+	tuner.ExecuteRegion(st, 10_000)
+	st.Swap()
+	sp := moe.NewSparseMatVecKernel(5_000, 8)
+	tuner.ExecuteRegion(sp, 5_000)
+	if tuner.Regions() != 5 {
+		t.Errorf("regions = %d", tuner.Regions())
+	}
+}
+
+func TestSaveLoadExperts(t *testing.T) {
+	data := trainedData(t)
+	set, err := moe.BuildExperts(data, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := t.TempDir() + "/experts.json"
+	if err := moe.SaveExperts(set, path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := moe.LoadExperts(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 4 {
+		t.Fatalf("loaded %d experts", len(back))
+	}
+	// A mixture over reloaded experts must still run.
+	m, err := moe.NewMixture(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := moe.NewRuntime(m, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := moe.CombineFeatures(moe.CodeFeatures{LoadStore: 0.05, Instructions: 0.1, Branches: 0.01},
+		moe.EnvFeatures{Processors: 16, WorkloadThreads: 8, Load1: 20, Load5: 18})
+	if n := rt.Decide(moe.Observation{Features: f, RegionStart: true}); n < 1 || n > 32 {
+		t.Errorf("decision %d out of range", n)
+	}
+}
+
+func TestRetrofitExpertFacade(t *testing.T) {
+	data := trainedData(t)
+	h, err := moe.RetrofitExpert("slot", moe.SlotHeuristic, data, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set, err := moe.BuildExperts(data, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := append(moe.ExpertSet{}, set...)
+	pool = append(pool, h)
+	m, err := moe.NewMixture(pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m == nil {
+		t.Fatal("nil mixture")
+	}
+}

@@ -1,0 +1,116 @@
+package moe
+
+import (
+	"fmt"
+	"sync"
+
+	"moe/internal/features"
+	"moe/internal/sim"
+	"moe/internal/stats"
+)
+
+// Runtime is the embeddable decision loop: a host program (or the real
+// worker-pool backend in internal/exec) calls Decide at every parallel
+// region with the current Table 1 features and receives the thread count to
+// use. Any Policy can drive it — the mixture, a single expert, or one of
+// the baselines — making runtimes directly comparable.
+//
+// Runtime is safe for concurrent use; decisions serialize on an internal
+// lock because every policy in this repository is stateful.
+type Runtime struct {
+	mu         sync.Mutex
+	policy     Policy
+	maxThreads int
+	decisions  int
+	hist       *stats.Histogram
+	lastN      int
+	clock      float64
+}
+
+// NewRuntime wraps a policy for a machine with maxThreads hardware
+// contexts.
+func NewRuntime(p Policy, maxThreads int) (*Runtime, error) {
+	if p == nil {
+		return nil, fmt.Errorf("moe: nil policy")
+	}
+	if maxThreads < 1 {
+		return nil, fmt.Errorf("moe: maxThreads must be at least 1, got %d", maxThreads)
+	}
+	return &Runtime{policy: p, maxThreads: maxThreads, hist: stats.NewHistogram(), lastN: 1}, nil
+}
+
+// Observation is what the host reports at a decision point.
+type Observation struct {
+	// Time is the caller's clock in seconds (monotonic; wall or virtual).
+	Time float64
+	// Features is the current state f = c ‖ e.
+	Features Features
+	// Rate is the work rate achieved since the previous decision
+	// (arbitrary units; only relative changes matter). Zero if unknown.
+	Rate float64
+	// RegionStart marks the beginning of a new parallel region.
+	RegionStart bool
+	// AvailableProcs is the number of processors currently online; 0
+	// means "read it from the features" (f5).
+	AvailableProcs int
+}
+
+// Decide returns the number of threads to use from this point on.
+func (r *Runtime) Decide(obs Observation) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	avail := obs.AvailableProcs
+	if avail <= 0 {
+		avail = int(obs.Features[features.Processors])
+		if avail <= 0 {
+			avail = r.maxThreads
+		}
+	}
+	if obs.Time < r.clock {
+		obs.Time = r.clock
+	}
+	r.clock = obs.Time
+	n := r.policy.Decide(sim.Decision{
+		Time:           obs.Time,
+		Features:       obs.Features,
+		Rate:           obs.Rate,
+		CurrentThreads: r.lastN,
+		MaxThreads:     r.maxThreads,
+		AvailableProcs: avail,
+		RegionStart:    obs.RegionStart,
+		RegionIndex:    r.decisions,
+	})
+	n = stats.ClampInt(n, 1, r.maxThreads)
+	r.lastN = n
+	r.decisions++
+	r.hist.Add(n)
+	return n
+}
+
+// PolicyName reports the wrapped policy's name.
+func (r *Runtime) PolicyName() string { return r.policy.Name() }
+
+// Decisions returns how many decisions have been made.
+func (r *Runtime) Decisions() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.decisions
+}
+
+// ThreadHistogram returns the distribution of chosen thread counts.
+func (r *Runtime) ThreadHistogram() map[int]float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.hist.Normalized()
+}
+
+// MixtureStatsSnapshot returns the mixture analysis snapshot when the
+// wrapped policy is a mixture; ok is false otherwise.
+func (r *Runtime) MixtureStatsSnapshot() (MixtureStats, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.policy.(*Mixture); ok {
+		return m.Snapshot(), true
+	}
+	return MixtureStats{}, false
+}

@@ -1,0 +1,87 @@
+package moe_test
+
+import (
+	"sync"
+	"testing"
+
+	"moe"
+)
+
+func TestRuntimeConcurrentDecide(t *testing.T) {
+	m, err := moe.NewMixture(moe.CanonicalExperts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := moe.NewRuntime(m, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := moe.CombineFeatures(
+		moe.CodeFeatures{LoadStore: 0.05, Instructions: 0.1, Branches: 0.01},
+		moe.EnvFeatures{Processors: 16, WorkloadThreads: 8, RunQueue: 2, Load1: 18, Load5: 16, CachedMem: 4, PageFreeRate: 0.1},
+	)
+	var wg sync.WaitGroup
+	const goroutines, perG = 8, 50
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				n := rt.Decide(moe.Observation{Time: float64(g*perG + i), Features: f})
+				if n < 1 || n > 16 {
+					t.Errorf("decision %d out of range", n)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := rt.Decisions(); got != goroutines*perG {
+		t.Errorf("decisions = %d, want %d", got, goroutines*perG)
+	}
+	hist := rt.ThreadHistogram()
+	sum := 0.0
+	for _, frac := range hist {
+		sum += frac
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Errorf("histogram fractions sum to %v", sum)
+	}
+}
+
+func TestRuntimeClockMonotone(t *testing.T) {
+	rt, err := moe.NewRuntime(moe.NewOnlinePolicy(), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var f moe.Features
+	f[4] = 8 // processors
+	// Out-of-order timestamps must not move the runtime's clock backwards
+	// (stateful policies assume monotone time).
+	rt.Decide(moe.Observation{Time: 100, Features: f})
+	n := rt.Decide(moe.Observation{Time: 5, Features: f})
+	if n < 1 || n > 8 {
+		t.Errorf("decision %d out of range after clock regression", n)
+	}
+}
+
+func TestRuntimeDerivesAvailFromFeatures(t *testing.T) {
+	rt, err := moe.NewRuntime(moe.NewDefaultPolicy(), 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var f moe.Features
+	f[4] = 12 // f5: processors
+	if n := rt.Decide(moe.Observation{Features: f}); n != 12 {
+		t.Errorf("default policy through runtime = %d, want 12 (from f5)", n)
+	}
+	// Explicit AvailableProcs wins over the feature.
+	if n := rt.Decide(moe.Observation{Features: f, AvailableProcs: 6}); n != 6 {
+		t.Errorf("explicit avail = %d, want 6", n)
+	}
+	// No information at all: cap.
+	var zero moe.Features
+	if n := rt.Decide(moe.Observation{Features: zero}); n != 32 {
+		t.Errorf("no processor info = %d, want the cap 32", n)
+	}
+}

@@ -1,0 +1,150 @@
+package moe
+
+import (
+	"fmt"
+
+	"moe/internal/policy"
+	"moe/internal/sim"
+	"moe/internal/trace"
+	"moe/internal/workload"
+)
+
+// Baseline policy constructors (§6.3). Each call returns a fresh stateful
+// instance; never share one across concurrent runs.
+
+// NewDefaultPolicy returns the OpenMP default policy: one thread per
+// available processor.
+func NewDefaultPolicy() Policy { return policy.NewDefault() }
+
+// NewOnlinePolicy returns the hill-climbing adaptive scheme.
+func NewOnlinePolicy() Policy { return policy.NewOnline() }
+
+// NewOfflinePolicy returns the single offline-model policy built from the
+// first expert of the set (typically a monolithic pool from
+// BuildExperts(ds, 1)).
+func NewOfflinePolicy(set ExpertSet) (Policy, error) {
+	if err := set.Validate(); err != nil {
+		return nil, err
+	}
+	return policy.NewOffline(set[0].Threads, set[0].MaxThreads), nil
+}
+
+// NewAnalyticPolicy returns the interval-exploration analytic policy; seed
+// drives its probe randomness (0 selects a fixed default).
+func NewAnalyticPolicy(seed uint64) Policy {
+	return policy.NewAnalytic(policy.AnalyticOptions{Seed: seed})
+}
+
+// Programs returns the names of the built-in benchmark models (§6.2).
+func Programs() []string { return workload.Names() }
+
+// HardwareFrequency selects how often the simulated processor count
+// changes (§6.4).
+type HardwareFrequency = trace.Frequency
+
+// Hardware-change frequencies.
+const (
+	LowFrequency  = trace.LowFrequency
+	HighFrequency = trace.HighFrequency
+	StaticSystem  = trace.Static
+)
+
+// Simulation describes one co-execution experiment on the simulated
+// 32-core evaluation machine: a target program driven by Policy while
+// Workload programs loop under the OpenMP default, with processor
+// availability changing at the given frequency.
+type Simulation struct {
+	// Target is the benchmark the policy controls (see Programs).
+	Target string
+	// Policy decides the target's thread counts.
+	Policy Policy
+	// Workload programs co-execute (empty = isolated system).
+	Workload []string
+	// WorkloadPolicies optionally drive the workload programs
+	// (positional; nil entries and missing tail entries fall back to the
+	// OpenMP default). This is how the §7.4 smart-vs-smart experiment is
+	// expressed.
+	WorkloadPolicies []Policy
+	// Frequency of hardware changes (default LowFrequency; use
+	// StaticSystem for a fixed machine).
+	Frequency HardwareFrequency
+	// Seed makes the run reproducible; the same seed replays the same
+	// external conditions for every policy (§6.4).
+	Seed uint64
+	// MaxTime bounds the run in virtual seconds (default 3000).
+	MaxTime float64
+	// Cores overrides the machine size (default 32, Table 2).
+	Cores int
+	// Affinity enables affinity scheduling (§7.6).
+	Affinity bool
+}
+
+// SimulationResult reports a finished simulation.
+type SimulationResult struct {
+	// ExecTime is the target's completion time in virtual seconds.
+	ExecTime float64
+	// WorkloadThroughput is the co-runners' aggregate work rate.
+	WorkloadThroughput float64
+	// Decisions is how many times the policy was consulted.
+	Decisions int
+}
+
+// Simulate runs the experiment and returns the target's outcome.
+func Simulate(s Simulation) (*SimulationResult, error) {
+	if s.Policy == nil {
+		return nil, fmt.Errorf("moe: simulation needs a policy")
+	}
+	prog, err := workload.ByName(s.Target)
+	if err != nil {
+		return nil, err
+	}
+	maxTime := s.MaxTime
+	if maxTime <= 0 {
+		maxTime = 3000
+	}
+	machine := sim.Eval32()
+	if s.Cores > 0 {
+		machine.Cores = s.Cores
+	}
+	machine.Affinity = s.Affinity
+	hw, err := trace.GenerateHardware(trace.NewRNG(s.Seed^0x5ce4a510), machine.Cores, s.Frequency, maxTime)
+	if err != nil {
+		return nil, err
+	}
+	machine.Hardware = hw
+
+	specs := []sim.ProgramSpec{{Program: prog.Clone(), Policy: s.Policy, Target: true}}
+	for i, name := range s.Workload {
+		wp, err := workload.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		var wpol sim.Policy = policy.NewDefault()
+		if i < len(s.WorkloadPolicies) && s.WorkloadPolicies[i] != nil {
+			wpol = s.WorkloadPolicies[i]
+		}
+		specs = append(specs, sim.ProgramSpec{Program: wp.Clone(), Policy: wpol, Loop: true})
+	}
+	res, err := sim.Run(sim.Scenario{
+		Machine:   machine,
+		Programs:  specs,
+		MaxTime:   maxTime,
+		RateNoise: 0.12,
+		Seed:      s.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	tr, err := res.Target()
+	if err != nil {
+		return nil, err
+	}
+	if !tr.Finished {
+		return nil, fmt.Errorf("moe: target %s did not finish within %.0fs", s.Target, maxTime)
+	}
+	return &SimulationResult{
+		ExecTime:           tr.ExecTime,
+		WorkloadThroughput: res.WorkloadThroughput(),
+		Decisions:          tr.DecisionCount,
+	}, nil
+}

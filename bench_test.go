@@ -323,6 +323,29 @@ func BenchmarkAblationFeatures(b *testing.B) {
 	}
 }
 
+// benchScenarioEval times one full experiment grid (a dynamic-scenario
+// table) at a given worker count. The output is byte-identical at every
+// setting (see TestWorkersOutputIdentical in internal/experiments); only
+// wall-clock changes. On a host with four or more cores the 4-worker
+// variant approaches a 4× win over serial; on a single-core host the two
+// are equivalent, since the pool runs excess jobs inline on the submitting
+// goroutine rather than oversubscribing.
+func benchScenarioEval(b *testing.B, workers int) {
+	l := lab(b)
+	saved := l.Workers
+	l.Workers = workers
+	defer func() { l.Workers = saved }()
+	sc := benchScale()
+	for i := 0; i < b.N; i++ {
+		if _, err := l.DynamicScenario(workload.Small, trace.LowFrequency, sc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkScenarioEvalSerial(b *testing.B)   { benchScenarioEval(b, 1) }
+func BenchmarkScenarioEvalWorkers4(b *testing.B) { benchScenarioEval(b, 4) }
+
 // BenchmarkTrainingPipeline times end-to-end training-data generation and
 // expert construction (the one-off cost of §5.2.1).
 func BenchmarkTrainingPipeline(b *testing.B) {

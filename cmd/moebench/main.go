@@ -122,6 +122,7 @@ func main() {
 	list := flag.Bool("list", false, "list experiment ids")
 	seed := flag.Uint64("seed", 42, "training/evaluation seed")
 	chart := flag.Bool("chart", false, "render tables as bar charts")
+	workers := flag.Int("workers", 0, "concurrent scenario evaluations (0 = GOMAXPROCS, 1 = serial); output is identical for every setting")
 	flag.Parse()
 
 	if *list {
@@ -154,7 +155,7 @@ func main() {
 
 	fmt.Fprintf(os.Stderr, "moebench: training experts (seed %d)…\n", *seed)
 	start := time.Now()
-	lab, err := experiments.NewLab(training.Config{Seed: *seed})
+	lab, err := experiments.NewLab(training.Config{Seed: *seed, Workers: *workers})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "moebench: training failed: %v\n", err)
 		os.Exit(1)

@@ -24,10 +24,11 @@ func main() {
 	k := flag.Int("k", 4, "expert pool size (1, 2, 4 or 8)")
 	runs := flag.Int("runs", 0, "training runs per target (0 = default)")
 	out := flag.String("o", "", "write the trained experts to this JSON file")
+	workers := flag.Int("workers", 0, "concurrent training simulations (0 = GOMAXPROCS, 1 = serial); the dataset is identical for every setting")
 	flag.Parse()
 
 	start := time.Now()
-	ds, err := training.Generate(training.Config{Seed: *seed, WorkloadsPerTarget: *runs})
+	ds, err := training.Generate(training.Config{Seed: *seed, WorkloadsPerTarget: *runs, Workers: *workers})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "moetrain: %v\n", err)
 		os.Exit(1)
@@ -82,6 +83,7 @@ func main() {
 	}
 
 	lab := experiments.NewLabFromData(ds)
+	lab.Workers = *workers
 	if *k == 4 {
 		t, err := lab.CoefficientsTable()
 		if err != nil {

@@ -97,8 +97,11 @@ func NewMixture(set expert.Set, opts Options) (*Mixture, error) {
 // Name implements sim.Policy.
 func (m *Mixture) Name() string { return "mixture" }
 
-// Experts returns the expert pool.
-func (m *Mixture) Experts() expert.Set { return m.experts }
+// Experts returns a copy of the expert pool. The slice is the caller's to
+// keep; the experts themselves are shared read-only models.
+func (m *Mixture) Experts() expert.Set {
+	return append(expert.Set(nil), m.experts...)
+}
 
 // Decide implements sim.Policy: score last step's predictions against the
 // newly observed environment, update the selector, select an expert for the

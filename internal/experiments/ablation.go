@@ -39,17 +39,25 @@ func (l *Lab) AblationGating(sc Scale) (*Table, error) {
 		{workload.Small, trace.LowFrequency},
 		{workload.Large, trace.LowFrequency},
 	}
-	for _, name := range names {
-		vals := make([]float64, 0, len(kinds))
-		for _, kind := range kinds {
-			var sp []float64
-			for _, target := range sc.Targets {
-				v, _, err := l.targetScenarioSpeedups(target, kind.size, kind.freq, []PolicyName{name}, sc)
-				if err != nil {
-					return nil, err
-				}
-				sp = append(sp, v[name])
-			}
+	// One grid job per (selector variant, kind, target) cell, regrouped
+	// below in the serial iteration order.
+	nk, nt := len(kinds), len(sc.Targets)
+	cells, err := grid(l, len(names)*nk*nt, func(i int) (float64, error) {
+		name := names[i/(nk*nt)]
+		kind := kinds[(i/nt)%nk]
+		v, _, err := l.targetScenarioSpeedups(sc.Targets[i%nt], kind.size, kind.freq, []PolicyName{name}, sc)
+		if err != nil {
+			return 0, err
+		}
+		return v[name], nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for ni, name := range names {
+		vals := make([]float64, 0, nk)
+		for ki := range kinds {
+			sp := cells[(ni*nk+ki)*nt : (ni*nk+ki+1)*nt]
 			vals = append(vals, stats.HMean(sp))
 		}
 		t.AddRow(labels[name], vals...)

@@ -20,29 +20,36 @@ func (l *Lab) Affinity(sc Scale) (*Table, error) {
 		Title:   "Fig 14b — affinity scheduling impact (small workload, low frequency)",
 		Columns: []string{"no-affinity", "affinity", "gain"},
 	}
+	sets := workload.Sets(workload.Small)
 	for _, name := range BaselinePolicies {
-		var off, on []float64
-		for _, target := range sc.Targets {
-			for si, set := range workload.Sets(workload.Small) {
-				spec := ScenarioSpec{
-					Target:   target,
-					Workload: set.Programs,
-					HWFreq:   trace.LowFrequency,
-					Seed:     sc.Seed + uint64(si)*7907,
-				}
-				sp, _, err := l.scenarioSpeedups(spec, []PolicyName{name}, sc.Repeats)
-				if err != nil {
-					return nil, err
-				}
-				off = append(off, sp[name])
-
-				spec.Affinity = true
-				spA, _, err := l.scenarioSpeedups(spec, []PolicyName{name}, sc.Repeats)
-				if err != nil {
-					return nil, err
-				}
-				on = append(on, spA[name])
+		name := name
+		type offOn struct{ off, on float64 }
+		cells, err := grid(l, len(sc.Targets)*len(sets), func(i int) (offOn, error) {
+			si := i % len(sets)
+			spec := ScenarioSpec{
+				Target:   sc.Targets[i/len(sets)],
+				Workload: sets[si].Programs,
+				HWFreq:   trace.LowFrequency,
+				Seed:     sc.Seed + uint64(si)*7907,
 			}
+			sp, _, err := l.scenarioSpeedups(spec, []PolicyName{name}, sc.Repeats)
+			if err != nil {
+				return offOn{}, err
+			}
+			spec.Affinity = true
+			spA, _, err := l.scenarioSpeedups(spec, []PolicyName{name}, sc.Repeats)
+			if err != nil {
+				return offOn{}, err
+			}
+			return offOn{sp[name], spA[name]}, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		var off, on []float64
+		for _, c := range cells {
+			off = append(off, c.off)
+			on = append(on, c.on)
 		}
 		o, a := stats.HMean(off), stats.HMean(on)
 		t.AddRow(string(name), o, a, a/o)
@@ -62,16 +69,19 @@ func (l *Lab) MonolithicVsMixture(sc Scale) (*Table, error) {
 		Title:   "Fig 14c — monolithic model vs mixture of experts (speedup over default)",
 		Columns: policyColumns(names),
 	}
+	nt := len(sc.Targets)
+	cells, err := grid(l, len(scenarioKinds)*nt, func(i int) (map[PolicyName]float64, error) {
+		kind := scenarioKinds[i/nt]
+		sp, _, err := l.targetScenarioSpeedups(sc.Targets[i%nt], kind.Size, kind.Freq, names, sc)
+		return sp, err
+	})
+	if err != nil {
+		return nil, err
+	}
 	per := make(map[PolicyName][]float64)
-	for _, kind := range scenarioKinds {
-		for _, target := range sc.Targets {
-			sp, _, err := l.targetScenarioSpeedups(target, kind.Size, kind.Freq, names, sc)
-			if err != nil {
-				return nil, err
-			}
-			for _, n := range names {
-				per[n] = append(per[n], sp[n])
-			}
+	for _, sp := range cells {
+		for _, n := range names {
+			per[n] = append(per[n], sp[n])
 		}
 	}
 	vals := make([]float64, len(names))
@@ -85,27 +95,42 @@ func (l *Lab) MonolithicVsMixture(sc Scale) (*Table, error) {
 // mixtureStats runs the mixture in every dynamic scenario and accumulates
 // its Snapshot statistics; shared by the Fig 15 and Fig 17 experiments.
 func (l *Lab) mixtureStats(sc Scale) (map[string][]core.Stats, error) {
-	out := make(map[string][]core.Stats)
+	// Flatten the kind × target × set grid into one job list (set counts
+	// differ per kind), fan it out, then regroup by kind in job order.
+	type statJob struct {
+		kindLabel string
+		spec      ScenarioSpec
+	}
+	var statJobs []statJob
 	for _, kind := range scenarioKinds {
 		for _, target := range sc.Targets {
 			for si, set := range workload.Sets(kind.Size) {
-				spec := ScenarioSpec{
+				statJobs = append(statJobs, statJob{kind.Label, ScenarioSpec{
 					Target:   target,
 					Workload: set.Programs,
 					HWFreq:   kind.Freq,
 					Seed:     sc.Seed + uint64(si)*7907,
-				}
-				run, err := l.Run(spec, PolicyMixture)
-				if err != nil {
-					return nil, err
-				}
-				mix, ok := run.Policy.(*core.Mixture)
-				if !ok {
-					return nil, fmt.Errorf("experiments: mixture policy has unexpected type %T", run.Policy)
-				}
-				out[kind.Label] = append(out[kind.Label], mix.Snapshot())
+				}})
 			}
 		}
+	}
+	snaps, err := grid(l, len(statJobs), func(i int) (core.Stats, error) {
+		run, err := l.Run(statJobs[i].spec, PolicyMixture)
+		if err != nil {
+			return core.Stats{}, err
+		}
+		mix, ok := run.Policy.(*core.Mixture)
+		if !ok {
+			return core.Stats{}, fmt.Errorf("experiments: mixture policy has unexpected type %T", run.Policy)
+		}
+		return mix.Snapshot(), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string][]core.Stats)
+	for i, j := range statJobs {
+		out[j.kindLabel] = append(out[j.kindLabel], snaps[i])
 	}
 	return out, nil
 }
@@ -121,8 +146,10 @@ func (l *Lab) EnvAccuracy(sc Scale) (*Table, error) {
 	}
 	var expertAcc [4][]float64
 	var mixAcc []float64
-	for _, snaps := range statsByKind {
-		for _, s := range snaps {
+	// Walk kinds in declaration order — ranging over the map would feed
+	// the float means in a different order every process run.
+	for _, kind := range scenarioKinds {
+		for _, s := range statsByKind[kind.Label] {
 			for k := 0; k < len(s.EnvAccuracy) && k < 4; k++ {
 				expertAcc[k] = append(expertAcc[k], s.EnvAccuracy[k])
 			}
@@ -173,36 +200,35 @@ func (l *Lab) NumExperts(sc Scale) (*Table, error) {
 		Columns: []string{"speedup"},
 	}
 	sets := workload.Sets(workload.Large)
+	sweep := func(build func(target string) (sim.Policy, error)) (float64, error) {
+		sp, err := grid(l, len(sc.Targets)*len(sets), func(i int) (float64, error) {
+			target, si := sc.Targets[i/len(sets)], i%len(sets)
+			return l.comparativeRun(target, sets[si].Programs, trace.LowFrequency, sc, uint64(si),
+				func(uint64) (sim.Policy, error) { return build(target) })
+		})
+		if err != nil {
+			return 0, err
+		}
+		return stats.HMean(sp), nil
+	}
 
 	// Individual experts.
 	for k := 0; k < 4; k++ {
-		var sp []float64
-		for _, target := range sc.Targets {
-			for si, set := range sets {
-				v, err := l.comparativeRun(target, set.Programs, trace.LowFrequency, sc, uint64(si),
-					func(uint64) (sim.Policy, error) { return l.SingleExpertPolicy(target, k) })
-				if err != nil {
-					return nil, err
-				}
-				sp = append(sp, v)
-			}
+		k := k
+		hm, err := sweep(func(target string) (sim.Policy, error) { return l.SingleExpertPolicy(target, k) })
+		if err != nil {
+			return nil, err
 		}
-		t.AddRow(fmt.Sprintf("E%d alone", k+1), stats.HMean(sp))
+		t.AddRow(fmt.Sprintf("E%d alone", k+1), hm)
 	}
 	// Growing mixtures.
 	for k := 2; k <= 4; k++ {
-		var sp []float64
-		for _, target := range sc.Targets {
-			for si, set := range sets {
-				v, err := l.comparativeRun(target, set.Programs, trace.LowFrequency, sc, uint64(si),
-					func(uint64) (sim.Policy, error) { return l.SubsetMixturePolicy(target, k) })
-				if err != nil {
-					return nil, err
-				}
-				sp = append(sp, v)
-			}
+		k := k
+		hm, err := sweep(func(target string) (sim.Policy, error) { return l.SubsetMixturePolicy(target, k) })
+		if err != nil {
+			return nil, err
 		}
-		t.AddRow(fmt.Sprintf("mixture of %d", k), stats.HMean(sp))
+		t.AddRow(fmt.Sprintf("mixture of %d", k), hm)
 	}
 	return t, nil
 }
@@ -221,13 +247,16 @@ func (l *Lab) Granularity(sc Scale) (*Table, error) {
 		PolicyMixture8:   "8 experts",
 	}
 	for _, name := range names {
-		var sp []float64
-		for _, target := range sc.Targets {
-			v, _, err := l.targetScenarioSpeedups(target, workload.Small, trace.LowFrequency, []PolicyName{name}, sc)
+		name := name
+		sp, err := grid(l, len(sc.Targets), func(i int) (float64, error) {
+			v, _, err := l.targetScenarioSpeedups(sc.Targets[i], workload.Small, trace.LowFrequency, []PolicyName{name}, sc)
 			if err != nil {
-				return nil, err
+				return 0, err
 			}
-			sp = append(sp, v[name])
+			return v[name], nil
+		})
+		if err != nil {
+			return nil, err
 		}
 		t.AddRow(labels[name], stats.HMean(sp))
 	}
@@ -256,27 +285,32 @@ func (l *Lab) ThreadDistribution(sc Scale) (*Table, error) {
 
 	sets := workload.Sets(workload.Small)
 	collect := func(build func(target string) (*core.Mixture, error)) (*stats.Histogram, error) {
+		histos, err := grid(l, len(sc.Targets)*len(sets), func(i int) (map[int]float64, error) {
+			si := i % len(sets)
+			spec := ScenarioSpec{
+				Target:   sc.Targets[i/len(sets)],
+				Workload: sets[si].Programs,
+				HWFreq:   trace.LowFrequency,
+				Seed:     sc.Seed + uint64(si)*7907,
+			}
+			pol, err := build(spec.Target)
+			if err != nil {
+				return nil, err
+			}
+			run, err := l.RunWithPolicy(spec, pol)
+			if err != nil {
+				return nil, err
+			}
+			mix := run.Policy.(*core.Mixture)
+			return mix.Snapshot().ThreadHistogram, nil
+		})
+		if err != nil {
+			return nil, err
+		}
 		hist := stats.NewHistogram()
-		for _, target := range sc.Targets {
-			for si, set := range sets {
-				spec := ScenarioSpec{
-					Target:   target,
-					Workload: set.Programs,
-					HWFreq:   trace.LowFrequency,
-					Seed:     sc.Seed + uint64(si)*7907,
-				}
-				pol, err := build(target)
-				if err != nil {
-					return nil, err
-				}
-				run, err := l.RunWithPolicy(spec, pol)
-				if err != nil {
-					return nil, err
-				}
-				mix := run.Policy.(*core.Mixture)
-				for bin, frac := range mix.Snapshot().ThreadHistogram {
-					hist.AddN(bin, int(frac*1000))
-				}
+		for _, h := range histos {
+			for bin, frac := range h {
+				hist.AddN(bin, int(frac*1000))
 			}
 		}
 		return hist, nil
@@ -315,7 +349,7 @@ func (l *Lab) ThreadDistribution(sc Scale) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		return training.NewMixturePolicy(m.sub, m.set4)
+		return training.NewMixtureFromPrior(m.prior4, m.set4)
 	})
 	if err != nil {
 		return nil, err
@@ -328,13 +362,16 @@ func (l *Lab) ThreadDistribution(sc Scale) (*Table, error) {
 // the default in one scenario configuration, averaged over repeats.
 func (l *Lab) comparativeRun(target string, wl []string, freq trace.Frequency, sc Scale, salt uint64,
 	build func(seed uint64) (sim.Policy, error)) (float64, error) {
-	var base, pol float64
-	for r := 0; r < max(1, sc.Repeats); r++ {
-		seed := sc.Seed + salt*7907 + uint64(r)*1000003
+	repeats := max(1, sc.Repeats)
+	times, err := grid(l, repeats*2, func(i int) (float64, error) {
+		seed := sc.Seed + salt*7907 + uint64(i/2)*1000003
 		spec := ScenarioSpec{Target: target, Workload: wl, HWFreq: freq, Seed: seed}
-		b, err := l.Run(spec, PolicyDefault)
-		if err != nil {
-			return 0, err
+		if i%2 == 0 {
+			b, err := l.Run(spec, PolicyDefault)
+			if err != nil {
+				return 0, err
+			}
+			return b.ExecTime, nil
 		}
 		p, err := build(seed)
 		if err != nil {
@@ -344,8 +381,15 @@ func (l *Lab) comparativeRun(target string, wl []string, freq trace.Frequency, s
 		if err != nil {
 			return 0, err
 		}
-		base += b.ExecTime
-		pol += out.ExecTime
+		return out.ExecTime, nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	var base, pol float64
+	for r := 0; r < repeats; r++ {
+		base += times[r*2]
+		pol += times[r*2+1]
 	}
 	return base / pol, nil
 }

@@ -21,12 +21,15 @@ func (l *Lab) Churn(sc Scale) (*Table, error) {
 		Title:   "Churn — workloads arriving and departing mid-run (speedup over default)",
 		Columns: policyColumns(BaselinePolicies),
 	}
+	rows, err := grid(l, len(sc.Targets), func(ti int) (map[PolicyName]float64, error) {
+		return l.churnSpeedups(sc.Targets[ti], sc, uint64(ti))
+	})
+	if err != nil {
+		return nil, err
+	}
 	per := make(map[PolicyName][]float64)
 	for ti, target := range sc.Targets {
-		speedups, err := l.churnSpeedups(target, sc, uint64(ti))
-		if err != nil {
-			return nil, err
-		}
+		speedups := rows[ti]
 		vals := make([]float64, len(BaselinePolicies))
 		for i, n := range BaselinePolicies {
 			vals[i] = speedups[n]
@@ -56,19 +59,25 @@ func (l *Lab) churnSpeedups(target string, sc Scale, salt uint64) (map[PolicyNam
 		}
 		return out, nil
 	}
-	out := make(map[PolicyName]float64, len(BaselinePolicies))
-	for r := 0; r < max(1, sc.Repeats); r++ {
+	repeats := max(1, sc.Repeats)
+	cols := 1 + len(BaselinePolicies)
+	times, err := grid(l, repeats*cols, func(i int) (float64, error) {
+		r, c := i/cols, i%cols
 		seed := sc.Seed + salt*104729 + uint64(r)*1000003
-		base, err := run(PolicyDefault, seed)
-		if err != nil {
-			return nil, err
+		name := PolicyDefault
+		if c > 0 {
+			name = BaselinePolicies[c-1]
 		}
-		for _, name := range BaselinePolicies {
-			v, err := run(name, seed)
-			if err != nil {
-				return nil, err
-			}
-			out[name] += v / base / float64(max(1, sc.Repeats))
+		return run(name, seed)
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[PolicyName]float64, len(BaselinePolicies))
+	for r := 0; r < repeats; r++ {
+		base := times[r*cols]
+		for ci, name := range BaselinePolicies {
+			out[name] += times[r*cols+1+ci] / base / float64(repeats)
 		}
 	}
 	// Convert accumulated time ratios into speedups.

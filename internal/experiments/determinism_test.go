@@ -1,0 +1,101 @@
+package experiments
+
+import (
+	"sync"
+	"testing"
+
+	"moe/internal/trace"
+	"moe/internal/workload"
+)
+
+// TestWorkersOutputIdentical is the determinism regression test for the
+// parallel evaluation engine: every experiment table must render to the
+// exact same bytes whether its scenario grid runs serially or on four
+// workers. Seeds derive from grid coordinates — never from scheduling
+// order — and reductions accumulate in index order, so float summation
+// order is identical too.
+func TestWorkersOutputIdentical(t *testing.T) {
+	l := lab(t)
+	saved := l.Workers
+	defer func() { l.Workers = saved }()
+
+	sc := tinyScale()
+	one := tinyScale()
+	one.Targets = []string{"lu"}
+
+	experiments := []struct {
+		name string
+		run  func() (*Table, error)
+	}{
+		{"dynamic", func() (*Table, error) { return l.DynamicScenario(workload.Small, trace.LowFrequency, sc) }},
+		{"static", func() (*Table, error) { return l.Static(sc) }},
+		{"churn", func() (*Table, error) { return l.Churn(one) }},
+		{"impact", func() (*Table, error) { return l.WorkloadImpact(one) }},
+		{"env-accuracy", func() (*Table, error) { return l.EnvAccuracy(one) }},
+		{"adaptive-pairs", func() (*Table, error) { return l.AdaptivePairs(sc) }},
+		{"portability", func() (*Table, error) { return l.Portability(one) }},
+	}
+
+	render := func() map[string]string {
+		out := make(map[string]string, len(experiments))
+		for _, e := range experiments {
+			tab, err := e.run()
+			if err != nil {
+				t.Fatalf("%s (workers=%d): %v", e.name, l.Workers, err)
+			}
+			out[e.name] = tab.String()
+		}
+		return out
+	}
+
+	l.Workers = 1
+	serial := render()
+	l.Workers = 4
+	concurrent := render()
+
+	for _, e := range experiments {
+		if serial[e.name] != concurrent[e.name] {
+			t.Errorf("%s: workers=4 output differs from workers=1:\n--- serial ---\n%s\n--- workers=4 ---\n%s",
+				e.name, serial[e.name], concurrent[e.name])
+		}
+	}
+}
+
+// TestConcurrentScenarioRuns stress-tests sim.Run isolation: many
+// goroutines running the same scenario spec must neither race (caught by
+// -race) nor perturb each other's results.
+func TestConcurrentScenarioRuns(t *testing.T) {
+	l := lab(t)
+	spec := ScenarioSpec{
+		Target:   "cg",
+		Workload: []string{"is"},
+		HWFreq:   trace.LowFrequency,
+		Seed:     11,
+	}
+	base, err := l.Run(spec, PolicyMixture)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const goroutines = 8
+	outs := make([]*RunOutcome, goroutines)
+	errs := make([]error, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			outs[g], errs[g] = l.Run(spec, PolicyMixture)
+		}(g)
+	}
+	wg.Wait()
+	for g := 0; g < goroutines; g++ {
+		if errs[g] != nil {
+			t.Fatalf("goroutine %d: %v", g, errs[g])
+		}
+		if outs[g].ExecTime != base.ExecTime || outs[g].WorkloadThroughput != base.WorkloadThroughput {
+			t.Errorf("goroutine %d diverged: exec %v vs %v, throughput %v vs %v",
+				g, outs[g].ExecTime, base.ExecTime, outs[g].WorkloadThroughput, base.WorkloadThroughput)
+		}
+	}
+}

@@ -37,27 +37,38 @@ func QuickScale() Scale {
 // scenarioSpeedups runs one scenario spec under the default baseline plus
 // every named policy with identical seeds, averaged over repeats, and
 // returns speedups over default and relative workload throughput.
+//
+// The repeat × policy grid fans out on the lab's worker pool. Every job's
+// seed comes from its repeat index alone, and the reduction walks results
+// in the serial loop's order, so the returned means are byte-identical for
+// any worker count.
 func (l *Lab) scenarioSpeedups(spec ScenarioSpec, names []PolicyName, repeats int) (map[PolicyName]float64, map[PolicyName]float64, error) {
 	if repeats <= 0 {
 		repeats = DefaultRepeats
+	}
+	cols := 1 + len(names) // default baseline first, then each policy
+	outs, err := grid(l, repeats*cols, func(i int) (*RunOutcome, error) {
+		r, c := i/cols, i%cols
+		s := spec
+		s.Seed = spec.Seed + uint64(r)*1000003
+		name := PolicyDefault
+		if c > 0 {
+			name = names[c-1]
+		}
+		return l.Run(s, name)
+	})
+	if err != nil {
+		return nil, nil, err
 	}
 	execSum := make(map[PolicyName]float64, len(names))
 	wlSum := make(map[PolicyName]float64, len(names))
 	var baseExec, baseWL float64
 	for r := 0; r < repeats; r++ {
-		s := spec
-		s.Seed = spec.Seed + uint64(r)*1000003
-		base, err := l.Run(s, PolicyDefault)
-		if err != nil {
-			return nil, nil, err
-		}
+		base := outs[r*cols]
 		baseExec += base.ExecTime
 		baseWL += base.WorkloadThroughput
-		for _, name := range names {
-			out, err := l.Run(s, name)
-			if err != nil {
-				return nil, nil, err
-			}
+		for ci, name := range names {
+			out := outs[r*cols+1+ci]
 			execSum[name] += out.ExecTime
 			wlSum[name] += out.WorkloadThroughput
 		}
@@ -81,22 +92,28 @@ func (l *Lab) targetScenarioSpeedups(target string, size workload.Size, freq tra
 	if len(sets) == 0 {
 		return nil, nil, fmt.Errorf("experiments: no workload sets for size %q", size)
 	}
-	acc := make(map[PolicyName][]float64)
-	accWL := make(map[PolicyName][]float64)
-	for si, set := range sets {
+	type setResult struct {
+		sp, wl map[PolicyName]float64
+	}
+	results, err := grid(l, len(sets), func(si int) (setResult, error) {
 		spec := ScenarioSpec{
 			Target:   target,
-			Workload: set.Programs,
+			Workload: sets[si].Programs,
 			HWFreq:   freq,
 			Seed:     sc.Seed + uint64(si)*7907,
 		}
 		sp, wl, err := l.scenarioSpeedups(spec, names, sc.Repeats)
-		if err != nil {
-			return nil, nil, err
-		}
+		return setResult{sp, wl}, err
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	acc := make(map[PolicyName][]float64)
+	accWL := make(map[PolicyName][]float64)
+	for _, res := range results {
 		for _, n := range names {
-			acc[n] = append(acc[n], sp[n])
-			accWL[n] = append(accWL[n], wl[n])
+			acc[n] = append(acc[n], res.sp[n])
+			accWL[n] = append(accWL[n], res.wl[n])
 		}
 	}
 	out := make(map[PolicyName]float64, len(names))
@@ -116,12 +133,16 @@ func (l *Lab) DynamicScenario(size workload.Size, freq trace.Frequency, sc Scale
 		Title:   fmt.Sprintf("Speedup over default — %s workload, %s frequency hardware change", size, freq),
 		Columns: policyColumns(BaselinePolicies),
 	}
+	rows, err := grid(l, len(sc.Targets), func(i int) (map[PolicyName]float64, error) {
+		sp, _, err := l.targetScenarioSpeedups(sc.Targets[i], size, freq, BaselinePolicies, sc)
+		return sp, err
+	})
+	if err != nil {
+		return nil, err
+	}
 	perPolicy := make(map[PolicyName][]float64)
-	for _, target := range sc.Targets {
-		sp, _, err := l.targetScenarioSpeedups(target, size, freq, BaselinePolicies, sc)
-		if err != nil {
-			return nil, err
-		}
+	for ti, target := range sc.Targets {
+		sp := rows[ti]
 		vals := make([]float64, len(BaselinePolicies))
 		for i, n := range BaselinePolicies {
 			vals[i] = sp[n]
@@ -157,14 +178,22 @@ func (l *Lab) Summary(sc Scale) (*Table, error) {
 		Title:   "Fig 8 — speedup over OpenMP default across dynamic scenarios",
 		Columns: policyColumns(BaselinePolicies),
 	}
+	// One grid job per (scenario kind, target) cell; the reduction below
+	// regroups cells kind-major, matching the serial iteration order.
+	nt := len(sc.Targets)
+	cells, err := grid(l, len(scenarioKinds)*nt, func(i int) (map[PolicyName]float64, error) {
+		kind := scenarioKinds[i/nt]
+		sp, _, err := l.targetScenarioSpeedups(sc.Targets[i%nt], kind.Size, kind.Freq, BaselinePolicies, sc)
+		return sp, err
+	})
+	if err != nil {
+		return nil, err
+	}
 	all := make(map[PolicyName][]float64)
-	for _, kind := range scenarioKinds {
+	for ki, kind := range scenarioKinds {
 		per := make(map[PolicyName][]float64)
-		for _, target := range sc.Targets {
-			sp, _, err := l.targetScenarioSpeedups(target, kind.Size, kind.Freq, BaselinePolicies, sc)
-			if err != nil {
-				return nil, err
-			}
+		for ti := 0; ti < nt; ti++ {
+			sp := cells[ki*nt+ti]
 			for _, n := range BaselinePolicies {
 				per[n] = append(per[n], sp[n])
 				all[n] = append(all[n], sp[n])
@@ -199,13 +228,17 @@ func (l *Lab) Static(sc Scale) (*Table, error) {
 		Title:   "Fig 7 — isolated static system (speedup over default)",
 		Columns: policyColumns(BaselinePolicies),
 	}
-	perPolicy := make(map[PolicyName][]float64)
-	for _, target := range sc.Targets {
-		spec := ScenarioSpec{Target: target, HWFreq: trace.Static, Seed: sc.Seed}
+	rows, err := grid(l, len(sc.Targets), func(i int) (map[PolicyName]float64, error) {
+		spec := ScenarioSpec{Target: sc.Targets[i], HWFreq: trace.Static, Seed: sc.Seed}
 		sp, _, err := l.scenarioSpeedups(spec, BaselinePolicies, sc.Repeats)
-		if err != nil {
-			return nil, err
-		}
+		return sp, err
+	})
+	if err != nil {
+		return nil, err
+	}
+	perPolicy := make(map[PolicyName][]float64)
+	for ti, target := range sc.Targets {
+		sp := rows[ti]
 		vals := make([]float64, len(BaselinePolicies))
 		for i, n := range BaselinePolicies {
 			vals[i] = sp[n]

@@ -14,16 +14,19 @@ func (l *Lab) WorkloadImpact(sc Scale) (*Table, error) {
 		Title:   "Fig 13a — workload performance relative to default",
 		Columns: policyColumns(BaselinePolicies),
 	}
+	nt := len(sc.Targets)
+	cells, err := grid(l, len(scenarioKinds)*nt, func(i int) (map[PolicyName]float64, error) {
+		kind := scenarioKinds[i/nt]
+		_, wl, err := l.targetScenarioSpeedups(sc.Targets[i%nt], kind.Size, kind.Freq, BaselinePolicies, sc)
+		return wl, err
+	})
+	if err != nil {
+		return nil, err
+	}
 	per := make(map[PolicyName][]float64)
-	for _, kind := range scenarioKinds {
-		for _, target := range sc.Targets {
-			_, wl, err := l.targetScenarioSpeedups(target, kind.Size, kind.Freq, BaselinePolicies, sc)
-			if err != nil {
-				return nil, err
-			}
-			for _, n := range BaselinePolicies {
-				per[n] = append(per[n], wl[n])
-			}
+	for _, wl := range cells {
+		for _, n := range BaselinePolicies {
+			per[n] = append(per[n], wl[n])
 		}
 	}
 	vals := make([]float64, len(BaselinePolicies))
@@ -48,19 +51,31 @@ func (l *Lab) AdaptivePairs(sc Scale) (*Table, error) {
 	// Program pairs: each target with a partner of the opposite
 	// scalability character, cycling through the scale's target list.
 	targets := sc.Targets
-	per := make(map[PolicyName][]float64)
+	type pairJob struct {
+		target, partner string
+		name            PolicyName
+		salt            uint64
+	}
+	var pairs []pairJob
 	for i, target := range targets {
 		partner := targets[(i+len(targets)/2)%len(targets)]
 		if partner == target {
 			continue
 		}
 		for _, name := range BaselinePolicies {
-			combined, err := l.adaptivePair(target, partner, name, sc, uint64(i))
-			if err != nil {
-				return nil, err
-			}
-			per[name] = append(per[name], combined)
+			pairs = append(pairs, pairJob{target, partner, name, uint64(i)})
 		}
+	}
+	combined, err := grid(l, len(pairs), func(i int) (float64, error) {
+		p := pairs[i]
+		return l.adaptivePair(p.target, p.partner, p.name, sc, p.salt)
+	})
+	if err != nil {
+		return nil, err
+	}
+	per := make(map[PolicyName][]float64)
+	for i, p := range pairs {
+		per[p.name] = append(per[p.name], combined[i])
 	}
 	vals := make([]float64, len(BaselinePolicies))
 	for i, n := range BaselinePolicies {

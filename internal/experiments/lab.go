@@ -1,11 +1,13 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
 	"moe/internal/core"
 	"moe/internal/expert"
+	"moe/internal/parallel"
 	"moe/internal/policy"
 	"moe/internal/sim"
 	"moe/internal/training"
@@ -44,49 +46,109 @@ var BaselinePolicies = []PolicyName{PolicyOnline, PolicyOffline, PolicyAnalytic,
 // Lab owns the trained models and hands out policy instances. Expert sets
 // respect the paper's leave-one-out deployment rule (§5.2.3): models used
 // for a target are trained without that target's data.
+//
+// A Lab is safe for concurrent use: the model cache is built through
+// per-target once-guards (so two goroutines asking for different targets
+// build in parallel, while two asking for the same target share one
+// build), and every NewPolicy call returns a fresh policy instance over
+// the shared read-only models.
 type Lab struct {
 	// DS is the full training dataset (NAS programs, both platforms).
 	DS *training.DataSet
 	// Eval is the evaluation machine (Table 2).
 	Eval sim.MachineConfig
+	// Workers bounds how many scenario evaluations the lab's experiment
+	// tables run concurrently: 0 uses GOMAXPROCS, 1 runs serially. Every
+	// job derives its seed from the experiment spec rather than from
+	// scheduling order, so tables are byte-identical for every setting.
+	Workers int
 
 	mu    sync.Mutex
-	cache map[string]*targetModels
+	cache map[string]*modelEntry
+	pool  *parallel.Pool
+	poolW int
 }
 
-// targetModels are the per-excluded-target model builds.
+// targetModels are the per-excluded-target model builds, plus the fitted
+// gating priors for each pool size. Everything here is immutable after the
+// build completes and is shared by all policy instances for the target.
 type targetModels struct {
-	sub  *training.DataSet
-	set2 expert.Set
-	set4 expert.Set
-	set8 expert.Set
-	mono *expert.Expert
+	sub    *training.DataSet
+	set2   expert.Set
+	set4   expert.Set
+	set8   expert.Set
+	mono   *expert.Expert
+	prior2 *training.GatingPrior
+	prior4 *training.GatingPrior
+	prior8 *training.GatingPrior
+}
+
+// modelEntry guards one target's build so concurrent requests for the same
+// target wait on a single build instead of serializing the whole cache.
+type modelEntry struct {
+	once sync.Once
+	m    *targetModels
+	err  error
 }
 
 // NewLab generates training data and returns a ready lab. The zero Config
-// value selects the paper's training setup.
+// value selects the paper's training setup. The lab inherits the config's
+// Workers setting for its experiment fan-outs.
 func NewLab(cfg training.Config) (*Lab, error) {
 	ds, err := training.Generate(cfg)
 	if err != nil {
 		return nil, err
 	}
-	return &Lab{DS: ds, Eval: sim.Eval32(), cache: make(map[string]*targetModels)}, nil
+	l := NewLabFromData(ds)
+	l.Workers = cfg.Workers
+	return l, nil
 }
 
 // NewLabFromData wraps an existing dataset (used by tests that share one
 // generation across many experiments).
 func NewLabFromData(ds *training.DataSet) *Lab {
-	return &Lab{DS: ds, Eval: sim.Eval32(), cache: make(map[string]*targetModels)}
+	return &Lab{DS: ds, Eval: sim.Eval32(), cache: make(map[string]*modelEntry)}
+}
+
+// jobs returns the worker pool matching the current Workers setting.
+func (l *Lab) jobs() *parallel.Pool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	w := parallel.Workers(l.Workers)
+	if l.pool == nil || l.poolW != w {
+		l.pool = parallel.NewPool(w)
+		l.poolW = w
+	}
+	return l.pool
+}
+
+// grid evaluates fn for every index in [0, n) on the lab's pool and
+// returns the results in index order, so table reductions accumulate in
+// exactly the order the serial loops did.
+func grid[T any](l *Lab, n int, fn func(i int) (T, error)) ([]T, error) {
+	return parallel.Map(context.Background(), l.jobs(), n, func(_ context.Context, i int) (T, error) {
+		return fn(i)
+	})
 }
 
 // models returns (building and caching on first use) the model set trained
 // without the named target program.
 func (l *Lab) models(target string) (*targetModels, error) {
 	l.mu.Lock()
-	defer l.mu.Unlock()
-	if m, ok := l.cache[target]; ok {
-		return m, nil
+	e, ok := l.cache[target]
+	if !ok {
+		e = &modelEntry{}
+		l.cache[target] = e
 	}
+	l.mu.Unlock()
+	e.once.Do(func() { e.m, e.err = l.buildModels(target) })
+	return e.m, e.err
+}
+
+// buildModels performs the expensive leave-one-out fits. It runs outside
+// the lab mutex (the per-entry once provides the exclusion), so different
+// targets build concurrently.
+func (l *Lab) buildModels(target string) (*targetModels, error) {
 	sub := l.DS.ExcludeProgram(target)
 	set2, err := training.BuildExperts2(sub)
 	if err != nil {
@@ -104,9 +166,22 @@ func (l *Lab) models(target string) (*targetModels, error) {
 	if err != nil {
 		return nil, fmt.Errorf("experiments: monolithic without %s: %w", target, err)
 	}
-	m := &targetModels{sub: sub, set2: set2, set4: set4, set8: set8, mono: mono}
-	l.cache[target] = m
-	return m, nil
+	prior2, err := training.FitGatingPrior(sub, set2, 0)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: gating prior (2) without %s: %w", target, err)
+	}
+	prior4, err := training.FitGatingPrior(sub, set4, 0)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: gating prior (4) without %s: %w", target, err)
+	}
+	prior8, err := training.FitGatingPrior(sub, set8, 0)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: gating prior (8) without %s: %w", target, err)
+	}
+	return &targetModels{
+		sub: sub, set2: set2, set4: set4, set8: set8, mono: mono,
+		prior2: prior2, prior4: prior4, prior8: prior8,
+	}, nil
 }
 
 // Experts4 exposes the four-expert pool trained without the target (for
@@ -152,11 +227,11 @@ func (l *Lab) NewPolicy(name PolicyName, target string, seed uint64) (sim.Policy
 	case PolicyMonolithic:
 		return core.NewMixture(expert.Set{m.mono}, core.Options{})
 	case PolicyMixture:
-		return training.NewMixturePolicy(m.sub, m.set4)
+		return training.NewMixtureFromPrior(m.prior4, m.set4)
 	case PolicyMixture2:
-		return training.NewMixturePolicy(m.sub, m.set2)
+		return training.NewMixtureFromPrior(m.prior2, m.set2)
 	case PolicyMixture8:
-		return training.NewMixturePolicy(m.sub, m.set8)
+		return training.NewMixtureFromPrior(m.prior8, m.set8)
 	case PolicyMixtureAccuracyGate:
 		return core.NewMixture(m.set4, core.Options{Selector: core.NewAccuracySelector(len(m.set4), 0)})
 	case PolicyMixtureRandomGate:

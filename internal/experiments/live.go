@@ -73,14 +73,16 @@ func (l *Lab) LiveStudy(sc Scale) (*Table, error) {
 	// was scaled with capacity (§7.5) — the default policy does that
 	// naturally (threads = available processors).
 	liveWorkload := []string{"cg", "ft", "art"}
-	for ti, target := range sc.Targets {
-		for _, name := range BaselinePolicies {
-			sp, err := l.liveSpeedup(target, liveWorkload, hw, name, sc, uint64(ti))
-			if err != nil {
-				return nil, err
-			}
-			per[name] = append(per[name], sp)
-		}
+	np := len(BaselinePolicies)
+	cells, err := grid(l, len(sc.Targets)*np, func(i int) (float64, error) {
+		ti, name := i/np, BaselinePolicies[i%np]
+		return l.liveSpeedup(sc.Targets[ti], liveWorkload, hw, name, sc, uint64(ti))
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i := range cells {
+		per[BaselinePolicies[i%np]] = append(per[BaselinePolicies[i%np]], cells[i])
 	}
 	vals := make([]float64, len(BaselinePolicies))
 	for i, n := range BaselinePolicies {
@@ -135,19 +137,21 @@ func (l *Lab) liveSpeedup(target string, wl []string, hw *trace.HardwareTrace, n
 		}
 		return effectiveExecTime(tr, prog2.TotalWork(), DefaultMaxTime)
 	}
+	repeats := max(1, sc.Repeats)
+	times, err := grid(l, repeats*2, func(i int) (float64, error) {
+		seed := sc.Seed + salt*99991 + uint64(i/2)*1000003
+		if i%2 == 0 {
+			return run(PolicyDefault, seed)
+		}
+		return run(name, seed)
+	})
+	if err != nil {
+		return 0, err
+	}
 	var base, pol float64
-	for r := 0; r < max(1, sc.Repeats); r++ {
-		seed := sc.Seed + salt*99991 + uint64(r)*1000003
-		b, err := run(PolicyDefault, seed)
-		if err != nil {
-			return 0, err
-		}
-		v, err := run(name, seed)
-		if err != nil {
-			return 0, err
-		}
-		base += b
-		pol += v
+	for r := 0; r < repeats; r++ {
+		base += times[r*2]
+		pol += times[r*2+1]
 	}
 	return base / pol, nil
 }

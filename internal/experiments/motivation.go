@@ -61,26 +61,36 @@ func (l *Lab) Motivation(seed uint64) ([]TimelinePoint, *Table, error) {
 		{PolicyAnalytic, func(s uint64) (sim.Policy, error) { return l.NewPolicy(PolicyAnalytic, target, s) }},
 		{"expert1", func(uint64) (sim.Policy, error) { return expertPolicy(0) }},
 		{"expert2", func(uint64) (sim.Policy, error) { return expertPolicy(1) }},
-		{PolicyMixture, func(uint64) (sim.Policy, error) { return training.NewMixturePolicy(m.sub, m.set2) }},
+		{PolicyMixture, func(uint64) (sim.Policy, error) { return training.NewMixtureFromPrior(m.prior2, m.set2) }},
 	}
 
-	timelines := make(map[PolicyName][]sim.Sample, len(policies))
-	execTimes := make(map[PolicyName]float64, len(policies))
-	for _, e := range policies {
-		p, err := e.build(seed)
+	type policyRun struct {
+		samples []sim.Sample
+		exec    float64
+	}
+	runs, err := grid(l, len(policies), func(i int) (policyRun, error) {
+		p, err := policies[i].build(seed)
 		if err != nil {
-			return nil, nil, err
+			return policyRun{}, err
 		}
 		run, err := l.runOnTrace(target, []string{wl}, hw, p, seed, true)
 		if err != nil {
-			return nil, nil, err
+			return policyRun{}, err
 		}
 		tr, err := run.Result.Target()
 		if err != nil {
-			return nil, nil, err
+			return policyRun{}, err
 		}
-		timelines[e.name] = tr.Samples
-		execTimes[e.name] = run.ExecTime
+		return policyRun{tr.Samples, run.ExecTime}, nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	timelines := make(map[PolicyName][]sim.Sample, len(policies))
+	execTimes := make(map[PolicyName]float64, len(policies))
+	for i, e := range policies {
+		timelines[e.name] = runs[i].samples
+		execTimes[e.name] = runs[i].exec
 	}
 
 	// Merge the per-policy samples onto a common time grid (Fig 2 plots

@@ -29,27 +29,35 @@ func (l *Lab) Portability(sc Scale) (*Table, error) {
 		Title:   "Portability (§9) — mixture speedup over default on unseen platforms (small workload, low frequency)",
 		Columns: policyColumns(BaselinePolicies),
 	}
-	saved := l.Eval
-	defer func() { l.Eval = saved }()
-
+	// The platform override travels inside each ScenarioSpec (never by
+	// mutating l.Eval), so scenarios on different machines are free to run
+	// concurrently.
+	sets := workload.Sets(workload.Small)
+	nc := len(sc.Targets) * len(sets)
 	for _, pl := range platforms {
-		l.Eval = pl.cfg
+		pl := pl
+		cells, err := grid(l, nc, func(i int) (map[PolicyName]float64, error) {
+			si := i % len(sets)
+			spec := ScenarioSpec{
+				Target:   sc.Targets[i/len(sets)],
+				Workload: sets[si].Programs,
+				HWFreq:   trace.LowFrequency,
+				Seed:     sc.Seed + uint64(si)*7907,
+				Machine:  &pl.cfg,
+			}
+			sp, _, err := l.scenarioSpeedups(spec, BaselinePolicies, sc.Repeats)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: portability on %s: %w", pl.label, err)
+			}
+			return sp, nil
+		})
+		if err != nil {
+			return nil, err
+		}
 		per := make(map[PolicyName][]float64)
-		for _, target := range sc.Targets {
-			for si, set := range workload.Sets(workload.Small) {
-				spec := ScenarioSpec{
-					Target:   target,
-					Workload: set.Programs,
-					HWFreq:   trace.LowFrequency,
-					Seed:     sc.Seed + uint64(si)*7907,
-				}
-				sp, _, err := l.scenarioSpeedups(spec, BaselinePolicies, sc.Repeats)
-				if err != nil {
-					return nil, fmt.Errorf("experiments: portability on %s: %w", pl.label, err)
-				}
-				for _, n := range BaselinePolicies {
-					per[n] = append(per[n], sp[n])
-				}
+		for _, sp := range cells {
+			for _, n := range BaselinePolicies {
+				per[n] = append(per[n], sp[n])
 			}
 		}
 		vals := make([]float64, len(BaselinePolicies))

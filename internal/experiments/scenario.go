@@ -41,6 +41,11 @@ type ScenarioSpec struct {
 	MaxTime float64
 	// RecordSamples forwards to the engine (timeline figures).
 	RecordSamples bool
+	// Machine overrides the lab's evaluation machine for this scenario
+	// (the portability study, §7.5). Carrying the override in the spec —
+	// instead of mutating Lab.Eval — keeps concurrent scenarios on
+	// different platforms independent.
+	Machine *sim.MachineConfig
 }
 
 // RunOutcome is the result of one scenario run under one policy.
@@ -78,6 +83,9 @@ func (l *Lab) RunWithPolicy(spec ScenarioSpec, target sim.Policy) (*RunOutcome, 
 	}
 
 	machine := l.Eval
+	if spec.Machine != nil {
+		machine = *spec.Machine
+	}
 	machine.Affinity = spec.Affinity
 	rng := trace.NewRNG(spec.Seed ^ 0x5ce4a510)
 	hw, err := trace.GenerateHardware(rng, machine.Cores, spec.HWFreq, maxTime)
@@ -158,18 +166,23 @@ func (l *Lab) Speedup(spec ScenarioSpec, name PolicyName, repeats int) (speedup,
 	if repeats <= 0 {
 		repeats = DefaultRepeats
 	}
+	// Fan the repeat × {default, policy} grid out on the lab pool; the
+	// reduction below walks results in repeat order, so sums accumulate
+	// exactly as the serial loop did.
+	outs, err := grid(l, repeats*2, func(i int) (*RunOutcome, error) {
+		s := spec
+		s.Seed = spec.Seed + uint64(i/2)*1000003
+		if i%2 == 0 {
+			return l.Run(s, PolicyDefault)
+		}
+		return l.Run(s, name)
+	})
+	if err != nil {
+		return 0, 0, err
+	}
 	var sumBase, sumPol, sumWLBase, sumWLPol float64
 	for r := 0; r < repeats; r++ {
-		s := spec
-		s.Seed = spec.Seed + uint64(r)*1000003
-		base, err := l.Run(s, PolicyDefault)
-		if err != nil {
-			return 0, 0, err
-		}
-		out, err := l.Run(s, name)
-		if err != nil {
-			return 0, 0, err
-		}
+		base, out := outs[r*2], outs[r*2+1]
 		sumBase += base.ExecTime
 		sumPol += out.ExecTime
 		sumWLBase += base.WorkloadThroughput

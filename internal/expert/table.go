@@ -1,0 +1,86 @@
+package expert
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"moe/internal/regress"
+)
+
+// FormatTable renders an expert set in the textual layout of the paper's
+// Table 1: one line per expert,
+//
+//	name|maxThreads|trainedOn|w coefficients|m coefficients
+//
+// where each coefficient list is weights followed by the regression
+// constant β, in regress.FormatCoefficients form. ParseTable reads the
+// result back exactly. Only experts in direct Table 1 form — a linear
+// thread predictor plus a NormEnvModel environment predictor — can be
+// rendered; FormatTable panics on speedup-form or heuristic experts.
+func FormatTable(s Set) string {
+	var b strings.Builder
+	for _, e := range s {
+		env, ok := e.Env.(NormEnvModel)
+		if !ok || e.Threads == nil {
+			panic(fmt.Sprintf("expert: %q is not in Table 1 form", e.Name))
+		}
+		fmt.Fprintf(&b, "%s|%d|%s|%s|%s\n",
+			e.Name, e.MaxThreads, e.TrainedOn,
+			regress.FormatCoefficients(e.Threads.Coefficients()),
+			regress.FormatCoefficients(env.Model.Coefficients()))
+	}
+	return b.String()
+}
+
+// ParseTable parses a FormatTable-style coefficient table into an expert
+// set. Blank lines and lines starting with '#' are ignored. The returned
+// set is fully validated: every line must carry a name, a positive thread
+// limit and two finite coefficient rows of equal length, and expert names
+// must be unique.
+func ParseTable(s string) (Set, error) {
+	var set Set
+	for ln, line := range strings.Split(s, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		parts := strings.Split(line, "|")
+		if len(parts) != 5 {
+			return nil, fmt.Errorf("expert: line %d: want 5 '|'-separated fields, got %d", ln+1, len(parts))
+		}
+		name := strings.TrimSpace(parts[0])
+		if name == "" {
+			return nil, fmt.Errorf("expert: line %d: empty expert name", ln+1)
+		}
+		maxThreads, err := strconv.Atoi(strings.TrimSpace(parts[1]))
+		if err != nil {
+			return nil, fmt.Errorf("expert: line %d: max threads: %w", ln+1, err)
+		}
+		if maxThreads < 1 {
+			return nil, fmt.Errorf("expert: line %d: max threads must be positive, got %d", ln+1, maxThreads)
+		}
+		wm, err := regress.ParseModel(parts[3])
+		if err != nil {
+			return nil, fmt.Errorf("expert: line %d: thread predictor: %w", ln+1, err)
+		}
+		mm, err := regress.ParseModel(parts[4])
+		if err != nil {
+			return nil, fmt.Errorf("expert: line %d: environment predictor: %w", ln+1, err)
+		}
+		if wm.Dim() != mm.Dim() {
+			return nil, fmt.Errorf("expert: line %d: predictor dimensions differ (%d vs %d)", ln+1, wm.Dim(), mm.Dim())
+		}
+		set = append(set, &Expert{
+			Name:       name,
+			Threads:    wm,
+			Env:        NormEnvModel{Model: mm},
+			MaxThreads: maxThreads,
+			TrainedOn:  strings.TrimSpace(parts[2]),
+		})
+	}
+	if err := set.Validate(); err != nil {
+		return nil, err
+	}
+	return set, nil
+}

@@ -1,0 +1,105 @@
+package expert
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRoundTripCanonical4(t *testing.T) {
+	orig := Canonical4()
+	text := FormatTable(orig)
+	parsed, err := ParseTable(text)
+	if err != nil {
+		t.Fatalf("ParseTable(FormatTable(Canonical4())): %v", err)
+	}
+	if len(parsed) != len(orig) {
+		t.Fatalf("round trip: %d experts, want %d", len(parsed), len(orig))
+	}
+	for i, e := range parsed {
+		o := orig[i]
+		if e.Name != o.Name || e.MaxThreads != o.MaxThreads || e.TrainedOn != o.TrainedOn {
+			t.Errorf("expert %d: metadata %q/%d/%q, want %q/%d/%q",
+				i, e.Name, e.MaxThreads, e.TrainedOn, o.Name, o.MaxThreads, o.TrainedOn)
+		}
+		for j, w := range o.Threads.Coefficients() {
+			if got := e.Threads.Coefficients()[j]; got != w {
+				t.Errorf("expert %s w[%d] = %v, want %v", e.Name, j, got, w)
+			}
+		}
+		oe := o.Env.(NormEnvModel)
+		pe := e.Env.(NormEnvModel)
+		for j, m := range oe.Model.Coefficients() {
+			if got := pe.Model.Coefficients()[j]; got != m {
+				t.Errorf("expert %s m[%d] = %v, want %v", e.Name, j, got, m)
+			}
+		}
+	}
+	// Second render must be byte-identical.
+	if again := FormatTable(parsed); again != text {
+		t.Errorf("re-rendered table differs:\n%s\nvs\n%s", again, text)
+	}
+}
+
+func TestParseTableCommentsAndBlanks(t *testing.T) {
+	text := "# Table 1\n\n" + FormatTable(Canonical4()) + "\n# trailing comment\n"
+	set, err := ParseTable(text)
+	if err != nil {
+		t.Fatalf("ParseTable with comments: %v", err)
+	}
+	if len(set) != 4 {
+		t.Errorf("got %d experts, want 4", len(set))
+	}
+}
+
+func TestParseTableRejects(t *testing.T) {
+	w := "1, -1.5, 0.8, -0.6, 0.9, 0.1, 0.1, -0.1, -0.1, 0.1, -1.2"
+	cases := map[string]string{
+		"too few fields":     "E1|32|x|" + w,
+		"empty name":         " |32|x|" + w + "|" + w,
+		"bad max threads":    "E1|zero|x|" + w + "|" + w,
+		"zero max threads":   "E1|0|x|" + w + "|" + w,
+		"bad w row":          "E1|32|x|1, banana|" + w,
+		"bad m row":          "E1|32|x|" + w + "|1, banana",
+		"dimension mismatch": "E1|32|x|1, 2, 3|" + w,
+		"wrong feature dim":  "E1|32|x|1, 2, 3|4, 5, 6",
+		"duplicate name":     "E1|32|x|" + w + "|" + w + "\nE1|32|x|" + w + "|" + w,
+		"empty table":        "# nothing here\n",
+	}
+	for name, text := range cases {
+		if set, err := ParseTable(text); err == nil {
+			t.Errorf("%s: ParseTable accepted %q → %d experts", name, text, len(set))
+		}
+	}
+}
+
+// FuzzParseTable checks the table parser never panics and that any table
+// it accepts is a valid expert set that re-renders and re-parses stably.
+func FuzzParseTable(f *testing.F) {
+	canon := FormatTable(Canonical4())
+	f.Add(canon)
+	f.Add("# comment only\n")
+	f.Add(strings.Replace(canon, "|32|", "|0|", 1))
+	f.Add(strings.Replace(canon, "E1", "E2", 1))
+	f.Add("E1|32|x|1, 2|3, 4\n")
+	f.Add("a|1|t|" + strings.Repeat("1 ", 10) + "2|" + strings.Repeat("1 ", 10) + "2\n")
+	f.Add("a|1||1 2 3 4 5 6 7 8 9 10 11|1 2 3 4 5 6 7 8 9 10 11")
+
+	f.Fuzz(func(t *testing.T, s string) {
+		set, err := ParseTable(s)
+		if err != nil {
+			return
+		}
+		if err := set.Validate(); err != nil {
+			t.Fatalf("ParseTable(%q) returned invalid set: %v", s, err)
+		}
+		// Accepted tables re-render and re-parse to the same rendering.
+		text := FormatTable(set)
+		again, err := ParseTable(text)
+		if err != nil {
+			t.Fatalf("re-parsing rendered table of %q: %v", s, err)
+		}
+		if FormatTable(again) != text {
+			t.Fatalf("table of %q does not re-render stably", s)
+		}
+	})
+}

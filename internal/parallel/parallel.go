@@ -1,0 +1,138 @@
+// Package parallel provides the bounded worker pool that fans independent
+// scenario evaluations and training runs out across cores. The design goal
+// is determinism under concurrency: the pool never decides *what* work runs
+// or *where* results land — callers enumerate a fixed index space, each job
+// writes only to its own index slot, and reductions iterate slots in index
+// order. Scheduling therefore affects wall-clock time only, never output.
+//
+// The pool is nesting-safe. A ForEach job may itself call ForEach on the
+// same pool (experiment tables fan out over targets, and each target fans
+// out over repeats × policies): when every token is taken the submitting
+// goroutine runs the job inline instead of blocking, so the total number of
+// goroutines doing work stays bounded by the worker budget and saturated
+// nested fan-outs cannot deadlock.
+package parallel
+
+import (
+	"context"
+	"runtime"
+	"sync"
+)
+
+// Workers resolves a worker-count setting to an effective parallelism
+// level: n itself when positive, otherwise runtime.GOMAXPROCS(0). The
+// conventions match the -workers flags of cmd/moebench and cmd/moetrain:
+// 0 means "use every core", 1 means "run serially".
+func Workers(n int) int {
+	if n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Pool is a bounded concurrency budget shared by any number of ForEach
+// calls, nested or concurrent. The zero value and a nil *Pool are valid
+// and run everything serially, as does NewPool(1); this makes "workers=1"
+// follow the exact code path of the pre-parallel serial implementation.
+type Pool struct {
+	// sem holds one token per additional goroutine the pool may spawn
+	// beyond the calling one. nil means serial.
+	sem chan struct{}
+}
+
+// NewPool returns a pool that runs at most workers (resolved through
+// Workers) jobs concurrently, counting the submitting goroutine.
+func NewPool(workers int) *Pool {
+	w := Workers(workers)
+	if w <= 1 {
+		return &Pool{}
+	}
+	return &Pool{sem: make(chan struct{}, w-1)}
+}
+
+// ForEach runs fn(ctx, i) for every i in [0, n), at most the pool's worker
+// budget concurrently, and waits for all of them. Jobs for which no worker
+// token is free run inline on the calling goroutine, preserving the bound
+// under nesting.
+//
+// Cancellation and errors: the context passed to fn is cancelled as soon
+// as any job returns a non-nil error (or the caller's ctx is cancelled);
+// jobs not yet started are skipped. The returned error is deterministic —
+// the non-nil error with the lowest index, regardless of completion order —
+// falling back to the caller's context error if that is what stopped the
+// loop. On a nil return every index ran to completion.
+func (p *Pool) ForEach(ctx context.Context, n int, fn func(ctx context.Context, i int) error) error {
+	if n <= 0 {
+		return ctx.Err()
+	}
+	if p == nil || p.sem == nil || n == 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := fn(ctx, i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	parent := ctx
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		if ctx.Err() != nil {
+			break
+		}
+		select {
+		case p.sem <- struct{}{}:
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				defer func() { <-p.sem }()
+				if ctx.Err() != nil {
+					return
+				}
+				if err := fn(ctx, i); err != nil {
+					errs[i] = err
+					cancel()
+				}
+			}(i)
+		default:
+			if err := fn(ctx, i); err != nil {
+				errs[i] = err
+				cancel()
+			}
+		}
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return parent.Err()
+}
+
+// Map runs fn for every index in [0, n) on the pool and collects the
+// results in index order, so downstream reductions see the same sequence a
+// serial loop would produce. On error the partial results are discarded.
+// (A function rather than a method because Go methods cannot be generic.)
+func Map[T any](ctx context.Context, p *Pool, n int, fn func(ctx context.Context, i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	err := p.ForEach(ctx, n, func(ctx context.Context, i int) error {
+		v, err := fn(ctx, i)
+		if err != nil {
+			return err
+		}
+		out[i] = v
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

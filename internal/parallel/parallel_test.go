@@ -1,0 +1,202 @@
+package parallel
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestWorkersResolution(t *testing.T) {
+	if got := Workers(3); got != 3 {
+		t.Fatalf("Workers(3) = %d", got)
+	}
+	if got := Workers(0); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(0) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Workers(-5); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(-5) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+}
+
+func TestForEachRunsAllIndices(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 16} {
+		p := NewPool(workers)
+		const n = 100
+		seen := make([]int32, n)
+		err := p.ForEach(context.Background(), n, func(_ context.Context, i int) error {
+			atomic.AddInt32(&seen[i], 1)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, c := range seen {
+			if c != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestForEachNilPoolIsSerial(t *testing.T) {
+	var p *Pool
+	order := make([]int, 0, 5)
+	err := p.ForEach(context.Background(), 5, func(_ context.Context, i int) error {
+		order = append(order, i)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("serial pool ran out of order: %v", order)
+		}
+	}
+}
+
+func TestForEachBoundsConcurrency(t *testing.T) {
+	const workers = 3
+	p := NewPool(workers)
+	var cur, peak int32
+	err := p.ForEach(context.Background(), 64, func(_ context.Context, i int) error {
+		c := atomic.AddInt32(&cur, 1)
+		for {
+			old := atomic.LoadInt32(&peak)
+			if c <= old || atomic.CompareAndSwapInt32(&peak, old, c) {
+				break
+			}
+		}
+		time.Sleep(time.Millisecond)
+		atomic.AddInt32(&cur, -1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := atomic.LoadInt32(&peak); got > workers {
+		t.Fatalf("observed %d concurrent jobs, budget is %d", got, workers)
+	}
+}
+
+// TestForEachNestedDoesNotDeadlock mirrors how experiment tables use the
+// pool: an outer fan-out over targets whose jobs each fan out over repeats,
+// with far more jobs than workers at both levels.
+func TestForEachNestedDoesNotDeadlock(t *testing.T) {
+	p := NewPool(2)
+	var total int64
+	err := p.ForEach(context.Background(), 8, func(ctx context.Context, _ int) error {
+		return p.ForEach(ctx, 8, func(_ context.Context, _ int) error {
+			atomic.AddInt64(&total, 1)
+			return nil
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != 64 {
+		t.Fatalf("ran %d inner jobs, want 64", total)
+	}
+}
+
+func TestForEachFirstErrorByIndex(t *testing.T) {
+	p := NewPool(4)
+	want := errors.New("boom-3")
+	err := p.ForEach(context.Background(), 32, func(_ context.Context, i int) error {
+		switch i {
+		case 3:
+			return want
+		case 7:
+			return errors.New("boom-7")
+		}
+		return nil
+	})
+	if !errors.Is(err, want) {
+		t.Fatalf("got %v, want lowest-index error %v", err, want)
+	}
+}
+
+func TestForEachCancelSkipsRemaining(t *testing.T) {
+	p := NewPool(2)
+	var started int64
+	err := p.ForEach(context.Background(), 1000, func(_ context.Context, i int) error {
+		atomic.AddInt64(&started, 1)
+		if i == 0 {
+			return fmt.Errorf("early failure")
+		}
+		time.Sleep(100 * time.Microsecond)
+		return nil
+	})
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if n := atomic.LoadInt64(&started); n == 1000 {
+		t.Fatalf("cancellation did not skip any of the %d jobs", n)
+	}
+}
+
+func TestForEachParentContextCancelled(t *testing.T) {
+	p := NewPool(2)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := p.ForEach(ctx, 10, func(_ context.Context, _ int) error { return nil })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+}
+
+func TestMapOrdersResults(t *testing.T) {
+	p := NewPool(8)
+	out, err := Map(context.Background(), p, 50, func(_ context.Context, i int) (int, error) {
+		time.Sleep(time.Duration(50-i) * 10 * time.Microsecond) // finish roughly in reverse
+		return i * i, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("out[%d] = %d, want %d", i, v, i*i)
+		}
+	}
+}
+
+func TestMapErrorDiscardsResults(t *testing.T) {
+	p := NewPool(4)
+	out, err := Map(context.Background(), p, 10, func(_ context.Context, i int) (int, error) {
+		if i == 5 {
+			return 0, errors.New("bad")
+		}
+		return i, nil
+	})
+	if err == nil || out != nil {
+		t.Fatalf("got (%v, %v), want nil results and an error", out, err)
+	}
+}
+
+// TestPoolSharedAcrossGoroutines drives one pool from many submitters at
+// once — the shape of a race-detector workout for the token accounting.
+func TestPoolSharedAcrossGoroutines(t *testing.T) {
+	p := NewPool(4)
+	var wg sync.WaitGroup
+	var total int64
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_ = p.ForEach(context.Background(), 40, func(_ context.Context, _ int) error {
+				atomic.AddInt64(&total, 1)
+				return nil
+			})
+		}()
+	}
+	wg.Wait()
+	if total != 8*40 {
+		t.Fatalf("ran %d jobs, want %d", total, 8*40)
+	}
+}

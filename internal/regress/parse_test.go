@@ -1,0 +1,144 @@
+package regress
+
+import (
+	"math"
+	"testing"
+)
+
+// table1E1W is the E1 thread-predictor row from the paper's Table 1 —
+// ten weights plus the regression constant β.
+const table1E1W = "1.05, -1.52, 0.87, -0.62, 0.98, 0.003, 0.002, -0.013, -0.07, 0.004, -1.21"
+
+func TestParseCoefficientsTable1(t *testing.T) {
+	got, err := ParseCoefficients(table1E1W)
+	if err != nil {
+		t.Fatalf("ParseCoefficients(%q): %v", table1E1W, err)
+	}
+	want := []float64{1.05, -1.52, 0.87, -0.62, 0.98, 0.003, 0.002, -0.013, -0.07, 0.004, -1.21}
+	if len(got) != len(want) {
+		t.Fatalf("got %d coefficients, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("coefficient %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestParseCoefficientsSeparators(t *testing.T) {
+	for _, s := range []string{"1, 2, 3", "1 2 3", "1;2;3", "1,\t2 ;3", " 1 , 2 , 3 "} {
+		got, err := ParseCoefficients(s)
+		if err != nil {
+			t.Fatalf("ParseCoefficients(%q): %v", s, err)
+		}
+		if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+			t.Errorf("ParseCoefficients(%q) = %v, want [1 2 3]", s, got)
+		}
+	}
+}
+
+func TestParseCoefficientsRejects(t *testing.T) {
+	for _, s := range []string{"", "   ", ",,;", "1, banana", "1, NaN", "1, Inf", "1, -Inf", "1..2"} {
+		if got, err := ParseCoefficients(s); err == nil {
+			t.Errorf("ParseCoefficients(%q) = %v, want error", s, got)
+		}
+	}
+}
+
+func TestFormatParseRoundTrip(t *testing.T) {
+	in := []float64{1.05, -1.52, 0.003, 1e-300, -6.8, 0, math.MaxFloat64}
+	out, err := ParseCoefficients(FormatCoefficients(in))
+	if err != nil {
+		t.Fatalf("round trip: %v", err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("round trip: got %d values, want %d", len(out), len(in))
+	}
+	for i := range in {
+		if out[i] != in[i] {
+			t.Errorf("round trip [%d]: got %v, want %v", i, out[i], in[i])
+		}
+	}
+}
+
+func TestParseModelTable1(t *testing.T) {
+	m, err := ParseModel(table1E1W)
+	if err != nil {
+		t.Fatalf("ParseModel: %v", err)
+	}
+	if m.Dim() != 10 {
+		t.Errorf("Dim() = %d, want 10", m.Dim())
+	}
+	if m.Bias != -1.21 {
+		t.Errorf("Bias = %v, want -1.21", m.Bias)
+	}
+	if got := FormatCoefficients(m.Coefficients()); got != table1E1W {
+		t.Errorf("Coefficients() renders %q, want %q", got, table1E1W)
+	}
+}
+
+func TestParseModelRejectsSingleValue(t *testing.T) {
+	if m, err := ParseModel("3.14"); err == nil {
+		t.Errorf("ParseModel(\"3.14\") = %v, want error (needs at least one weight plus bias)", m)
+	}
+}
+
+// FuzzParseCoefficients checks the parser never panics, never accepts
+// non-finite values, and that everything it accepts survives a
+// format→parse round trip exactly.
+func FuzzParseCoefficients(f *testing.F) {
+	// The four thread-predictor (w) and environment-predictor (m) rows of
+	// the paper's Table 1.
+	f.Add(table1E1W)
+	f.Add("-0.47, 0.35, 1.15, 0.39, 0.46, 0.29, 0.17, 0.64, 0.01, 0.002, 0.25")
+	f.Add("-0.84, 1.12, 0.84, 0.05, 0.98, 0.02, 0.03, 0.227, 0.002, -0.08, -6.8")
+	f.Add("1.02, -0.78, 0.05, 0.44, 0.002, 0.23, 0.09, 0.6, 0.05, -0.04, 0.28")
+	f.Add("0.14, 0.95, -0.87, -0.48, 0.99, -0.15, 0.473, -1.07, 0.007, 0.01, -3.03")
+	f.Add("1.1, 1.10, 0.54, 0.44, 0.142, 0.25, 0.07, 0.15, 0.06, 0.14, 0.33")
+	f.Add("0.05, 0.03, -0.57, 0.004, 0.92, 0.22, 0.01, -0.62, 0.03, -0.14, -2.5")
+	f.Add("0.74, 1.03, 1.12, 0.39, 0.74, 0.28, 0.09, 0.59, 0.12, 0.00, -0.0")
+	f.Add("")
+	f.Add("NaN Inf -Inf")
+	f.Add("1;2;;3,,4 \t 5")
+	f.Add("1e308 -1e308 1e-308")
+
+	f.Fuzz(func(t *testing.T, s string) {
+		coeffs, err := ParseCoefficients(s)
+		if err != nil {
+			return
+		}
+		if len(coeffs) == 0 {
+			t.Fatalf("ParseCoefficients(%q) succeeded with zero values", s)
+		}
+		for i, c := range coeffs {
+			if math.IsNaN(c) || math.IsInf(c, 0) {
+				t.Fatalf("ParseCoefficients(%q) accepted non-finite value %v at %d", s, c, i)
+			}
+		}
+		// Round trip must be exact (including negative zero).
+		again, err := ParseCoefficients(FormatCoefficients(coeffs))
+		if err != nil {
+			t.Fatalf("re-parsing formatted %q: %v", s, err)
+		}
+		if len(again) != len(coeffs) {
+			t.Fatalf("round trip of %q changed length %d → %d", s, len(coeffs), len(again))
+		}
+		for i := range coeffs {
+			if again[i] != coeffs[i] {
+				t.Fatalf("round trip of %q changed value %d: %v → %v", s, i, coeffs[i], again[i])
+			}
+		}
+		// Two or more values must always assemble into a model.
+		if len(coeffs) >= 2 {
+			m, err := ParseModel(s)
+			if err != nil {
+				t.Fatalf("ParseModel(%q) failed after ParseCoefficients succeeded: %v", s, err)
+			}
+			if m.Dim() != len(coeffs)-1 {
+				t.Fatalf("ParseModel(%q).Dim() = %d, want %d", s, m.Dim(), len(coeffs)-1)
+			}
+		} else if _, err := ParseModel(s); err == nil {
+			t.Fatalf("ParseModel(%q) accepted a single value", s)
+		}
+	})
+}

@@ -4,7 +4,57 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"strconv"
+	"strings"
+	"unicode"
 )
+
+// ParseCoefficients parses a textual coefficient row — the layout of the
+// paper's Table 1 — into values. Numbers are separated by commas,
+// semicolons and/or whitespace; the final value is the bias term. It
+// rejects empty input, malformed numbers and non-finite values, so a model
+// assembled from parsed coefficients can never predict NaN from finite
+// features.
+func ParseCoefficients(s string) ([]float64, error) {
+	fields := strings.FieldsFunc(s, func(r rune) bool {
+		return r == ',' || r == ';' || unicode.IsSpace(r)
+	})
+	if len(fields) == 0 {
+		return nil, fmt.Errorf("regress: no coefficients in %q", s)
+	}
+	out := make([]float64, len(fields))
+	for i, f := range fields {
+		v, err := strconv.ParseFloat(f, 64)
+		if err != nil {
+			return nil, fmt.Errorf("regress: coefficient %d (%q): %w", i, f, err)
+		}
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, fmt.Errorf("regress: coefficient %d (%q) is not finite", i, f)
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// FormatCoefficients renders coefficients in the format ParseCoefficients
+// reads back exactly (shortest round-trippable decimal form).
+func FormatCoefficients(coeffs []float64) string {
+	parts := make([]string, len(coeffs))
+	for i, c := range coeffs {
+		parts[i] = strconv.FormatFloat(c, 'g', -1, 64)
+	}
+	return strings.Join(parts, ", ")
+}
+
+// ParseModel parses a coefficient row and assembles the linear model
+// (weights followed by the bias).
+func ParseModel(s string) (*Model, error) {
+	coeffs, err := ParseCoefficients(s)
+	if err != nil {
+		return nil, err
+	}
+	return FromCoefficients(coeffs)
+}
 
 // Metrics summarizes prediction quality over a validation set.
 type Metrics struct {

@@ -9,15 +9,36 @@ import (
 	"moe/internal/features"
 )
 
-// TrainGating fits the offline prior for the expert selector: a multiclass
-// perceptron over standardized features whose label for each training
-// sample is the expert whose thread predictor would have served that state
-// best. The returned selector starts from this partition and keeps adapting
-// online from environment-prediction errors, realizing the paper's
-// combination of offline prior models and online learning (§1).
+// GatingPrior is the frozen result of offline gating training: the averaged
+// perceptron hyperplanes plus the feature standardization used to fit them.
+// It is immutable once fitted and therefore safe to share across goroutines
+// and across policy instances — each call to NewSelector stamps the prior
+// into a fresh, independently-adapting HyperplaneSelector. Fitting the
+// prior is the expensive part of mixture construction (epochs × samples of
+// perceptron passes), so Lab caches one per (target, pool size) instead of
+// refitting for every scenario run.
+type GatingPrior struct {
+	// K is the expert-pool size the prior was trained for.
+	K int
+	// Theta holds K averaged hyperplanes of features.Dim+1 weights each;
+	// nil when K == 1 (a single expert needs no routing).
+	Theta [][]float64
+	// Mean and Std standardize features before applying Theta.
+	Mean, Std [features.Dim]float64
+	// Weight is the confidence mass of the offline prior relative to
+	// online updates (the training-sample count).
+	Weight float64
+}
+
+// FitGatingPrior fits the offline prior for the expert selector: a
+// multiclass perceptron over standardized features whose label for each
+// training sample is the expert whose thread predictor would have served
+// that state best. Selectors built from the prior start from this partition
+// and keep adapting online from environment-prediction errors, realizing
+// the paper's combination of offline prior models and online learning (§1).
 //
 // epochs ≤ 0 selects the default (8 passes).
-func TrainGating(ds *DataSet, set expert.Set, epochs int) (*core.HyperplaneSelector, error) {
+func FitGatingPrior(ds *DataSet, set expert.Set, epochs int) (*GatingPrior, error) {
 	if len(ds.Samples) == 0 {
 		return nil, fmt.Errorf("training: gating needs training samples")
 	}
@@ -28,9 +49,8 @@ func TrainGating(ds *DataSet, set expert.Set, epochs int) (*core.HyperplaneSelec
 		epochs = 8
 	}
 	k := len(set)
-	sel := core.NewHyperplaneSelector(k, 0)
 	if k == 1 {
-		return sel, nil
+		return &GatingPrior{K: 1}, nil
 	}
 
 	// Standardization statistics over the training features.
@@ -142,10 +162,33 @@ func TrainGating(ds *DataSet, set expert.Set, epochs int) (*core.HyperplaneSelec
 		}
 	}
 
-	if err := sel.Pretrain(sum, mean, std, n); err != nil {
+	return &GatingPrior{K: k, Theta: sum, Mean: mean, Std: std, Weight: n}, nil
+}
+
+// NewSelector builds a fresh selector seeded from the prior. The selector
+// owns all mutable adaptation state, so any number of concurrent policy
+// instances may be stamped from one shared prior.
+func (g *GatingPrior) NewSelector() (*core.HyperplaneSelector, error) {
+	sel := core.NewHyperplaneSelector(g.K, 0)
+	if g.K == 1 {
+		return sel, nil
+	}
+	if err := sel.Pretrain(g.Theta, g.Mean, g.Std, g.Weight); err != nil {
 		return nil, err
 	}
 	return sel, nil
+}
+
+// TrainGating fits a gating prior and returns a ready selector — the
+// one-shot convenience path. Callers that build many policy instances over
+// the same data should fit the prior once and call NewSelector per
+// instance.
+func TrainGating(ds *DataSet, set expert.Set, epochs int) (*core.HyperplaneSelector, error) {
+	prior, err := FitGatingPrior(ds, set, epochs)
+	if err != nil {
+		return nil, err
+	}
+	return prior.NewSelector()
 }
 
 // NewMixturePolicy builds a ready-to-run mixture over the expert set with
@@ -153,7 +196,19 @@ func TrainGating(ds *DataSet, set expert.Set, epochs int) (*core.HyperplaneSelec
 // evaluates. Each call returns a fresh policy instance (mixtures are
 // stateful and must not be shared between runs).
 func NewMixturePolicy(ds *DataSet, set expert.Set) (*core.Mixture, error) {
-	sel, err := TrainGating(ds, set, 0)
+	prior, err := FitGatingPrior(ds, set, 0)
+	if err != nil {
+		return nil, err
+	}
+	return NewMixtureFromPrior(prior, set)
+}
+
+// NewMixtureFromPrior builds a fresh mixture policy instance from an
+// already-fitted gating prior, skipping the perceptron refit. This is what
+// makes per-run policy construction cheap enough to do inside parallel
+// scenario fan-outs.
+func NewMixtureFromPrior(prior *GatingPrior, set expert.Set) (*core.Mixture, error) {
+	sel, err := prior.NewSelector()
 	if err != nil {
 		return nil, err
 	}

@@ -18,12 +18,14 @@
 package training
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
 
 	"moe/internal/expert"
 	"moe/internal/features"
+	"moe/internal/parallel"
 	"moe/internal/regress"
 	"moe/internal/sim"
 	"moe/internal/stats"
@@ -82,6 +84,11 @@ type Config struct {
 	MaxCoRunners int
 	// Seed drives all randomness (thread exploration, hardware churn).
 	Seed uint64
+	// Workers bounds how many training scenarios simulate concurrently:
+	// 0 uses GOMAXPROCS, 1 runs serially. Every run's RNGs are split off
+	// the root seed serially before the fan-out, so the generated dataset
+	// is byte-identical for every worker count.
+	Workers int
 }
 
 func (c Config) withDefaults() (Config, error) {
@@ -225,34 +232,54 @@ func (e *epsOracle) DecideWithOracle(d sim.Decision, oracleN int) int {
 	return oracleN
 }
 
+// trainingRun is one pre-planned training scenario: a (target, workload
+// round) pair together with every RNG it will consume. The RNGs are split
+// off the root generator serially, in the exact order the serial
+// implementation drew them, so executing runs concurrently afterwards
+// cannot change any stream — the dataset is byte-identical for every
+// worker count.
+type trainingRun struct {
+	ti, w     int
+	hwRNG     *trace.RNG   // hardware churn trace
+	targetRNG *trace.RNG   // the target's epsilon-oracle exploration
+	wlRNGs    []*trace.RNG // one per co-running workload instance
+}
+
 // Generate produces a labelled dataset by running exploration scenarios on
-// every configured platform.
+// every configured platform. Independent scenarios execute on up to
+// cfg.Workers goroutines; samples are concatenated in run order.
 func Generate(cfg Config) (*DataSet, error) {
 	cfg, err := cfg.withDefaults()
 	if err != nil {
 		return nil, err
 	}
 	rng := trace.NewRNG(cfg.Seed)
+	pool := parallel.NewPool(cfg.Workers)
+	ctx := context.Background()
 	ds := &DataSet{}
 
 	for _, machine := range cfg.Platforms {
+		machine := machine
 		// Pre-classify scalability per platform (also reused as the
 		// sample annotation). The paper's P/4 rule (§5.1) applies
 		// first; if it throws every program into one class on a
 		// platform — which would leave an expert with no training data
 		// — the split falls back to the median speedup, in the spirit
 		// of the paper's explicitly "arbitrary approach" to allocating
-		// training data across experts.
+		// training data across experts. Classification runs are
+		// deterministic (no RNG), so they fan out freely.
+		classes, err := parallel.Map(ctx, pool, len(cfg.Programs), func(_ context.Context, i int) (Scalability, error) {
+			return ClassifyScalability(cfg.Programs[i], machine)
+		})
+		if err != nil {
+			return nil, err
+		}
 		speedups := make(map[string]float64, len(cfg.Programs))
 		scalable := make(map[string]bool, len(cfg.Programs))
 		anyScalable, anyNot := false, false
-		for _, p := range cfg.Programs {
-			sc, err := ClassifyScalability(p, machine)
-			if err != nil {
-				return nil, err
-			}
-			speedups[p.Name] = sc.Speedup
-			scalable[p.Name] = sc.Scalable
+		for _, sc := range classes {
+			speedups[sc.Program] = sc.Speedup
+			scalable[sc.Program] = sc.Scalable
 			if sc.Scalable {
 				anyScalable = true
 			} else {
@@ -273,95 +300,123 @@ func Generate(cfg Config) (*DataSet, error) {
 			}
 		}
 
-		for ti, target := range cfg.Programs {
+		// Plan every run and split its RNGs serially: per run the serial
+		// order is hardware, then the target's oracle policy, then one
+		// split per co-runner (the explorer split happens even for
+		// instances that end up under the default policy, mirroring the
+		// original draw order exactly).
+		var runs []trainingRun
+		for ti := range cfg.Programs {
 			for w := 0; w < cfg.WorkloadsPerTarget; w++ {
-				hw, err := trace.GenerateHardware(rng.Split(), machine.Cores, trace.LowFrequency, cfg.Duration)
-				if err != nil {
-					return nil, err
-				}
-				m := machine
-				m.Hardware = hw
-
-				// One target plus a small number of workload
-				// instances per training run, cycling 1..MaxCoRunners
-				// across runs. Each workload alternates between the
-				// OpenMP default policy (the deployment regime) and
-				// thread exploration reaching past the core count
-				// ("varying the number of threads for both
-				// programs", §5.2.1), so the models see
-				// oversubscription — but the extreme multi-program
-				// loads of the large evaluation workloads remain
-				// genuinely unseen environments (§7.2).
-				specs := []sim.ProgramSpec{
-					{Program: target.Clone(), Policy: &epsOracle{rng: rng.Split(), eps: 0.25}, Target: true},
-				}
-				// Cycle 1..MaxCoRunners co-runners, with the final run
-				// per target isolated so the clean scaling behaviour
-				// (§7.1's static case) is also seen.
+				r := trainingRun{ti: ti, w: w, hwRNG: rng.Split(), targetRNG: rng.Split()}
+				// Cycle 1..MaxCoRunners co-runners, with the final
+				// run per target isolated so the clean scaling
+				// behaviour (§7.1's static case) is also seen.
 				instances := 1 + w%cfg.MaxCoRunners
 				if w == cfg.WorkloadsPerTarget-1 {
 					instances = 0
 				}
 				for j := 0; j < instances; j++ {
-					// Deterministic distinct workload choice.
-					wi := (ti + 1 + w*3 + j*5) % len(cfg.Programs)
-					if wi == ti {
-						wi = (wi + 1) % len(cfg.Programs)
-					}
-					var wlPolicy sim.Policy = &explorer{rng: rng.Split(), over: 2, redraw: 0.1}
-					if (w+j)%2 == 0 {
-						wlPolicy = sim.Func{PolicyName: "default", DecideFn: func(d sim.Decision) int {
-							return d.AvailableProcs
-						}}
-					}
-					specs = append(specs, sim.ProgramSpec{
-						Program: cfg.Programs[wi].Clone(),
-						Policy:  wlPolicy,
-						Loop:    true,
-					})
+					r.wlRNGs = append(r.wlRNGs, rng.Split())
 				}
-
-				res, err := sim.Run(sim.Scenario{
-					Machine:       m,
-					Programs:      specs,
-					MaxTime:       cfg.Duration,
-					RecordSamples: true,
-					RecordOracle:  true,
-				})
-				if err != nil {
-					return nil, err
-				}
-				tr, err := res.Target()
-				if err != nil {
-					return nil, err
-				}
-				for i := 0; i+1 < len(tr.Samples); i++ {
-					s := tr.Samples[i]
-					var speedups []float64
-					if len(s.RateCurve) > 0 && s.RateCurve[0] > 0 {
-						speedups = make([]float64, len(s.RateCurve))
-						for j, r := range s.RateCurve {
-							speedups[j] = r / s.RateCurve[0]
-						}
-					}
-					ds.Samples = append(ds.Samples, LabeledSample{
-						Features:      s.Features,
-						BestThreads:   float64(s.OracleN),
-						Speedups:      speedups,
-						NextEnv:       tr.Samples[i+1].Features.EnvPart(),
-						Program:       target.Name,
-						PlatformCores: machine.Cores,
-						Scalable:      scalable[target.Name],
-						MemIntensity:  target.AvgMemIntensity(),
-					})
-				}
+				runs = append(runs, r)
 			}
+		}
+		perRun, err := parallel.Map(ctx, pool, len(runs), func(_ context.Context, i int) ([]LabeledSample, error) {
+			return generateRun(cfg, machine, scalable, runs[i])
+		})
+		if err != nil {
+			return nil, err
+		}
+		for _, samples := range perRun {
+			ds.Samples = append(ds.Samples, samples...)
 		}
 	}
 	if len(ds.Samples) == 0 {
 		return nil, fmt.Errorf("training: generated no samples")
 	}
 	return ds, nil
+}
+
+// generateRun executes one planned training scenario and labels its
+// samples. It touches only its own run's state (cloned programs, private
+// RNGs, a value copy of the machine config) plus the read-only scalable
+// map, so any number of runs may execute concurrently.
+func generateRun(cfg Config, machine sim.MachineConfig, scalable map[string]bool, run trainingRun) ([]LabeledSample, error) {
+	target := cfg.Programs[run.ti]
+	hw, err := trace.GenerateHardware(run.hwRNG, machine.Cores, trace.LowFrequency, cfg.Duration)
+	if err != nil {
+		return nil, err
+	}
+	m := machine
+	m.Hardware = hw
+
+	// One target plus a small number of workload instances per training
+	// run, cycling 1..MaxCoRunners across runs. Each workload alternates
+	// between the OpenMP default policy (the deployment regime) and
+	// thread exploration reaching past the core count ("varying the
+	// number of threads for both programs", §5.2.1), so the models see
+	// oversubscription — but the extreme multi-program loads of the
+	// large evaluation workloads remain genuinely unseen environments
+	// (§7.2).
+	specs := []sim.ProgramSpec{
+		{Program: target.Clone(), Policy: &epsOracle{rng: run.targetRNG, eps: 0.25}, Target: true},
+	}
+	for j, wrng := range run.wlRNGs {
+		// Deterministic distinct workload choice.
+		wi := (run.ti + 1 + run.w*3 + j*5) % len(cfg.Programs)
+		if wi == run.ti {
+			wi = (wi + 1) % len(cfg.Programs)
+		}
+		var wlPolicy sim.Policy = &explorer{rng: wrng, over: 2, redraw: 0.1}
+		if (run.w+j)%2 == 0 {
+			wlPolicy = sim.Func{PolicyName: "default", DecideFn: func(d sim.Decision) int {
+				return d.AvailableProcs
+			}}
+		}
+		specs = append(specs, sim.ProgramSpec{
+			Program: cfg.Programs[wi].Clone(),
+			Policy:  wlPolicy,
+			Loop:    true,
+		})
+	}
+
+	res, err := sim.Run(sim.Scenario{
+		Machine:       m,
+		Programs:      specs,
+		MaxTime:       cfg.Duration,
+		RecordSamples: true,
+		RecordOracle:  true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	tr, err := res.Target()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]LabeledSample, 0, len(tr.Samples))
+	for i := 0; i+1 < len(tr.Samples); i++ {
+		s := tr.Samples[i]
+		var speedups []float64
+		if len(s.RateCurve) > 0 && s.RateCurve[0] > 0 {
+			speedups = make([]float64, len(s.RateCurve))
+			for j, r := range s.RateCurve {
+				speedups[j] = r / s.RateCurve[0]
+			}
+		}
+		out = append(out, LabeledSample{
+			Features:      s.Features,
+			BestThreads:   float64(s.OracleN),
+			Speedups:      speedups,
+			NextEnv:       tr.Samples[i+1].Features.EnvPart(),
+			Program:       target.Name,
+			PlatformCores: machine.Cores,
+			Scalable:      scalable[target.Name],
+			MemIntensity:  target.AvgMemIntensity(),
+		})
+	}
+	return out, nil
 }
 
 // ExcludeProgram returns the dataset without samples generated from the

@@ -15,8 +15,17 @@ import (
 // use. Any Policy can drive it — the mixture, a single expert, or one of
 // the baselines — making runtimes directly comparable.
 //
-// Runtime is safe for concurrent use; decisions serialize on an internal
-// lock because every policy in this repository is stateful.
+// Concurrency guarantees: a Runtime is safe for concurrent use from any
+// number of goroutines. Decide, Decisions, ThreadHistogram,
+// MixtureStatsSnapshot and PolicyName all serialize on one internal lock —
+// decisions must serialize anyway because every policy in this repository
+// is stateful (the mixture scores its previous prediction against the
+// environment the next call observes). Accessors return snapshots that are
+// the caller's to keep: ThreadHistogram builds a fresh map per call and
+// MixtureStatsSnapshot fresh slices and maps, so mutating a returned value
+// can never corrupt — or be corrupted by — a concurrent Decide. The wrapped
+// policy itself must not be shared with another Runtime or called directly
+// while a Runtime owns it.
 type Runtime struct {
 	mu         sync.Mutex
 	policy     Policy
@@ -88,7 +97,11 @@ func (r *Runtime) Decide(obs Observation) int {
 }
 
 // PolicyName reports the wrapped policy's name.
-func (r *Runtime) PolicyName() string { return r.policy.Name() }
+func (r *Runtime) PolicyName() string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.policy.Name()
+}
 
 // Decisions returns how many decisions have been made.
 func (r *Runtime) Decisions() int {
@@ -97,7 +110,10 @@ func (r *Runtime) Decisions() int {
 	return r.decisions
 }
 
-// ThreadHistogram returns the distribution of chosen thread counts.
+// ThreadHistogram returns the distribution of chosen thread counts. The
+// returned map is a freshly built copy, independent of the runtime's
+// internal histogram — callers may mutate or retain it across further
+// Decide calls.
 func (r *Runtime) ThreadHistogram() map[int]float64 {
 	r.mu.Lock()
 	defer r.mu.Unlock()

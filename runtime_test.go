@@ -49,6 +49,108 @@ func TestRuntimeConcurrentDecide(t *testing.T) {
 	}
 }
 
+// TestRuntimeConcurrentAccessors runs deciders and every read accessor
+// concurrently; under `go test -race` this proves the documented guarantee
+// that a Runtime is safe for unrestricted concurrent use.
+func TestRuntimeConcurrentAccessors(t *testing.T) {
+	m, err := moe.NewMixture(moe.CanonicalExperts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := moe.NewRuntime(m, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := moe.CombineFeatures(
+		moe.CodeFeatures{LoadStore: 0.05, Instructions: 0.1, Branches: 0.01},
+		moe.EnvFeatures{Processors: 32, WorkloadThreads: 4, RunQueue: 1, Load1: 20, Load5: 18, CachedMem: 8, PageFreeRate: 0.2},
+	)
+	const deciders, readers, perG = 4, 4, 100
+	var wg sync.WaitGroup
+	for g := 0; g < deciders; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				rt.Decide(moe.Observation{Time: float64(g*perG + i), Features: f})
+			}
+		}(g)
+	}
+	for g := 0; g < readers; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				// Each accessor returns a snapshot the reader owns;
+				// mutating it mid-flight must be harmless.
+				h := rt.ThreadHistogram()
+				for k := range h {
+					h[k] = -1
+				}
+				if st, ok := rt.MixtureStatsSnapshot(); ok {
+					if len(st.SelectionFraction) > 0 {
+						st.SelectionFraction[0] = 99
+					}
+					st.ThreadHistogram[1] = -5
+				}
+				_ = rt.Decisions()
+				_ = rt.PolicyName()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := rt.Decisions(); got != deciders*perG {
+		t.Errorf("decisions = %d, want %d", got, deciders*perG)
+	}
+}
+
+func TestRuntimeSnapshotIsolation(t *testing.T) {
+	m, err := moe.NewMixture(moe.CanonicalExperts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := moe.NewRuntime(m, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := moe.CombineFeatures(
+		moe.CodeFeatures{LoadStore: 0.05, Instructions: 0.1, Branches: 0.01},
+		moe.EnvFeatures{Processors: 16, WorkloadThreads: 8, RunQueue: 2, Load1: 18, Load5: 16, CachedMem: 4, PageFreeRate: 0.1},
+	)
+	for i := 0; i < 20; i++ {
+		rt.Decide(moe.Observation{Time: float64(i), Features: f})
+	}
+	// Corrupting a returned histogram must not leak into the runtime.
+	h := rt.ThreadHistogram()
+	for k := range h {
+		h[k] = -1
+	}
+	sum := 0.0
+	for _, frac := range rt.ThreadHistogram() {
+		sum += frac
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Errorf("histogram corrupted through a returned copy: fractions sum to %v", sum)
+	}
+	// Same for the mixture stats snapshot.
+	st, ok := rt.MixtureStatsSnapshot()
+	if !ok {
+		t.Fatal("mixture snapshot unavailable")
+	}
+	st.SelectionFraction[0] = 99
+	st.ThreadHistogram[1] = -5
+	st2, _ := rt.MixtureStatsSnapshot()
+	if st2.SelectionFraction[0] == 99 {
+		t.Error("selection fractions shared with caller snapshot")
+	}
+	if st2.ThreadHistogram[1] == -5 {
+		t.Error("thread histogram shared with caller snapshot")
+	}
+	if st2.Decisions != 20 {
+		t.Errorf("snapshot decisions = %d, want 20", st2.Decisions)
+	}
+}
+
 func TestRuntimeClockMonotone(t *testing.T) {
 	rt, err := moe.NewRuntime(moe.NewOnlinePolicy(), 8)
 	if err != nil {

@@ -6,6 +6,7 @@
 //	moebench -experiment fig8            # one experiment
 //	moebench -all                        # everything
 //	moebench -all -full                  # full scale (all programs, 3 repeats)
+//	moebench -chaos                      # fault-injection robustness study
 //	moebench -list                       # show available experiment ids
 //
 // Training runs once per invocation (deterministic, ~1–3 minutes at default
@@ -105,6 +106,9 @@ var registry = map[string]runner{
 	"churn": func(l *experiments.Lab, sc experiments.Scale) (*experiments.Table, error) {
 		return l.Churn(sc)
 	},
+	"chaos": func(l *experiments.Lab, sc experiments.Scale) (*experiments.Table, error) {
+		return l.ChaosStudy(sc)
+	},
 }
 
 // order fixes the -all presentation sequence.
@@ -113,6 +117,7 @@ var order = []string{
 	"fig10", "fig11", "fig12", "fig13a", "fig13b", "fig14a", "fig14b",
 	"fig14c", "fig15a", "fig15b", "fig15c", "fig16", "fig17", "cv",
 	"ablation-gating", "ablation-features", "portability", "churn",
+	"chaos",
 }
 
 func main() {
@@ -123,7 +128,12 @@ func main() {
 	seed := flag.Uint64("seed", 42, "training/evaluation seed")
 	chart := flag.Bool("chart", false, "render tables as bar charts")
 	workers := flag.Int("workers", 0, "concurrent scenario evaluations (0 = GOMAXPROCS, 1 = serial); output is identical for every setting")
+	chaosFlag := flag.Bool("chaos", false, "shorthand for -experiment chaos (fault-injection robustness study)")
 	flag.Parse()
+
+	if *chaosFlag && !*all {
+		*experiment = "chaos"
+	}
 
 	if *list {
 		ids := make([]string, 0, len(registry))

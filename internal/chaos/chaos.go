@@ -1,0 +1,163 @@
+// Package chaos is a deterministic, seedable fault injector for the
+// observation path. The simulator's engine hands every policy a
+// sim.Decision describing what the sensors report — features, progress
+// rate, clock, processor availability. In a real deployment each of those
+// signals can fail independently of the program under control: /proc
+// readers return garbage after an OS update, a monitoring daemon stalls and
+// replays stale samples, clocks step backwards under NTP, processors
+// hotplug in storms. This package reproduces those failures between the
+// engine and the policy: an Injector wraps any sim.Policy and perturbs a
+// copy of each Decision according to a set of scheduled faults before the
+// wrapped policy sees it.
+//
+// Everything is deterministic given the injector seed: each scheduled
+// fault draws from its own SplitMix64 stream (derived from the seed and the
+// fault's position), and a fault's stream only advances while its schedule
+// is active — which is itself a pure function of the decision clock. Two
+// runs with the same seed, faults and decision sequence perturb
+// identically, so chaos scenarios replay exactly (the property every
+// experiment in this repository is built on) and can be pinned by golden
+// traces.
+//
+// The injector perturbs only what policies observe. The engine's ground
+// truth — the machine's real availability, the workload, the rate model —
+// is untouched, so a policy's score under chaos measures exactly how much
+// performance it loses to a lying sensor layer, not a different machine.
+package chaos
+
+import (
+	"fmt"
+	"strings"
+
+	"moe/internal/sim"
+	"moe/internal/trace"
+)
+
+// Schedule gates when a fault is active, as a function of the decision
+// clock. The zero value is always active.
+type Schedule struct {
+	// Start is when the fault first becomes active (seconds).
+	Start float64
+	// Duration is how long each active window lasts; <= 0 means the fault
+	// stays active indefinitely once started.
+	Duration float64
+	// Period repeats the active window every Period seconds after Start;
+	// <= 0 means a single window. A periodic schedule with Duration >=
+	// Period is permanently active after Start.
+	Period float64
+}
+
+// ActiveAt reports whether the schedule is active at time t.
+func (s Schedule) ActiveAt(t float64) bool {
+	if t < s.Start {
+		return false
+	}
+	if s.Duration <= 0 {
+		return true
+	}
+	elapsed := t - s.Start
+	if s.Period > 0 {
+		for elapsed >= s.Period {
+			elapsed -= s.Period
+		}
+	}
+	return elapsed < s.Duration
+}
+
+// Always returns a schedule that is active from time zero on.
+func Always() Schedule { return Schedule{} }
+
+// Window returns a single active window [start, start+duration).
+func Window(start, duration float64) Schedule {
+	return Schedule{Start: start, Duration: duration}
+}
+
+// Pulse returns a periodic schedule: active for duration at the start of
+// every period, beginning at start.
+func Pulse(start, duration, period float64) Schedule {
+	return Schedule{Start: start, Duration: duration, Period: period}
+}
+
+// Fault is one kind of sensor failure. Apply perturbs the decision in
+// place, drawing any randomness it needs from rng — never from any other
+// source, so injection stays replayable. Faults may keep internal state
+// (e.g. the stale-sample fault remembers what it froze), which ties one
+// Fault value to one injector; build fresh faults per run.
+type Fault interface {
+	// Name identifies the fault kind in reports and golden traces.
+	Name() string
+	// Apply perturbs the observation the wrapped policy is about to see.
+	Apply(d *sim.Decision, rng *trace.RNG)
+}
+
+// ScheduledFault pairs a fault with its activation schedule.
+type ScheduledFault struct {
+	Fault    Fault
+	Schedule Schedule
+}
+
+// Injector wraps a policy and perturbs every Decision it forwards. It
+// implements sim.Policy; Name delegates to the wrapped policy so result
+// tables line up whether or not a policy ran under chaos.
+type Injector struct {
+	inner   sim.Policy
+	faults  []ScheduledFault
+	rngs    []*trace.RNG
+	applied []int
+}
+
+// NewInjector builds an injector over inner. Each fault receives an
+// independent random stream derived from seed and its position, so adding
+// or reordering faults never silently re-randomizes the others' draws
+// beyond their position change, and a single fault's perturbations are
+// identical whether it runs alone or composed.
+func NewInjector(inner sim.Policy, seed uint64, faults ...ScheduledFault) (*Injector, error) {
+	if inner == nil {
+		return nil, fmt.Errorf("chaos: nil inner policy")
+	}
+	for i, sf := range faults {
+		if sf.Fault == nil {
+			return nil, fmt.Errorf("chaos: nil fault at position %d", i)
+		}
+	}
+	inj := &Injector{
+		inner:   inner,
+		faults:  append([]ScheduledFault(nil), faults...),
+		rngs:    make([]*trace.RNG, len(faults)),
+		applied: make([]int, len(faults)),
+	}
+	for i := range faults {
+		inj.rngs[i] = trace.NewRNG(seed + 0x9e3779b97f4a7c15*uint64(i+1))
+	}
+	return inj, nil
+}
+
+// Name implements sim.Policy, reporting the wrapped policy's name.
+func (inj *Injector) Name() string { return inj.inner.Name() }
+
+// Decide implements sim.Policy: apply every active fault to a copy of the
+// decision, then forward it. The engine's Decision is passed by value so
+// the perturbation can never leak back into the simulation's ground truth.
+func (inj *Injector) Decide(d sim.Decision) int {
+	for i, sf := range inj.faults {
+		if sf.Schedule.ActiveAt(d.Time) {
+			sf.Fault.Apply(&d, inj.rngs[i])
+			inj.applied[i]++
+		}
+	}
+	return inj.inner.Decide(d)
+}
+
+// Applied returns, per fault, how many decisions it perturbed.
+func (inj *Injector) Applied() []int {
+	return append([]int(nil), inj.applied...)
+}
+
+// String summarizes the injector for logs.
+func (inj *Injector) String() string {
+	names := make([]string, len(inj.faults))
+	for i, sf := range inj.faults {
+		names[i] = sf.Fault.Name()
+	}
+	return fmt.Sprintf("chaos(%s over %s)", strings.Join(names, "+"), inj.inner.Name())
+}

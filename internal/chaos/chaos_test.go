@@ -1,0 +1,351 @@
+package chaos
+
+import (
+	"math"
+	"testing"
+
+	"moe/internal/features"
+	"moe/internal/sim"
+	"moe/internal/trace"
+)
+
+// capture records every decision the injector forwards, so tests can
+// inspect exactly what the wrapped policy observed.
+type capture struct {
+	ds []sim.Decision
+}
+
+func (c *capture) Name() string { return "capture" }
+
+func (c *capture) Decide(d sim.Decision) int {
+	c.ds = append(c.ds, d)
+	return d.CurrentThreads
+}
+
+func testDecision(t float64) sim.Decision {
+	return sim.Decision{
+		Time: t,
+		Features: features.Combine(
+			features.Code{LoadStore: 0.05, Instructions: 0.1, Branches: 0.01},
+			features.Env{WorkloadThreads: 8, Processors: 16, RunQueue: 2,
+				Load1: 18, Load5: 16, CachedMem: 4, PageFreeRate: 0.3},
+		),
+		Rate:           120,
+		CurrentThreads: 4,
+		MaxThreads:     32,
+		AvailableProcs: 16,
+	}
+}
+
+func TestScheduleActiveAt(t *testing.T) {
+	cases := []struct {
+		name  string
+		s     Schedule
+		t     float64
+		wantA bool
+	}{
+		{"zero value always", Always(), 0, true},
+		{"zero value late", Always(), 1e9, true},
+		{"before start", Window(10, 5), 9.99, false},
+		{"window open", Window(10, 5), 10, true},
+		{"window interior", Window(10, 5), 14.99, true},
+		{"window closed", Window(10, 5), 15, false},
+		{"open-ended", Schedule{Start: 10}, 1e9, true},
+		{"pulse first window", Pulse(10, 5, 20), 12, true},
+		{"pulse first gap", Pulse(10, 5, 20), 18, false},
+		{"pulse second window", Pulse(10, 5, 20), 31, true},
+		{"pulse second gap", Pulse(10, 5, 20), 36, false},
+		{"pulse far future", Pulse(10, 5, 20), 10 + 20*1000 + 2, true},
+		{"saturated pulse", Pulse(0, 20, 10), 999, true},
+	}
+	for _, c := range cases {
+		if got := c.s.ActiveAt(c.t); got != c.wantA {
+			t.Errorf("%s: ActiveAt(%v) = %v, want %v", c.name, c.t, got, c.wantA)
+		}
+	}
+}
+
+// TestInjectorTransparent: with no faults (or outside every active window)
+// the wrapped policy sees the engine's decision bit-for-bit, and the
+// injector reports the inner policy's name.
+func TestInjectorTransparent(t *testing.T) {
+	inner := &capture{}
+	inj, err := NewInjector(inner, 1,
+		ScheduledFault{Fault: Corrupt{Prob: 1}, Schedule: Window(1000, 10)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inj.Name() != "capture" {
+		t.Errorf("Name() = %q, want the inner policy's name", inj.Name())
+	}
+	d := testDecision(5)
+	got := inj.Decide(d)
+	if got != d.CurrentThreads {
+		t.Errorf("Decide = %d, want inner's %d", got, d.CurrentThreads)
+	}
+	if len(inner.ds) != 1 || inner.ds[0] != d {
+		t.Errorf("inner saw %+v, want the unperturbed decision", inner.ds[0])
+	}
+	if n := inj.Applied()[0]; n != 0 {
+		t.Errorf("inactive fault applied %d times", n)
+	}
+}
+
+// TestInjectorDeterministic: same seed and fault set → identical
+// perturbations, decision for decision.
+func TestInjectorDeterministic(t *testing.T) {
+	build := func() *capture {
+		inner := &capture{}
+		inj, err := NewInjector(inner, 42,
+			ScheduledFault{Fault: FeatureNoise{Sigma: 0.5}, Schedule: Always()},
+			ScheduledFault{Fault: Corrupt{Prob: 0.3}, Schedule: Pulse(5, 10, 20)},
+			ScheduledFault{Fault: ClockSkew{MaxSkew: 7}, Schedule: Always()},
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 200; i++ {
+			inj.Decide(testDecision(float64(i)))
+		}
+		return inner
+	}
+	a, b := build(), build()
+	if len(a.ds) != len(b.ds) {
+		t.Fatalf("runs saw %d vs %d decisions", len(a.ds), len(b.ds))
+	}
+	for i := range a.ds {
+		if !decisionsEqual(a.ds[i], b.ds[i]) {
+			t.Fatalf("decision %d diverged:\n%+v\nvs\n%+v", i, a.ds[i], b.ds[i])
+		}
+	}
+}
+
+// decisionsEqual compares decisions treating NaN as equal to NaN (corrupt
+// observations must still replay identically).
+func decisionsEqual(a, b sim.Decision) bool {
+	feq := func(x, y float64) bool {
+		if math.IsNaN(x) && math.IsNaN(y) {
+			return true
+		}
+		return x == y
+	}
+	if !feq(a.Time, b.Time) || !feq(a.Rate, b.Rate) {
+		return false
+	}
+	for i := range a.Features {
+		if !feq(a.Features[i], b.Features[i]) {
+			return false
+		}
+	}
+	return a.CurrentThreads == b.CurrentThreads && a.MaxThreads == b.MaxThreads &&
+		a.AvailableProcs == b.AvailableProcs && a.RegionStart == b.RegionStart &&
+		a.RegionIndex == b.RegionIndex
+}
+
+// TestFaultStreamsIndependent: a fault's perturbations are identical
+// whether it runs alone or composed with other faults at the same
+// position, because each position derives an independent stream.
+func TestFaultStreamsIndependent(t *testing.T) {
+	run := func(extra bool) []sim.Decision {
+		inner := &capture{}
+		faults := []ScheduledFault{{Fault: FeatureNoise{Sigma: 0.5}, Schedule: Always()}}
+		if extra {
+			faults = append(faults, ScheduledFault{Fault: RateBlackout{}, Schedule: Always()})
+		}
+		inj, err := NewInjector(inner, 7, faults...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 100; i++ {
+			inj.Decide(testDecision(float64(i)))
+		}
+		return inner.ds
+	}
+	alone, composed := run(false), run(true)
+	for i := range alone {
+		if alone[i].Features != composed[i].Features {
+			t.Fatalf("decision %d: noise stream perturbed by unrelated fault:\n%v\nvs\n%v",
+				i, alone[i].Features, composed[i].Features)
+		}
+	}
+}
+
+func TestFeatureNoise(t *testing.T) {
+	d := testDecision(0)
+	orig := d.Features
+	FeatureNoise{Sigma: 0.5}.Apply(&d, trace.NewRNG(3))
+	if d.Features.CodePart() != orig.CodePart() {
+		t.Error("noise must not touch code features")
+	}
+	changed := 0
+	for i := features.EnvStart; i < features.Dim; i++ {
+		if d.Features[i] != orig[i] {
+			changed++
+		}
+		if math.IsNaN(d.Features[i]) || math.IsInf(d.Features[i], 0) {
+			t.Errorf("noise produced non-finite feature %d", i)
+		}
+	}
+	if changed == 0 {
+		t.Error("noise changed nothing")
+	}
+}
+
+func TestDropoutZero(t *testing.T) {
+	d := testDecision(0)
+	orig := d.Features
+	f := &Dropout{}
+	f.Apply(&d, nil)
+	if d.Features.CodePart() != orig.CodePart() {
+		t.Error("dropout must not touch code features")
+	}
+	if e := d.Features.EnvPart(); e != (features.Env{}) {
+		t.Errorf("zero dropout left environment %+v", e)
+	}
+}
+
+func TestDropoutStale(t *testing.T) {
+	f := &Dropout{Stale: true}
+	d1 := testDecision(0)
+	first := d1.Features.EnvPart()
+	f.Apply(&d1, nil)
+	if d1.Features.EnvPart() != first {
+		t.Error("stale dropout must replay the first environment unchanged")
+	}
+	// A later, different environment must be replaced by the frozen one.
+	d2 := testDecision(1)
+	d2.Features[features.Processors] = 2
+	d2.Features[features.CPULoad1] = 99
+	f.Apply(&d2, nil)
+	if d2.Features.EnvPart() != first {
+		t.Errorf("stale dropout served %+v, want the frozen %+v", d2.Features.EnvPart(), first)
+	}
+}
+
+func TestCorrupt(t *testing.T) {
+	d := testDecision(0)
+	Corrupt{Prob: 1}.Apply(&d, trace.NewRNG(11))
+	for i := features.EnvStart; i < features.Dim; i++ {
+		if !math.IsNaN(d.Features[i]) && !math.IsInf(d.Features[i], 0) {
+			t.Errorf("Prob=1 corruption left feature %d finite: %v", i, d.Features[i])
+		}
+	}
+	if !math.IsNaN(d.Rate) && !math.IsInf(d.Rate, 0) {
+		t.Errorf("Prob=1 corruption left rate finite: %v", d.Rate)
+	}
+	if d.Features.CodePart() != testDecision(0).Features.CodePart() {
+		t.Error("corruption must not touch code features")
+	}
+}
+
+func TestClockSkew(t *testing.T) {
+	rng := trace.NewRNG(5)
+	sawBackward := false
+	for i := 0; i < 200; i++ {
+		d := testDecision(100)
+		ClockSkew{MaxSkew: 40}.Apply(&d, rng)
+		if d.Time < 100-40 || d.Time > 100+40 {
+			t.Fatalf("skewed time %v outside ±40 of 100", d.Time)
+		}
+		if d.Time < 100 {
+			sawBackward = true
+		}
+	}
+	if !sawBackward {
+		t.Error("clock skew never moved time backwards")
+	}
+	// Skew never produces negative time.
+	d := testDecision(1)
+	for i := 0; i < 100; i++ {
+		ClockSkew{MaxSkew: 50}.Apply(&d, rng)
+		if d.Time < 0 {
+			t.Fatalf("skewed time went negative: %v", d.Time)
+		}
+		d.Time = 1
+	}
+}
+
+func TestHotplugStorm(t *testing.T) {
+	rng := trace.NewRNG(9)
+	seen := map[int]bool{}
+	for i := 0; i < 300; i++ {
+		d := testDecision(float64(i))
+		HotplugStorm{MaxProcs: 8}.Apply(&d, rng)
+		if d.AvailableProcs < 1 || d.AvailableProcs > 8 {
+			t.Fatalf("availability %d outside [1, 8]", d.AvailableProcs)
+		}
+		if d.Features[features.Processors] != float64(d.AvailableProcs) {
+			t.Fatal("f5 and AvailableProcs must oscillate together")
+		}
+		seen[d.AvailableProcs] = true
+	}
+	if len(seen) < 4 {
+		t.Errorf("storm visited only %d availability levels", len(seen))
+	}
+	// Zero MaxProcs falls back to the machine cap.
+	d := testDecision(0)
+	HotplugStorm{}.Apply(&d, rng)
+	if d.AvailableProcs < 1 || d.AvailableProcs > d.MaxThreads {
+		t.Errorf("default-cap storm gave %d, cap %d", d.AvailableProcs, d.MaxThreads)
+	}
+}
+
+func TestRateBlackout(t *testing.T) {
+	d := testDecision(0)
+	RateBlackout{}.Apply(&d, nil)
+	if d.Rate != 0 {
+		t.Errorf("rate after blackout = %v, want 0", d.Rate)
+	}
+}
+
+func TestKindsRegistry(t *testing.T) {
+	names := map[string]bool{}
+	for _, kind := range Kinds() {
+		sf, err := NewKindFault(kind, 32)
+		if err != nil {
+			t.Fatalf("NewKindFault(%q): %v", kind, err)
+		}
+		if sf.Fault.Name() != kind {
+			t.Errorf("kind %q built fault named %q", kind, sf.Fault.Name())
+		}
+		if names[kind] {
+			t.Errorf("duplicate kind %q", kind)
+		}
+		names[kind] = true
+	}
+	if _, err := NewKindFault("solar-flare", 32); err == nil {
+		t.Error("unknown kind accepted")
+	}
+}
+
+func TestNewInjectorRejects(t *testing.T) {
+	if _, err := NewInjector(nil, 1); err == nil {
+		t.Error("nil inner policy accepted")
+	}
+	if _, err := NewInjector(&capture{}, 1, ScheduledFault{}); err == nil {
+		t.Error("nil fault accepted")
+	}
+}
+
+// TestAppliedCounts: schedules gate exactly which decisions each fault
+// perturbs, and the counters record it.
+func TestAppliedCounts(t *testing.T) {
+	inner := &capture{}
+	inj, err := NewInjector(inner, 1,
+		ScheduledFault{Fault: RateBlackout{}, Schedule: Always()},
+		ScheduledFault{Fault: RateBlackout{}, Schedule: Window(10, 20)},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		inj.Decide(testDecision(float64(i)))
+	}
+	got := inj.Applied()
+	if got[0] != 100 {
+		t.Errorf("always-on fault applied %d, want 100", got[0])
+	}
+	if got[1] != 20 {
+		t.Errorf("windowed fault applied %d, want 20", got[1])
+	}
+}

@@ -1,0 +1,214 @@
+package chaos
+
+import (
+	"fmt"
+	"math"
+
+	"moe/internal/features"
+	"moe/internal/sim"
+	"moe/internal/trace"
+)
+
+// The concrete fault kinds. Each models one way the observation path fails
+// in production, graded by a severity knob so studies can sweep from
+// annoyance to catastrophe. All of them perturb only environment signals —
+// the code features f1–f3 come from the compiler, not from runtime sensors,
+// and faulting them would model a different (and far less plausible)
+// failure.
+
+// FeatureNoise adds zero-mean Gaussian noise to every environment feature,
+// scaled to each feature's own magnitude — the signature of a jittery or
+// undersampled /proc reader. Sigma is the relative noise level (0.3 means
+// ±30% swings are routine).
+type FeatureNoise struct {
+	Sigma float64
+}
+
+// Name implements Fault.
+func (FeatureNoise) Name() string { return "feature-noise" }
+
+// Apply implements Fault.
+func (n FeatureNoise) Apply(d *sim.Decision, rng *trace.RNG) {
+	for i := features.EnvStart; i < features.Dim; i++ {
+		scale := math.Abs(d.Features[i])
+		if scale < 1 {
+			scale = 1
+		}
+		d.Features[i] += n.Sigma * scale * rng.Norm()
+	}
+}
+
+// Dropout models a sensor daemon that stops producing samples. With Stale
+// set it replays the last environment it saw before failing — the
+// monitoring pipeline kept serving its cache — otherwise the reader returns
+// zeros. Either way the policy's picture of the system freezes or blanks
+// while the real machine keeps moving.
+type Dropout struct {
+	// Stale selects frozen-sample mode; false zeroes the environment.
+	Stale bool
+
+	frozen features.Env
+	have   bool
+}
+
+// Name implements Fault.
+func (f *Dropout) Name() string {
+	if f.Stale {
+		return "stale-dropout"
+	}
+	return "zero-dropout"
+}
+
+// Apply implements Fault. In stale mode the first perturbed decision's
+// environment is captured and replayed for the rest of the run — the cache
+// never refreshes while the daemon is down.
+func (f *Dropout) Apply(d *sim.Decision, _ *trace.RNG) {
+	var e features.Env
+	if f.Stale {
+		if !f.have {
+			f.frozen = d.Features.EnvPart()
+			f.have = true
+		}
+		e = f.frozen
+	}
+	c := d.Features.CodePart()
+	d.Features = features.Combine(c, e)
+}
+
+// Corrupt injects non-finite values — the raw material of crashed parsers
+// and uninitialized shared memory. Each active decision, every environment
+// feature is independently replaced with NaN, +Inf or −Inf with probability
+// Prob, and the progress rate is corrupted at the same odds. This is the
+// fault the degradation ladder exists for: anything downstream that
+// arithmetics on an observation without sanitizing it will propagate NaN
+// into its models.
+type Corrupt struct {
+	Prob float64
+}
+
+// Name implements Fault.
+func (Corrupt) Name() string { return "nan-corruption" }
+
+// Apply implements Fault.
+func (c Corrupt) Apply(d *sim.Decision, rng *trace.RNG) {
+	for i := features.EnvStart; i < features.Dim; i++ {
+		if rng.Float64() < c.Prob {
+			d.Features[i] = nonFinite(rng)
+		}
+	}
+	if rng.Float64() < c.Prob {
+		d.Rate = nonFinite(rng)
+	}
+}
+
+// nonFinite picks uniformly among NaN, +Inf and −Inf.
+func nonFinite(rng *trace.RNG) float64 {
+	switch rng.Intn(3) {
+	case 0:
+		return math.NaN()
+	case 1:
+		return math.Inf(1)
+	default:
+		return math.Inf(-1)
+	}
+}
+
+// ClockSkew perturbs the decision clock by a uniform offset in
+// ±MaxSkew seconds — an NTP step or a VM migration. The skew is resampled
+// every decision, so time as the policy sees it jitters and runs backwards.
+type ClockSkew struct {
+	MaxSkew float64
+}
+
+// Name implements Fault.
+func (ClockSkew) Name() string { return "clock-skew" }
+
+// Apply implements Fault.
+func (c ClockSkew) Apply(d *sim.Decision, rng *trace.RNG) {
+	d.Time += rng.Range(-c.MaxSkew, c.MaxSkew)
+	if d.Time < 0 {
+		d.Time = 0
+	}
+}
+
+// HotplugStorm reports a different processor availability at every
+// decision — rapid oscillation between 1 and MaxProcs, as if cores were
+// being hotplugged far faster than any governor would. Both the
+// AvailableProcs field and the f5 feature move together, the way a real
+// sysfs reader would see it.
+type HotplugStorm struct {
+	MaxProcs int
+}
+
+// Name implements Fault.
+func (HotplugStorm) Name() string { return "hotplug-storm" }
+
+// Apply implements Fault.
+func (h HotplugStorm) Apply(d *sim.Decision, rng *trace.RNG) {
+	max := h.MaxProcs
+	if max < 1 {
+		max = d.MaxThreads
+	}
+	if max < 1 {
+		max = 1
+	}
+	p := rng.IntRange(1, max)
+	d.AvailableProcs = p
+	d.Features[features.Processors] = float64(p)
+}
+
+// RateBlackout zeroes the progress-rate signal — the instrumentation that
+// measures work completed went dark, so rate-reactive policies (online
+// search, the analytic model's feedback) fly blind while model-driven ones
+// shouldn't care.
+type RateBlackout struct{}
+
+// Name implements Fault.
+func (RateBlackout) Name() string { return "rate-blackout" }
+
+// Apply implements Fault.
+func (RateBlackout) Apply(d *sim.Decision, _ *trace.RNG) {
+	d.Rate = 0
+}
+
+// Kinds returns the canonical fault-kind names, in study order. Each name
+// is accepted by NewKindFault.
+func Kinds() []string {
+	return []string{
+		"feature-noise",
+		"zero-dropout",
+		"stale-dropout",
+		"nan-corruption",
+		"clock-skew",
+		"hotplug-storm",
+		"rate-blackout",
+	}
+}
+
+// NewKindFault builds the canonical scheduled instance of a named fault
+// kind at study severity: after a short clean lead-in the fault pulses on
+// and off in equal 20-second windows — long enough for quarantine and
+// recovery to both play out repeatedly, dense enough (~50% duty) that an
+// unprotected policy visibly degrades. maxProcs bounds the hotplug storm
+// (use the evaluation machine's core count).
+func NewKindFault(kind string, maxProcs int) (ScheduledFault, error) {
+	sched := Pulse(5, 20, 40)
+	switch kind {
+	case "feature-noise":
+		return ScheduledFault{Fault: FeatureNoise{Sigma: 0.6}, Schedule: sched}, nil
+	case "zero-dropout":
+		return ScheduledFault{Fault: &Dropout{}, Schedule: sched}, nil
+	case "stale-dropout":
+		return ScheduledFault{Fault: &Dropout{Stale: true}, Schedule: sched}, nil
+	case "nan-corruption":
+		return ScheduledFault{Fault: Corrupt{Prob: 0.5}, Schedule: sched}, nil
+	case "clock-skew":
+		return ScheduledFault{Fault: ClockSkew{MaxSkew: 40}, Schedule: sched}, nil
+	case "hotplug-storm":
+		return ScheduledFault{Fault: HotplugStorm{MaxProcs: maxProcs}, Schedule: sched}, nil
+	case "rate-blackout":
+		return ScheduledFault{Fault: RateBlackout{}, Schedule: sched}, nil
+	default:
+		return ScheduledFault{}, fmt.Errorf("chaos: unknown fault kind %q", kind)
+	}
+}

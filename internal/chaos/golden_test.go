@@ -1,0 +1,162 @@
+package chaos
+
+import (
+	"testing"
+
+	"moe/internal/core"
+	"moe/internal/expert"
+	"moe/internal/policy"
+	"moe/internal/sim"
+	"moe/internal/trace"
+	"moe/internal/workload"
+)
+
+// chaosGoldenThreads pins the mixture's per-step thread decisions for the
+// core golden scenario (lu + looping mg, canonical Table 1 experts,
+// 32-core evaluation machine, low-frequency hardware changes, seed 77)
+// with one fault of every kind staggered across the run. Together with
+// core's TestGoldenTrace this pins both halves of the determinism claim:
+// the healthy path is byte-stable, and so is the chaotic one — same seed,
+// same faults, same lies, same decisions. Any change to the injector's
+// stream derivation, the fault implementations, the sanitizer, the
+// sensor-trust layer or the quarantine machinery that shifts even one
+// perturbed decision fails here.
+var chaosGoldenThreads = []int{
+	29, 26, 27, 27, 27, 27, 28, 28, 28, 28, 28, 32, 2, 22, 22, 22, 22,
+	22, 22, 22, 22, 22, 22, 22, 22, 22, 22, 22, 22, 22, 22, 22, 22, 22,
+	22, 29, 29, 29, 29, 29, 29, 29, 29, 29, 29, 29, 29, 29, 29, 29, 29,
+	30, 30, 30, 30, 30, 31, 31, 31, 31, 31, 31, 31, 31, 31, 31, 31, 31,
+	31, 31, 31, 31, 31, 31, 31, 31, 31, 31, 31, 31, 31, 31, 31, 31, 31,
+	31, 31, 31, 31, 31, 31, 29, 30, 29, 11, 11, 11, 11, 28, 28, 26, 26,
+	26, 26, 26, 26, 26, 26, 26, 26, 26, 26, 26, 26, 26, 26, 26, 26, 26,
+	26, 26, 26, 27, 27, 26, 26, 27, 27,
+}
+
+// chaosGoldenFaults builds one scheduled fault of every kind, staggered so
+// each gets a window of its own inside the 25-second run (the rate
+// blackout runs throughout — the mixture never reads the rate, so it
+// proves fault transparency rather than perturbing anything).
+func chaosGoldenFaults() []ScheduledFault {
+	return []ScheduledFault{
+		{Fault: FeatureNoise{Sigma: 0.4}, Schedule: Window(2, 4)},
+		{Fault: &Dropout{}, Schedule: Window(7, 3)},
+		{Fault: &Dropout{Stale: true}, Schedule: Window(11, 3)},
+		{Fault: Corrupt{Prob: 0.5}, Schedule: Window(14, 3)},
+		{Fault: ClockSkew{MaxSkew: 5}, Schedule: Window(17, 3)},
+		{Fault: HotplugStorm{MaxProcs: 32}, Schedule: Window(20, 3)},
+		{Fault: RateBlackout{}, Schedule: Always()},
+	}
+}
+
+func chaosGoldenScenario(t *testing.T) (*core.Mixture, *Injector, sim.Scenario) {
+	t.Helper()
+	mix, err := core.NewMixture(expert.Canonical4(), core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj, err := NewInjector(mix, 77, chaosGoldenFaults()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	target, err := workload.ByName("lu")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wl, err := workload.ByName("mg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	machine := sim.Eval32()
+	hw, err := trace.GenerateHardware(trace.NewRNG(77), machine.Cores, trace.LowFrequency, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	machine.Hardware = hw
+	return mix, inj, sim.Scenario{
+		Machine: machine,
+		Programs: []sim.ProgramSpec{
+			{Program: target.Clone(), Policy: inj, Target: true},
+			{Program: wl.Clone(), Policy: policy.NewDefault(), Loop: true},
+		},
+		MaxTime:       25,
+		RecordSamples: true,
+		Seed:          77,
+	}
+}
+
+func TestChaosGoldenTrace(t *testing.T) {
+	mix, inj, scenario := chaosGoldenScenario(t)
+	res, err := sim.Run(scenario)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := res.Target()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.DecisionCount != len(chaosGoldenThreads) {
+		t.Fatalf("decisions = %d, want %d", tr.DecisionCount, len(chaosGoldenThreads))
+	}
+	for i, s := range tr.Samples {
+		if s.Threads != chaosGoldenThreads[i] {
+			t.Errorf("step %d (t=%.1f): threads = %d, want %d", i, s.Time, s.Threads, chaosGoldenThreads[i])
+		}
+	}
+	// Every fault's application count is pinned: schedules gate on the
+	// decision clock, which is itself deterministic.
+	applied := inj.Applied()
+	wantApplied := []int{20, 15, 16, 15, 15, 21, 128}
+	for i := range applied {
+		if applied[i] != wantApplied[i] {
+			t.Errorf("fault %d (%s) applied %d times, want %d",
+				i, chaosGoldenFaults()[i].Fault.Name(), applied[i], wantApplied[i])
+		}
+	}
+	// The degradation ladder's engagement is pinned too: the sensor-trust
+	// layer disbelieves the dropout and corruption windows, and no expert
+	// is ever quarantined — the faults lie about the world, not the models.
+	st := mix.Snapshot()
+	if st.SuspectObservations != 79 {
+		t.Errorf("suspect observations = %d, want 79", st.SuspectObservations)
+	}
+	for k, q := range st.Quarantined {
+		if q {
+			t.Errorf("expert %d quarantined by observation faults", k)
+		}
+	}
+	if st.SanitizedValues == 0 {
+		t.Error("corruption window repaired no values")
+	}
+}
+
+// TestChaosGoldenReplays re-runs the chaos scenario twice and demands
+// bit-identical outcomes — injection must be a pure function of the seed.
+func TestChaosGoldenReplays(t *testing.T) {
+	_, i1, s1 := chaosGoldenScenario(t)
+	_, i2, s2 := chaosGoldenScenario(t)
+	r1, err := sim.Run(s1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := sim.Run(s2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t1, _ := r1.Target()
+	t2, _ := r2.Target()
+	if t1.ExecTime != t2.ExecTime || t1.WorkDone != t2.WorkDone {
+		t.Errorf("replay diverged: exec %v vs %v, work %v vs %v",
+			t1.ExecTime, t2.ExecTime, t1.WorkDone, t2.WorkDone)
+	}
+	for i := range t1.Samples {
+		if t1.Samples[i].Threads != t2.Samples[i].Threads {
+			t.Errorf("replay diverged at step %d", i)
+		}
+	}
+	a1, a2 := i1.Applied(), i2.Applied()
+	for i := range a1 {
+		if a1[i] != a2[i] {
+			t.Errorf("fault %d applied %d vs %d times across replays", i, a1[i], a2[i])
+		}
+	}
+}

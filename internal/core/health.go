@@ -1,0 +1,205 @@
+package core
+
+import "math"
+
+// Expert health tracking: the graceful-degradation layer of the mixture.
+// Every expert's environment predictions are already scored at each step
+// (that is the paper's selection signal); health tracking turns the same
+// scores into a quarantine decision. An expert is quarantined when its
+// predictions go non-finite — the signature of a corrupt model — or when
+// its rolling relative error explodes far past the worst error a merely
+// out-of-regime expert produces. Quarantined experts cannot be selected;
+// after a cooldown they re-enter on probation, where a few clean scored
+// predictions re-admit them and a single violation sends them back. When
+// every expert is quarantined the mixture falls through to the OS-default
+// policy (one thread per available processor), so a fully corrupt pool
+// degrades to exactly the baseline the paper measures everything against.
+
+// healthState is one expert's position in the quarantine state machine.
+type healthState int
+
+const (
+	// healthOK marks an expert in good standing, freely selectable.
+	healthOK healthState = iota
+	// healthQuarantined marks an expert barred from selection.
+	healthQuarantined
+	// healthProbation marks an expert readmitted provisionally: selectable,
+	// but one bad scored prediction re-quarantines it.
+	healthProbation
+)
+
+func (s healthState) String() string {
+	switch s {
+	case healthOK:
+		return "ok"
+	case healthQuarantined:
+		return "quarantined"
+	case healthProbation:
+		return "probation"
+	default:
+		return "invalid"
+	}
+}
+
+// Quarantine tuning. The error ratio is deliberately loose: in-regime
+// experts score relative errors around the 0.15 accuracy tolerance and even
+// badly out-of-regime experts stay within a small multiple of the observed
+// norm, while a corrupt or saturated model is off by orders of magnitude.
+const (
+	// quarantineErrRatio is the rolling relative error (prediction error
+	// over observed environment norm) beyond which an expert is
+	// quarantined.
+	quarantineErrRatio = 8.0
+	// healthEMADecay weights the newest relative error in the rolling
+	// average.
+	healthEMADecay = 0.25
+	// quarantineCooldown is how many scored steps an expert sits out
+	// before probation.
+	quarantineCooldown = 20
+	// probationLength is how many consecutive clean scored predictions
+	// re-admit a probationary expert to good standing.
+	probationLength = 5
+)
+
+// expertHealth is the per-expert quarantine record.
+type expertHealth struct {
+	state       healthState
+	errEMA      float64 // rolling relative environment-prediction error
+	seen        bool    // errEMA initialized
+	coolLeft    int     // quarantined: scored steps until probation
+	cleanLeft   int     // probation: clean predictions still required
+	quarantines int     // lifetime count of quarantine entries
+}
+
+// healthTracker holds the pool's health records.
+type healthTracker struct {
+	experts []expertHealth
+}
+
+func newHealthTracker(k int) *healthTracker {
+	return &healthTracker{experts: make([]expertHealth, k)}
+}
+
+// relErr normalizes a raw prediction error by the observed environment
+// magnitude (floored at 1, matching withinEnvTolerance's scale).
+func relErr(rawErr, observedNorm float64) float64 {
+	scale := math.Abs(observedNorm)
+	if scale < 1 {
+		scale = 1
+	}
+	return rawErr / scale
+}
+
+// observe scores one expert's prediction against the observed environment
+// and advances its state machine. finite reports whether the prediction was
+// finite; rawErr is its absolute environment error (ignored when not
+// finite). It returns true when the expert is quarantined by this
+// observation.
+func (h *healthTracker) observe(k int, finite bool, rawErr, observedNorm float64) bool {
+	e := &h.experts[k]
+
+	if !finite || math.IsNaN(rawErr) || math.IsInf(rawErr, 0) {
+		// Non-finite prediction: corrupt model, quarantine immediately
+		// whatever state it was in.
+		h.enterQuarantine(e)
+		return true
+	}
+
+	r := relErr(rawErr, observedNorm)
+	if e.seen {
+		e.errEMA += healthEMADecay * (r - e.errEMA)
+	} else {
+		e.errEMA = r
+		e.seen = true
+	}
+
+	switch e.state {
+	case healthOK:
+		if e.errEMA > quarantineErrRatio {
+			h.enterQuarantine(e)
+			return true
+		}
+	case healthQuarantined:
+		e.coolLeft--
+		if e.coolLeft <= 0 {
+			e.state = healthProbation
+			e.cleanLeft = probationLength
+		}
+	case healthProbation:
+		if r > quarantineErrRatio {
+			// One bad prediction during probation: straight back.
+			h.enterQuarantine(e)
+			return true
+		}
+		e.cleanLeft--
+		if e.cleanLeft <= 0 {
+			e.state = healthOK
+			// Forget the error history accumulated while broken so the
+			// readmitted expert is not instantly re-quarantined by its
+			// own past.
+			e.errEMA = r
+		}
+	}
+	return false
+}
+
+func (h *healthTracker) enterQuarantine(e *expertHealth) {
+	e.state = healthQuarantined
+	e.coolLeft = quarantineCooldown
+	e.quarantines++
+	e.seen = false
+}
+
+// usable reports whether expert k may be selected (good standing or
+// probation).
+func (h *healthTracker) usable(k int) bool {
+	return h.experts[k].state != healthQuarantined
+}
+
+// allQuarantined reports whether no expert may be selected — the condition
+// that engages the OS-default fallback.
+func (h *healthTracker) allQuarantined() bool {
+	for k := range h.experts {
+		if h.usable(k) {
+			return false
+		}
+	}
+	return true
+}
+
+// healthiest returns the usable expert with the lowest rolling error — the
+// "best healthy single expert" rung of the fallback chain — or -1 when all
+// are quarantined. Experts in good standing win over probationary ones at
+// equal error; unscored experts count as error 0 (no evidence against
+// them).
+func (h *healthTracker) healthiest() int {
+	best := -1
+	bestErr := math.Inf(1)
+	bestProb := false
+	for k := range h.experts {
+		e := &h.experts[k]
+		if e.state == healthQuarantined {
+			continue
+		}
+		err := 0.0
+		if e.seen {
+			err = e.errEMA
+		}
+		prob := e.state == healthProbation
+		if best == -1 || err < bestErr || (err == bestErr && bestProb && !prob) {
+			best, bestErr, bestProb = k, err, prob
+		}
+	}
+	return best
+}
+
+// snapshot exports the per-expert state for Stats.
+func (h *healthTracker) snapshot() (quarantined []bool, counts []int) {
+	quarantined = make([]bool, len(h.experts))
+	counts = make([]int, len(h.experts))
+	for k := range h.experts {
+		quarantined[k] = h.experts[k].state == healthQuarantined
+		counts[k] = h.experts[k].quarantines
+	}
+	return quarantined, counts
+}

@@ -1,0 +1,327 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"moe/internal/expert"
+	"moe/internal/features"
+	"moe/internal/regress"
+	"moe/internal/sim"
+)
+
+// --- healthTracker state machine -----------------------------------------
+
+func TestHealthNonFiniteQuarantinesImmediately(t *testing.T) {
+	h := newHealthTracker(2)
+	if !h.observe(0, false, 0, 10) {
+		t.Fatal("non-finite prediction did not quarantine")
+	}
+	if h.usable(0) {
+		t.Error("quarantined expert reported usable")
+	}
+	if !h.usable(1) {
+		t.Error("healthy expert reported unusable")
+	}
+	if h.allQuarantined() {
+		t.Error("allQuarantined with one healthy expert")
+	}
+}
+
+func TestHealthExplodingErrorQuarantines(t *testing.T) {
+	h := newHealthTracker(1)
+	// Relative error 20 — far past the ratio — trips on the first sample.
+	if !h.observe(0, true, 200, 10) {
+		t.Error("relative error 20 did not quarantine")
+	}
+
+	// Moderate errors never do, no matter how many.
+	h2 := newHealthTracker(1)
+	for i := 0; i < 500; i++ {
+		if h2.observe(0, true, 20, 10) { // relative error 2
+			t.Fatalf("moderate error quarantined at step %d", i)
+		}
+	}
+	if !h2.usable(0) {
+		t.Error("moderately erring expert became unusable")
+	}
+}
+
+// driveToProbation feeds clean observations until the cooldown elapses.
+func driveToProbation(t *testing.T, h *healthTracker, k int) {
+	t.Helper()
+	for i := 0; i < quarantineCooldown; i++ {
+		if h.usable(k) {
+			t.Fatalf("expert %d usable after only %d cooldown steps", k, i)
+		}
+		h.observe(k, true, 1, 10)
+	}
+	if !h.usable(k) {
+		t.Fatalf("expert %d not on probation after cooldown", k)
+	}
+	if h.experts[k].state != healthProbation {
+		t.Fatalf("expert %d state %v after cooldown, want probation", k, h.experts[k].state)
+	}
+}
+
+func TestHealthCooldownThenProbationThenReadmission(t *testing.T) {
+	h := newHealthTracker(1)
+	h.observe(0, false, 0, 10)
+	driveToProbation(t, h, 0)
+	// probationLength clean predictions restore good standing.
+	for i := 0; i < probationLength; i++ {
+		if h.experts[0].state != healthProbation {
+			t.Fatalf("left probation after only %d clean steps", i)
+		}
+		h.observe(0, true, 1, 10)
+	}
+	if h.experts[0].state != healthOK {
+		t.Errorf("state %v after clean probation, want ok", h.experts[0].state)
+	}
+	if got := h.experts[0].quarantines; got != 1 {
+		t.Errorf("quarantine count %d, want 1", got)
+	}
+}
+
+func TestHealthProbationViolationRequarantines(t *testing.T) {
+	h := newHealthTracker(1)
+	h.observe(0, false, 0, 10)
+	driveToProbation(t, h, 0)
+	h.observe(0, true, 1, 10) // one clean step into probation
+	// A single bad prediction sends it straight back.
+	if !h.observe(0, true, 500, 10) {
+		t.Fatal("probation violation did not re-quarantine")
+	}
+	if h.usable(0) {
+		t.Error("re-quarantined expert reported usable")
+	}
+	if got := h.experts[0].quarantines; got != 2 {
+		t.Errorf("quarantine count %d, want 2", got)
+	}
+}
+
+func TestHealthReadmissionForgetsOldErrors(t *testing.T) {
+	h := newHealthTracker(1)
+	h.observe(0, true, 200, 10) // quarantined with errEMA 20
+	driveToProbation(t, h, 0)
+	for i := 0; i < probationLength; i++ {
+		h.observe(0, true, 1, 10)
+	}
+	// Readmitted with a reset EMA: the next ordinary observation must not
+	// re-trip on history accumulated while broken.
+	if h.observe(0, true, 10, 10) {
+		t.Error("readmitted expert re-quarantined by its pre-quarantine history")
+	}
+}
+
+func TestHealthiestAndAllQuarantined(t *testing.T) {
+	h := newHealthTracker(3)
+	h.observe(0, true, 10, 10)  // relative error 1
+	h.observe(1, true, 50, 10)  // relative error 5
+	h.observe(2, false, 0, 10)  // quarantined
+	if got := h.healthiest(); got != 0 {
+		t.Errorf("healthiest = %d, want 0", got)
+	}
+	h.observe(0, false, 0, 10)
+	if got := h.healthiest(); got != 1 {
+		t.Errorf("healthiest after losing 0 = %d, want 1", got)
+	}
+	h.observe(1, false, 0, 10)
+	if !h.allQuarantined() {
+		t.Error("allQuarantined false with every expert down")
+	}
+	if got := h.healthiest(); got != -1 {
+		t.Errorf("healthiest of empty pool = %d, want -1", got)
+	}
+}
+
+func TestHealthiestPrefersGoodStandingOverProbation(t *testing.T) {
+	h := newHealthTracker(2)
+	h.experts[0] = expertHealth{state: healthProbation, errEMA: 1, seen: true}
+	h.experts[1] = expertHealth{state: healthOK, errEMA: 1, seen: true}
+	if got := h.healthiest(); got != 1 {
+		t.Errorf("healthiest = %d, want the expert in good standing", got)
+	}
+}
+
+func TestHealthSnapshot(t *testing.T) {
+	h := newHealthTracker(2)
+	h.observe(0, false, 0, 10)
+	q, counts := h.snapshot()
+	if !q[0] || q[1] {
+		t.Errorf("snapshot quarantined = %v, want [true false]", q)
+	}
+	if counts[0] != 1 || counts[1] != 0 {
+		t.Errorf("snapshot counts = %v, want [1 0]", counts)
+	}
+}
+
+// --- mixture-level fallback chain ----------------------------------------
+
+// switchableEnv is an environment predictor with a breakage switch; while
+// broken it predicts NaN — the signature of a corrupt model. It deliberately
+// has no Validate method: boundary validation makes such models
+// unconstructible from tables, so tests inject them directly.
+type switchableEnv struct {
+	broken *bool
+}
+
+func (s switchableEnv) Predict(features.Vector) expert.EnvPrediction {
+	if *s.broken {
+		return expert.EnvPrediction{Norm: math.NaN()}
+	}
+	return expert.EnvPrediction{Norm: 10}
+}
+
+func (s switchableEnv) Dim() int { return features.Dim }
+
+// stubExpert builds an expert whose thread predictor always answers n and
+// whose environment predictor breaks when *broken is set.
+func stubExpert(t *testing.T, name string, n float64, broken *bool) *expert.Expert {
+	t.Helper()
+	coeffs := make([]float64, features.Dim+1)
+	coeffs[features.Dim] = n // bias-only model: constant prediction
+	m, err := regress.FromCoefficients(coeffs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &expert.Expert{
+		Name:       name,
+		Threads:    m,
+		Env:        switchableEnv{broken: broken},
+		MaxThreads: 32,
+	}
+}
+
+// healthTestDecision's environment has norm 10, matching the healthy stub
+// predictions so healthy experts score near-zero error.
+func healthTestDecision(t float64) sim.Decision {
+	return sim.Decision{
+		Time: t,
+		Features: features.Combine(
+			features.Code{LoadStore: 0.05, Instructions: 0.1, Branches: 0.01},
+			features.Env{Processors: 10},
+		),
+		CurrentThreads: 1,
+		MaxThreads:     16,
+		AvailableProcs: 5,
+	}
+}
+
+func TestMixtureFallbackChain(t *testing.T) {
+	var broken0, broken1 bool
+	set := expert.Set{
+		stubExpert(t, "A", 8, &broken0),
+		stubExpert(t, "B", 4, &broken1),
+	}
+	m, err := NewMixture(set, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Healthy phase: predictions come from the pool (8 or 4, depending on
+	// gating), never from the OS-default fallback (5).
+	for i := 0; i < 10; i++ {
+		n := m.Decide(healthTestDecision(float64(i)))
+		if n != 8 && n != 4 {
+			t.Fatalf("healthy decision %d = %d, want 8 or 4", i, n)
+		}
+	}
+	st := m.Snapshot()
+	if st.Quarantined[0] || st.Quarantined[1] {
+		t.Fatal("healthy expert quarantined")
+	}
+	if st.FallbackDecisions != 0 || st.ReroutedDecisions != 0 {
+		t.Fatalf("healthy run used the fallback chain: %+v", st)
+	}
+
+	// Break expert A: its NaN predictions quarantine it at the next scored
+	// step, and every decision reroutes to B.
+	broken0 = true
+	for i := 10; i < 20; i++ {
+		m.Decide(healthTestDecision(float64(i)))
+	}
+	st = m.Snapshot()
+	if !st.Quarantined[0] {
+		t.Fatal("broken expert A not quarantined")
+	}
+	if st.Quarantined[1] {
+		t.Fatal("healthy expert B quarantined alongside A")
+	}
+	if n := m.Decide(healthTestDecision(20)); n != 4 {
+		t.Errorf("decision with A down = %d, want B's 4", n)
+	}
+
+	// Break B too: the whole pool is down, so decisions fall through to the
+	// OS default — one thread per available processor.
+	broken1 = true
+	for i := 21; i < 25; i++ {
+		m.Decide(healthTestDecision(float64(i)))
+	}
+	if n := m.Decide(healthTestDecision(25)); n != 5 {
+		t.Errorf("all-quarantined decision = %d, want AvailableProcs 5", n)
+	}
+	st = m.Snapshot()
+	if !st.Quarantined[0] || !st.Quarantined[1] {
+		t.Fatal("full pool breakage not reflected in snapshot")
+	}
+	if st.FallbackDecisions == 0 {
+		t.Error("no fallback decisions counted with the pool down")
+	}
+	if st.QuarantineCount[0] < 1 || st.QuarantineCount[1] < 1 {
+		t.Errorf("quarantine counts %v, want at least one each", st.QuarantineCount)
+	}
+
+	// Repair both experts: after cooldown and probation the pool recovers
+	// and predictions come from experts again.
+	broken0, broken1 = false, false
+	for i := 26; i < 26+2*(quarantineCooldown+probationLength)+4; i++ {
+		m.Decide(healthTestDecision(float64(i)))
+	}
+	st = m.Snapshot()
+	if st.Quarantined[0] || st.Quarantined[1] {
+		t.Fatalf("pool did not recover after repair: %+v", st.Quarantined)
+	}
+	if n := m.Decide(healthTestDecision(1000)); n != 8 && n != 4 {
+		t.Errorf("recovered decision = %d, want an expert prediction", n)
+	}
+
+	// Decisions must count both expert-served and fallback-served steps.
+	st = m.Snapshot()
+	if st.Decisions == 0 || st.Decisions != st.FallbackDecisions+totalSelections(m) {
+		t.Errorf("Decisions = %d, fallback = %d, selections = %d",
+			st.Decisions, st.FallbackDecisions, totalSelections(m))
+	}
+}
+
+func totalSelections(m *Mixture) int { return m.selections.Total() }
+
+// TestMixtureSanitizesFeatures: non-finite features are repaired before
+// prediction, counted in the snapshot, and never produce an out-of-range
+// decision or a quarantine of a healthy expert.
+func TestMixtureSanitizesFeatures(t *testing.T) {
+	var broken bool
+	set := expert.Set{stubExpert(t, "A", 8, &broken)}
+	m, err := NewMixture(set, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := healthTestDecision(0)
+	d.Features[features.CPULoad1] = math.NaN()
+	d.Features[features.CachedMemory] = math.Inf(1)
+	n := m.Decide(d)
+	if n < 1 || n > d.MaxThreads {
+		t.Errorf("decision %d out of range on corrupt features", n)
+	}
+	st := m.Snapshot()
+	if st.SanitizedValues != 2 {
+		t.Errorf("SanitizedValues = %d, want 2", st.SanitizedValues)
+	}
+	// The constant-prediction expert stays healthy through garbage input.
+	for i := 1; i < 10; i++ {
+		m.Decide(healthTestDecision(float64(i)))
+	}
+	if st := m.Snapshot(); st.Quarantined[0] {
+		t.Error("healthy expert quarantined by sanitized input")
+	}
+}

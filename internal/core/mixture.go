@@ -46,9 +46,20 @@ type Selector interface {
 // implementing sim.Policy. It records the bookkeeping behind the analysis
 // figures: per-expert selection counts (Fig 15b), environment-prediction
 // accuracy (Fig 15a) and chosen-thread histograms (Fig 17).
+//
+// The mixture degrades gracefully when its inputs or experts fail. Incoming
+// features are sanitized (non-finite components zeroed, magnitudes
+// bounded), every expert carries a health record that quarantines it when
+// its environment predictions go non-finite or its rolling error explodes
+// (see health.go), and selection descends a fallback chain: the gated
+// mixture while any healthy expert remains, the healthiest single expert
+// when the selector's choice is quarantined, and the OS-default policy (one
+// thread per available processor) when the whole pool is quarantined.
 type Mixture struct {
 	experts  expert.Set
 	selector Selector
+	health   *healthTracker
+	trust    sensorTrust
 
 	// pending holds last step's state and per-expert environment
 	// predictions, scored when the next observation arrives.
@@ -65,6 +76,9 @@ type Mixture struct {
 	mixObserved  int
 	errSum       []float64 // per expert: Σ a^k, for normalized error
 	obsNormSum   float64   // Σ ‖e‖ observed, to normalize errors
+	sanitized    int       // feature components repaired on the way in
+	rerouted     int       // selections rerouted off a quarantined expert
+	fallback     int       // decisions served by the OS-default fallback
 }
 
 // Options configures a mixture.
@@ -86,6 +100,7 @@ func NewMixture(set expert.Set, opts Options) (*Mixture, error) {
 	return &Mixture{
 		experts:      set,
 		selector:     sel,
+		health:       newHealthTracker(len(set)),
 		selections:   stats.NewHistogram(),
 		threadHist:   stats.NewHistogram(),
 		accurate:     make([]int, len(set)),
@@ -103,13 +118,29 @@ func (m *Mixture) Experts() expert.Set {
 	return append(expert.Set(nil), m.experts...)
 }
 
-// Decide implements sim.Policy: score last step's predictions against the
-// newly observed environment, update the selector, select an expert for the
-// current state, and return its thread prediction.
+// Decide implements sim.Policy: sanitize the observation, judge whether it
+// deserves belief, score last step's predictions against the newly
+// observed environment, update the selector and each expert's health,
+// select an expert through the fallback chain, and return its thread
+// prediction. A disbelieved observation (see trust.go) is neither learned
+// from nor decided on — selection runs against the last trusted state.
 func (m *Mixture) Decide(d sim.Decision) int {
-	f := d.Features
+	f, repaired := features.Sanitize(d.Features)
+	m.sanitized += repaired
 	observedEnv := f.EnvPart()
 	observedNorm := observedEnv.Norm()
+
+	// Sensor trust engages only for diverse pools: disbelieving a sensor
+	// takes multiple witnesses, and a lone expert cannot outvote its only
+	// source of information. An observation that needed repair, or whose
+	// availability signal is churning implausibly fast, is suspect before
+	// any expert votes.
+	trustActive := len(m.experts) >= 2
+	suspect := false
+	if trustActive {
+		storming := m.trust.procStorming(f[features.Processors])
+		suspect = repaired > 0 || storming
+	}
 
 	// Score the pending predictions now that e_t is observable. Per §5.3
 	// only this single (last-timestep) observation updates M.
@@ -123,43 +154,128 @@ func (m *Mixture) Decide(d sim.Decision) int {
 		// machine no matter how lucky its last prediction was.
 		errors := make([]float64, len(m.experts))
 		raw := make([]float64, len(m.experts))
+		finite := make([]bool, len(m.experts))
 		for k := range m.experts {
-			errors[k] = m.pendingPred[k].Error(observedEnv) * applicabilityFactor(m.experts[k], m.pendingFeat)
-			raw[k] = m.pendingPred[k].RawError(observedEnv)
-			m.errSum[k] += raw[k]
-			m.observations[k]++
-			if withinEnvTolerance(raw[k], observedNorm) {
-				m.accurate[k]++
+			pred := m.pendingPred[k]
+			finite[k] = pred.Finite()
+			if finite[k] {
+				errors[k] = pred.Error(observedEnv) * applicabilityFactor(m.experts[k], m.pendingFeat)
+				raw[k] = pred.RawError(observedEnv)
+			} else {
+				// A corrupt expert's NaN must not poison the selector's
+				// bookkeeping; a finite error far beyond anything a
+				// working expert produces demotes it everywhere while
+				// health tracking quarantines it.
+				errors[k] = quarantineGatingError(observedNorm)
+				raw[k] = errors[k]
 			}
 		}
-		m.obsNormSum += observedNorm
-		m.selector.Update(m.pendingFeat, errors)
+		if trustActive && !suspect && consensusSuspect(raw, finite, observedNorm) {
+			suspect = true
+		}
+		if suspect {
+			// Don't learn from a lie — but a non-finite prediction proves
+			// its expert broken whatever the sensors say, so quarantine
+			// still applies.
+			for k := range m.experts {
+				if !finite[k] {
+					m.health.observe(k, false, raw[k], observedNorm)
+				}
+			}
+		} else {
+			for k := range m.experts {
+				m.errSum[k] += raw[k]
+				m.observations[k]++
+				if finite[k] && withinEnvTolerance(raw[k], observedNorm) {
+					m.accurate[k]++
+				}
+				m.health.observe(k, finite[k], raw[k], observedNorm)
+			}
+			m.obsNormSum += observedNorm
+			m.selector.Update(m.pendingFeat, errors)
 
-		// Mixture-level accuracy: was the *chosen* expert accurate?
-		chosen := m.selector.Select(m.pendingFeat)
-		m.mixObserved++
-		if withinEnvTolerance(raw[chosen], observedNorm) {
-			m.mixAccurate++
+			// Mixture-level accuracy: was the *chosen* expert accurate?
+			chosen := m.selector.Select(m.pendingFeat)
+			m.mixObserved++
+			if withinEnvTolerance(raw[chosen], observedNorm) {
+				m.mixAccurate++
+			}
 		}
 	}
 
-	// Select and predict for the current state.
-	k := m.selector.Select(f)
-	m.selections.Add(k)
-	n := m.experts[k].PredictThreads(f, d.MaxThreads)
+	// The state decisions are made from: the current observation when
+	// believed, otherwise the freshest state the mixture still trusts.
+	sel := f
+	if suspect {
+		m.trust.suspects++
+		if m.trust.haveFeat {
+			sel = m.trust.lastFeat
+		}
+	} else if trustActive {
+		m.trust.lastFeat, m.trust.haveFeat = f, true
+	}
+
+	// Select and predict, descending the fallback chain as far as health
+	// requires: selector's choice → healthiest single expert → OS default.
+	var n int
+	if m.health.allQuarantined() {
+		n = m.fallbackThreads(d)
+		m.fallback++
+	} else {
+		k := m.selector.Select(sel)
+		if !m.health.usable(k) {
+			k = m.health.healthiest()
+			m.rerouted++
+		}
+		m.selections.Add(k)
+		n = m.experts[k].PredictThreads(sel, d.MaxThreads)
+	}
 	m.threadHist.Add(n)
 
-	// Stash this step's environment predictions for scoring next time.
-	if m.pendingPred == nil {
-		m.pendingPred = make([]expert.EnvPrediction, len(m.experts))
+	// Stash this step's environment predictions for scoring next time —
+	// including quarantined experts', whose scored recovery is what drives
+	// probation and re-admission. A suspect step stashes nothing: the
+	// predictions made from the last trusted state stay pending until a
+	// trustworthy observation arrives to score them.
+	if !suspect {
+		if m.pendingPred == nil {
+			m.pendingPred = make([]expert.EnvPrediction, len(m.experts))
+		}
+		for i, e := range m.experts {
+			m.pendingPred[i] = e.PredictEnv(f)
+		}
+		m.pendingFeat = f
+		m.pendingValid = true
 	}
-	for i, e := range m.experts {
-		m.pendingPred[i] = e.PredictEnv(f)
-	}
-	m.pendingFeat = f
-	m.pendingValid = true
 
 	return n
+}
+
+// fallbackThreads is the last rung of the degradation ladder: with no
+// usable expert, behave exactly like the OpenMP default — one thread per
+// available processor, bounded by the machine cap.
+func (m *Mixture) fallbackThreads(d sim.Decision) int {
+	limit := d.MaxThreads
+	if limit < 1 {
+		limit = m.experts.MaxThreads()
+	}
+	n := d.AvailableProcs
+	if n < 1 {
+		n = limit
+	}
+	return stats.ClampInt(n, 1, limit)
+}
+
+// quarantineGatingError is the finite stand-in gating error charged to an
+// expert whose prediction was non-finite: an order of magnitude past the
+// quarantine threshold at the current environment scale, so it both loses
+// every selection contest and trips health tracking immediately.
+func quarantineGatingError(observedNorm float64) float64 {
+	scale := math.Abs(observedNorm)
+	if scale < 1 {
+		scale = 1
+	}
+	return 10 * quarantineErrRatio * scale
 }
 
 // applicabilityFactor grows the gating error of an expert whose training
@@ -205,17 +321,41 @@ type Stats struct {
 	ThreadHistogram map[int]float64
 	// Decisions is the total number of decisions made.
 	Decisions int
+	// Quarantined[k] reports whether expert k is currently quarantined.
+	Quarantined []bool
+	// QuarantineCount[k] is how many times expert k entered quarantine.
+	QuarantineCount []int
+	// SanitizedValues counts feature components the input sanitizer
+	// repaired (non-finite or out-of-bound observations).
+	SanitizedValues int
+	// ReroutedDecisions counts selections moved off a quarantined expert
+	// onto the healthiest remaining one.
+	ReroutedDecisions int
+	// FallbackDecisions counts decisions served by the OS-default fallback
+	// because every expert was quarantined.
+	FallbackDecisions int
+	// SuspectObservations counts observations the sensor-trust layer
+	// disbelieved (see trust.go): not learned from, decided against the
+	// last trusted state instead.
+	SuspectObservations int
 }
 
 // Snapshot returns the current analysis statistics.
 func (m *Mixture) Snapshot() Stats {
 	k := len(m.experts)
+	quarantined, counts := m.health.snapshot()
 	st := Stats{
-		SelectionFraction: make([]float64, k),
-		EnvAccuracy:       make([]float64, k),
-		NormalizedError:   make([]float64, k),
-		ThreadHistogram:   m.threadHist.Normalized(),
-		Decisions:         m.selections.Total(),
+		SelectionFraction:   make([]float64, k),
+		EnvAccuracy:         make([]float64, k),
+		NormalizedError:     make([]float64, k),
+		ThreadHistogram:     m.threadHist.Normalized(),
+		Decisions:           m.selections.Total() + m.fallback,
+		Quarantined:         quarantined,
+		QuarantineCount:     counts,
+		SanitizedValues:     m.sanitized,
+		ReroutedDecisions:   m.rerouted,
+		FallbackDecisions:   m.fallback,
+		SuspectObservations: m.trust.suspects,
 	}
 	for i := 0; i < k; i++ {
 		st.SelectionFraction[i] = m.selections.Fraction(i)

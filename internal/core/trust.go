@@ -1,0 +1,91 @@
+package core
+
+import (
+	"math"
+
+	"moe/internal/features"
+)
+
+// Sensor trust: the second rung of the mixture's degradation ladder, and
+// the one only a *mixture* can climb. Sanitization (rung one) repairs
+// observations that are syntactically broken — non-finite, absurdly sized.
+// But a sensor can lie with perfectly finite numbers: a dropped-out reader
+// returns zeros, a hotplug storm reports a different processor count every
+// sample. A single model cannot tell "my model is wrong" from "the sensor
+// is wrong" — it has one witness. A diverse pool can: the experts
+// disagree with each other about most things, so when every one of them
+// simultaneously reports enormous prediction error, the likeliest
+// explanation is that the observation, not the whole pool, is broken.
+//
+// A suspect observation is not learned from (no selector update, no
+// health scoring — garbage evidence would quarantine healthy experts and
+// repartition the feature space around a lie) and is not decided on: the
+// mixture selects and predicts from the last trusted state instead,
+// riding out the fault window on the freshest information it believes.
+// Expert predictions that are non-finite still quarantine their expert
+// regardless of trust — sanitized inputs through validated models cannot
+// produce them, so they prove the *model* broken no matter what the
+// sensors say.
+const (
+	// suspectErrRatio is the consensus threshold: when the BEST
+	// finite expert's single-step relative environment error exceeds it,
+	// the observation is disbelieved. It sits below quarantineErrRatio —
+	// an observation bad enough to quarantine the entire pool at once is
+	// exactly the kind that should be disbelieved instead.
+	suspectErrRatio = 6.0
+	// procChurnDecay weights the newest change indicator in the
+	// availability-churn EMA.
+	procChurnDecay = 0.2
+	// procChurnLimit is the churn rate beyond which the availability
+	// signal is considered to be storming: legitimate hardware schedules
+	// change f5 every tens of seconds (change rate well under 0.15 per
+	// decision), a hotplug storm changes it nearly every sample.
+	procChurnLimit = 0.5
+)
+
+// sensorTrust tracks what the mixture currently believes about its
+// observation path.
+type sensorTrust struct {
+	lastFeat  features.Vector // last trusted state
+	haveFeat  bool
+	lastProc  float64 // previous f5 sample, for the churn detector
+	haveProc  bool
+	procChurn float64 // EMA of "f5 changed this step"
+	suspects  int     // observations disbelieved so far
+}
+
+// procStorming feeds one availability sample to the churn detector and
+// reports whether the signal is currently churning too fast to believe.
+func (s *sensorTrust) procStorming(proc float64) bool {
+	if s.haveProc {
+		changed := 0.0
+		if proc != s.lastProc {
+			changed = 1
+		}
+		s.procChurn += procChurnDecay * (changed - s.procChurn)
+	}
+	s.lastProc, s.haveProc = proc, true
+	return s.procChurn > procChurnLimit
+}
+
+// consensusSuspect reports whether the scored errors condemn the
+// observation: every expert with a finite prediction missed by more than
+// suspectErrRatio times the observed scale. Experts with non-finite
+// predictions don't vote — their testimony is about themselves.
+func consensusSuspect(raw []float64, finite []bool, observedNorm float64) bool {
+	scale := math.Abs(observedNorm)
+	if scale < 1 {
+		scale = 1
+	}
+	voted := false
+	for k, ok := range finite {
+		if !ok {
+			continue
+		}
+		voted = true
+		if raw[k]/scale <= suspectErrRatio {
+			return false
+		}
+	}
+	return voted
+}

@@ -1,0 +1,43 @@
+package experiments
+
+import (
+	"testing"
+)
+
+// TestChaosStudyMixtureDegradesGracefully is the study's acceptance
+// property: under at least three fault kinds the mixture retains strictly
+// more of its fault-free performance than every single expert from its own
+// pool — diversity plus the fallback chain beats any one model under fire.
+func TestChaosStudyMixtureDegradesGracefully(t *testing.T) {
+	l := lab(t)
+	sc := Scale{Targets: []string{"lu", "mg"}, Repeats: 2, Seed: 5}
+	tab, err := l.chaosStudy(sc, 800)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", tab)
+	experts := []string{"expert1", "expert2", "expert3", "expert4"}
+	wins := 0
+	for _, row := range tab.Rows {
+		if row.Label == "hmean" {
+			continue
+		}
+		mix := tab.MustGet(row.Label, "mixture")
+		if mix <= 0 {
+			t.Errorf("%s: non-positive mixture retention %v", row.Label, mix)
+		}
+		beatsAll := true
+		for _, e := range experts {
+			if mix <= tab.MustGet(row.Label, e) {
+				beatsAll = false
+				break
+			}
+		}
+		if beatsAll {
+			wins++
+		}
+	}
+	if wins < 3 {
+		t.Errorf("mixture strictly beat every single expert under only %d fault kinds, want >= 3\n%s", wins, tab)
+	}
+}

@@ -1,0 +1,169 @@
+package experiments
+
+import (
+	"fmt"
+
+	"moe/internal/chaos"
+	"moe/internal/sim"
+	"moe/internal/stats"
+	"moe/internal/trace"
+)
+
+// ChaosStudy measures graceful degradation: every policy runs the same
+// co-execution scenario once clean and once per fault kind with a fault
+// injector lying to it (internal/chaos), and the table reports performance
+// against a common fault-free baseline — speedup over the clean OpenMP
+// default — per fault kind, plus the fault-free row for reference. The
+// engine's ground truth is identical in every run (same seeds, same
+// hardware trace, same workload), so the drop from the fault-free row is
+// attributable purely to the policy's handling of a corrupted observation
+// path; normalizing every policy against the same baseline keeps a policy
+// that is merely slow when healthy from looking "robust" because it had
+// little performance to lose.
+//
+// The mixture's robustness story is diversity plus the degradation ladder:
+// sanitization absorbs non-finite inputs, quarantine ejects experts that a
+// fault has blinded, and the fallback chain keeps decisions sane when the
+// whole pool is down. A single expert has the same ladder but no diversity
+// to reroute to, which is what this study exposes.
+func (l *Lab) ChaosStudy(sc Scale) (*Table, error) {
+	return l.chaosStudy(sc, DefaultMaxTime)
+}
+
+// chaosPolicies are the study's columns: the mixture, each single expert
+// of its pool (Fig 15c's bars, now under fire), and the OpenMP default.
+func (l *Lab) chaosPolicies() []struct {
+	label string
+	build func(target string, seed uint64) (sim.Policy, error)
+} {
+	cols := []struct {
+		label string
+		build func(target string, seed uint64) (sim.Policy, error)
+	}{
+		{"mixture", func(target string, seed uint64) (sim.Policy, error) {
+			return l.NewPolicy(PolicyMixture, target, seed)
+		}},
+	}
+	for i := 0; i < 4; i++ {
+		idx := i
+		cols = append(cols, struct {
+			label string
+			build func(target string, seed uint64) (sim.Policy, error)
+		}{
+			label: fmt.Sprintf("expert%d", idx+1),
+			build: func(target string, seed uint64) (sim.Policy, error) {
+				return l.SingleExpertPolicy(target, idx)
+			},
+		})
+	}
+	cols = append(cols, struct {
+		label string
+		build func(target string, seed uint64) (sim.Policy, error)
+	}{
+		label: "default",
+		build: func(target string, seed uint64) (sim.Policy, error) {
+			return l.NewPolicy(PolicyDefault, target, seed)
+		},
+	})
+	return cols
+}
+
+// chaosStudy is ChaosStudy with the run length exposed so tests can keep
+// the sweep affordable.
+func (l *Lab) chaosStudy(sc Scale, maxTime float64) (*Table, error) {
+	kinds := chaos.Kinds()
+	cols := l.chaosPolicies()
+	repeats := max(1, sc.Repeats)
+	nC, nT := len(cols), len(sc.Targets)
+	// Variant 0 is the clean run; variant k>0 injects fault kind k-1.
+	nV := 1 + len(kinds)
+	total := nV * nC * nT * repeats
+
+	times, err := grid(l, total, func(i int) (float64, error) {
+		ri := i % repeats
+		ti := (i / repeats) % nT
+		ci := (i / (repeats * nT)) % nC
+		vi := i / (repeats * nT * nC)
+		target := sc.Targets[ti]
+		seed := sc.Seed + uint64(ti)*104729 + uint64(ri)*1000003
+		p, err := cols[ci].build(target, seed)
+		if err != nil {
+			return 0, err
+		}
+		if vi > 0 {
+			sf, err := chaos.NewKindFault(kinds[vi-1], l.Eval.Cores)
+			if err != nil {
+				return 0, err
+			}
+			// The injector seed depends on scenario but not policy, so
+			// every column faces the same perturbation stream.
+			inj, err := chaos.NewInjector(p, seed^(uint64(vi)*0x9e3779b9), sf)
+			if err != nil {
+				return 0, err
+			}
+			p = inj
+		}
+		out, err := l.RunWithPolicy(ScenarioSpec{
+			Target:   target,
+			Workload: []string{"cg"},
+			HWFreq:   trace.LowFrequency,
+			Seed:     seed,
+			MaxTime:  maxTime,
+		}, p)
+		if err != nil {
+			return 0, err
+		}
+		return out.ExecTime, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	at := func(vi, ci, ti, ri int) float64 {
+		return times[((vi*nC+ci)*nT+ti)*repeats+ri]
+	}
+	// The common baseline: the clean run of the "default" column.
+	baseCol := nC - 1
+	t := &Table{
+		Title: "Chaos — speedup over the fault-free default, observation path under fault",
+		Columns: func() []string {
+			out := make([]string, nC)
+			for i, c := range cols {
+				out[i] = c.label
+			}
+			return out
+		}(),
+		Notes: []string{
+			"value = clean default exec time / policy exec time under the row's fault",
+			"the fault-free row is the ordinary speedup; the drop below it is the fault's cost",
+			"faults perturb only what the policy observes; the machine and workload are identical",
+		},
+	}
+	perCol := make([][]float64, nC)
+	addRow := func(label string, vi int) {
+		vals := make([]float64, nC)
+		for ci := 0; ci < nC; ci++ {
+			ratios := make([]float64, 0, nT*repeats)
+			for ti := 0; ti < nT; ti++ {
+				for ri := 0; ri < repeats; ri++ {
+					ratios = append(ratios, at(0, baseCol, ti, ri)/at(vi, ci, ti, ri))
+				}
+			}
+			vals[ci] = stats.HMean(ratios)
+			if vi > 0 {
+				perCol[ci] = append(perCol[ci], vals[ci])
+			}
+		}
+		t.AddRow(label, vals...)
+	}
+	addRow("fault-free", 0)
+	for vi := 1; vi < nV; vi++ {
+		addRow(kinds[vi-1], vi)
+	}
+	hm := make([]float64, nC)
+	for ci := range cols {
+		hm[ci] = stats.HMean(perCol[ci])
+	}
+	t.AddRow("hmean", hm...)
+	return t, nil
+}

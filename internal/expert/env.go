@@ -35,6 +35,28 @@ type EnvPrediction struct {
 	Sigma *[features.EnvDim]float64
 }
 
+// Finite reports whether every value the prediction carries is finite. A
+// non-finite prediction is the unambiguous signature of a broken expert —
+// finite models on sanitized features cannot produce one — and is what the
+// mixture's health tracking quarantines on.
+func (p EnvPrediction) Finite() bool {
+	if math.IsNaN(p.Norm) || math.IsInf(p.Norm, 0) {
+		return false
+	}
+	if !p.HasVec {
+		return true
+	}
+	for _, v := range [...]float64{
+		p.Vec.WorkloadThreads, p.Vec.Processors, p.Vec.RunQueue,
+		p.Vec.Load1, p.Vec.Load5, p.Vec.CachedMem, p.Vec.PageFreeRate,
+	} {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return false
+		}
+	}
+	return true
+}
+
 // envDiffs returns the per-dimension differences ê − e.
 func (p EnvPrediction) envDiffs(observed features.Env) [features.EnvDim]float64 {
 	return [features.EnvDim]float64{
@@ -106,12 +128,12 @@ func (m NormEnvModel) Predict(f features.Vector) EnvPrediction {
 // Dim implements EnvModel.
 func (m NormEnvModel) Dim() int { return m.Model.Dim() }
 
-// Validate checks the model is usable.
+// Validate checks the model is usable and its coefficients finite.
 func (m NormEnvModel) Validate() error {
 	if m.Model == nil {
 		return fmt.Errorf("expert: norm environment model with nil regression")
 	}
-	return nil
+	return m.Model.Validate()
 }
 
 // VectorEnvModel predicts every environment feature (f4–f10) with one
@@ -167,7 +189,8 @@ func (m VectorEnvModel) Dim() int {
 	return m.Models[0].Dim()
 }
 
-// Validate checks all component models exist and agree on dimensionality.
+// Validate checks all component models exist, agree on dimensionality and
+// carry finite coefficients.
 func (m VectorEnvModel) Validate() error {
 	for i, mod := range m.Models {
 		if mod == nil {
@@ -175,6 +198,9 @@ func (m VectorEnvModel) Validate() error {
 		}
 		if mod.Dim() != m.Models[0].Dim() {
 			return fmt.Errorf("expert: vector environment model has inconsistent dimensionality")
+		}
+		if err := mod.Validate(); err != nil {
+			return fmt.Errorf("expert: vector environment model dimension %d: %w", i, err)
 		}
 	}
 	return nil

@@ -61,6 +61,9 @@ func (e *Expert) Validate() error {
 	if e.Threads == nil || e.Env == nil {
 		return fmt.Errorf("expert %s: missing thread or environment predictor", e.Name)
 	}
+	if err := e.Threads.Validate(); err != nil {
+		return fmt.Errorf("expert %s: thread predictor: %w", e.Name, err)
+	}
 	if v, ok := e.Env.(interface{ Validate() error }); ok {
 		if err := v.Validate(); err != nil {
 			return fmt.Errorf("expert %s: %w", e.Name, err)
@@ -159,6 +162,15 @@ func (e *Expert) PredictThreads(f features.Vector, callerMax int) int {
 			nx, _ := e.Speedup.Best(f, limit)
 			n = (1-lambda)*nw + lambda*float64(nx)
 		}
+	}
+	if math.IsNaN(n) || math.IsInf(n, 0) {
+		// A broken predictor (non-finite state slipped past sanitization,
+		// or a corrupt model constructed around the boundary checks) must
+		// still yield a legal count; the OpenMP-default choice — one
+		// thread per context — is the neutral fallback. The mixture's
+		// health tracking quarantines the expert via its environment
+		// predictions; this guard only keeps the single prediction sane.
+		return limit
 	}
 	out := int(math.Round(n))
 	if out < 1 {

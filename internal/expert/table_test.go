@@ -53,6 +53,9 @@ func TestParseTableCommentsAndBlanks(t *testing.T) {
 
 func TestParseTableRejects(t *testing.T) {
 	w := "1, -1.5, 0.8, -0.6, 0.9, 0.1, 0.1, -0.1, -0.1, 0.1, -1.2"
+	nanW := strings.Replace(w, "0.8", "NaN", 1)
+	infW := strings.Replace(w, "0.8", "-Inf", 1)
+	hugeW := strings.Replace(w, "0.8", "4.2e12", 1)
 	cases := map[string]string{
 		"too few fields":     "E1|32|x|" + w,
 		"empty name":         " |32|x|" + w + "|" + w,
@@ -60,6 +63,9 @@ func TestParseTableRejects(t *testing.T) {
 		"zero max threads":   "E1|0|x|" + w + "|" + w,
 		"bad w row":          "E1|32|x|1, banana|" + w,
 		"bad m row":          "E1|32|x|" + w + "|1, banana",
+		"NaN w row":          "E1|32|x|" + nanW + "|" + w,
+		"Inf m row":          "E1|32|x|" + w + "|" + infW,
+		"huge coefficient":   "E1|32|x|" + hugeW + "|" + w,
 		"dimension mismatch": "E1|32|x|1, 2, 3|" + w,
 		"wrong feature dim":  "E1|32|x|1, 2, 3|4, 5, 6",
 		"duplicate name":     "E1|32|x|" + w + "|" + w + "\nE1|32|x|" + w + "|" + w,
@@ -83,6 +89,9 @@ func FuzzParseTable(f *testing.F) {
 	f.Add("E1|32|x|1, 2|3, 4\n")
 	f.Add("a|1|t|" + strings.Repeat("1 ", 10) + "2|" + strings.Repeat("1 ", 10) + "2\n")
 	f.Add("a|1||1 2 3 4 5 6 7 8 9 10 11|1 2 3 4 5 6 7 8 9 10 11")
+	f.Add("a|1||NaN 2 3 4 5 6 7 8 9 10 11|1 2 3 4 5 6 7 8 9 10 11")
+	f.Add("a|1||1 2 3 4 5 6 7 8 9 10 Inf|1 2 3 4 5 -Inf 7 8 9 10 11")
+	f.Add("a|1||1e300 2 3 4 5 6 7 8 9 10 11|1 2 3 4 5 6 7 8 9 10 1e300")
 
 	f.Fuzz(func(t *testing.T, s string) {
 		set, err := ParseTable(s)

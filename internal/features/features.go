@@ -200,6 +200,37 @@ func (v Vector) LessEq(u Vector) bool {
 	return le >= ge
 }
 
+// MaxMagnitude bounds the absolute value a sanitized feature may carry.
+// Every Table 1 feature is a physical quantity — instruction ratios, thread
+// counts, load averages, gigabytes — many orders of magnitude below this;
+// anything larger is a sensor failure, and bounding it keeps every linear
+// model downstream (weights bounded by regress.MaxCoefficient) provably
+// finite.
+const MaxMagnitude = 1e9
+
+// Sanitize replaces non-finite components with zero and clamps finite ones
+// to ±MaxMagnitude, returning the cleaned vector and how many components
+// were repaired. It is the first rung of the degradation ladder: policies
+// and predictors downstream may assume a sanitized vector is finite and
+// boundedly sized, whatever the sensors reported.
+func Sanitize(v Vector) (Vector, int) {
+	repaired := 0
+	for i, x := range v {
+		switch {
+		case math.IsNaN(x) || math.IsInf(x, 0):
+			v[i] = 0
+			repaired++
+		case x > MaxMagnitude:
+			v[i] = MaxMagnitude
+			repaired++
+		case x < -MaxMagnitude:
+			v[i] = -MaxMagnitude
+			repaired++
+		}
+	}
+	return v, repaired
+}
+
 // NormalizeCode returns code features normalized to the given total
 // instruction count, per §5.2.2 ("code features at every loop were
 // normalized to the total number of instructions in the program").

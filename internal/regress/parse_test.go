@@ -38,15 +38,23 @@ func TestParseCoefficientsSeparators(t *testing.T) {
 }
 
 func TestParseCoefficientsRejects(t *testing.T) {
-	for _, s := range []string{"", "   ", ",,;", "1, banana", "1, NaN", "1, Inf", "1, -Inf", "1..2"} {
+	for _, s := range []string{
+		"", "   ", ",,;", "1, banana", "1, NaN", "1, Inf", "1, -Inf", "1..2",
+		// Absurd magnitudes: a Table 1 row is O(1); these are corruption.
+		"1, 1e7", "1, -2e9", "1e308, 2", "1, 1.0000001e6",
+	} {
 		if got, err := ParseCoefficients(s); err == nil {
 			t.Errorf("ParseCoefficients(%q) = %v, want error", s, got)
 		}
 	}
+	// The bound itself is inclusive.
+	if _, err := ParseCoefficients("1, 1e6, -1e6"); err != nil {
+		t.Errorf("ParseCoefficients at the magnitude bound: %v", err)
+	}
 }
 
 func TestFormatParseRoundTrip(t *testing.T) {
-	in := []float64{1.05, -1.52, 0.003, 1e-300, -6.8, 0, math.MaxFloat64}
+	in := []float64{1.05, -1.52, 0.003, 1e-300, -6.8, 0, MaxCoefficient}
 	out, err := ParseCoefficients(FormatCoefficients(in))
 	if err != nil {
 		t.Fatalf("round trip: %v", err)
@@ -101,6 +109,10 @@ func FuzzParseCoefficients(f *testing.F) {
 	f.Add("NaN Inf -Inf")
 	f.Add("1;2;;3,,4 \t 5")
 	f.Add("1e308 -1e308 1e-308")
+	f.Add("nan, -nan, +Inf, Infinity")
+	f.Add("1, 2, NaN, 4, 5, 6, 7, 8, 9, 10, 11")
+	f.Add("1e7 -1e7 999999.9 1000000.1")
+	f.Add("0x1p-1074 5e-324 -0")
 
 	f.Fuzz(func(t *testing.T, s string) {
 		coeffs, err := ParseCoefficients(s)
@@ -113,6 +125,9 @@ func FuzzParseCoefficients(f *testing.F) {
 		for i, c := range coeffs {
 			if math.IsNaN(c) || math.IsInf(c, 0) {
 				t.Fatalf("ParseCoefficients(%q) accepted non-finite value %v at %d", s, c, i)
+			}
+			if math.Abs(c) > MaxCoefficient {
+				t.Fatalf("ParseCoefficients(%q) accepted out-of-bound value %v at %d", s, c, i)
 			}
 		}
 		// Round trip must be exact (including negative zero).

@@ -23,6 +23,13 @@ var ErrNoData = errors.New("regress: no training samples")
 // ridge regularization.
 var ErrSingular = errors.New("regress: singular system")
 
+// MaxCoefficient bounds the magnitude a parsed or loaded coefficient may
+// have. Table 1 coefficients are O(1); anything beyond this bound is a
+// corrupt table, not a model, and is rejected at the parse/load boundary so
+// a finite feature vector can never be mapped to an astronomical or
+// non-finite prediction.
+const MaxCoefficient = 1e6
+
 // Sample is one training observation: a feature vector and the value the
 // model should predict for it (best thread count for w models, next
 // environment norm for m models).
@@ -38,27 +45,56 @@ type Model struct {
 }
 
 // Predict evaluates the model at x. The length of x must match the number
-// of weights.
+// of weights. A non-finite result — possible only with non-finite inputs or
+// a model that bypassed the coefficient boundary checks — is rejected with
+// an error rather than handed to the caller as NaN.
 func (m *Model) Predict(x []float64) (float64, error) {
 	if len(x) != len(m.Weights) {
 		return 0, fmt.Errorf("regress: predict with %d features, model has %d", len(x), len(m.Weights))
 	}
-	y := m.Bias
-	for i, w := range m.Weights {
-		y += w * x[i]
+	y := m.rawPredict(x)
+	if math.IsNaN(y) || math.IsInf(y, 0) {
+		return 0, fmt.Errorf("regress: non-finite prediction (non-finite inputs or corrupt coefficients)")
 	}
 	return y, nil
 }
 
 // MustPredict is Predict for callers that construct x with the model's own
 // dimensionality; it panics on mismatch, which indicates a programming
-// error rather than bad data.
+// error rather than bad data. Unlike Predict it lets a non-finite result
+// through: the decision path treats NaN/Inf predictions as an expert-health
+// signal (quarantine) and must observe them rather than crash on them.
 func (m *Model) MustPredict(x []float64) float64 {
-	y, err := m.Predict(x)
-	if err != nil {
-		panic(err)
+	if len(x) != len(m.Weights) {
+		panic(fmt.Errorf("regress: predict with %d features, model has %d", len(x), len(m.Weights)))
+	}
+	return m.rawPredict(x)
+}
+
+func (m *Model) rawPredict(x []float64) float64 {
+	y := m.Bias
+	for i, w := range m.Weights {
+		y += w * x[i]
 	}
 	return y
+}
+
+// Validate rejects models whose coefficients are non-finite. It is the
+// check behind every construction boundary (parsing, JSON loading, expert
+// validation): a model that passes cannot turn finite features into NaN.
+func (m *Model) Validate() error {
+	if m == nil {
+		return errors.New("regress: nil model")
+	}
+	for i, w := range m.Weights {
+		if math.IsNaN(w) || math.IsInf(w, 0) {
+			return fmt.Errorf("regress: weight %d (%v) is not finite", i, w)
+		}
+	}
+	if math.IsNaN(m.Bias) || math.IsInf(m.Bias, 0) {
+		return fmt.Errorf("regress: bias (%v) is not finite", m.Bias)
+	}
+	return nil
 }
 
 // Dim returns the number of features the model expects.
@@ -74,10 +110,21 @@ func (m *Model) Coefficients() []float64 {
 }
 
 // FromCoefficients builds a model from a Table-1-style coefficient slice
-// (weights followed by bias).
+// (weights followed by bias). Non-finite or absurd-magnitude values are
+// rejected: this is the boundary every externally supplied model crosses
+// (parsed tables, JSON expert sets), and letting a NaN weight through here
+// would poison every downstream prediction.
 func FromCoefficients(coeffs []float64) (*Model, error) {
 	if len(coeffs) < 2 {
 		return nil, fmt.Errorf("regress: need at least one weight plus bias, got %d values", len(coeffs))
+	}
+	for i, v := range coeffs {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, fmt.Errorf("regress: coefficient %d (%v) is not finite", i, v)
+		}
+		if math.Abs(v) > MaxCoefficient {
+			return nil, fmt.Errorf("regress: coefficient %d (%v) exceeds magnitude bound %g", i, v, MaxCoefficient)
+		}
 	}
 	w := make([]float64, len(coeffs)-1)
 	copy(w, coeffs[:len(coeffs)-1])

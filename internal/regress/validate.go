@@ -12,9 +12,10 @@ import (
 // ParseCoefficients parses a textual coefficient row — the layout of the
 // paper's Table 1 — into values. Numbers are separated by commas,
 // semicolons and/or whitespace; the final value is the bias term. It
-// rejects empty input, malformed numbers and non-finite values, so a model
-// assembled from parsed coefficients can never predict NaN from finite
-// features.
+// rejects empty input, malformed numbers, non-finite values and values
+// beyond the MaxCoefficient magnitude bound, so a model assembled from
+// parsed coefficients can never predict NaN — or an astronomically wrong
+// thread count — from finite features.
 func ParseCoefficients(s string) ([]float64, error) {
 	fields := strings.FieldsFunc(s, func(r rune) bool {
 		return r == ',' || r == ';' || unicode.IsSpace(r)
@@ -30,6 +31,9 @@ func ParseCoefficients(s string) ([]float64, error) {
 		}
 		if math.IsNaN(v) || math.IsInf(v, 0) {
 			return nil, fmt.Errorf("regress: coefficient %d (%q) is not finite", i, f)
+		}
+		if math.Abs(v) > MaxCoefficient {
+			return nil, fmt.Errorf("regress: coefficient %d (%q) exceeds magnitude bound %g — corrupt table?", i, f, MaxCoefficient)
 		}
 		out[i] = v
 	}

@@ -2,6 +2,7 @@ package moe
 
 import (
 	"fmt"
+	"math"
 	"sync"
 
 	"moe/internal/features"
@@ -34,6 +35,8 @@ type Runtime struct {
 	hist       *stats.Histogram
 	lastN      int
 	clock      float64
+	lastAvail  int
+	sanitized  int
 }
 
 // NewRuntime wraps a policy for a machine with maxThreads hardware
@@ -64,18 +67,41 @@ type Observation struct {
 	AvailableProcs int
 }
 
-// Decide returns the number of threads to use from this point on.
+// Decide returns the number of threads to use from this point on. The
+// observation is sanitized before the policy sees it — non-finite or
+// absurdly sized feature components are repaired, a non-finite or negative
+// rate is treated as unknown, a non-finite timestamp as "no time
+// information", and a missing processor availability falls back through
+// the f5 feature, then the last availability any prior observation
+// established, and only then the machine cap. Whatever the host reports,
+// the result is always in [1, maxThreads] and Decide never panics.
 func (r *Runtime) Decide(obs Observation) int {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	f, repaired := features.Sanitize(obs.Features)
+	obs.Features = f
+	r.sanitized += repaired
+	if math.IsNaN(obs.Rate) || math.IsInf(obs.Rate, 0) || obs.Rate < 0 {
+		obs.Rate = 0
+	}
 	avail := obs.AvailableProcs
 	if avail <= 0 {
 		avail = int(obs.Features[features.Processors])
-		if avail <= 0 {
-			avail = r.maxThreads
-		}
 	}
-	if obs.Time < r.clock {
+	if avail <= 0 {
+		// No availability in this observation: carry the last known-good
+		// value rather than leaping to the machine cap — a sensor dropout
+		// does not mean every processor came back online.
+		avail = r.lastAvail
+	}
+	if avail <= 0 {
+		avail = r.maxThreads
+	}
+	if avail > r.maxThreads {
+		avail = r.maxThreads
+	}
+	r.lastAvail = avail
+	if math.IsNaN(obs.Time) || math.IsInf(obs.Time, 0) || obs.Time < r.clock {
 		obs.Time = r.clock
 	}
 	r.clock = obs.Time
@@ -108,6 +134,15 @@ func (r *Runtime) Decisions() int {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return r.decisions
+}
+
+// SanitizedValues returns how many observation components the runtime has
+// repaired (non-finite or out-of-bound feature values). A nonzero count
+// signals the host's sensor path is feeding the runtime garbage.
+func (r *Runtime) SanitizedValues() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.sanitized
 }
 
 // ThreadHistogram returns the distribution of chosen thread counts. The

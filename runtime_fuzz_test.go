@@ -1,0 +1,73 @@
+package moe_test
+
+import (
+	"math"
+	"testing"
+
+	"moe"
+)
+
+// buildFuzzFeatures spreads four fuzzed values plus an optional hostile
+// value across the 10-feature vector, so the fuzzer can reach every
+// component without 10 separate parameters.
+func buildFuzzFeatures(a, b, c, d float64, hostile uint8) moe.Features {
+	vals := [4]float64{a, b, c, d}
+	var f moe.Features
+	for i := range f {
+		f[i] = vals[i%4]
+	}
+	// The low three bits pick a hostile payload, the next four the slot.
+	payloads := [...]float64{math.NaN(), math.Inf(1), math.Inf(-1), 1e308, -1e308, 5e-324, 0, -0.0}
+	f[int(hostile>>3)%len(f)] = payloads[int(hostile&7)]
+	return f
+}
+
+// FuzzRuntimeDecide is the property the degradation ladder promises:
+// whatever observation a host reports — non-finite features, absurd
+// magnitudes, backwards or NaN clocks, garbage rates and availabilities —
+// Decide never panics and always returns a thread count in
+// [1, maxThreads], for the mixture and for the baseline policies alike.
+func FuzzRuntimeDecide(f *testing.F) {
+	f.Add(0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0, uint8(0), false)
+	f.Add(1.0, 8.0, 2.0, 0.5, 10.0, 100.0, 16, uint8(9), true)
+	f.Add(math.NaN(), math.Inf(1), math.Inf(-1), 1e308, math.NaN(), math.Inf(-1), -5, uint8(255), false)
+	f.Add(-1e308, 1e-308, -0.0, 5e-324, -1.0, -1e9, 1 << 30, uint8(42), true)
+	f.Add(1e9, 1e10, -1e10, 32.0, 1e300, 0.0, 0, uint8(77), false)
+
+	f.Fuzz(func(t *testing.T, a, b, c, d, tm, rate float64, avail int, hostile uint8, start bool) {
+		const maxThreads = 16
+		mix, err := moe.NewMixture(moe.CanonicalExperts())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range []moe.Policy{mix, moe.NewDefaultPolicy(), moe.NewOnlinePolicy()} {
+			rt, err := moe.NewRuntime(p, maxThreads)
+			if err != nil {
+				t.Fatal(err)
+			}
+			obs := moe.Observation{
+				Time:           tm,
+				Features:       buildFuzzFeatures(a, b, c, d, hostile),
+				Rate:           rate,
+				RegionStart:    start,
+				AvailableProcs: avail,
+			}
+			// Decide repeatedly: stateful policies (and the mixture's
+			// health tracking) see the corruption scored on the next step.
+			for i := 0; i < 4; i++ {
+				n := rt.Decide(obs)
+				if n < 1 || n > maxThreads {
+					t.Fatalf("%s: decision %d outside [1, %d] for %+v",
+						p.Name(), n, maxThreads, obs)
+				}
+				obs.Time = tm + float64(i)
+			}
+			// And a clean observation afterwards still works.
+			var clean moe.Features
+			clean[4] = 8
+			if n := rt.Decide(moe.Observation{Time: tm + 10, Features: clean}); n < 1 || n > maxThreads {
+				t.Fatalf("%s: decision %d out of range after recovery", p.Name(), n)
+			}
+		}
+	})
+}

@@ -1,6 +1,7 @@
 package moe_test
 
 import (
+	"math"
 	"sync"
 	"testing"
 
@@ -181,9 +182,57 @@ func TestRuntimeDerivesAvailFromFeatures(t *testing.T) {
 	if n := rt.Decide(moe.Observation{Features: f, AvailableProcs: 6}); n != 6 {
 		t.Errorf("explicit avail = %d, want 6", n)
 	}
-	// No information at all: cap.
+	// A dropout (no availability in the observation) carries the last
+	// known-good value instead of assuming every processor came back.
 	var zero moe.Features
-	if n := rt.Decide(moe.Observation{Features: zero}); n != 32 {
-		t.Errorf("no processor info = %d, want the cap 32", n)
+	if n := rt.Decide(moe.Observation{Features: zero}); n != 6 {
+		t.Errorf("availability dropout = %d, want the carried 6", n)
+	}
+	// A fresh runtime with no information at all falls back to the cap.
+	rt2, err := moe.NewRuntime(moe.NewDefaultPolicy(), 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := rt2.Decide(moe.Observation{Features: zero}); n != 32 {
+		t.Errorf("no processor info ever = %d, want the cap 32", n)
+	}
+	// Availability above the machine cap is clamped to it.
+	if n := rt2.Decide(moe.Observation{Features: zero, AvailableProcs: 1000}); n != 32 {
+		t.Errorf("oversized avail = %d, want the cap 32", n)
+	}
+}
+
+// TestRuntimeSanitizesObservations: garbage observations — NaN features,
+// infinite rates, non-finite timestamps — are repaired before any policy
+// sees them, the repairs are counted, and decisions stay in range.
+func TestRuntimeSanitizesObservations(t *testing.T) {
+	rt, err := moe.NewRuntime(moe.NewDefaultPolicy(), 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var f moe.Features
+	f[4] = 8
+	rt.Decide(moe.Observation{Time: 10, Features: f, AvailableProcs: 8})
+	if got := rt.SanitizedValues(); got != 0 {
+		t.Fatalf("clean observation repaired %d values", got)
+	}
+	bad := f
+	bad[5] = math.NaN()
+	bad[6] = math.Inf(1)
+	n := rt.Decide(moe.Observation{
+		Time:     math.NaN(),
+		Features: bad,
+		Rate:     math.Inf(-1),
+	})
+	if n < 1 || n > 16 {
+		t.Errorf("decision %d out of range on corrupt observation", n)
+	}
+	if got := rt.SanitizedValues(); got != 2 {
+		t.Errorf("SanitizedValues = %d, want 2", got)
+	}
+	// The NaN timestamp must not have destroyed the clock: a later clean
+	// decision still works.
+	if n := rt.Decide(moe.Observation{Time: 11, Features: f}); n < 1 || n > 16 {
+		t.Errorf("decision %d out of range after clock corruption", n)
 	}
 }

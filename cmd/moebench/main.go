@@ -7,6 +7,7 @@
 //	moebench -all                        # everything
 //	moebench -all -full                  # full scale (all programs, 3 repeats)
 //	moebench -chaos                      # fault-injection robustness study
+//	moebench -experiment restart         # crash-recovery (warm vs cold) study
 //	moebench -list                       # show available experiment ids
 //
 // Training runs once per invocation (deterministic, ~1–3 minutes at default
@@ -109,6 +110,9 @@ var registry = map[string]runner{
 	"chaos": func(l *experiments.Lab, sc experiments.Scale) (*experiments.Table, error) {
 		return l.ChaosStudy(sc)
 	},
+	"restart": func(l *experiments.Lab, sc experiments.Scale) (*experiments.Table, error) {
+		return l.RestartStudy(sc)
+	},
 }
 
 // order fixes the -all presentation sequence.
@@ -117,7 +121,7 @@ var order = []string{
 	"fig10", "fig11", "fig12", "fig13a", "fig13b", "fig14a", "fig14b",
 	"fig14c", "fig15a", "fig15b", "fig15c", "fig16", "fig17", "cv",
 	"ablation-gating", "ablation-features", "portability", "churn",
-	"chaos",
+	"chaos", "restart",
 }
 
 func main() {

@@ -5,6 +5,14 @@
 //
 //	moerun -target lu -workload mg -policy mixture
 //	moerun -target cg -workload is,cg -policy analytic -freq high -timeline
+//
+// Crash safety: with -checkpoint-dir the policy runs inside a moe.Runtime
+// that journals every decision and snapshots periodically; a later
+// invocation with -resume restores the learned state and continues where
+// the previous run (however it died) left off.
+//
+//	moerun -target lu -policy mixture -checkpoint-dir /var/lib/moe
+//	moerun -target lu -policy mixture -checkpoint-dir /var/lib/moe -resume
 package main
 
 import (
@@ -13,6 +21,7 @@ import (
 	"os"
 	"strings"
 
+	"moe"
 	"moe/internal/core"
 	"moe/internal/experiments"
 	"moe/internal/trace"
@@ -27,7 +36,15 @@ func main() {
 	freq := flag.String("freq", "low", "hardware change frequency: low|high|static")
 	seed := flag.Uint64("seed", 42, "scenario seed")
 	timeline := flag.Bool("timeline", false, "print the thread-choice timeline")
+	checkpointDir := flag.String("checkpoint-dir", "", "checkpoint directory for crash-safe runtime state (empty = off)")
+	checkpointEvery := flag.Int("checkpoint-every", 50, "decisions between snapshots with -checkpoint-dir (0 = journal only)")
+	resume := flag.Bool("resume", false, "restore runtime state from -checkpoint-dir before running")
 	flag.Parse()
+
+	if *resume && *checkpointDir == "" {
+		fmt.Fprintln(os.Stderr, "moerun: -resume requires -checkpoint-dir")
+		os.Exit(2)
+	}
 
 	var hwFreq trace.Frequency
 	switch *freq {
@@ -69,10 +86,59 @@ func main() {
 		fmt.Fprintf(os.Stderr, "moerun: baseline: %v\n", err)
 		os.Exit(1)
 	}
-	out, err := lab.Run(spec, experiments.PolicyName(*policyName))
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "moerun: %v\n", err)
-		os.Exit(1)
+
+	// With a checkpoint directory, the policy runs inside a crash-safe
+	// runtime; otherwise it runs bare, exactly as before.
+	var rt *moe.Runtime
+	var out *experiments.RunOutcome
+	if *checkpointDir != "" {
+		p, err := lab.NewPolicy(experiments.PolicyName(*policyName), *target, *seed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "moerun: %v\n", err)
+			os.Exit(1)
+		}
+		rt, err = moe.NewRuntime(p, lab.Eval.Cores)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "moerun: %v\n", err)
+			os.Exit(1)
+		}
+		store, err := moe.OpenCheckpoint(*checkpointDir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "moerun: %v\n", err)
+			os.Exit(1)
+		}
+		if *resume {
+			rec, err := rt.Resume(store)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "moerun: resume: %v\n", err)
+				os.Exit(1)
+			}
+			for _, line := range rec.Report {
+				fmt.Fprintf(os.Stderr, "moerun: recovery: %s\n", line)
+			}
+			fmt.Fprintf(os.Stderr, "moerun: resumed at decision %d\n", rt.Decisions())
+		}
+		if err := rt.AttachStore(store, *checkpointEvery); err != nil {
+			fmt.Fprintf(os.Stderr, "moerun: %v\n", err)
+			os.Exit(1)
+		}
+		out, err = lab.RunWithPolicy(spec, rt.SimPolicy())
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "moerun: %v\n", err)
+			os.Exit(1)
+		}
+		if err := rt.CheckpointErr(); err != nil {
+			fmt.Fprintf(os.Stderr, "moerun: checkpointing degraded mid-run: %v\n", err)
+		}
+		if err := store.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "moerun: closing checkpoint store: %v\n", err)
+		}
+	} else {
+		out, err = lab.Run(spec, experiments.PolicyName(*policyName))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "moerun: %v\n", err)
+			os.Exit(1)
+		}
 	}
 
 	fmt.Printf("target %s with workload [%s], %s hardware changes\n", *target, *wl, *freq)
@@ -80,13 +146,18 @@ func main() {
 	fmt.Printf("  %-8s: %8.1f s  (%.2fx speedup)\n", *policyName, out.ExecTime, base.ExecTime/out.ExecTime)
 	fmt.Printf("  workload throughput vs default: %.2fx\n", out.WorkloadThroughput/base.WorkloadThroughput)
 
+	mixStats, haveMix := moe.MixtureStats{}, false
 	if mix, ok := out.Policy.(*core.Mixture); ok {
-		st := mix.Snapshot()
+		mixStats, haveMix = mix.Snapshot(), true
+	} else if rt != nil {
+		mixStats, haveMix = rt.MixtureStatsSnapshot()
+	}
+	if haveMix {
 		fmt.Printf("  expert selection:")
-		for i, f := range st.SelectionFraction {
+		for i, f := range mixStats.SelectionFraction {
 			fmt.Printf(" E%d=%.0f%%", i+1, 100*f)
 		}
-		fmt.Printf("  env accuracy=%.0f%%\n", 100*st.MixtureEnvAccuracy)
+		fmt.Printf("  env accuracy=%.0f%%\n", 100*mixStats.MixtureEnvAccuracy)
 	}
 
 	if *timeline {

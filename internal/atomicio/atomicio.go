@@ -1,0 +1,155 @@
+// Package atomicio provides crash-safe file replacement: write to a
+// temporary file in the target directory, fsync it, rename it over the
+// destination, and fsync the directory. A reader therefore observes either
+// the complete old contents or the complete new contents, never a torn
+// mixture — the property every durable artifact in this repository (trained
+// expert sets, runtime checkpoints) is written under.
+//
+// The package sits below both internal/expert and internal/checkpoint in
+// the import graph so either can use it without a cycle.
+package atomicio
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// Stage names one step of the atomic-replace protocol, in execution order.
+// The crash-injection harness aborts the writer at each stage in turn and
+// asserts that recovery still finds an intact file.
+type Stage string
+
+// The protocol stages, in order.
+const (
+	StageCreate   Stage = "create"    // temp file created, nothing written
+	StageWrite    Stage = "write"     // payload written, not yet synced
+	StageSyncFile Stage = "sync-file" // temp file fsynced
+	StageClose    Stage = "close"     // temp file closed
+	StageRename   Stage = "rename"    // temp renamed over destination
+	StageSyncDir  Stage = "sync-dir"  // directory entry durably recorded
+)
+
+// Stages lists every fault point in protocol order, for harnesses that
+// iterate over them.
+func Stages() []Stage {
+	return []Stage{StageCreate, StageWrite, StageSyncFile, StageClose, StageRename, StageSyncDir}
+}
+
+// FaultFn simulates a crash: it is consulted after each completed stage,
+// and a non-nil error aborts the protocol right there, leaving whatever the
+// stage left on disk (a partially materialized temp file, an unrenamed
+// temp, an unsynced directory). Production writes pass nil.
+type FaultFn func(stage Stage) error
+
+// TempSuffix marks in-flight temp files; recovery scans must ignore any
+// file carrying it.
+const TempSuffix = ".tmp"
+
+// WriteFile atomically replaces path with data. On return without error the
+// new contents are durable; on error the previous contents (or absence) of
+// path are untouched, though an orphaned temp file may remain.
+func WriteFile(path string, data []byte, perm os.FileMode) error {
+	return WriteFileHooked(path, data, perm, nil)
+}
+
+// WriteFileHooked is WriteFile with a crash-injection hook; see FaultFn.
+func WriteFileHooked(path string, data []byte, perm os.FileMode, fault FaultFn) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".*"+TempSuffix)
+	if err != nil {
+		return fmt.Errorf("atomicio: creating temp for %s: %w", path, err)
+	}
+	tmpName := tmp.Name()
+	// Any early exit (real error or injected crash) leaves the temp file in
+	// place exactly as a crash would; callers and recovery ignore *.tmp.
+	fail := func(stage Stage) error {
+		if fault == nil {
+			return nil
+		}
+		return fault(stage)
+	}
+	if err := fail(StageCreate); err != nil {
+		tmp.Close()
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return fmt.Errorf("atomicio: writing %s: %w", tmpName, err)
+	}
+	if err := fail(StageWrite); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("atomicio: syncing %s: %w", tmpName, err)
+	}
+	if err := fail(StageSyncFile); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Chmod(perm); err != nil {
+		tmp.Close()
+		return fmt.Errorf("atomicio: chmod %s: %w", tmpName, err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("atomicio: closing %s: %w", tmpName, err)
+	}
+	if err := fail(StageClose); err != nil {
+		return err
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		return fmt.Errorf("atomicio: renaming %s over %s: %w", tmpName, path, err)
+	}
+	if err := fail(StageRename); err != nil {
+		return err
+	}
+	if err := SyncDir(dir); err != nil {
+		return err
+	}
+	return fail(StageSyncDir)
+}
+
+// SyncDir fsyncs a directory so previously renamed entries are durable.
+// Platforms whose directory handles reject fsync are tolerated — the rename
+// itself is still atomic there.
+func SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("atomicio: opening dir %s: %w", dir, err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil && !os.IsPermission(err) {
+		return fmt.Errorf("atomicio: syncing dir %s: %w", dir, err)
+	}
+	return nil
+}
+
+// RemoveTemps deletes orphaned temp files (crash leftovers) in dir. Missing
+// directories are not an error.
+func RemoveTemps(dir string) error {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return err
+	}
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		if IsTemp(e.Name()) {
+			if err := os.Remove(filepath.Join(dir, e.Name())); err != nil && !os.IsNotExist(err) {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// IsTemp reports whether a file name is an in-flight temp artifact.
+func IsTemp(name string) bool {
+	return len(name) >= len(TempSuffix) && name[len(name)-len(TempSuffix):] == TempSuffix
+}

@@ -1,0 +1,85 @@
+package atomicio
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestWriteFileReplacesAtomically(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "state.bin")
+	if err := WriteFile(path, []byte("old"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFile(path, []byte("new contents"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "new contents" {
+		t.Fatalf("got %q", got)
+	}
+	entries, _ := os.ReadDir(dir)
+	for _, e := range entries {
+		if IsTemp(e.Name()) {
+			t.Fatalf("temp file %s left after successful write", e.Name())
+		}
+	}
+}
+
+// TestCrashAtEveryStage aborts the protocol at each stage and asserts the
+// destination file is always either the old or the new complete contents.
+func TestCrashAtEveryStage(t *testing.T) {
+	for _, stage := range Stages() {
+		t.Run(string(stage), func(t *testing.T) {
+			dir := t.TempDir()
+			path := filepath.Join(dir, "state.bin")
+			if err := WriteFile(path, []byte("old"), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			crash := fmt.Errorf("injected crash")
+			target := stage
+			err := WriteFileHooked(path, []byte("new"), 0o644, func(s Stage) error {
+				if s == target {
+					return crash
+				}
+				return nil
+			})
+			// Crashes before the rename leave the old contents; at or after
+			// the rename the new contents are already in place and the
+			// writer reports success-or-crash — either way the file must be
+			// one of the two complete payloads.
+			got, rerr := os.ReadFile(path)
+			if rerr != nil {
+				t.Fatalf("destination unreadable after crash at %s: %v", stage, rerr)
+			}
+			switch string(got) {
+			case "old":
+				if err == nil {
+					t.Fatalf("crash at %s reported success but old contents remain", stage)
+				}
+			case "new":
+				// fine: crash after the data was already durable enough
+			default:
+				t.Fatalf("torn contents %q after crash at %s", got, stage)
+			}
+			if err := RemoveTemps(dir); err != nil {
+				t.Fatal(err)
+			}
+			entries, _ := os.ReadDir(dir)
+			if len(entries) != 1 {
+				t.Fatalf("unexpected residue after cleanup: %v", entries)
+			}
+		})
+	}
+}
+
+func TestRemoveTempsMissingDir(t *testing.T) {
+	if err := RemoveTemps(filepath.Join(t.TempDir(), "nope")); err != nil {
+		t.Fatal(err)
+	}
+}

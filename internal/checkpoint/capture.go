@@ -1,0 +1,93 @@
+package checkpoint
+
+import (
+	"fmt"
+
+	"moe/internal/core"
+	"moe/internal/policy"
+	"moe/internal/sim"
+)
+
+// Checkpointable is the escape hatch for host-supplied policies: a policy
+// implementing it is checkpointed through its own opaque, deterministic
+// byte encoding. The built-in policies are handled natively and do not
+// need it.
+type Checkpointable interface {
+	// CheckpointSave returns a deterministic encoding of the policy's
+	// mutable state.
+	CheckpointSave() ([]byte, error)
+	// CheckpointLoad restores state captured by CheckpointSave; the
+	// policy must have been constructed identically. On error the policy
+	// must be unchanged.
+	CheckpointLoad([]byte) error
+}
+
+// CapturePolicy extracts the checkpoint state of a policy. Built-in
+// stateful policies (mixture, online, analytic) are captured natively;
+// known-stateless policies yield a stateless marker; anything else must
+// implement Checkpointable.
+func CapturePolicy(p sim.Policy) (PolicyState, error) {
+	switch pp := p.(type) {
+	case *core.Mixture:
+		st, err := pp.ExportState()
+		if err != nil {
+			return PolicyState{}, err
+		}
+		return PolicyState{Kind: PolicyMixture, Mixture: st}, nil
+	case *policy.Online:
+		st := pp.ExportState()
+		return PolicyState{Kind: PolicyOnline, Online: &st}, nil
+	case *policy.Analytic:
+		st := pp.ExportState()
+		return PolicyState{Kind: PolicyAnalytic, Analytic: &st}, nil
+	case *policy.Default, *policy.Offline, *policy.Oracle, sim.OraclePolicy, sim.Func:
+		return PolicyState{Kind: PolicyStateless}, nil
+	}
+	if c, ok := p.(Checkpointable); ok {
+		data, err := c.CheckpointSave()
+		if err != nil {
+			return PolicyState{}, err
+		}
+		return PolicyState{Kind: PolicyOpaque, Opaque: data}, nil
+	}
+	return PolicyState{}, fmt.Errorf("checkpoint: policy %q is not checkpointable", p.Name())
+}
+
+// RestorePolicy overlays captured state onto an identically constructed
+// policy. The state's kind must match the policy's concrete type; on error
+// the policy is unchanged.
+func RestorePolicy(p sim.Policy, st PolicyState) error {
+	switch pp := p.(type) {
+	case *core.Mixture:
+		if st.Kind != PolicyMixture || st.Mixture == nil {
+			return kindMismatch(st.Kind, PolicyMixture)
+		}
+		return pp.RestoreState(st.Mixture)
+	case *policy.Online:
+		if st.Kind != PolicyOnline || st.Online == nil {
+			return kindMismatch(st.Kind, PolicyOnline)
+		}
+		return pp.RestoreState(*st.Online)
+	case *policy.Analytic:
+		if st.Kind != PolicyAnalytic || st.Analytic == nil {
+			return kindMismatch(st.Kind, PolicyAnalytic)
+		}
+		return pp.RestoreState(*st.Analytic)
+	case *policy.Default, *policy.Offline, *policy.Oracle, sim.OraclePolicy, sim.Func:
+		if st.Kind != PolicyStateless {
+			return kindMismatch(st.Kind, PolicyStateless)
+		}
+		return nil
+	}
+	if c, ok := p.(Checkpointable); ok {
+		if st.Kind != PolicyOpaque {
+			return kindMismatch(st.Kind, PolicyOpaque)
+		}
+		return c.CheckpointLoad(st.Opaque)
+	}
+	return fmt.Errorf("checkpoint: policy %q is not checkpointable", p.Name())
+}
+
+func kindMismatch(got, want string) error {
+	return fmt.Errorf("checkpoint: policy state of kind %q cannot restore a %q policy", got, want)
+}

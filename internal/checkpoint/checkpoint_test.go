@@ -1,0 +1,684 @@
+package checkpoint
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"moe/internal/atomicio"
+	"moe/internal/core"
+	"moe/internal/expert"
+	"moe/internal/features"
+	"moe/internal/policy"
+	"moe/internal/sim"
+)
+
+const testMaxThreads = 8
+
+// synthDecision builds the i-th decision of a deterministic synthetic
+// stream: features drift smoothly, availability dips periodically, rate
+// wobbles. Enough variety to exercise trust, health, and selector updates.
+func synthDecision(i int) sim.Decision {
+	var f features.Vector
+	for j := range f {
+		f[j] = 0.15*float64(j+1) + 0.02*float64((i*7+j*3)%11)
+	}
+	avail := testMaxThreads
+	if i%9 >= 6 {
+		avail = testMaxThreads / 2
+	}
+	f[features.Processors] = float64(avail)
+	return sim.Decision{
+		Time:           0.25 * float64(i),
+		Features:       f,
+		Rate:           100 + 8*math.Sin(float64(i)/3),
+		MaxThreads:     testMaxThreads,
+		AvailableProcs: avail,
+		RegionStart:    i%4 == 0,
+		RegionIndex:    i,
+	}
+}
+
+// drive runs a policy over decisions [from, to), threading CurrentThreads
+// through like the engine does, and returns the chosen thread counts.
+func drive(p sim.Policy, from, to int) []int {
+	out := make([]int, 0, to-from)
+	n := 4
+	for i := from; i < to; i++ {
+		d := synthDecision(i)
+		d.CurrentThreads = n
+		n = p.Decide(d)
+		if n < 1 {
+			n = 1
+		}
+		if n > d.MaxThreads {
+			n = d.MaxThreads
+		}
+		out = append(out, n)
+	}
+	return out
+}
+
+func newMixture(t *testing.T) *core.Mixture {
+	t.Helper()
+	m, err := core.NewMixture(expert.Canonical4(), core.Options{})
+	if err != nil {
+		t.Fatalf("NewMixture: %v", err)
+	}
+	return m
+}
+
+// testState builds a realistic full State: a mixture driven through a
+// synthetic stream, wrapped with runtime-level bookkeeping.
+func testState(t *testing.T, decisions int) *State {
+	t.Helper()
+	m := newMixture(t)
+	drive(m, 0, decisions)
+	ps, err := CapturePolicy(m)
+	if err != nil {
+		t.Fatalf("CapturePolicy: %v", err)
+	}
+	return &State{
+		PolicyName: m.Name(),
+		MaxThreads: testMaxThreads,
+		Decisions:  decisions,
+		LastN:      3,
+		Clock:      0.25 * float64(decisions),
+		LastAvail:  testMaxThreads,
+		Sanitized:  1,
+		Hist:       map[int]int{1: 2, 3: 5, testMaxThreads: decisions},
+		Policy:     ps,
+	}
+}
+
+func testObservations(n, from int) []Observation {
+	out := make([]Observation, n)
+	for i := range out {
+		d := synthDecision(from + i)
+		out[i] = Observation{
+			Time:           d.Time,
+			Features:       d.Features,
+			Rate:           d.Rate,
+			RegionStart:    d.RegionStart,
+			AvailableProcs: d.AvailableProcs,
+		}
+	}
+	return out
+}
+
+// sameObs compares observation slices element-wise (nil and empty are the
+// same journal tail).
+func sameObs(a, b []Observation) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !reflect.DeepEqual(a[i], b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// --- Snapshot encoding ---
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	analytic := policy.NewAnalytic(policy.AnalyticOptions{Seed: 99})
+	drive(analytic, 0, 25)
+	aState := analytic.ExportState()
+
+	online := policy.NewOnline()
+	drive(online, 0, 25)
+	oState := online.ExportState()
+
+	cases := map[string]*State{
+		"mixture": testState(t, 40),
+		"stateless": {
+			PolicyName: "default", MaxThreads: 4, Decisions: 7, LastN: 2,
+			Clock: 1.75, LastAvail: 4, Hist: map[int]int{2: 7},
+			Policy: PolicyState{Kind: PolicyStateless},
+		},
+		"online": {
+			PolicyName: "online", MaxThreads: 8, Decisions: 25, LastN: 5,
+			Clock: 6.25, LastAvail: 8, Hist: map[int]int{5: 25},
+			Policy: PolicyState{Kind: PolicyOnline, Online: &oState},
+		},
+		"analytic": {
+			PolicyName: "analytic", MaxThreads: 8, Decisions: 25, LastN: 4,
+			Clock: 6.25, LastAvail: 8, Hist: map[int]int{4: 25},
+			Policy: PolicyState{Kind: PolicyAnalytic, Analytic: &aState},
+		},
+		"opaque": {
+			PolicyName: "custom", MaxThreads: 8, Decisions: 3, LastN: 1,
+			Clock: 0.75, LastAvail: 8, Hist: map[int]int{1: 3},
+			Policy: PolicyState{Kind: PolicyOpaque, Opaque: []byte{0xde, 0xad, 0xbe, 0xef}},
+		},
+	}
+	for name, st := range cases {
+		t.Run(name, func(t *testing.T) {
+			data, err := EncodeSnapshot(st)
+			if err != nil {
+				t.Fatalf("EncodeSnapshot: %v", err)
+			}
+			got, err := DecodeSnapshot(data)
+			if err != nil {
+				t.Fatalf("DecodeSnapshot: %v", err)
+			}
+			if !reflect.DeepEqual(st, got) {
+				t.Fatalf("round trip mismatch:\n want %+v\n got  %+v", st, got)
+			}
+			// Determinism: encoding the decoded state reproduces the bytes.
+			again, err := EncodeSnapshot(got)
+			if err != nil {
+				t.Fatalf("re-encode: %v", err)
+			}
+			if string(again) != string(data) {
+				t.Fatal("re-encoding decoded state produced different bytes")
+			}
+		})
+	}
+}
+
+func TestObservationBitFidelity(t *testing.T) {
+	obs := Observation{
+		Time: math.Inf(1),
+		Rate: math.Copysign(0, -1),
+	}
+	obs.Features[0] = math.NaN()
+	obs.Features[1] = math.Float64frombits(0x7ff8000000000bad) // NaN payload
+	obs.Features[2] = 5e-324                                   // subnormal
+	obs.Features[3] = math.Inf(-1)
+
+	e := &enc{}
+	encodeObservation(e, &obs)
+	d := &dec{b: e.b}
+	got := decodeObservation(d)
+	if err := d.done(); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	check := func(name string, want, have float64) {
+		if math.Float64bits(want) != math.Float64bits(have) {
+			t.Errorf("%s: bits %016x != %016x", name, math.Float64bits(have), math.Float64bits(want))
+		}
+	}
+	check("Time", obs.Time, got.Time)
+	check("Rate", obs.Rate, got.Rate)
+	for i := range obs.Features {
+		check("Features", obs.Features[i], got.Features[i])
+	}
+}
+
+// TestDecodeSnapshotTruncation cuts a valid snapshot at every byte offset;
+// every prefix must be rejected without panicking.
+func TestDecodeSnapshotTruncation(t *testing.T) {
+	data, err := EncodeSnapshot(testState(t, 30))
+	if err != nil {
+		t.Fatalf("EncodeSnapshot: %v", err)
+	}
+	for cut := 0; cut < len(data); cut++ {
+		if _, err := DecodeSnapshot(data[:cut]); err == nil {
+			t.Fatalf("truncation at %d/%d accepted", cut, len(data))
+		}
+	}
+	if _, err := DecodeSnapshot(data); err != nil {
+		t.Fatalf("intact snapshot rejected: %v", err)
+	}
+}
+
+// TestDecodeSnapshotBitFlips corrupts every byte of a valid snapshot (two
+// flip patterns per byte); the CRC must catch every one — a single-byte
+// error is a burst of at most 8 bits, within CRC-32C's guaranteed range.
+func TestDecodeSnapshotBitFlips(t *testing.T) {
+	data, err := EncodeSnapshot(testState(t, 30))
+	if err != nil {
+		t.Fatalf("EncodeSnapshot: %v", err)
+	}
+	for i := range data {
+		for _, mask := range []byte{0x01, 0xFF} {
+			mut := append([]byte(nil), data...)
+			mut[i] ^= mask
+			if _, err := DecodeSnapshot(mut); err == nil {
+				t.Fatalf("flip %02x at byte %d accepted", mask, i)
+			}
+		}
+	}
+}
+
+func TestDecodeSnapshotTrailingBytes(t *testing.T) {
+	data, err := EncodeSnapshot(testState(t, 5))
+	if err != nil {
+		t.Fatalf("EncodeSnapshot: %v", err)
+	}
+	if _, err := DecodeSnapshot(append(data, 0x00)); err == nil {
+		t.Fatal("snapshot with trailing garbage accepted")
+	}
+}
+
+// --- Store ---
+
+func TestStoreSnapshotAppendRecover(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	st := testState(t, 10)
+	if err := s.WriteSnapshot(st); err != nil {
+		t.Fatalf("WriteSnapshot: %v", err)
+	}
+	obs := testObservations(6, 10)
+	for _, o := range obs {
+		if err := s.Append(o); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	rec, err := s2.Recover()
+	if err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	if !reflect.DeepEqual(rec.State, st) {
+		t.Fatalf("recovered state mismatch:\n want %+v\n got  %+v", st, rec.State)
+	}
+	if !reflect.DeepEqual(rec.Tail, obs) {
+		t.Fatalf("recovered tail mismatch: want %d entries, got %d (%+v)", len(obs), len(rec.Tail), rec.Tail)
+	}
+	if got := rec.Decisions(); got != 16 {
+		t.Fatalf("Decisions() = %d, want 16", got)
+	}
+}
+
+// TestStoreRecoverTruncatedJournal truncates the journal at every byte
+// offset; recovery must keep the snapshot and yield a clean prefix of the
+// appended observations — never an error, never a panic, never a mangled
+// entry.
+func TestStoreRecoverTruncatedJournal(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	st := testState(t, 10)
+	if err := s.WriteSnapshot(st); err != nil {
+		t.Fatalf("WriteSnapshot: %v", err)
+	}
+	obs := testObservations(5, 10)
+	for _, o := range obs {
+		if err := s.Append(o); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	jpath := filepath.Join(dir, journalName(10))
+	full, err := os.ReadFile(jpath)
+	if err != nil {
+		t.Fatalf("reading journal: %v", err)
+	}
+	for cut := 0; cut <= len(full); cut++ {
+		if err := os.WriteFile(jpath, full[:cut], 0o644); err != nil {
+			t.Fatalf("truncating: %v", err)
+		}
+		s2, err := Open(dir)
+		if err != nil {
+			t.Fatalf("reopen: %v", err)
+		}
+		rec, err := s2.Recover()
+		if err != nil {
+			t.Fatalf("cut %d: Recover: %v", cut, err)
+		}
+		if !reflect.DeepEqual(rec.State, st) {
+			t.Fatalf("cut %d: snapshot damaged by journal truncation", cut)
+		}
+		if len(rec.Tail) > len(obs) {
+			t.Fatalf("cut %d: recovered %d entries from %d appended", cut, len(rec.Tail), len(obs))
+		}
+		if !sameObs(rec.Tail, obs[:len(rec.Tail)]) {
+			t.Fatalf("cut %d: recovered tail is not a clean prefix", cut)
+		}
+	}
+}
+
+// TestStoreRecoverCorruptSnapshotFallsBack corrupts the newest snapshot;
+// recovery must land on the previous generation and replay its full journal
+// forward through the newer epoch, reaching the same decision count.
+func TestStoreRecoverCorruptSnapshotFallsBack(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	gen0 := testState(t, 0)
+	gen0.Decisions = 0
+	gen0.Clock = 0
+	if err := s.WriteSnapshot(gen0); err != nil {
+		t.Fatalf("WriteSnapshot gen0: %v", err)
+	}
+	first := testObservations(4, 0)
+	for _, o := range first {
+		if err := s.Append(o); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	gen1 := testState(t, 4)
+	if err := s.WriteSnapshot(gen1); err != nil {
+		t.Fatalf("WriteSnapshot gen1: %v", err)
+	}
+	second := testObservations(3, 4)
+	for _, o := range second {
+		if err := s.Append(o); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	// Flip one byte in the middle of the newest snapshot.
+	spath := filepath.Join(dir, snapName(4))
+	data, err := os.ReadFile(spath)
+	if err != nil {
+		t.Fatalf("reading snapshot: %v", err)
+	}
+	data[len(data)/2] ^= 0xFF
+	if err := os.WriteFile(spath, data, 0o644); err != nil {
+		t.Fatalf("corrupting snapshot: %v", err)
+	}
+
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	rec, err := s2.Recover()
+	if err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	if rec.State == nil || rec.State.Decisions != 0 {
+		t.Fatalf("expected fallback to generation 0, got %+v", rec.State)
+	}
+	want := append(append([]Observation(nil), first...), second...)
+	if !reflect.DeepEqual(rec.Tail, want) {
+		t.Fatalf("fallback tail mismatch: want %d entries, got %d", len(want), len(rec.Tail))
+	}
+	if got := rec.Decisions(); got != 7 {
+		t.Fatalf("Decisions() = %d, want 7", got)
+	}
+}
+
+// TestStoreSnapshotCrashEveryStage aborts a snapshot write at every fault
+// point of the atomic-replace protocol; recovery must always reach the full
+// decision count — through the new snapshot if the rename landed, through
+// the old snapshot plus journal replay otherwise.
+func TestStoreSnapshotCrashEveryStage(t *testing.T) {
+	for _, stage := range atomicio.Stages() {
+		t.Run(string(stage), func(t *testing.T) {
+			dir := t.TempDir()
+			s, err := Open(dir)
+			if err != nil {
+				t.Fatalf("Open: %v", err)
+			}
+			base := testState(t, 0)
+			base.Decisions = 0
+			base.Clock = 0
+			if err := s.WriteSnapshot(base); err != nil {
+				t.Fatalf("WriteSnapshot base: %v", err)
+			}
+			obs := testObservations(5, 0)
+			for _, o := range obs {
+				if err := s.Append(o); err != nil {
+					t.Fatalf("Append: %v", err)
+				}
+			}
+
+			crash := stage
+			s.snapshotFault = func(st atomicio.Stage) error {
+				if st == crash {
+					return errInjected
+				}
+				return nil
+			}
+			next := testState(t, 5)
+			if err := s.WriteSnapshot(next); err == nil {
+				t.Fatal("injected crash did not surface")
+			}
+			s.snapshotFault = nil
+			if err := s.Close(); err != nil {
+				t.Fatalf("Close: %v", err)
+			}
+
+			s2, err := Open(dir)
+			if err != nil {
+				t.Fatalf("reopen: %v", err)
+			}
+			rec, err := s2.Recover()
+			if err != nil {
+				t.Fatalf("Recover: %v", err)
+			}
+			if got := rec.Decisions(); got != 5 {
+				t.Fatalf("Decisions() = %d after crash at %s, want 5\nreport: %v", got, stage, rec.Report)
+			}
+			if rec.State == nil {
+				t.Fatalf("no snapshot recovered after crash at %s", stage)
+			}
+			// Whichever rung recovery landed on, replaying the tail must
+			// reach exactly the observations recorded after that base.
+			if !sameObs(rec.Tail, obs[rec.State.Decisions:]) {
+				t.Fatalf("tail after crash at %s is not the suffix past decision %d", stage, rec.State.Decisions)
+			}
+		})
+	}
+}
+
+var errInjected = os.ErrDeadlineExceeded // any sentinel distinguishable from nil
+
+// TestStoreRecoverEpochGap removes the journal bridging two epochs; the
+// chain must stop rather than jump the gap and misattribute decisions.
+func TestStoreRecoverEpochGap(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	gen0 := testState(t, 0)
+	gen0.Decisions = 0
+	gen0.Clock = 0
+	if err := s.WriteSnapshot(gen0); err != nil {
+		t.Fatalf("WriteSnapshot: %v", err)
+	}
+	for _, o := range testObservations(4, 0) {
+		if err := s.Append(o); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	gen1 := testState(t, 4)
+	if err := s.WriteSnapshot(gen1); err != nil {
+		t.Fatalf("WriteSnapshot gen1: %v", err)
+	}
+	for _, o := range testObservations(3, 4) {
+		if err := s.Append(o); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	// Corrupt the newest snapshot AND delete the epoch-0 journal: the old
+	// snapshot survives but its chain to epoch 4 is broken.
+	spath := filepath.Join(dir, snapName(4))
+	data, _ := os.ReadFile(spath)
+	data[0] ^= 0xFF
+	os.WriteFile(spath, data, 0o644)
+	os.Remove(filepath.Join(dir, journalName(0)))
+
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	rec, err := s2.Recover()
+	if err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	if rec.State == nil || rec.State.Decisions != 0 || len(rec.Tail) != 0 {
+		t.Fatalf("expected base 0 with empty tail across the gap, got base %+v tail %d", rec.State, len(rec.Tail))
+	}
+}
+
+func TestStoreRecoverEmptyDir(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	rec, err := s.Recover()
+	if err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	if rec.State != nil || len(rec.Tail) != 0 || rec.Decisions() != 0 {
+		t.Fatalf("empty dir should cold-start, got %+v", rec)
+	}
+}
+
+func TestStoreRecoverGarbageFiles(t *testing.T) {
+	dir := t.TempDir()
+	// Arbitrary junk wearing the right names must not break recovery.
+	os.WriteFile(filepath.Join(dir, snapName(3)), []byte("not a snapshot"), 0o644)
+	os.WriteFile(filepath.Join(dir, journalName(3)), []byte{0xff, 0x00, 0x41}, 0o644)
+	os.WriteFile(filepath.Join(dir, "snap-garbage.ckpt"), []byte("junk"), 0o644)
+	os.WriteFile(filepath.Join(dir, snapName(1)+atomicio.TempSuffix), []byte("tempjunk"), 0o644)
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	rec, err := s.Recover()
+	if err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	if rec.State != nil || len(rec.Tail) != 0 {
+		t.Fatalf("garbage dir should cold-start, got %+v", rec)
+	}
+}
+
+func TestStorePrunesOldGenerations(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	for gen := 0; gen < 5; gen++ {
+		st := testState(t, gen*10)
+		st.Decisions = gen * 10
+		if err := s.WriteSnapshot(st); err != nil {
+			t.Fatalf("WriteSnapshot: %v", err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	snaps, err := s.list(snapPrefix, snapSuffix)
+	if err != nil {
+		t.Fatalf("list: %v", err)
+	}
+	if !reflect.DeepEqual(snaps, []int{30, 40}) {
+		t.Fatalf("retained snapshots %v, want [30 40]", snaps)
+	}
+	journals, err := s.list(journalPrefix, journalSuffix)
+	if err != nil {
+		t.Fatalf("list journals: %v", err)
+	}
+	if !reflect.DeepEqual(journals, []int{30, 40}) {
+		t.Fatalf("retained journals %v, want [30 40]", journals)
+	}
+}
+
+func TestAppendWithoutSnapshot(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if err := s.Append(Observation{}); err == nil {
+		t.Fatal("Append before any snapshot should fail")
+	}
+}
+
+// --- Capture / restore property: restored policies continue identically ---
+
+func TestRestoreContinuesIdentically(t *testing.T) {
+	cases := map[string]func() sim.Policy{
+		"mixture":  func() sim.Policy { m := newMixture(t); return m },
+		"online":   func() sim.Policy { return policy.NewOnline() },
+		"analytic": func() sim.Policy { return policy.NewAnalytic(policy.AnalyticOptions{Seed: 7}) },
+		"default":  func() sim.Policy { return policy.NewDefault() },
+	}
+	const split, total = 30, 60
+	for name, build := range cases {
+		t.Run(name, func(t *testing.T) {
+			original := build()
+			drive(original, 0, split)
+
+			ps, err := CapturePolicy(original)
+			if err != nil {
+				t.Fatalf("CapturePolicy: %v", err)
+			}
+			// Round-trip the state through the wire format, like a real
+			// recovery would.
+			st := &State{PolicyName: original.Name(), MaxThreads: testMaxThreads,
+				Decisions: split, Hist: map[int]int{}, Policy: ps}
+			data, err := EncodeSnapshot(st)
+			if err != nil {
+				t.Fatalf("EncodeSnapshot: %v", err)
+			}
+			decoded, err := DecodeSnapshot(data)
+			if err != nil {
+				t.Fatalf("DecodeSnapshot: %v", err)
+			}
+
+			restored := build()
+			if err := RestorePolicy(restored, decoded.Policy); err != nil {
+				t.Fatalf("RestorePolicy: %v", err)
+			}
+			want := drive(original, split, total)
+			got := drive(restored, split, total)
+			if !reflect.DeepEqual(want, got) {
+				t.Fatalf("continuation diverged:\n original %v\n restored %v", want, got)
+			}
+		})
+	}
+}
+
+func TestRestorePolicyKindMismatch(t *testing.T) {
+	online := policy.NewOnline()
+	drive(online, 0, 10)
+	ps, err := CapturePolicy(online)
+	if err != nil {
+		t.Fatalf("CapturePolicy: %v", err)
+	}
+	if err := RestorePolicy(newMixture(t), ps); err == nil {
+		t.Fatal("online state restored into a mixture policy")
+	}
+	if err := RestorePolicy(policy.NewDefault(), ps); err == nil {
+		t.Fatal("online state restored into a stateless policy")
+	}
+}
+
+func TestCapturePolicyUncheckpointable(t *testing.T) {
+	p := weirdPolicy{}
+	if _, err := CapturePolicy(p); err == nil {
+		t.Fatal("unknown stateful policy captured without error")
+	}
+}
+
+type weirdPolicy struct{}
+
+func (weirdPolicy) Name() string            { return "weird" }
+func (weirdPolicy) Decide(sim.Decision) int { return 1 }

@@ -1,0 +1,121 @@
+package checkpoint
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// fuzzSeedSnapshot builds one valid snapshot for the corpus.
+func fuzzSeedSnapshot(f *testing.F) []byte {
+	f.Helper()
+	analytic := PolicyState{Kind: PolicyStateless}
+	st := &State{
+		PolicyName: "default", MaxThreads: 8, Decisions: 12, LastN: 4,
+		Clock: 3, LastAvail: 8, Hist: map[int]int{4: 12}, Policy: analytic,
+	}
+	data, err := EncodeSnapshot(st)
+	if err != nil {
+		f.Fatalf("seed snapshot: %v", err)
+	}
+	return data
+}
+
+// FuzzRestoreSnapshot feeds arbitrary bytes to the snapshot decoder: it must
+// never panic, and anything it accepts must re-encode deterministically to a
+// snapshot that decodes to the same state (no silent mangling).
+func FuzzRestoreSnapshot(f *testing.F) {
+	seed := fuzzSeedSnapshot(f)
+	f.Add(seed)
+	f.Add([]byte{})
+	f.Add([]byte("MOEC"))
+	f.Add(bytes.Repeat([]byte{0xff}, 64))
+	// A corrupted variant: valid frame, flipped payload byte.
+	mut := append([]byte(nil), seed...)
+	mut[len(mut)/2] ^= 0x10
+	f.Add(mut)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		st, err := DecodeSnapshot(data)
+		if err != nil {
+			return // rejected, as most inputs should be
+		}
+		// Accepted: the state must survive an encode/decode round trip
+		// bit-identically (semantic fixpoint — the original bytes may
+		// differ, e.g. non-minimal varints, but the state may not).
+		enc1, err := EncodeSnapshot(st)
+		if err != nil {
+			t.Fatalf("accepted state failed to re-encode: %v", err)
+		}
+		st2, err := DecodeSnapshot(enc1)
+		if err != nil {
+			t.Fatalf("re-encoded snapshot rejected: %v", err)
+		}
+		if !reflect.DeepEqual(st, st2) {
+			t.Fatalf("state changed across re-encode:\n %+v\n %+v", st, st2)
+		}
+	})
+}
+
+// FuzzReplayJournal feeds arbitrary bytes as a journal file (behind a valid
+// snapshot): recovery must never panic, never error, and every recovered
+// entry must itself re-encode cleanly.
+func FuzzReplayJournal(f *testing.F) {
+	snapshot := fuzzSeedSnapshot(f)
+
+	// Seed: a valid journal with a header and two entries.
+	valid := appendRecord(nil, recordJournalHeader, func() []byte {
+		e := &enc{}
+		e.int(12)
+		return e.b
+	}())
+	for i := 0; i < 2; i++ {
+		e := &enc{}
+		obs := Observation{Time: float64(i), Rate: 100, AvailableProcs: 8}
+		encodeObservation(e, &obs)
+		valid = appendRecord(valid, recordJournalEntry, e.b)
+	}
+	f.Add(valid)
+	f.Add(valid[:len(valid)-3])
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0x00}, 40))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(dir, snapName(12)), snapshot, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, journalName(12)), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		s, err := Open(dir)
+		if err != nil {
+			t.Fatalf("Open: %v", err)
+		}
+		rec, err := s.Recover()
+		if err != nil {
+			t.Fatalf("Recover must absorb corruption, got error: %v", err)
+		}
+		if rec.State == nil || rec.State.Decisions != 12 {
+			t.Fatalf("intact snapshot lost during journal replay: %+v", rec.State)
+		}
+		for i := range rec.Tail {
+			e := &enc{}
+			encodeObservation(e, &rec.Tail[i])
+			d := &dec{b: e.b}
+			back := decodeObservation(d)
+			if d.done() != nil {
+				t.Fatalf("recovered entry %d does not decode", i)
+			}
+			// Compare re-encoded bytes, not values: a fuzzed journal may
+			// legally carry NaN floats, which defeat DeepEqual.
+			e2 := &enc{}
+			encodeObservation(e2, &back)
+			if !bytes.Equal(e.b, e2.b) {
+				t.Fatalf("recovered entry %d does not round-trip", i)
+			}
+		}
+	})
+}

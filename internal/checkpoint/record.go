@@ -1,0 +1,100 @@
+package checkpoint
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+)
+
+// Record framing. Every durable unit — a whole snapshot, a journal header,
+// one journal entry — is wrapped in a self-validating frame:
+//
+//	magic   [4]byte  "MOEC"
+//	version byte     format version (FormatVersion)
+//	kind    byte     record kind
+//	length  uvarint  payload byte count
+//	payload [length]byte
+//	crc     [4]byte  CRC-32C over version‖kind‖length‖payload, little-endian
+//
+// A reader can therefore decide for any byte prefix whether it starts with
+// a complete, uncorrupted, version-compatible record; anything else — torn
+// tail, truncation, bit-flip, version skew, foreign bytes — is rejected
+// without being interpreted.
+
+// FormatVersion is the on-disk format version. Readers reject records from
+// other versions (version skew falls back down the recovery ladder rather
+// than being misinterpreted).
+const FormatVersion = 1
+
+// Record kinds.
+const (
+	recordSnapshot      = 0x01 // payload: encoded State
+	recordJournalHeader = 0x02 // payload: journal epoch (starting decision count)
+	recordJournalEntry  = 0x03 // payload: encoded Observation
+)
+
+var recordMagic = [4]byte{'M', 'O', 'E', 'C'}
+
+// crcTable is the Castagnoli polynomial (hardware-accelerated on amd64/arm64).
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// maxRecordPayload bounds a single record so a corrupt length field cannot
+// demand an absurd allocation. Snapshots of realistic pools are a few KB;
+// 16 MiB is orders of magnitude of headroom.
+const maxRecordPayload = 16 << 20
+
+// ErrBadRecord is wrapped by every framing rejection; recovery code treats
+// any error from readRecord as "stop here, fall back".
+var ErrBadRecord = fmt.Errorf("checkpoint: bad record")
+
+// appendRecord frames a payload and appends it to b.
+func appendRecord(b []byte, kind byte, payload []byte) []byte {
+	b = append(b, recordMagic[:]...)
+	body := make([]byte, 0, 2+binary.MaxVarintLen64+len(payload))
+	body = append(body, FormatVersion, kind)
+	body = binary.AppendUvarint(body, uint64(len(payload)))
+	body = append(body, payload...)
+	b = append(b, body...)
+	b = binary.LittleEndian.AppendUint32(b, crc32.Checksum(body, crcTable))
+	return b
+}
+
+// readRecord parses one record at the start of b. It returns the kind, the
+// payload, and the total frame size consumed. Any defect — short input,
+// wrong magic, version skew, oversized length, checksum mismatch — yields
+// an error wrapping ErrBadRecord and consumes nothing.
+func readRecord(b []byte) (kind byte, payload []byte, size int, err error) {
+	bad := func(format string, args ...any) (byte, []byte, int, error) {
+		return 0, nil, 0, fmt.Errorf("%w: %s", ErrBadRecord, fmt.Sprintf(format, args...))
+	}
+	if len(b) < len(recordMagic)+2 {
+		return bad("short header (%d bytes)", len(b))
+	}
+	for i, m := range recordMagic {
+		if b[i] != m {
+			return bad("wrong magic")
+		}
+	}
+	body := b[len(recordMagic):]
+	version, kindByte := body[0], body[1]
+	if version != FormatVersion {
+		return bad("format version %d, want %d", version, FormatVersion)
+	}
+	plen, n := binary.Uvarint(body[2:])
+	if n <= 0 {
+		return bad("unreadable payload length")
+	}
+	if plen > maxRecordPayload {
+		return bad("payload length %d exceeds limit", plen)
+	}
+	bodyLen := 2 + n + int(plen)
+	if len(body) < bodyLen+4 {
+		return bad("truncated record (%d of %d bytes)", len(body), bodyLen+4)
+	}
+	body = body[:bodyLen]
+	want := binary.LittleEndian.Uint32(b[len(recordMagic)+bodyLen:])
+	if got := crc32.Checksum(body, crcTable); got != want {
+		return bad("checksum mismatch (%08x != %08x)", got, want)
+	}
+	return kindByte, body[2+n : bodyLen], len(recordMagic) + bodyLen + 4, nil
+}

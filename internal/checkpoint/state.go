@@ -1,0 +1,427 @@
+package checkpoint
+
+import (
+	"fmt"
+
+	"moe/internal/core"
+	"moe/internal/features"
+	"moe/internal/policy"
+)
+
+// State is the complete online decision state of a Runtime at one instant:
+// the runtime-level bookkeeping (decision count, clock, last thread choice,
+// last-known-good availability, thread histogram) plus the wrapped policy's
+// own state. It is what a snapshot file contains and what Restore overlays
+// onto a freshly constructed runtime.
+//
+// Deliberately not persisted: the policy's construction inputs — trained
+// expert models, gating priors, tuning constants. Those are offline
+// artifacts; the host reconstructs the same policy (same experts, same
+// seeds) and State supplies everything learned since.
+type State struct {
+	// PolicyName is the wrapped policy's Name(); restore refuses a state
+	// exported from a differently named policy.
+	PolicyName string
+	// MaxThreads is the machine cap the runtime was built with.
+	MaxThreads int
+
+	Decisions int
+	LastN     int
+	Clock     float64
+	LastAvail int
+	Sanitized int
+	Hist      map[int]int
+
+	Policy PolicyState
+}
+
+// Policy-state kinds.
+const (
+	// PolicyStateless marks a policy with no mutable state (default,
+	// offline, oracle, fixed).
+	PolicyStateless = "stateless"
+	// PolicyMixture marks a core.Mixture state.
+	PolicyMixture = "mixture"
+	// PolicyOnline marks a policy.Online state.
+	PolicyOnline = "online"
+	// PolicyAnalytic marks a policy.Analytic state.
+	PolicyAnalytic = "analytic"
+	// PolicyOpaque marks a policy that implements Checkpointable and
+	// carries its own opaque encoding.
+	PolicyOpaque = "opaque"
+)
+
+// PolicyState is the tagged union of per-policy checkpoint state; exactly
+// the field matching Kind is set.
+type PolicyState struct {
+	Kind     string
+	Mixture  *core.MixtureState
+	Online   *policy.OnlineState
+	Analytic *policy.AnalyticState
+	Opaque   []byte
+}
+
+// Observation is one journaled decision input — the raw observation exactly
+// as the host reported it, before sanitization, so replaying it through
+// Runtime.Decide reproduces the original decision bit-identically.
+type Observation struct {
+	Time           float64
+	Features       features.Vector
+	Rate           float64
+	RegionStart    bool
+	AvailableProcs int
+}
+
+// --- State encoding ---
+
+// EncodeSnapshot serializes a State into a framed, checksummed snapshot
+// record — the full contents of a snapshot file.
+func EncodeSnapshot(st *State) ([]byte, error) {
+	payload, err := encodeState(st)
+	if err != nil {
+		return nil, err
+	}
+	return appendRecord(nil, recordSnapshot, payload), nil
+}
+
+// DecodeSnapshot parses and validates a snapshot file produced by
+// EncodeSnapshot. Arbitrary input never panics; any defect yields an error.
+func DecodeSnapshot(data []byte) (*State, error) {
+	kind, payload, size, err := readRecord(data)
+	if err != nil {
+		return nil, err
+	}
+	if kind != recordSnapshot {
+		return nil, fmt.Errorf("%w: kind %d is not a snapshot", ErrBadRecord, kind)
+	}
+	if size != len(data) {
+		return nil, fmt.Errorf("%w: %d trailing bytes after snapshot record", ErrBadRecord, len(data)-size)
+	}
+	return decodeState(payload)
+}
+
+// maxNameLen bounds decoded identifier strings.
+const maxNameLen = 256
+
+func encodeState(st *State) ([]byte, error) {
+	if st == nil {
+		return nil, fmt.Errorf("checkpoint: nil state")
+	}
+	e := &enc{}
+	e.str(st.PolicyName)
+	e.int(st.MaxThreads)
+	e.int(st.Decisions)
+	e.int(st.LastN)
+	e.f64(st.Clock)
+	e.int(st.LastAvail)
+	e.int(st.Sanitized)
+	e.counts(st.Hist)
+	if err := encodePolicyState(e, &st.Policy); err != nil {
+		return nil, err
+	}
+	return e.b, nil
+}
+
+func decodeState(payload []byte) (*State, error) {
+	d := &dec{b: payload}
+	st := &State{}
+	st.PolicyName = d.str(maxNameLen)
+	st.MaxThreads = d.int()
+	st.Decisions = d.int()
+	st.LastN = d.int()
+	st.Clock = d.f64()
+	st.LastAvail = d.int()
+	st.Sanitized = d.int()
+	st.Hist = d.counts()
+	decodePolicyState(d, &st.Policy)
+	if err := d.done(); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+func encodePolicyState(e *enc, ps *PolicyState) error {
+	e.str(ps.Kind)
+	switch ps.Kind {
+	case PolicyStateless:
+		return nil
+	case PolicyMixture:
+		if ps.Mixture == nil {
+			return fmt.Errorf("checkpoint: mixture kind without mixture state")
+		}
+		encodeMixtureState(e, ps.Mixture)
+		return nil
+	case PolicyOnline:
+		if ps.Online == nil {
+			return fmt.Errorf("checkpoint: online kind without online state")
+		}
+		o := ps.Online
+		e.int(o.Step)
+		e.int(o.Direction)
+		e.f64(o.LastRate)
+		e.int(o.LastN)
+		e.int(o.Settled)
+		e.f64(o.NextMove)
+		return nil
+	case PolicyAnalytic:
+		if ps.Analytic == nil {
+			return fmt.Errorf("checkpoint: analytic kind without analytic state")
+		}
+		a := ps.Analytic
+		e.u64(a.RNGState)
+		e.int(a.Phase)
+		e.int(a.ProbeN[0])
+		e.int(a.ProbeN[1])
+		e.f64(a.ProbeRate[0])
+		e.f64(a.ProbeRate[1])
+		e.int(a.ProbeIdx)
+		e.f64(a.PhaseEnds)
+		e.int(a.CommittedN)
+		e.f64(a.ExpectedRate)
+		e.f64(a.ProbeSum)
+		e.int(a.ProbeCount)
+		e.f64(a.CommitRate)
+		e.bool(a.CommitSeen)
+		e.f64(a.CommitStretch)
+		return nil
+	case PolicyOpaque:
+		e.u64(uint64(len(ps.Opaque)))
+		e.b = append(e.b, ps.Opaque...)
+		return nil
+	default:
+		return fmt.Errorf("checkpoint: unknown policy-state kind %q", ps.Kind)
+	}
+}
+
+func decodePolicyState(d *dec, ps *PolicyState) {
+	ps.Kind = d.str(maxNameLen)
+	if d.err != nil {
+		return
+	}
+	switch ps.Kind {
+	case PolicyStateless:
+	case PolicyMixture:
+		ps.Mixture = decodeMixtureState(d)
+	case PolicyOnline:
+		o := &policy.OnlineState{}
+		o.Step = d.int()
+		o.Direction = d.int()
+		o.LastRate = d.f64()
+		o.LastN = d.int()
+		o.Settled = d.int()
+		o.NextMove = d.f64()
+		ps.Online = o
+	case PolicyAnalytic:
+		a := &policy.AnalyticState{}
+		a.RNGState = d.u64()
+		a.Phase = d.int()
+		a.ProbeN[0] = d.int()
+		a.ProbeN[1] = d.int()
+		a.ProbeRate[0] = d.f64()
+		a.ProbeRate[1] = d.f64()
+		a.ProbeIdx = d.int()
+		a.PhaseEnds = d.f64()
+		a.CommittedN = d.int()
+		a.ExpectedRate = d.f64()
+		a.ProbeSum = d.f64()
+		a.ProbeCount = d.int()
+		a.CommitRate = d.f64()
+		a.CommitSeen = d.bool()
+		a.CommitStretch = d.f64()
+		ps.Analytic = a
+	case PolicyOpaque:
+		n := d.length(1)
+		if d.err != nil {
+			return
+		}
+		ps.Opaque = append([]byte(nil), d.b[d.off:d.off+n]...)
+		d.off += n
+	default:
+		d.fail(fmt.Errorf("checkpoint: unknown policy-state kind %q", ps.Kind))
+	}
+}
+
+func encodeMixtureState(e *enc, m *core.MixtureState) {
+	e.int(m.Experts)
+
+	s := &m.Selector
+	e.str(s.Kind)
+	e.u64(uint64(len(s.Theta)))
+	for _, row := range s.Theta {
+		e.f64s(row)
+	}
+	e.f64s(s.Mean)
+	e.f64s(s.M2)
+	e.f64(s.Count)
+	e.int(s.Misses)
+	e.int(s.Votes)
+	e.f64s(s.ErrEMA)
+	e.bools(s.ErrSeen)
+	e.f64(s.ScaleEMA)
+	e.int(s.Incumbent)
+	e.u64(s.RandState)
+
+	e.u64(uint64(len(m.Health)))
+	for _, h := range m.Health {
+		e.int(h.State)
+		e.f64(h.ErrEMA)
+		e.bool(h.Seen)
+		e.int(h.CoolLeft)
+		e.int(h.CleanLeft)
+		e.int(h.Quarantines)
+	}
+
+	t := &m.Trust
+	e.bool(t.HaveFeat)
+	if t.HaveFeat {
+		e.f64s(t.LastFeat)
+	}
+	e.f64(t.LastProc)
+	e.bool(t.HaveProc)
+	e.f64(t.ProcChurn)
+	e.int(t.Suspects)
+
+	e.bool(m.PendingValid)
+	if m.PendingValid {
+		e.f64s(m.PendingFeat)
+		e.u64(uint64(len(m.PendingPred)))
+		for _, p := range m.PendingPred {
+			e.f64(p.Norm)
+			e.bool(p.HasVec)
+			if p.HasVec {
+				e.f64s(p.Vec)
+				e.bool(p.HasSigma)
+				if p.HasSigma {
+					e.f64s(p.Sigma)
+				}
+			}
+		}
+	}
+
+	e.counts(m.Selections)
+	e.counts(m.ThreadHist)
+	e.ints(m.Accurate)
+	e.ints(m.Observations)
+	e.int(m.MixAccurate)
+	e.int(m.MixObserved)
+	e.f64s(m.ErrSum)
+	e.f64(m.ObsNormSum)
+	e.int(m.Sanitized)
+	e.int(m.Rerouted)
+	e.int(m.Fallback)
+}
+
+func decodeMixtureState(d *dec) *core.MixtureState {
+	m := &core.MixtureState{}
+	m.Experts = d.int()
+
+	s := &m.Selector
+	s.Kind = d.str(maxNameLen)
+	nTheta := d.length(1)
+	if d.err != nil {
+		return nil
+	}
+	if nTheta > 0 {
+		s.Theta = make([][]float64, nTheta)
+		for i := range s.Theta {
+			s.Theta[i] = d.f64s()
+		}
+	}
+	s.Mean = d.f64s()
+	s.M2 = d.f64s()
+	s.Count = d.f64()
+	s.Misses = d.int()
+	s.Votes = d.int()
+	s.ErrEMA = d.f64s()
+	s.ErrSeen = d.bools()
+	s.ScaleEMA = d.f64()
+	s.Incumbent = d.int()
+	s.RandState = d.u64()
+
+	nHealth := d.length(6)
+	if d.err != nil {
+		return nil
+	}
+	m.Health = make([]core.ExpertHealthState, nHealth)
+	for i := range m.Health {
+		h := &m.Health[i]
+		h.State = d.int()
+		h.ErrEMA = d.f64()
+		h.Seen = d.bool()
+		h.CoolLeft = d.int()
+		h.CleanLeft = d.int()
+		h.Quarantines = d.int()
+	}
+
+	t := &m.Trust
+	t.HaveFeat = d.bool()
+	if t.HaveFeat {
+		t.LastFeat = d.f64s()
+	}
+	t.LastProc = d.f64()
+	t.HaveProc = d.bool()
+	t.ProcChurn = d.f64()
+	t.Suspects = d.int()
+
+	m.PendingValid = d.bool()
+	if m.PendingValid {
+		m.PendingFeat = d.f64s()
+		nPred := d.length(9)
+		if d.err != nil {
+			return nil
+		}
+		m.PendingPred = make([]core.EnvPredictionState, nPred)
+		for i := range m.PendingPred {
+			p := &m.PendingPred[i]
+			p.Norm = d.f64()
+			p.HasVec = d.bool()
+			if p.HasVec {
+				p.Vec = d.f64s()
+				p.HasSigma = d.bool()
+				if p.HasSigma {
+					p.Sigma = d.f64s()
+				}
+			}
+		}
+	}
+
+	m.Selections = d.counts()
+	m.ThreadHist = d.counts()
+	m.Accurate = d.ints()
+	m.Observations = d.ints()
+	m.MixAccurate = d.int()
+	m.MixObserved = d.int()
+	m.ErrSum = d.f64s()
+	m.ObsNormSum = d.f64()
+	m.Sanitized = d.int()
+	m.Rerouted = d.int()
+	m.Fallback = d.int()
+	if d.err != nil {
+		return nil
+	}
+	return m
+}
+
+// --- Observation encoding ---
+
+func encodeObservation(e *enc, obs *Observation) {
+	e.f64(obs.Time)
+	for _, v := range obs.Features {
+		e.f64(v)
+	}
+	e.f64(obs.Rate)
+	e.bool(obs.RegionStart)
+	e.int(obs.AvailableProcs)
+}
+
+func decodeObservation(d *dec) Observation {
+	var obs Observation
+	obs.Time = d.f64()
+	for i := range obs.Features {
+		obs.Features[i] = d.f64()
+	}
+	obs.Rate = d.f64()
+	obs.RegionStart = d.bool()
+	obs.AvailableProcs = d.int()
+	return obs
+}

@@ -1,0 +1,375 @@
+package checkpoint
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"moe/internal/atomicio"
+)
+
+// Store manages a checkpoint directory:
+//
+//	snap-NNNNNNNNNNNN.ckpt     snapshot taken at decision count N
+//	journal-NNNNNNNNNNNN.wal   observations for decisions N+1, N+2, …
+//
+// Writing a snapshot is atomic (temp + fsync + rename + dir fsync) and
+// rotates the journal to a fresh epoch; the previous snapshot generation
+// and its journal are retained so a torn newest snapshot still recovers to
+// the exact same state through the older snapshot plus its full journal.
+// Appends go to the current journal as individually checksummed records.
+//
+// A Store is not safe for concurrent use; Runtime serializes access under
+// its own lock.
+type Store struct {
+	dir  string
+	sync bool
+
+	journal      *os.File
+	journalEpoch int
+
+	// snapshotFault injects crashes into snapshot writes (tests only).
+	snapshotFault atomicio.FaultFn
+}
+
+// Options tunes a store.
+type Options struct {
+	// DisableSync skips the per-append fsync (snapshot atomicity is kept).
+	// A crash may then lose the journal tail that was still in the page
+	// cache — recovery still yields a valid, slightly older state. Used by
+	// simulation studies where thousands of appends per run would
+	// otherwise be fsync-bound.
+	DisableSync bool
+}
+
+// generations is how many snapshot generations (snapshot + its journal)
+// are retained; older ones are pruned after each successful snapshot.
+const generations = 2
+
+// Open creates (if needed) and opens a checkpoint directory with default
+// options: every journal append is fsynced.
+func Open(dir string) (*Store, error) {
+	return OpenOptions(dir, Options{})
+}
+
+// OpenOptions is Open with explicit options.
+func OpenOptions(dir string, opts Options) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("checkpoint: creating %s: %w", dir, err)
+	}
+	return &Store{dir: dir, sync: !opts.DisableSync}, nil
+}
+
+// Dir returns the store's directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Close closes the current journal (syncing it first).
+func (s *Store) Close() error {
+	if s.journal == nil {
+		return nil
+	}
+	err := s.journal.Sync()
+	if cerr := s.journal.Close(); err == nil {
+		err = cerr
+	}
+	s.journal = nil
+	return err
+}
+
+const (
+	snapPrefix    = "snap-"
+	snapSuffix    = ".ckpt"
+	journalPrefix = "journal-"
+	journalSuffix = ".wal"
+	seqDigits     = 12
+)
+
+func snapName(decisions int) string {
+	return fmt.Sprintf("%s%0*d%s", snapPrefix, seqDigits, decisions, snapSuffix)
+}
+
+func journalName(epoch int) string {
+	return fmt.Sprintf("%s%0*d%s", journalPrefix, seqDigits, epoch, journalSuffix)
+}
+
+// parseSeq extracts the decision count from a snapshot or journal file
+// name; ok is false for anything else (including temp files).
+func parseSeq(name, prefix, suffix string) (int, bool) {
+	if !strings.HasPrefix(name, prefix) || !strings.HasSuffix(name, suffix) {
+		return 0, false
+	}
+	mid := name[len(prefix) : len(name)-len(suffix)]
+	if len(mid) != seqDigits {
+		return 0, false
+	}
+	n, err := strconv.Atoi(mid)
+	if err != nil || n < 0 {
+		return 0, false
+	}
+	return n, true
+}
+
+// list returns the decision counts of all files with the given naming
+// scheme, ascending.
+func (s *Store) list(prefix, suffix string) ([]int, error) {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: reading %s: %w", s.dir, err)
+	}
+	var out []int
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		if n, ok := parseSeq(e.Name(), prefix, suffix); ok {
+			out = append(out, n)
+		}
+	}
+	sort.Ints(out)
+	return out, nil
+}
+
+// WriteSnapshot durably records a full state, rotates the journal to a new
+// epoch at st.Decisions, and prunes generations beyond the retention
+// window. On success the state is recoverable even if every later write is
+// torn.
+func (s *Store) WriteSnapshot(st *State) error {
+	data, err := EncodeSnapshot(st)
+	if err != nil {
+		return err
+	}
+	if err := atomicio.WriteFileHooked(filepath.Join(s.dir, snapName(st.Decisions)), data, 0o644, s.snapshotFault); err != nil {
+		return err
+	}
+	if err := s.rotateJournal(st.Decisions); err != nil {
+		return err
+	}
+	return s.prune()
+}
+
+// rotateJournal closes the current journal and starts a fresh one whose
+// epoch is the given decision count, writing its header record durably.
+func (s *Store) rotateJournal(epoch int) error {
+	if err := s.Close(); err != nil {
+		return err
+	}
+	path := filepath.Join(s.dir, journalName(epoch))
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("checkpoint: creating journal %s: %w", path, err)
+	}
+	e := &enc{}
+	e.int(epoch)
+	if _, err := f.Write(appendRecord(nil, recordJournalHeader, e.b)); err != nil {
+		f.Close()
+		return fmt.Errorf("checkpoint: writing journal header: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("checkpoint: syncing journal: %w", err)
+	}
+	if err := atomicio.SyncDir(s.dir); err != nil {
+		f.Close()
+		return err
+	}
+	s.journal = f
+	s.journalEpoch = epoch
+	return nil
+}
+
+// Append writes one observation to the current journal. A snapshot must
+// have been written first (it opens the journal epoch).
+func (s *Store) Append(obs Observation) error {
+	if s.journal == nil {
+		return fmt.Errorf("checkpoint: no open journal; write a snapshot first")
+	}
+	e := &enc{}
+	encodeObservation(e, &obs)
+	if _, err := s.journal.Write(appendRecord(nil, recordJournalEntry, e.b)); err != nil {
+		return fmt.Errorf("checkpoint: appending journal entry: %w", err)
+	}
+	if s.sync {
+		if err := s.journal.Sync(); err != nil {
+			return fmt.Errorf("checkpoint: syncing journal entry: %w", err)
+		}
+	}
+	return nil
+}
+
+// prune removes snapshot generations and journals beyond the retention
+// window. The current journal epoch is always kept.
+func (s *Store) prune() error {
+	snaps, err := s.list(snapPrefix, snapSuffix)
+	if err != nil {
+		return err
+	}
+	if len(snaps) > generations {
+		for _, n := range snaps[:len(snaps)-generations] {
+			if err := os.Remove(filepath.Join(s.dir, snapName(n))); err != nil && !os.IsNotExist(err) {
+				return err
+			}
+		}
+		snaps = snaps[len(snaps)-generations:]
+	}
+	keepFrom := 0
+	if len(snaps) > 0 {
+		keepFrom = snaps[0]
+	}
+	journals, err := s.list(journalPrefix, journalSuffix)
+	if err != nil {
+		return err
+	}
+	for _, n := range journals {
+		if n < keepFrom && n != s.journalEpoch {
+			if err := os.Remove(filepath.Join(s.dir, journalName(n))); err != nil && !os.IsNotExist(err) {
+				return err
+			}
+		}
+	}
+	// Crash leftovers from interrupted snapshot writes are harmless but
+	// accumulate; sweep them while we are here.
+	return atomicio.RemoveTemps(s.dir)
+}
+
+// Recovery is the result of reading a checkpoint directory after a crash.
+type Recovery struct {
+	// State is the newest intact snapshot, or nil for a cold start.
+	State *State
+	// Tail holds the journaled observations recorded after State (or from
+	// the beginning, for a cold start with an epoch-0 journal), in
+	// decision order, up to the first sign of corruption.
+	Tail []Observation
+	// Report documents the ladder: which files were used, skipped, or cut
+	// short, and why. Purely informational.
+	Report []string
+}
+
+// Decisions returns the decision count the recovered state reaches once
+// the tail is replayed.
+func (r *Recovery) Decisions() int {
+	d := len(r.Tail)
+	if r.State != nil {
+		d += r.State.Decisions
+	}
+	return d
+}
+
+// Recover reads the directory and returns the best recoverable state:
+// the newest snapshot that validates, plus the longest contiguous journal
+// chain on top of it. It never panics on arbitrary file contents and never
+// returns an error for corruption — corruption just lands lower on the
+// ladder (ultimately a cold start). Errors are reserved for I/O failures
+// reading the directory itself.
+//
+// Call Recover before the store's first WriteSnapshot/Append; the open
+// journal belongs to the writer side.
+func (s *Store) Recover() (*Recovery, error) {
+	rec := &Recovery{}
+	snaps, err := s.list(snapPrefix, snapSuffix)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			rec.Report = append(rec.Report, "no checkpoint directory; cold start")
+			return rec, nil
+		}
+		return nil, err
+	}
+
+	// Rung 1: newest intact snapshot.
+	base := 0
+	for i := len(snaps) - 1; i >= 0; i-- {
+		name := snapName(snaps[i])
+		data, rerr := os.ReadFile(filepath.Join(s.dir, name))
+		if rerr != nil {
+			rec.Report = append(rec.Report, fmt.Sprintf("%s: unreadable (%v); trying older", name, rerr))
+			continue
+		}
+		st, derr := DecodeSnapshot(data)
+		if derr != nil {
+			rec.Report = append(rec.Report, fmt.Sprintf("%s: rejected (%v); trying older", name, derr))
+			continue
+		}
+		if st.Decisions != snaps[i] {
+			rec.Report = append(rec.Report, fmt.Sprintf("%s: decision count %d does not match file name; trying older", name, st.Decisions))
+			continue
+		}
+		rec.State = st
+		base = snaps[i]
+		rec.Report = append(rec.Report, fmt.Sprintf("%s: loaded", name))
+		break
+	}
+	if rec.State == nil {
+		rec.Report = append(rec.Report, "no intact snapshot; cold start")
+	}
+
+	// Rung 2: the contiguous journal chain from the base decision count.
+	journals, err := s.list(journalPrefix, journalSuffix)
+	if err != nil {
+		return nil, err
+	}
+	expected := base
+	for _, epoch := range journals {
+		if epoch < expected {
+			continue
+		}
+		if epoch > expected {
+			rec.Report = append(rec.Report, fmt.Sprintf("%s: epoch gap (want %d); stopping replay", journalName(epoch), expected))
+			break
+		}
+		entries, clean := s.readJournal(epoch, rec)
+		rec.Tail = append(rec.Tail, entries...)
+		expected += len(entries)
+		if !clean {
+			break
+		}
+	}
+	return rec, nil
+}
+
+// readJournal reads one journal file, validating the header and collecting
+// entries until the first torn or corrupt record. clean reports whether the
+// file was consumed without any defect (so a following epoch may continue
+// the chain).
+func (s *Store) readJournal(epoch int, rec *Recovery) (entries []Observation, clean bool) {
+	name := journalName(epoch)
+	data, err := os.ReadFile(filepath.Join(s.dir, name))
+	if err != nil {
+		rec.Report = append(rec.Report, fmt.Sprintf("%s: unreadable (%v)", name, err))
+		return nil, false
+	}
+	kind, payload, size, err := readRecord(data)
+	if err != nil || kind != recordJournalHeader {
+		rec.Report = append(rec.Report, fmt.Sprintf("%s: bad header; ignoring file", name))
+		return nil, false
+	}
+	hd := &dec{b: payload}
+	if got := hd.int(); hd.done() != nil || got != epoch {
+		rec.Report = append(rec.Report, fmt.Sprintf("%s: header epoch mismatch; ignoring file", name))
+		return nil, false
+	}
+	data = data[size:]
+	for len(data) > 0 {
+		kind, payload, size, err = readRecord(data)
+		if err != nil {
+			rec.Report = append(rec.Report, fmt.Sprintf("%s: torn tail after %d entries (%v)", name, len(entries), err))
+			return entries, false
+		}
+		if kind != recordJournalEntry {
+			rec.Report = append(rec.Report, fmt.Sprintf("%s: unexpected record kind %d after %d entries", name, kind, len(entries)))
+			return entries, false
+		}
+		d := &dec{b: payload}
+		obs := decodeObservation(d)
+		if d.done() != nil {
+			rec.Report = append(rec.Report, fmt.Sprintf("%s: malformed entry after %d entries", name, len(entries)))
+			return entries, false
+		}
+		entries = append(entries, obs)
+		data = data[size:]
+	}
+	rec.Report = append(rec.Report, fmt.Sprintf("%s: replayed %d entries", name, len(entries)))
+	return entries, true
+}

@@ -1,0 +1,281 @@
+// Package checkpoint is the durability subsystem: it snapshots the
+// runtime's full online decision state as versioned, CRC-checksummed
+// records written atomically, keeps an append-only write-ahead journal of
+// the observations behind every decision between snapshots, and recovers
+// after a crash by loading the newest intact snapshot and replaying the
+// journal tail. Recovery is adversarially robust: torn writes, truncation,
+// bit-flips and version skew are detected by the record framing and the
+// decoder never panics on arbitrary bytes — it falls back down the ladder
+// (older snapshot, shorter journal, cold start) instead of erroring out.
+package checkpoint
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// errTruncated reports input that ended mid-value — the torn-write
+// signature at the wire level.
+var errTruncated = fmt.Errorf("checkpoint: truncated input")
+
+// enc is a deterministic append-only encoder: identical values always
+// yield identical bytes (maps are emitted in sorted key order by the
+// callers), which is what makes snapshot byte-equality a meaningful test.
+type enc struct {
+	b []byte
+}
+
+func (e *enc) u64(v uint64) { e.b = binary.AppendUvarint(e.b, v) }
+
+func (e *enc) i64(v int64) { e.b = binary.AppendVarint(e.b, v) }
+
+func (e *enc) int(v int) { e.i64(int64(v)) }
+
+// f64 emits the exact IEEE-754 bits so every float — including NaN
+// payloads, infinities, negative zero and subnormals — round-trips
+// bit-identically.
+func (e *enc) f64(v float64) {
+	e.b = binary.LittleEndian.AppendUint64(e.b, math.Float64bits(v))
+}
+
+func (e *enc) bool(v bool) {
+	if v {
+		e.b = append(e.b, 1)
+	} else {
+		e.b = append(e.b, 0)
+	}
+}
+
+func (e *enc) str(s string) {
+	e.u64(uint64(len(s)))
+	e.b = append(e.b, s...)
+}
+
+func (e *enc) f64s(xs []float64) {
+	e.u64(uint64(len(xs)))
+	for _, x := range xs {
+		e.f64(x)
+	}
+}
+
+func (e *enc) ints(xs []int) {
+	e.u64(uint64(len(xs)))
+	for _, x := range xs {
+		e.int(x)
+	}
+}
+
+func (e *enc) bools(xs []bool) {
+	e.u64(uint64(len(xs)))
+	for _, x := range xs {
+		e.bool(x)
+	}
+}
+
+// counts emits a histogram map in ascending bin order (determinism).
+func (e *enc) counts(m map[int]int) {
+	bins := make([]int, 0, len(m))
+	for b := range m {
+		bins = append(bins, b)
+	}
+	sort.Ints(bins)
+	e.u64(uint64(len(bins)))
+	for _, b := range bins {
+		e.int(b)
+		e.int(m[b])
+	}
+}
+
+// dec is the matching decoder. Every read bounds-checks the remaining
+// input and records the first error; subsequent reads return zero values,
+// so decoding arbitrary bytes can never panic or over-allocate.
+type dec struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (d *dec) fail(err error) {
+	if d.err == nil {
+		d.err = err
+	}
+}
+
+func (d *dec) remaining() int { return len(d.b) - d.off }
+
+func (d *dec) u64() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.b[d.off:])
+	if n <= 0 {
+		d.fail(errTruncated)
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+func (d *dec) i64() int64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(d.b[d.off:])
+	if n <= 0 {
+		d.fail(errTruncated)
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+func (d *dec) int() int {
+	v := d.i64()
+	if int64(int(v)) != v {
+		d.fail(fmt.Errorf("checkpoint: integer %d overflows int", v))
+		return 0
+	}
+	return int(v)
+}
+
+func (d *dec) f64() float64 {
+	if d.err != nil {
+		return 0
+	}
+	if d.remaining() < 8 {
+		d.fail(errTruncated)
+		return 0
+	}
+	v := math.Float64frombits(binary.LittleEndian.Uint64(d.b[d.off:]))
+	d.off += 8
+	return v
+}
+
+func (d *dec) bool() bool {
+	if d.err != nil {
+		return false
+	}
+	if d.remaining() < 1 {
+		d.fail(errTruncated)
+		return false
+	}
+	v := d.b[d.off]
+	d.off++
+	switch v {
+	case 0:
+		return false
+	case 1:
+		return true
+	default:
+		d.fail(fmt.Errorf("checkpoint: invalid bool byte %d", v))
+		return false
+	}
+}
+
+// length validates a count against the bytes remaining, assuming each
+// element occupies at least elemSize bytes; a hostile length can therefore
+// never trigger a huge allocation.
+func (d *dec) length(elemSize int) int {
+	n := d.u64()
+	if d.err != nil {
+		return 0
+	}
+	if n > uint64(d.remaining()/elemSize) {
+		d.fail(fmt.Errorf("checkpoint: length %d exceeds remaining input", n))
+		return 0
+	}
+	return int(n)
+}
+
+func (d *dec) str(maxLen int) string {
+	n := d.length(1)
+	if d.err != nil {
+		return ""
+	}
+	if n > maxLen {
+		d.fail(fmt.Errorf("checkpoint: string length %d exceeds limit %d", n, maxLen))
+		return ""
+	}
+	s := string(d.b[d.off : d.off+n])
+	d.off += n
+	return s
+}
+
+func (d *dec) f64s() []float64 {
+	n := d.length(8)
+	if d.err != nil {
+		return nil
+	}
+	if n == 0 {
+		return nil
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = d.f64()
+	}
+	return out
+}
+
+func (d *dec) ints() []int {
+	n := d.length(1)
+	if d.err != nil {
+		return nil
+	}
+	if n == 0 {
+		return nil
+	}
+	out := make([]int, n)
+	for i := range out {
+		out[i] = d.int()
+	}
+	return out
+}
+
+func (d *dec) bools() []bool {
+	n := d.length(1)
+	if d.err != nil {
+		return nil
+	}
+	if n == 0 {
+		return nil
+	}
+	out := make([]bool, n)
+	for i := range out {
+		out[i] = d.bool()
+	}
+	return out
+}
+
+func (d *dec) counts() map[int]int {
+	n := d.length(2)
+	if d.err != nil {
+		return nil
+	}
+	out := make(map[int]int, n)
+	for i := 0; i < n; i++ {
+		bin := d.int()
+		c := d.int()
+		if d.err != nil {
+			return nil
+		}
+		if _, dup := out[bin]; dup {
+			d.fail(fmt.Errorf("checkpoint: duplicate histogram bin %d", bin))
+			return nil
+		}
+		out[bin] = c
+	}
+	return out
+}
+
+// done verifies the input was fully and cleanly consumed.
+func (d *dec) done() error {
+	if d.err != nil {
+		return d.err
+	}
+	if d.remaining() != 0 {
+		return fmt.Errorf("checkpoint: %d trailing bytes after payload", d.remaining())
+	}
+	return nil
+}

@@ -1,0 +1,485 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"moe/internal/expert"
+	"moe/internal/features"
+	"moe/internal/stats"
+)
+
+// Checkpoint state export/import. The mixture's entire *online* state — the
+// selector's learned partition, per-expert health records, sensor trust,
+// the pending predictions awaiting their observation, and the analysis
+// bookkeeping — is representable as plain data, so a process can snapshot
+// it, die, and resume with the accumulated learning intact. What is
+// deliberately NOT here: the experts themselves (offline artifacts,
+// reconstructed from training or an expert file) and construction-time
+// constants (learning rate, penalty weights, decay factors). Restore
+// therefore overlays state onto a mixture that was constructed identically
+// to the one exported from; structural mismatches (pool size, selector
+// kind) are rejected.
+//
+// Everything in these structs is primitive (floats, ints, bools, slices)
+// so internal/checkpoint can serialize it without importing expert types.
+
+// SelectorState is the tagged union of the selector implementations'
+// mutable state. Kind matches Selector.Name() and selects which fields are
+// meaningful.
+type SelectorState struct {
+	// Kind is the selector's Name(): "hyperplane", "accuracy-ema",
+	// "fixed", or "random".
+	Kind string
+
+	// Hyperplane fields (also reused by accuracy-ema: ErrEMA/ErrSeen).
+	Theta     [][]float64
+	Mean      []float64
+	M2        []float64
+	Count     float64
+	Misses    int
+	Votes     int
+	ErrEMA    []float64
+	ErrSeen   []bool
+	ScaleEMA  float64
+	Incumbent int
+
+	// Random-selector stream state.
+	RandState uint64
+}
+
+// ExpertHealthState is one expert's quarantine record.
+type ExpertHealthState struct {
+	State       int // healthState ordinal
+	ErrEMA      float64
+	Seen        bool
+	CoolLeft    int
+	CleanLeft   int
+	Quarantines int
+}
+
+// TrustState is the sensor-trust layer's memory.
+type TrustState struct {
+	LastFeat  []float64 // features.Dim values when HaveFeat
+	HaveFeat  bool
+	LastProc  float64
+	HaveProc  bool
+	ProcChurn float64
+	Suspects  int
+}
+
+// EnvPredictionState is one pending environment prediction in primitive
+// form.
+type EnvPredictionState struct {
+	Norm     float64
+	HasVec   bool
+	Vec      []float64 // features.EnvDim values when HasVec
+	HasSigma bool
+	Sigma    []float64 // features.EnvDim values when HasSigma
+}
+
+// MixtureState is the complete online state of a Mixture.
+type MixtureState struct {
+	// Experts is the pool size the state was exported from; restore
+	// requires an identical pool size.
+	Experts  int
+	Selector SelectorState
+	Health   []ExpertHealthState
+	Trust    TrustState
+
+	PendingValid bool
+	PendingFeat  []float64 // features.Dim values when PendingValid
+	PendingPred  []EnvPredictionState
+
+	Selections   map[int]int
+	ThreadHist   map[int]int
+	Accurate     []int
+	Observations []int
+	MixAccurate  int
+	MixObserved  int
+	ErrSum       []float64
+	ObsNormSum   float64
+	Sanitized    int
+	Rerouted     int
+	Fallback     int
+}
+
+// ExportState captures the mixture's full online state as plain data. The
+// returned value shares no memory with the mixture; mutating it cannot
+// corrupt a live policy.
+func (m *Mixture) ExportState() (*MixtureState, error) {
+	sel, err := exportSelector(m.selector)
+	if err != nil {
+		return nil, err
+	}
+	k := len(m.experts)
+	st := &MixtureState{
+		Experts:      k,
+		Selector:     sel,
+		Health:       make([]ExpertHealthState, k),
+		Trust:        exportTrust(&m.trust),
+		Selections:   m.selections.Counts(),
+		ThreadHist:   m.threadHist.Counts(),
+		Accurate:     append([]int(nil), m.accurate...),
+		Observations: append([]int(nil), m.observations...),
+		MixAccurate:  m.mixAccurate,
+		MixObserved:  m.mixObserved,
+		ErrSum:       append([]float64(nil), m.errSum...),
+		ObsNormSum:   m.obsNormSum,
+		Sanitized:    m.sanitized,
+		Rerouted:     m.rerouted,
+		Fallback:     m.fallback,
+	}
+	for i, e := range m.health.experts {
+		st.Health[i] = ExpertHealthState{
+			State:       int(e.state),
+			ErrEMA:      e.errEMA,
+			Seen:        e.seen,
+			CoolLeft:    e.coolLeft,
+			CleanLeft:   e.cleanLeft,
+			Quarantines: e.quarantines,
+		}
+	}
+	if m.pendingValid {
+		st.PendingValid = true
+		st.PendingFeat = append([]float64(nil), m.pendingFeat[:]...)
+		st.PendingPred = make([]EnvPredictionState, len(m.pendingPred))
+		for i, p := range m.pendingPred {
+			st.PendingPred[i] = exportPrediction(p)
+		}
+	}
+	return st, nil
+}
+
+// RestoreState overlays a previously exported state onto a mixture that was
+// constructed identically (same pool size, same selector kind). It
+// validates structure and finiteness and refuses garbage rather than
+// adopting it; on error the mixture is unchanged.
+func (m *Mixture) RestoreState(st *MixtureState) error {
+	if st == nil {
+		return fmt.Errorf("core: nil mixture state")
+	}
+	k := len(m.experts)
+	if st.Experts != k {
+		return fmt.Errorf("core: state for %d experts, mixture has %d", st.Experts, k)
+	}
+	if len(st.Health) != k || len(st.Accurate) != k || len(st.Observations) != k || len(st.ErrSum) != k {
+		return fmt.Errorf("core: per-expert state lengths do not match pool size %d", k)
+	}
+	for i, h := range st.Health {
+		if h.State < int(healthOK) || h.State > int(healthProbation) {
+			return fmt.Errorf("core: expert %d: invalid health state %d", i, h.State)
+		}
+		if !finite(h.ErrEMA) || h.ErrEMA < 0 || h.CoolLeft < 0 || h.CleanLeft < 0 || h.Quarantines < 0 {
+			return fmt.Errorf("core: expert %d: invalid health record", i)
+		}
+	}
+	for i := 0; i < k; i++ {
+		if st.Accurate[i] < 0 || st.Observations[i] < 0 || st.Accurate[i] > st.Observations[i] {
+			return fmt.Errorf("core: expert %d: invalid accuracy counters", i)
+		}
+		if !finite(st.ErrSum[i]) || st.ErrSum[i] < 0 {
+			return fmt.Errorf("core: expert %d: invalid error sum", i)
+		}
+	}
+	if st.MixAccurate < 0 || st.MixObserved < 0 || st.MixAccurate > st.MixObserved {
+		return fmt.Errorf("core: invalid mixture accuracy counters")
+	}
+	if !finite(st.ObsNormSum) || st.ObsNormSum < 0 ||
+		st.Sanitized < 0 || st.Rerouted < 0 || st.Fallback < 0 {
+		return fmt.Errorf("core: invalid bookkeeping counters")
+	}
+	if err := validateCounts(st.Selections); err != nil {
+		return fmt.Errorf("core: selections histogram: %w", err)
+	}
+	if err := validateCounts(st.ThreadHist); err != nil {
+		return fmt.Errorf("core: thread histogram: %w", err)
+	}
+	if err := validateTrust(&st.Trust); err != nil {
+		return err
+	}
+	if st.PendingValid {
+		if len(st.PendingFeat) != features.Dim {
+			return fmt.Errorf("core: pending state has %d features, want %d", len(st.PendingFeat), features.Dim)
+		}
+		for _, v := range st.PendingFeat {
+			if !finite(v) {
+				return fmt.Errorf("core: non-finite pending feature")
+			}
+		}
+		if len(st.PendingPred) != k {
+			return fmt.Errorf("core: %d pending predictions for %d experts", len(st.PendingPred), k)
+		}
+		for i := range st.PendingPred {
+			if err := validatePrediction(&st.PendingPred[i]); err != nil {
+				return fmt.Errorf("core: pending prediction %d: %w", i, err)
+			}
+		}
+	}
+	// Validate-then-restore the selector last so any error above leaves the
+	// selector untouched too.
+	if err := restoreSelector(m.selector, &st.Selector, k); err != nil {
+		return err
+	}
+
+	for i := range m.health.experts {
+		h := st.Health[i]
+		m.health.experts[i] = expertHealth{
+			state:       healthState(h.State),
+			errEMA:      h.ErrEMA,
+			seen:        h.Seen,
+			coolLeft:    h.CoolLeft,
+			cleanLeft:   h.CleanLeft,
+			quarantines: h.Quarantines,
+		}
+	}
+	restoreTrust(&m.trust, &st.Trust)
+	m.selections = stats.NewHistogramFromCounts(st.Selections)
+	m.threadHist = stats.NewHistogramFromCounts(st.ThreadHist)
+	copy(m.accurate, st.Accurate)
+	copy(m.observations, st.Observations)
+	m.mixAccurate = st.MixAccurate
+	m.mixObserved = st.MixObserved
+	copy(m.errSum, st.ErrSum)
+	m.obsNormSum = st.ObsNormSum
+	m.sanitized = st.Sanitized
+	m.rerouted = st.Rerouted
+	m.fallback = st.Fallback
+
+	m.pendingValid = st.PendingValid
+	if st.PendingValid {
+		copy(m.pendingFeat[:], st.PendingFeat)
+		m.pendingPred = make([]expert.EnvPrediction, k)
+		for i, p := range st.PendingPred {
+			m.pendingPred[i] = restorePrediction(p)
+		}
+	} else {
+		m.pendingFeat = features.Vector{}
+		m.pendingPred = nil
+	}
+	return nil
+}
+
+func finite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
+
+func validateCounts(counts map[int]int) error {
+	for bin, c := range counts {
+		if c < 0 {
+			return fmt.Errorf("negative count %d in bin %d", c, bin)
+		}
+	}
+	return nil
+}
+
+// --- selector state ---
+
+func exportSelector(s Selector) (SelectorState, error) {
+	switch sel := s.(type) {
+	case *HyperplaneSelector:
+		st := SelectorState{
+			Kind:      sel.Name(),
+			Theta:     sel.Hyperplanes(),
+			Mean:      append([]float64(nil), sel.mean[:]...),
+			M2:        append([]float64(nil), sel.m2[:]...),
+			Count:     sel.count,
+			Misses:    sel.misses,
+			Votes:     sel.votes,
+			ErrEMA:    append([]float64(nil), sel.errEMA...),
+			ErrSeen:   append([]bool(nil), sel.errSeen...),
+			ScaleEMA:  sel.scaleEMA,
+			Incumbent: sel.incumbent,
+		}
+		return st, nil
+	case *AccuracySelector:
+		return SelectorState{
+			Kind:    sel.Name(),
+			ErrEMA:  append([]float64(nil), sel.ema...),
+			ErrSeen: append([]bool(nil), sel.seen...),
+		}, nil
+	case FixedSelector:
+		return SelectorState{Kind: sel.Name()}, nil
+	case *RandomSelector:
+		return SelectorState{Kind: sel.Name(), RandState: sel.state}, nil
+	default:
+		return SelectorState{}, fmt.Errorf("core: selector %q is not checkpointable", s.Name())
+	}
+}
+
+func restoreSelector(s Selector, st *SelectorState, k int) error {
+	if st.Kind != s.Name() {
+		return fmt.Errorf("core: state for selector %q, mixture uses %q", st.Kind, s.Name())
+	}
+	switch sel := s.(type) {
+	case *HyperplaneSelector:
+		if len(st.Theta) != k {
+			return fmt.Errorf("core: %d hyperplanes for %d experts", len(st.Theta), k)
+		}
+		for i, row := range st.Theta {
+			if len(row) != features.Dim+1 {
+				return fmt.Errorf("core: hyperplane %d has %d weights, want %d", i, len(row), features.Dim+1)
+			}
+			for _, v := range row {
+				if !finite(v) {
+					return fmt.Errorf("core: non-finite hyperplane weight")
+				}
+			}
+		}
+		if len(st.Mean) != features.Dim || len(st.M2) != features.Dim {
+			return fmt.Errorf("core: standardization statistics have wrong dimensionality")
+		}
+		for i := 0; i < features.Dim; i++ {
+			if !finite(st.Mean[i]) || !finite(st.M2[i]) || st.M2[i] < 0 {
+				return fmt.Errorf("core: invalid standardization statistics")
+			}
+		}
+		if !finite(st.Count) || st.Count < 0 || st.Misses < 0 || st.Votes < 0 || st.Misses > st.Votes {
+			return fmt.Errorf("core: invalid selector counters")
+		}
+		if len(st.ErrEMA) != k || len(st.ErrSeen) != k {
+			return fmt.Errorf("core: selector accuracy state has wrong pool size")
+		}
+		for _, v := range st.ErrEMA {
+			if !finite(v) {
+				return fmt.Errorf("core: non-finite selector error EMA")
+			}
+		}
+		if !finite(st.ScaleEMA) || st.Incumbent < -1 || st.Incumbent >= k {
+			return fmt.Errorf("core: invalid selector scale or incumbent")
+		}
+		for i, row := range st.Theta {
+			copy(sel.theta[i], row)
+		}
+		copy(sel.mean[:], st.Mean)
+		copy(sel.m2[:], st.M2)
+		sel.count = st.Count
+		sel.misses = st.Misses
+		sel.votes = st.Votes
+		copy(sel.errEMA, st.ErrEMA)
+		copy(sel.errSeen, st.ErrSeen)
+		sel.scaleEMA = st.ScaleEMA
+		sel.incumbent = st.Incumbent
+		return nil
+	case *AccuracySelector:
+		if len(st.ErrEMA) != k || len(st.ErrSeen) != k {
+			return fmt.Errorf("core: accuracy selector state has wrong pool size")
+		}
+		for _, v := range st.ErrEMA {
+			if !finite(v) {
+				return fmt.Errorf("core: non-finite accuracy EMA")
+			}
+		}
+		copy(sel.ema, st.ErrEMA)
+		copy(sel.seen, st.ErrSeen)
+		return nil
+	case FixedSelector:
+		return nil
+	case *RandomSelector:
+		if st.RandState == 0 {
+			return fmt.Errorf("core: zero random-selector state")
+		}
+		sel.state = st.RandState
+		return nil
+	default:
+		return fmt.Errorf("core: selector %q is not checkpointable", s.Name())
+	}
+}
+
+// --- trust state ---
+
+func exportTrust(t *sensorTrust) TrustState {
+	st := TrustState{
+		HaveFeat:  t.haveFeat,
+		LastProc:  t.lastProc,
+		HaveProc:  t.haveProc,
+		ProcChurn: t.procChurn,
+		Suspects:  t.suspects,
+	}
+	if t.haveFeat {
+		st.LastFeat = append([]float64(nil), t.lastFeat[:]...)
+	}
+	return st
+}
+
+func validateTrust(st *TrustState) error {
+	if st.HaveFeat {
+		if len(st.LastFeat) != features.Dim {
+			return fmt.Errorf("core: trust state has %d features, want %d", len(st.LastFeat), features.Dim)
+		}
+		for _, v := range st.LastFeat {
+			if !finite(v) {
+				return fmt.Errorf("core: non-finite trusted feature")
+			}
+		}
+	}
+	if !finite(st.LastProc) || !finite(st.ProcChurn) || st.ProcChurn < 0 || st.Suspects < 0 {
+		return fmt.Errorf("core: invalid trust state")
+	}
+	return nil
+}
+
+func restoreTrust(t *sensorTrust, st *TrustState) {
+	*t = sensorTrust{
+		haveFeat:  st.HaveFeat,
+		lastProc:  st.LastProc,
+		haveProc:  st.HaveProc,
+		procChurn: st.ProcChurn,
+		suspects:  st.Suspects,
+	}
+	if st.HaveFeat {
+		copy(t.lastFeat[:], st.LastFeat)
+	}
+}
+
+// --- pending predictions ---
+
+func exportPrediction(p expert.EnvPrediction) EnvPredictionState {
+	st := EnvPredictionState{Norm: p.Norm, HasVec: p.HasVec}
+	if p.HasVec {
+		v := p.Vec
+		st.Vec = []float64{v.WorkloadThreads, v.Processors, v.RunQueue, v.Load1, v.Load5, v.CachedMem, v.PageFreeRate}
+		if p.Sigma != nil {
+			st.HasSigma = true
+			st.Sigma = append([]float64(nil), p.Sigma[:]...)
+		}
+	}
+	return st
+}
+
+// validatePrediction bounds-checks a pending prediction. Non-finite values
+// are allowed here — a snapshot taken while a corrupt expert was pending
+// must round-trip exactly, and the scoring path already handles them.
+func validatePrediction(st *EnvPredictionState) error {
+	if st.HasVec && len(st.Vec) != features.EnvDim {
+		return fmt.Errorf("prediction vector has %d dimensions, want %d", len(st.Vec), features.EnvDim)
+	}
+	if st.HasSigma {
+		if !st.HasVec {
+			return fmt.Errorf("sigma without vector")
+		}
+		if len(st.Sigma) != features.EnvDim {
+			return fmt.Errorf("sigma has %d dimensions, want %d", len(st.Sigma), features.EnvDim)
+		}
+	}
+	return nil
+}
+
+func restorePrediction(st EnvPredictionState) expert.EnvPrediction {
+	p := expert.EnvPrediction{Norm: st.Norm, HasVec: st.HasVec}
+	if st.HasVec {
+		p.Vec = features.Env{
+			WorkloadThreads: st.Vec[0],
+			Processors:      st.Vec[1],
+			RunQueue:        st.Vec[2],
+			Load1:           st.Vec[3],
+			Load5:           st.Vec[4],
+			CachedMem:       st.Vec[5],
+			PageFreeRate:    st.Vec[6],
+		}
+		if st.HasSigma {
+			var sigma [features.EnvDim]float64
+			copy(sigma[:], st.Sigma)
+			p.Sigma = &sigma
+		}
+	}
+	return p
+}

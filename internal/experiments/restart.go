@@ -1,0 +1,195 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+
+	"moe"
+	"moe/internal/sim"
+	"moe/internal/stats"
+	"moe/internal/trace"
+)
+
+// RestartStudy measures what crash recovery is worth: every policy runs the
+// same scenario under hardware churn three ways — uninterrupted, crashing
+// midway and warm-restoring from a checkpoint directory, and crashing
+// midway and cold-restarting with all learned state lost. All three drive
+// the policy through the full moe.Runtime path (sanitization, availability
+// fallback, write-ahead journaling for the warm variant), so the only
+// difference between the rows is what survives the crash. Values are
+// speedups over the uninterrupted OpenMP default; a warm row matching the
+// uninterrupted row is the durability subsystem's correctness made visible
+// (recovery reproduces the pre-crash state exactly), and the gap between
+// warm and cold is the price of losing the online-learned state — selector
+// weights, expert health, sensor trust — at the worst possible moment.
+func (l *Lab) RestartStudy(sc Scale) (*Table, error) {
+	return l.restartStudy(sc, DefaultMaxTime)
+}
+
+// restartCrashAfter is the decision count at which the crashing variants
+// lose their runtime. Early enough that plenty of run remains to feel the
+// loss, late enough that the online state is worth something.
+const restartCrashAfter = 40
+
+// restartCheckpointEvery is the warm variant's snapshot cadence; between
+// snapshots the journal carries recovery.
+const restartCheckpointEvery = 25
+
+// restartVariant drives a scenario through a runtime and, at a fixed
+// decision count, simulates a crash by discarding it and switching to
+// whatever the rebuild hook reconstructs (a warm-restored runtime, or a
+// cold fresh one). A nil rebuild never crashes.
+type restartVariant struct {
+	label   string
+	active  sim.Policy
+	n       int
+	rebuild func() (sim.Policy, error)
+	err     error
+}
+
+func (v *restartVariant) Name() string { return v.label }
+
+func (v *restartVariant) Decide(d sim.Decision) int {
+	if v.rebuild != nil && v.n == restartCrashAfter {
+		p, err := v.rebuild()
+		if err != nil {
+			v.err = err
+		} else {
+			v.active = p
+		}
+		v.rebuild = nil
+	}
+	v.n++
+	return v.active.Decide(d)
+}
+
+// restartStudy is RestartStudy with the run length exposed for tests.
+func (l *Lab) restartStudy(sc Scale, maxTime float64) (*Table, error) {
+	cols := append([]PolicyName{PolicyDefault}, BaselinePolicies...)
+	variants := []string{"uninterrupted", "warm-restore", "cold-restart"}
+	repeats := max(1, sc.Repeats)
+	nC, nT, nV := len(cols), len(sc.Targets), len(variants)
+	total := nV * nC * nT * repeats
+
+	times, err := grid(l, total, func(i int) (float64, error) {
+		ri := i % repeats
+		ti := (i / repeats) % nT
+		ci := (i / (repeats * nT)) % nC
+		vi := i / (repeats * nT * nC)
+		target := sc.Targets[ti]
+		seed := sc.Seed + uint64(ti)*104729 + uint64(ri)*1000003
+
+		build := func() (*moe.Runtime, error) {
+			p, err := l.NewPolicy(cols[ci], target, seed)
+			if err != nil {
+				return nil, err
+			}
+			return moe.NewRuntime(p, l.Eval.Cores)
+		}
+		rt, err := build()
+		if err != nil {
+			return 0, err
+		}
+		v := &restartVariant{label: string(cols[ci]), active: rt.SimPolicy()}
+
+		switch variants[vi] {
+		case "uninterrupted":
+			// No crash; v.rebuild stays nil.
+		case "warm-restore":
+			dir, err := os.MkdirTemp("", "moe-restart-")
+			if err != nil {
+				return 0, err
+			}
+			defer os.RemoveAll(dir)
+			// Studies journal thousands of decisions; skipping the
+			// per-append fsync keeps the sweep I/O-bound on nothing.
+			store, err := moe.OpenCheckpointOptions(dir, moe.CheckpointOptions{DisableSync: true})
+			if err != nil {
+				return 0, err
+			}
+			if err := rt.AttachStore(store, restartCheckpointEvery); err != nil {
+				return 0, err
+			}
+			v.rebuild = func() (sim.Policy, error) {
+				store.Close() // a real crash drops the fd too
+				if err := rt.CheckpointErr(); err != nil {
+					return nil, err
+				}
+				rt2, err := build()
+				if err != nil {
+					return nil, err
+				}
+				store2, err := moe.OpenCheckpointOptions(dir, moe.CheckpointOptions{DisableSync: true})
+				if err != nil {
+					return nil, err
+				}
+				if _, err := rt2.Resume(store2); err != nil {
+					return nil, err
+				}
+				if rt2.Decisions() != restartCrashAfter {
+					return nil, fmt.Errorf("experiments: warm restore recovered %d of %d decisions", rt2.Decisions(), restartCrashAfter)
+				}
+				return rt2.SimPolicy(), nil
+			}
+		case "cold-restart":
+			v.rebuild = func() (sim.Policy, error) {
+				rt2, err := build()
+				if err != nil {
+					return nil, err
+				}
+				return rt2.SimPolicy(), nil
+			}
+		}
+
+		out, err := l.RunWithPolicy(ScenarioSpec{
+			Target:   target,
+			Workload: []string{"cg"},
+			HWFreq:   trace.HighFrequency,
+			Seed:     seed,
+			MaxTime:  maxTime,
+		}, v)
+		if err != nil {
+			return 0, err
+		}
+		if v.err != nil {
+			return 0, v.err
+		}
+		return out.ExecTime, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	at := func(vi, ci, ti, ri int) float64 {
+		return times[((vi*nC+ci)*nT+ti)*repeats+ri]
+	}
+	t := &Table{
+		Title: "Restart — speedup over the uninterrupted default, crash at decision 40",
+		Columns: func() []string {
+			out := make([]string, nC)
+			for i, c := range cols {
+				out[i] = string(c)
+			}
+			return out
+		}(),
+		Notes: []string{
+			"value = uninterrupted default exec time / variant exec time (hardware churn: high frequency)",
+			"warm-restore resumes from snapshot + journal replay; cold-restart loses all online state",
+			"warm matching uninterrupted is recovery fidelity; warm minus cold is what the checkpoint buys",
+		},
+	}
+	for vi, label := range variants {
+		vals := make([]float64, nC)
+		for ci := 0; ci < nC; ci++ {
+			ratios := make([]float64, 0, nT*repeats)
+			for ti := 0; ti < nT; ti++ {
+				for ri := 0; ri < repeats; ri++ {
+					ratios = append(ratios, at(0, 0, ti, ri)/at(vi, ci, ti, ri))
+				}
+			}
+			vals[ci] = stats.HMean(ratios)
+		}
+		t.AddRow(label, vals...)
+	}
+	return t, nil
+}

@@ -1,0 +1,38 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+)
+
+// TestRestartStudyWarmRestoreIsExact is the study's acceptance property:
+// recovery fidelity. A warm restore reproduces the crashed runtime's state
+// bit-identically, so in a deterministic engine the warm-restore row must
+// EQUAL the uninterrupted row for every policy — any daylight between them
+// is a recovery bug, not noise. The stateless default must additionally be
+// indifferent to even a cold restart.
+func TestRestartStudyWarmRestoreIsExact(t *testing.T) {
+	l := lab(t)
+	sc := Scale{Targets: []string{"lu", "cg"}, Repeats: 1, Seed: 5}
+	tab, err := l.restartStudy(sc, 800)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", tab)
+	for _, col := range tab.Columns {
+		un := tab.MustGet("uninterrupted", col)
+		warm := tab.MustGet("warm-restore", col)
+		cold := tab.MustGet("cold-restart", col)
+		for label, v := range map[string]float64{"uninterrupted": un, "warm-restore": warm, "cold-restart": cold} {
+			if !(v > 0) || math.IsInf(v, 0) {
+				t.Errorf("%s/%s: bad speedup %v", label, col, v)
+			}
+		}
+		if math.Abs(warm-un) > 1e-9*math.Abs(un) {
+			t.Errorf("%s: warm-restore %v != uninterrupted %v — recovery is not exact", col, warm, un)
+		}
+		if col == "default" && math.Abs(cold-un) > 1e-9*math.Abs(un) {
+			t.Errorf("default: cold-restart %v != uninterrupted %v — stateless policy should not care", cold, un)
+		}
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 
+	"moe/internal/atomicio"
 	"moe/internal/features"
 	"moe/internal/regress"
 )
@@ -135,13 +136,15 @@ func UnmarshalSet(data []byte) (Set, error) {
 	return set, nil
 }
 
-// SaveSet writes an expert set to a JSON file.
+// SaveSet writes an expert set to a JSON file. The write is atomic (temp
+// file + fsync + rename), so a crash mid-save can never leave a torn model
+// file behind — readers see the old set or the new one, nothing in between.
 func SaveSet(s Set, path string) error {
 	data, err := MarshalSet(s)
 	if err != nil {
 		return err
 	}
-	return os.WriteFile(path, data, 0o644)
+	return atomicio.WriteFile(path, data, 0o644)
 }
 
 // LoadSet reads an expert set from a JSON file.

@@ -1,0 +1,127 @@
+package policy
+
+import (
+	"fmt"
+	"math"
+)
+
+// Checkpoint state export/import for the stateful baselines. Construction
+// parameters (adaptation interval, probe/commit lengths, RNG seed) are not
+// part of the state: restore overlays onto a policy constructed with the
+// same parameters, exactly as for the mixture. Default and Offline carry no
+// mutable state and need nothing here.
+
+// OnlineState is the hill climber's mutable state.
+type OnlineState struct {
+	Step      int
+	Direction int
+	LastRate  float64
+	LastN     int
+	Settled   int
+	NextMove  float64
+}
+
+// ExportState captures the hill climber's state.
+func (o *Online) ExportState() OnlineState {
+	return OnlineState{
+		Step:      o.step,
+		Direction: o.direction,
+		LastRate:  o.lastRate,
+		LastN:     o.lastN,
+		Settled:   o.settled,
+		NextMove:  o.nextMove,
+	}
+}
+
+// RestoreState overlays a previously exported state; on error the policy is
+// unchanged.
+func (o *Online) RestoreState(st OnlineState) error {
+	if st.Direction != 1 && st.Direction != -1 {
+		return fmt.Errorf("policy: invalid hill-climber direction %d", st.Direction)
+	}
+	if st.Step < 0 || st.LastN < 0 || st.Settled < 0 {
+		return fmt.Errorf("policy: negative hill-climber counters")
+	}
+	if !finite(st.LastRate) || st.LastRate < 0 || !finite(st.NextMove) {
+		return fmt.Errorf("policy: invalid hill-climber rate state")
+	}
+	o.step = st.Step
+	o.direction = st.Direction
+	o.lastRate = st.LastRate
+	o.lastN = st.LastN
+	o.settled = st.Settled
+	o.nextMove = st.NextMove
+	return nil
+}
+
+// AnalyticState is the interval-exploration policy's mutable state,
+// including its probe-RNG stream position.
+type AnalyticState struct {
+	RNGState      uint64
+	Phase         int
+	ProbeN        [2]int
+	ProbeRate     [2]float64
+	ProbeIdx      int
+	PhaseEnds     float64
+	CommittedN    int
+	ExpectedRate  float64
+	ProbeSum      float64
+	ProbeCount    int
+	CommitRate    float64
+	CommitSeen    bool
+	CommitStretch float64
+}
+
+// ExportState captures the analytic policy's state.
+func (a *Analytic) ExportState() AnalyticState {
+	return AnalyticState{
+		RNGState:      a.rng.State(),
+		Phase:         int(a.phase),
+		ProbeN:        a.probeN,
+		ProbeRate:     a.probeRate,
+		ProbeIdx:      a.probeIdx,
+		PhaseEnds:     a.phaseEnds,
+		CommittedN:    a.committedN,
+		ExpectedRate:  a.expectedRate,
+		ProbeSum:      a.probeSum,
+		ProbeCount:    a.probeCount,
+		CommitRate:    a.commitRate,
+		CommitSeen:    a.commitSeen,
+		CommitStretch: a.commitStretch,
+	}
+}
+
+// RestoreState overlays a previously exported state; on error the policy is
+// unchanged.
+func (a *Analytic) RestoreState(st AnalyticState) error {
+	if st.Phase < int(analyticIdle) || st.Phase > int(analyticCommitted) {
+		return fmt.Errorf("policy: invalid analytic phase %d", st.Phase)
+	}
+	if st.ProbeIdx < 0 || st.ProbeIdx > 1 {
+		return fmt.Errorf("policy: invalid probe index %d", st.ProbeIdx)
+	}
+	if st.ProbeN[0] < 0 || st.ProbeN[1] < 0 || st.CommittedN < 0 || st.ProbeCount < 0 {
+		return fmt.Errorf("policy: negative analytic counters")
+	}
+	for _, v := range []float64{st.ProbeRate[0], st.ProbeRate[1], st.PhaseEnds, st.ExpectedRate, st.ProbeSum, st.CommitRate, st.CommitStretch} {
+		if !finite(v) {
+			return fmt.Errorf("policy: non-finite analytic state")
+		}
+	}
+	a.rng.SetState(st.RNGState)
+	a.phase = analyticPhase(st.Phase)
+	a.probeN = st.ProbeN
+	a.probeRate = st.ProbeRate
+	a.probeIdx = st.ProbeIdx
+	a.phaseEnds = st.PhaseEnds
+	a.committedN = st.CommittedN
+	a.expectedRate = st.ExpectedRate
+	a.probeSum = st.ProbeSum
+	a.probeCount = st.ProbeCount
+	a.commitRate = st.CommitRate
+	a.commitSeen = st.CommitSeen
+	a.commitStretch = st.CommitStretch
+	return nil
+}
+
+func finite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }

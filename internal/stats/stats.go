@@ -250,6 +250,26 @@ func (h *Histogram) Mode() (int, bool) {
 	return best, true
 }
 
+// Counts returns a copy of the raw bin → count map, the lossless form used
+// by checkpointing. Mutating the returned map cannot affect the histogram.
+func (h *Histogram) Counts() map[int]int {
+	out := make(map[int]int, len(h.counts))
+	for b, c := range h.counts {
+		out[b] = c
+	}
+	return out
+}
+
+// NewHistogramFromCounts reconstructs a histogram from a Counts map.
+// Non-positive counts are ignored, matching AddN.
+func NewHistogramFromCounts(counts map[int]int) *Histogram {
+	h := NewHistogram()
+	for b, c := range counts {
+		h.AddN(b, c)
+	}
+	return h
+}
+
 // Normalized returns bin → fraction for every occupied bin.
 func (h *Histogram) Normalized() map[int]float64 {
 	out := make(map[int]float64, len(h.counts))

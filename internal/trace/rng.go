@@ -82,6 +82,13 @@ func (r *RNG) Exp(mean float64) float64 {
 	return -mean * math.Log(u)
 }
 
+// State exposes the generator's internal state for checkpointing.
+func (r *RNG) State() uint64 { return r.state }
+
+// SetState restores a previously captured state; the next Uint64 continues
+// the original stream exactly.
+func (r *RNG) SetState(s uint64) { r.state = s }
+
 // Split derives an independent child generator; the parent advances once.
 func (r *RNG) Split() *RNG {
 	return NewRNG(r.Uint64())

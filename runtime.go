@@ -5,6 +5,7 @@ import (
 	"math"
 	"sync"
 
+	"moe/internal/checkpoint"
 	"moe/internal/features"
 	"moe/internal/sim"
 	"moe/internal/stats"
@@ -37,6 +38,14 @@ type Runtime struct {
 	clock      float64
 	lastAvail  int
 	sanitized  int
+
+	// Crash safety (see checkpointing.go): when a store is attached, every
+	// raw observation is journaled before it is decided on, and a snapshot
+	// is written every checkpointEvery decisions. ckptErr latches the first
+	// write failure; decisions continue in memory past it.
+	store           *checkpoint.Store
+	checkpointEvery int
+	ckptErr         error
 }
 
 // NewRuntime wraps a policy for a machine with maxThreads hardware
@@ -78,6 +87,32 @@ type Observation struct {
 func (r *Runtime) Decide(obs Observation) int {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	if r.store != nil && r.ckptErr == nil {
+		// Write-ahead: journal the observation exactly as the host reported
+		// it, before sanitization, so replaying the journal through this
+		// same method reproduces the decision bit-identically.
+		if err := r.store.Append(checkpoint.Observation{
+			Time:           obs.Time,
+			Features:       obs.Features,
+			Rate:           obs.Rate,
+			RegionStart:    obs.RegionStart,
+			AvailableProcs: obs.AvailableProcs,
+		}); err != nil {
+			r.ckptErr = err
+		}
+	}
+	n := r.decideLocked(obs)
+	if r.store != nil && r.ckptErr == nil && r.checkpointEvery > 0 && r.decisions%r.checkpointEvery == 0 {
+		if st, err := r.snapshotLocked(); err != nil {
+			r.ckptErr = err
+		} else if err := r.store.WriteSnapshot(st); err != nil {
+			r.ckptErr = err
+		}
+	}
+	return n
+}
+
+func (r *Runtime) decideLocked(obs Observation) int {
 	f, repaired := features.Sanitize(obs.Features)
 	obs.Features = f
 	r.sanitized += repaired

@@ -384,3 +384,71 @@ func TestRuntimeRestoreRejectsMismatchedCap(t *testing.T) {
 		t.Fatal("state restored onto a machine with a different thread cap")
 	}
 }
+
+// TestRuntimeFreshAttachOverOldHistory: attaching a fresh runtime (no
+// Resume) to a directory holding an abandoned run's longer history starts a
+// new timeline. A crash before the first periodic snapshot must resume to
+// the new timeline's decisions — not silently resurrect the old run's
+// state and journal.
+func TestRuntimeFreshAttachOverOldHistory(t *testing.T) {
+	dir := t.TempDir()
+
+	// Abandoned run: 30 decisions with periodic snapshots, then a crash.
+	store, err := moe.OpenCheckpoint(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := newCkptRuntime(t, moe.NewOnlinePolicy)
+	if err := old.AttachStore(store, 10); err != nil {
+		t.Fatalf("AttachStore: %v", err)
+	}
+	for i := 0; i < 30; i++ {
+		old.Decide(ckptObservation(i))
+	}
+	if err := old.CheckpointErr(); err != nil {
+		t.Fatalf("checkpointing failed: %v", err)
+	}
+
+	// New run: deliberately fresh (no Resume), one decision, crash.
+	store2, err := moe.OpenCheckpoint(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh := newCkptRuntime(t, moe.NewOnlinePolicy)
+	if err := fresh.AttachStore(store2, 10); err != nil {
+		t.Fatalf("fresh AttachStore: %v", err)
+	}
+	fresh.Decide(ckptObservation(0))
+	if err := fresh.CheckpointErr(); err != nil {
+		t.Fatalf("checkpointing failed: %v", err)
+	}
+
+	// Resume must land on the new timeline.
+	store3, err := moe.OpenCheckpoint(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resumed := newCkptRuntime(t, moe.NewOnlinePolicy)
+	rec, err := resumed.Resume(store3)
+	if err != nil {
+		t.Fatalf("Resume: %v", err)
+	}
+	if resumed.Decisions() != 1 {
+		t.Fatalf("resumed to %d decisions, want the new run's 1\nreport: %v", resumed.Decisions(), rec.Report)
+	}
+
+	// And its state must be bit-identical to a 1-decision uninterrupted run.
+	ref := newCkptRuntime(t, moe.NewOnlinePolicy)
+	ref.Decide(ckptObservation(0))
+	refState, err := ref.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	resState, err := resumed.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(encodeStateForTest(t, refState)) != string(encodeStateForTest(t, resState)) {
+		t.Fatal("resumed state is not bit-identical to a fresh 1-decision run")
+	}
+}

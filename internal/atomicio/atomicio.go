@@ -10,9 +10,11 @@
 package atomicio
 
 import (
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
+	"syscall"
 )
 
 // Stage names one step of the atomic-replace protocol, in execution order.
@@ -112,18 +114,30 @@ func WriteFileHooked(path string, data []byte, perm os.FileMode, fault FaultFn) 
 }
 
 // SyncDir fsyncs a directory so previously renamed entries are durable.
-// Platforms whose directory handles reject fsync are tolerated — the rename
-// itself is still atomic there.
+// Platforms and filesystems whose directory handles reject fsync — EACCES,
+// EINVAL, ENOTSUP/EOPNOTSUPP depending on the OS — are tolerated: the
+// rename itself is still atomic there, durability of the entry is simply
+// not guaranteed by this call.
 func SyncDir(dir string) error {
 	d, err := os.Open(dir)
 	if err != nil {
 		return fmt.Errorf("atomicio: opening dir %s: %w", dir, err)
 	}
 	defer d.Close()
-	if err := d.Sync(); err != nil && !os.IsPermission(err) {
+	if err := d.Sync(); err != nil && !syncUnsupported(err) {
 		return fmt.Errorf("atomicio: syncing dir %s: %w", dir, err)
 	}
 	return nil
+}
+
+// syncUnsupported reports whether an fsync error means the platform or
+// filesystem does not support syncing this handle, rather than a real
+// durability failure.
+func syncUnsupported(err error) bool {
+	return os.IsPermission(err) ||
+		errors.Is(err, syscall.EINVAL) ||
+		errors.Is(err, syscall.ENOTSUP) ||
+		errors.Is(err, syscall.EOPNOTSUPP)
 }
 
 // RemoveTemps deletes orphaned temp files (crash leftovers) in dir. Missing

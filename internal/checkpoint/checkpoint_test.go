@@ -158,19 +158,22 @@ func TestSnapshotRoundTrip(t *testing.T) {
 	}
 	for name, st := range cases {
 		t.Run(name, func(t *testing.T) {
-			data, err := EncodeSnapshot(st)
+			data, err := EncodeSnapshot(st, 7)
 			if err != nil {
 				t.Fatalf("EncodeSnapshot: %v", err)
 			}
-			got, err := DecodeSnapshot(data)
+			got, run, err := DecodeSnapshot(data)
 			if err != nil {
 				t.Fatalf("DecodeSnapshot: %v", err)
+			}
+			if run != 7 {
+				t.Fatalf("run stamp %d did not round-trip", run)
 			}
 			if !reflect.DeepEqual(st, got) {
 				t.Fatalf("round trip mismatch:\n want %+v\n got  %+v", st, got)
 			}
 			// Determinism: encoding the decoded state reproduces the bytes.
-			again, err := EncodeSnapshot(got)
+			again, err := EncodeSnapshot(got, run)
 			if err != nil {
 				t.Fatalf("re-encode: %v", err)
 			}
@@ -213,16 +216,16 @@ func TestObservationBitFidelity(t *testing.T) {
 // TestDecodeSnapshotTruncation cuts a valid snapshot at every byte offset;
 // every prefix must be rejected without panicking.
 func TestDecodeSnapshotTruncation(t *testing.T) {
-	data, err := EncodeSnapshot(testState(t, 30))
+	data, err := EncodeSnapshot(testState(t, 30), 1)
 	if err != nil {
 		t.Fatalf("EncodeSnapshot: %v", err)
 	}
 	for cut := 0; cut < len(data); cut++ {
-		if _, err := DecodeSnapshot(data[:cut]); err == nil {
+		if _, _, err := DecodeSnapshot(data[:cut]); err == nil {
 			t.Fatalf("truncation at %d/%d accepted", cut, len(data))
 		}
 	}
-	if _, err := DecodeSnapshot(data); err != nil {
+	if _, _, err := DecodeSnapshot(data); err != nil {
 		t.Fatalf("intact snapshot rejected: %v", err)
 	}
 }
@@ -231,7 +234,7 @@ func TestDecodeSnapshotTruncation(t *testing.T) {
 // flip patterns per byte); the CRC must catch every one — a single-byte
 // error is a burst of at most 8 bits, within CRC-32C's guaranteed range.
 func TestDecodeSnapshotBitFlips(t *testing.T) {
-	data, err := EncodeSnapshot(testState(t, 30))
+	data, err := EncodeSnapshot(testState(t, 30), 1)
 	if err != nil {
 		t.Fatalf("EncodeSnapshot: %v", err)
 	}
@@ -239,7 +242,7 @@ func TestDecodeSnapshotBitFlips(t *testing.T) {
 		for _, mask := range []byte{0x01, 0xFF} {
 			mut := append([]byte(nil), data...)
 			mut[i] ^= mask
-			if _, err := DecodeSnapshot(mut); err == nil {
+			if _, _, err := DecodeSnapshot(mut); err == nil {
 				t.Fatalf("flip %02x at byte %d accepted", mask, i)
 			}
 		}
@@ -247,11 +250,11 @@ func TestDecodeSnapshotBitFlips(t *testing.T) {
 }
 
 func TestDecodeSnapshotTrailingBytes(t *testing.T) {
-	data, err := EncodeSnapshot(testState(t, 5))
+	data, err := EncodeSnapshot(testState(t, 5), 1)
 	if err != nil {
 		t.Fatalf("EncodeSnapshot: %v", err)
 	}
-	if _, err := DecodeSnapshot(append(data, 0x00)); err == nil {
+	if _, _, err := DecodeSnapshot(append(data, 0x00)); err == nil {
 		t.Fatal("snapshot with trailing garbage accepted")
 	}
 }
@@ -321,7 +324,7 @@ func TestStoreRecoverTruncatedJournal(t *testing.T) {
 		t.Fatalf("Close: %v", err)
 	}
 
-	jpath := filepath.Join(dir, journalName(10))
+	jpath := filepath.Join(dir, journalName(fileID{1, 10}))
 	full, err := os.ReadFile(jpath)
 	if err != nil {
 		t.Fatalf("reading journal: %v", err)
@@ -386,7 +389,7 @@ func TestStoreRecoverCorruptSnapshotFallsBack(t *testing.T) {
 	}
 
 	// Flip one byte in the middle of the newest snapshot.
-	spath := filepath.Join(dir, snapName(4))
+	spath := filepath.Join(dir, snapName(fileID{1, 4}))
 	data, err := os.ReadFile(spath)
 	if err != nil {
 		t.Fatalf("reading snapshot: %v", err)
@@ -516,11 +519,11 @@ func TestStoreRecoverEpochGap(t *testing.T) {
 
 	// Corrupt the newest snapshot AND delete the epoch-0 journal: the old
 	// snapshot survives but its chain to epoch 4 is broken.
-	spath := filepath.Join(dir, snapName(4))
+	spath := filepath.Join(dir, snapName(fileID{1, 4}))
 	data, _ := os.ReadFile(spath)
 	data[0] ^= 0xFF
 	os.WriteFile(spath, data, 0o644)
-	os.Remove(filepath.Join(dir, journalName(0)))
+	os.Remove(filepath.Join(dir, journalName(fileID{1, 0})))
 
 	s2, err := Open(dir)
 	if err != nil {
@@ -552,10 +555,10 @@ func TestStoreRecoverEmptyDir(t *testing.T) {
 func TestStoreRecoverGarbageFiles(t *testing.T) {
 	dir := t.TempDir()
 	// Arbitrary junk wearing the right names must not break recovery.
-	os.WriteFile(filepath.Join(dir, snapName(3)), []byte("not a snapshot"), 0o644)
-	os.WriteFile(filepath.Join(dir, journalName(3)), []byte{0xff, 0x00, 0x41}, 0o644)
+	os.WriteFile(filepath.Join(dir, snapName(fileID{1, 3})), []byte("not a snapshot"), 0o644)
+	os.WriteFile(filepath.Join(dir, journalName(fileID{1, 3})), []byte{0xff, 0x00, 0x41}, 0o644)
 	os.WriteFile(filepath.Join(dir, "snap-garbage.ckpt"), []byte("junk"), 0o644)
-	os.WriteFile(filepath.Join(dir, snapName(1)+atomicio.TempSuffix), []byte("tempjunk"), 0o644)
+	os.WriteFile(filepath.Join(dir, snapName(fileID{1, 1})+atomicio.TempSuffix), []byte("tempjunk"), 0o644)
 	s, err := Open(dir)
 	if err != nil {
 		t.Fatalf("Open: %v", err)
@@ -589,15 +592,15 @@ func TestStorePrunesOldGenerations(t *testing.T) {
 	if err != nil {
 		t.Fatalf("list: %v", err)
 	}
-	if !reflect.DeepEqual(snaps, []int{30, 40}) {
-		t.Fatalf("retained snapshots %v, want [30 40]", snaps)
+	if !reflect.DeepEqual(snaps, []fileID{{1, 30}, {1, 40}}) {
+		t.Fatalf("retained snapshots %v, want [{1 30} {1 40}]", snaps)
 	}
 	journals, err := s.list(journalPrefix, journalSuffix)
 	if err != nil {
 		t.Fatalf("list journals: %v", err)
 	}
-	if !reflect.DeepEqual(journals, []int{30, 40}) {
-		t.Fatalf("retained journals %v, want [30 40]", journals)
+	if !reflect.DeepEqual(journals, []fileID{{1, 30}, {1, 40}}) {
+		t.Fatalf("retained journals %v, want [{1 30} {1 40}]", journals)
 	}
 }
 
@@ -634,11 +637,11 @@ func TestRestoreContinuesIdentically(t *testing.T) {
 			// recovery would.
 			st := &State{PolicyName: original.Name(), MaxThreads: testMaxThreads,
 				Decisions: split, Hist: map[int]int{}, Policy: ps}
-			data, err := EncodeSnapshot(st)
+			data, err := EncodeSnapshot(st, 1)
 			if err != nil {
 				t.Fatalf("EncodeSnapshot: %v", err)
 			}
-			decoded, err := DecodeSnapshot(data)
+			decoded, _, err := DecodeSnapshot(data)
 			if err != nil {
 				t.Fatalf("DecodeSnapshot: %v", err)
 			}
@@ -682,3 +685,206 @@ type weirdPolicy struct{}
 
 func (weirdPolicy) Name() string            { return "weird" }
 func (weirdPolicy) Decide(sim.Decision) int { return 1 }
+
+// --- Run / lineage separation (regression tests) ---
+
+// TestStoreFreshAttachOverOldHistory: a new store attaching fresh (snapshot
+// at decision 0) over a directory holding an abandoned run's higher-count
+// history must keep its young snapshot through prune, and recovery after a
+// crash before the first periodic snapshot must yield the new run's
+// timeline — not resurrect the abandoned one.
+func TestStoreFreshAttachOverOldHistory(t *testing.T) {
+	dir := t.TempDir()
+
+	// Abandoned run: three generations up to decision 100.
+	old, err := Open(dir)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	for _, d := range []int{80, 90, 100} {
+		st := testState(t, d)
+		st.Decisions = d
+		if err := old.WriteSnapshot(st); err != nil {
+			t.Fatalf("WriteSnapshot old: %v", err)
+		}
+	}
+	if err := old.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	// New run: fresh timeline from decision 0, one journaled decision, crash.
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	fresh := testState(t, 0)
+	fresh.Decisions = 0
+	fresh.Clock = 0
+	if err := s.WriteSnapshot(fresh); err != nil {
+		t.Fatalf("WriteSnapshot fresh: %v", err)
+	}
+	obs := testObservations(1, 0)
+	if err := s.Append(obs[0]); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	// Crash: no Close.
+
+	snaps, err := s.list(snapPrefix, snapSuffix)
+	if err != nil {
+		t.Fatalf("list: %v", err)
+	}
+	if !hasID(snaps, fileID{2, 0}) {
+		t.Fatalf("fresh run's snapshot was pruned; remaining %v", snaps)
+	}
+
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	rec, err := s2.Recover()
+	if err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	if rec.State == nil || rec.State.Decisions != 0 {
+		t.Fatalf("recovery resurrected the abandoned timeline: %+v\nreport: %v", rec.State, rec.Report)
+	}
+	if got := rec.Decisions(); got != 1 {
+		t.Fatalf("Decisions() = %d, want the new run's 1\nreport: %v", got, rec.Report)
+	}
+	if !sameObs(rec.Tail, obs) {
+		t.Fatalf("recovered tail is not the new run's journal")
+	}
+}
+
+// TestStoreRecoverNeverChainsForeignJournals: when recovery falls back to
+// an older run's lineage, a retained journal from a newer, abandoned run
+// must not be chained in, even if its epoch exactly matches the decision
+// count the chain reaches.
+func TestStoreRecoverNeverChainsForeignJournals(t *testing.T) {
+	dir := t.TempDir()
+
+	// Run 1: snapshot at 0, 4 entries, snapshot at 4, 2 more entries.
+	s1, err := Open(dir)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	gen0 := testState(t, 0)
+	gen0.Decisions = 0
+	gen0.Clock = 0
+	if err := s1.WriteSnapshot(gen0); err != nil {
+		t.Fatalf("WriteSnapshot: %v", err)
+	}
+	for _, o := range testObservations(4, 0) {
+		if err := s1.Append(o); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	gen1 := testState(t, 4)
+	if err := s1.WriteSnapshot(gen1); err != nil {
+		t.Fatalf("WriteSnapshot: %v", err)
+	}
+	own := testObservations(2, 4)
+	for _, o := range own {
+		if err := s1.Append(o); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	if err := s1.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	// Run 2: resumed to decision 6, snapshot at 6, journals 3 entries of a
+	// *different* stream, then its snapshot is torn.
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	gen2 := testState(t, 6)
+	if err := s2.WriteSnapshot(gen2); err != nil {
+		t.Fatalf("WriteSnapshot run 2: %v", err)
+	}
+	foreign := testObservations(3, 50) // distinct contents
+	for _, o := range foreign {
+		if err := s2.Append(o); err != nil {
+			t.Fatalf("Append run 2: %v", err)
+		}
+	}
+	if err := s2.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	spath := filepath.Join(dir, snapName(fileID{2, 6}))
+	data, err := os.ReadFile(spath)
+	if err != nil {
+		t.Fatalf("reading run 2 snapshot: %v", err)
+	}
+	data[len(data)/2] ^= 0xFF
+	if err := os.WriteFile(spath, data, 0o644); err != nil {
+		t.Fatalf("corrupting run 2 snapshot: %v", err)
+	}
+
+	// Run 2 has no intact snapshot and no epoch-0 journal, so recovery must
+	// fall back to run 1's lineage — and stop at its end (decision 6), not
+	// continue into run 2's journal whose epoch (6) lines up.
+	s3, err := Open(dir)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	rec, err := s3.Recover()
+	if err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	if rec.State == nil || rec.State.Decisions != 4 {
+		t.Fatalf("expected fallback to run 1's snapshot at 4, got %+v\nreport: %v", rec.State, rec.Report)
+	}
+	if got := rec.Decisions(); got != 6 {
+		t.Fatalf("Decisions() = %d, want 6\nreport: %v", got, rec.Report)
+	}
+	if !sameObs(rec.Tail, own) {
+		t.Fatalf("recovered tail mixed in a foreign run's journal entries:\n got %+v\n want %+v", rec.Tail, own)
+	}
+}
+
+// TestStorePruneSkipsCorruptSnapshots: a snapshot that rots on disk must
+// not count toward the retention window — the intact generation recovery
+// would fall back to has to survive pruning.
+func TestStorePruneSkipsCorruptSnapshots(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	for _, d := range []int{10, 20} {
+		st := testState(t, d)
+		st.Decisions = d
+		if err := s.WriteSnapshot(st); err != nil {
+			t.Fatalf("WriteSnapshot: %v", err)
+		}
+	}
+	// Decision-20 snapshot rots in place.
+	spath := filepath.Join(dir, snapName(fileID{1, 20}))
+	data, err := os.ReadFile(spath)
+	if err != nil {
+		t.Fatalf("reading snapshot: %v", err)
+	}
+	data[len(data)/2] ^= 0xFF
+	if err := os.WriteFile(spath, data, 0o644); err != nil {
+		t.Fatalf("corrupting snapshot: %v", err)
+	}
+	// The next snapshot prunes; it must keep decision 10 (intact fallback)
+	// and discard the corrupt 20, not the other way round.
+	st := testState(t, 30)
+	st.Decisions = 30
+	if err := s.WriteSnapshot(st); err != nil {
+		t.Fatalf("WriteSnapshot: %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	snaps, err := s.list(snapPrefix, snapSuffix)
+	if err != nil {
+		t.Fatalf("list: %v", err)
+	}
+	if !reflect.DeepEqual(snaps, []fileID{{1, 10}, {1, 30}}) {
+		t.Fatalf("retained snapshots %v, want [{1 10} {1 30}]", snaps)
+	}
+}

@@ -16,7 +16,7 @@ func fuzzSeedSnapshot(f *testing.F) []byte {
 		PolicyName: "default", MaxThreads: 8, Decisions: 12, LastN: 4,
 		Clock: 3, LastAvail: 8, Hist: map[int]int{4: 12}, Policy: analytic,
 	}
-	data, err := EncodeSnapshot(st)
+	data, err := EncodeSnapshot(st, 1)
 	if err != nil {
 		f.Fatalf("seed snapshot: %v", err)
 	}
@@ -38,23 +38,23 @@ func FuzzRestoreSnapshot(f *testing.F) {
 	f.Add(mut)
 
 	f.Fuzz(func(t *testing.T, data []byte) {
-		st, err := DecodeSnapshot(data)
+		st, run, err := DecodeSnapshot(data)
 		if err != nil {
 			return // rejected, as most inputs should be
 		}
 		// Accepted: the state must survive an encode/decode round trip
 		// bit-identically (semantic fixpoint — the original bytes may
 		// differ, e.g. non-minimal varints, but the state may not).
-		enc1, err := EncodeSnapshot(st)
+		enc1, err := EncodeSnapshot(st, run)
 		if err != nil {
 			t.Fatalf("accepted state failed to re-encode: %v", err)
 		}
-		st2, err := DecodeSnapshot(enc1)
+		st2, run2, err := DecodeSnapshot(enc1)
 		if err != nil {
 			t.Fatalf("re-encoded snapshot rejected: %v", err)
 		}
-		if !reflect.DeepEqual(st, st2) {
-			t.Fatalf("state changed across re-encode:\n %+v\n %+v", st, st2)
+		if !reflect.DeepEqual(st, st2) || run != run2 {
+			t.Fatalf("state changed across re-encode:\n %+v (run %d)\n %+v (run %d)", st, run, st2, run2)
 		}
 	})
 }
@@ -65,9 +65,10 @@ func FuzzRestoreSnapshot(f *testing.F) {
 func FuzzReplayJournal(f *testing.F) {
 	snapshot := fuzzSeedSnapshot(f)
 
-	// Seed: a valid journal with a header and two entries.
+	// Seed: a valid journal with a header (run 1, epoch 12) and two entries.
 	valid := appendRecord(nil, recordJournalHeader, func() []byte {
 		e := &enc{}
+		e.int(1)
 		e.int(12)
 		return e.b
 	}())
@@ -84,10 +85,10 @@ func FuzzReplayJournal(f *testing.F) {
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		dir := t.TempDir()
-		if err := os.WriteFile(filepath.Join(dir, snapName(12)), snapshot, 0o644); err != nil {
+		if err := os.WriteFile(filepath.Join(dir, snapName(fileID{1, 12})), snapshot, 0o644); err != nil {
 			t.Fatal(err)
 		}
-		if err := os.WriteFile(filepath.Join(dir, journalName(12)), data, 0o644); err != nil {
+		if err := os.WriteFile(filepath.Join(dir, journalName(fileID{1, 12})), data, 0o644); err != nil {
 			t.Fatal(err)
 		}
 		s, err := Open(dir)

@@ -75,9 +75,15 @@ type Observation struct {
 // --- State encoding ---
 
 // EncodeSnapshot serializes a State into a framed, checksummed snapshot
-// record — the full contents of a snapshot file.
-func EncodeSnapshot(st *State) ([]byte, error) {
-	payload, err := encodeState(st)
+// record — the full contents of a snapshot file. run is the store's
+// lineage stamp (see Store): it is carried inside the checksummed payload
+// so recovery can tell which timeline a snapshot belongs to even if file
+// names are unreliable.
+func EncodeSnapshot(st *State, run int) ([]byte, error) {
+	if run < 0 {
+		return nil, fmt.Errorf("checkpoint: negative run %d", run)
+	}
+	payload, err := encodeState(st, run)
 	if err != nil {
 		return nil, err
 	}
@@ -85,17 +91,18 @@ func EncodeSnapshot(st *State) ([]byte, error) {
 }
 
 // DecodeSnapshot parses and validates a snapshot file produced by
-// EncodeSnapshot. Arbitrary input never panics; any defect yields an error.
-func DecodeSnapshot(data []byte) (*State, error) {
+// EncodeSnapshot, returning the state and the lineage stamp it was written
+// under. Arbitrary input never panics; any defect yields an error.
+func DecodeSnapshot(data []byte) (*State, int, error) {
 	kind, payload, size, err := readRecord(data)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	if kind != recordSnapshot {
-		return nil, fmt.Errorf("%w: kind %d is not a snapshot", ErrBadRecord, kind)
+		return nil, 0, fmt.Errorf("%w: kind %d is not a snapshot", ErrBadRecord, kind)
 	}
 	if size != len(data) {
-		return nil, fmt.Errorf("%w: %d trailing bytes after snapshot record", ErrBadRecord, len(data)-size)
+		return nil, 0, fmt.Errorf("%w: %d trailing bytes after snapshot record", ErrBadRecord, len(data)-size)
 	}
 	return decodeState(payload)
 }
@@ -103,11 +110,12 @@ func DecodeSnapshot(data []byte) (*State, error) {
 // maxNameLen bounds decoded identifier strings.
 const maxNameLen = 256
 
-func encodeState(st *State) ([]byte, error) {
+func encodeState(st *State, run int) ([]byte, error) {
 	if st == nil {
 		return nil, fmt.Errorf("checkpoint: nil state")
 	}
 	e := &enc{}
+	e.int(run)
 	e.str(st.PolicyName)
 	e.int(st.MaxThreads)
 	e.int(st.Decisions)
@@ -122,9 +130,13 @@ func encodeState(st *State) ([]byte, error) {
 	return e.b, nil
 }
 
-func decodeState(payload []byte) (*State, error) {
+func decodeState(payload []byte) (*State, int, error) {
 	d := &dec{b: payload}
 	st := &State{}
+	run := d.int()
+	if d.err == nil && run < 0 {
+		d.fail(fmt.Errorf("checkpoint: negative run %d", run))
+	}
 	st.PolicyName = d.str(maxNameLen)
 	st.MaxThreads = d.int()
 	st.Decisions = d.int()
@@ -135,9 +147,9 @@ func decodeState(payload []byte) (*State, error) {
 	st.Hist = d.counts()
 	decodePolicyState(d, &st.Policy)
 	if err := d.done(); err != nil {
-		return nil, err
+		return nil, 0, err
 	}
-	return st, nil
+	return st, run, nil
 }
 
 func encodePolicyState(e *enc, ps *PolicyState) error {

@@ -14,8 +14,18 @@ import (
 
 // Store manages a checkpoint directory:
 //
-//	snap-NNNNNNNNNNNN.ckpt     snapshot taken at decision count N
-//	journal-NNNNNNNNNNNN.wal   observations for decisions N+1, N+2, …
+//	snap-RRRRRR-NNNNNNNNNNNN.ckpt     run R's snapshot at decision count N
+//	journal-RRRRRR-NNNNNNNNNNNN.wal   run R's observations for decisions N+1, …
+//
+// Every Store instance writes under a fresh *run* number — one larger than
+// any run already present in the directory — and the run is also stamped
+// inside the checksummed snapshot payload and journal header. A run is a
+// lineage marker: all files it stamps describe one timeline of the same
+// process's life. Pruning and recovery never mix runs, so a runtime that
+// attaches fresh over an old directory can neither have its young snapshot
+// pruned in favour of the abandoned higher-count history, nor have that
+// history's journals replayed into its timeline just because decision
+// counts happen to line up.
 //
 // Writing a snapshot is atomic (temp + fsync + rename + dir fsync) and
 // rotates the journal to a fresh epoch; the previous snapshot generation
@@ -28,6 +38,7 @@ import (
 type Store struct {
 	dir  string
 	sync bool
+	run  int
 
 	journal      *os.File
 	journalEpoch int
@@ -56,16 +67,36 @@ func Open(dir string) (*Store, error) {
 	return OpenOptions(dir, Options{})
 }
 
-// OpenOptions is Open with explicit options.
+// OpenOptions is Open with explicit options. The store claims the next
+// unused run number in the directory; everything it writes carries it.
 func OpenOptions(dir string, opts Options) (*Store, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("checkpoint: creating %s: %w", dir, err)
 	}
-	return &Store{dir: dir, sync: !opts.DisableSync}, nil
+	s := &Store{dir: dir, sync: !opts.DisableSync}
+	snaps, err := s.list(snapPrefix, snapSuffix)
+	if err != nil {
+		return nil, err
+	}
+	journals, err := s.list(journalPrefix, journalSuffix)
+	if err != nil {
+		return nil, err
+	}
+	maxRun := 0
+	for _, id := range append(snaps, journals...) {
+		if id.run > maxRun {
+			maxRun = id.run
+		}
+	}
+	s.run = maxRun + 1
+	return s, nil
 }
 
 // Dir returns the store's directory.
 func (s *Store) Dir() string { return s.dir }
+
+// Run returns the lineage number this store writes under.
+func (s *Store) Run() int { return s.run }
 
 // Close closes the current journal (syncing it first).
 func (s *Store) Close() error {
@@ -85,51 +116,70 @@ const (
 	snapSuffix    = ".ckpt"
 	journalPrefix = "journal-"
 	journalSuffix = ".wal"
+	runDigits     = 6
 	seqDigits     = 12
 )
 
-func snapName(decisions int) string {
-	return fmt.Sprintf("%s%0*d%s", snapPrefix, seqDigits, decisions, snapSuffix)
+// fileID identifies one checkpoint file: the run (lineage) that wrote it
+// and its decision-count sequence number (snapshot count or journal epoch).
+type fileID struct {
+	run int
+	seq int
 }
 
-func journalName(epoch int) string {
-	return fmt.Sprintf("%s%0*d%s", journalPrefix, seqDigits, epoch, journalSuffix)
+func (a fileID) less(b fileID) bool {
+	if a.run != b.run {
+		return a.run < b.run
+	}
+	return a.seq < b.seq
 }
 
-// parseSeq extracts the decision count from a snapshot or journal file
-// name; ok is false for anything else (including temp files).
-func parseSeq(name, prefix, suffix string) (int, bool) {
+func snapName(id fileID) string {
+	return fmt.Sprintf("%s%0*d-%0*d%s", snapPrefix, runDigits, id.run, seqDigits, id.seq, snapSuffix)
+}
+
+func journalName(id fileID) string {
+	return fmt.Sprintf("%s%0*d-%0*d%s", journalPrefix, runDigits, id.run, seqDigits, id.seq, journalSuffix)
+}
+
+// parseName extracts the run and sequence number from a snapshot or
+// journal file name; ok is false for anything else (including temp files).
+func parseName(name, prefix, suffix string) (fileID, bool) {
 	if !strings.HasPrefix(name, prefix) || !strings.HasSuffix(name, suffix) {
-		return 0, false
+		return fileID{}, false
 	}
 	mid := name[len(prefix) : len(name)-len(suffix)]
-	if len(mid) != seqDigits {
-		return 0, false
+	if len(mid) != runDigits+1+seqDigits || mid[runDigits] != '-' {
+		return fileID{}, false
 	}
-	n, err := strconv.Atoi(mid)
-	if err != nil || n < 0 {
-		return 0, false
+	run, err := strconv.Atoi(mid[:runDigits])
+	if err != nil || run < 0 {
+		return fileID{}, false
 	}
-	return n, true
+	seq, err := strconv.Atoi(mid[runDigits+1:])
+	if err != nil || seq < 0 {
+		return fileID{}, false
+	}
+	return fileID{run: run, seq: seq}, true
 }
 
-// list returns the decision counts of all files with the given naming
-// scheme, ascending.
-func (s *Store) list(prefix, suffix string) ([]int, error) {
+// list returns the IDs of all files with the given naming scheme, sorted
+// by (run, seq) ascending.
+func (s *Store) list(prefix, suffix string) ([]fileID, error) {
 	entries, err := os.ReadDir(s.dir)
 	if err != nil {
 		return nil, fmt.Errorf("checkpoint: reading %s: %w", s.dir, err)
 	}
-	var out []int
+	var out []fileID
 	for _, e := range entries {
 		if e.IsDir() {
 			continue
 		}
-		if n, ok := parseSeq(e.Name(), prefix, suffix); ok {
-			out = append(out, n)
+		if id, ok := parseName(e.Name(), prefix, suffix); ok {
+			out = append(out, id)
 		}
 	}
-	sort.Ints(out)
+	sort.Slice(out, func(i, j int) bool { return out[i].less(out[j]) })
 	return out, nil
 }
 
@@ -138,11 +188,12 @@ func (s *Store) list(prefix, suffix string) ([]int, error) {
 // window. On success the state is recoverable even if every later write is
 // torn.
 func (s *Store) WriteSnapshot(st *State) error {
-	data, err := EncodeSnapshot(st)
+	data, err := EncodeSnapshot(st, s.run)
 	if err != nil {
 		return err
 	}
-	if err := atomicio.WriteFileHooked(filepath.Join(s.dir, snapName(st.Decisions)), data, 0o644, s.snapshotFault); err != nil {
+	name := snapName(fileID{run: s.run, seq: st.Decisions})
+	if err := atomicio.WriteFileHooked(filepath.Join(s.dir, name), data, 0o644, s.snapshotFault); err != nil {
 		return err
 	}
 	if err := s.rotateJournal(st.Decisions); err != nil {
@@ -157,12 +208,13 @@ func (s *Store) rotateJournal(epoch int) error {
 	if err := s.Close(); err != nil {
 		return err
 	}
-	path := filepath.Join(s.dir, journalName(epoch))
+	path := filepath.Join(s.dir, journalName(fileID{run: s.run, seq: epoch}))
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
 	if err != nil {
 		return fmt.Errorf("checkpoint: creating journal %s: %w", path, err)
 	}
 	e := &enc{}
+	e.int(s.run)
 	e.int(epoch)
 	if _, err := f.Write(appendRecord(nil, recordJournalHeader, e.b)); err != nil {
 		f.Close()
@@ -200,32 +252,78 @@ func (s *Store) Append(obs Observation) error {
 	return nil
 }
 
+// snapshotIntact reports whether a snapshot file decodes cleanly and its
+// embedded run and decision count agree with its name. readable is false
+// when the file could not be read at all — the caller cannot judge it.
+func (s *Store) snapshotIntact(id fileID) (intact, readable bool) {
+	data, err := os.ReadFile(filepath.Join(s.dir, snapName(id)))
+	if err != nil {
+		return false, false
+	}
+	st, run, err := DecodeSnapshot(data)
+	return err == nil && run == id.run && st.Decisions == id.seq, true
+}
+
 // prune removes snapshot generations and journals beyond the retention
-// window. The current journal epoch is always kept.
+// window. Retention counts only snapshots that validate — a torn or
+// corrupt newer snapshot must not evict the intact generation recovery
+// would actually fall back to. The current journal epoch is always kept.
 func (s *Store) prune() error {
 	snaps, err := s.list(snapPrefix, snapSuffix)
 	if err != nil {
 		return err
 	}
-	if len(snaps) > generations {
-		for _, n := range snaps[:len(snaps)-generations] {
-			if err := os.Remove(filepath.Join(s.dir, snapName(n))); err != nil && !os.IsNotExist(err) {
-				return err
-			}
+	// Keep the newest `generations` intact snapshots by (run, seq) —
+	// lineage order, so a young snapshot of the current run outranks any
+	// higher-count history from an abandoned earlier run. Corrupt files
+	// within the scan window are junk and fall out of the keep set;
+	// unreadable ones are left untouched (we cannot judge them) but do not
+	// count toward retention.
+	keep := make(map[fileID]bool)
+	unreadable := make(map[fileID]bool)
+	for i := len(snaps) - 1; i >= 0 && len(keep) < generations; i-- {
+		id := snaps[i]
+		intact, readable := s.snapshotIntact(id)
+		switch {
+		case intact:
+			keep[id] = true
+		case !readable:
+			unreadable[id] = true
 		}
-		snaps = snaps[len(snaps)-generations:]
 	}
-	keepFrom := 0
-	if len(snaps) > 0 {
-		keepFrom = snaps[0]
+	for _, id := range snaps {
+		if keep[id] || unreadable[id] {
+			continue
+		}
+		if err := os.Remove(filepath.Join(s.dir, snapName(id))); err != nil && !os.IsNotExist(err) {
+			return err
+		}
 	}
+	// A journal survives if some retained snapshot of its own run can seed
+	// a replay chain through it (snapshot count ≤ journal epoch).
 	journals, err := s.list(journalPrefix, journalSuffix)
 	if err != nil {
 		return err
 	}
-	for _, n := range journals {
-		if n < keepFrom && n != s.journalEpoch {
-			if err := os.Remove(filepath.Join(s.dir, journalName(n))); err != nil && !os.IsNotExist(err) {
+	for _, j := range journals {
+		if j.run == s.run && j.seq == s.journalEpoch {
+			continue
+		}
+		needed := false
+		for id := range keep {
+			if id.run == j.run && id.seq <= j.seq {
+				needed = true
+				break
+			}
+		}
+		for id := range unreadable {
+			if id.run == j.run && id.seq <= j.seq {
+				needed = true
+				break
+			}
+		}
+		if !needed {
+			if err := os.Remove(filepath.Join(s.dir, journalName(j))); err != nil && !os.IsNotExist(err) {
 				return err
 			}
 		}
@@ -237,11 +335,13 @@ func (s *Store) prune() error {
 
 // Recovery is the result of reading a checkpoint directory after a crash.
 type Recovery struct {
-	// State is the newest intact snapshot, or nil for a cold start.
+	// State is the newest intact snapshot of the recovered lineage, or nil
+	// for a cold start.
 	State *State
 	// Tail holds the journaled observations recorded after State (or from
-	// the beginning, for a cold start with an epoch-0 journal), in
-	// decision order, up to the first sign of corruption.
+	// the beginning, for a lineage whose snapshot was lost but whose
+	// journal starts at decision 0), in decision order, up to the first
+	// sign of corruption.
 	Tail []Observation
 	// Report documents the ladder: which files were used, skipped, or cut
 	// short, and why. Purely informational.
@@ -258,12 +358,18 @@ func (r *Recovery) Decisions() int {
 	return d
 }
 
-// Recover reads the directory and returns the best recoverable state:
-// the newest snapshot that validates, plus the longest contiguous journal
-// chain on top of it. It never panics on arbitrary file contents and never
-// returns an error for corruption — corruption just lands lower on the
-// ladder (ultimately a cold start). Errors are reserved for I/O failures
-// reading the directory itself.
+// Recover reads the directory and returns the best recoverable state. It
+// walks runs newest-first and commits to the first lineage with anything
+// recoverable — an intact snapshot, or a journal chain starting at
+// decision 0 — then climbs that lineage's ladder: newest snapshot that
+// validates, plus the longest contiguous journal chain of the same run on
+// top of it. Journals of other runs are never replayed, however neatly
+// their epochs would line up: they describe a different timeline.
+//
+// Recover never panics on arbitrary file contents and never returns an
+// error for corruption — corruption just lands lower on the ladder (an
+// older snapshot, an older run, ultimately a cold start). Errors are
+// reserved for I/O failures reading the directory itself.
 //
 // Call Recover before the store's first WriteSnapshot/Append; the open
 // journal belongs to the writer side.
@@ -277,64 +383,129 @@ func (s *Store) Recover() (*Recovery, error) {
 		}
 		return nil, err
 	}
+	journals, err := s.list(journalPrefix, journalSuffix)
+	if err != nil {
+		return nil, err
+	}
 
-	// Rung 1: newest intact snapshot.
-	base := 0
+	runSet := make(map[int]bool)
+	for _, id := range snaps {
+		runSet[id.run] = true
+	}
+	for _, id := range journals {
+		runSet[id.run] = true
+	}
+	runs := make([]int, 0, len(runSet))
+	for r := range runSet {
+		runs = append(runs, r)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(runs)))
+
+	for _, run := range runs {
+		if s.recoverRun(run, snaps, journals, rec) {
+			return rec, nil
+		}
+	}
+	rec.Report = append(rec.Report, "no recoverable lineage; cold start")
+	return rec, nil
+}
+
+// recoverRun attempts to recover the given run's lineage into rec,
+// reporting whether it committed to this run. A run with an intact
+// snapshot, or with a journal chain rooted at decision 0, is committed to;
+// a run that left nothing recoverable is skipped so an older lineage can
+// be tried.
+func (s *Store) recoverRun(run int, snaps, journals []fileID, rec *Recovery) bool {
+	// Rung 1: newest intact snapshot of this run.
+	base := -1
 	for i := len(snaps) - 1; i >= 0; i-- {
-		name := snapName(snaps[i])
+		id := snaps[i]
+		if id.run != run {
+			continue
+		}
+		name := snapName(id)
 		data, rerr := os.ReadFile(filepath.Join(s.dir, name))
 		if rerr != nil {
 			rec.Report = append(rec.Report, fmt.Sprintf("%s: unreadable (%v); trying older", name, rerr))
 			continue
 		}
-		st, derr := DecodeSnapshot(data)
+		st, srun, derr := DecodeSnapshot(data)
 		if derr != nil {
 			rec.Report = append(rec.Report, fmt.Sprintf("%s: rejected (%v); trying older", name, derr))
 			continue
 		}
-		if st.Decisions != snaps[i] {
-			rec.Report = append(rec.Report, fmt.Sprintf("%s: decision count %d does not match file name; trying older", name, st.Decisions))
+		if srun != run || st.Decisions != id.seq {
+			rec.Report = append(rec.Report, fmt.Sprintf("%s: embedded run %d / decision count %d do not match file name; trying older", name, srun, st.Decisions))
 			continue
 		}
 		rec.State = st
-		base = snaps[i]
+		base = id.seq
 		rec.Report = append(rec.Report, fmt.Sprintf("%s: loaded", name))
 		break
 	}
-	if rec.State == nil {
-		rec.Report = append(rec.Report, "no intact snapshot; cold start")
+	if base < 0 {
+		// Rung 2: no snapshot survived, but a journal rooted at decision 0
+		// replays this lineage in full from a cold state.
+		root := fileID{run: run, seq: 0}
+		if !hasID(journals, root) || !s.journalHeaderIntact(root) {
+			rec.Report = append(rec.Report, fmt.Sprintf("run %d: no intact snapshot and no replayable epoch-0 journal; trying older run", run))
+			return false
+		}
+		rec.Report = append(rec.Report, fmt.Sprintf("run %d: no intact snapshot; replaying journal from decision 0", run))
+		base = 0
 	}
 
-	// Rung 2: the contiguous journal chain from the base decision count.
-	journals, err := s.list(journalPrefix, journalSuffix)
-	if err != nil {
-		return nil, err
-	}
+	// Rung 3: the contiguous journal chain of this run from the base.
 	expected := base
-	for _, epoch := range journals {
-		if epoch < expected {
+	for _, j := range journals {
+		if j.run != run || j.seq < expected {
 			continue
 		}
-		if epoch > expected {
-			rec.Report = append(rec.Report, fmt.Sprintf("%s: epoch gap (want %d); stopping replay", journalName(epoch), expected))
+		if j.seq > expected {
+			rec.Report = append(rec.Report, fmt.Sprintf("%s: epoch gap (want %d); stopping replay", journalName(j), expected))
 			break
 		}
-		entries, clean := s.readJournal(epoch, rec)
+		entries, clean := s.readJournal(j, rec)
 		rec.Tail = append(rec.Tail, entries...)
 		expected += len(entries)
 		if !clean {
 			break
 		}
 	}
-	return rec, nil
+	return true
+}
+
+func hasID(ids []fileID, want fileID) bool {
+	for _, id := range ids {
+		if id == want {
+			return true
+		}
+	}
+	return false
+}
+
+// journalHeaderIntact reports whether a journal file opens with a valid
+// header naming the expected run and epoch.
+func (s *Store) journalHeaderIntact(id fileID) bool {
+	data, err := os.ReadFile(filepath.Join(s.dir, journalName(id)))
+	if err != nil {
+		return false
+	}
+	kind, payload, _, err := readRecord(data)
+	if err != nil || kind != recordJournalHeader {
+		return false
+	}
+	hd := &dec{b: payload}
+	run, epoch := hd.int(), hd.int()
+	return hd.done() == nil && run == id.run && epoch == id.seq
 }
 
 // readJournal reads one journal file, validating the header and collecting
 // entries until the first torn or corrupt record. clean reports whether the
 // file was consumed without any defect (so a following epoch may continue
 // the chain).
-func (s *Store) readJournal(epoch int, rec *Recovery) (entries []Observation, clean bool) {
-	name := journalName(epoch)
+func (s *Store) readJournal(id fileID, rec *Recovery) (entries []Observation, clean bool) {
+	name := journalName(id)
 	data, err := os.ReadFile(filepath.Join(s.dir, name))
 	if err != nil {
 		rec.Report = append(rec.Report, fmt.Sprintf("%s: unreadable (%v)", name, err))
@@ -346,8 +517,9 @@ func (s *Store) readJournal(epoch int, rec *Recovery) (entries []Observation, cl
 		return nil, false
 	}
 	hd := &dec{b: payload}
-	if got := hd.int(); hd.done() != nil || got != epoch {
-		rec.Report = append(rec.Report, fmt.Sprintf("%s: header epoch mismatch; ignoring file", name))
+	run, epoch := hd.int(), hd.int()
+	if hd.done() != nil || run != id.run || epoch != id.seq {
+		rec.Report = append(rec.Report, fmt.Sprintf("%s: header run/epoch mismatch; ignoring file", name))
 		return nil, false
 	}
 	data = data[size:]

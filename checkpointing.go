@@ -192,7 +192,7 @@ func (r *Runtime) Resume(store *CheckpointStore) (*CheckpointRecovery, error) {
 			Rate:           o.Rate,
 			RegionStart:    o.RegionStart,
 			AvailableProcs: o.AvailableProcs,
-		})
+		}, nil)
 	}
 	return rec, nil
 }

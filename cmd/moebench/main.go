@@ -113,6 +113,9 @@ var registry = map[string]runner{
 	"restart": func(l *experiments.Lab, sc experiments.Scale) (*experiments.Table, error) {
 		return l.RestartStudy(sc)
 	},
+	"telemetry": func(l *experiments.Lab, sc experiments.Scale) (*experiments.Table, error) {
+		return l.TelemetryStudy(sc)
+	},
 }
 
 // order fixes the -all presentation sequence.
@@ -121,7 +124,7 @@ var order = []string{
 	"fig10", "fig11", "fig12", "fig13a", "fig13b", "fig14a", "fig14b",
 	"fig14c", "fig15a", "fig15b", "fig15c", "fig16", "fig17", "cv",
 	"ablation-gating", "ablation-features", "portability", "churn",
-	"chaos", "restart",
+	"chaos", "restart", "telemetry",
 }
 
 func main() {

@@ -13,17 +13,30 @@
 //
 //	moerun -target lu -policy mixture -checkpoint-dir /var/lib/moe
 //	moerun -target lu -policy mixture -checkpoint-dir /var/lib/moe -resume
+//
+// Observability: -metrics-addr serves the decision-path metrics in
+// Prometheus text format (/metrics), as JSON (/metrics.json) and the
+// standard pprof profiles (/debug/pprof/) on one listener; -trace-out
+// streams every decision as an NDJSON record. Either flag runs the policy
+// inside a moe.Runtime (like -checkpoint-dir does) and changes no decision.
+//
+//	moerun -target lu -policy mixture -metrics-addr :9090 -metrics-hold 30s
+//	moerun -target lu -policy mixture -trace-out decisions.ndjson
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"strings"
+	"time"
 
 	"moe"
 	"moe/internal/core"
 	"moe/internal/experiments"
+	"moe/internal/telemetry"
 	"moe/internal/trace"
 	"moe/internal/training"
 	"moe/internal/workload"
@@ -39,6 +52,9 @@ func main() {
 	checkpointDir := flag.String("checkpoint-dir", "", "checkpoint directory for crash-safe runtime state (empty = off)")
 	checkpointEvery := flag.Int("checkpoint-every", 50, "decisions between snapshots with -checkpoint-dir (0 = journal only)")
 	resume := flag.Bool("resume", false, "restore runtime state from -checkpoint-dir before running")
+	metricsAddr := flag.String("metrics-addr", "", "serve Prometheus metrics, JSON and pprof on this address (e.g. :9090; empty = off)")
+	metricsHold := flag.Duration("metrics-hold", 0, "keep the metrics server up this long after the run (with -metrics-addr)")
+	traceOut := flag.String("trace-out", "", "stream an NDJSON decision trace to this file (empty = off)")
 	flag.Parse()
 
 	if *resume && *checkpointDir == "" {
@@ -61,6 +77,30 @@ func main() {
 	if _, err := workload.ByName(*target); err != nil {
 		fmt.Fprintf(os.Stderr, "moerun: %v (programs: %s)\n", err, strings.Join(workload.Names(), ", "))
 		os.Exit(2)
+	}
+
+	// The metrics server comes up before the (comparatively slow) training
+	// phase so scrapers can connect for the whole lifetime of the process.
+	var reg *telemetry.Registry
+	if *metricsAddr != "" {
+		reg = telemetry.NewRegistry()
+		ln, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "moerun: %v\n", err)
+			os.Exit(1)
+		}
+		srv := &http.Server{Handler: telemetry.Mux(reg)}
+		go func() { _ = srv.Serve(ln) }()
+		fmt.Fprintf(os.Stderr, "moerun: serving metrics on http://%s/metrics\n", ln.Addr())
+	}
+	var traceW *telemetry.TraceWriter
+	if *traceOut != "" {
+		var err error
+		traceW, err = telemetry.CreateTrace(*traceOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "moerun: %v\n", err)
+			os.Exit(1)
+		}
 	}
 
 	fmt.Fprintln(os.Stderr, "moerun: training experts…")
@@ -87,11 +127,12 @@ func main() {
 		os.Exit(1)
 	}
 
-	// With a checkpoint directory, the policy runs inside a crash-safe
-	// runtime; otherwise it runs bare, exactly as before.
+	// With a checkpoint directory or any telemetry flag, the policy runs
+	// inside a moe.Runtime (crash safety and observability are runtime
+	// features); otherwise it runs bare, exactly as before.
 	var rt *moe.Runtime
 	var out *experiments.RunOutcome
-	if *checkpointDir != "" {
+	if *checkpointDir != "" || reg != nil || traceW != nil {
 		p, err := lab.NewPolicy(experiments.PolicyName(*policyName), *target, *seed)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "moerun: %v\n", err)
@@ -102,25 +143,34 @@ func main() {
 			fmt.Fprintf(os.Stderr, "moerun: %v\n", err)
 			os.Exit(1)
 		}
-		store, err := moe.OpenCheckpoint(*checkpointDir)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "moerun: %v\n", err)
-			os.Exit(1)
+		var regSink telemetry.Sink
+		if reg != nil {
+			regSink = telemetry.NewRegistrySink(reg)
 		}
-		if *resume {
-			rec, err := rt.Resume(store)
+		rt.SetTelemetry(telemetry.MultiSink(regSink, traceW))
+		var store *moe.CheckpointStore
+		if *checkpointDir != "" {
+			store, err = moe.OpenCheckpoint(*checkpointDir)
 			if err != nil {
-				fmt.Fprintf(os.Stderr, "moerun: resume: %v\n", err)
+				fmt.Fprintf(os.Stderr, "moerun: %v\n", err)
 				os.Exit(1)
 			}
-			for _, line := range rec.Report {
-				fmt.Fprintf(os.Stderr, "moerun: recovery: %s\n", line)
+			store.SetMetrics(reg)
+			if *resume {
+				rec, err := rt.Resume(store)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "moerun: resume: %v\n", err)
+					os.Exit(1)
+				}
+				for _, line := range rec.Report {
+					fmt.Fprintf(os.Stderr, "moerun: recovery: %s\n", line)
+				}
+				fmt.Fprintf(os.Stderr, "moerun: resumed at decision %d\n", rt.Decisions())
 			}
-			fmt.Fprintf(os.Stderr, "moerun: resumed at decision %d\n", rt.Decisions())
-		}
-		if err := rt.AttachStore(store, *checkpointEvery); err != nil {
-			fmt.Fprintf(os.Stderr, "moerun: %v\n", err)
-			os.Exit(1)
+			if err := rt.AttachStore(store, *checkpointEvery); err != nil {
+				fmt.Fprintf(os.Stderr, "moerun: %v\n", err)
+				os.Exit(1)
+			}
 		}
 		out, err = lab.RunWithPolicy(spec, rt.SimPolicy())
 		if err != nil {
@@ -130,8 +180,17 @@ func main() {
 		if err := rt.CheckpointErr(); err != nil {
 			fmt.Fprintf(os.Stderr, "moerun: checkpointing degraded mid-run: %v\n", err)
 		}
-		if err := store.Close(); err != nil {
-			fmt.Fprintf(os.Stderr, "moerun: closing checkpoint store: %v\n", err)
+		if store != nil {
+			if err := store.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "moerun: closing checkpoint store: %v\n", err)
+			}
+		}
+		if traceW != nil {
+			if err := traceW.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "moerun: decision trace: %v\n", err)
+			} else {
+				fmt.Fprintf(os.Stderr, "moerun: decision trace written to %s\n", *traceOut)
+			}
 		}
 	} else {
 		out, err = lab.Run(spec, experiments.PolicyName(*policyName))
@@ -173,5 +232,10 @@ func main() {
 			}
 			fmt.Printf("%6.1f  %5d  %10d  %7d  %s\n", s.Time, s.Available, s.WorkldThr, s.Threads, s.RegionName)
 		}
+	}
+
+	if *metricsAddr != "" && *metricsHold > 0 {
+		fmt.Fprintf(os.Stderr, "moerun: holding metrics server for %s\n", *metricsHold)
+		time.Sleep(*metricsHold)
 	}
 }

@@ -30,6 +30,7 @@ import (
 	"strings"
 
 	"moe/internal/sim"
+	"moe/internal/telemetry"
 	"moe/internal/trace"
 )
 
@@ -100,10 +101,11 @@ type ScheduledFault struct {
 // implements sim.Policy; Name delegates to the wrapped policy so result
 // tables line up whether or not a policy ran under chaos.
 type Injector struct {
-	inner   sim.Policy
-	faults  []ScheduledFault
-	rngs    []*trace.RNG
-	applied []int
+	inner    sim.Policy
+	faults   []ScheduledFault
+	rngs     []*trace.RNG
+	applied  []int
+	counters []*telemetry.Counter // per fault, nil until SetMetrics
 }
 
 // NewInjector builds an injector over inner. Each fault receives an
@@ -135,6 +137,24 @@ func NewInjector(inner sim.Policy, seed uint64, faults ...ScheduledFault) (*Inje
 // Name implements sim.Policy, reporting the wrapped policy's name.
 func (inj *Injector) Name() string { return inj.inner.Name() }
 
+// Unwrap exposes the wrapped policy, following the runtime's Unwrapper
+// convention so wrapping a mixture in chaos never hides it from analysis
+// accessors (mixture statistics, telemetry detail).
+func (inj *Injector) Unwrap() sim.Policy { return inj.inner }
+
+// SetMetrics registers per-fault-kind applied counters in reg. Counting
+// through the registry replaces nothing — Applied still reports exact
+// totals — it just makes fault pressure scrapeable alongside the runtime's
+// own metrics. Injection itself is untouched: the same faults fire on the
+// same decisions with or without metrics attached.
+func (inj *Injector) SetMetrics(reg *telemetry.Registry) {
+	inj.counters = make([]*telemetry.Counter, len(inj.faults))
+	for i, sf := range inj.faults {
+		inj.counters[i] = reg.Counter("chaos_faults_applied_total",
+			"Decisions perturbed, per fault kind.", "kind", sf.Fault.Name())
+	}
+}
+
 // Decide implements sim.Policy: apply every active fault to a copy of the
 // decision, then forward it. The engine's Decision is passed by value so
 // the perturbation can never leak back into the simulation's ground truth.
@@ -143,6 +163,9 @@ func (inj *Injector) Decide(d sim.Decision) int {
 		if sf.Schedule.ActiveAt(d.Time) {
 			sf.Fault.Apply(&d, inj.rngs[i])
 			inj.applied[i]++
+			if inj.counters != nil {
+				inj.counters[i].Inc()
+			}
 		}
 	}
 	return inj.inner.Decide(d)

@@ -7,6 +7,7 @@ import (
 	"moe/internal/expert"
 	"moe/internal/policy"
 	"moe/internal/sim"
+	"moe/internal/telemetry"
 	"moe/internal/trace"
 	"moe/internal/workload"
 )
@@ -126,6 +127,57 @@ func TestChaosGoldenTrace(t *testing.T) {
 	}
 	if st.SanitizedValues == 0 {
 		t.Error("corruption window repaired no values")
+	}
+}
+
+// TestChaosGoldenTraceWithMetrics re-runs the chaos golden scenario with a
+// metrics registry and decision detail attached and demands the identical
+// decision sequence and fault counts: telemetry observes injection, it must
+// never perturb it. The registry's per-kind counters must agree exactly
+// with the injector's own Applied() bookkeeping.
+func TestChaosGoldenTraceWithMetrics(t *testing.T) {
+	mix, inj, scenario := chaosGoldenScenario(t)
+	mix.EnableDecisionDetail()
+	reg := telemetry.NewRegistry()
+	inj.SetMetrics(reg)
+	res, err := sim.Run(scenario)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := res.Target()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.DecisionCount != len(chaosGoldenThreads) {
+		t.Fatalf("decisions = %d, want %d", tr.DecisionCount, len(chaosGoldenThreads))
+	}
+	for i, s := range tr.Samples {
+		if s.Threads != chaosGoldenThreads[i] {
+			t.Errorf("step %d: threads = %d, want %d with metrics on", i, s.Threads, chaosGoldenThreads[i])
+		}
+	}
+	applied := inj.Applied()
+	wantApplied := []int{20, 15, 16, 15, 15, 21, 128}
+	for i, sf := range chaosGoldenFaults() {
+		if applied[i] != wantApplied[i] {
+			t.Errorf("fault %d applied %d times, want %d", i, applied[i], wantApplied[i])
+		}
+		got := reg.Counter("chaos_faults_applied_total", "", "kind", sf.Fault.Name()).Value()
+		if got != int64(wantApplied[i]) {
+			t.Errorf("chaos_faults_applied_total{kind=%q} = %d, want %d", sf.Fault.Name(), got, wantApplied[i])
+		}
+	}
+	if mix.Snapshot().SuspectObservations != 79 {
+		t.Error("suspect count shifted under telemetry")
+	}
+}
+
+// TestInjectorUnwrap pins the Unwrap convention: analysis layers reach the
+// wrapped policy through it.
+func TestInjectorUnwrap(t *testing.T) {
+	mix, inj, _ := chaosGoldenScenario(t)
+	if got := inj.Unwrap(); got != sim.Policy(mix) {
+		t.Fatalf("Unwrap = %v, want the wrapped mixture", got)
 	}
 }
 

@@ -8,8 +8,10 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"time"
 
 	"moe/internal/atomicio"
+	"moe/internal/telemetry"
 )
 
 // Store manages a checkpoint directory:
@@ -45,6 +47,13 @@ type Store struct {
 
 	// snapshotFault injects crashes into snapshot writes (tests only).
 	snapshotFault atomicio.FaultFn
+
+	// Metrics (nil until SetMetrics): store-level write latency and error
+	// counts, independent of any runtime attached above.
+	appendLatency *telemetry.Histogram
+	snapLatency   *telemetry.Histogram
+	appendErrs    *telemetry.Counter
+	snapErrs      *telemetry.Counter
 }
 
 // Options tunes a store.
@@ -91,6 +100,21 @@ func OpenOptions(dir string, opts Options) (*Store, error) {
 	s.run = maxRun + 1
 	return s, nil
 }
+
+// SetMetrics registers the store's write-latency histograms and error
+// counters in reg. Metrics never change what the store writes or how it
+// recovers; they only time and count the writes it was making anyway.
+func (s *Store) SetMetrics(reg *telemetry.Registry) {
+	s.appendLatency = reg.Histogram("checkpoint_append_seconds", "Journal append latency at the store.", nil)
+	s.snapLatency = reg.Histogram("checkpoint_snapshot_seconds", "Snapshot write latency at the store.", nil)
+	s.appendErrs = reg.Counter("checkpoint_write_errors_total", "Failed checkpoint writes by operation.", "op", "append")
+	s.snapErrs = reg.Counter("checkpoint_write_errors_total", "Failed checkpoint writes by operation.", "op", "snapshot")
+}
+
+// SetSnapshotFault installs (or clears, with nil) a fault hook on snapshot
+// writes — the crash-injection seam the durability tests use to tear a
+// write at an exact stage. Production code never calls this.
+func (s *Store) SetSnapshotFault(fn atomicio.FaultFn) { s.snapshotFault = fn }
 
 // Dir returns the store's directory.
 func (s *Store) Dir() string { return s.dir }
@@ -188,6 +212,21 @@ func (s *Store) list(prefix, suffix string) ([]fileID, error) {
 // window. On success the state is recoverable even if every later write is
 // torn.
 func (s *Store) WriteSnapshot(st *State) error {
+	var start time.Time
+	if s.snapLatency != nil {
+		start = time.Now()
+	}
+	err := s.writeSnapshot(st)
+	if s.snapLatency != nil {
+		s.snapLatency.Observe(time.Since(start).Seconds())
+		if err != nil {
+			s.snapErrs.Inc()
+		}
+	}
+	return err
+}
+
+func (s *Store) writeSnapshot(st *State) error {
 	data, err := EncodeSnapshot(st, s.run)
 	if err != nil {
 		return err
@@ -236,6 +275,21 @@ func (s *Store) rotateJournal(epoch int) error {
 // Append writes one observation to the current journal. A snapshot must
 // have been written first (it opens the journal epoch).
 func (s *Store) Append(obs Observation) error {
+	var start time.Time
+	if s.appendLatency != nil {
+		start = time.Now()
+	}
+	err := s.append(obs)
+	if s.appendLatency != nil {
+		s.appendLatency.Observe(time.Since(start).Seconds())
+		if err != nil {
+			s.appendErrs.Inc()
+		}
+	}
+	return err
+}
+
+func (s *Store) append(obs Observation) error {
 	if s.journal == nil {
 		return fmt.Errorf("checkpoint: no open journal; write a snapshot first")
 	}

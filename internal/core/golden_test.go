@@ -6,6 +6,7 @@ import (
 	"moe/internal/expert"
 	"moe/internal/policy"
 	"moe/internal/sim"
+	"moe/internal/telemetry"
 	"moe/internal/trace"
 	"moe/internal/workload"
 )
@@ -89,6 +90,46 @@ func TestGoldenTrace(t *testing.T) {
 	}
 	if got, want := st.SelectionFraction[0], 0.007874015748031496; got != want {
 		t.Errorf("E1 selection fraction = %v, want %v", got, want)
+	}
+}
+
+// TestGoldenTraceWithDecisionDetail re-runs the golden scenario with
+// telemetry detail enabled and demands the identical decision sequence:
+// detail capture observes the decision path, it must never steer it.
+func TestGoldenTraceWithDecisionDetail(t *testing.T) {
+	mix, scenario := goldenScenario(t)
+	mix.EnableDecisionDetail()
+	res, err := sim.Run(scenario)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := res.Target()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.DecisionCount != len(goldenThreads) {
+		t.Fatalf("decisions = %d, want %d", tr.DecisionCount, len(goldenThreads))
+	}
+	for i, s := range tr.Samples {
+		if s.Threads != goldenThreads[i] {
+			t.Errorf("step %d: threads = %d, want %d with detail on", i, s.Threads, goldenThreads[i])
+		}
+	}
+	st := mix.Snapshot()
+	if got, want := st.SelectionFraction[3], 0.9921259842519685; got != want {
+		t.Errorf("E4 selection fraction = %v, want %v", got, want)
+	}
+	// And the detail itself reflects the settled selection: the final
+	// decision was served by an expert through the selector rung.
+	var rec telemetry.Record
+	if !mix.DecisionDetail(&rec) {
+		t.Fatal("detail enabled but unavailable")
+	}
+	if rec.SelectedExpert < 0 || rec.FallbackRung != "selector" {
+		t.Errorf("final decision detail: expert %d, rung %q", rec.SelectedExpert, rec.FallbackRung)
+	}
+	if len(rec.GatingErrors) != 4 {
+		t.Errorf("gating errors = %v, want one per expert", rec.GatingErrors)
 	}
 }
 

@@ -156,6 +156,12 @@ func (h *healthTracker) usable(k int) bool {
 	return h.experts[k].state != healthQuarantined
 }
 
+// stateOf returns expert k's current health state (telemetry reads it to
+// report transitions).
+func (h *healthTracker) stateOf(k int) healthState {
+	return h.experts[k].state
+}
+
 // allQuarantined reports whether no expert may be selected — the condition
 // that engages the OS-default fallback.
 func (h *healthTracker) allQuarantined() bool {

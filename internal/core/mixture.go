@@ -27,6 +27,7 @@ import (
 	"moe/internal/features"
 	"moe/internal/sim"
 	"moe/internal/stats"
+	"moe/internal/telemetry"
 )
 
 // Selector is the gating model M: it names the expert to use for a state f
@@ -79,6 +80,24 @@ type Mixture struct {
 	sanitized    int       // feature components repaired on the way in
 	rerouted     int       // selections rerouted off a quarantined expert
 	fallback     int       // decisions served by the OS-default fallback
+
+	// detail, when non-nil, captures each decision's internals for the
+	// telemetry layer (see EnableDecisionDetail). Capture only reads the
+	// decision path's existing values, so enabling it never changes a
+	// decision — the golden-trace tests pin that.
+	detail *decisionDetail
+}
+
+// decisionDetail is the per-decision scratch the telemetry layer reads.
+// Buffers are reused across decisions to keep the instrumented path cheap.
+type decisionDetail struct {
+	repaired int
+	suspect  bool
+	gating   []float64
+	selected int
+	rung     string
+	events   []telemetry.HealthEvent
+	states   []healthState // health states at decision entry, for diffing
 }
 
 // Options configures a mixture.
@@ -130,6 +149,20 @@ func (m *Mixture) Decide(d sim.Decision) int {
 	observedEnv := f.EnvPart()
 	observedNorm := observedEnv.Norm()
 
+	det := m.detail
+	if det != nil {
+		det.repaired = repaired
+		det.suspect = false
+		det.selected = -1
+		det.rung = ""
+		det.gating = det.gating[:0]
+		det.events = det.events[:0]
+		det.states = det.states[:0]
+		for k := range m.experts {
+			det.states = append(det.states, m.health.stateOf(k))
+		}
+	}
+
 	// Sensor trust engages only for diverse pools: disbelieving a sensor
 	// takes multiple witnesses, and a lone expert cannot outvote its only
 	// source of information. An observation that needed repair, or whose
@@ -170,6 +203,9 @@ func (m *Mixture) Decide(d sim.Decision) int {
 				raw[k] = errors[k]
 			}
 		}
+		if det != nil {
+			det.gating = append(det.gating, raw...)
+		}
 		if trustActive && !suspect && consensusSuspect(raw, finite, observedNorm) {
 			suspect = true
 		}
@@ -203,6 +239,18 @@ func (m *Mixture) Decide(d sim.Decision) int {
 		}
 	}
 
+	if det != nil {
+		// Health transitions caused by this step's scoring.
+		for k := range m.experts {
+			if now := m.health.stateOf(k); now != det.states[k] {
+				det.events = append(det.events, telemetry.HealthEvent{
+					Expert: k, From: det.states[k].String(), To: now.String(),
+				})
+			}
+		}
+		det.suspect = suspect
+	}
+
 	// The state decisions are made from: the current observation when
 	// believed, otherwise the freshest state the mixture still trusts.
 	sel := f
@@ -221,14 +269,23 @@ func (m *Mixture) Decide(d sim.Decision) int {
 	if m.health.allQuarantined() {
 		n = m.fallbackThreads(d)
 		m.fallback++
+		if det != nil {
+			det.rung = "os-default"
+		}
 	} else {
 		k := m.selector.Select(sel)
+		rung := "selector"
 		if !m.health.usable(k) {
 			k = m.health.healthiest()
 			m.rerouted++
+			rung = "reroute"
 		}
 		m.selections.Add(k)
 		n = m.experts[k].PredictThreads(sel, d.MaxThreads)
+		if det != nil {
+			det.selected = k
+			det.rung = rung
+		}
 	}
 	m.threadHist.Add(n)
 
@@ -370,6 +427,38 @@ func (m *Mixture) Snapshot() Stats {
 		st.MixtureEnvAccuracy = float64(m.mixAccurate) / float64(m.mixObserved)
 	}
 	return st
+}
+
+// EnableDecisionDetail implements telemetry.Detailer: from the next Decide
+// on, the mixture captures its per-decision internals (gating errors,
+// selection, fallback rung, trust verdict, health transitions) for
+// DecisionDetail to read. Capture is observation only — decisions are
+// byte-identical with it on or off.
+func (m *Mixture) EnableDecisionDetail() {
+	if m.detail == nil {
+		m.detail = &decisionDetail{selected: -1}
+	}
+}
+
+// DecisionDetail implements telemetry.Detailer: it copies the most recent
+// decision's internals into rec. It reports false until detail capture is
+// enabled.
+func (m *Mixture) DecisionDetail(rec *telemetry.Record) bool {
+	det := m.detail
+	if det == nil {
+		return false
+	}
+	rec.PolicyRepaired = det.repaired
+	rec.Suspect = det.suspect
+	rec.SelectedExpert = det.selected
+	rec.FallbackRung = det.rung
+	if len(det.gating) > 0 {
+		rec.GatingErrors = append(rec.GatingErrors[:0], det.gating...)
+	}
+	if len(det.events) > 0 {
+		rec.HealthEvents = append(rec.HealthEvents[:0], det.events...)
+	}
+	return true
 }
 
 // String summarizes the mixture for logs.

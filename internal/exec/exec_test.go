@@ -2,6 +2,8 @@ package exec
 
 import (
 	"math"
+	"runtime"
+	"sync"
 	"testing"
 
 	"moe/internal/features"
@@ -136,6 +138,53 @@ func TestMetricSampler(t *testing.T) {
 	}
 	if ms.Elapsed() < 0 {
 		t.Error("negative elapsed time")
+	}
+}
+
+func TestMetricSamplerBaselineExcluded(t *testing.T) {
+	// Regression: the sampler used to count the process's resting
+	// goroutines — main, the GC workers, the test harness — as external
+	// workload (f4), and f6 compared the raw total against the CPU count,
+	// so an idle process reported phantom load. The floor is calibrated at
+	// construction now; at rest both features must be (near) zero. Slack of
+	// 2 tolerates runtime goroutines that appear between calibration and
+	// sampling.
+	ms := NewMetricSampler()
+	env := ms.Sample(0)
+	if env.WorkloadThreads > 2 {
+		t.Errorf("idle process reports %v external workload threads", env.WorkloadThreads)
+	}
+	if env.RunQueue > 2 {
+		t.Errorf("idle process reports run queue %v", env.RunQueue)
+	}
+
+	// Goroutines beyond the calibrated floor do count — both as external
+	// workload and, in excess of the CPUs, as run queue.
+	const extra = 64
+	stop := make(chan struct{})
+	var started sync.WaitGroup
+	started.Add(extra)
+	for i := 0; i < extra; i++ {
+		go func() {
+			started.Done()
+			<-stop
+		}()
+	}
+	started.Wait()
+	env = ms.Sample(0)
+	if env.WorkloadThreads < extra {
+		t.Errorf("external workload %v with %d extra goroutines", env.WorkloadThreads, extra)
+	}
+	procs := runtime.GOMAXPROCS(0)
+	if want := float64(extra - procs); env.RunQueue < want {
+		t.Errorf("run queue %v, want at least %v", env.RunQueue, want)
+	}
+
+	// The caller's own workers are excluded from f4 on top of the floor.
+	env = ms.Sample(extra)
+	close(stop)
+	if env.WorkloadThreads > 2 {
+		t.Errorf("own workers not excluded: %v", env.WorkloadThreads)
 	}
 }
 

@@ -18,15 +18,29 @@ import (
 //	f7/f8 load averages  → 1- and 5-minute EMAs of the goroutine count
 //	f9 cached memory     → heap in use (GB)
 //	f10 page free rate   → GC cycles per second (memory reclaim pressure)
+//
+// Every Go process carries a floor of goroutines that never contend for a
+// CPU — main, the GC workers, the finalizer, whatever the host framework
+// parked before the sampler existed. Counting that floor as workload made
+// f4 report phantom external threads and f6 a phantom run queue even on an
+// idle machine. The sampler therefore calibrates the floor once at
+// construction and reports only goroutines beyond it.
 type MetricSampler struct {
 	load1, load5 *stats.EMA
 	lastSample   time.Time
 	lastGC       uint32
 	gcRate       *stats.EMA
 	start        time.Time
+	// baseline is the process's resting goroutine count, calibrated at
+	// construction; Sample subtracts it before deriving f4, f6 and the load
+	// averages.
+	baseline int
 }
 
 // NewMetricSampler returns a sampler; call Sample at decision points.
+// Construct it while the process is at rest (before spawning workers): the
+// goroutine count observed here becomes the baseline that Sample treats as
+// "empty machine".
 func NewMetricSampler() *MetricSampler {
 	now := time.Now()
 	return &MetricSampler{
@@ -35,6 +49,7 @@ func NewMetricSampler() *MetricSampler {
 		gcRate:     stats.NewEMA(10),
 		lastSample: now,
 		start:      now,
+		baseline:   runtime.NumGoroutine(),
 	}
 }
 
@@ -58,14 +73,20 @@ func (m *MetricSampler) Sample(ownWorkers int) features.Env {
 		gcPerSec = m.gcRate.Update(gcDelta/dt, dt)
 	}
 
-	load1 := m.load1.Update(float64(goroutines), dt)
-	load5 := m.load5.Update(float64(goroutines), dt)
+	// Everything load-like is measured above the calibrated resting floor:
+	// an idle process reports zero workload, zero queue, zero load.
+	active := goroutines - m.baseline
+	if active < 0 {
+		active = 0
+	}
+	load1 := m.load1.Update(float64(active), dt)
+	load5 := m.load5.Update(float64(active), dt)
 
-	external := goroutines - ownWorkers
+	external := active - ownWorkers
 	if external < 0 {
 		external = 0
 	}
-	runq := goroutines - procs
+	runq := active - procs
 	if runq < 0 {
 		runq = 0
 	}

@@ -8,6 +8,7 @@ import (
 	"moe/internal/features"
 	"moe/internal/sim"
 	"moe/internal/stats"
+	"moe/internal/telemetry"
 )
 
 // Tuner drives a Kernel's parallel regions with a thread-selection policy,
@@ -23,6 +24,12 @@ type Tuner struct {
 	// prevRate carries the last region's achieved rate into the next
 	// decision (measurement-driven policies need it).
 	prevRate float64
+
+	// Metrics (nil until SetMetrics).
+	regions       *telemetry.Counter
+	workers       *telemetry.Gauge
+	rate          *telemetry.Gauge
+	regionLatency *telemetry.Histogram
 }
 
 // NewTuner wraps a policy. maxWorkers ≤ 0 selects the machine's CPU count.
@@ -40,6 +47,16 @@ func NewTuner(p sim.Policy, maxWorkers int) (*Tuner, error) {
 		lastN:   1,
 		hist:    stats.NewHistogram(),
 	}, nil
+}
+
+// SetMetrics registers the tuner's region counters, worker/rate gauges and
+// region-duration histogram in reg. Decisions are unchanged; only what the
+// tuner already measures becomes scrapeable.
+func (t *Tuner) SetMetrics(reg *telemetry.Registry) {
+	t.regions = reg.Counter("exec_regions_total", "Parallel regions executed.")
+	t.workers = reg.Gauge("exec_workers", "Worker count chosen for the most recent region.")
+	t.rate = reg.Gauge("exec_rate", "Items per second achieved by the most recent region.")
+	t.regionLatency = reg.Histogram("exec_region_seconds", "Wall-clock duration of executed regions.", nil)
 }
 
 // RegionResult reports one executed region.
@@ -84,6 +101,12 @@ func (t *Tuner) ExecuteRegion(k Kernel, items int) RegionResult {
 	t.lastN = n
 	t.region++
 	t.hist.Add(n)
+	if t.regions != nil {
+		t.regions.Inc()
+		t.workers.Set(float64(n))
+		t.rate.Set(rate)
+		t.regionLatency.Observe(elapsed.Seconds())
+	}
 	return RegionResult{Workers: n, Items: items, Duration: elapsed, Rate: rate}
 }
 

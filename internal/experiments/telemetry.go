@@ -1,0 +1,114 @@
+package experiments
+
+import (
+	"moe"
+	"moe/internal/chaos"
+	"moe/internal/telemetry"
+	"moe/internal/trace"
+)
+
+// TelemetryStudy runs the mixture through the full observable runtime —
+// chaos on the observation path, a metrics registry on the sink — and
+// tabulates, per target, what the decision-path counters saw: how many
+// decisions were served, how many observations the sensor-trust layer
+// disbelieved, how often the degradation ladder engaged (reroute,
+// OS-default fallback), how many feature values the sanitizers repaired,
+// how many quarantine entries occurred, and the decision-latency p50/p99.
+// It is the registry exercised end to end on a real workload rather than a
+// synthetic one; the counters are deterministic (they mirror the golden
+// decision sequence), the latency columns are wall-clock and are not.
+func (l *Lab) TelemetryStudy(sc Scale) (*Table, error) {
+	return l.telemetryStudy(sc, DefaultMaxTime)
+}
+
+// telemetryRow is one target's counter snapshot.
+type telemetryRow struct {
+	decisions, suspects, reroutes, fallbacks float64
+	repaired, quarantines                    float64
+	p50us, p99us                             float64
+}
+
+// telemetryStudy is TelemetryStudy with the run length exposed for tests.
+func (l *Lab) telemetryStudy(sc Scale, maxTime float64) (*Table, error) {
+	nT := len(sc.Targets)
+	rows, err := grid(l, nT, func(ti int) (telemetryRow, error) {
+		target := sc.Targets[ti]
+		seed := sc.Seed + uint64(ti)*104729
+		p, err := l.NewPolicy(PolicyMixture, target, seed)
+		if err != nil {
+			return telemetryRow{}, err
+		}
+		// One fault of every kind on the observation path, so the trust,
+		// repair and ladder counters have something to count.
+		faults := make([]chaos.ScheduledFault, 0, len(chaos.Kinds()))
+		for _, kind := range chaos.Kinds() {
+			sf, err := chaos.NewKindFault(kind, l.Eval.Cores)
+			if err != nil {
+				return telemetryRow{}, err
+			}
+			faults = append(faults, sf)
+		}
+		inj, err := chaos.NewInjector(p, seed^0xc0ffee, faults...)
+		if err != nil {
+			return telemetryRow{}, err
+		}
+		rt, err := moe.NewRuntime(inj, l.Eval.Cores)
+		if err != nil {
+			return telemetryRow{}, err
+		}
+		reg := telemetry.NewRegistry()
+		inj.SetMetrics(reg)
+		rt.SetTelemetry(telemetry.NewRegistrySink(reg))
+		if _, err := l.RunWithPolicy(ScenarioSpec{
+			Target:   target,
+			Workload: []string{"cg"},
+			HWFreq:   trace.LowFrequency,
+			Seed:     seed,
+			MaxTime:  maxTime,
+		}, rt.SimPolicy()); err != nil {
+			return telemetryRow{}, err
+		}
+		counter := func(name string, labels ...string) float64 {
+			return float64(reg.Counter(name, "", labels...).Value())
+		}
+		lat := reg.Histogram("moe_decision_seconds", "", nil)
+		return telemetryRow{
+			decisions: counter("moe_decisions_total"),
+			suspects:  counter("moe_suspect_observations_total"),
+			reroutes:  counter("moe_rerouted_decisions_total"),
+			fallbacks: counter("moe_fallback_decisions_total"),
+			repaired: counter("moe_repaired_values_total", "stage", "runtime") +
+				counter("moe_repaired_values_total", "stage", "policy"),
+			quarantines: counter("moe_quarantines_total"),
+			p50us:       lat.Quantile(0.50) * 1e6,
+			p99us:       lat.Quantile(0.99) * 1e6,
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	t := &Table{
+		Title:   "Telemetry — mixture decision-path counters under chaos (one fault of every kind)",
+		Columns: []string{"decisions", "suspect", "reroute", "fallback", "repaired", "quarantine", "p50 µs", "p99 µs"},
+		Notes: []string{
+			"counters from the runtime's metrics registry after one observable run per target",
+			"suspect = observations the sensor-trust layer disbelieved; repaired = feature values sanitized",
+			"reroute/fallback = degradation-ladder engagements; latency columns are wall-clock (not deterministic)",
+		},
+	}
+	var sum telemetryRow
+	for ti, r := range rows {
+		t.AddRow(sc.Targets[ti], r.decisions, r.suspects, r.reroutes, r.fallbacks,
+			r.repaired, r.quarantines, r.p50us, r.p99us)
+		sum.decisions += r.decisions
+		sum.suspects += r.suspects
+		sum.reroutes += r.reroutes
+		sum.fallbacks += r.fallbacks
+		sum.repaired += r.repaired
+		sum.quarantines += r.quarantines
+	}
+	t.AddRow("total", sum.decisions, sum.suspects, sum.reroutes, sum.fallbacks,
+		sum.repaired, sum.quarantines, 0, 0)
+	return t, nil
+}

@@ -1,0 +1,45 @@
+package experiments
+
+import "testing"
+
+// TestTelemetryStudy checks the study's coherence properties: every target
+// decided something, the chaos suite provoked the trust layer and the
+// sanitizers (suspects and repairs nonzero somewhere), the ladder counters
+// never exceed the decision count, and the total row sums the others.
+func TestTelemetryStudy(t *testing.T) {
+	l := lab(t)
+	sc := Scale{Targets: []string{"lu", "cg"}, Repeats: 1, Seed: 5}
+	tab, err := l.telemetryStudy(sc, 800)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", tab)
+
+	var suspects, repaired float64
+	for _, target := range sc.Targets {
+		dec := tab.MustGet(target, "decisions")
+		if dec <= 0 {
+			t.Errorf("%s: no decisions counted", target)
+		}
+		for _, col := range []string{"suspect", "reroute", "fallback"} {
+			if v := tab.MustGet(target, col); v < 0 || v > dec {
+				t.Errorf("%s: %s = %v outside [0, %v]", target, col, v, dec)
+			}
+		}
+		if p50, p99 := tab.MustGet(target, "p50 µs"), tab.MustGet(target, "p99 µs"); p50 < 0 || p99 < p50 {
+			t.Errorf("%s: latency quantiles disordered: p50=%v p99=%v", target, p50, p99)
+		}
+		suspects += tab.MustGet(target, "suspect")
+		repaired += tab.MustGet(target, "repaired")
+	}
+	if suspects == 0 {
+		t.Error("chaos suite never tripped the sensor-trust layer")
+	}
+	if repaired == 0 {
+		t.Error("chaos suite never tripped the sanitizers")
+	}
+	wantTotal := tab.MustGet("lu", "decisions") + tab.MustGet("cg", "decisions")
+	if got := tab.MustGet("total", "decisions"); got != wantTotal {
+		t.Errorf("total decisions = %v, want %v", got, wantTotal)
+	}
+}

@@ -1,0 +1,176 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+	"strconv"
+)
+
+// exposition: the registry renders itself in the Prometheus text format
+// (for scrapers) and as a JSON document (for humans and scripts). Both
+// walks are deterministic — families and label sets in sorted order — so
+// two scrapes of an idle registry are byte-identical.
+
+// sortedFamilies snapshots the family list under the lock.
+func (r *Registry) sortedFamilies() []*family {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		out = append(out, f)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}
+
+// sortedLabels returns a family's label sets in sorted order.
+func (f *family) sortedLabels() []string {
+	out := make([]string, 0, len(f.metrics))
+	for ls := range f.metrics {
+		out = append(out, ls)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// formatFloat renders a float the way Prometheus expects.
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus renders every registered metric in the Prometheus text
+// exposition format (version 0.0.4). Histograms expose cumulative
+// *_bucket{le=...} series plus *_sum and *_count.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	for _, f := range r.sortedFamilies() {
+		kind := "counter"
+		switch f.kind {
+		case kindGauge:
+			kind = "gauge"
+		case kindHistogram:
+			kind = "histogram"
+		}
+		if f.help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.name, f.help); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, kind); err != nil {
+			return err
+		}
+		for _, ls := range f.sortedLabels() {
+			switch m := f.metrics[ls].(type) {
+			case *Counter:
+				if _, err := fmt.Fprintf(w, "%s%s %d\n", f.name, ls, m.Value()); err != nil {
+					return err
+				}
+			case *Gauge:
+				if _, err := fmt.Fprintf(w, "%s%s %s\n", f.name, ls, formatFloat(m.Value())); err != nil {
+					return err
+				}
+			case *Histogram:
+				if err := writePrometheusHistogram(w, f.name, ls, m); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// writePrometheusHistogram renders one histogram series set. ls is the
+// metric's own label string; the le label is merged into it.
+func writePrometheusHistogram(w io.Writer, name, ls string, h *Histogram) error {
+	bounds, cum := h.snapshotBuckets()
+	withLE := func(le string) string {
+		if ls == "" {
+			return `{le="` + le + `"}`
+		}
+		return ls[:len(ls)-1] + `,le="` + le + `"}`
+	}
+	for i, b := range bounds {
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", name, withLE(formatFloat(b)), cum[i]); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", name, withLE("+Inf"), cum[len(cum)-1]); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", name, ls, formatFloat(h.Sum())); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", name, ls, h.Count())
+	return err
+}
+
+// jsonMetric is one metric instance in the JSON exposition.
+type jsonMetric struct {
+	Type  string `json:"type"`
+	Value any    `json:"value,omitempty"`
+	// Histogram-only fields.
+	Count     int64              `json:"count,omitempty"`
+	Sum       float64            `json:"sum,omitempty"`
+	Quantiles map[string]float64 `json:"quantiles,omitempty"`
+}
+
+// WriteJSON renders every registered metric as one JSON object keyed by
+// "name{labels}". Histograms carry count, sum and p50/p90/p99 estimates.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	doc := make(map[string]jsonMetric)
+	for _, f := range r.sortedFamilies() {
+		for _, ls := range f.sortedLabels() {
+			key := f.name + ls
+			switch m := f.metrics[ls].(type) {
+			case *Counter:
+				doc[key] = jsonMetric{Type: "counter", Value: m.Value()}
+			case *Gauge:
+				doc[key] = jsonMetric{Type: "gauge", Value: m.Value()}
+			case *Histogram:
+				doc[key] = jsonMetric{
+					Type:  "histogram",
+					Count: m.Count(),
+					Sum:   m.Sum(),
+					Quantiles: map[string]float64{
+						"p50": m.Quantile(0.50),
+						"p90": m.Quantile(0.90),
+						"p99": m.Quantile(0.99),
+					},
+				}
+			}
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// Mux returns an http.ServeMux exposing the registry and the standard
+// profiling endpoints on one listener:
+//
+//	/metrics       Prometheus text format
+//	/metrics.json  JSON exposition
+//	/debug/pprof/  net/http/pprof profiles
+func Mux(reg *Registry) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = reg.WriteJSON(w)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

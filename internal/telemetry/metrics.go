@@ -1,0 +1,324 @@
+// Package telemetry is the observability layer for the decision path: a
+// dependency-free metrics registry (atomic counters, gauges, bounded
+// histograms with quantile estimation), a structured per-decision trace
+// record, and exposition in Prometheus text format, JSON, and NDJSON.
+//
+// The package deliberately imports nothing from the rest of the repository,
+// so every layer — the public runtime, the mixture core, the checkpoint
+// store, the chaos injector, the live-execution tuner — can report into it
+// without import cycles. Instrumentation is nil-safe throughout: a nil
+// *Registry hands out nil metrics, and every metric method on a nil
+// receiver is a no-op, so uninstrumented hot paths pay a single pointer
+// test and allocate nothing.
+//
+// Telemetry observes; it never steers. Nothing in this package feeds back
+// into decisions, so attaching any combination of sinks to a run must leave
+// its decision sequence byte-identical (pinned by the golden-trace tests).
+package telemetry
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add adds delta; negative deltas are ignored (counters only go up).
+func (c *Counter) Add(delta int64) {
+	if c != nil && delta > 0 {
+		c.v.Add(delta)
+	}
+}
+
+// Value returns the current count (0 on a nil counter).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an atomic float64 that can go up and down.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if g != nil {
+		g.bits.Store(math.Float64bits(v))
+	}
+}
+
+// Add adds delta to the current value.
+func (g *Gauge) Add(delta float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+// Value returns the current value (0 on a nil gauge).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram is a bounded histogram: a fixed set of bucket upper bounds
+// chosen at creation, each backed by an atomic counter, plus a running sum
+// and count. Memory is constant regardless of how many observations arrive,
+// and quantiles are estimated by linear interpolation inside the bucket the
+// quantile falls in — the same scheme Prometheus' histogram_quantile uses.
+type Histogram struct {
+	bounds []float64 // ascending upper bounds; an implicit +Inf bucket follows
+	counts []atomic.Int64
+	count  atomic.Int64
+	sum    Gauge
+}
+
+// newHistogram builds a histogram over the given ascending upper bounds.
+func newHistogram(bounds []float64) *Histogram {
+	b := append([]float64(nil), bounds...)
+	return &Histogram{bounds: b, counts: make([]atomic.Int64, len(b)+1)}
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	if h == nil || math.IsNaN(v) {
+		return
+	}
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+}
+
+// Count returns how many samples have been observed.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of all observed samples.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Value()
+}
+
+// Quantile estimates the q-quantile (q in [0,1]) by interpolating within
+// the bucket the quantile lands in. With no samples it returns 0; a
+// quantile landing in the overflow bucket returns the highest finite bound.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	total := h.count.Load()
+	if total == 0 || math.IsNaN(q) {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	cum := int64(0)
+	for i := range h.counts {
+		c := h.counts[i].Load()
+		if c == 0 {
+			cum += c
+			continue
+		}
+		if float64(cum+c) >= rank {
+			if i >= len(h.bounds) {
+				// Overflow bucket: the best bounded answer is the last
+				// finite boundary.
+				if len(h.bounds) == 0 {
+					return 0
+				}
+				return h.bounds[len(h.bounds)-1]
+			}
+			lo := 0.0
+			if i > 0 {
+				lo = h.bounds[i-1]
+			}
+			hi := h.bounds[i]
+			frac := (rank - float64(cum)) / float64(c)
+			if frac < 0 {
+				frac = 0
+			}
+			if frac > 1 {
+				frac = 1
+			}
+			return lo + frac*(hi-lo)
+		}
+		cum += c
+	}
+	if len(h.bounds) == 0 {
+		return 0
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+// snapshotBuckets returns cumulative bucket counts aligned with bounds plus
+// the +Inf bucket, for exposition.
+func (h *Histogram) snapshotBuckets() (bounds []float64, cumulative []int64) {
+	bounds = h.bounds
+	cumulative = make([]int64, len(h.counts))
+	cum := int64(0)
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		cumulative[i] = cum
+	}
+	return bounds, cumulative
+}
+
+// ExpBuckets returns n ascending bucket bounds starting at start and
+// multiplying by factor — the standard shape for latency histograms.
+func ExpBuckets(start, factor float64, n int) []float64 {
+	if n < 1 || start <= 0 || factor <= 1 {
+		return []float64{1}
+	}
+	out := make([]float64, n)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+// DefLatencyBuckets spans 1µs–10s in roughly ×2.5 steps, fitting both
+// in-memory decisions (tens of µs) and fsync-bound checkpoint writes (ms).
+func DefLatencyBuckets() []float64 {
+	return []float64{
+		1e-6, 2.5e-6, 5e-6, 1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4,
+		1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2, 5e-2, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+	}
+}
+
+// metricKind discriminates registry families.
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+)
+
+// family groups every labeled instance of one metric name for exposition.
+type family struct {
+	name    string
+	help    string
+	kind    metricKind
+	metrics map[string]any // label string ("" for unlabeled) → metric
+}
+
+// Registry is a named collection of metrics. All methods are safe for
+// concurrent use, and every method is nil-safe: a nil *Registry hands out
+// nil metrics whose operations are no-ops, so instrumented code needs no
+// "is telemetry on?" branches beyond holding a possibly-nil registry.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// labelString renders alternating key,value pairs as a deterministic
+// Prometheus label set; an odd trailing key is dropped.
+func labelString(labels []string) string {
+	if len(labels) < 2 {
+		return ""
+	}
+	s := "{"
+	for i := 0; i+1 < len(labels); i += 2 {
+		if i > 0 {
+			s += ","
+		}
+		s += labels[i] + `="` + labels[i+1] + `"`
+	}
+	return s + "}"
+}
+
+// metric returns (creating if needed) the metric for name+labels. A name
+// already registered under a different kind yields a detached metric that
+// works but is not exposed, rather than panicking in a hot path.
+func (r *Registry) metric(name, help string, kind metricKind, build func() any, labels []string) any {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok := r.families[name]
+	if !ok {
+		f = &family{name: name, help: help, kind: kind, metrics: make(map[string]any)}
+		r.families[name] = f
+	}
+	if f.kind != kind {
+		return build()
+	}
+	ls := labelString(labels)
+	m, ok := f.metrics[ls]
+	if !ok {
+		m = build()
+		f.metrics[ls] = m
+	}
+	return m
+}
+
+// Counter returns the named counter, creating it on first use. labels are
+// alternating key,value pairs.
+func (r *Registry) Counter(name, help string, labels ...string) *Counter {
+	if r == nil {
+		return nil
+	}
+	return r.metric(name, help, kindCounter, func() any { return &Counter{} }, labels).(*Counter)
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name, help string, labels ...string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	return r.metric(name, help, kindGauge, func() any { return &Gauge{} }, labels).(*Gauge)
+}
+
+// Histogram returns the named histogram, creating it on first use with the
+// given bucket bounds (nil selects DefLatencyBuckets).
+func (r *Registry) Histogram(name, help string, bounds []float64, labels ...string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	if bounds == nil {
+		bounds = DefLatencyBuckets()
+	}
+	return r.metric(name, help, kindHistogram, func() any { return newHistogram(bounds) }, labels).(*Histogram)
+}

@@ -1,0 +1,207 @@
+package telemetry
+
+import "strconv"
+
+// Record is the structured trace of one decision: what the runtime was
+// told, what it repaired, what the policy's internals did with it, what
+// came out, and what it cost. The runtime fills the outer fields; a policy
+// implementing Detailer fills the mixture-internal ones. Fields are JSON-
+// tagged for the NDJSON trace writer (see tracewriter.go).
+type Record struct {
+	// Seq is the decision index (0-based).
+	Seq int `json:"seq"`
+	// Time is the sanitized decision clock (seconds).
+	Time float64 `json:"time"`
+	// RawFeatures is the state exactly as the host reported it, before
+	// sanitization.
+	RawFeatures []float64 `json:"raw_features,omitempty"`
+	// Features is the sanitized state the policy layer received.
+	Features []float64 `json:"features,omitempty"`
+	// RuntimeRepaired counts feature components the runtime's sanitizer
+	// repaired on this observation.
+	RuntimeRepaired int `json:"runtime_repaired,omitempty"`
+	// PolicyRepaired counts components the policy-level sanitizer repaired —
+	// nonzero only when something between runtime and policy (e.g. a chaos
+	// injector) re-corrupted the observation.
+	PolicyRepaired int `json:"policy_repaired,omitempty"`
+	// GatingErrors are the per-expert raw environment-prediction errors a^k
+	// scored on this step (empty on the first step and on suspect steps,
+	// when nothing is scored).
+	GatingErrors []float64 `json:"gating_errors,omitempty"`
+	// SelectedExpert is the index of the expert that produced the decision;
+	// -1 when no expert did (OS-default fallback, or a non-mixture policy).
+	SelectedExpert int `json:"selected_expert"`
+	// FallbackRung names how far down the degradation ladder the decision
+	// was served: "selector", "reroute" (selector's choice quarantined,
+	// healthiest expert substituted) or "os-default" (whole pool
+	// quarantined). Empty for policies without a ladder.
+	FallbackRung string `json:"fallback_rung,omitempty"`
+	// Suspect reports the sensor-trust verdict: true when the observation
+	// was disbelieved and the decision ran against the last trusted state.
+	Suspect bool `json:"suspect,omitempty"`
+	// HealthEvents are the expert health-state transitions this decision
+	// caused.
+	HealthEvents []HealthEvent `json:"health_events,omitempty"`
+	// Threads is the decision: the thread count returned to the host.
+	Threads int `json:"threads"`
+	// AvailableProcs is the resolved processor availability the decision
+	// used (after the dropout-fallback ladder).
+	AvailableProcs int `json:"available_procs"`
+	// DecisionNanos is the end-to-end latency of Runtime.Decide.
+	DecisionNanos int64 `json:"decision_ns"`
+	// JournalNanos is the write-ahead journal append latency (0 when no
+	// store is attached).
+	JournalNanos int64 `json:"journal_ns,omitempty"`
+	// SnapshotNanos is the checkpoint snapshot latency, on decisions that
+	// wrote one.
+	SnapshotNanos int64 `json:"snapshot_ns,omitempty"`
+	// CheckpointErr carries the latched checkpoint failure, if any — every
+	// record after the failure repeats it, making a silently degraded store
+	// visible in the trace stream.
+	CheckpointErr string `json:"checkpoint_err,omitempty"`
+}
+
+// HealthEvent is one expert health-state transition.
+type HealthEvent struct {
+	Expert int    `json:"expert"`
+	From   string `json:"from"`
+	To     string `json:"to"`
+}
+
+// Sink receives completed decision records. RecordDecision is called under
+// the runtime's decision lock with a record the sink may retain; sinks must
+// be fast and must never call back into the runtime.
+type Sink interface {
+	RecordDecision(rec *Record)
+}
+
+// Detailer is implemented by policies (the mixture) that can report
+// per-decision internals. EnableDecisionDetail turns the bookkeeping on;
+// DecisionDetail copies the most recent decision's internals into rec and
+// reports whether detail was available. Enabling detail must not change any
+// decision.
+type Detailer interface {
+	EnableDecisionDetail()
+	DecisionDetail(rec *Record) bool
+}
+
+// multiSink fans records out to several sinks in order.
+type multiSink []Sink
+
+func (m multiSink) RecordDecision(rec *Record) {
+	for _, s := range m {
+		s.RecordDecision(rec)
+	}
+}
+
+// MultiSink composes sinks; nil entries are dropped. With zero or one
+// usable sink it returns nil or that sink unwrapped.
+func MultiSink(sinks ...Sink) Sink {
+	var out multiSink
+	for _, s := range sinks {
+		if s != nil {
+			out = append(out, s)
+		}
+	}
+	switch len(out) {
+	case 0:
+		return nil
+	case 1:
+		return out[0]
+	}
+	return out
+}
+
+// RegistrySink folds decision records into registry metrics: counters for
+// every decision-path event, histograms for latencies, gauges for current
+// state. One sink per runtime; the registry may be shared.
+type RegistrySink struct {
+	decisions   *Counter
+	suspects    *Counter
+	reroutes    *Counter
+	fallbacks   *Counter
+	rtRepairs   *Counter
+	polRepairs  *Counter
+	quarantines *Counter
+	decLatency  *Histogram
+	jrnLatency  *Histogram
+	snapLatency *Histogram
+	threads     *Gauge
+	ckptErr     *Gauge
+	ckptErrs    *Counter
+
+	reg         *Registry
+	selections  []*Counter          // per-expert, grown on demand
+	transitions map[string]*Counter // health transitions by to-state
+}
+
+// NewRegistrySink builds a sink over reg (nil reg yields a sink whose
+// updates are all no-ops).
+func NewRegistrySink(reg *Registry) *RegistrySink {
+	return &RegistrySink{
+		decisions:   reg.Counter("moe_decisions_total", "Decisions served by the runtime."),
+		suspects:    reg.Counter("moe_suspect_observations_total", "Observations the sensor-trust layer disbelieved."),
+		reroutes:    reg.Counter("moe_rerouted_decisions_total", "Selections moved off a quarantined expert."),
+		fallbacks:   reg.Counter("moe_fallback_decisions_total", "Decisions served by the OS-default fallback."),
+		rtRepairs:   reg.Counter("moe_repaired_values_total", "Feature components repaired by the sanitizer.", "stage", "runtime"),
+		polRepairs:  reg.Counter("moe_repaired_values_total", "Feature components repaired by the sanitizer.", "stage", "policy"),
+		quarantines: reg.Counter("moe_quarantines_total", "Expert quarantine entries."),
+		decLatency:  reg.Histogram("moe_decision_seconds", "End-to-end Runtime.Decide latency.", nil),
+		jrnLatency:  reg.Histogram("moe_checkpoint_journal_seconds", "Write-ahead journal append latency.", nil),
+		snapLatency: reg.Histogram("moe_checkpoint_snapshot_seconds", "Checkpoint snapshot write latency.", nil),
+		threads:     reg.Gauge("moe_threads", "Most recently chosen thread count."),
+		ckptErr:     reg.Gauge("moe_checkpoint_degraded", "1 when the checkpoint store has latched a write failure."),
+		ckptErrs:    reg.Counter("moe_checkpoint_errors_total", "Decisions recorded while checkpointing was degraded."),
+		reg:         reg,
+		transitions: make(map[string]*Counter),
+	}
+}
+
+// RecordDecision implements Sink.
+func (s *RegistrySink) RecordDecision(rec *Record) {
+	s.decisions.Inc()
+	s.decLatency.Observe(float64(rec.DecisionNanos) / 1e9)
+	s.threads.Set(float64(rec.Threads))
+	s.rtRepairs.Add(int64(rec.RuntimeRepaired))
+	s.polRepairs.Add(int64(rec.PolicyRepaired))
+	if rec.Suspect {
+		s.suspects.Inc()
+	}
+	switch rec.FallbackRung {
+	case "reroute":
+		s.reroutes.Inc()
+	case "os-default":
+		s.fallbacks.Inc()
+	}
+	if rec.SelectedExpert >= 0 {
+		for len(s.selections) <= rec.SelectedExpert {
+			s.selections = append(s.selections,
+				s.reg.Counter("moe_expert_selections_total", "Decisions served per expert.",
+					"expert", strconv.Itoa(len(s.selections))))
+		}
+		s.selections[rec.SelectedExpert].Inc()
+	}
+	for _, ev := range rec.HealthEvents {
+		c, ok := s.transitions[ev.To]
+		if !ok {
+			c = s.reg.Counter("moe_health_transitions_total", "Expert health-state transitions by destination state.", "to", ev.To)
+			s.transitions[ev.To] = c
+		}
+		c.Inc()
+		if ev.To == "quarantined" {
+			s.quarantines.Inc()
+		}
+	}
+	if rec.JournalNanos > 0 {
+		s.jrnLatency.Observe(float64(rec.JournalNanos) / 1e9)
+	}
+	if rec.SnapshotNanos > 0 {
+		s.snapLatency.Observe(float64(rec.SnapshotNanos) / 1e9)
+	}
+	if rec.CheckpointErr != "" {
+		s.ckptErr.Set(1)
+		s.ckptErrs.Inc()
+	} else {
+		s.ckptErr.Set(0)
+	}
+}

@@ -1,0 +1,144 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+)
+
+// TraceWriter is a Sink that streams decision records as NDJSON — one JSON
+// object per line, in decision order. Unlike the snapshot artifacts written
+// through internal/atomicio's replace protocol, a trace is an append-only
+// stream whose value survives the writer's death, so it follows the
+// journal's conventions instead: records go straight to the destination
+// through a buffer, Flush makes the tail visible, and Close flushes and
+// fsyncs (when the destination is a file) before releasing it. A torn final
+// line from a crash is expected and tolerated by the parser.
+type TraceWriter struct {
+	mu  sync.Mutex
+	w   *bufio.Writer
+	f   *os.File // non-nil when we own the file (CreateTrace)
+	err error
+}
+
+// NewTraceWriter wraps an open stream. The caller keeps ownership of w;
+// call Flush before reading what was written.
+func NewTraceWriter(w io.Writer) *TraceWriter {
+	return &TraceWriter{w: bufio.NewWriter(w)}
+}
+
+// CreateTrace creates (truncating) an NDJSON trace file. Close the writer
+// to flush, sync, and release it.
+func CreateTrace(path string) (*TraceWriter, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: creating trace %s: %w", path, err)
+	}
+	return &TraceWriter{w: bufio.NewWriter(f), f: f}, nil
+}
+
+// RecordDecision implements Sink. The first write error is latched; later
+// records are dropped silently (the decision path must not fail because a
+// disk did).
+func (t *TraceWriter) RecordDecision(rec *Record) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.err != nil {
+		return
+	}
+	data, err := json.Marshal(rec)
+	if err != nil {
+		t.err = err
+		return
+	}
+	if _, err := t.w.Write(data); err != nil {
+		t.err = err
+		return
+	}
+	if err := t.w.WriteByte('\n'); err != nil {
+		t.err = err
+	}
+}
+
+// Flush pushes buffered records to the destination.
+func (t *TraceWriter) Flush() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.err != nil {
+		return t.err
+	}
+	return t.w.Flush()
+}
+
+// Err returns the latched write error, if any.
+func (t *TraceWriter) Err() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.err
+}
+
+// Close flushes, fsyncs (when the writer owns a file), and closes. It
+// returns the first error the writer encountered.
+func (t *TraceWriter) Close() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if ferr := t.w.Flush(); t.err == nil {
+		t.err = ferr
+	}
+	if t.f != nil {
+		if serr := t.f.Sync(); t.err == nil {
+			t.err = serr
+		}
+		if cerr := t.f.Close(); t.err == nil {
+			t.err = cerr
+		}
+		t.f = nil
+	}
+	return t.err
+}
+
+// ReadTrace parses an NDJSON decision trace back into records — the
+// round-trip counterpart of TraceWriter. Blank lines are skipped. A torn
+// final line (the signature of a crashed writer) ends the trace cleanly;
+// corruption anywhere earlier is an error.
+func ReadTrace(r io.Reader) ([]Record, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var out []Record
+	var pendingErr error
+	line := 0
+	for sc.Scan() {
+		line++
+		b := sc.Bytes()
+		if len(b) == 0 {
+			continue
+		}
+		if pendingErr != nil {
+			// The malformed line was not the final one: real corruption.
+			return out, pendingErr
+		}
+		var rec Record
+		if err := json.Unmarshal(b, &rec); err != nil {
+			pendingErr = fmt.Errorf("telemetry: trace line %d: %w", line, err)
+			continue
+		}
+		out = append(out, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return out, fmt.Errorf("telemetry: reading trace: %w", err)
+	}
+	return out, nil
+}
+
+// ReadTraceFile is ReadTrace over a file path.
+func ReadTraceFile(path string) ([]Record, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadTrace(f)
+}

@@ -4,11 +4,13 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"time"
 
 	"moe/internal/checkpoint"
 	"moe/internal/features"
 	"moe/internal/sim"
 	"moe/internal/stats"
+	"moe/internal/telemetry"
 )
 
 // Runtime is the embeddable decision loop: a host program (or the real
@@ -46,6 +48,14 @@ type Runtime struct {
 	store           *checkpoint.Store
 	checkpointEvery int
 	ckptErr         error
+
+	// Observability (see telemetry.go): with a sink attached, every Decide
+	// emits a telemetry.Record. sink == nil is the common case and costs
+	// one pointer test — no allocation, no clock read. detailer is the
+	// wrapped policy's detail hook when it (or anything it wraps, walked
+	// through Unwrap) implements telemetry.Detailer.
+	sink     telemetry.Sink
+	detailer telemetry.Detailer
 }
 
 // NewRuntime wraps a policy for a machine with maxThreads hardware
@@ -87,10 +97,24 @@ type Observation struct {
 func (r *Runtime) Decide(obs Observation) int {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	// Telemetry observes and never steers: rec only collects what the
+	// decision path computes anyway, so the chosen n is bit-identical with
+	// or without a sink (pinned by the byte-identity tests).
+	var rec *telemetry.Record
+	var start time.Time
+	if r.sink != nil {
+		start = time.Now()
+		rec = &telemetry.Record{Seq: r.decisions, SelectedExpert: -1}
+		rec.RawFeatures = append(rec.RawFeatures, obs.Features[:]...)
+	}
 	if r.store != nil && r.ckptErr == nil {
 		// Write-ahead: journal the observation exactly as the host reported
 		// it, before sanitization, so replaying the journal through this
 		// same method reproduces the decision bit-identically.
+		var jStart time.Time
+		if rec != nil {
+			jStart = time.Now()
+		}
 		if err := r.store.Append(checkpoint.Observation{
 			Time:           obs.Time,
 			Features:       obs.Features,
@@ -100,19 +124,40 @@ func (r *Runtime) Decide(obs Observation) int {
 		}); err != nil {
 			r.ckptErr = err
 		}
+		if rec != nil {
+			rec.JournalNanos = time.Since(jStart).Nanoseconds()
+		}
 	}
-	n := r.decideLocked(obs)
+	n := r.decideLocked(obs, rec)
 	if r.store != nil && r.ckptErr == nil && r.checkpointEvery > 0 && r.decisions%r.checkpointEvery == 0 {
+		var sStart time.Time
+		if rec != nil {
+			sStart = time.Now()
+		}
 		if st, err := r.snapshotLocked(); err != nil {
 			r.ckptErr = err
 		} else if err := r.store.WriteSnapshot(st); err != nil {
 			r.ckptErr = err
 		}
+		if rec != nil {
+			rec.SnapshotNanos = time.Since(sStart).Nanoseconds()
+		}
+	}
+	if rec != nil {
+		rec.Threads = n
+		if r.ckptErr != nil {
+			rec.CheckpointErr = r.ckptErr.Error()
+		}
+		if r.detailer != nil {
+			r.detailer.DecisionDetail(rec)
+		}
+		rec.DecisionNanos = time.Since(start).Nanoseconds()
+		r.sink.RecordDecision(rec)
 	}
 	return n
 }
 
-func (r *Runtime) decideLocked(obs Observation) int {
+func (r *Runtime) decideLocked(obs Observation, rec *telemetry.Record) int {
 	f, repaired := features.Sanitize(obs.Features)
 	obs.Features = f
 	r.sanitized += repaired
@@ -154,7 +199,38 @@ func (r *Runtime) decideLocked(obs Observation) int {
 	r.lastN = n
 	r.decisions++
 	r.hist.Add(n)
+	if rec != nil {
+		rec.Time = obs.Time
+		rec.Features = append(rec.Features, obs.Features[:]...)
+		rec.RuntimeRepaired = repaired
+		rec.AvailableProcs = avail
+	}
 	return n
+}
+
+// Unwrapper is the convention for policies that wrap another policy (the
+// chaos injector, instrumentation shims): Unwrap returns the wrapped
+// policy. Runtime accessors that look for a concrete policy type — mixture
+// statistics, telemetry detail — walk the chain, so wrapping never hides
+// the mixture from analysis.
+type Unwrapper interface {
+	Unwrap() Policy
+}
+
+// unwrapTo walks p's Unwrap chain until visit reports success or the chain
+// ends.
+func unwrapTo(p Policy, visit func(Policy) bool) bool {
+	for p != nil {
+		if visit(p) {
+			return true
+		}
+		u, ok := p.(Unwrapper)
+		if !ok {
+			return false
+		}
+		p = u.Unwrap()
+	}
+	return false
 }
 
 // PolicyName reports the wrapped policy's name.
@@ -191,12 +267,18 @@ func (r *Runtime) ThreadHistogram() map[int]float64 {
 }
 
 // MixtureStatsSnapshot returns the mixture analysis snapshot when the
-// wrapped policy is a mixture; ok is false otherwise.
+// wrapped policy is a mixture — directly or through any chain of wrappers
+// implementing Unwrap (a chaos injector, say); ok is false otherwise.
 func (r *Runtime) MixtureStatsSnapshot() (MixtureStats, bool) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if m, ok := r.policy.(*Mixture); ok {
-		return m.Snapshot(), true
-	}
-	return MixtureStats{}, false
+	var st MixtureStats
+	found := unwrapTo(r.policy, func(p Policy) bool {
+		m, ok := p.(*Mixture)
+		if ok {
+			st = m.Snapshot()
+		}
+		return ok
+	})
+	return st, found
 }

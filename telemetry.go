@@ -1,0 +1,43 @@
+package moe
+
+import "moe/internal/telemetry"
+
+// Observability. A Runtime is silent by default: the decision hot path
+// tests one pointer and does nothing else. SetTelemetry attaches a sink —
+// every subsequent Decide then assembles a telemetry.Record (inputs,
+// repairs, mixture internals when the policy can report them, checkpoint
+// latencies, the decision itself) and hands it to the sink under the
+// decision lock. Telemetry observes and never steers: with or without a
+// sink the decision sequence is bit-identical, pinned by the byte-identity
+// tests in telemetry_test.go.
+
+type (
+	// TelemetryRecord is the structured trace of one decision.
+	TelemetryRecord = telemetry.Record
+	// TelemetrySink receives completed decision records.
+	TelemetrySink = telemetry.Sink
+	// TelemetryRegistry is the process-wide metrics registry.
+	TelemetryRegistry = telemetry.Registry
+)
+
+// SetTelemetry attaches sink (nil detaches). When the wrapped policy — or
+// anything it wraps, walked through Unwrap — implements telemetry.Detailer,
+// per-decision mixture internals (gating errors, selection, fallback rung,
+// health transitions) are enabled and folded into every record.
+func (r *Runtime) SetTelemetry(sink telemetry.Sink) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.sink = sink
+	r.detailer = nil
+	if sink == nil {
+		return
+	}
+	unwrapTo(r.policy, func(p Policy) bool {
+		d, ok := p.(telemetry.Detailer)
+		if ok {
+			d.EnableDecisionDetail()
+			r.detailer = d
+		}
+		return ok
+	})
+}

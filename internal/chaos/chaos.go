@@ -147,6 +147,10 @@ func (inj *Injector) Unwrap() sim.Policy { return inj.inner }
 // totals — it just makes fault pressure scrapeable alongside the runtime's
 // own metrics. Injection itself is untouched: the same faults fire on the
 // same decisions with or without metrics attached.
+//
+// SetMetrics must be called before the first Decide: the counter slice is
+// read by Decide without synchronization, so attaching metrics to an
+// injector already serving decisions is a data race.
 func (inj *Injector) SetMetrics(reg *telemetry.Registry) {
 	inj.counters = make([]*telemetry.Counter, len(inj.faults))
 	for i, sf := range inj.faults {

@@ -104,6 +104,12 @@ func OpenOptions(dir string, opts Options) (*Store, error) {
 // SetMetrics registers the store's write-latency histograms and error
 // counters in reg. Metrics never change what the store writes or how it
 // recovers; they only time and count the writes it was making anyway.
+//
+// SetMetrics must be called before the first Append or WriteSnapshot: the
+// metric fields are plain pointers read by those paths without
+// synchronization, so attaching metrics to a store already in use is a data
+// race. (A Store is single-threaded anyway — Runtime serializes access —
+// so this only constrains setup order, not steady-state use.)
 func (s *Store) SetMetrics(reg *telemetry.Registry) {
 	s.appendLatency = reg.Histogram("checkpoint_append_seconds", "Journal append latency at the store.", nil)
 	s.snapLatency = reg.Histogram("checkpoint_snapshot_seconds", "Snapshot write latency at the store.", nil)

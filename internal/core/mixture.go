@@ -157,9 +157,14 @@ func (m *Mixture) Decide(d sim.Decision) int {
 		det.rung = ""
 		det.gating = det.gating[:0]
 		det.events = det.events[:0]
-		det.states = det.states[:0]
-		for k := range m.experts {
-			det.states = append(det.states, m.health.stateOf(k))
+		// Health states only change inside Decide (scoring), so the states
+		// recorded at the end of the previous decision ARE this decision's
+		// entry states — the baseline is rebuilt only on first capture.
+		if len(det.states) != len(m.experts) {
+			det.states = det.states[:0]
+			for k := range m.experts {
+				det.states = append(det.states, m.health.stateOf(k))
+			}
 		}
 	}
 
@@ -240,12 +245,14 @@ func (m *Mixture) Decide(d sim.Decision) int {
 	}
 
 	if det != nil {
-		// Health transitions caused by this step's scoring.
+		// Health transitions caused by this step's scoring; the baseline is
+		// advanced in place so it carries to the next decision.
 		for k := range m.experts {
 			if now := m.health.stateOf(k); now != det.states[k] {
 				det.events = append(det.events, telemetry.HealthEvent{
 					Expert: k, From: det.states[k].String(), To: now.String(),
 				})
+				det.states[k] = now
 			}
 		}
 		det.suspect = suspect

@@ -52,6 +52,10 @@ func NewTuner(p sim.Policy, maxWorkers int) (*Tuner, error) {
 // SetMetrics registers the tuner's region counters, worker/rate gauges and
 // region-duration histogram in reg. Decisions are unchanged; only what the
 // tuner already measures becomes scrapeable.
+//
+// SetMetrics must be called before the first ExecuteRegion: the metric
+// fields are plain pointers read without synchronization, so attaching
+// metrics to a tuner that is already executing regions is a data race.
 func (t *Tuner) SetMetrics(reg *telemetry.Registry) {
 	t.regions = reg.Counter("exec_regions_total", "Parallel regions executed.")
 	t.workers = reg.Gauge("exec_workers", "Worker count chosen for the most recent region.")

@@ -15,28 +15,44 @@ import (
 // walks are deterministic — families and label sets in sorted order — so
 // two scrapes of an idle registry are byte-identical.
 
-// sortedFamilies snapshots the family list under the lock.
-func (r *Registry) sortedFamilies() []*family {
+// familySnapshot is a point-in-time copy of one family: name/help/kind plus
+// every label set and its metric, sorted. The metric values themselves are
+// atomics, so reading them after the snapshot needs no lock.
+type familySnapshot struct {
+	name   string
+	help   string
+	kind   metricKind
+	series []seriesSnapshot
+}
+
+// seriesSnapshot is one labeled metric instance within a family.
+type seriesSnapshot struct {
+	labels string
+	metric any
+}
+
+// sortedFamilies copies the family list — including each family's
+// label→metric pairs — while holding the lock. Registry.metric inserts into
+// family.metrics under the same lock, so exposition must never touch those
+// maps after releasing it: a scrape racing a lazily-registered metric would
+// otherwise be a concurrent map read and write.
+func (r *Registry) sortedFamilies() []familySnapshot {
 	if r == nil {
 		return nil
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	out := make([]*family, 0, len(r.families))
+	out := make([]familySnapshot, 0, len(r.families))
 	for _, f := range r.families {
-		out = append(out, f)
+		fs := familySnapshot{name: f.name, help: f.help, kind: f.kind,
+			series: make([]seriesSnapshot, 0, len(f.metrics))}
+		for ls, m := range f.metrics {
+			fs.series = append(fs.series, seriesSnapshot{labels: ls, metric: m})
+		}
+		sort.Slice(fs.series, func(i, j int) bool { return fs.series[i].labels < fs.series[j].labels })
+		out = append(out, fs)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
-	return out
-}
-
-// sortedLabels returns a family's label sets in sorted order.
-func (f *family) sortedLabels() []string {
-	out := make([]string, 0, len(f.metrics))
-	for ls := range f.metrics {
-		out = append(out, ls)
-	}
-	sort.Strings(out)
 	return out
 }
 
@@ -65,18 +81,18 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, kind); err != nil {
 			return err
 		}
-		for _, ls := range f.sortedLabels() {
-			switch m := f.metrics[ls].(type) {
+		for _, s := range f.series {
+			switch m := s.metric.(type) {
 			case *Counter:
-				if _, err := fmt.Fprintf(w, "%s%s %d\n", f.name, ls, m.Value()); err != nil {
+				if _, err := fmt.Fprintf(w, "%s%s %d\n", f.name, s.labels, m.Value()); err != nil {
 					return err
 				}
 			case *Gauge:
-				if _, err := fmt.Fprintf(w, "%s%s %s\n", f.name, ls, formatFloat(m.Value())); err != nil {
+				if _, err := fmt.Fprintf(w, "%s%s %s\n", f.name, s.labels, formatFloat(m.Value())); err != nil {
 					return err
 				}
 			case *Histogram:
-				if err := writePrometheusHistogram(w, f.name, ls, m); err != nil {
+				if err := writePrometheusHistogram(w, f.name, s.labels, m); err != nil {
 					return err
 				}
 			}
@@ -125,9 +141,9 @@ type jsonMetric struct {
 func (r *Registry) WriteJSON(w io.Writer) error {
 	doc := make(map[string]jsonMetric)
 	for _, f := range r.sortedFamilies() {
-		for _, ls := range f.sortedLabels() {
-			key := f.name + ls
-			switch m := f.metrics[ls].(type) {
+		for _, s := range f.series {
+			key := f.name + s.labels
+			switch m := s.metric.(type) {
 			case *Counter:
 				doc[key] = jsonMetric{Type: "counter", Value: m.Value()}
 			case *Gauge:

@@ -18,6 +18,7 @@ package telemetry
 
 import (
 	"math"
+	"strings"
 	"sync"
 	"sync/atomic"
 )
@@ -91,7 +92,6 @@ func (g *Gauge) Value() float64 {
 type Histogram struct {
 	bounds []float64 // ascending upper bounds; an implicit +Inf bucket follows
 	counts []atomic.Int64
-	count  atomic.Int64
 	sum    Gauge
 }
 
@@ -111,16 +111,21 @@ func (h *Histogram) Observe(v float64) {
 		i++
 	}
 	h.counts[i].Add(1)
-	h.count.Add(1)
 	h.sum.Add(v)
 }
 
-// Count returns how many samples have been observed.
+// Count returns how many samples have been observed. The total is derived
+// by summing the buckets — the observe path is one atomic add cheaper for
+// it, and exposition (the only caller) is off the hot path.
 func (h *Histogram) Count() int64 {
 	if h == nil {
 		return 0
 	}
-	return h.count.Load()
+	var total int64
+	for i := range h.counts {
+		total += h.counts[i].Load()
+	}
+	return total
 }
 
 // Sum returns the sum of all observed samples.
@@ -138,7 +143,7 @@ func (h *Histogram) Quantile(q float64) float64 {
 	if h == nil {
 		return 0
 	}
-	total := h.count.Load()
+	total := h.Count()
 	if total == 0 || math.IsNaN(q) {
 		return 0
 	}
@@ -255,8 +260,14 @@ func NewRegistry() *Registry {
 	return &Registry{families: make(map[string]*family)}
 }
 
+// labelValueEscaper applies the Prometheus text-format escaping rules for
+// label values: backslash, double quote, and newline.
+var labelValueEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+
 // labelString renders alternating key,value pairs as a deterministic
-// Prometheus label set; an odd trailing key is dropped.
+// Prometheus label set; an odd trailing key is dropped. Values are escaped
+// per the text exposition format, so a value containing '"' or '\n' cannot
+// corrupt a scrape.
 func labelString(labels []string) string {
 	if len(labels) < 2 {
 		return ""
@@ -266,7 +277,7 @@ func labelString(labels []string) string {
 		if i > 0 {
 			s += ","
 		}
-		s += labels[i] + `="` + labels[i+1] + `"`
+		s += labels[i] + `="` + labelValueEscaper.Replace(labels[i+1]) + `"`
 	}
 	return s + "}"
 }

@@ -69,8 +69,10 @@ type HealthEvent struct {
 }
 
 // Sink receives completed decision records. RecordDecision is called under
-// the runtime's decision lock with a record the sink may retain; sinks must
-// be fast and must never call back into the runtime.
+// the runtime's decision lock; the record (and its slices) is scratch the
+// runtime reuses on the next decision, so sinks must copy anything they
+// keep past the call. Sinks must be fast and must never call back into the
+// runtime.
 type Sink interface {
 	RecordDecision(rec *Record)
 }
@@ -133,6 +135,7 @@ type RegistrySink struct {
 	reg         *Registry
 	selections  []*Counter          // per-expert, grown on demand
 	transitions map[string]*Counter // health transitions by to-state
+	degraded    bool                // last value written to ckptErr
 }
 
 // NewRegistrySink builds a sink over reg (nil reg yields a sink whose
@@ -200,8 +203,10 @@ func (s *RegistrySink) RecordDecision(rec *Record) {
 	}
 	if rec.CheckpointErr != "" {
 		s.ckptErr.Set(1)
+		s.degraded = true
 		s.ckptErrs.Inc()
-	} else {
+	} else if s.degraded {
 		s.ckptErr.Set(0)
+		s.degraded = false
 	}
 }

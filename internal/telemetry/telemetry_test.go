@@ -3,10 +3,13 @@ package telemetry
 import (
 	"bytes"
 	"encoding/json"
+	"io"
 	"math"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"runtime"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -153,6 +156,70 @@ func TestConcurrentMetrics(t *testing.T) {
 	}
 	if v := reg.Histogram("h", "", nil).Count(); v != 8000 {
 		t.Errorf("histogram count = %d, want 8000", v)
+	}
+}
+
+func TestConcurrentCreateAndScrape(t *testing.T) {
+	// Scraping while other goroutines lazily register new label sets (as
+	// RegistrySink does per expert and per health transition) must never
+	// touch a family's metrics map outside the registry lock — under -race
+	// this test catches both the Go race detector report and the runtime's
+	// fatal "concurrent map read and map write".
+	reg := NewRegistry()
+	stop := make(chan struct{})
+	ready := make(chan struct{})
+	var once sync.Once
+	var writers sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		writers.Add(1)
+		go func(w int) {
+			defer writers.Done()
+			// Register a fresh label set every iteration until told to stop,
+			// so map inserts keep landing while scrapes are mid-walk. Gosched
+			// shares the P with the scraper on single-CPU runners — without
+			// it the scrapes and the inserts never interleave there.
+			for i := w; ; i += 4 {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				reg.Counter("moe_expert_selections_total", "", "expert", strconv.Itoa(i)).Inc()
+				reg.Gauge("g", "", "w", strconv.Itoa(i)).Set(float64(i))
+				reg.Histogram("h", "", nil, "w", strconv.Itoa(i)).Observe(1e-4)
+				once.Do(func() { close(ready) })
+				runtime.Gosched()
+			}
+		}(w)
+	}
+	<-ready
+	for i := 0; i < 50; i++ {
+		if err := reg.WritePrometheus(io.Discard); err != nil {
+			t.Fatalf("WritePrometheus: %v", err)
+		}
+		if err := reg.WriteJSON(io.Discard); err != nil {
+			t.Fatalf("WriteJSON: %v", err)
+		}
+		runtime.Gosched()
+	}
+	close(stop)
+	writers.Wait()
+}
+
+func TestLabelEscaping(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("c_total", "", "kind", "quote\"back\\slash\nnewline").Inc()
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := `c_total{kind="quote\"back\\slash\nnewline"} 1`
+	if !strings.Contains(buf.String(), want) {
+		t.Errorf("label value not escaped per text format:\nwant %s\ngot  %s", want, buf.String())
+	}
+	// Lookup with the same raw value must hit the same counter.
+	if reg.Counter("c_total", "", "kind", "quote\"back\\slash\nnewline").Value() != 1 {
+		t.Error("escaped label lookup must be stable")
 	}
 }
 

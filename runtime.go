@@ -56,7 +56,18 @@ type Runtime struct {
 	// through Unwrap) implements telemetry.Detailer.
 	sink     telemetry.Sink
 	detailer telemetry.Detailer
+	// scratch is the telemetry record reused across decisions (guarded by
+	// mu, like everything else here): resetting it and re-filling its slices
+	// in place keeps the instrumented path allocation-free. Sinks therefore
+	// must not retain the record past RecordDecision (see telemetry.Sink).
+	scratch telemetry.Record
 }
+
+// monoBase anchors telemetry latency measurements: time.Since against a
+// monotonic base compiles to a bare monotonic-clock read, roughly half the
+// cost of time.Now (which also reads the wall clock). Only differences of
+// these readings are ever used, so the base itself is arbitrary.
+var monoBase = time.Now()
 
 // NewRuntime wraps a policy for a machine with maxThreads hardware
 // contexts.
@@ -101,19 +112,27 @@ func (r *Runtime) Decide(obs Observation) int {
 	// decision path computes anyway, so the chosen n is bit-identical with
 	// or without a sink (pinned by the byte-identity tests).
 	var rec *telemetry.Record
-	var start time.Time
+	var start time.Duration
 	if r.sink != nil {
-		start = time.Now()
-		rec = &telemetry.Record{Seq: r.decisions, SelectedExpert: -1}
+		start = time.Since(monoBase)
+		rec = &r.scratch
+		*rec = telemetry.Record{
+			Seq:            r.decisions,
+			SelectedExpert: -1,
+			RawFeatures:    rec.RawFeatures[:0],
+			Features:       rec.Features[:0],
+			GatingErrors:   rec.GatingErrors[:0],
+			HealthEvents:   rec.HealthEvents[:0],
+		}
 		rec.RawFeatures = append(rec.RawFeatures, obs.Features[:]...)
 	}
 	if r.store != nil && r.ckptErr == nil {
 		// Write-ahead: journal the observation exactly as the host reported
 		// it, before sanitization, so replaying the journal through this
 		// same method reproduces the decision bit-identically.
-		var jStart time.Time
+		var jStart time.Duration
 		if rec != nil {
-			jStart = time.Now()
+			jStart = time.Since(monoBase)
 		}
 		if err := r.store.Append(checkpoint.Observation{
 			Time:           obs.Time,
@@ -125,14 +144,14 @@ func (r *Runtime) Decide(obs Observation) int {
 			r.ckptErr = err
 		}
 		if rec != nil {
-			rec.JournalNanos = time.Since(jStart).Nanoseconds()
+			rec.JournalNanos = (time.Since(monoBase) - jStart).Nanoseconds()
 		}
 	}
 	n := r.decideLocked(obs, rec)
 	if r.store != nil && r.ckptErr == nil && r.checkpointEvery > 0 && r.decisions%r.checkpointEvery == 0 {
-		var sStart time.Time
+		var sStart time.Duration
 		if rec != nil {
-			sStart = time.Now()
+			sStart = time.Since(monoBase)
 		}
 		if st, err := r.snapshotLocked(); err != nil {
 			r.ckptErr = err
@@ -140,7 +159,7 @@ func (r *Runtime) Decide(obs Observation) int {
 			r.ckptErr = err
 		}
 		if rec != nil {
-			rec.SnapshotNanos = time.Since(sStart).Nanoseconds()
+			rec.SnapshotNanos = (time.Since(monoBase) - sStart).Nanoseconds()
 		}
 	}
 	if rec != nil {
@@ -151,7 +170,7 @@ func (r *Runtime) Decide(obs Observation) int {
 		if r.detailer != nil {
 			r.detailer.DecisionDetail(rec)
 		}
-		rec.DecisionNanos = time.Since(start).Nanoseconds()
+		rec.DecisionNanos = (time.Since(monoBase) - start).Nanoseconds()
 		r.sink.RecordDecision(rec)
 	}
 	return n

@@ -1,0 +1,33 @@
+GO ?= go
+
+.PHONY: build test race vet bench bench-smoke
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race -short ./internal/... .
+
+vet:
+	$(GO) vet ./...
+
+# bench regenerates the committed perf baseline: it measures both simulation
+# engines on the canonical scenario (min-of-3, two-point step-loop
+# derivation) and rewrites BENCH_PR5.json in place. Commit the result when
+# the engine changes on purpose.
+bench:
+	$(GO) run ./cmd/moebench -bench-json BENCH_PR5.json
+
+# bench-smoke is the CI guard: a cheap fixed-iteration run of the sim
+# stepping-loop microbenchmarks that fails if the steady-state loop ever
+# allocates again. Timing is not asserted (CI machines are too noisy); the
+# allocs/op == 0 invariant is.
+bench-smoke:
+	$(GO) test ./internal/sim -run=NONE -bench 'StepLoop' -benchmem -benchtime=100x -count=2 | tee bench-smoke.txt
+	@if grep -E '[1-9][0-9]* allocs/op' bench-smoke.txt; then \
+		echo 'bench-smoke: stepping loop allocates'; exit 1; \
+	fi
+	@grep -c ' 0 allocs/op' bench-smoke.txt > /dev/null

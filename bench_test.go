@@ -11,6 +11,7 @@ import (
 	"testing"
 
 	"moe/internal/experiments"
+	"moe/internal/sim"
 	"moe/internal/trace"
 	"moe/internal/training"
 	"moe/internal/workload"
@@ -345,6 +346,26 @@ func benchScenarioEval(b *testing.B, workers int) {
 
 func BenchmarkScenarioEvalSerial(b *testing.B)   { benchScenarioEval(b, 1) }
 func BenchmarkScenarioEvalWorkers4(b *testing.B) { benchScenarioEval(b, 4) }
+
+// benchScenarioStepping times the same dynamic-scenario grid under each
+// simulation engine. The two produce observables that agree within 1e-9
+// (TestLabSteppingEquivalence); only the stepping strategy differs, so the
+// pair isolates what the event-horizon engine buys at experiment scale.
+func benchScenarioStepping(b *testing.B, mode sim.SteppingMode) {
+	l := lab(b)
+	saved := l.Stepping
+	l.Stepping = mode
+	defer func() { l.Stepping = saved }()
+	sc := benchScale()
+	for i := 0; i < b.N; i++ {
+		if _, err := l.DynamicScenario(workload.Small, trace.LowFrequency, sc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkScenarioEvalSteppingFixed(b *testing.B) { benchScenarioStepping(b, sim.SteppingFixed) }
+func BenchmarkScenarioEvalSteppingEvent(b *testing.B) { benchScenarioStepping(b, sim.SteppingEvent) }
 
 // BenchmarkTrainingPipeline times end-to-end training-data generation and
 // expert construction (the one-off cost of §5.2.1).

@@ -1,0 +1,165 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"testing"
+
+	"moe/internal/sim"
+	"moe/internal/trace"
+	"moe/internal/workload"
+)
+
+// benchScenario mirrors internal/sim's canonical stepping-loop workload:
+// three catalog programs looping on the 32-core evaluation machine under
+// low-frequency hardware churn.
+func benchScenario(maxTime float64, mode sim.SteppingMode) (sim.Scenario, error) {
+	machine := sim.Eval32()
+	hw, err := trace.GenerateHardware(trace.NewRNG(7), machine.Cores, trace.LowFrequency, 1e6)
+	if err != nil {
+		return sim.Scenario{}, err
+	}
+	machine.Hardware = hw
+	var specs []sim.ProgramSpec
+	for i, name := range []string{"lu", "mg", "cg"} {
+		p, err := workload.ByName(name)
+		if err != nil {
+			return sim.Scenario{}, err
+		}
+		specs = append(specs, sim.ProgramSpec{Program: p.Clone(), Policy: sim.FixedThreads(8 + 4*i), Loop: true})
+	}
+	return sim.Scenario{Machine: machine, Programs: specs, MaxTime: maxTime, Stepping: mode}, nil
+}
+
+// benchMeasurement is one benchmark's result in the committed JSON.
+type benchMeasurement struct {
+	NsPerOp      float64 `json:"ns_per_op"`
+	AllocsPerOp  int64   `json:"allocs_per_op"`
+	BytesPerOp   int64   `json:"bytes_per_op"`
+	ScenariosSec float64 `json:"scenarios_per_sec"`
+}
+
+// stepLoopMeasurement isolates the steady-state stepping loop by a
+// two-point measurement: the difference between a 200-virtual-second and a
+// 100-virtual-second run is exactly 1000 extra steps of warm loop, with
+// setup (engine build, hardware schedule) cancelled out. The same
+// derivation applied to any engine build makes numbers comparable across
+// revisions.
+type stepLoopMeasurement struct {
+	NsPerStep     float64 `json:"ns_per_step"`
+	AllocsPerStep float64 `json:"allocs_per_step"`
+}
+
+type benchReport struct {
+	Description string `json:"description"`
+	// Run* are end-to-end sim.Run over 100 virtual seconds (1000 steps at
+	// the default DT) of the canonical three-program churn scenario.
+	RunFixed100s benchMeasurement `json:"run_fixed_100s"`
+	RunEvent100s benchMeasurement `json:"run_event_100s"`
+	// StepLoop* are the two-point steady-state loop costs.
+	StepLoopFixed stepLoopMeasurement `json:"step_loop_fixed"`
+	StepLoopEvent stepLoopMeasurement `json:"step_loop_event"`
+	// Baseline records the pre-event-engine implementation measured with
+	// the identical two-point harness, for the speedup ratio below.
+	Baseline struct {
+		NsPerStep     float64 `json:"ns_per_step"`
+		AllocsPerStep float64 `json:"allocs_per_step"`
+		Commit        string  `json:"commit"`
+	} `json:"baseline_prev_engine"`
+	SpeedupFixedVsBaseline float64 `json:"speedup_fixed_vs_baseline"`
+	SpeedupEventVsBaseline float64 `json:"speedup_event_vs_baseline"`
+}
+
+// benchRepeats is how many times each point is benchmarked; the minimum
+// ns/op across repeats is reported. Minimum-of-N is the usual way to pin a
+// baseline on a noisy shared machine: scheduling interference only ever
+// adds time, so the minimum is the best estimate of the true cost.
+const benchRepeats = 5
+
+func runBench(mode sim.SteppingMode, maxTime float64) (testing.BenchmarkResult, error) {
+	s, err := benchScenario(maxTime, mode)
+	if err != nil {
+		return testing.BenchmarkResult{}, err
+	}
+	var best testing.BenchmarkResult
+	for rep := 0; rep < benchRepeats; rep++ {
+		var runErr error
+		res := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := sim.Run(s); err != nil {
+					runErr = err
+					b.Fatal(err)
+				}
+			}
+		})
+		if runErr != nil {
+			return testing.BenchmarkResult{}, runErr
+		}
+		if rep == 0 || res.NsPerOp() < best.NsPerOp() {
+			best = res
+		}
+	}
+	return best, nil
+}
+
+func measure(mode sim.SteppingMode) (benchMeasurement, stepLoopMeasurement, error) {
+	r100, err := runBench(mode, 100)
+	if err != nil {
+		return benchMeasurement{}, stepLoopMeasurement{}, err
+	}
+	r200, err := runBench(mode, 200)
+	if err != nil {
+		return benchMeasurement{}, stepLoopMeasurement{}, err
+	}
+	ns := float64(r100.NsPerOp())
+	m := benchMeasurement{
+		NsPerOp:      ns,
+		AllocsPerOp:  r100.AllocsPerOp(),
+		BytesPerOp:   r100.AllocedBytesPerOp(),
+		ScenariosSec: 1e9 / ns,
+	}
+	const extraSteps = 1000 // 100 virtual seconds at the default 0.1s DT
+	sl := stepLoopMeasurement{
+		NsPerStep:     (float64(r200.NsPerOp()) - ns) / extraSteps,
+		AllocsPerStep: float64(r200.AllocsPerOp()-r100.AllocsPerOp()) / extraSteps,
+	}
+	return m, sl, nil
+}
+
+// writeBenchJSON measures both engines and writes the committed benchmark
+// baseline (BENCH_PR5.json). The pre-event-engine numbers were measured
+// once with this same two-point harness against the prior engine and are
+// carried as constants so the speedup ratios stay visible in the artifact.
+func writeBenchJSON(path string) error {
+	rep := benchReport{
+		Description: "canonical 3-program churn scenario on the 32-core evaluation machine; step costs from the (200s-100s)/1000-step two-point derivation",
+	}
+	rep.Baseline.NsPerStep = 850
+	rep.Baseline.AllocsPerStep = 7.6
+	rep.Baseline.Commit = "7bb4a68"
+
+	var err error
+	if rep.RunFixed100s, rep.StepLoopFixed, err = measure(sim.SteppingFixed); err != nil {
+		return err
+	}
+	if rep.RunEvent100s, rep.StepLoopEvent, err = measure(sim.SteppingEvent); err != nil {
+		return err
+	}
+	rep.SpeedupFixedVsBaseline = rep.Baseline.NsPerStep / rep.StepLoopFixed.NsPerStep
+	rep.SpeedupEventVsBaseline = rep.Baseline.NsPerStep / rep.StepLoopEvent.NsPerStep
+
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "moebench: step loop fixed %.0f ns (%.1fx), event %.0f ns (%.1fx), wrote %s\n",
+		rep.StepLoopFixed.NsPerStep, rep.SpeedupFixedVsBaseline,
+		rep.StepLoopEvent.NsPerStep, rep.SpeedupEventVsBaseline, path)
+	return nil
+}

@@ -18,10 +18,13 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 	"time"
 
 	"moe/internal/experiments"
+	"moe/internal/sim"
 	"moe/internal/trace"
 	"moe/internal/training"
 	"moe/internal/workload"
@@ -136,7 +139,30 @@ func main() {
 	chart := flag.Bool("chart", false, "render tables as bar charts")
 	workers := flag.Int("workers", 0, "concurrent scenario evaluations (0 = GOMAXPROCS, 1 = serial); output is identical for every setting")
 	chaosFlag := flag.Bool("chaos", false, "shorthand for -experiment chaos (fault-injection robustness study)")
+	stepping := flag.String("stepping", "event", "simulation engine: event (event-horizon) or fixed (dt-by-dt reference); observables agree within 1e-9")
+	benchJSON := flag.String("bench-json", "", "measure both engines on the canonical scenario, write the JSON report to this path, and exit")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	mode, err := sim.ParseSteppingMode(*stepping)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "moebench: %v\n", err)
+		os.Exit(2)
+	}
+
+	stopCPU := startCPUProfile(*cpuprofile)
+	defer stopCPU()
+	defer writeHeapProfile(*memprofile)
+
+	if *benchJSON != "" {
+		if err := writeBenchJSON(*benchJSON); err != nil {
+			fmt.Fprintf(os.Stderr, "moebench: bench: %v\n", err)
+			stopCPU()
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *chaosFlag && !*all {
 		*experiment = "chaos"
@@ -179,6 +205,7 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "moebench: trained in %.1fs (%d samples)\n",
 		time.Since(start).Seconds(), len(lab.DS.Samples))
+	lab.Stepping = mode
 
 	ids := []string{*experiment}
 	if *all {
@@ -212,5 +239,45 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "moebench: %s done in %.1fs\n", id, time.Since(start).Seconds())
 		fmt.Println()
+	}
+}
+
+// startCPUProfile begins CPU profiling when path is non-empty and returns
+// the stop function (a no-op otherwise). Error exits skip the deferred
+// stop, which only costs the profile itself.
+func startCPUProfile(path string) func() {
+	if path == "" {
+		return func() {}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "moebench: cpuprofile: %v\n", err)
+		os.Exit(1)
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		fmt.Fprintf(os.Stderr, "moebench: cpuprofile: %v\n", err)
+		os.Exit(1)
+	}
+	return func() {
+		pprof.StopCPUProfile()
+		f.Close()
+	}
+}
+
+// writeHeapProfile snapshots the heap to path when non-empty, after a GC so
+// the profile reflects live objects rather than garbage.
+func writeHeapProfile(path string) {
+	if path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "moebench: memprofile: %v\n", err)
+		return
+	}
+	defer f.Close()
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		fmt.Fprintf(os.Stderr, "moebench: memprofile: %v\n", err)
 	}
 }

@@ -12,10 +12,13 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"moe/internal/experiments"
 	"moe/internal/expert"
+	"moe/internal/sim"
 	"moe/internal/training"
 )
 
@@ -25,10 +28,23 @@ func main() {
 	runs := flag.Int("runs", 0, "training runs per target (0 = default)")
 	out := flag.String("o", "", "write the trained experts to this JSON file")
 	workers := flag.Int("workers", 0, "concurrent training simulations (0 = GOMAXPROCS, 1 = serial); the dataset is identical for every setting")
+	stepping := flag.String("stepping", "event", "simulation engine for training runs: event (event-horizon) or fixed (dt-by-dt reference); datasets agree within 1e-9")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
 
+	mode, err := sim.ParseSteppingMode(*stepping)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "moetrain: %v\n", err)
+		os.Exit(2)
+	}
+
+	stopCPU := startCPUProfile(*cpuprofile)
+	defer stopCPU()
+	defer writeHeapProfile(*memprofile)
+
 	start := time.Now()
-	ds, err := training.Generate(training.Config{Seed: *seed, WorkloadsPerTarget: *runs, Workers: *workers})
+	ds, err := training.Generate(training.Config{Seed: *seed, WorkloadsPerTarget: *runs, Workers: *workers, Stepping: mode})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "moetrain: %v\n", err)
 		os.Exit(1)
@@ -84,6 +100,7 @@ func main() {
 
 	lab := experiments.NewLabFromData(ds)
 	lab.Workers = *workers
+	lab.Stepping = mode
 	if *k == 4 {
 		t, err := lab.CoefficientsTable()
 		if err != nil {
@@ -99,4 +116,44 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Print(cv.String())
+}
+
+// startCPUProfile begins CPU profiling when path is non-empty and returns
+// the stop function (a no-op otherwise). Error exits skip the deferred
+// stop, which only costs the profile itself.
+func startCPUProfile(path string) func() {
+	if path == "" {
+		return func() {}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "moetrain: cpuprofile: %v\n", err)
+		os.Exit(1)
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		fmt.Fprintf(os.Stderr, "moetrain: cpuprofile: %v\n", err)
+		os.Exit(1)
+	}
+	return func() {
+		pprof.StopCPUProfile()
+		f.Close()
+	}
+}
+
+// writeHeapProfile snapshots the heap to path when non-empty, after a GC so
+// the profile reflects live objects rather than garbage.
+func writeHeapProfile(path string) {
+	if path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "moetrain: memprofile: %v\n", err)
+		return
+	}
+	defer f.Close()
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		fmt.Fprintf(os.Stderr, "moetrain: memprofile: %v\n", err)
+	}
 }

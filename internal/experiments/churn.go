@@ -130,6 +130,7 @@ func (l *Lab) runChurn(target string, p sim.Policy, seed uint64) (float64, error
 		}
 	}
 	res, err := sim.Run(sim.Scenario{
+		Stepping:  l.Stepping,
 		Machine:   machine,
 		Programs:  specs,
 		MaxTime:   DefaultMaxTime,

@@ -62,6 +62,11 @@ type Lab struct {
 	// job derives its seed from the experiment spec rather than from
 	// scheduling order, so tables are byte-identical for every setting.
 	Workers int
+	// Stepping selects the simulation engine for the lab's scenario
+	// evaluations. NewLab/NewLabFromData choose the event-horizon engine
+	// (observables agree with the fixed-dt reference within 1e-9; see
+	// sim.SteppingEvent); set SteppingFixed to force the reference.
+	Stepping sim.SteppingMode
 
 	mu    sync.Mutex
 	cache map[string]*modelEntry
@@ -107,7 +112,7 @@ func NewLab(cfg training.Config) (*Lab, error) {
 // NewLabFromData wraps an existing dataset (used by tests that share one
 // generation across many experiments).
 func NewLabFromData(ds *training.DataSet) *Lab {
-	return &Lab{DS: ds, Eval: sim.Eval32(), cache: make(map[string]*modelEntry)}
+	return &Lab{DS: ds, Eval: sim.Eval32(), Stepping: sim.SteppingEvent, cache: make(map[string]*modelEntry)}
 }
 
 // jobs returns the worker pool matching the current Workers setting.

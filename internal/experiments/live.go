@@ -118,6 +118,7 @@ func (l *Lab) liveSpeedup(target string, wl []string, hw *trace.HardwareTrace, n
 			specs = append(specs, sim.ProgramSpec{Program: wp.Clone(), Policy: dp, Loop: true})
 		}
 		res, err := sim.Run(sim.Scenario{
+			Stepping:  l.Stepping,
 			Machine:   machine,
 			Programs:  specs,
 			MaxTime:   DefaultMaxTime,

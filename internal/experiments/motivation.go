@@ -152,6 +152,7 @@ func (l *Lab) runDirect(target string, wl []string, machine sim.MachineConfig, p
 		specs = append(specs, sim.ProgramSpec{Program: wp, Policy: dp, Loop: true})
 	}
 	res, err := sim.Run(sim.Scenario{
+		Stepping:      l.Stepping,
 		Machine:       machine,
 		Programs:      specs,
 		MaxTime:       DefaultMaxTime,

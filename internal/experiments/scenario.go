@@ -108,6 +108,7 @@ func (l *Lab) RunWithPolicy(spec ScenarioSpec, target sim.Policy) (*RunOutcome, 
 	}
 
 	res, err := sim.Run(sim.Scenario{
+		Stepping:      l.Stepping,
 		Machine:       machine,
 		Programs:      specs,
 		MaxTime:       maxTime,

@@ -1,0 +1,56 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+
+	"moe/internal/sim"
+	"moe/internal/trace"
+)
+
+// TestLabSteppingEquivalence is the experiments-level differential check:
+// the same lab scenario evaluated under the fixed-dt reference and the
+// event-horizon engine must produce execution times and workload
+// throughput that agree within 1e-9 relative — the same contract
+// TestSteppingEquivalence pins at the engine level, observed here through
+// the full policy stack (trained mixture, noise, hardware churn).
+func TestLabSteppingEquivalence(t *testing.T) {
+	l := lab(t)
+	if l.Stepping != sim.SteppingEvent {
+		t.Fatalf("labs should default to the event engine, got %v", l.Stepping)
+	}
+	specs := []ScenarioSpec{
+		{Target: "lu", Workload: []string{"mg", "cg"}, HWFreq: trace.LowFrequency, Seed: 11},
+		{Target: "cg", Workload: []string{"swim"}, HWFreq: trace.HighFrequency, Seed: 12},
+	}
+	for _, name := range []PolicyName{PolicyDefault, PolicyMixture} {
+		for _, spec := range specs {
+			l.Stepping = sim.SteppingFixed
+			ref, err := l.Run(spec, name)
+			if err != nil {
+				t.Fatalf("%s/%s fixed: %v", name, spec.Target, err)
+			}
+			l.Stepping = sim.SteppingEvent
+			ev, err := l.Run(spec, name)
+			if err != nil {
+				t.Fatalf("%s/%s event: %v", name, spec.Target, err)
+			}
+			if !within(ref.ExecTime, ev.ExecTime, 1e-9) {
+				t.Errorf("%s/%s ExecTime: fixed %.15g event %.15g", name, spec.Target, ref.ExecTime, ev.ExecTime)
+			}
+			if !within(ref.WorkloadThroughput, ev.WorkloadThroughput, 1e-9) {
+				t.Errorf("%s/%s WorkloadThroughput: fixed %.15g event %.15g", name, spec.Target, ref.WorkloadThroughput, ev.WorkloadThroughput)
+			}
+		}
+	}
+	l.Stepping = sim.SteppingEvent
+}
+
+func within(a, b, rel float64) bool {
+	d := math.Abs(a - b)
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	if scale < 1 {
+		return d <= rel
+	}
+	return d <= rel*scale
+}

@@ -1,0 +1,101 @@
+package sim
+
+import (
+	"testing"
+
+	"moe/internal/trace"
+	"moe/internal/workload"
+)
+
+// benchScenario is the canonical stepping-loop workload: three catalog
+// programs looping forever on the 32-core evaluation machine with
+// low-frequency hardware churn. No target and a huge MaxTime means the
+// engine never terminates on its own, so benchmarks can drive the loop
+// for exactly as many operations as they need.
+func benchScenario(tb testing.TB) Scenario {
+	tb.Helper()
+	machine := Eval32()
+	hw, err := trace.GenerateHardware(trace.NewRNG(7), machine.Cores, trace.LowFrequency, 1e6)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	machine.Hardware = hw
+	var specs []ProgramSpec
+	for i, name := range []string{"lu", "mg", "cg"} {
+		p, err := workload.ByName(name)
+		if err != nil {
+			tb.Fatal(err)
+		}
+		specs = append(specs, ProgramSpec{Program: p.Clone(), Policy: FixedThreads(8 + 4*i), Loop: true})
+	}
+	return Scenario{Machine: machine, Programs: specs, MaxTime: 1e9}
+}
+
+// BenchmarkRunFixed100s times sim.Run end to end over 100 virtual seconds
+// (1000 steps at the default DT).
+func BenchmarkRunFixed100s(b *testing.B) {
+	s := benchScenario(b)
+	s.MaxTime = 100
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRunEvent100s is BenchmarkRunFixed100s under the event-horizon
+// engine; the ratio of the two is the end-to-end speedup.
+func BenchmarkRunEvent100s(b *testing.B) {
+	s := benchScenario(b)
+	s.MaxTime = 100
+	s.Stepping = SteppingEvent
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStepLoopFixed isolates the reference stepping loop: one op is
+// one dt step of virtual time on a warm engine (setup excluded), the unit
+// the PR's ≥3x / 0 allocs acceptance criteria are stated in.
+func BenchmarkStepLoopFixed(b *testing.B) {
+	e, err := newEngine(benchScenario(b))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for step := 0; step < b.N; step++ {
+		if e.processStep(step) {
+			b.Fatal("benchmark scenario terminated")
+		}
+	}
+}
+
+// BenchmarkStepLoopEvent drives the event-horizon loop across the same
+// virtual-time grid: one op is still one dt step of virtual time, but the
+// engine only touches the interesting ones and leaps the rest, so ns/op is
+// directly comparable with BenchmarkStepLoopFixed.
+func BenchmarkStepLoopEvent(b *testing.B) {
+	s := benchScenario(b)
+	s.Stepping = SteppingEvent
+	e, err := newEngine(s)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for step := 0; step < b.N; {
+		if e.processStep(step) {
+			b.Fatal("benchmark scenario terminated")
+		}
+		next := e.nextEventStep(step)
+		if next > step+1 {
+			e.leap(step, next)
+		}
+		step = next
+	}
+}

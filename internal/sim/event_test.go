@@ -1,0 +1,328 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"moe/internal/trace"
+	"moe/internal/workload"
+)
+
+// relClose reports whether a and b agree within the PR's equivalence
+// tolerance: 1e-9 relative (absolute for magnitudes below 1). This is the
+// budget for floating-point accumulation differences between iterated and
+// closed-form stepping; see DESIGN.md §11.
+func relClose(a, b float64) bool {
+	scale := math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+	return math.Abs(a-b) <= 1e-9*scale
+}
+
+// rateClose is the looser bound for *per-interval* instantaneous rates.
+// Terminal observables (ExecTime, WorkDone, decision sequences) are held
+// to 1e-9, but interval rates divide a ~0.5s work window, so a phase
+// boundary landing a few ulps earlier in one mode shifts a sliver of work
+// between adjacent windows — an oscillating, non-accumulating difference
+// a couple of orders above the terminal tolerance on programs with many
+// short regions (observed ≤6e-9 across the corpus and fuzz runs).
+func rateClose(a, b float64) bool {
+	scale := math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+	return math.Abs(a-b) <= 1e-7*scale
+}
+
+// requireEquivalent runs the scenario in both stepping modes and asserts
+// the reference contract: identical decision sequences (times, thread
+// counts, oracle labels), identical termination status, and ExecTime /
+// WorkDone / observed rates within 1e-9.
+func requireEquivalent(t *testing.T, name string, s Scenario) {
+	t.Helper()
+	s.Stepping = SteppingFixed
+	ref, err := Run(s)
+	if err != nil {
+		t.Fatalf("%s: fixed run: %v", name, err)
+	}
+	s.Stepping = SteppingEvent
+	ev, err := Run(s)
+	if err != nil {
+		t.Fatalf("%s: event run: %v", name, err)
+	}
+
+	if !relClose(ref.Duration, ev.Duration) {
+		t.Errorf("%s: duration fixed=%.12g event=%.12g", name, ref.Duration, ev.Duration)
+	}
+	if ref.TargetIndex != ev.TargetIndex || len(ref.Programs) != len(ev.Programs) {
+		t.Fatalf("%s: result shape differs", name)
+	}
+	for i := range ref.Programs {
+		rp, ep := &ref.Programs[i], &ev.Programs[i]
+		if rp.Finished != ep.Finished {
+			t.Errorf("%s[%s]: finished fixed=%v event=%v", name, rp.Name, rp.Finished, ep.Finished)
+		}
+		if !relClose(rp.ExecTime, ep.ExecTime) {
+			t.Errorf("%s[%s]: exec time fixed=%.12g event=%.12g", name, rp.Name, rp.ExecTime, ep.ExecTime)
+		}
+		if !relClose(rp.WorkDone, ep.WorkDone) {
+			t.Errorf("%s[%s]: work fixed=%.12g event=%.12g", name, rp.Name, rp.WorkDone, ep.WorkDone)
+		}
+		if rp.DecisionCount != ep.DecisionCount {
+			t.Errorf("%s[%s]: decisions fixed=%d event=%d", name, rp.Name, rp.DecisionCount, ep.DecisionCount)
+		}
+		for _, bin := range rp.ThreadHist.Bins() {
+			if rp.ThreadHist.Count(bin) != ep.ThreadHist.Count(bin) {
+				t.Errorf("%s[%s]: thread hist bin %d fixed=%d event=%d",
+					name, rp.Name, bin, rp.ThreadHist.Count(bin), ep.ThreadHist.Count(bin))
+			}
+		}
+		if ep.ThreadHist.Total() != rp.ThreadHist.Total() {
+			t.Errorf("%s[%s]: thread hist totals differ", name, rp.Name)
+		}
+		if len(rp.Samples) != len(ep.Samples) {
+			t.Errorf("%s[%s]: sample count fixed=%d event=%d", name, rp.Name, len(rp.Samples), len(ep.Samples))
+			continue
+		}
+		for j := range rp.Samples {
+			rs, es := &rp.Samples[j], &ep.Samples[j]
+			if rs.Time != es.Time {
+				t.Errorf("%s[%s] sample %d: time fixed=%.12g event=%.12g", name, rp.Name, j, rs.Time, es.Time)
+			}
+			if rs.Threads != es.Threads {
+				t.Errorf("%s[%s] sample %d: threads fixed=%d event=%d", name, rp.Name, j, rs.Threads, es.Threads)
+			}
+			if rs.OracleN != es.OracleN {
+				t.Errorf("%s[%s] sample %d: oracle fixed=%d event=%d", name, rp.Name, j, rs.OracleN, es.OracleN)
+			}
+			if rs.Region != es.Region || rs.Available != es.Available {
+				t.Errorf("%s[%s] sample %d: region/avail differ", name, rp.Name, j)
+			}
+			if !rateClose(rs.Rate, es.Rate) {
+				t.Errorf("%s[%s] sample %d: rate fixed=%.12g event=%.12g", name, rp.Name, j, rs.Rate, es.Rate)
+			}
+			if !relClose(rs.BestRate, es.BestRate) {
+				t.Errorf("%s[%s] sample %d: best rate fixed=%.12g event=%.12g", name, rp.Name, j, rs.BestRate, es.BestRate)
+			}
+		}
+	}
+}
+
+func mustProgram(t *testing.T, name string) *workload.Program {
+	t.Helper()
+	p, err := workload.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func churnHardware(t *testing.T, seed uint64, cores int, freq trace.Frequency, duration float64) *trace.HardwareTrace {
+	t.Helper()
+	hw, err := trace.GenerateHardware(trace.NewRNG(seed), cores, freq, duration)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return hw
+}
+
+// stormHardware is a hotplug storm with breakpoints deliberately off the
+// step grid and several events landing inside a single dt, the worst case
+// for the precomputed availability schedule.
+func stormHardware(t *testing.T) *trace.HardwareTrace {
+	t.Helper()
+	events := []trace.HardwareEvent{{Time: 0, Processors: 32}}
+	procs := []int{8, 24, 4, 32, 16, 6, 28, 12}
+	tt := 0.37
+	for i := 0; i < 40; i++ {
+		events = append(events, trace.HardwareEvent{Time: tt, Processors: procs[i%len(procs)]})
+		tt += 0.07 + 0.19*float64(i%5)
+	}
+	hw, err := trace.NewHardwareTrace(events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return hw
+}
+
+// TestSteppingEquivalence is the differential harness: the event-horizon
+// engine must reproduce the fixed-dt reference across the scenario corpus —
+// dynamic hardware, workload churn with staggered arrivals, hotplug storms,
+// restart-style mid-run joins, measurement noise, oracle recording, and
+// non-default grids.
+func TestSteppingEquivalence(t *testing.T) {
+	eval := Eval32()
+
+	dynamic := eval
+	dynamic.Hardware = churnHardware(t, 11, eval.Cores, trace.LowFrequency, 500)
+	requireEquivalent(t, "dynamic", Scenario{
+		Machine: dynamic,
+		Programs: []ProgramSpec{
+			{Program: mustProgram(t, "lu"), Policy: FixedThreads(16), Target: true},
+			{Program: mustProgram(t, "mg"), Policy: FixedThreads(8), Loop: true},
+			{Program: mustProgram(t, "cg"), Policy: OraclePolicy{}, Loop: true},
+		},
+		MaxTime:       400,
+		RecordSamples: true,
+		RecordOracle:  true,
+	})
+
+	churn := eval
+	churn.Hardware = churnHardware(t, 23, eval.Cores, trace.HighFrequency, 300)
+	requireEquivalent(t, "churn-arrivals", Scenario{
+		Machine: churn,
+		Programs: []ProgramSpec{
+			{Program: mustProgram(t, "art"), Policy: FixedThreads(12), Target: true, StartDelay: 7.3},
+			{Program: mustProgram(t, "equake"), Policy: FixedThreads(20), Loop: true},
+			{Program: mustProgram(t, "mg"), Policy: FixedThreads(6), Loop: true, StartDelay: 33.21},
+			{Program: mustProgram(t, "swim"), Policy: OraclePolicy{}, Loop: true, StartDelay: 101.7},
+		},
+		MaxTime:       300,
+		RecordSamples: true,
+		RateNoise:     0.05,
+		Seed:          99,
+	})
+
+	chaos := eval
+	chaos.Hardware = stormHardware(t)
+	requireEquivalent(t, "hotplug-storm", Scenario{
+		Machine: chaos,
+		Programs: []ProgramSpec{
+			{Program: mustProgram(t, "cg"), Policy: FixedThreads(24), Target: true},
+			{Program: mustProgram(t, "lu"), Policy: FixedThreads(10), Loop: true},
+		},
+		MaxTime:       120,
+		RecordSamples: true,
+		RecordOracle:  true,
+		RateNoise:     0.1,
+		Seed:          7,
+	})
+
+	restart := eval
+	restart.Hardware = churnHardware(t, 5, eval.Cores, trace.LowFrequency, 200)
+	requireEquivalent(t, "restart-join", Scenario{
+		Machine: restart,
+		Programs: []ProgramSpec{
+			{Program: mustProgram(t, "swim"), Policy: FixedThreads(28), Target: true, StartDelay: 50.05},
+			{Program: mustProgram(t, "art"), Policy: FixedThreads(4), Loop: true},
+		},
+		MaxTime:       200,
+		RecordSamples: true,
+	})
+
+	solo := eval
+	requireEquivalent(t, "solo-static", Scenario{
+		Machine: solo,
+		Programs: []ProgramSpec{
+			{Program: mustProgram(t, "lu"), Policy: FixedThreads(32), Target: true},
+		},
+		MaxTime:       500,
+		RecordSamples: true,
+	})
+
+	grid := Train12()
+	grid.Hardware = churnHardware(t, 41, grid.Cores, trace.HighFrequency, 150)
+	requireEquivalent(t, "custom-grid", Scenario{
+		Machine: grid,
+		Programs: []ProgramSpec{
+			{Program: mustProgram(t, "mg"), Policy: FixedThreads(9), Target: true},
+			{Program: mustProgram(t, "cg"), Policy: FixedThreads(5), Loop: true},
+		},
+		MaxTime:         150,
+		DT:              0.05,
+		ControlInterval: 0.3,
+		RecordSamples:   true,
+		RecordOracle:    true,
+	})
+}
+
+// TestHWScheduleMatchesAvailableAt pins the precomputed availability
+// schedule to MachineConfig.availableAt bit for bit: at every step of the
+// grid both must report the same processor count, including storm traces
+// with off-grid breakpoints and several events per step.
+func TestHWScheduleMatchesAvailableAt(t *testing.T) {
+	traces := []*trace.HardwareTrace{
+		nil,
+		trace.StaticHardware(32),
+		stormHardware(t),
+		churnHardware(t, 3, 32, trace.LowFrequency, 300),
+		churnHardware(t, 17, 32, trace.HighFrequency, 300),
+	}
+	for ti, hw := range traces {
+		for _, dt := range []float64{DefaultDT, 0.05, 0.13} {
+			cfg := Eval32()
+			cfg.Hardware = hw
+			e, err := newEngine(Scenario{
+				Machine:  cfg,
+				Programs: []ProgramSpec{{Program: mustProgram(t, "lu"), Policy: FixedThreads(4)}},
+				MaxTime:  300,
+				DT:       dt,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for step := 0; step <= e.steps; step++ {
+				want := e.cfg.availableAt(float64(step) * dt)
+				got := e.availAt(step)
+				if got != want {
+					t.Fatalf("trace %d dt=%g step %d: schedule says %d, availableAt says %d", ti, dt, step, got, want)
+				}
+			}
+			_ = ti
+		}
+	}
+}
+
+// FuzzSteppingEquivalence feeds randomized scenarios through both stepping
+// modes and requires the differential contract to hold.
+func FuzzSteppingEquivalence(f *testing.F) {
+	f.Add(uint64(1), uint8(2), uint8(0), false, false)
+	f.Add(uint64(42), uint8(3), uint8(1), true, true)
+	f.Add(uint64(77), uint8(1), uint8(2), true, false)
+	f.Fuzz(func(t *testing.T, seed uint64, nProg, freq uint8, noise, oracle bool) {
+		rng := trace.NewRNG(seed<<1 | 1)
+		names := workload.Names()
+		n := 1 + int(nProg%4)
+		cfg := Eval32()
+		switch freq % 3 {
+		case 0:
+			cfg.Hardware = nil
+		case 1:
+			hw, err := trace.GenerateHardware(rng, cfg.Cores, trace.LowFrequency, 120)
+			if err != nil {
+				t.Skip()
+			}
+			cfg.Hardware = hw
+		case 2:
+			hw, err := trace.GenerateHardware(rng, cfg.Cores, trace.HighFrequency, 120)
+			if err != nil {
+				t.Skip()
+			}
+			cfg.Hardware = hw
+		}
+		s := Scenario{
+			Machine:       cfg,
+			MaxTime:       40 + 40*rng.Float64(),
+			RecordSamples: true,
+			RecordOracle:  oracle,
+			Seed:          seed + 1,
+		}
+		if noise {
+			s.RateNoise = 0.02 + 0.1*rng.Float64()
+		}
+		for i := 0; i < n; i++ {
+			p, err := workload.ByName(names[rng.Intn(len(names))])
+			if err != nil {
+				t.Fatal(err)
+			}
+			spec := ProgramSpec{Program: p, Loop: i > 0}
+			if i == 0 {
+				spec.Target = true
+			} else {
+				spec.StartDelay = 20 * rng.Float64()
+			}
+			if rng.Float64() < 0.25 {
+				spec.Policy = OraclePolicy{}
+			} else {
+				spec.Policy = FixedThreads(1 + rng.Intn(cfg.Cores))
+			}
+			s.Programs = append(s.Programs, spec)
+		}
+		requireEquivalent(t, "fuzz", s)
+	})
+}

@@ -20,6 +20,17 @@ import (
 // each program's core allocation (Σ ≤ avail, allocation_i ≤ demands_i).
 func ProgramShares(demands []int, avail int) []float64 {
 	out := make([]float64, len(demands))
+	programSharesInto(out, demands, avail)
+	return out
+}
+
+// programSharesInto is ProgramShares writing into a caller-owned slice
+// (len(out) must equal len(demands)) so the engine's stepping loop can
+// water-fill into a reusable scratch buffer without allocating.
+func programSharesInto(out []float64, demands []int, avail int) {
+	for i := range out {
+		out[i] = 0
+	}
 	remaining := float64(avail)
 	unsat := 0
 	for _, d := range demands {
@@ -56,7 +67,6 @@ func ProgramShares(demands []int, avail int) []float64 {
 			break
 		}
 	}
-	return out
 }
 
 // demand returns the instance's current runnable thread count: regions
@@ -76,7 +86,51 @@ func (in *instance) demand() int {
 // phase; serial progress ignores n). Other instances are taken at their
 // current demands.
 func progressRate(in *instance, insts []*instance, es *engineState, avail, n int) float64 {
-	demands := make([]int, 0, len(insts))
+	if !in.arrived || in.finished {
+		return 0
+	}
+	if in.serialLeft <= 0 && n != in.threads {
+		// Hypothetical thread counts change the demand vector; take the
+		// general path.
+		return hypotheticalRate(in, insts, es, avail, n)
+	}
+	// At the instance's actual demand the demand vector — and therefore
+	// the water-filled shares — is the same for every instance, so it is
+	// computed once per step and shared until a demand moves
+	// (es.sharesValid).
+	if !es.sharesValid {
+		es.refreshShares(insts, avail)
+	}
+	otherThreads := 0
+	otherMem := 0.0
+	for _, o := range insts {
+		if !o.arrived || o.finished || o == in {
+			continue
+		}
+		dem := o.demand()
+		otherThreads += dem
+		region := o.region
+		active := dem
+		if active > region.Grain {
+			active = region.Grain
+		}
+		otherMem += float64(active) * region.MemIntensity
+	}
+	share := es.sharesBuf[in.compactIdx]
+	if in.serialLeft > 0 {
+		return serialRate(&es.cfg, in.region, share, otherThreads+1, otherMem, avail)
+	}
+	return parallelRate(&es.cfg, in.region, n, share, otherThreads, otherMem, avail)
+}
+
+// hypotheticalRate is progressRate for a thread count the instance is not
+// actually running (oracle labels, curve evaluation): the self demand
+// differs from the shared per-step vector, so demands and shares are
+// rebuilt. It clobbers the scratch buffers and so invalidates the shared
+// shares.
+func hypotheticalRate(in *instance, insts []*instance, es *engineState, avail, n int) float64 {
+	es.sharesValid = false
+	demands := es.demandsBuf[:0]
 	otherThreads := 0
 	otherMem := 0.0
 	self := -1
@@ -96,22 +150,23 @@ func progressRate(in *instance, insts []*instance, es *engineState, avail, n int
 		dem := o.demand()
 		demands = append(demands, dem)
 		otherThreads += dem
-		region := o.spec.Program.RegionAt(o.regionIdx)
+		region := o.region
 		active := dem
 		if active > region.Grain {
 			active = region.Grain
 		}
 		otherMem += float64(active) * region.MemIntensity
 	}
+	es.demandsBuf = demands
 	if self < 0 {
 		return 0
 	}
-	shares := ProgramShares(demands, avail)
-	region := in.spec.Program.RegionAt(in.regionIdx)
+	shares := es.sharesBuf[:len(demands)]
+	programSharesInto(shares, demands, avail)
 	if in.serialLeft > 0 {
-		return serialRate(es.cfg, region, shares[self], otherThreads+1, otherMem, avail)
+		return serialRate(&es.cfg, in.region, shares[self], otherThreads+1, otherMem, avail)
 	}
-	return parallelRate(es.cfg, region, n, shares[self], otherThreads, otherMem, avail)
+	return parallelRate(&es.cfg, in.region, n, shares[self], otherThreads, otherMem, avail)
 }
 
 // parallelPhaseRate computes the rate the instance's *parallel* phase would
@@ -119,7 +174,8 @@ func progressRate(in *instance, insts []*instance, es *engineState, avail, n int
 // the oracle label and thread policies care about (thread counts only
 // matter once the region fans out).
 func parallelPhaseRate(in *instance, insts []*instance, es *engineState, avail, n int) float64 {
-	demands := make([]int, 0, len(insts))
+	es.sharesValid = false
+	demands := es.demandsBuf[:0]
 	otherThreads := 0
 	otherMem := 0.0
 	self := -1
@@ -135,19 +191,20 @@ func parallelPhaseRate(in *instance, insts []*instance, es *engineState, avail, 
 		dem := o.demand()
 		demands = append(demands, dem)
 		otherThreads += dem
-		region := o.spec.Program.RegionAt(o.regionIdx)
+		region := o.region
 		active := dem
 		if active > region.Grain {
 			active = region.Grain
 		}
 		otherMem += float64(active) * region.MemIntensity
 	}
+	es.demandsBuf = demands
 	if self < 0 {
 		return 0
 	}
-	shares := ProgramShares(demands, avail)
-	region := in.spec.Program.RegionAt(in.regionIdx)
-	return parallelRate(es.cfg, region, n, shares[self], otherThreads, otherMem, avail)
+	shares := es.sharesBuf[:len(demands)]
+	programSharesInto(shares, demands, avail)
+	return parallelRate(&es.cfg, in.region, n, shares[self], otherThreads, otherMem, avail)
 }
 
 // parallelRate is the performance model for a region's parallel phase: work
@@ -163,7 +220,7 @@ func parallelPhaseRate(in *instance, insts []*instance, es *engineState, avail, 
 // memory-bound regions; thread counts beyond the slot buy no CPU but pay
 // synchronization, switching and locality costs; affinity scheduling
 // suppresses the migration cost.
-func parallelRate(cfg MachineConfig, region workload.Region, n int, slot float64, otherThreads int, otherMemPressure float64, avail int) float64 {
+func parallelRate(cfg *MachineConfig, region *workload.Region, n int, slot float64, otherThreads int, otherMemPressure float64, avail int) float64 {
 	if n < 1 {
 		n = 1
 	}
@@ -223,7 +280,7 @@ func parallelRate(cfg MachineConfig, region workload.Region, n int, slot float64
 // serialRate is the performance model for a region's serial prologue: one
 // runnable thread, so thread count and synchronization play no role, but
 // memory contention and migration still apply.
-func serialRate(cfg MachineConfig, region workload.Region, slot float64, totalThreads int, otherMemPressure float64, avail int) float64 {
+func serialRate(cfg *MachineConfig, region *workload.Region, slot float64, totalThreads int, otherMemPressure float64, avail int) float64 {
 	if avail < 1 {
 		avail = 1
 	}
@@ -245,7 +302,7 @@ func serialRate(cfg MachineConfig, region workload.Region, slot float64, totalTh
 // threads across up to min(n, sockets) sockets; with affinity threads are
 // packed onto the fewest sockets that hold them. Memory-bound code pays
 // for every remote socket in play.
-func numaFactor(cfg MachineConfig, region workload.Region, n int) float64 {
+func numaFactor(cfg *MachineConfig, region *workload.Region, n int) float64 {
 	if cfg.Sockets <= 1 {
 		return 0
 	}
@@ -272,7 +329,7 @@ func numaFactor(cfg MachineConfig, region workload.Region, n int) float64 {
 // migrationFactor models lost locality from OS thread migration;
 // memory-intensive code pays most, and affinity scheduling (§7.6) pins
 // threads and removes most of the cost.
-func migrationFactor(cfg MachineConfig, region workload.Region, totalThreads float64, avail int) float64 {
+func migrationFactor(cfg *MachineConfig, region *workload.Region, totalThreads float64, avail int) float64 {
 	churn := math.Min(1, totalThreads/float64(avail))
 	migration := cfg.MigrationPenalty * region.MemIntensity * churn
 	if cfg.Affinity {
@@ -284,7 +341,7 @@ func migrationFactor(cfg MachineConfig, region workload.Region, totalThreads flo
 // regionRate is the amortized whole-region rate (serial prologue plus
 // parallel phase) used by calibration tooling: the harmonic composition of
 // the two phases weighted by the region's parallel fraction.
-func regionRate(cfg MachineConfig, region workload.Region, n int, slot float64, otherThreads int, otherMemPressure float64, avail int) float64 {
+func regionRate(cfg *MachineConfig, region *workload.Region, n int, slot float64, otherThreads int, otherMemPressure float64, avail int) float64 {
 	p := region.ParallelFrac
 	ser := serialRate(cfg, region, math.Min(slot, 1), otherThreads+1, otherMemPressure, avail)
 	par := parallelRate(cfg, region, n, slot, otherThreads, otherMemPressure, avail)

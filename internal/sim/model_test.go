@@ -17,9 +17,9 @@ func TestParallelRateScalesWithThreads(t *testing.T) {
 	cfg := Eval32().withDefaults()
 	r := testRegion(0.99, 0.05, 0.001, 256)
 	// Isolated: the whole machine is the slot.
-	r1 := parallelRate(cfg, r, 1, 32, 0, 0, 32)
-	r16 := parallelRate(cfg, r, 16, 32, 0, 0, 32)
-	r32 := parallelRate(cfg, r, 32, 32, 0, 0, 32)
+	r1 := parallelRate(&cfg, &r, 1, 32, 0, 0, 32)
+	r16 := parallelRate(&cfg, &r, 16, 32, 0, 0, 32)
+	r32 := parallelRate(&cfg, &r, 32, 32, 0, 0, 32)
 	if !(r32 > r16 && r16 > r1) {
 		t.Errorf("compute-bound region should scale: %v %v %v", r1, r16, r32)
 	}
@@ -31,8 +31,8 @@ func TestParallelRateScalesWithThreads(t *testing.T) {
 func TestParallelRateGrainCaps(t *testing.T) {
 	cfg := Eval32().withDefaults()
 	r := testRegion(0.95, 0.3, 0.005, 8)
-	r8 := parallelRate(cfg, r, 8, 32, 0, 0, 32)
-	r32 := parallelRate(cfg, r, 32, 32, 0, 0, 32)
+	r8 := parallelRate(&cfg, &r, 8, 32, 0, 0, 32)
+	r32 := parallelRate(&cfg, &r, 32, 32, 0, 0, 32)
 	if r32 >= r8 {
 		t.Errorf("threads beyond grain should not help: r8=%v r32=%v", r8, r32)
 	}
@@ -42,7 +42,7 @@ func TestParallelRateSyncPenalty(t *testing.T) {
 	cfg := Eval32().withDefaults()
 	quiet := testRegion(0.95, 0.3, 0.001, 64)
 	noisy := testRegion(0.95, 0.3, 0.05, 64)
-	if parallelRate(cfg, noisy, 32, 32, 0, 0, 32) >= parallelRate(cfg, quiet, 32, 32, 0, 0, 32) {
+	if parallelRate(&cfg, &noisy, 32, 32, 0, 0, 32) >= parallelRate(&cfg, &quiet, 32, 32, 0, 0, 32) {
 		t.Error("higher sync cost should slow a wide region")
 	}
 }
@@ -50,15 +50,15 @@ func TestParallelRateSyncPenalty(t *testing.T) {
 func TestParallelRateContention(t *testing.T) {
 	cfg := Eval32().withDefaults()
 	memBound := testRegion(0.95, 0.9, 0.005, 32)
-	loaded := parallelRate(cfg, memBound, 8, 8, 96, 80, 32)
-	alone := parallelRate(cfg, memBound, 8, 8, 0, 0, 32)
+	loaded := parallelRate(&cfg, &memBound, 8, 8, 96, 80, 32)
+	alone := parallelRate(&cfg, &memBound, 8, 8, 0, 0, 32)
 	if loaded >= alone {
 		t.Error("memory pressure from co-runners should depress a memory-bound region")
 	}
 	computeBound := testRegion(0.95, 0.05, 0.005, 32)
 	dropMem := alone / loaded
-	dropCompute := parallelRate(cfg, computeBound, 8, 8, 0, 0, 32) /
-		parallelRate(cfg, computeBound, 8, 8, 96, 80, 32)
+	dropCompute := parallelRate(&cfg, &computeBound, 8, 8, 0, 0, 32) /
+		parallelRate(&cfg, &computeBound, 8, 8, 96, 80, 32)
 	if dropCompute >= dropMem {
 		t.Errorf("memory-bound code should suffer more from contention: %v vs %v", dropMem, dropCompute)
 	}
@@ -73,7 +73,7 @@ func TestParallelRateOversubscriptionOptimum(t *testing.T) {
 	slot := 4.6
 	bestN, bestV := 0, -1.0
 	for n := 1; n <= 32; n++ {
-		v := parallelRate(cfg, r, n, slot, 192, 120, 32)
+		v := parallelRate(&cfg, &r, n, slot, 192, 120, 32)
 		if v > bestV {
 			bestN, bestV = n, v
 		}
@@ -81,7 +81,7 @@ func TestParallelRateOversubscriptionOptimum(t *testing.T) {
 	if bestN > 12 {
 		t.Errorf("loaded optimum at %d threads; expected near the slot (~5)", bestN)
 	}
-	wide := parallelRate(cfg, r, 32, slot, 192, 120, 32)
+	wide := parallelRate(&cfg, &r, 32, slot, 192, 120, 32)
 	if wide >= bestV*0.95 {
 		t.Error("machine-width threading should be visibly worse than the optimum under load")
 	}
@@ -90,11 +90,11 @@ func TestParallelRateOversubscriptionOptimum(t *testing.T) {
 func TestSerialRate(t *testing.T) {
 	cfg := Eval32().withDefaults()
 	r := testRegion(0.9, 0.5, 0.01, 32)
-	full := serialRate(cfg, r, 1, 1, 0, 32)
+	full := serialRate(&cfg, &r, 1, 1, 0, 32)
 	if full > 1 {
 		t.Errorf("serial speed cannot exceed one core: %v", full)
 	}
-	squeezed := serialRate(cfg, r, 0.5, 200, 100, 32)
+	squeezed := serialRate(&cfg, &r, 0.5, 200, 100, 32)
 	if squeezed >= full {
 		t.Error("a squeezed slot plus contention should slow the serial phase")
 	}
@@ -105,15 +105,15 @@ func TestAffinityReducesMigrationCost(t *testing.T) {
 	withAff := base
 	withAff.Affinity = true
 	r := testRegion(0.95, 0.8, 0.01, 32)
-	plain := parallelRate(base, r, 8, 8, 64, 40, 32)
-	pinned := parallelRate(withAff, r, 8, 8, 64, 40, 32)
+	plain := parallelRate(&base, &r, 8, 8, 64, 40, 32)
+	pinned := parallelRate(&withAff, &r, 8, 8, 64, 40, 32)
 	if pinned <= plain {
 		t.Error("affinity should speed up a memory-bound region on a busy machine")
 	}
 	// Compute-bound code barely cares.
 	c := testRegion(0.99, 0.02, 0.001, 64)
-	plainC := parallelRate(base, c, 8, 8, 64, 40, 32)
-	pinnedC := parallelRate(withAff, c, 8, 8, 64, 40, 32)
+	plainC := parallelRate(&base, &c, 8, 8, 64, 40, 32)
+	pinnedC := parallelRate(&withAff, &c, 8, 8, 64, 40, 32)
 	if (pinned/plain - 1) <= (pinnedC/plainC - 1) {
 		t.Error("affinity gain should be larger for memory-bound code")
 	}
@@ -123,8 +123,8 @@ func TestRegionRateComposesPhases(t *testing.T) {
 	cfg := Eval32().withDefaults()
 	r := testRegion(0.5, 0.1, 0.001, 64)
 	// With p=0.5, even infinite parallelism at most doubles throughput.
-	r32 := regionRate(cfg, r, 32, 32, 0, 0, 32)
-	r1 := regionRate(cfg, r, 1, 32, 0, 0, 32)
+	r32 := regionRate(&cfg, &r, 32, 32, 0, 0, 32)
+	r1 := regionRate(&cfg, &r, 1, 32, 0, 0, 32)
 	if r32/r1 > 2.01 {
 		t.Errorf("Amdahl bound violated: speedup %v with p=0.5", r32/r1)
 	}

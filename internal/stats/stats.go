@@ -153,6 +153,12 @@ type EMA struct {
 
 	value       float64
 	initialized bool
+	// lastDT/lastAlpha memoize the decay factor: simulation loops call
+	// Update with the same dt millions of times, and recomputing
+	// 1−exp(−dt/τ) dominated the engine's profile. Reusing the cached
+	// value is bitwise identical to recomputing it.
+	lastDT    float64
+	lastAlpha float64
 }
 
 // NewEMA returns an EMA with the given time constant. The first Update seeds
@@ -172,8 +178,36 @@ func (e *EMA) Update(x, dt float64) float64 {
 	if dt <= 0 || e.TimeConstant <= 0 {
 		return e.value
 	}
-	alpha := 1 - math.Exp(-dt/e.TimeConstant)
-	e.value += alpha * (x - e.value)
+	if dt != e.lastDT {
+		e.lastDT = dt
+		e.lastAlpha = 1 - math.Exp(-dt/e.TimeConstant)
+	}
+	e.value += e.lastAlpha * (x - e.value)
+	return e.value
+}
+
+// UpdateSteady advances the average by elapsed time under a *constant*
+// input x and returns the new average. It is the closed-form solution of
+// the EMA recurrence for piecewise-constant signals:
+//
+//	ema' = x + (ema − x)·exp(−Δt/τ)
+//
+// One UpdateSteady(x, k·dt) call is algebraically identical to k
+// successive Update(x, dt) calls — (1 − α)^k with α = 1 − exp(−dt/τ) is
+// exactly exp(−k·dt/τ) — which is what lets the event-horizon simulation
+// engine leap over runs of identical timesteps without perturbing load
+// averages. An uninitialized average seeds to x, exactly as the first of
+// the k iterated updates would.
+func (e *EMA) UpdateSteady(x, elapsed float64) float64 {
+	if !e.initialized {
+		e.value = x
+		e.initialized = true
+		return e.value
+	}
+	if elapsed <= 0 || e.TimeConstant <= 0 {
+		return e.value
+	}
+	e.value = x + (e.value-x)*math.Exp(-elapsed/e.TimeConstant)
 	return e.value
 }
 

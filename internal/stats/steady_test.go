@@ -1,0 +1,89 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+// splitmix64 gives the test a tiny deterministic RNG without importing the
+// trace package (stats sits below it in the dependency order).
+type splitmix64 uint64
+
+func (s *splitmix64) next() uint64 {
+	*s += 0x9e3779b97f4a7c15
+	z := uint64(*s)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (s *splitmix64) float() float64 {
+	return float64(s.next()>>11) / (1 << 53)
+}
+
+// TestUpdateSteadyMatchesIterated is the closed-form property test: over
+// random (τ, Δt, x) sequences, one UpdateSteady(x, k·Δt) call must agree
+// with k iterated Update(x, Δt) calls within 1e-12 relative — the identity
+// (1−α)^k = exp(−k·Δt/τ) that the event-horizon engine leans on.
+func TestUpdateSteadyMatchesIterated(t *testing.T) {
+	rng := splitmix64(0xfeed)
+	for trial := 0; trial < 500; trial++ {
+		tau := 0.5 + 600*rng.float()
+		dt := 0.01 + 0.5*rng.float()
+		iter := NewEMA(tau)
+		steady := NewEMA(tau)
+		// A run of constant-input segments, like the quiet stretches the
+		// event engine leaps over. The tolerance is 1e-12 relative to the
+		// signal magnitude: when the average crosses zero its own value is
+		// no longer a meaningful scale for rounding noise inherited from
+		// O(|x|) intermediates.
+		sigScale := 1.0
+		for seg := 0; seg < 20; seg++ {
+			x := -50 + 100*rng.float()
+			if math.Abs(x) > sigScale {
+				sigScale = math.Abs(x)
+			}
+			k := 1 + int(rng.next()%400)
+			for i := 0; i < k; i++ {
+				iter.Update(x, dt)
+			}
+			steady.UpdateSteady(x, float64(k)*dt)
+
+			a, b := iter.Value(), steady.Value()
+			if math.Abs(a-b) > 1e-12*sigScale {
+				t.Fatalf("trial %d seg %d (τ=%.3g Δt=%.3g x=%.3g k=%d): iterated=%.17g steady=%.17g",
+					trial, seg, tau, dt, x, k, a, b)
+			}
+		}
+	}
+}
+
+// TestUpdateSteadyEdgeCases pins the boundary behaviour shared with Update:
+// the first call seeds the value, and non-positive elapsed time or time
+// constant leaves it untouched.
+func TestUpdateSteadyEdgeCases(t *testing.T) {
+	e := NewEMA(10)
+	if got := e.UpdateSteady(3.5, 42); got != 3.5 {
+		t.Fatalf("first UpdateSteady should seed with x, got %g", got)
+	}
+	if got := e.UpdateSteady(100, 0); got != 3.5 {
+		t.Fatalf("elapsed=0 must be a no-op, got %g", got)
+	}
+	if got := e.UpdateSteady(100, -1); got != 3.5 {
+		t.Fatalf("negative elapsed must be a no-op, got %g", got)
+	}
+	froz := &EMA{TimeConstant: 0}
+	froz.UpdateSteady(1, 1)
+	if got := froz.UpdateSteady(9, 5); got != 1 {
+		t.Fatalf("zero time constant must freeze the value, got %g", got)
+	}
+
+	// A long steady stretch must converge to the input, as the iterated
+	// form does.
+	e2 := NewEMA(2)
+	e2.Update(0, 1)
+	e2.UpdateSteady(7, 1e6)
+	if math.Abs(e2.Value()-7) > 1e-9 {
+		t.Fatalf("steady update should converge to input, got %g", e2.Value())
+	}
+}

@@ -89,6 +89,11 @@ type Config struct {
 	// the root seed serially before the fan-out, so the generated dataset
 	// is byte-identical for every worker count.
 	Workers int
+	// Stepping selects the simulation engine for the training runs. The
+	// zero value is the fixed-dt reference (keeping zero-config datasets
+	// byte-identical across releases); cmd/moetrain defaults its
+	// -stepping flag to the event-horizon engine.
+	Stepping sim.SteppingMode
 }
 
 func (c Config) withDefaults() (Config, error) {
@@ -135,7 +140,12 @@ func ClassifyScalability(prog *workload.Program, machine sim.MachineConfig) (Sca
 	run := func(n int) (float64, error) {
 		p := prog.Clone()
 		res, err := sim.Run(sim.Scenario{
-			Machine: machine,
+			// A solo static run is maximally quiet, so the event
+			// engine classifies in a handful of leaps; ExecTime
+			// matches the reference within 1e-9, far below the P/4
+			// rule's margins.
+			Stepping: sim.SteppingEvent,
+			Machine:  machine,
 			Programs: []sim.ProgramSpec{
 				{Program: p, Policy: sim.FixedThreads(n), Target: true},
 			},
@@ -382,6 +392,7 @@ func generateRun(cfg Config, machine sim.MachineConfig, scalable map[string]bool
 	}
 
 	res, err := sim.Run(sim.Scenario{
+		Stepping:      cfg.Stepping,
 		Machine:       m,
 		Programs:      specs,
 		MaxTime:       cfg.Duration,

@@ -1,0 +1,54 @@
+package workload
+
+import "testing"
+
+// TestDerivedCachesPinEquality pins the finalize-time caches to the
+// on-demand computation: for every catalog program the cached
+// AvgMemIntensity/AvgSyncCost must be bitwise equal to what a hand-built
+// copy of the same program (which never passed through finalize) computes
+// from scratch. Both paths must keep running the identical loop.
+func TestDerivedCachesPinEquality(t *testing.T) {
+	for _, name := range Names() {
+		p, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !p.derivedValid {
+			t.Fatalf("%s: catalog program did not pass through finalize", name)
+		}
+		// A hand-built program: same visible fields, no finalize.
+		hand := &Program{
+			Name:         p.Name,
+			Suite:        p.Suite,
+			Regions:      append([]Region(nil), p.Regions...),
+			Iterations:   p.Iterations,
+			WorkingSetGB: p.WorkingSetGB,
+		}
+		if got, want := p.AvgMemIntensity(), hand.AvgMemIntensity(); got != want {
+			t.Errorf("%s: cached AvgMemIntensity %.17g != computed %.17g", name, got, want)
+		}
+		if got, want := p.AvgSyncCost(), hand.AvgSyncCost(); got != want {
+			t.Errorf("%s: cached AvgSyncCost %.17g != computed %.17g", name, got, want)
+		}
+	}
+}
+
+// TestDerivedCachesSurviveScaleWork checks that rescaling work — which
+// changes the weights uniformly and so perturbs the floating-point result —
+// refreshes the caches rather than serving stale values.
+func TestDerivedCachesSurviveScaleWork(t *testing.T) {
+	p, err := ByName("lu")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p = p.Clone()
+	if err := p.ScaleWork(0.3); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := p.AvgMemIntensity(), p.computeAvgMemIntensity(); got != want {
+		t.Errorf("AvgMemIntensity stale after ScaleWork: cached %.17g computed %.17g", got, want)
+	}
+	if got, want := p.AvgSyncCost(), p.computeAvgSyncCost(); got != want {
+		t.Errorf("AvgSyncCost stale after ScaleWork: cached %.17g computed %.17g", got, want)
+	}
+}

@@ -68,6 +68,13 @@ type Program struct {
 	WorkingSetGB float64
 	// totalInstructions normalizes the code features (§5.2.2).
 	totalInstructions float64
+	// avgMemIntensity/avgSyncCost cache the work-weighted region means;
+	// derivedValid marks them usable. finalize fills them for catalog
+	// programs; hand-built Programs that never pass through finalize fall
+	// back to computing on demand, so the cache is invisible to callers.
+	avgMemIntensity float64
+	avgSyncCost     float64
+	derivedValid    bool
 }
 
 // Validate checks model invariants. It is called by the catalog constructor
@@ -111,6 +118,9 @@ func (p *Program) finalize() {
 		total += r.Instructions
 	}
 	p.totalInstructions = total * float64(p.Iterations)
+	p.avgMemIntensity = p.computeAvgMemIntensity()
+	p.avgSyncCost = p.computeAvgSyncCost()
+	p.derivedValid = true
 }
 
 // TotalInstructions returns the instruction total used for normalization.
@@ -147,6 +157,13 @@ func (p *Program) CodeFeatures(idx int) features.Code {
 // AvgMemIntensity returns the work-weighted mean memory intensity, used by
 // the finer-granularity expert split (§8.4).
 func (p *Program) AvgMemIntensity() float64 {
+	if p.derivedValid {
+		return p.avgMemIntensity
+	}
+	return p.computeAvgMemIntensity()
+}
+
+func (p *Program) computeAvgMemIntensity() float64 {
 	var sum, w float64
 	for _, r := range p.Regions {
 		sum += r.MemIntensity * r.Work
@@ -160,6 +177,13 @@ func (p *Program) AvgMemIntensity() float64 {
 
 // AvgSyncCost returns the work-weighted mean synchronization cost.
 func (p *Program) AvgSyncCost() float64 {
+	if p.derivedValid {
+		return p.avgSyncCost
+	}
+	return p.computeAvgSyncCost()
+}
+
+func (p *Program) computeAvgSyncCost() float64 {
 	var sum, w float64
 	for _, r := range p.Regions {
 		sum += r.SyncCost * r.Work
@@ -187,6 +211,10 @@ func (p *Program) ScaleWork(factor float64) error {
 	}
 	for i := range p.Regions {
 		p.Regions[i].Work *= factor
+	}
+	if p.derivedValid {
+		p.avgMemIntensity = p.computeAvgMemIntensity()
+		p.avgSyncCost = p.computeAvgSyncCost()
 	}
 	return nil
 }

@@ -77,6 +77,10 @@ type Simulation struct {
 	Cores int
 	// Affinity enables affinity scheduling (§7.6).
 	Affinity bool
+	// ReferenceStepping forces the fixed-dt reference engine. By default
+	// simulations run on the event-horizon engine, which produces the
+	// same observables within 1e-9 relative at a fraction of the cost.
+	ReferenceStepping bool
 }
 
 // SimulationResult reports a finished simulation.
@@ -125,7 +129,12 @@ func Simulate(s Simulation) (*SimulationResult, error) {
 		}
 		specs = append(specs, sim.ProgramSpec{Program: wp.Clone(), Policy: wpol, Loop: true})
 	}
+	stepping := sim.SteppingEvent
+	if s.ReferenceStepping {
+		stepping = sim.SteppingFixed
+	}
 	res, err := sim.Run(sim.Scenario{
+		Stepping:  stepping,
 		Machine:   machine,
 		Programs:  specs,
 		MaxTime:   maxTime,

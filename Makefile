@@ -14,20 +14,23 @@ race:
 vet:
 	$(GO) vet ./...
 
-# bench regenerates the committed perf baseline: it measures both simulation
-# engines on the canonical scenario (min-of-3, two-point step-loop
-# derivation) and rewrites BENCH_PR5.json in place. Commit the result when
-# the engine changes on purpose.
+# bench regenerates the committed perf baselines: the engine comparison
+# (BENCH_PR5.json, min-of-3, two-point step-loop derivation) and the decision
+# throughput study (BENCH_PR6.json, single-shot Decide vs DecideBatch vs
+# sharded batch, interleaved-slice paired minima). Commit the results when
+# the engine or the decision hot path changes on purpose.
 bench:
 	$(GO) run ./cmd/moebench -bench-json BENCH_PR5.json
+	$(GO) run ./cmd/moebench -throughput-json BENCH_PR6.json
 
-# bench-smoke is the CI guard: a cheap fixed-iteration run of the sim
-# stepping-loop microbenchmarks that fails if the steady-state loop ever
-# allocates again. Timing is not asserted (CI machines are too noisy); the
-# allocs/op == 0 invariant is.
+# bench-smoke is the CI guard: cheap fixed-iteration runs of the sim
+# stepping-loop and batch decision microbenchmarks that fail if either
+# steady-state loop ever allocates again. Timing is not asserted (CI
+# machines are too noisy); the allocs/op == 0 invariant is.
 bench-smoke:
 	$(GO) test ./internal/sim -run=NONE -bench 'StepLoop' -benchmem -benchtime=100x -count=2 | tee bench-smoke.txt
+	$(GO) test . -run=NONE -bench 'DecideBatchSteady' -benchmem -benchtime=100x -count=2 | tee -a bench-smoke.txt
 	@if grep -E '[1-9][0-9]* allocs/op' bench-smoke.txt; then \
-		echo 'bench-smoke: stepping loop allocates'; exit 1; \
+		echo 'bench-smoke: a steady-state hot loop allocates'; exit 1; \
 	fi
 	@grep -c ' 0 allocs/op' bench-smoke.txt > /dev/null

@@ -116,6 +116,21 @@ func (r *Runtime) restoreLocked(st *checkpoint.State) error {
 	r.lastAvail = st.LastAvail
 	r.sanitized = st.Sanitized
 	r.hist = stats.NewHistogramFromCounts(st.Hist)
+	// Rebuild the flat mirror behind the histogram read shard and
+	// republish, so accessors see the restored state immediately.
+	r.histArr = make([]int64, r.maxThreads+1)
+	r.histTotal = 0
+	for n, c := range st.Hist {
+		if c <= 0 {
+			continue
+		}
+		for len(r.histArr) <= n {
+			r.histArr = append(r.histArr, 0)
+		}
+		r.histArr[n] += int64(c)
+		r.histTotal += int64(c)
+	}
+	r.publishLocked()
 	return nil
 }
 
@@ -154,11 +169,12 @@ func (r *Runtime) AttachStore(store *CheckpointStore, checkpointEvery int) error
 
 // CheckpointErr returns the first checkpoint write failure, if any.
 // Decisions continue in memory after a failure; a host that requires
-// durability should poll this and fail over.
+// durability should poll this and fail over. Shard-backed: reflects state
+// as of the last completed decision call, and never blocks on one.
 func (r *Runtime) CheckpointErr() error {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return r.ckptErr
+	r.counters.mu.RLock()
+	defer r.counters.mu.RUnlock()
+	return r.counters.ckptErr
 }
 
 // Resume loads the store's newest recoverable state into this freshly
@@ -194,6 +210,7 @@ func (r *Runtime) Resume(store *CheckpointStore) (*CheckpointRecovery, error) {
 			AvailableProcs: o.AvailableProcs,
 		}, nil)
 	}
+	r.publishLocked()
 	return rec, nil
 }
 

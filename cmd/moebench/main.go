@@ -119,6 +119,13 @@ var registry = map[string]runner{
 	"telemetry": func(l *experiments.Lab, sc experiments.Scale) (*experiments.Table, error) {
 		return l.TelemetryStudy(sc)
 	},
+	"throughput": func(_ *experiments.Lab, _ experiments.Scale) (*experiments.Table, error) {
+		rep, err := runThroughput()
+		if err != nil {
+			return nil, err
+		}
+		return throughputTable(rep), nil
+	},
 }
 
 // order fixes the -all presentation sequence.
@@ -127,7 +134,7 @@ var order = []string{
 	"fig10", "fig11", "fig12", "fig13a", "fig13b", "fig14a", "fig14b",
 	"fig14c", "fig15a", "fig15b", "fig15c", "fig16", "fig17", "cv",
 	"ablation-gating", "ablation-features", "portability", "churn",
-	"chaos", "restart", "telemetry",
+	"chaos", "restart", "telemetry", "throughput",
 }
 
 func main() {
@@ -141,6 +148,7 @@ func main() {
 	chaosFlag := flag.Bool("chaos", false, "shorthand for -experiment chaos (fault-injection robustness study)")
 	stepping := flag.String("stepping", "event", "simulation engine: event (event-horizon) or fixed (dt-by-dt reference); observables agree within 1e-9")
 	benchJSON := flag.String("bench-json", "", "measure both engines on the canonical scenario, write the JSON report to this path, and exit")
+	throughputJSON := flag.String("throughput-json", "", "measure decision throughput (single vs batched vs sharded), write the JSON report to this path, and exit")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
@@ -160,6 +168,32 @@ func main() {
 			fmt.Fprintf(os.Stderr, "moebench: bench: %v\n", err)
 			stopCPU()
 			os.Exit(1)
+		}
+		return
+	}
+
+	if *throughputJSON != "" {
+		if err := writeThroughputJSON(*throughputJSON); err != nil {
+			fmt.Fprintf(os.Stderr, "moebench: throughput: %v\n", err)
+			stopCPU()
+			os.Exit(1)
+		}
+		return
+	}
+
+	// The throughput study needs no trained lab; serve it before the
+	// training step when it is the only request.
+	if !*all && *experiment == "throughput" && !*list {
+		t, err := registry["throughput"](nil, experiments.QuickScale())
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "moebench: throughput failed: %v\n", err)
+			stopCPU()
+			os.Exit(1)
+		}
+		if *chart {
+			fmt.Print(t.Chart())
+		} else {
+			fmt.Print(t.String())
 		}
 		return
 	}

@@ -150,6 +150,50 @@ func (h *healthTracker) enterQuarantine(e *expertHealth) {
 	e.seen = false
 }
 
+// allOK reports whether every expert is in good standing — the standing
+// precondition of the healthy-regime fast path (see batch.go): with no
+// quarantine or probation live, the reroute and OS-default rungs of the
+// fallback chain provably cannot fire.
+func (h *healthTracker) allOK() bool {
+	for k := range h.experts {
+		if h.experts[k].state != healthOK {
+			return false
+		}
+	}
+	return true
+}
+
+// wouldLeaveOK answers, without mutating anything, whether observing a
+// finite prediction with error rawErr at observedNorm would move expert k
+// out of good standing — and hands back the error EMA that observation
+// would store, computed with observe's exact arithmetic. It mirrors
+// observe's healthOK arm; callers must already have established that the
+// expert is in healthOK. A proven-cold commit stores the returned EMA via
+// commitHealthyEMA instead of re-deriving it.
+func (h *healthTracker) wouldLeaveOK(k int, rawErr, observedNorm float64) (ema float64, leaves bool) {
+	e := &h.experts[k]
+	if math.IsNaN(rawErr) || math.IsInf(rawErr, 0) {
+		return 0, true
+	}
+	r := relErr(rawErr, observedNorm)
+	ema = r
+	if e.seen {
+		ema = e.errEMA + healthEMADecay*(r-e.errEMA)
+	}
+	return ema, ema > quarantineErrRatio
+}
+
+// commitHealthyEMA applies a planned observation to expert k: the plan
+// proved the expert is in good standing and the observation keeps it there
+// (wouldLeaveOK returned false with this ema), which reduces observe's
+// entire healthOK arm — relErr, the finiteness checks, the EMA update and
+// the quarantine branch — to storing the value the plan already computed.
+func (h *healthTracker) commitHealthyEMA(k int, ema float64) {
+	e := &h.experts[k]
+	e.errEMA = ema
+	e.seen = true
+}
+
 // usable reports whether expert k may be selected (good standing or
 // probation).
 func (h *healthTracker) usable(k int) bool {

@@ -86,6 +86,18 @@ type Mixture struct {
 	// decision path's existing values, so enabling it never changes a
 	// decision — the golden-trace tests pin that.
 	detail *decisionDetail
+
+	// fast holds the healthy-regime fast path's preallocated scratch and
+	// memoized gating evaluations (see batch.go); nil until the first
+	// FastPlan.
+	fast *fastScratch
+
+	// fastPrimed records that the last mutation was a FastCommit, which
+	// provably preserves RegimeHealthy (no health transition, detail capture
+	// untouched, pending predictions refreshed, expert pool unchanged) — so
+	// the next FastPlan may skip the standing-regime recheck. Every other
+	// mutator (Decide, the detail toggles, RestoreState) clears it.
+	fastPrimed bool
 }
 
 // decisionDetail is the per-decision scratch the telemetry layer reads.
@@ -144,6 +156,7 @@ func (m *Mixture) Experts() expert.Set {
 // prediction. A disbelieved observation (see trust.go) is neither learned
 // from nor decided on — selection runs against the last trusted state.
 func (m *Mixture) Decide(d sim.Decision) int {
+	m.fastPrimed = false
 	f, repaired := features.Sanitize(d.Features)
 	m.sanitized += repaired
 	observedEnv := f.EnvPart()
@@ -197,7 +210,7 @@ func (m *Mixture) Decide(d sim.Decision) int {
 			pred := m.pendingPred[k]
 			finite[k] = pred.Finite()
 			if finite[k] {
-				errors[k] = pred.Error(observedEnv) * applicabilityFactor(m.experts[k], m.pendingFeat)
+				errors[k] = pred.Error(observedEnv) * applicabilityFactor(m.experts[k], &m.pendingFeat)
 				raw[k] = pred.RawError(observedEnv)
 			} else {
 				// A corrupt expert's NaN must not poison the selector's
@@ -345,7 +358,7 @@ func quarantineGatingError(observedNorm float64) float64 {
 // applicabilityFactor grows the gating error of an expert whose training
 // distribution does not cover the state: 1 in distribution, quadratic in
 // the worst single-feature surprise beyond 3σ.
-func applicabilityFactor(e *expert.Expert, f features.Vector) float64 {
+func applicabilityFactor(e *expert.Expert, f *features.Vector) float64 {
 	z := e.MaxEnvZ(f)
 	if z <= 4 {
 		return 1
@@ -442,9 +455,19 @@ func (m *Mixture) Snapshot() Stats {
 // DecisionDetail to read. Capture is observation only — decisions are
 // byte-identical with it on or off.
 func (m *Mixture) EnableDecisionDetail() {
+	m.fastPrimed = false
 	if m.detail == nil {
 		m.detail = &decisionDetail{selected: -1}
 	}
+}
+
+// DisableDecisionDetail turns per-decision capture back off, returning the
+// mixture to the Healthy-eligible regime set (detail capture forces
+// RegimeObserved; see batch.go). Like enabling, disabling never changes a
+// decision.
+func (m *Mixture) DisableDecisionDetail() {
+	m.fastPrimed = false
+	m.detail = nil
 }
 
 // DecisionDetail implements telemetry.Detailer: it copies the most recent

@@ -140,7 +140,7 @@ func TestApplicabilityFactorMonotone(t *testing.T) {
 			f[i] = 10
 		}
 		f[features.Processors] = 10 + z
-		got := applicabilityFactor(e, f)
+		got := applicabilityFactor(e, &f)
 		if got < 1 {
 			t.Fatalf("factor below 1 at z=%v", z)
 		}

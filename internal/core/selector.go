@@ -126,7 +126,7 @@ func (h *HyperplaneSelector) Pretrain(theta [][]float64, mean, std [features.Dim
 func (h *HyperplaneSelector) Name() string { return "hyperplane" }
 
 // observe folds f into the running standardization statistics (Welford).
-func (h *HyperplaneSelector) observe(f features.Vector) {
+func (h *HyperplaneSelector) observe(f *features.Vector) {
 	h.count++
 	for i := 0; i < features.Dim; i++ {
 		d := f[i] - h.mean[i]
@@ -141,9 +141,12 @@ func (h *HyperplaneSelector) observe(f features.Vector) {
 // feature).
 const standardizeClamp = 2.5
 
-// standardize returns f̃ with a trailing bias term.
-func (h *HyperplaneSelector) standardize(f features.Vector) []float64 {
-	x := make([]float64, features.Dim+1)
+// standardizeInto writes f̃ (with a trailing bias term) into x, which must
+// have length ≥ Dim+1, and returns x[:Dim+1]. It is the allocation-free
+// kernel behind every score computation; callers without scratch pass a
+// fresh slice.
+func (h *HyperplaneSelector) standardizeInto(f *features.Vector, x []float64) []float64 {
+	x = x[:features.Dim+1]
 	for i := 0; i < features.Dim; i++ {
 		sd := 1.0
 		if h.count > 1 {
@@ -163,7 +166,44 @@ func (h *HyperplaneSelector) standardize(f features.Vector) []float64 {
 	return x
 }
 
+// sdInto computes the per-feature standard deviations standardizeInto would
+// use — the exact same expression, including the count and variance guards —
+// into sd (len ≥ Dim). The statistics only change in observe, so within one
+// decision a single sdInto serves every standardization, sparing the
+// per-dimension square roots standardizeInto pays on each call.
+func (h *HyperplaneSelector) sdInto(sd []float64) {
+	sd = sd[:features.Dim] // hoist the bound proof out of the loop
+	for i := 0; i < features.Dim; i++ {
+		s := 1.0
+		if h.count > 1 {
+			if v := h.m2[i] / (h.count - 1); v > 1e-12 {
+				s = math.Sqrt(v)
+			}
+		}
+		sd[i] = s
+	}
+}
+
+// standardizeWithSD is standardizeInto against precomputed deviations: the
+// division is by the identical sd value, so the result is bit-equal.
+func (h *HyperplaneSelector) standardizeWithSD(f *features.Vector, sd, x []float64) []float64 {
+	x = x[:features.Dim+1]
+	sd = sd[:features.Dim] // hoist the bound proof out of the loop
+	for i := 0; i < features.Dim; i++ {
+		z := (f[i] - h.mean[i]) / sd[i]
+		if z > standardizeClamp {
+			z = standardizeClamp
+		} else if z < -standardizeClamp {
+			z = -standardizeClamp
+		}
+		x[i] = z
+	}
+	x[features.Dim] = 1
+	return x
+}
+
 func dot(a, b []float64) float64 {
+	b = b[:len(a)] // hoist the bound proof out of the loop
 	s := 0.0
 	for i := range a {
 		s += a[i] * b[i]
@@ -171,17 +211,36 @@ func dot(a, b []float64) float64 {
 	return s
 }
 
-// scores computes each expert's gating score at f: the hyperplane value
-// discounted by recent prediction error.
-func (h *HyperplaneSelector) scores(f features.Vector) []float64 {
-	x := h.standardize(f)
-	out := make([]float64, h.k)
-	for kk, th := range h.theta {
-		v := dot(th, x)
-		if h.errSeen[kk] && h.scaleEMA > 1e-12 {
-			v -= h.penalty * h.errEMA[kk] / h.scaleEMA
+// scoresWith computes each expert's gating score at f — the hyperplane
+// value discounted by recent prediction error — into caller scratch: x must
+// have length ≥ Dim+1 and out length ≥ k.
+func (h *HyperplaneSelector) scoresWith(f *features.Vector, x, out []float64) []float64 {
+	return h.scoreStandardized(h.standardizeInto(f, x), out)
+}
+
+// scoreStandardized computes the gating scores from an already-standardized
+// x̃ — the shared tail of scoresWith and the sd-cached fast variant.
+func (h *HyperplaneSelector) scoreStandardized(x, out []float64) []float64 {
+	// theta, errSeen, errEMA and out all have k entries by construction;
+	// re-slicing lets the loop body run check-free. The penalty scale is
+	// loop-invariant, so the division happens once, not once per expert.
+	theta := h.theta
+	out = out[:len(theta)]
+	errSeen := h.errSeen[:len(theta)]
+	errEMA := h.errEMA[:len(theta)]
+	if h.scaleEMA > 1e-12 {
+		pen := h.penalty / h.scaleEMA
+		for kk, th := range theta {
+			v := dot(th, x)
+			if errSeen[kk] {
+				v -= pen * errEMA[kk]
+			}
+			out[kk] = v
 		}
-		out[kk] = v
+	} else {
+		for kk, th := range theta {
+			out[kk] = dot(th, x)
+		}
 	}
 	return out
 }
@@ -190,10 +249,31 @@ func (h *HyperplaneSelector) scores(f features.Vector) []float64 {
 // owns the region containing f, discounted by its recent prediction error,
 // with hysteresis in favour of the incumbent so near-ties do not flap.
 func (h *HyperplaneSelector) Select(f features.Vector) int {
+	return h.selectWith(&f, nil, nil)
+}
+
+// selectWith is Select with caller scratch (x: len ≥ Dim+1, out: len ≥ k;
+// nil allocates). The selection — including the incumbent mutation — is
+// identical to Select's.
+func (h *HyperplaneSelector) selectWith(f *features.Vector, x, out []float64) int {
 	if h.k == 1 {
 		return 0
 	}
-	sc := h.scores(f)
+	if x == nil {
+		x = make([]float64, features.Dim+1)
+	}
+	if out == nil {
+		out = make([]float64, h.k)
+	}
+	return h.selectScored(h.scoresWith(f, x, out))
+}
+
+// selectScored applies the argmax-with-hysteresis selection rule to computed
+// scores. Re-running it on identical scores returns the same expert and
+// leaves the incumbent state unchanged (the mutation is idempotent), which
+// is what lets the fast path reuse one selection for Update's internal vote
+// and the trailing Select.
+func (h *HyperplaneSelector) selectScored(sc []float64) int {
 	best, bestV := 0, math.Inf(-1)
 	for kk, v := range sc {
 		if v > bestV {
@@ -215,8 +295,21 @@ func (h *HyperplaneSelector) Select(f features.Vector) int {
 // the current owner of f differs, the two experts' hyperplanes are nudged
 // so f reclassifies.
 func (h *HyperplaneSelector) Update(f features.Vector, errors []float64) {
+	h.updateWith(&f, errors, nil, nil)
+}
+
+// updateWith is Update with caller scratch (x: len ≥ Dim+1, out: len ≥ k;
+// nil allocates). Every mutation — Welford statistics, error EMAs, votes,
+// misses, the perceptron step — is identical to Update's.
+func (h *HyperplaneSelector) updateWith(f *features.Vector, errors, x, out []float64) {
 	if h.k == 1 || len(errors) != h.k {
 		return
+	}
+	if x == nil {
+		x = make([]float64, features.Dim+1)
+	}
+	if out == nil {
+		out = make([]float64, h.k)
 	}
 	h.observe(f)
 
@@ -241,17 +334,87 @@ func (h *HyperplaneSelector) Update(f features.Vector, errors []float64) {
 	if best < 0 {
 		return
 	}
-	owner := h.Select(f)
+	owner := h.selectWith(f, x, out)
 	h.votes++
 	if owner == best {
 		return
 	}
 	h.misses++
-	x := h.standardize(f)
-	for i := range x {
-		h.theta[best][i] += h.rate * x[i]
-		h.theta[owner][i] -= h.rate * x[i]
+	// Re-standardizing into the same scratch reproduces the values the
+	// selection above used (standardization is pure given h's statistics).
+	xs := h.standardizeInto(f, x)
+	for i := range xs {
+		h.theta[best][i] += h.rate * xs[i]
+		h.theta[owner][i] -= h.rate * xs[i]
 	}
+}
+
+// fastUpdateSelect is the batch fast path's fused selector step: it performs
+// Update(pending, errors), the trailing Select(pending) that scores the
+// refreshed hyperplanes, and the decision-time Select(cur), returning both
+// selections. State mutations and results are byte-identical to the three
+// separate calls; the fusion removes their redundant recomputation:
+//
+//   - the per-feature deviations are computed once (sdInto) — the Welford
+//     statistics only change in the single observe at the top, so every
+//     standardization in this decision shares them;
+//   - when the update moved no hyperplane, the trailing Select(pending)
+//     would recompute exactly the scores the update's internal vote used
+//     (same statistics, same weights, same penalties) and selectScored is
+//     idempotent on identical scores, so the vote's selection is returned
+//     directly;
+//   - when a perceptron step did fire, the standardized vector is already in
+//     scratch and only the score dot products are redone — matching Update's
+//     own re-standardization comment, one level stronger.
+//
+// Scratch: x len ≥ Dim+1, out len ≥ k, sd len ≥ Dim.
+func (h *HyperplaneSelector) fastUpdateSelect(pending, cur *features.Vector, errors, x, out, sd []float64) (chosen, sel int) {
+	if h.k == 1 {
+		return 0, 0
+	}
+	if len(errors) != h.k {
+		// Update is a no-op; both selections still run.
+		return h.selectWith(pending, x, out), h.selectWith(cur, x, out)
+	}
+	h.observe(pending)
+	h.sdInto(sd)
+
+	meanErr := 0.0
+	for i, e := range errors {
+		if !h.errSeen[i] {
+			h.errEMA[i] = e
+			h.errSeen[i] = true
+		} else {
+			h.errEMA[i] += errEMADecay * (e - h.errEMA[i])
+		}
+		meanErr += e
+	}
+	meanErr /= float64(h.k)
+	if h.scaleEMA == 0 {
+		h.scaleEMA = meanErr
+	} else {
+		h.scaleEMA += errEMADecay * (meanErr - h.scaleEMA)
+	}
+	best := argminWithMeanGate(errors)
+	if best < 0 {
+		chosen = h.selectScored(h.scoreStandardized(h.standardizeWithSD(pending, sd, x), out))
+	} else {
+		xs := h.standardizeWithSD(pending, sd, x)
+		owner := h.selectScored(h.scoreStandardized(xs, out))
+		h.votes++
+		if owner == best {
+			chosen = owner
+		} else {
+			h.misses++
+			for i := range xs {
+				h.theta[best][i] += h.rate * xs[i]
+				h.theta[owner][i] -= h.rate * xs[i]
+			}
+			chosen = h.selectScored(h.scoreStandardized(xs, out))
+		}
+	}
+	sel = h.selectScored(h.scoreStandardized(h.standardizeWithSD(cur, sd, x), out))
+	return chosen, sel
 }
 
 // MissRate reports the fraction of updates that required moving a

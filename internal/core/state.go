@@ -156,6 +156,7 @@ func (m *Mixture) ExportState() (*MixtureState, error) {
 // validates structure and finiteness and refuses garbage rather than
 // adopting it; on error the mixture is unchanged.
 func (m *Mixture) RestoreState(st *MixtureState) error {
+	m.fastPrimed = false
 	if st == nil {
 		return fmt.Errorf("core: nil mixture state")
 	}

@@ -68,6 +68,30 @@ func (s *sensorTrust) procStorming(proc float64) bool {
 	return s.procChurn > procChurnLimit
 }
 
+// wouldStorm is procStorming without the state update: the verdict the
+// detector WOULD return for proc, plus the churn EMA that sample would
+// leave behind, computed with procStorming's exact arithmetic. The
+// healthy-regime fast path uses the verdict as a pure precheck; on commit
+// commitChurn stores the returned EMA so the detector evolves exactly as
+// the full path's would, without re-deriving it.
+func (s *sensorTrust) wouldStorm(proc float64) (churn float64, storming bool) {
+	churn = s.procChurn
+	if s.haveProc {
+		changed := 0.0
+		if proc != s.lastProc {
+			changed = 1
+		}
+		churn += procChurnDecay * (changed - churn)
+	}
+	return churn, churn > procChurnLimit
+}
+
+// commitChurn applies the churn sample planned by wouldStorm(proc).
+func (s *sensorTrust) commitChurn(proc, churn float64) {
+	s.procChurn = churn
+	s.lastProc, s.haveProc = proc, true
+}
+
 // consensusSuspect reports whether the scored errors condemn the
 // observation: every expert with a finite prediction missed by more than
 // suspectErrRatio times the observed scale. Experts with non-finite

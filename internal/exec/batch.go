@@ -1,0 +1,88 @@
+package exec
+
+import (
+	"time"
+
+	"moe/internal/features"
+	"moe/internal/sim"
+	"moe/internal/stats"
+)
+
+// Batched region planning. A host that knows its next k regions up front
+// (a pipeline of same-shaped kernels, a work queue drained in chunks) can
+// have the policy plan them in one call: one environment sample, one
+// sim.BatchPolicy invocation, then the regions execute sequentially with the
+// usual per-region measurement. The plan is cheaper, not different — a
+// BatchPolicy must decide exactly as the per-region loop would, and for
+// policies without batch support ExecuteRegionBatch degrades to exactly
+// that loop.
+//
+// The one semantic difference from k ExecuteRegion calls is inherent to
+// planning ahead: all k decisions see the environment and rate as of the
+// batch start, not refreshed between regions. Callers pick batch sizes
+// small enough that the environment is stable across them — the same
+// contract any lookahead planner carries.
+
+// ExecuteRegionBatch plans thread counts for all regions in one policy
+// call, then executes them in order. ks and items must have equal length;
+// the slices' pairwise elements define the regions. Returns one
+// RegionResult per region.
+func (t *Tuner) ExecuteRegionBatch(ks []Kernel, items []int) []RegionResult {
+	if len(ks) != len(items) {
+		panic("exec: ExecuteRegionBatch kernel/items length mismatch")
+	}
+	if len(ks) == 0 {
+		return nil
+	}
+	env := t.sampler.Sample(t.lastN)
+	procs := int(env.Processors)
+	now := t.sampler.Elapsed()
+
+	ds := make([]sim.Decision, len(ks))
+	for i, k := range ks {
+		ds[i] = sim.Decision{
+			Time:           now,
+			Features:       features.Combine(k.Code(), env),
+			Rate:           t.prevRate,
+			CurrentThreads: t.lastN,
+			MaxThreads:     t.maxN,
+			AvailableProcs: procs,
+			RegionStart:    true,
+			RegionIndex:    t.region + i,
+		}
+	}
+	var ns []int
+	if bp, ok := t.policy.(sim.BatchPolicy); ok {
+		ns = bp.DecideBatch(ds)
+	} else {
+		ns = make([]int, len(ds))
+		for i, d := range ds {
+			ns[i] = t.policy.Decide(d)
+		}
+	}
+
+	out := make([]RegionResult, len(ks))
+	for i, k := range ks {
+		n := stats.ClampInt(ns[i], 1, t.maxN)
+		start := time.Now()
+		RunRegion(k, items[i], n)
+		elapsed := time.Since(start)
+
+		rate := 0.0
+		if secs := elapsed.Seconds(); secs > 0 {
+			rate = float64(items[i]) / secs
+		}
+		t.prevRate = rate
+		t.lastN = n
+		t.region++
+		t.hist.Add(n)
+		if t.regions != nil {
+			t.regions.Inc()
+			t.workers.Set(float64(n))
+			t.rate.Set(rate)
+			t.regionLatency.Observe(elapsed.Seconds())
+		}
+		out[i] = RegionResult{Workers: n, Items: items[i], Duration: elapsed, Rate: rate}
+	}
+	return out
+}

@@ -39,7 +39,7 @@ type EnvPrediction struct {
 // non-finite prediction is the unambiguous signature of a broken expert —
 // finite models on sanitized features cannot produce one — and is what the
 // mixture's health tracking quarantines on.
-func (p EnvPrediction) Finite() bool {
+func (p *EnvPrediction) Finite() bool {
 	if math.IsNaN(p.Norm) || math.IsInf(p.Norm, 0) {
 		return false
 	}
@@ -110,6 +110,49 @@ func (p EnvPrediction) Error(observed features.Env) float64 {
 	return math.Sqrt(d / features.EnvDim)
 }
 
+// ErrorsWith returns Error and RawError together against an observed
+// environment whose norm the caller has already computed (observedNorm must
+// be observed.Norm()). The per-dimension differences are evaluated once and
+// feed both distances with Error's and RawError's exact arithmetic, so the
+// results are bit-identical to calling the two methods separately; only the
+// redundant passes (and, for norm-only predictions, the repeated
+// observed-norm computation) are gone. This is the batch fast path's gating
+// kernel — FastPlan scores every expert per observation, which makes the
+// two-methods form the hottest redundancy in the whole decision loop.
+func (p *EnvPrediction) ErrorsWith(observed *features.Env, observedNorm float64) (gating, raw float64) {
+	if !p.HasVec {
+		raw = math.Abs(p.Norm - observedNorm)
+		return raw, raw
+	}
+	diffs := [features.EnvDim]float64{
+		p.Vec.WorkloadThreads - observed.WorkloadThreads,
+		p.Vec.Processors - observed.Processors,
+		p.Vec.RunQueue - observed.RunQueue,
+		p.Vec.Load1 - observed.Load1,
+		p.Vec.Load5 - observed.Load5,
+		p.Vec.CachedMem - observed.CachedMem,
+		p.Vec.PageFreeRate - observed.PageFreeRate,
+	}
+	sum := 0.0
+	for _, diff := range diffs {
+		sum += diff * diff
+	}
+	raw = math.Sqrt(sum)
+	if p.Sigma == nil {
+		return raw, raw
+	}
+	d := 0.0
+	for i, diff := range diffs {
+		sd := p.Sigma[i]
+		if sd < 1e-3 {
+			sd = 1e-3
+		}
+		z := diff / sd
+		d += z * z
+	}
+	return math.Sqrt(d / features.EnvDim), raw
+}
+
 // NormEnvModel predicts only the environment norm with a single linear
 // model — the shape of Table 1's m rows.
 type NormEnvModel struct {
@@ -118,11 +161,26 @@ type NormEnvModel struct {
 
 // Predict implements EnvModel.
 func (m NormEnvModel) Predict(f features.Vector) EnvPrediction {
-	v := m.Model.MustPredict(f.Slice())
+	return m.predictWith(f.Slice())
+}
+
+// predictWith is Predict over a caller-owned slice already holding f's
+// components — the allocation-free kernel behind Expert.PredictEnvBuf.
+func (m NormEnvModel) predictWith(x []float64) EnvPrediction {
+	v := m.Model.MustPredict(x)
 	if v < 0 {
 		v = 0
 	}
 	return EnvPrediction{Norm: v}
+}
+
+// predictInto is predictWith writing the (identical) prediction in place.
+func (m NormEnvModel) predictInto(dst *EnvPrediction, x []float64) {
+	v := m.Model.MustPredict(x)
+	if v < 0 {
+		v = 0
+	}
+	*dst = EnvPrediction{Norm: v}
 }
 
 // Dim implements EnvModel.
@@ -152,7 +210,13 @@ type VectorEnvModel struct {
 
 // Predict implements EnvModel.
 func (m VectorEnvModel) Predict(f features.Vector) EnvPrediction {
-	x := f.Slice()
+	return m.predictWith(f.Slice(), m.ResidualSigma())
+}
+
+// predictWith is Predict over a caller-owned feature slice, attaching sigma
+// — which must be ResidualSigma()'s value — instead of allocating a fresh
+// copy per prediction.
+func (m VectorEnvModel) predictWith(x []float64, sigma *[features.EnvDim]float64) EnvPrediction {
 	var vals [features.EnvDim]float64
 	for i, mod := range m.Models {
 		v := mod.MustPredict(x)
@@ -170,15 +234,47 @@ func (m VectorEnvModel) Predict(f features.Vector) EnvPrediction {
 		CachedMem:       vals[features.CachedMemory-features.EnvStart],
 		PageFreeRate:    vals[features.PageFreeRate-features.EnvStart],
 	}
-	pred := EnvPrediction{Norm: vec.Norm(), Vec: vec, HasVec: true}
+	return EnvPrediction{Norm: vec.Norm(), Vec: vec, HasVec: true, Sigma: sigma}
+}
+
+// predictInto is predictWith writing the (identical) prediction in place:
+// the same per-dimension models, clamps and norm, filling the caller's
+// struct directly instead of copying a returned one.
+func (m VectorEnvModel) predictInto(dst *EnvPrediction, x []float64, sigma *[features.EnvDim]float64) {
+	var vals [features.EnvDim]float64
+	for i, mod := range m.Models {
+		v := mod.MustPredict(x)
+		if v < 0 {
+			v = 0 // all environment features are non-negative quantities
+		}
+		vals[i] = v
+	}
+	dst.Vec = features.Env{
+		WorkloadThreads: vals[features.WorkloadThreads-features.EnvStart],
+		Processors:      vals[features.Processors-features.EnvStart],
+		RunQueue:        vals[features.RunQueueSize-features.EnvStart],
+		Load1:           vals[features.CPULoad1-features.EnvStart],
+		Load5:           vals[features.CPULoad5-features.EnvStart],
+		CachedMem:       vals[features.CachedMemory-features.EnvStart],
+		PageFreeRate:    vals[features.PageFreeRate-features.EnvStart],
+	}
+	dst.Norm = dst.Vec.Norm()
+	dst.HasVec = true
+	dst.Sigma = sigma
+}
+
+// ResidualSigma returns a pointer to a private copy of the residual scales,
+// or nil when likelihood scaling is disabled (all-zero Sigma). Allocation-
+// free callers cache it once per expert and share the copy across
+// predictions; the models are read-only, so sharing is safe.
+func (m VectorEnvModel) ResidualSigma() *[features.EnvDim]float64 {
 	for _, sd := range m.Sigma {
 		if sd > 0 {
 			sigma := m.Sigma
-			pred.Sigma = &sigma
-			break
+			return &sigma
 		}
 	}
-	return pred
+	return nil
 }
 
 // Dim implements EnvModel.

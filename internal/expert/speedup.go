@@ -31,9 +31,20 @@ type SpeedupModel struct {
 // memory-boundedness of the loop's code.
 const speedupBasisDim = features.Dim + 8
 
+// PredictScratchLen is the scratch length PredictThreadsBuf and
+// PredictEnvBuf accept: wide enough for the speedup basis, the widest
+// regression input any expert evaluates.
+const PredictScratchLen = speedupBasisDim
+
 // SpeedupBasis expands (f, n) into the regression basis for x.
 func SpeedupBasis(f features.Vector, n int) []float64 {
-	x := make([]float64, speedupBasisDim)
+	return SpeedupBasisInto(make([]float64, speedupBasisDim), f, n)
+}
+
+// SpeedupBasisInto writes the regression basis for (f, n) into x — which
+// must have length ≥ speedupBasisDim — and returns x[:speedupBasisDim].
+func SpeedupBasisInto(x []float64, f features.Vector, n int) []float64 {
+	x = x[:speedupBasisDim]
 	copy(x, f[:])
 	nf := float64(n)
 	x[features.Dim+0] = nf
@@ -56,12 +67,24 @@ func (s *SpeedupModel) Predict(f features.Vector, n int) float64 {
 // Best returns argmax_n x(n, f) over 1..maxN and the predicted speedup
 // there — the thread predictor w of §4.1.
 func (s *SpeedupModel) Best(f features.Vector, maxN int) (int, float64) {
+	return s.bestWith(f, maxN, nil)
+}
+
+// bestWith is Best with caller scratch (len ≥ speedupBasisDim; nil
+// allocates per candidate exactly as Best always did).
+func (s *SpeedupModel) bestWith(f features.Vector, maxN int, buf []float64) (int, float64) {
 	if maxN < 1 {
 		maxN = 1
 	}
 	bestN, bestV := 1, math.Inf(-1)
 	for n := 1; n <= maxN; n++ {
-		if v := s.Predict(f, n); v > bestV {
+		var v float64
+		if buf != nil {
+			v = s.Model.MustPredict(SpeedupBasisInto(buf, f, n))
+		} else {
+			v = s.Predict(f, n)
+		}
+		if v > bestV {
 			bestN, bestV = n, v
 		}
 	}

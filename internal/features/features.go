@@ -231,6 +231,21 @@ func Sanitize(v Vector) (Vector, int) {
 	return v, repaired
 }
 
+// Clean reports whether Sanitize(v) would be the identity: every component
+// finite and within ±MaxMagnitude. It is the pure form of the sanitizer
+// rung — the healthy-regime fast path uses it to prove, without touching
+// any state, that sanitization cannot fire on v.
+func Clean(v *Vector) bool {
+	for _, x := range v {
+		// The single range comparison is the whole check: NaN fails both
+		// sides, ±Inf fall outside ±MaxMagnitude.
+		if !(x >= -MaxMagnitude && x <= MaxMagnitude) {
+			return false
+		}
+	}
+	return true
+}
+
 // NormalizeCode returns code features normalized to the given total
 // instruction count, per §5.2.2 ("code features at every loop were
 // normalized to the total number of instructions in the program").

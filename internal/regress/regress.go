@@ -66,12 +66,19 @@ func (m *Model) Predict(x []float64) (float64, error) {
 // signal (quarantine) and must observe them rather than crash on them.
 func (m *Model) MustPredict(x []float64) float64 {
 	if len(x) != len(m.Weights) {
-		panic(fmt.Errorf("regress: predict with %d features, model has %d", len(x), len(m.Weights)))
+		panicPredictDim(len(x), len(m.Weights))
 	}
 	return m.rawPredict(x)
 }
 
+// panicPredictDim keeps the cold panic construction out of MustPredict so
+// the hot wrapper stays within the inlining budget.
+func panicPredictDim(got, want int) {
+	panic(fmt.Errorf("regress: predict with %d features, model has %d", got, want))
+}
+
 func (m *Model) rawPredict(x []float64) float64 {
+	x = x[:len(m.Weights)] // hoist the bound proof out of the loop
 	y := m.Bias
 	for i, w := range m.Weights {
 		y += w * x[i]

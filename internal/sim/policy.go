@@ -40,6 +40,18 @@ type Policy interface {
 	Decide(d Decision) int
 }
 
+// BatchPolicy is implemented by policies that can decide a whole slice of
+// control points in one call (the runtime adapter, which amortizes its lock
+// and bookkeeping across the batch). DecideBatch must be semantically
+// identical to calling Decide per element in order — same decisions, same
+// resulting policy state — differing only in cost; the exec layer falls back
+// to that loop when a policy does not implement it.
+type BatchPolicy interface {
+	Policy
+	// DecideBatch returns one thread count per decision, in order.
+	DecideBatch(ds []Decision) []int
+}
+
 // PolicyFactory builds a fresh policy instance for one program run. Stateful
 // policies (online, analytic, mixture) must not be shared across programs or
 // repeated runs, so scenarios take factories rather than instances.

@@ -1,0 +1,80 @@
+package telemetry
+
+// Batch telemetry. DecideBatch emits one BatchRecord per call summarizing
+// the dispatcher's outcome — how many decisions the healthy-regime fast
+// path served and how many demoted to the full ladder. Per-decision
+// telemetry is unchanged: with a Sink attached every decision takes the
+// full per-record path (the fast path is only eligible on silent runtimes),
+// so the moe_decide_batch_* families are strictly additive and the
+// per-decision counter families stay byte-identical with batching on or
+// off.
+
+// BatchRecord summarizes one DecideBatch call.
+type BatchRecord struct {
+	// Size is the number of observations in the batch.
+	Size int `json:"size"`
+	// FastPath counts decisions served by the healthy-regime fast path.
+	FastPath int `json:"fast_path"`
+	// FullPath counts decisions routed through the full ladder.
+	FullPath int `json:"full_path"`
+	// Nanos is the end-to-end latency of the DecideBatch call.
+	Nanos int64 `json:"batch_ns"`
+}
+
+// BatchSink is implemented by sinks that also want per-batch summaries.
+// RecordBatch is called under the runtime's decision lock at the end of a
+// batch; the record is scratch reused by the next batch, so sinks must copy
+// what they keep. The Sink caveats apply unchanged.
+type BatchSink interface {
+	Sink
+	RecordBatch(rec *BatchRecord)
+}
+
+// RecordBatch fans the batch record to every member sink that accepts
+// batch summaries, making multiSink a BatchSink whenever it wraps one.
+func (m multiSink) RecordBatch(rec *BatchRecord) {
+	for _, s := range m {
+		if b, ok := s.(BatchSink); ok {
+			b.RecordBatch(rec)
+		}
+	}
+}
+
+// batchSizeBuckets spans the batch sizes hosts plausibly submit — the
+// equivalence suite's {1, 2, 7, 64} all land in distinct buckets.
+func batchSizeBuckets() []float64 {
+	return []float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024}
+}
+
+// batchMetrics is the RegistrySink's moe_decide_batch_* family handles,
+// created lazily so sinks on runtimes that never batch register nothing.
+type batchMetrics struct {
+	batches *Counter
+	fast    *Counter
+	full    *Counter
+	size    *Histogram
+	latency *Histogram
+}
+
+func (s *RegistrySink) batchInit() *batchMetrics {
+	if s.batch == nil {
+		s.batch = &batchMetrics{
+			batches: s.reg.Counter("moe_decide_batches_total", "DecideBatch calls served."),
+			fast:    s.reg.Counter("moe_decide_batch_fast_decisions_total", "Batch decisions served by the healthy-regime fast path."),
+			full:    s.reg.Counter("moe_decide_batch_full_decisions_total", "Batch decisions routed through the full ladder."),
+			size:    s.reg.Histogram("moe_decide_batch_size", "Observations per DecideBatch call.", batchSizeBuckets()),
+			latency: s.reg.Histogram("moe_decide_batch_seconds", "End-to-end DecideBatch latency.", nil),
+		}
+	}
+	return s.batch
+}
+
+// RecordBatch implements BatchSink.
+func (s *RegistrySink) RecordBatch(rec *BatchRecord) {
+	b := s.batchInit()
+	b.batches.Inc()
+	b.fast.Add(int64(rec.FastPath))
+	b.full.Add(int64(rec.FullPath))
+	b.size.Observe(float64(rec.Size))
+	b.latency.Observe(float64(rec.Nanos) / 1e9)
+}

@@ -71,8 +71,11 @@ type HealthEvent struct {
 // Sink receives completed decision records. RecordDecision is called under
 // the runtime's decision lock; the record (and its slices) is scratch the
 // runtime reuses on the next decision, so sinks must copy anything they
-// keep past the call. Sinks must be fast and must never call back into the
-// runtime.
+// keep past the call. Sinks must be fast. A sink may read the runtime's
+// shard-backed accessors (Decisions, ThreadHistogram, PolicyName,
+// CheckpointErr, BatchStats, SanitizedValues) — they never take the
+// decision lock — but must not call Decide/DecideBatch, Snapshot/Restore or
+// MixtureStatsSnapshot, which do.
 type Sink interface {
 	RecordDecision(rec *Record)
 }
@@ -136,6 +139,7 @@ type RegistrySink struct {
 	selections  []*Counter          // per-expert, grown on demand
 	transitions map[string]*Counter // health transitions by to-state
 	degraded    bool                // last value written to ckptErr
+	batch       *batchMetrics       // moe_decide_batch_* family, lazy (batch.go)
 }
 
 // NewRegistrySink builds a sink over reg (nil reg yields a sink whose

@@ -20,19 +20,26 @@ import (
 // the baselines — making runtimes directly comparable.
 //
 // Concurrency guarantees: a Runtime is safe for concurrent use from any
-// number of goroutines. Decide, Decisions, ThreadHistogram,
-// MixtureStatsSnapshot and PolicyName all serialize on one internal lock —
-// decisions must serialize anyway because every policy in this repository
-// is stateful (the mixture scores its previous prediction against the
-// environment the next call observes). Accessors return snapshots that are
-// the caller's to keep: ThreadHistogram builds a fresh map per call and
-// MixtureStatsSnapshot fresh slices and maps, so mutating a returned value
-// can never corrupt — or be corrupted by — a concurrent Decide. The wrapped
-// policy itself must not be shared with another Runtime or called directly
-// while a Runtime owns it.
+// number of goroutines. Decide and DecideBatch serialize on one internal
+// writer lock — decisions must serialize anyway because every policy in
+// this repository is stateful (the mixture scores its previous prediction
+// against the environment the next call observes). The read accessors —
+// Decisions, SanitizedValues, ThreadHistogram, PolicyName, CheckpointErr,
+// BatchStats — never take the writer lock: they read per-shard snapshots
+// the decision path republishes before releasing it (see DESIGN.md §12), so
+// readers scale independently of decisions and may safely be called from
+// anywhere, including from a telemetry sink or a policy in the middle of a
+// decision. MixtureStatsSnapshot is the exception: it introspects the live
+// policy and therefore serializes with decisions. Accessors return
+// snapshots that are the caller's to keep: ThreadHistogram builds a fresh
+// map per call and MixtureStatsSnapshot fresh slices and maps, so mutating
+// a returned value can never corrupt — or be corrupted by — a concurrent
+// Decide. The wrapped policy itself must not be shared with another Runtime
+// or called directly while a Runtime owns it.
 type Runtime struct {
 	mu         sync.Mutex
 	policy     Policy
+	name       string // policy.Name(), cached: Policy names are constant
 	maxThreads int
 	decisions  int
 	hist       *stats.Histogram
@@ -40,6 +47,35 @@ type Runtime struct {
 	clock      float64
 	lastAvail  int
 	sanitized  int
+
+	// Read-path sharding: the scalar counters and the thread histogram are
+	// mirrored into two read-mostly shards, each behind its own small lock,
+	// republished at the end of every Decide/DecideBatch while the writer
+	// lock is still held. Readers touch only their shard — never mu — so a
+	// read can neither block a decision in flight nor deadlock against one.
+	counters  counterShard
+	histShard histShard
+	// histArr mirrors hist's bin counts as a flat array (index = thread
+	// count) so republishing the histogram shard is a copy, not a map walk,
+	// and the batch fast path can defer increments allocation-free.
+	histArr   []int64
+	histTotal int64
+
+	// Batching (see runtime_batch.go): mix is the wrapped policy when it is
+	// the mixture itself — the precondition for the healthy-regime fast
+	// path (a wrapping policy, e.g. a chaos injector, must see every
+	// decision, so wrapped mixtures always take the full path). histDeferred
+	// accumulates thread-histogram increments during a batch; batches/
+	// batchFast/batchFull count dispatcher outcomes.
+	mix          *Mixture
+	histDeferred []int
+	batches      int
+	batchFast    int
+	batchFull    int
+	batchSink    telemetry.BatchSink
+	// batchRec is the per-batch telemetry record reused across batches,
+	// like scratch below.
+	batchRec telemetry.BatchRecord
 
 	// Crash safety (see checkpointing.go): when a store is attached, every
 	// raw observation is journaled before it is decided on, and a snapshot
@@ -69,6 +105,35 @@ type Runtime struct {
 // these readings are ever used, so the base itself is arbitrary.
 var monoBase = time.Now()
 
+// counterShard is the scalar half of the read path: a point-in-time copy
+// of the runtime's counters, replaced wholesale under its own lock at every
+// publish. Readers RLock, copy what they need, and unlock — no allocation,
+// no contention with the writer lock.
+type counterShard struct {
+	mu        sync.RWMutex
+	decisions int
+	sanitized int
+	lastN     int
+	lastAvail int
+	clock     float64
+	ckptErr   error
+	batches   int
+	batchFast int
+	batchFull int
+}
+
+// histShard is the histogram half of the read path: flat bin counts plus
+// their total, updated in place under the shard lock (updating in place —
+// rather than publishing fresh snapshots — is what keeps the steady-state
+// batch path allocation-free). The invariant sum(counts) == total holds
+// under the shard lock; the torture tests assert no reader ever observes it
+// torn.
+type histShard struct {
+	mu     sync.RWMutex
+	counts []int64
+	total  int64
+}
+
 // NewRuntime wraps a policy for a machine with maxThreads hardware
 // contexts.
 func NewRuntime(p Policy, maxThreads int) (*Runtime, error) {
@@ -78,7 +143,57 @@ func NewRuntime(p Policy, maxThreads int) (*Runtime, error) {
 	if maxThreads < 1 {
 		return nil, fmt.Errorf("moe: maxThreads must be at least 1, got %d", maxThreads)
 	}
-	return &Runtime{policy: p, maxThreads: maxThreads, hist: stats.NewHistogram(), lastN: 1}, nil
+	r := &Runtime{
+		policy:       p,
+		name:         p.Name(),
+		maxThreads:   maxThreads,
+		hist:         stats.NewHistogram(),
+		lastN:        1,
+		histArr:      make([]int64, maxThreads+1),
+		histDeferred: make([]int, maxThreads+1),
+	}
+	r.mix, _ = p.(*Mixture)
+	r.publishLocked()
+	return r, nil
+}
+
+// histAdd records c decisions of n threads in both histogram forms. The
+// flat mirror grows past maxThreads only when a restored state carries
+// out-of-range bins (Restore accepts them; Decide never produces them).
+func (r *Runtime) histAdd(n, c int) {
+	r.hist.AddN(n, c)
+	for len(r.histArr) <= n {
+		r.histArr = append(r.histArr, 0)
+	}
+	r.histArr[n] += int64(c)
+	r.histTotal += int64(c)
+}
+
+// publishLocked republishes the read shards from the authoritative state.
+// Callers hold mu (or, in NewRuntime, exclusive ownership); the shard locks
+// bound how long a reader can stall a publish to one copy.
+func (r *Runtime) publishLocked() {
+	c := &r.counters
+	c.mu.Lock()
+	c.decisions = r.decisions
+	c.sanitized = r.sanitized
+	c.lastN = r.lastN
+	c.lastAvail = r.lastAvail
+	c.clock = r.clock
+	c.ckptErr = r.ckptErr
+	c.batches = r.batches
+	c.batchFast = r.batchFast
+	c.batchFull = r.batchFull
+	c.mu.Unlock()
+
+	h := &r.histShard
+	h.mu.Lock()
+	if len(h.counts) < len(r.histArr) {
+		h.counts = append(h.counts, make([]int64, len(r.histArr)-len(h.counts))...)
+	}
+	copy(h.counts, r.histArr)
+	h.total = r.histTotal
+	h.mu.Unlock()
 }
 
 // Observation is what the host reports at a decision point.
@@ -108,6 +223,16 @@ type Observation struct {
 func (r *Runtime) Decide(obs Observation) int {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	n := r.decideFullLocked(obs)
+	r.publishLocked()
+	return n
+}
+
+// decideFullLocked is the complete single-decision path — journaling,
+// sanitization ladder, policy, snapshot cadence, telemetry — under mu. It
+// does not republish the read shards; Decide and DecideBatch do that once
+// per call.
+func (r *Runtime) decideFullLocked(obs Observation) int {
 	// Telemetry observes and never steers: rec only collects what the
 	// decision path computes anyway, so the chosen n is bit-identical with
 	// or without a sink (pinned by the byte-identity tests).
@@ -217,7 +342,7 @@ func (r *Runtime) decideLocked(obs Observation, rec *telemetry.Record) int {
 	n = stats.ClampInt(n, 1, r.maxThreads)
 	r.lastN = n
 	r.decisions++
-	r.hist.Add(n)
+	r.histAdd(n, 1)
 	if rec != nil {
 		rec.Time = obs.Time
 		rec.Features = append(rec.Features, obs.Features[:]...)
@@ -252,27 +377,30 @@ func unwrapTo(p Policy, visit func(Policy) bool) bool {
 	return false
 }
 
-// PolicyName reports the wrapped policy's name.
+// PolicyName reports the wrapped policy's name. Names are constant by the
+// Policy contract, so this reads a value cached at construction and can be
+// called from anywhere — including from inside the policy itself.
 func (r *Runtime) PolicyName() string {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return r.policy.Name()
+	return r.name
 }
 
-// Decisions returns how many decisions have been made.
+// Decisions returns how many decisions have been published. Like every
+// shard-backed accessor it reflects state as of the last completed
+// Decide/DecideBatch call: a decision in flight is visible only once its
+// call returns.
 func (r *Runtime) Decisions() int {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return r.decisions
+	r.counters.mu.RLock()
+	defer r.counters.mu.RUnlock()
+	return r.counters.decisions
 }
 
 // SanitizedValues returns how many observation components the runtime has
 // repaired (non-finite or out-of-bound feature values). A nonzero count
 // signals the host's sensor path is feeding the runtime garbage.
 func (r *Runtime) SanitizedValues() int {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return r.sanitized
+	r.counters.mu.RLock()
+	defer r.counters.mu.RUnlock()
+	return r.counters.sanitized
 }
 
 // ThreadHistogram returns the distribution of chosen thread counts. The
@@ -280,9 +408,28 @@ func (r *Runtime) SanitizedValues() int {
 // internal histogram — callers may mutate or retain it across further
 // Decide calls.
 func (r *Runtime) ThreadHistogram() map[int]float64 {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return r.hist.Normalized()
+	h := &r.histShard
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	out := make(map[int]float64, len(h.counts))
+	if h.total == 0 {
+		return out
+	}
+	for n, c := range h.counts {
+		if c != 0 {
+			out[n] = float64(c) / float64(h.total)
+		}
+	}
+	return out
+}
+
+// histCounts returns a copy of the published flat histogram bins and their
+// total, for merged views (ShardedRuntime.ThreadHistogram).
+func (r *Runtime) histCounts() ([]int64, int64) {
+	h := &r.histShard
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return append([]int64(nil), h.counts...), h.total
 }
 
 // MixtureStatsSnapshot returns the mixture analysis snapshot when the

@@ -1,0 +1,114 @@
+package moe
+
+import "fmt"
+
+// ShardedRuntime partitions decision traffic across independent runtimes so
+// concurrent hosts (one stream per tuned program, say) stop serializing on a
+// single writer lock. Each shard is a complete Runtime wrapping its own
+// policy instance — policies are stateful online learners, so shards
+// deliberately do not share learned state; a stream keyed to shard i always
+// learns from, and only from, its own history. Decide and DecideBatch route
+// by key (key % Shards): streams with distinct keys proceed fully in
+// parallel, and calls sharing a key serialize exactly as a single Runtime
+// would. The merged accessors fold the shards' lock-free read snapshots, so
+// they are as safe under concurrency as the single-runtime ones.
+type ShardedRuntime struct {
+	shards []*Runtime
+}
+
+// NewShardedRuntime builds shards independent runtimes, each wrapping the
+// policy built by build(shard). build must return a fresh policy per call —
+// sharing one stateful policy across shards would race its internal state.
+func NewShardedRuntime(shards, maxThreads int, build func(shard int) (Policy, error)) (*ShardedRuntime, error) {
+	if shards < 1 {
+		return nil, fmt.Errorf("moe: shard count must be at least 1, got %d", shards)
+	}
+	if build == nil {
+		return nil, fmt.Errorf("moe: nil shard policy builder")
+	}
+	s := &ShardedRuntime{shards: make([]*Runtime, shards)}
+	for i := range s.shards {
+		p, err := build(i)
+		if err != nil {
+			return nil, fmt.Errorf("moe: building shard %d policy: %w", i, err)
+		}
+		r, err := NewRuntime(p, maxThreads)
+		if err != nil {
+			return nil, err
+		}
+		s.shards[i] = r
+	}
+	return s, nil
+}
+
+// Shards returns the shard count.
+func (s *ShardedRuntime) Shards() int { return len(s.shards) }
+
+// Shard returns shard i's runtime for per-shard attachment (telemetry,
+// checkpoint stores) and inspection.
+func (s *ShardedRuntime) Shard(i int) *Runtime { return s.shards[i] }
+
+func (s *ShardedRuntime) shard(key uint64) *Runtime {
+	return s.shards[key%uint64(len(s.shards))]
+}
+
+// Decide routes one observation to key's shard.
+func (s *ShardedRuntime) Decide(key uint64, obs Observation) int {
+	return s.shard(key).Decide(obs)
+}
+
+// DecideBatch routes a batch to key's shard.
+func (s *ShardedRuntime) DecideBatch(key uint64, obs []Observation) []int {
+	return s.shard(key).DecideBatch(obs)
+}
+
+// DecideBatchInto is DecideBatch appending into dst (which may be nil).
+func (s *ShardedRuntime) DecideBatchInto(key uint64, dst []int, obs []Observation) []int {
+	return s.shard(key).DecideBatchInto(dst, obs)
+}
+
+// Decisions returns the total decisions published across all shards.
+func (s *ShardedRuntime) Decisions() int {
+	total := 0
+	for _, r := range s.shards {
+		total += r.Decisions()
+	}
+	return total
+}
+
+// BatchStats returns the dispatcher counters summed across all shards.
+func (s *ShardedRuntime) BatchStats() BatchStats {
+	var out BatchStats
+	for _, r := range s.shards {
+		b := r.BatchStats()
+		out.Batches += b.Batches
+		out.FastDecisions += b.FastDecisions
+		out.FullDecisions += b.FullDecisions
+	}
+	return out
+}
+
+// ThreadHistogram returns the thread-count distribution merged across all
+// shards, weighted by each shard's decision count. Like the single-runtime
+// accessor it returns a fresh map the caller may keep.
+func (s *ShardedRuntime) ThreadHistogram() map[int]float64 {
+	counts := make(map[int]int64)
+	var total int64
+	for _, r := range s.shards {
+		cs, t := r.histCounts()
+		total += t
+		for n, c := range cs {
+			if c != 0 {
+				counts[n] += c
+			}
+		}
+	}
+	out := make(map[int]float64, len(counts))
+	if total == 0 {
+		return out
+	}
+	for n, c := range counts {
+		out[n] = float64(c) / float64(total)
+	}
+	return out
+}

@@ -23,15 +23,24 @@ type (
 // SetTelemetry attaches sink (nil detaches). When the wrapped policy — or
 // anything it wraps, walked through Unwrap — implements telemetry.Detailer,
 // per-decision mixture internals (gating errors, selection, fallback rung,
-// health transitions) are enabled and folded into every record.
+// health transitions) are enabled and folded into every record. When sink
+// additionally implements telemetry.BatchSink, DecideBatch emits one batch
+// summary record per call. Detaching turns detail capture back off (when the
+// detailer supports it), re-arming the batch fast path.
 func (r *Runtime) SetTelemetry(sink telemetry.Sink) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.sink = sink
-	r.detailer = nil
+	r.batchSink = nil
 	if sink == nil {
+		if d, ok := r.detailer.(interface{ DisableDecisionDetail() }); ok {
+			d.DisableDecisionDetail()
+		}
+		r.detailer = nil
 		return
 	}
+	r.batchSink, _ = sink.(telemetry.BatchSink)
+	r.detailer = nil
 	unwrapTo(r.policy, func(p Policy) bool {
 		d, ok := p.(telemetry.Detailer)
 		if ok {

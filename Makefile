@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench bench-smoke
+.PHONY: build test race vet bench bench-smoke serve-smoke
 
 build:
 	$(GO) build ./...
@@ -22,6 +22,15 @@ vet:
 bench:
 	$(GO) run ./cmd/moebench -bench-json BENCH_PR5.json
 	$(GO) run ./cmd/moebench -throughput-json BENCH_PR6.json
+	$(GO) run ./cmd/moebench -serve-json BENCH_PR7.json
+
+# serve-smoke drives the real moed binary end to end: JSON + NDJSON
+# decisions, chaos-tenant quarantine with a healthy bystander, metrics
+# exposition, SIGTERM graceful drain (exit 0 inside the window), and a
+# restart that resumes tenant decision counters from the drained
+# checkpoints.
+serve-smoke:
+	bash scripts/serve_smoke.sh
 
 # bench-smoke is the CI guard: cheap fixed-iteration runs of the sim
 # stepping-loop and batch decision microbenchmarks that fail if either

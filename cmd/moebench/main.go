@@ -126,6 +126,13 @@ var registry = map[string]runner{
 		}
 		return throughputTable(rep), nil
 	},
+	"serve": func(_ *experiments.Lab, _ experiments.Scale) (*experiments.Table, error) {
+		rep, err := runServe(defaultServeOpts())
+		if err != nil {
+			return nil, err
+		}
+		return serveTable(rep), nil
+	},
 }
 
 // order fixes the -all presentation sequence.
@@ -134,7 +141,7 @@ var order = []string{
 	"fig10", "fig11", "fig12", "fig13a", "fig13b", "fig14a", "fig14b",
 	"fig14c", "fig15a", "fig15b", "fig15c", "fig16", "fig17", "cv",
 	"ablation-gating", "ablation-features", "portability", "churn",
-	"chaos", "restart", "telemetry", "throughput",
+	"chaos", "restart", "telemetry", "throughput", "serve",
 }
 
 func main() {
@@ -149,6 +156,7 @@ func main() {
 	stepping := flag.String("stepping", "event", "simulation engine: event (event-horizon) or fixed (dt-by-dt reference); observables agree within 1e-9")
 	benchJSON := flag.String("bench-json", "", "measure both engines on the canonical scenario, write the JSON report to this path, and exit")
 	throughputJSON := flag.String("throughput-json", "", "measure decision throughput (single vs batched vs sharded), write the JSON report to this path, and exit")
+	serveJSON := flag.String("serve-json", "", "run the multi-tenant daemon chaos-load study, write the JSON report to this path, and exit")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
@@ -181,12 +189,21 @@ func main() {
 		return
 	}
 
-	// The throughput study needs no trained lab; serve it before the
-	// training step when it is the only request.
-	if !*all && *experiment == "throughput" && !*list {
-		t, err := registry["throughput"](nil, experiments.QuickScale())
+	if *serveJSON != "" {
+		if err := writeServeJSON(*serveJSON); err != nil {
+			fmt.Fprintf(os.Stderr, "moebench: serve: %v\n", err)
+			stopCPU()
+			os.Exit(1)
+		}
+		return
+	}
+
+	// The throughput and serve studies need no trained lab; serve them
+	// before the training step when one is the only request.
+	if !*all && (*experiment == "throughput" || *experiment == "serve") && !*list {
+		t, err := registry[*experiment](nil, experiments.QuickScale())
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "moebench: throughput failed: %v\n", err)
+			fmt.Fprintf(os.Stderr, "moebench: %s failed: %v\n", *experiment, err)
 			stopCPU()
 			os.Exit(1)
 		}

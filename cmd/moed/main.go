@@ -1,0 +1,109 @@
+// Command moed is the multi-tenant decision daemon: many independent
+// tenant runtimes behind one HTTP/NDJSON decision API, wrapped in the
+// robustness envelope of internal/serve — admission control, per-request
+// deadlines, per-tenant circuit breakers, a wedge watchdog, and SIGTERM
+// graceful drain (stop admitting, flush in-flight, checkpoint every
+// tenant, exit 0 within the drain window).
+//
+//	moed -listen :7077 -checkpoint-dir /var/lib/moed
+//
+// Endpoints: POST /v1/decide (JSON, or NDJSON stream with Content-Type
+// application/x-ndjson), GET /v1/tenants, /healthz, /metrics,
+// /metrics.json, /debug/pprof. See DESIGN.md §13.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"moe/internal/serve"
+)
+
+func main() {
+	var (
+		listen          = flag.String("listen", ":7077", "address to serve on")
+		checkpointDir   = flag.String("checkpoint-dir", "", "root directory for per-tenant checkpoint lineages (empty = ephemeral tenants)")
+		checkpointEvery = flag.Int("checkpoint-every", serve.DefCheckpointEvery, "snapshot cadence in decisions per tenant")
+		checkpointSync  = flag.Bool("checkpoint-sync", false, "fsync every journal append (safer, slower)")
+		maxThreads      = flag.Int("max-threads", serve.DefMaxThreads, "machine thread cap for tenant runtimes")
+		maxTenants      = flag.Int("max-tenants", serve.DefMaxTenants, "tenant registry bound")
+		maxInflight     = flag.Int("max-inflight", serve.DefMaxInflight, "concurrent decision request bound (excess sheds 503)")
+		rate            = flag.Float64("rate", 0, "admission token-bucket rate in requests/sec (0 = unlimited; excess sheds 429)")
+		burst           = flag.Int("burst", 0, "token-bucket depth (0 derives from -rate)")
+		deadlineMs      = flag.Int("deadline-ms", int(serve.DefDefaultDeadline/time.Millisecond), "default per-request deadline when X-Deadline-Ms is absent")
+		maxBatch        = flag.Int("max-batch", serve.DefMaxBatch, "observations per request body bound")
+		wedgeTimeout    = flag.Duration("wedge-timeout", serve.DefWedgeTimeout, "in-flight decision budget before the watchdog recycles the tenant")
+		drainWindow     = flag.Duration("drain-window", serve.DefDrainWindow, "SIGTERM graceful-drain bound")
+		faultInjection  = flag.Bool("fault-injection", false, "wrap chaos-panic-*/chaos-stall-* tenants with injected faults (testing only)")
+		quiet           = flag.Bool("quiet", false, "suppress operational log lines")
+	)
+	flag.Parse()
+
+	logf := log.Printf
+	if *quiet {
+		logf = func(string, ...any) {}
+	}
+	cfg := serve.Config{
+		MaxThreads:      *maxThreads,
+		CheckpointRoot:  *checkpointDir,
+		CheckpointEvery: *checkpointEvery,
+		CheckpointSync:  *checkpointSync,
+		MaxTenants:      *maxTenants,
+		MaxInflight:     *maxInflight,
+		Rate:            *rate,
+		Burst:           *burst,
+		DefaultDeadline: time.Duration(*deadlineMs) * time.Millisecond,
+		MaxBatch:        *maxBatch,
+		WedgeTimeout:    *wedgeTimeout,
+		DrainWindow:     *drainWindow,
+		Logf:            logf,
+	}
+	if *faultInjection {
+		cfg.PolicyBuild = serve.FaultInjectionBuild(serve.DefaultPolicyBuild)
+		logf("moed: fault injection armed for %s-*/%s-* tenants", serve.ChaosPanicPrefix, serve.ChaosStallPrefix)
+	}
+	srv, err := serve.NewServer(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	httpSrv := &http.Server{Addr: *listen, Handler: srv.Handler()}
+	drained := make(chan int, 1)
+	sigs := make(chan os.Signal, 2)
+	signal.Notify(sigs, syscall.SIGTERM, syscall.SIGINT)
+	go func() {
+		sig := <-sigs
+		logf("moed: %s: draining (window %s)", sig, *drainWindow)
+		rep, err := srv.Drain(*drainWindow)
+		code := 0
+		switch {
+		case err != nil:
+			logf("moed: drain: %v", err)
+			code = 1
+		case !rep.Clean():
+			logf("moed: drain incomplete: timed_out=%v errors=%v", rep.TimedOut, rep.Errors)
+			code = 1
+		default:
+			logf("moed: drain clean in %s: %d checkpointed, %d ephemeral, %d journal-only, %d wedged",
+				rep.Elapsed.Round(time.Millisecond), rep.Checkpointed, rep.Ephemeral,
+				len(rep.JournalOnly), len(rep.Wedged))
+		}
+		httpSrv.Close() // in-flight already flushed by Drain
+		drained <- code
+	}()
+
+	logf("moed: serving on %s (checkpoint-dir=%q)", *listen, *checkpointDir)
+	if err := httpSrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	os.Exit(<-drained)
+}

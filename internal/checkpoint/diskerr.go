@@ -1,0 +1,49 @@
+package checkpoint
+
+import (
+	"errors"
+	"fmt"
+)
+
+// DiskError marks a checkpoint failure caused by the filesystem underneath
+// the store — an unwritable or missing directory at Open, an ENOSPC-style
+// write or fsync failure on a snapshot or journal append — as opposed to
+// corrupt or mismatched checkpoint *contents* (those surface as plain
+// errors from decode/validate paths and mean the state itself is wrong).
+//
+// The distinction matters to multi-tenant hosts: a tenant whose directory
+// cannot be written can still be served — journal-less, with the failure
+// latched and visible in metrics — whereas a state mismatch means the
+// caller is holding the wrong lineage. errors.As(err, new(*DiskError))
+// classifies; IsDiskError is the shorthand.
+type DiskError struct {
+	// Op names the failed operation: "open", "list", "snapshot", "rotate",
+	// "append", or "prune".
+	Op string
+	// Path is the file or directory the operation failed on.
+	Path string
+	// Err is the underlying filesystem error.
+	Err error
+}
+
+func (e *DiskError) Error() string {
+	return fmt.Sprintf("checkpoint: %s %s: %v", e.Op, e.Path, e.Err)
+}
+
+func (e *DiskError) Unwrap() error { return e.Err }
+
+// IsDiskError reports whether err is (or wraps) a DiskError — a filesystem
+// failure a host can degrade around, rather than a state mismatch it must
+// not ignore.
+func IsDiskError(err error) bool {
+	var de *DiskError
+	return errors.As(err, &de)
+}
+
+// diskErr wraps err as a DiskError; nil passes through.
+func diskErr(op, path string, err error) error {
+	if err == nil {
+		return nil
+	}
+	return &DiskError{Op: op, Path: path, Err: err}
+}

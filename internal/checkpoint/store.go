@@ -80,7 +80,7 @@ func Open(dir string) (*Store, error) {
 // unused run number in the directory; everything it writes carries it.
 func OpenOptions(dir string, opts Options) (*Store, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return nil, fmt.Errorf("checkpoint: creating %s: %w", dir, err)
+		return nil, diskErr("open", dir, err)
 	}
 	s := &Store{dir: dir, sync: !opts.DisableSync}
 	snaps, err := s.list(snapPrefix, snapSuffix)
@@ -198,7 +198,7 @@ func parseName(name, prefix, suffix string) (fileID, bool) {
 func (s *Store) list(prefix, suffix string) ([]fileID, error) {
 	entries, err := os.ReadDir(s.dir)
 	if err != nil {
-		return nil, fmt.Errorf("checkpoint: reading %s: %w", s.dir, err)
+		return nil, diskErr("list", s.dir, err)
 	}
 	var out []fileID
 	for _, e := range entries {
@@ -239,7 +239,7 @@ func (s *Store) writeSnapshot(st *State) error {
 	}
 	name := snapName(fileID{run: s.run, seq: st.Decisions})
 	if err := atomicio.WriteFileHooked(filepath.Join(s.dir, name), data, 0o644, s.snapshotFault); err != nil {
-		return err
+		return diskErr("snapshot", filepath.Join(s.dir, name), err)
 	}
 	if err := s.rotateJournal(st.Decisions); err != nil {
 		return err
@@ -256,22 +256,22 @@ func (s *Store) rotateJournal(epoch int) error {
 	path := filepath.Join(s.dir, journalName(fileID{run: s.run, seq: epoch}))
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
 	if err != nil {
-		return fmt.Errorf("checkpoint: creating journal %s: %w", path, err)
+		return diskErr("rotate", path, err)
 	}
 	e := &enc{}
 	e.int(s.run)
 	e.int(epoch)
 	if _, err := f.Write(appendRecord(nil, recordJournalHeader, e.b)); err != nil {
 		f.Close()
-		return fmt.Errorf("checkpoint: writing journal header: %w", err)
+		return diskErr("rotate", path, err)
 	}
 	if err := f.Sync(); err != nil {
 		f.Close()
-		return fmt.Errorf("checkpoint: syncing journal: %w", err)
+		return diskErr("rotate", path, err)
 	}
 	if err := atomicio.SyncDir(s.dir); err != nil {
 		f.Close()
-		return err
+		return diskErr("rotate", s.dir, err)
 	}
 	s.journal = f
 	s.journalEpoch = epoch
@@ -302,11 +302,11 @@ func (s *Store) append(obs Observation) error {
 	e := &enc{}
 	encodeObservation(e, &obs)
 	if _, err := s.journal.Write(appendRecord(nil, recordJournalEntry, e.b)); err != nil {
-		return fmt.Errorf("checkpoint: appending journal entry: %w", err)
+		return diskErr("append", s.journal.Name(), err)
 	}
 	if s.sync {
 		if err := s.journal.Sync(); err != nil {
-			return fmt.Errorf("checkpoint: syncing journal entry: %w", err)
+			return diskErr("append", s.journal.Name(), err)
 		}
 	}
 	return nil
@@ -356,7 +356,7 @@ func (s *Store) prune() error {
 			continue
 		}
 		if err := os.Remove(filepath.Join(s.dir, snapName(id))); err != nil && !os.IsNotExist(err) {
-			return err
+			return diskErr("prune", filepath.Join(s.dir, snapName(id)), err)
 		}
 	}
 	// A journal survives if some retained snapshot of its own run can seed
@@ -384,7 +384,7 @@ func (s *Store) prune() error {
 		}
 		if !needed {
 			if err := os.Remove(filepath.Join(s.dir, journalName(j))); err != nil && !os.IsNotExist(err) {
-				return err
+				return diskErr("prune", filepath.Join(s.dir, journalName(j)), err)
 			}
 		}
 	}

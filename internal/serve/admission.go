@@ -1,0 +1,87 @@
+package serve
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// Admission control sits in front of every tenant. Two independent gates,
+// checked in order after the drain gate:
+//
+//   - tokenBucket sheds sustained overload (429 + Retry-After): requests
+//     refused here never touch a tenant, so a client storm cannot starve
+//     the runtimes of CPU.
+//   - slots bounds concurrent decision requests (503): the pool is sized to
+//     what the host can actually serve at once, and the excess is shed
+//     instead of queued, keeping deadlines meaningful under load.
+
+// tokenBucket is a standard refill-on-demand token bucket. Rate <= 0
+// disables it (every take succeeds).
+type tokenBucket struct {
+	mu     sync.Mutex
+	rate   float64 // tokens per second
+	burst  float64
+	tokens float64
+	last   time.Time
+}
+
+func newTokenBucket(rate float64, burst int) *tokenBucket {
+	if rate <= 0 {
+		return &tokenBucket{}
+	}
+	b := float64(burst)
+	if b < 1 {
+		b = math.Ceil(rate)
+		if b < 1 {
+			b = 1
+		}
+	}
+	return &tokenBucket{rate: rate, burst: b, tokens: b}
+}
+
+// take consumes one token if available. When it cannot, retryAfter is how
+// long until one will have accrued — the Retry-After hint.
+func (b *tokenBucket) take(now time.Time) (ok bool, retryAfter time.Duration) {
+	if b.rate <= 0 {
+		return true, 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !b.last.IsZero() {
+		b.tokens += now.Sub(b.last).Seconds() * b.rate
+		if b.tokens > b.burst {
+			b.tokens = b.burst
+		}
+	}
+	b.last = now
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	return false, time.Duration((1 - b.tokens) / b.rate * float64(time.Second))
+}
+
+// slots is the concurrency limiter: a channel-as-semaphore whose capacity
+// is the inflight bound. tryAcquire never blocks — admission sheds, it
+// does not queue.
+type slots struct {
+	ch chan struct{}
+}
+
+func newSlots(n int) *slots {
+	return &slots{ch: make(chan struct{}, n)}
+}
+
+func (s *slots) tryAcquire() bool {
+	select {
+	case s.ch <- struct{}{}:
+		return true
+	default:
+		return false
+	}
+}
+
+func (s *slots) release() { <-s.ch }
+
+func (s *slots) inUse() int { return len(s.ch) }

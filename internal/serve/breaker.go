@@ -1,0 +1,89 @@
+package serve
+
+import "time"
+
+// breaker is the per-tenant circuit: the tenant-granularity mirror of the
+// per-expert quarantine ladder in internal/core/health.go. A recovered
+// panic trips it open (quarantine with exponential backoff); when the
+// quarantine lapses the tenant re-enters through probation, and only a run
+// of consecutively clean requests — mirroring probationLength — restores
+// good standing and resets the backoff. A violation during probation trips
+// it straight back open with the backoff doubled, exactly like an expert
+// re-quarantined out of probation.
+//
+// All methods are guarded by the owning tenant's mutex.
+
+type breakerState int
+
+const (
+	breakerClosed breakerState = iota
+	breakerOpen
+	breakerProbation
+)
+
+func (s breakerState) String() string {
+	switch s {
+	case breakerClosed:
+		return "ok"
+	case breakerOpen:
+		return "quarantined"
+	case breakerProbation:
+		return "probation"
+	}
+	return "unknown"
+}
+
+type breaker struct {
+	state     breakerState
+	openUntil time.Time
+	backoff   time.Duration // duration of the next quarantine
+	base      time.Duration
+	max       time.Duration
+	probation int // clean requests required to close from probation
+	probeLeft int
+	trips     int // lifetime count, for /v1/tenants
+}
+
+func newBreaker(base, max time.Duration, probation int) *breaker {
+	return &breaker{backoff: base, base: base, max: max, probation: probation}
+}
+
+// admit reports whether a request may proceed. An open breaker whose
+// quarantine has lapsed admits the request and moves to probation; one
+// still cooling off refuses with the remaining quarantine as the retry
+// hint.
+func (b *breaker) admit(now time.Time) (ok bool, retryAfter time.Duration) {
+	if b.state != breakerOpen {
+		return true, 0
+	}
+	if now.Before(b.openUntil) {
+		return false, b.openUntil.Sub(now)
+	}
+	b.state = breakerProbation
+	b.probeLeft = b.probation
+	return true, 0
+}
+
+// trip opens the circuit for the current backoff and doubles it for the
+// next trip, saturating at max.
+func (b *breaker) trip(now time.Time) {
+	b.state = breakerOpen
+	b.openUntil = now.Add(b.backoff)
+	b.trips++
+	b.backoff *= 2
+	if b.backoff > b.max {
+		b.backoff = b.max
+	}
+}
+
+// succeed records a cleanly served request; enough of them in probation
+// close the circuit and forgive the accumulated backoff.
+func (b *breaker) succeed() {
+	if b.state != breakerProbation {
+		return
+	}
+	if b.probeLeft--; b.probeLeft <= 0 {
+		b.state = breakerClosed
+		b.backoff = b.base
+	}
+}

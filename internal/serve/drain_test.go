@@ -1,0 +1,131 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+
+	"moe"
+)
+
+// TestDrainCheckpointsAndRestartResumesBitIdentically is the drain
+// contract end to end: requests racing a drain either complete fully (and
+// are on disk) or shed with 503 "draining" (and left no trace); every
+// persistent tenant is checkpointed inside the window; and a cold restart
+// on the same directory continues every tenant's decision stream exactly
+// where the acknowledged prefix left off — the combined trace is
+// byte-identical to a solo runtime that never restarted.
+func TestDrainCheckpointsAndRestartResumesBitIdentically(t *testing.T) {
+	root := t.TempDir()
+	ids := []string{"alpha", "beta", "gamma"}
+	cfg := Config{CheckpointRoot: root, CheckpointEvery: 16}
+	srv1, ts1 := newTestServer(t, cfg)
+
+	const batch = 16
+	acked := make(map[string][]moe.Observation) // observations the server acknowledged, in order
+	got := make(map[string][]int)               // threads it returned for them
+
+	// Phase A: a served prefix for every tenant.
+	for r := 0; r < 5; r++ {
+		for _, id := range ids {
+			stream := tenantStream(id, r*batch, batch)
+			resp := mustDecide(t, ts1.URL, id, wire(stream))
+			acked[id] = append(acked[id], stream...)
+			got[id] = append(got[id], resp.Threads...)
+		}
+	}
+
+	// Phase B: one more batch per tenant in flight while the drain fires —
+	// the mid-batch SIGTERM. Every outcome must be all-or-nothing.
+	type outcome struct {
+		id      string
+		stream  []moe.Observation
+		status  int
+		code    string
+		threads []int
+	}
+	outcomes := make(chan outcome, len(ids))
+	var wg sync.WaitGroup
+	for _, id := range ids {
+		wg.Add(1)
+		go func(id string) {
+			defer wg.Done()
+			stream := tenantStream(id, 5*batch, batch)
+			status, resp, eresp, _ := postDecide(t, ts1.URL, id, wire(stream), 0)
+			o := outcome{id: id, stream: stream, status: status}
+			switch {
+			case status == http.StatusOK:
+				o.threads = resp.Threads
+			case eresp != nil:
+				o.code = eresp.Code
+			}
+			outcomes <- o
+		}(id)
+	}
+	rep, err := srv1.Drain(5 * time.Second)
+	if err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	wg.Wait()
+	close(outcomes)
+	for o := range outcomes {
+		switch o.status {
+		case http.StatusOK:
+			acked[o.id] = append(acked[o.id], o.stream...)
+			got[o.id] = append(got[o.id], o.threads...)
+		case http.StatusServiceUnavailable:
+			if o.code != "draining" {
+				t.Fatalf("tenant %s: shed with code %q, want draining", o.id, o.code)
+			}
+		default:
+			t.Fatalf("tenant %s: mid-drain status %d, want 200 or 503", o.id, o.status)
+		}
+	}
+
+	// The drain reached every tenant inside the window.
+	if !rep.Clean() {
+		t.Fatalf("drain not clean: timed_out=%v errors=%v", rep.TimedOut, rep.Errors)
+	}
+	if rep.Tenants != len(ids) || rep.Checkpointed != len(ids) {
+		t.Fatalf("drain report %d/%d checkpointed, want %d/%d (%+v)",
+			rep.Checkpointed, rep.Tenants, len(ids), len(ids), rep)
+	}
+	if rep.Elapsed > 5*time.Second {
+		t.Fatalf("drain took %v, over its window", rep.Elapsed)
+	}
+	if _, err := srv1.Drain(time.Second); err == nil {
+		t.Fatal("second drain must refuse")
+	}
+	// Draining servers shed new work with 503 "draining".
+	status, _, eresp, _ := postDecide(t, ts1.URL, "alpha", wire(tenantStream("alpha", 999, 1)), 0)
+	if status != http.StatusServiceUnavailable || eresp.Code != "draining" {
+		t.Fatalf("post-drain request: status %d code %q, want 503 draining", status, eresp.Code)
+	}
+
+	// Cold restart on the same root: every tenant continues exactly where
+	// its acknowledged prefix ended.
+	_, ts2 := newTestServer(t, cfg)
+	for r := 0; r < 3; r++ {
+		for _, id := range ids {
+			stream := tenantStream(id, len(acked[id]), batch)
+			resp := mustDecide(t, ts2.URL, id, wire(stream))
+			// The resumed decision count proves state carried across: the
+			// runtime's counter includes every pre-restart decision.
+			if want := int64(len(acked[id]) + batch); resp.Decisions != want {
+				t.Fatalf("tenant %s: post-restart decisions=%d, want %d (resume lost state)",
+					id, resp.Decisions, want)
+			}
+			acked[id] = append(acked[id], stream...)
+			got[id] = append(got[id], resp.Threads...)
+		}
+	}
+	for _, id := range ids {
+		want := soloThreads(t, acked[id])
+		if fmt.Sprint(got[id]) != fmt.Sprint(want) {
+			t.Errorf("tenant %s: drain+restart trace diverges from an unbroken solo runtime:\n got %v\nwant %v",
+				id, got[id], want)
+		}
+	}
+}

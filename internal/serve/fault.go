@@ -1,0 +1,98 @@
+package serve
+
+import (
+	"fmt"
+	"strings"
+
+	"moe"
+	"moe/internal/sim"
+)
+
+// Fault injection for isolation proofs. Nothing here is wired by default:
+// a host opts in by wrapping its PolicyBuild with FaultInjectionBuild
+// (cmd/moed does so only behind -fault-injection), and then only tenants
+// that name themselves into the chaos prefixes are affected. The wrappers
+// implement Unwrap, so the runtime treats a fault tenant as a plain
+// (non-fast-path) policy — exactly the pessimistic path a hostile tenant
+// would exercise.
+
+// Chaos tenant behavior, by ID prefix.
+const (
+	// ChaosPanicPrefix tenants panic on every FaultPanicEvery-th decision.
+	ChaosPanicPrefix = "chaos-panic"
+	// ChaosStallPrefix tenants block forever at decision FaultStallAt.
+	ChaosStallPrefix = "chaos-stall"
+
+	FaultPanicEvery = 50
+	FaultStallAt    = 200
+)
+
+// PanicEvery wraps p so every nth Decide panics before p sees the
+// decision (the decision is journaled first, like any other, so the panic
+// also poisons the tenant's journal tail — resume hits it again, which is
+// what exercises the cold-start fallback).
+func PanicEvery(p moe.Policy, n int) moe.Policy {
+	return &panicPolicy{p: p, n: n}
+}
+
+type panicPolicy struct {
+	p     moe.Policy
+	n     int
+	count int
+}
+
+func (f *panicPolicy) Name() string       { return f.p.Name() }
+func (f *panicPolicy) Unwrap() moe.Policy { return f.p }
+
+func (f *panicPolicy) Decide(d sim.Decision) int {
+	f.count++
+	if f.n > 0 && f.count%f.n == 0 {
+		panic(fmt.Sprintf("injected tenant fault at decision %d", f.count))
+	}
+	return f.p.Decide(d)
+}
+
+// StallAt wraps p so its nth Decide blocks until release is closed (nil
+// release blocks forever) — a wedged tenant for the watchdog to find.
+func StallAt(p moe.Policy, n int, release <-chan struct{}) moe.Policy {
+	return &stallPolicy{p: p, n: n, release: release}
+}
+
+type stallPolicy struct {
+	p       moe.Policy
+	n       int
+	count   int
+	release <-chan struct{}
+}
+
+func (f *stallPolicy) Name() string       { return f.p.Name() }
+func (f *stallPolicy) Unwrap() moe.Policy { return f.p }
+
+func (f *stallPolicy) Decide(d sim.Decision) int {
+	f.count++
+	if f.count == f.n {
+		if f.release == nil {
+			select {}
+		}
+		<-f.release
+	}
+	return f.p.Decide(d)
+}
+
+// FaultInjectionBuild wraps build so tenants opting into the chaos
+// prefixes get faulting policies; everyone else is untouched.
+func FaultInjectionBuild(build func(string) (moe.Policy, error)) func(string) (moe.Policy, error) {
+	return func(id string) (moe.Policy, error) {
+		p, err := build(id)
+		if err != nil {
+			return nil, err
+		}
+		switch {
+		case strings.HasPrefix(id, ChaosPanicPrefix):
+			return PanicEvery(p, FaultPanicEvery), nil
+		case strings.HasPrefix(id, ChaosStallPrefix):
+			return StallAt(p, FaultStallAt, nil), nil
+		}
+		return p, nil
+	}
+}

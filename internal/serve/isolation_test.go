@@ -1,0 +1,96 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestFaultIsolationAcrossTenants is the isolation proof: healthy tenants
+// served concurrently with a panicking tenant and a wedging tenant must
+// produce thread sequences byte-identical to a solo Runtime fed the same
+// streams — the chaos tenants' faults are fully absorbed by the envelope
+// (recovered panics, breaker quarantine, watchdog recycle) and never leak
+// into anyone else's decisions.
+func TestFaultIsolationAcrossTenants(t *testing.T) {
+	srv, ts := newTestServer(t, Config{
+		CheckpointRoot:    t.TempDir(),
+		CheckpointEvery:   32,
+		WedgeTimeout:      150 * time.Millisecond,
+		WatchdogInterval:  20 * time.Millisecond,
+		BreakerBackoff:    50 * time.Millisecond,
+		ProbationRequests: 2,
+		PolicyBuild:       FaultInjectionBuild(DefaultPolicyBuild),
+	})
+
+	healthy := []string{"acct-a", "acct-b", "acct-c", "acct-d", "acct-e", "acct-f"}
+	chaos := []string{ChaosPanicPrefix + "-1", ChaosStallPrefix + "-1"}
+	const rounds, batch = 16, 16 // 256 observations per tenant: past the panic (50) and stall (200) points
+
+	var wg sync.WaitGroup
+	got := make(map[string][]int, len(healthy))
+	var mu sync.Mutex
+	fail := make(chan string, len(healthy))
+	for _, id := range healthy {
+		wg.Add(1)
+		go func(id string) {
+			defer wg.Done()
+			var threads []int
+			for r := 0; r < rounds; r++ {
+				stream := wire(tenantStream(id, r*batch, batch))
+				status, resp, eresp, _ := postDecide(t, ts.URL, id, stream, 5000)
+				if status != http.StatusOK {
+					fail <- fmt.Sprintf("healthy tenant %s round %d: status %d (%+v)", id, r, status, eresp)
+					return
+				}
+				threads = append(threads, resp.Threads...)
+			}
+			mu.Lock()
+			got[id] = threads
+			mu.Unlock()
+		}(id)
+	}
+	for _, id := range chaos {
+		wg.Add(1)
+		go func(id string) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				// Chaos tenants shed, fault, and time out; only the
+				// envelope's verdicts below matter.
+				postDecide(t, ts.URL, id, wire(tenantStream(id, r*batch, batch)), 400)
+			}
+		}(id)
+	}
+	wg.Wait()
+	close(fail)
+	for msg := range fail {
+		t.Error(msg)
+	}
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	// Golden check: every healthy tenant matches its solo runtime exactly.
+	for _, id := range healthy {
+		want := soloThreads(t, tenantStream(id, 0, rounds*batch))
+		if fmt.Sprint(got[id]) != fmt.Sprint(want) {
+			t.Errorf("tenant %s diverged from solo runtime under chaos:\n got %v\nwant %v", id, got[id], want)
+		}
+	}
+
+	// The faults really happened and the envelope really absorbed them.
+	if v := srv.metrics.panics.Value(); v < 1 {
+		t.Error("no panics recovered — the chaos-panic tenant never faulted")
+	}
+	if v := srv.metrics.breakerTrips.Value(); v < 1 {
+		t.Error("breaker never tripped")
+	}
+	if v := srv.metrics.recycles.Value(); v < 1 {
+		t.Error("watchdog never recycled — the chaos-stall tenant never wedged")
+	}
+	if v := srv.metrics.deadlineExceeded.Value(); v < 1 {
+		t.Error("no deadline was exceeded — the stalled request should have hit its")
+	}
+}

@@ -253,11 +253,39 @@ type family struct {
 type Registry struct {
 	mu       sync.Mutex
 	families map[string]*family
+
+	// seriesLimit caps how many label sets one family may register; 0 is
+	// unlimited. dropped counts the label sets refused at the cap. Both are
+	// set once by SetSeriesLimit before the registry is shared.
+	seriesLimit int
+	dropped     *Counter
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
 	return &Registry{families: make(map[string]*family)}
+}
+
+// SetSeriesLimit caps the number of *labeled* series any one family will
+// register; requests past the cap receive a detached metric — fully
+// functional, never exposed — and increment the overflow counter registered
+// under droppedCounter (e.g. "serve_labels_dropped_total"), once per refused
+// request. Unlabeled series are exempt: the cap exists to bound label-value
+// cardinality (tenant IDs are unbounded in a multi-tenant daemon), not to
+// refuse a family its base series. A label set registered before the cap was
+// reached keeps resolving to its live metric forever.
+//
+// Call before the registry is shared with instrumented code; the limit is
+// read under the registry lock but is not meant to change mid-flight.
+func (r *Registry) SetSeriesLimit(limit int, droppedCounter string) {
+	if r == nil || limit < 1 {
+		return
+	}
+	c := r.Counter(droppedCounter, "Labeled series refused by the registry's per-family cardinality cap.")
+	r.mu.Lock()
+	r.seriesLimit = limit
+	r.dropped = c
+	r.mu.Unlock()
 }
 
 // labelValueEscaper applies the Prometheus text-format escaping rules for
@@ -299,6 +327,13 @@ func (r *Registry) metric(name, help string, kind metricKind, build func() any, 
 	ls := labelString(labels)
 	m, ok := f.metrics[ls]
 	if !ok {
+		if ls != "" && r.seriesLimit > 0 && len(f.metrics) >= r.seriesLimit {
+			// Cardinality cap: hand out a working but unexposed metric
+			// instead of growing the family without bound. Counter.Inc is a
+			// bare atomic, safe under r.mu.
+			r.dropped.Inc()
+			return build()
+		}
 		m = build()
 		f.metrics[ls] = m
 	}

@@ -88,6 +88,62 @@ func TestRegistryKindMismatch(t *testing.T) {
 	}
 }
 
+func TestRegistrySeriesLimit(t *testing.T) {
+	reg := NewRegistry()
+	reg.SetSeriesLimit(2, "labels_dropped_total")
+
+	// Up to the cap, labeled series register normally.
+	a := reg.Counter("tenant_total", "", "tenant", "a")
+	b := reg.Counter("tenant_total", "", "tenant", "b")
+	a.Inc()
+	b.Inc()
+	if got := reg.Counter("labels_dropped_total", "").Value(); got != 0 {
+		t.Fatalf("at the cap nothing is dropped, counter=%d", got)
+	}
+
+	// The first series past the cap is refused: a working, unexposed
+	// detached metric plus one overflow count per refused request.
+	c := reg.Counter("tenant_total", "", "tenant", "c")
+	c.Inc()
+	if c.Value() != 1 {
+		t.Error("dropped metric must still work")
+	}
+	if got := reg.Counter("labels_dropped_total", "").Value(); got != 1 {
+		t.Fatalf("one dropped series, counter=%d", got)
+	}
+	// The cap refuses per request, so a re-lookup of the same overflow
+	// label set is a fresh detached metric and another overflow count.
+	if reg.Counter("tenant_total", "", "tenant", "c") == c {
+		t.Error("refused label sets are not cached")
+	}
+	if got := reg.Counter("labels_dropped_total", "").Value(); got != 2 {
+		t.Fatalf("overflow counts per refused request, counter=%d", got)
+	}
+
+	// Series admitted before the cap keep resolving to the live metric,
+	// and unlabeled series are exempt from the cap.
+	if reg.Counter("tenant_total", "", "tenant", "a") != a {
+		t.Error("admitted label set must stay stable past the cap")
+	}
+	u := reg.Counter("tenant_total", "")
+	u.Inc()
+
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, `tenant_total{tenant="a"} 1`) || !strings.Contains(out, "tenant_total 1") {
+		t.Errorf("admitted series missing from exposition:\n%s", out)
+	}
+	if strings.Contains(out, `tenant="c"`) {
+		t.Errorf("refused series must not be exposed:\n%s", out)
+	}
+	if !strings.Contains(out, "labels_dropped_total 2") {
+		t.Errorf("overflow counter missing from exposition:\n%s", out)
+	}
+}
+
 func TestHistogramQuantiles(t *testing.T) {
 	h := newHistogram([]float64{1, 2, 4, 8})
 	for _, v := range []float64{0.5, 1.5, 1.5, 3, 3, 3, 5, 100} {
@@ -351,6 +407,28 @@ func TestMultiSink(t *testing.T) {
 	recs, err := ReadTrace(&buf)
 	if err != nil || len(recs) != 2 {
 		t.Fatalf("fan-out: %d records, err %v", len(recs), err)
+	}
+}
+
+// A typed-nil *TraceWriter slips past MultiSink's interface nil check
+// (callers like moerun compose `MultiSink(regSink, traceW)` with traceW
+// declared but never created); every method must no-op on a nil receiver
+// rather than dereference it mid-decision.
+func TestTraceWriterNilReceiver(t *testing.T) {
+	var tw *TraceWriter
+	s := MultiSink(nil, tw)
+	if s == nil {
+		t.Fatal("typed nil composes to a non-nil sink; this test must exercise it")
+	}
+	s.RecordDecision(&Record{Seq: 1, Threads: 2}) // must not panic
+	if err := tw.Flush(); err != nil {
+		t.Errorf("nil Flush: %v", err)
+	}
+	if err := tw.Err(); err != nil {
+		t.Errorf("nil Err: %v", err)
+	}
+	if err := tw.Close(); err != nil {
+		t.Errorf("nil Close: %v", err)
 	}
 }
 

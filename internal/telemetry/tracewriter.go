@@ -42,8 +42,12 @@ func CreateTrace(path string) (*TraceWriter, error) {
 
 // RecordDecision implements Sink. The first write error is latched; later
 // records are dropped silently (the decision path must not fail because a
-// disk did).
+// disk did). A nil receiver is a no-op, like the registry metrics: a typed
+// nil *TraceWriter handed to MultiSink survives its interface nil check.
 func (t *TraceWriter) RecordDecision(rec *Record) {
+	if t == nil {
+		return
+	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if t.err != nil {
@@ -63,8 +67,11 @@ func (t *TraceWriter) RecordDecision(rec *Record) {
 	}
 }
 
-// Flush pushes buffered records to the destination.
+// Flush pushes buffered records to the destination. Nil-safe.
 func (t *TraceWriter) Flush() error {
+	if t == nil {
+		return nil
+	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if t.err != nil {
@@ -73,16 +80,22 @@ func (t *TraceWriter) Flush() error {
 	return t.w.Flush()
 }
 
-// Err returns the latched write error, if any.
+// Err returns the latched write error, if any. Nil-safe.
 func (t *TraceWriter) Err() error {
+	if t == nil {
+		return nil
+	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	return t.err
 }
 
 // Close flushes, fsyncs (when the writer owns a file), and closes. It
-// returns the first error the writer encountered.
+// returns the first error the writer encountered. Nil-safe.
 func (t *TraceWriter) Close() error {
+	if t == nil {
+		return nil
+	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if ferr := t.w.Flush(); t.err == nil {

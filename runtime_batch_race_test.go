@@ -38,8 +38,13 @@ func assertCoherentReads(t *testing.T, rt *moe.Runtime, lastDecisions *int) {
 		t.Errorf("histogram fractions sum to %v — torn shard read", sum)
 	}
 	bs := rt.BatchStats()
-	if bs.FastDecisions < 0 || bs.FullDecisions < 0 || bs.FastDecisions+bs.FullDecisions > d {
-		t.Errorf("batch stats %+v inconsistent with %d decisions", bs, d)
+	// Compare against a decisions read taken AFTER the stats read: both are
+	// published atomically under one lock and decisions is monotone, so
+	// stats ≤ decisions-at-stats-time ≤ decisions-now. (Comparing against
+	// the earlier read of d races the writer: whole batches can land
+	// between the two accessor calls.)
+	if after := rt.Decisions(); bs.FastDecisions < 0 || bs.FullDecisions < 0 || bs.FastDecisions+bs.FullDecisions > after {
+		t.Errorf("batch stats %+v inconsistent with %d decisions", bs, after)
 	}
 	if rt.SanitizedValues() < 0 {
 		t.Error("negative sanitized count")

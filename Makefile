@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench bench-smoke serve-smoke
+.PHONY: build test race vet bench bench-smoke serve-smoke replica-smoke
 
 build:
 	$(GO) build ./...
@@ -23,6 +23,7 @@ bench:
 	$(GO) run ./cmd/moebench -bench-json BENCH_PR5.json
 	$(GO) run ./cmd/moebench -throughput-json BENCH_PR6.json
 	$(GO) run ./cmd/moebench -serve-json BENCH_PR7.json
+	$(GO) run ./cmd/moebench -replica-json BENCH_PR8.json
 
 # serve-smoke drives the real moed binary end to end: JSON + NDJSON
 # decisions, chaos-tenant quarantine with a healthy bystander, metrics
@@ -31,6 +32,13 @@ bench:
 # checkpoints.
 serve-smoke:
 	bash scripts/serve_smoke.sh
+
+# replica-smoke runs the two-process hot-standby failover against the real
+# moed binary: primary replicating to a standby, identified client traffic,
+# SIGKILL of the primary, `moed -promote`, exact recovered counters, a
+# deduplicated retry, and fencing of the restarted stale primary.
+replica-smoke:
+	bash scripts/replica_smoke.sh
 
 # bench-smoke is the CI guard: cheap fixed-iteration runs of the sim
 # stepping-loop and batch decision microbenchmarks that fail if either

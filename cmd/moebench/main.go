@@ -133,6 +133,13 @@ var registry = map[string]runner{
 		}
 		return serveTable(rep), nil
 	},
+	"replica": func(_ *experiments.Lab, _ experiments.Scale) (*experiments.Table, error) {
+		rep, err := runReplica(defaultReplicaOpts())
+		if err != nil {
+			return nil, err
+		}
+		return replicaTable(rep), nil
+	},
 }
 
 // order fixes the -all presentation sequence.
@@ -141,7 +148,7 @@ var order = []string{
 	"fig10", "fig11", "fig12", "fig13a", "fig13b", "fig14a", "fig14b",
 	"fig14c", "fig15a", "fig15b", "fig15c", "fig16", "fig17", "cv",
 	"ablation-gating", "ablation-features", "portability", "churn",
-	"chaos", "restart", "telemetry", "throughput", "serve",
+	"chaos", "restart", "telemetry", "throughput", "serve", "replica",
 }
 
 func main() {
@@ -157,6 +164,7 @@ func main() {
 	benchJSON := flag.String("bench-json", "", "measure both engines on the canonical scenario, write the JSON report to this path, and exit")
 	throughputJSON := flag.String("throughput-json", "", "measure decision throughput (single vs batched vs sharded), write the JSON report to this path, and exit")
 	serveJSON := flag.String("serve-json", "", "run the multi-tenant daemon chaos-load study, write the JSON report to this path, and exit")
+	replicaJSON := flag.String("replica-json", "", "run the hot-standby replication study (throughput on vs off, lag, failover), write the JSON report to this path, and exit")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
@@ -192,6 +200,15 @@ func main() {
 	if *serveJSON != "" {
 		if err := writeServeJSON(*serveJSON); err != nil {
 			fmt.Fprintf(os.Stderr, "moebench: serve: %v\n", err)
+			stopCPU()
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *replicaJSON != "" {
+		if err := writeReplicaJSON(*replicaJSON); err != nil {
+			fmt.Fprintf(os.Stderr, "moebench: replica: %v\n", err)
 			stopCPU()
 			os.Exit(1)
 		}

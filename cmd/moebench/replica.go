@@ -1,0 +1,290 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	"moe/internal/experiments"
+	"moe/internal/serve"
+)
+
+// The replication study: the decision daemon's hot-standby cost, measured
+// end to end. The same fixed workload — sequential per-tenant batches over
+// real HTTP — runs twice: once standalone, once as a primary shipping every
+// committed checkpoint artifact to a live standby (group flush before each
+// ack, the exactly-once commit path). The committed evidence
+// (BENCH_PR8.json) reports sustained decisions/sec for both, the overhead
+// ratio, the final replication lag (must be zero: every ack was shipped),
+// and a scripted failover: the standby is promoted and every tenant must
+// resume at exactly its acked decision count.
+
+type replicaOpts struct {
+	Tenants int // concurrent tenants
+	Rounds  int // sequential batches per tenant
+	Batch   int // observations per batch
+}
+
+func defaultReplicaOpts() replicaOpts {
+	return replicaOpts{Tenants: 8, Rounds: 32, Batch: 16}
+}
+
+type replicaReport struct {
+	Tenants     int `json:"tenants"`
+	Rounds      int `json:"rounds"`
+	Batch       int `json:"batch"`
+	DecisionsPT int `json:"decisions_per_tenant"`
+
+	SoloDecisionsPerSec       float64 `json:"solo_decisions_per_sec"`
+	ReplicatedDecisionsPerSec float64 `json:"replicated_decisions_per_sec"`
+	ReplicationOverhead       float64 `json:"replication_overhead_ratio"`
+
+	// FinalLag is shipments buffered on the primary but never applied by
+	// the standby when the load stopped: 0 means every ack was preceded by
+	// a complete group flush.
+	FinalLag int64 `json:"final_replication_lag"`
+
+	// Failover proof: after promoting the standby, every tenant resumed at
+	// exactly its acked decision count.
+	PromotedTerm     uint64 `json:"promoted_term"`
+	FailoverVerified int    `json:"failover_verified_tenants"`
+	FailoverMismatch int    `json:"failover_mismatched_tenants"`
+
+	Notes []string `json:"notes"`
+}
+
+// driveReplicaLoad runs the fixed workload against base and returns the
+// elapsed wall time. One goroutine per tenant; each tenant's stream is
+// strictly sequential, every request carries an idempotency key (the
+// realistic client posture the dedup window exists for).
+func driveReplicaLoad(base string, opts replicaOpts) (time.Duration, error) {
+	errs := make(chan error, opts.Tenants)
+	start := time.Now()
+	for ti := 0; ti < opts.Tenants; ti++ {
+		go func(ti int) {
+			id := fmt.Sprintf("acct-%03d", ti)
+			cl := &serveClient{base: base, client: &http.Client{Timeout: 30 * time.Second}}
+			for r := 0; r < opts.Rounds; r++ {
+				status, resp, err := cl.postID(id, tenantSeed(id), r*opts.Batch, opts.Batch,
+					10000, fmt.Sprintf("req-%s-%d", id, r))
+				if err != nil || status != http.StatusOK {
+					errs <- fmt.Errorf("tenant %s round %d: status %d err %v", id, r, status, err)
+					return
+				}
+				if want := int64((r + 1) * opts.Batch); resp.Decisions != want {
+					errs <- fmt.Errorf("tenant %s round %d: decisions %d, want %d", id, r, resp.Decisions, want)
+					return
+				}
+			}
+			errs <- nil
+		}(ti)
+	}
+	for ti := 0; ti < opts.Tenants; ti++ {
+		if err := <-errs; err != nil {
+			return 0, err
+		}
+	}
+	return time.Since(start), nil
+}
+
+// postID is post with an idempotency key.
+func (c *serveClient) postID(tenant string, seed, from, n, deadlineMs int, reqID string) (int, *serveWireResp, error) {
+	obs := make([]map[string]any, n)
+	for i := range obs {
+		obs[i] = serveObservation(seed, from+i)
+	}
+	body, err := json.Marshal(map[string]any{"tenant": tenant, "observations": obs, "request_id": reqID})
+	if err != nil {
+		return 0, nil, err
+	}
+	req, err := http.NewRequest(http.MethodPost, c.base+"/v1/decide", bytes.NewReader(body))
+	if err != nil {
+		return 0, nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if deadlineMs > 0 {
+		req.Header.Set("X-Deadline-Ms", fmt.Sprint(deadlineMs))
+	}
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	var out serveWireResp
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return resp.StatusCode, nil, err
+	}
+	return resp.StatusCode, &out, nil
+}
+
+func startReplicaServer(cfg serve.Config) (*serve.Server, *http.Server, string, error) {
+	srv, err := serve.NewServer(cfg)
+	if err != nil {
+		return nil, nil, "", err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		srv.Close()
+		return nil, nil, "", err
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	go httpSrv.Serve(ln)
+	return srv, httpSrv, "http://" + ln.Addr().String(), nil
+}
+
+func runReplica(opts replicaOpts) (*replicaReport, error) {
+	rep := &replicaReport{
+		Tenants:     opts.Tenants,
+		Rounds:      opts.Rounds,
+		Batch:       opts.Batch,
+		DecisionsPT: opts.Rounds * opts.Batch,
+	}
+	totalDecisions := float64(opts.Tenants * opts.Rounds * opts.Batch)
+	baseCfg := serve.Config{
+		MaxThreads:      throughputMaxThreads,
+		CheckpointEvery: 128,
+		MaxInflight:     opts.Tenants * 2,
+	}
+
+	// Leg 1: standalone.
+	soloRoot, err := os.MkdirTemp("", "moed-replica-solo-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(soloRoot)
+	soloCfg := baseCfg
+	soloCfg.CheckpointRoot = soloRoot
+	soloSrv, soloHTTP, soloBase, err := startReplicaServer(soloCfg)
+	if err != nil {
+		return nil, err
+	}
+	soloElapsed, err := driveReplicaLoad(soloBase, opts)
+	soloHTTP.Close()
+	soloSrv.Close()
+	if err != nil {
+		return nil, fmt.Errorf("solo leg: %w", err)
+	}
+	rep.SoloDecisionsPerSec = totalDecisions / soloElapsed.Seconds()
+
+	// Leg 2: primary + hot standby on loopback.
+	sbRoot, err := os.MkdirTemp("", "moed-replica-sb-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(sbRoot)
+	primRoot, err := os.MkdirTemp("", "moed-replica-prim-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(primRoot)
+
+	sbCfg := baseCfg
+	sbCfg.Standby = true
+	sbCfg.CheckpointRoot = sbRoot
+	sbSrv, sbHTTP, sbBase, err := startReplicaServer(sbCfg)
+	if err != nil {
+		return nil, err
+	}
+	defer sbHTTP.Close()
+	defer sbSrv.Close()
+
+	primCfg := baseCfg
+	primCfg.CheckpointRoot = primRoot
+	primCfg.ReplicateTo = sbBase
+	primSrv, primHTTP, primBase, err := startReplicaServer(primCfg)
+	if err != nil {
+		return nil, err
+	}
+	replElapsed, err := driveReplicaLoad(primBase, opts)
+	if err != nil {
+		primHTTP.Close()
+		primSrv.Close()
+		return nil, fmt.Errorf("replicated leg: %w", err)
+	}
+	rep.ReplicatedDecisionsPerSec = totalDecisions / replElapsed.Seconds()
+	if rep.ReplicatedDecisionsPerSec > 0 {
+		rep.ReplicationOverhead = rep.SoloDecisionsPerSec / rep.ReplicatedDecisionsPerSec
+	}
+	rep.FinalLag = primSrv.ReplicaLag()
+
+	// Failover: hard-stop the primary, promote the standby, verify every
+	// tenant resumed at exactly its acked decision count.
+	primHTTP.Close()
+	primSrv.Close()
+	resp, err := http.Post(sbBase+"/v1/promote", "application/json", nil)
+	if err != nil {
+		return nil, err
+	}
+	var prep serve.PromoteReport
+	err = json.NewDecoder(resp.Body).Decode(&prep)
+	resp.Body.Close()
+	if err != nil {
+		return nil, err
+	}
+	rep.PromotedTerm = prep.Term
+	want := int64(opts.Rounds * opts.Batch)
+	for _, pt := range prep.Tenants {
+		if pt.Err == "" && pt.Decisions == want {
+			rep.FailoverVerified++
+		} else {
+			rep.FailoverMismatch++
+			rep.Notes = append(rep.Notes, fmt.Sprintf("tenant %s promoted at %d decisions (err %q), want %d",
+				pt.ID, pt.Decisions, pt.Err, want))
+		}
+	}
+	rep.Notes = append(rep.Notes,
+		fmt.Sprintf("replication: group flush before every ack; %.0f vs %.0f decisions/s (%.2fx overhead), final lag %d",
+			rep.SoloDecisionsPerSec, rep.ReplicatedDecisionsPerSec, rep.ReplicationOverhead, rep.FinalLag),
+		fmt.Sprintf("failover: standby promoted at term %d with %d/%d tenants at their exact acked decision count",
+			rep.PromotedTerm, rep.FailoverVerified, opts.Tenants))
+	return rep, nil
+}
+
+func replicaTable(rep *replicaReport) *experiments.Table {
+	t := &experiments.Table{
+		Title:   "Hot-standby replication — throughput cost and failover exactness",
+		Columns: []string{"value"},
+		Notes:   rep.Notes,
+	}
+	t.AddRow("tenants", float64(rep.Tenants))
+	t.AddRow("decisions/sec solo", rep.SoloDecisionsPerSec)
+	t.AddRow("decisions/sec replicated", rep.ReplicatedDecisionsPerSec)
+	t.AddRow("overhead ratio", rep.ReplicationOverhead)
+	t.AddRow("final replication lag", float64(rep.FinalLag))
+	t.AddRow("failover tenants exact", float64(rep.FailoverVerified))
+	t.AddRow("failover mismatches", float64(rep.FailoverMismatch))
+	return t
+}
+
+// writeReplicaJSON runs the study and writes the committed artifact
+// (BENCH_PR8.json). A non-zero final lag or any failover mismatch is a
+// hard failure: the artifact must never certify a pair that can lose an
+// acked decision.
+func writeReplicaJSON(path string) error {
+	rep, err := runReplica(defaultReplicaOpts())
+	if err != nil {
+		return err
+	}
+	if rep.FinalLag != 0 {
+		return fmt.Errorf("replication lag %d after load stopped: acked decisions not fully shipped", rep.FinalLag)
+	}
+	if rep.FailoverMismatch > 0 {
+		return fmt.Errorf("failover mismatch on %d tenants", rep.FailoverMismatch)
+	}
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "moebench: replica %d tenants, %.0f solo vs %.0f replicated decisions/s (%.2fx), lag=%d, failover %d/%d exact at term %d, wrote %s\n",
+		rep.Tenants, rep.SoloDecisionsPerSec, rep.ReplicatedDecisionsPerSec, rep.ReplicationOverhead,
+		rep.FinalLag, rep.FailoverVerified, rep.Tenants, rep.PromotedTerm, path)
+	return nil
+}

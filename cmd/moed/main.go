@@ -13,6 +13,7 @@
 package main
 
 import (
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -43,8 +44,17 @@ func main() {
 		drainWindow     = flag.Duration("drain-window", serve.DefDrainWindow, "SIGTERM graceful-drain bound")
 		faultInjection  = flag.Bool("fault-injection", false, "wrap chaos-panic-*/chaos-stall-* tenants with injected faults (testing only)")
 		quiet           = flag.Bool("quiet", false, "suppress operational log lines")
+		replicateTo     = flag.String("replicate-to", "", "base URL of a hot standby; every committed checkpoint artifact is shipped there before the client ack")
+		standby         = flag.Bool("standby", false, "run as a hot standby: apply shipped artifacts, refuse decisions until promoted via POST /v1/promote")
+		replicaTerm     = flag.Uint64("replica-term", 0, "fencing term this primary ships at (a restarted primary of a promoted pair must pass the new term)")
+		dedupWindow     = flag.Int("dedup-window", serve.DefDedupWindow, "per-tenant idempotency window: identified requests (X-Request-Id) remembered for exactly-once acks")
+		promote         = flag.String("promote", "", "client mode: POST /v1/promote to this base URL, print the report, and exit")
 	)
 	flag.Parse()
+
+	if *promote != "" {
+		os.Exit(promoteStandby(*promote))
+	}
 
 	logf := log.Printf
 	if *quiet {
@@ -63,6 +73,10 @@ func main() {
 		MaxBatch:        *maxBatch,
 		WedgeTimeout:    *wedgeTimeout,
 		DrainWindow:     *drainWindow,
+		ReplicateTo:     *replicateTo,
+		ReplicaTerm:     *replicaTerm,
+		Standby:         *standby,
+		DedupWindow:     *dedupWindow,
 		Logf:            logf,
 	}
 	if *faultInjection {
@@ -100,10 +114,41 @@ func main() {
 		drained <- code
 	}()
 
-	logf("moed: serving on %s (checkpoint-dir=%q)", *listen, *checkpointDir)
+	role := "solo"
+	switch {
+	case *standby:
+		role = "standby (decisions refused until promoted)"
+	case *replicateTo != "":
+		role = fmt.Sprintf("primary replicating to %s", *replicateTo)
+	}
+	logf("moed: serving on %s (checkpoint-dir=%q, role: %s)", *listen, *checkpointDir, role)
 	if err := httpSrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
 	os.Exit(<-drained)
+}
+
+// promoteStandby is the -promote client mode: it asks the standby at base to
+// take over serving and prints the promotion report (term, per-tenant
+// recovered decision counts) as JSON on stdout.
+func promoteStandby(base string) int {
+	resp, err := http.Post(base+"/v1/promote", "application/json", nil)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "moed: promote: %v\n", err)
+		return 1
+	}
+	defer resp.Body.Close()
+	var rep serve.PromoteReport
+	if err := json.NewDecoder(resp.Body).Decode(&rep); err != nil {
+		fmt.Fprintf(os.Stderr, "moed: promote: decoding response (status %d): %v\n", resp.StatusCode, err)
+		return 1
+	}
+	out, _ := json.MarshalIndent(rep, "", "  ")
+	fmt.Println(string(out))
+	if resp.StatusCode != http.StatusOK {
+		fmt.Fprintf(os.Stderr, "moed: promote: status %d\n", resp.StatusCode)
+		return 1
+	}
+	return 0
 }

@@ -1,0 +1,207 @@
+package checkpoint
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"moe/internal/atomicio"
+)
+
+// Applier is the standby-side counterpart of a shipping Store: it applies
+// Shipments into a checkpoint directory, re-validating every frame with the
+// same machinery recovery uses, so the directory is always a state a
+// crashed primary could itself have left behind — one `Recover` away from
+// serving. It accepts shipments strictly in stream order (ErrOutOfOrder
+// otherwise), which lets the replication layer detect a gap — a dropped
+// flush, a restarted peer — and resynchronize from a snapshot instead of
+// silently splicing timelines.
+//
+// An Applier is not safe for concurrent use; internal/replica serializes
+// access per tenant.
+type Applier struct {
+	dir  string
+	sync bool
+
+	journal *os.File
+	cur     fileID // journal being appended (valid when open)
+	next    int    // expected Index of the next journal record
+	open    bool
+	applied int // shipments applied since NewApplier/Reset
+}
+
+// ErrOutOfOrder reports a shipment that does not continue the applied
+// stream: a journal record for an epoch that is not open, or at an index
+// other than the next expected one. The caller should resynchronize from
+// the sender's buffered lineage (snapshot + full journal).
+var ErrOutOfOrder = errors.New("checkpoint: shipment out of order")
+
+// NewApplier creates (if needed) the directory and returns an applier for
+// it. With sync, every applied artifact is fsynced before Apply returns —
+// the standby's durability matches the primary's.
+func NewApplier(dir string, sync bool) (*Applier, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, diskErr("apply", dir, err)
+	}
+	return &Applier{dir: dir, sync: sync}, nil
+}
+
+// Dir returns the applier's directory.
+func (a *Applier) Dir() string { return a.dir }
+
+// Tip returns the position the applied stream has reached: the journal
+// run/epoch being appended and how many records it holds (post-header).
+// All zeros before the first journal-open.
+func (a *Applier) Tip() (run, epoch, records int) {
+	if !a.open {
+		return 0, 0, 0
+	}
+	return a.cur.run, a.cur.seq, a.next
+}
+
+// Applied returns the number of shipments applied since open or Reset.
+func (a *Applier) Applied() int { return a.applied }
+
+// Reset forgets the stream position (closing any open journal) so the next
+// shipments may start a fresh resynchronization. Files already applied are
+// left in place; the resync overwrites or supersedes them.
+func (a *Applier) Reset() error {
+	a.next = 0
+	a.open = false
+	a.applied = 0
+	return a.closeJournal()
+}
+
+// Close closes the applier, syncing and closing any open journal.
+func (a *Applier) Close() error {
+	a.open = false
+	return a.closeJournal()
+}
+
+func (a *Applier) closeJournal() error {
+	if a.journal == nil {
+		return nil
+	}
+	var err error
+	if a.sync {
+		err = a.journal.Sync()
+	}
+	if cerr := a.journal.Close(); err == nil {
+		err = cerr
+	}
+	a.journal = nil
+	return err
+}
+
+// Apply validates one shipment and makes it durable. Journal records must
+// arrive in exactly the order the primary wrote them; anything else is
+// ErrOutOfOrder. Corrupt payloads (bad CRC, kind mismatch, name/content
+// disagreement) are rejected with ErrBadRecord — a defect in transit or in
+// the sender, never written to disk.
+func (a *Applier) Apply(sh Shipment) error {
+	switch sh.Kind {
+	case ShipSnapshot:
+		return a.applySnapshot(sh)
+	case ShipJournalOpen:
+		return a.applyJournalOpen(sh)
+	case ShipJournalRecord:
+		return a.applyJournalRecord(sh)
+	default:
+		return fmt.Errorf("%w: unknown ship kind %d", ErrBadRecord, sh.Kind)
+	}
+}
+
+func (a *Applier) applySnapshot(sh Shipment) error {
+	st, run, err := DecodeSnapshot(sh.Data)
+	if err != nil {
+		return err
+	}
+	if run != sh.Run || st.Decisions != sh.Seq {
+		return fmt.Errorf("%w: snapshot payload run %d decisions %d do not match shipment %d/%d",
+			ErrBadRecord, run, st.Decisions, sh.Run, sh.Seq)
+	}
+	name := snapName(fileID{run: sh.Run, seq: sh.Seq})
+	if err := atomicio.WriteFile(filepath.Join(a.dir, name), sh.Data, 0o644); err != nil {
+		return diskErr("apply", filepath.Join(a.dir, name), err)
+	}
+	a.applied++
+	return nil
+}
+
+func (a *Applier) applyJournalOpen(sh Shipment) error {
+	kind, payload, size, err := readRecord(sh.Data)
+	if err != nil {
+		return err
+	}
+	if kind != recordJournalHeader || size != len(sh.Data) {
+		return fmt.Errorf("%w: journal-open shipment is not a lone header record", ErrBadRecord)
+	}
+	hd := &dec{b: payload}
+	run, epoch := hd.int(), hd.int()
+	if hd.done() != nil || run != sh.Run || epoch != sh.Seq {
+		return fmt.Errorf("%w: journal header names run %d epoch %d, shipment says %d/%d",
+			ErrBadRecord, run, epoch, sh.Run, sh.Seq)
+	}
+	if err := a.closeJournal(); err != nil {
+		return err
+	}
+	id := fileID{run: sh.Run, seq: sh.Seq}
+	path := filepath.Join(a.dir, journalName(id))
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return diskErr("apply", path, err)
+	}
+	if _, err := f.Write(sh.Data); err != nil {
+		f.Close()
+		return diskErr("apply", path, err)
+	}
+	if a.sync {
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return diskErr("apply", path, err)
+		}
+		if err := atomicio.SyncDir(a.dir); err != nil {
+			f.Close()
+			return diskErr("apply", a.dir, err)
+		}
+	}
+	a.journal = f
+	a.cur = id
+	a.next = 0
+	a.open = true
+	a.applied++
+	// Same retention discipline as the writing store: a rotation is the
+	// moment older generations age out.
+	return pruneDir(a.dir, id)
+}
+
+func (a *Applier) applyJournalRecord(sh Shipment) error {
+	if !a.open || sh.Run != a.cur.run || sh.Seq != a.cur.seq || sh.Index != a.next {
+		return fmt.Errorf("%w: record %d/%d#%d, applier at %d/%d#%d",
+			ErrOutOfOrder, sh.Run, sh.Seq, sh.Index, a.cur.run, a.cur.seq, a.next)
+	}
+	kind, _, size, err := readRecord(sh.Data)
+	if err != nil {
+		return err
+	}
+	if size != len(sh.Data) {
+		return fmt.Errorf("%w: journal-record shipment holds trailing bytes", ErrBadRecord)
+	}
+	switch kind {
+	case recordJournalEntry, recordDedupMark, recordDedupWindow:
+	default:
+		return fmt.Errorf("%w: record kind %d cannot follow a journal header", ErrBadRecord, kind)
+	}
+	if _, err := a.journal.Write(sh.Data); err != nil {
+		return diskErr("apply", a.journal.Name(), err)
+	}
+	if a.sync {
+		if err := a.journal.Sync(); err != nil {
+			return diskErr("apply", a.journal.Name(), err)
+		}
+	}
+	a.next++
+	a.applied++
+	return nil
+}

@@ -22,10 +22,23 @@ type Checkpointable interface {
 	CheckpointLoad([]byte) error
 }
 
+// unwrap follows a wrapper policy (chaos injector, instrumentation shim —
+// the runtime's Unwrapper convention) down one level, so wrapped built-ins
+// checkpoint as themselves. A wrapper with its own mutable state must
+// implement Checkpointable instead; the interface check always wins over
+// unwrapping.
+func unwrap(p sim.Policy) (sim.Policy, bool) {
+	u, ok := p.(interface{ Unwrap() sim.Policy })
+	if !ok {
+		return p, false
+	}
+	return u.Unwrap(), true
+}
+
 // CapturePolicy extracts the checkpoint state of a policy. Built-in
 // stateful policies (mixture, online, analytic) are captured natively;
-// known-stateless policies yield a stateless marker; anything else must
-// implement Checkpointable.
+// known-stateless policies yield a stateless marker; wrappers are walked
+// through Unwrap; anything else must implement Checkpointable.
 func CapturePolicy(p sim.Policy) (PolicyState, error) {
 	switch pp := p.(type) {
 	case *core.Mixture:
@@ -49,6 +62,9 @@ func CapturePolicy(p sim.Policy) (PolicyState, error) {
 			return PolicyState{}, err
 		}
 		return PolicyState{Kind: PolicyOpaque, Opaque: data}, nil
+	}
+	if inner, ok := unwrap(p); ok {
+		return CapturePolicy(inner)
 	}
 	return PolicyState{}, fmt.Errorf("checkpoint: policy %q is not checkpointable", p.Name())
 }
@@ -84,6 +100,9 @@ func RestorePolicy(p sim.Policy, st PolicyState) error {
 			return kindMismatch(st.Kind, PolicyOpaque)
 		}
 		return c.CheckpointLoad(st.Opaque)
+	}
+	if inner, ok := unwrap(p); ok {
+		return RestorePolicy(inner, st)
 	}
 	return fmt.Errorf("checkpoint: policy %q is not checkpointable", p.Name())
 }

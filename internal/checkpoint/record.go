@@ -31,6 +31,8 @@ const (
 	recordSnapshot      = 0x01 // payload: encoded State
 	recordJournalHeader = 0x02 // payload: journal epoch (starting decision count)
 	recordJournalEntry  = 0x03 // payload: encoded Observation
+	recordDedupMark     = 0x04 // payload: encoded DedupEntry (idempotent request marker)
+	recordDedupWindow   = 0x05 // payload: encoded []DedupEntry (full window at rotation)
 )
 
 var recordMagic = [4]byte{'M', 'O', 'E', 'C'}

@@ -1,0 +1,252 @@
+package checkpoint
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Replication shipping. A Store can be given a shipper hook that observes
+// every durable artifact the store commits locally — whole snapshot files,
+// journal rotations, and individual journal records — as self-describing
+// Shipments, in exactly the order they became durable. A standby that
+// applies the same shipments into its own directory holds a byte-equivalent
+// lineage: the snapshot payloads and journal record frames are the very
+// bytes the primary wrote, CRC framing included, so the receiving side
+// (Applier) re-validates everything with the same machinery recovery uses.
+//
+// The hook is synchronous and must not block on the network: internal/
+// replica buffers shipments per tenant and flushes them in batch-atomic
+// groups after the batch commit (see Primary.Flush).
+
+// ShipKind says what a Shipment carries.
+type ShipKind byte
+
+const (
+	// ShipSnapshot carries a complete snapshot file: Data is the framed,
+	// checksummed snapshot record; Run/Seq are its lineage and decision
+	// count (the file name fields).
+	ShipSnapshot ShipKind = 1
+	// ShipJournalOpen announces a fresh journal epoch: Data is the framed
+	// header record; Run/Seq name the journal file. It resets the record
+	// index for the epoch.
+	ShipJournalOpen ShipKind = 2
+	// ShipJournalRecord carries one framed journal record (an observation
+	// entry or a dedup record) appended to the journal Run/Seq at position
+	// Index (0-based, counting every post-header record).
+	ShipJournalRecord ShipKind = 3
+)
+
+func (k ShipKind) String() string {
+	switch k {
+	case ShipSnapshot:
+		return "snapshot"
+	case ShipJournalOpen:
+		return "journal-open"
+	case ShipJournalRecord:
+		return "journal-record"
+	default:
+		return fmt.Sprintf("ship-kind-%d", byte(k))
+	}
+}
+
+// Shipment is one durable artifact on its way to a standby.
+type Shipment struct {
+	Kind  ShipKind
+	Run   int // lineage stamp (file name run field)
+	Seq   int // snapshot decision count / journal epoch
+	Index int // record position within the epoch (ShipJournalRecord only)
+	Data  []byte
+}
+
+// SetShipper installs (or clears, with nil) the replication hook. It must
+// be set before the store's first write, for the same reason as SetMetrics:
+// the field is read by the write paths without synchronization. The hook
+// receives each artifact after it is locally durable and before the write
+// call returns; the Data slice must not be retained past the call without
+// copying — the store may reuse buffers. (internal/replica copies.)
+func (s *Store) SetShipper(fn func(Shipment)) { s.shipper = fn }
+
+func (s *Store) ship(kind ShipKind, run, seq, index int, data []byte) {
+	if s.shipper == nil {
+		return
+	}
+	s.shipper(Shipment{Kind: kind, Run: run, Seq: seq, Index: index, Data: data})
+}
+
+// maxShipData bounds a decoded shipment payload: a framed record is at most
+// maxRecordPayload plus framing overhead.
+const maxShipData = maxRecordPayload + 64
+
+// EncodeShipment appends sh's wire form to b and returns the result. The
+// wire form is a plain length-prefixed envelope — the payload inside is
+// already CRC-framed, and the transport (HTTP) is reliable, so the envelope
+// needs ordering fields only:
+//
+//	kind  byte
+//	run   uvarint
+//	seq   uvarint
+//	index uvarint
+//	len   uvarint
+//	data  [len]byte
+func EncodeShipment(b []byte, sh Shipment) []byte {
+	b = append(b, byte(sh.Kind))
+	b = binary.AppendUvarint(b, uint64(sh.Run))
+	b = binary.AppendUvarint(b, uint64(sh.Seq))
+	b = binary.AppendUvarint(b, uint64(sh.Index))
+	b = binary.AppendUvarint(b, uint64(len(sh.Data)))
+	b = append(b, sh.Data...)
+	return b
+}
+
+// DecodeShipments parses a concatenation of EncodeShipment envelopes,
+// strictly: trailing or truncated bytes are an error (a truncated HTTP body
+// must reject the whole group, never apply a prefix silently). The Data
+// slices alias b.
+func DecodeShipments(b []byte) ([]Shipment, error) {
+	var out []Shipment
+	for len(b) > 0 {
+		sh, rest, err := decodeShipment(b)
+		if err != nil {
+			return nil, fmt.Errorf("checkpoint: shipment %d: %w", len(out), err)
+		}
+		out = append(out, sh)
+		b = rest
+	}
+	return out, nil
+}
+
+func decodeShipment(b []byte) (Shipment, []byte, error) {
+	var sh Shipment
+	if len(b) < 1 {
+		return sh, nil, errTruncated
+	}
+	sh.Kind = ShipKind(b[0])
+	switch sh.Kind {
+	case ShipSnapshot, ShipJournalOpen, ShipJournalRecord:
+	default:
+		return sh, nil, fmt.Errorf("unknown ship kind %d", b[0])
+	}
+	b = b[1:]
+	uvarint := func() (uint64, error) {
+		v, n := binary.Uvarint(b)
+		if n <= 0 {
+			return 0, errTruncated
+		}
+		b = b[n:]
+		return v, nil
+	}
+	run, err := uvarint()
+	if err != nil {
+		return sh, nil, err
+	}
+	seq, err := uvarint()
+	if err != nil {
+		return sh, nil, err
+	}
+	index, err := uvarint()
+	if err != nil {
+		return sh, nil, err
+	}
+	n, err := uvarint()
+	if err != nil {
+		return sh, nil, err
+	}
+	if n > maxShipData {
+		return sh, nil, fmt.Errorf("shipment payload %d exceeds limit %d", n, maxShipData)
+	}
+	if uint64(len(b)) < n {
+		return sh, nil, errTruncated
+	}
+	if run > uint64(maxFileSeq) || seq > uint64(maxFileSeq) || index > uint64(maxFileSeq) {
+		return sh, nil, fmt.Errorf("shipment ordinal out of range")
+	}
+	sh.Run, sh.Seq, sh.Index = int(run), int(seq), int(index)
+	sh.Data = b[:n]
+	return sh, b[n:], nil
+}
+
+// maxFileSeq bounds run/seq/index ordinals decoded off the wire; file names
+// carry at most seqDigits decimal digits anyway.
+const maxFileSeq = 1e12 - 1
+
+// --- Dedup records ---
+
+// DedupEntry is one remembered idempotent request: the request ID a client
+// presented, the runtime's decision count after its batch, and the thread
+// decisions that were acked for it. The serving layer journals a dedup
+// marker per identified batch (recordDedupMark) and the store seeds every
+// fresh journal epoch with the full current window (recordDedupWindow), so
+// recovery — local restart or standby promotion — reconstructs the window
+// and a retried request returns its original decisions instead of
+// re-advancing runtime state.
+type DedupEntry struct {
+	ID        string
+	Decisions int
+	Threads   []int
+}
+
+// maxRequestIDLen bounds request IDs on disk and on the wire.
+const maxRequestIDLen = 256
+
+func encodeDedupEntry(e *enc, d *DedupEntry) {
+	e.str(d.ID)
+	e.int(d.Decisions)
+	e.ints(d.Threads)
+}
+
+func decodeDedupEntry(d *dec) DedupEntry {
+	var out DedupEntry
+	out.ID = d.str(maxRequestIDLen)
+	out.Decisions = d.int()
+	out.Threads = d.ints()
+	return out
+}
+
+func encodeDedupWindow(entries []DedupEntry) []byte {
+	e := &enc{}
+	e.u64(uint64(len(entries)))
+	for i := range entries {
+		encodeDedupEntry(e, &entries[i])
+	}
+	return e.b
+}
+
+func decodeDedupWindow(payload []byte) ([]DedupEntry, error) {
+	d := &dec{b: payload}
+	n := d.length(3) // ID len + decisions + threads len, at least a byte each
+	if d.err != nil {
+		return nil, d.err
+	}
+	out := make([]DedupEntry, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, decodeDedupEntry(d))
+	}
+	if err := d.done(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// AppendDedup journals one dedup marker in the current epoch. Markers ride
+// the same journal as observation entries — and ship to the standby in the
+// same ordered stream — so the window a recovery reconstructs is exactly
+// consistent with the decisions it replays.
+func (s *Store) AppendDedup(entry DedupEntry) error {
+	if len(entry.ID) > maxRequestIDLen {
+		return fmt.Errorf("checkpoint: request ID of %d bytes exceeds %d", len(entry.ID), maxRequestIDLen)
+	}
+	e := &enc{}
+	encodeDedupEntry(e, &entry)
+	return s.appendJournal(recordDedupMark, e.b)
+}
+
+// SetDedupWindowSource installs a callback that returns the current dedup
+// window (oldest first). When set, every journal rotation writes the full
+// window as the epoch's first record after the header, so markers journaled
+// before the rotation's snapshot are not lost when recovery starts at that
+// snapshot. Set it before the store's first write.
+//
+// The callback runs inside the store's write path (under whatever lock the
+// writer holds — the Runtime's mutex, for an attached store); it must not
+// call back into the runtime or block.
+func (s *Store) SetDedupWindowSource(fn func() []DedupEntry) { s.dedupSource = fn }

@@ -1,0 +1,553 @@
+package checkpoint
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"syscall"
+	"testing"
+
+	"moe/internal/atomicio"
+)
+
+// captureShipments wires a store to collect (copies of) everything it ships.
+func captureShipments(s *Store) *[]Shipment {
+	var out []Shipment
+	s.SetShipper(func(sh Shipment) {
+		sh.Data = append([]byte(nil), sh.Data...)
+		out = append(out, sh)
+	})
+	return &out
+}
+
+// dirContents returns name → bytes for every regular file in dir.
+func dirContents(t *testing.T, dir string) map[string][]byte {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("ReadDir(%s): %v", dir, err)
+	}
+	out := make(map[string][]byte)
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatalf("ReadFile(%s): %v", e.Name(), err)
+		}
+		out[e.Name()] = data
+	}
+	return out
+}
+
+func sortedKeys(m map[string][]byte) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// TestShipApplyByteIdentity drives a primary store through a realistic
+// mixed write sequence — snapshots, observation appends, dedup markers,
+// rotations with window seeding — applies the shipped stream into a second
+// directory, and requires the standby directory to be byte-identical to the
+// primary's, file for file.
+func TestShipApplyByteIdentity(t *testing.T) {
+	primary := t.TempDir()
+	standby := t.TempDir()
+
+	s, err := Open(primary)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	shipped := captureShipments(s)
+	window := []DedupEntry{}
+	s.SetDedupWindowSource(func() []DedupEntry { return window })
+
+	writeBatch := func(from, n int, reqID string) {
+		for i, obs := range testObservations(n, from) {
+			if err := s.Append(obs); err != nil {
+				t.Fatalf("Append %d: %v", from+i, err)
+			}
+		}
+		mark := DedupEntry{ID: reqID, Decisions: from + n, Threads: []int{from, n}}
+		if err := s.AppendDedup(mark); err != nil {
+			t.Fatalf("AppendDedup %s: %v", reqID, err)
+		}
+		window = append(window, mark)
+	}
+
+	if err := s.WriteSnapshot(testState(t, 0)); err != nil {
+		t.Fatalf("WriteSnapshot(0): %v", err)
+	}
+	writeBatch(0, 3, "req-a")
+	writeBatch(3, 2, "req-b")
+	if err := s.WriteSnapshot(testState(t, 5)); err != nil {
+		t.Fatalf("WriteSnapshot(5): %v", err)
+	}
+	writeBatch(5, 4, "req-c")
+	if err := s.WriteSnapshot(testState(t, 9)); err != nil {
+		t.Fatalf("WriteSnapshot(9): %v", err)
+	}
+	writeBatch(9, 1, "req-d")
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	a, err := NewApplier(standby, true)
+	if err != nil {
+		t.Fatalf("NewApplier: %v", err)
+	}
+	for i, sh := range *shipped {
+		if err := a.Apply(sh); err != nil {
+			t.Fatalf("Apply shipment %d (%v %d/%d#%d): %v", i, sh.Kind, sh.Run, sh.Seq, sh.Index, err)
+		}
+	}
+	if err := a.Close(); err != nil {
+		t.Fatalf("applier Close: %v", err)
+	}
+
+	pf, sf := dirContents(t, primary), dirContents(t, standby)
+	if pk, sk := sortedKeys(pf), sortedKeys(sf); !equalStrings(pk, sk) {
+		t.Fatalf("file sets differ:\n  primary: %v\n  standby: %v", pk, sk)
+	}
+	for name, data := range pf {
+		if !bytes.Equal(data, sf[name]) {
+			t.Errorf("%s: standby bytes differ from primary", name)
+		}
+	}
+
+	// The applied lineage must recover to the same place as the primary's.
+	ps, err := Open(primary)
+	if err != nil {
+		t.Fatalf("reopen primary: %v", err)
+	}
+	prec, err := ps.Recover()
+	if err != nil {
+		t.Fatalf("primary Recover: %v", err)
+	}
+	ss, err := Open(standby)
+	if err != nil {
+		t.Fatalf("open standby: %v", err)
+	}
+	srec, err := ss.Recover()
+	if err != nil {
+		t.Fatalf("standby Recover: %v", err)
+	}
+	if prec.Decisions() != 10 || srec.Decisions() != 10 {
+		t.Fatalf("recovered decisions: primary %d standby %d, want 10", prec.Decisions(), srec.Decisions())
+	}
+	if !sameObs(prec.Tail, srec.Tail) {
+		t.Errorf("recovered tails differ")
+	}
+	if !sameDedups(prec.Dedups, srec.Dedups) {
+		t.Errorf("recovered dedup windows differ: primary %v standby %v", prec.Dedups, srec.Dedups)
+	}
+	// All four request IDs survive: the window record seeded at each
+	// rotation carries the pre-rotation marks forward.
+	if len(srec.Dedups) != 4 {
+		t.Fatalf("standby dedup window has %d entries, want 4: %v", len(srec.Dedups), srec.Dedups)
+	}
+	for i, want := range []string{"req-a", "req-b", "req-c", "req-d"} {
+		if srec.Dedups[i].ID != want {
+			t.Errorf("dedup[%d] = %q, want %q", i, srec.Dedups[i].ID, want)
+		}
+	}
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func sameDedups(a, b []DedupEntry) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].ID != b[i].ID || a[i].Decisions != b[i].Decisions {
+			return false
+		}
+		if len(a[i].Threads) != len(b[i].Threads) {
+			return false
+		}
+		for j := range a[i].Threads {
+			if a[i].Threads[j] != b[i].Threads[j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// TestApplierRejectsOutOfOrder proves the gap-detection contract: dropping
+// any single journal-record shipment makes the next one fail ErrOutOfOrder,
+// and a full resynchronization (Reset + snapshot + journal replay) heals.
+func TestApplierRejectsOutOfOrder(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	shipped := captureShipments(s)
+	if err := s.WriteSnapshot(testState(t, 0)); err != nil {
+		t.Fatalf("WriteSnapshot: %v", err)
+	}
+	for _, obs := range testObservations(5, 0) {
+		if err := s.Append(obs); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	s.Close()
+
+	recs := *shipped
+	a, err := NewApplier(t.TempDir(), false)
+	if err != nil {
+		t.Fatalf("NewApplier: %v", err)
+	}
+	// Apply snapshot + journal-open + records 0,1 — then skip record 2.
+	for _, sh := range recs[:4] {
+		if err := a.Apply(sh); err != nil {
+			t.Fatalf("Apply: %v", err)
+		}
+	}
+	if err := a.Apply(recs[5]); !errors.Is(err, ErrOutOfOrder) {
+		t.Fatalf("skipped record applied with err=%v, want ErrOutOfOrder", err)
+	}
+	// Duplicate delivery is also out of order.
+	if err := a.Apply(recs[3]); !errors.Is(err, ErrOutOfOrder) {
+		t.Fatalf("replayed record applied with err=%v, want ErrOutOfOrder", err)
+	}
+	// Resync: reset and replay the whole stream.
+	if err := a.Reset(); err != nil {
+		t.Fatalf("Reset: %v", err)
+	}
+	for i, sh := range recs {
+		if err := a.Apply(sh); err != nil {
+			t.Fatalf("resync Apply %d: %v", i, err)
+		}
+	}
+	if _, _, n := a.Tip(); n != 5 {
+		t.Fatalf("after resync applier holds %d records, want 5", n)
+	}
+	a.Close()
+}
+
+// TestApplierRejectsCorruptShipments: payload defects never reach disk.
+func TestApplierRejectsCorruptShipments(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	shipped := captureShipments(s)
+	if err := s.WriteSnapshot(testState(t, 0)); err != nil {
+		t.Fatalf("WriteSnapshot: %v", err)
+	}
+	if err := s.Append(testObservations(1, 0)[0]); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	s.Close()
+	recs := *shipped
+
+	a, err := NewApplier(t.TempDir(), false)
+	if err != nil {
+		t.Fatalf("NewApplier: %v", err)
+	}
+	defer a.Close()
+
+	// Bit-flip each shipment's payload: every apply must reject.
+	for i, sh := range recs {
+		bad := sh
+		bad.Data = append([]byte(nil), sh.Data...)
+		bad.Data[len(bad.Data)/2] ^= 0x40
+		if err := a.Apply(bad); err == nil {
+			t.Fatalf("corrupt shipment %d applied cleanly", i)
+		}
+	}
+	// Mislabeled ordinals (payload/envelope disagreement) must reject too.
+	snap := recs[0]
+	snap.Seq++
+	if err := a.Apply(snap); !errors.Is(err, ErrBadRecord) {
+		t.Fatalf("mislabeled snapshot: err=%v, want ErrBadRecord", err)
+	}
+	// The pristine stream still applies afterwards.
+	for i, sh := range recs {
+		if err := a.Apply(sh); err != nil {
+			t.Fatalf("pristine Apply %d after rejections: %v", i, err)
+		}
+	}
+}
+
+// TestShipmentWireRoundTrip pins the envelope encoding.
+func TestShipmentWireRoundTrip(t *testing.T) {
+	in := []Shipment{
+		{Kind: ShipSnapshot, Run: 3, Seq: 128, Data: []byte("snapshot-bytes")},
+		{Kind: ShipJournalOpen, Run: 3, Seq: 128, Data: []byte("hdr")},
+		{Kind: ShipJournalRecord, Run: 3, Seq: 128, Index: 0, Data: []byte{0xde, 0xad}},
+		{Kind: ShipJournalRecord, Run: 3, Seq: 128, Index: 1, Data: nil},
+	}
+	var wire []byte
+	for _, sh := range in {
+		wire = EncodeShipment(wire, sh)
+	}
+	out, err := DecodeShipments(wire)
+	if err != nil {
+		t.Fatalf("DecodeShipments: %v", err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("decoded %d shipments, want %d", len(out), len(in))
+	}
+	for i := range in {
+		if out[i].Kind != in[i].Kind || out[i].Run != in[i].Run || out[i].Seq != in[i].Seq ||
+			out[i].Index != in[i].Index || !bytes.Equal(out[i].Data, in[i].Data) {
+			t.Errorf("shipment %d: got %+v want %+v", i, out[i], in[i])
+		}
+	}
+
+	// Truncation anywhere is an error, never a silent prefix.
+	for cut := 1; cut < len(wire); cut++ {
+		if _, err := DecodeShipments(wire[:cut]); err == nil {
+			// Cuts landing exactly on an envelope boundary decode cleanly —
+			// that is a shorter valid group, which the applier's ordering
+			// check handles. Verify that is the only clean case.
+			if got, _ := DecodeShipments(wire[:cut]); len(got) == 0 {
+				t.Errorf("cut at %d decoded to zero shipments without error", cut)
+			}
+		}
+	}
+	if _, err := DecodeShipments([]byte{0x7f}); err == nil {
+		t.Errorf("unknown kind decoded cleanly")
+	}
+}
+
+// TestJournalFaultMatrix is the disk-fault matrix for the journal path:
+// for each failing stage (write, fsync) × errno (EIO, ENOSPC) × nth append,
+// the failing Append must surface a typed DiskError wrapping the errno, and
+// recovery must yield exactly the acked prefix — every append that returned
+// nil is recovered, nothing past the failure is invented.
+func TestJournalFaultMatrix(t *testing.T) {
+	const total = 6
+	for _, stage := range []atomicio.Stage{atomicio.StageWrite, atomicio.StageSyncFile} {
+		for _, errno := range []error{syscall.EIO, syscall.ENOSPC} {
+			for nth := 1; nth <= total; nth++ {
+				name := fmt.Sprintf("%s-%v-at-%d", string(stage), errno, nth)
+				t.Run(name, func(t *testing.T) {
+					dir := t.TempDir()
+					s, err := Open(dir)
+					if err != nil {
+						t.Fatalf("Open: %v", err)
+					}
+					if err := s.WriteSnapshot(testState(t, 0)); err != nil {
+						t.Fatalf("WriteSnapshot: %v", err)
+					}
+					calls := 0
+					s.SetJournalFault(func(st atomicio.Stage) error {
+						if st != stage {
+							return nil
+						}
+						calls++
+						if calls == nth {
+							return errno
+						}
+						return nil
+					})
+					acked := 0
+					var failure error
+					for _, obs := range testObservations(total, 0) {
+						if err := s.Append(obs); err != nil {
+							failure = err
+							break
+						}
+						acked++
+					}
+					if failure == nil {
+						t.Fatalf("no append failed (acked %d)", acked)
+					}
+					if !IsDiskError(failure) {
+						t.Fatalf("failure %v is not a DiskError", failure)
+					}
+					if !errors.Is(failure, errno) {
+						t.Fatalf("failure %v does not wrap %v", failure, errno)
+					}
+					if acked != nth-1 {
+						t.Fatalf("acked %d appends before failure, want %d", acked, nth-1)
+					}
+					s.Close()
+
+					s2, err := Open(dir)
+					if err != nil {
+						t.Fatalf("reopen: %v", err)
+					}
+					rec, err := s2.Recover()
+					if err != nil {
+						t.Fatalf("Recover: %v", err)
+					}
+					// A write-stage fault fails before the record reaches
+					// the file: exactly the acked prefix is on disk. A
+					// sync-stage fault fails after the write: the record's
+					// bytes are present (fsync durability was the failure),
+					// so recovery may legitimately see one more than was
+					// acked — but never fewer, and never an invented tail.
+					minWant, maxWant := acked, acked
+					if stage == atomicio.StageSyncFile {
+						maxWant = acked + 1
+					}
+					got := len(rec.Tail)
+					if got < minWant || got > maxWant {
+						t.Fatalf("recovered %d entries, want in [%d, %d]\nreport: %v", got, minWant, maxWant, rec.Report)
+					}
+					want := testObservations(got, 0)
+					for i := range want {
+						if !sameObs(rec.Tail[i:i+1], want[i:i+1]) {
+							t.Fatalf("recovered entry %d differs from acked stream", i)
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestJournalFaultAtRotation: a create-stage fault makes the rotation fail
+// typed, and the previous generation still recovers.
+func TestJournalFaultAtRotation(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if err := s.WriteSnapshot(testState(t, 0)); err != nil {
+		t.Fatalf("WriteSnapshot(0): %v", err)
+	}
+	for _, obs := range testObservations(4, 0) {
+		if err := s.Append(obs); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	s.SetJournalFault(func(st atomicio.Stage) error {
+		if st == atomicio.StageCreate {
+			return syscall.ENOSPC
+		}
+		return nil
+	})
+	err = s.WriteSnapshot(testState(t, 4))
+	if !IsDiskError(err) || !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("rotation under ENOSPC: err=%v, want DiskError wrapping ENOSPC", err)
+	}
+	s.Close()
+
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	rec, err := s2.Recover()
+	if err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	if rec.Decisions() != 4 {
+		t.Fatalf("recovered %d decisions, want 4 (snapshot wrote before rotation failed)\nreport: %v",
+			rec.Decisions(), rec.Report)
+	}
+}
+
+// TestRecoverDedupWindow: markers journaled mid-epoch and windows seeded at
+// rotation reconstruct the same bounded window a restart needs, and a
+// marker ahead of a torn tail never survives recovery.
+func TestRecoverDedupWindow(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	window := []DedupEntry{}
+	s.SetDedupWindowSource(func() []DedupEntry { return window })
+	if err := s.WriteSnapshot(testState(t, 0)); err != nil {
+		t.Fatalf("WriteSnapshot(0): %v", err)
+	}
+	obs := testObservations(6, 0)
+	for i := 0; i < 3; i++ {
+		if err := s.Append(obs[i]); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	mark := DedupEntry{ID: "old-req", Decisions: 3, Threads: []int{2, 4, 8}}
+	if err := s.AppendDedup(mark); err != nil {
+		t.Fatalf("AppendDedup: %v", err)
+	}
+	window = append(window, mark)
+	// Rotation: old-req now lives only in the new epoch's window record
+	// (the old journal will be pruned once retention ages it out).
+	if err := s.WriteSnapshot(testState(t, 3)); err != nil {
+		t.Fatalf("WriteSnapshot(3): %v", err)
+	}
+	for i := 3; i < 6; i++ {
+		if err := s.Append(obs[i]); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	mark2 := DedupEntry{ID: "new-req", Decisions: 6, Threads: []int{1}}
+	if err := s.AppendDedup(mark2); err != nil {
+		t.Fatalf("AppendDedup: %v", err)
+	}
+	s.Close()
+
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	rec, err := s2.Recover()
+	if err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	if rec.Decisions() != 6 {
+		t.Fatalf("recovered %d decisions, want 6", rec.Decisions())
+	}
+	if len(rec.Dedups) != 2 || rec.Dedups[0].ID != "old-req" || rec.Dedups[1].ID != "new-req" {
+		t.Fatalf("recovered window %v, want [old-req new-req]", rec.Dedups)
+	}
+	if rec.Dedups[0].Decisions != 3 || len(rec.Dedups[0].Threads) != 3 || rec.Dedups[0].Threads[2] != 8 {
+		t.Fatalf("old-req payload mangled: %+v", rec.Dedups[0])
+	}
+
+	// Tear the journal mid-way through the last observation entry: the
+	// marker after it is gone, and so is its promise.
+	journals, err := listDir(dir, journalPrefix, journalSuffix)
+	if err != nil {
+		t.Fatalf("listDir: %v", err)
+	}
+	last := journals[len(journals)-1]
+	path := filepath.Join(dir, journalName(last))
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("ReadFile: %v", err)
+	}
+	if err := os.WriteFile(path, data[:len(data)-30], 0o644); err != nil {
+		t.Fatalf("truncate: %v", err)
+	}
+	s3, err := Open(dir)
+	if err != nil {
+		t.Fatalf("reopen after tear: %v", err)
+	}
+	rec2, err := s3.Recover()
+	if err != nil {
+		t.Fatalf("Recover after tear: %v", err)
+	}
+	for _, d := range rec2.Dedups {
+		if d.Decisions > rec2.Decisions() {
+			t.Fatalf("recovered marker %q promises decision %d but lineage recovers only %d",
+				d.ID, d.Decisions, rec2.Decisions())
+		}
+	}
+}

@@ -44,9 +44,22 @@ type Store struct {
 
 	journal      *os.File
 	journalEpoch int
+	journalIndex int // records appended in the current epoch (post-header)
 
 	// snapshotFault injects crashes into snapshot writes (tests only).
 	snapshotFault atomicio.FaultFn
+	// journalFault injects I/O errors into journal creates, writes, and
+	// fsyncs (tests only). Unlike snapshotFault — whose stages model a crash
+	// *after* the stage completed — journalFault is consulted *before* the
+	// operation: a non-nil error makes the operation fail with that error,
+	// modeling EIO/ENOSPC surfacing to the caller.
+	journalFault atomicio.FaultFn
+
+	// shipper observes every durable artifact for replication (ship.go).
+	shipper func(Shipment)
+	// dedupSource seeds each fresh journal epoch with the current dedup
+	// window (ship.go).
+	dedupSource func() []DedupEntry
 
 	// Metrics (nil until SetMetrics): store-level write latency and error
 	// counts, independent of any runtime attached above.
@@ -64,6 +77,12 @@ type Options struct {
 	// simulation studies where thousands of appends per run would
 	// otherwise be fsync-bound.
 	DisableSync bool
+
+	// MinRun floors the run number the store claims. A promoted standby
+	// passes its fencing term here so every run it ever writes outranks —
+	// in lineage order — anything the deposed primary replicated before the
+	// promotion, even if the replicated history had seen fewer runs.
+	MinRun int
 }
 
 // generations is how many snapshot generations (snapshot + its journal)
@@ -98,6 +117,9 @@ func OpenOptions(dir string, opts Options) (*Store, error) {
 		}
 	}
 	s.run = maxRun + 1
+	if s.run < opts.MinRun {
+		s.run = opts.MinRun
+	}
 	return s, nil
 }
 
@@ -122,11 +144,22 @@ func (s *Store) SetMetrics(reg *telemetry.Registry) {
 // write at an exact stage. Production code never calls this.
 func (s *Store) SetSnapshotFault(fn atomicio.FaultFn) { s.snapshotFault = fn }
 
+// SetJournalFault installs (or clears, with nil) a fault hook on the
+// journal write path: StageCreate before a rotation's OpenFile, StageWrite
+// before each record write, StageSyncFile before each fsync. A non-nil
+// return makes the operation fail with that error wrapped in DiskError —
+// this models a disk turning bad (EIO, ENOSPC), not a crash. Tests only.
+func (s *Store) SetJournalFault(fn atomicio.FaultFn) { s.journalFault = fn }
+
 // Dir returns the store's directory.
 func (s *Store) Dir() string { return s.dir }
 
 // Run returns the lineage number this store writes under.
 func (s *Store) Run() int { return s.run }
+
+// JournalEpoch returns the decision count at which the current journal
+// epoch started (meaningful once a snapshot has been written).
+func (s *Store) JournalEpoch() int { return s.journalEpoch }
 
 // Close closes the current journal (syncing it first).
 func (s *Store) Close() error {
@@ -196,9 +229,13 @@ func parseName(name, prefix, suffix string) (fileID, bool) {
 // list returns the IDs of all files with the given naming scheme, sorted
 // by (run, seq) ascending.
 func (s *Store) list(prefix, suffix string) ([]fileID, error) {
-	entries, err := os.ReadDir(s.dir)
+	return listDir(s.dir, prefix, suffix)
+}
+
+func listDir(dir, prefix, suffix string) ([]fileID, error) {
+	entries, err := os.ReadDir(dir)
 	if err != nil {
-		return nil, diskErr("list", s.dir, err)
+		return nil, diskErr("list", dir, err)
 	}
 	var out []fileID
 	for _, e := range entries {
@@ -241,6 +278,7 @@ func (s *Store) writeSnapshot(st *State) error {
 	if err := atomicio.WriteFileHooked(filepath.Join(s.dir, name), data, 0o644, s.snapshotFault); err != nil {
 		return diskErr("snapshot", filepath.Join(s.dir, name), err)
 	}
+	s.ship(ShipSnapshot, s.run, st.Decisions, 0, data)
 	if err := s.rotateJournal(st.Decisions); err != nil {
 		return err
 	}
@@ -254,6 +292,9 @@ func (s *Store) rotateJournal(epoch int) error {
 		return err
 	}
 	path := filepath.Join(s.dir, journalName(fileID{run: s.run, seq: epoch}))
+	if err := s.fault(atomicio.StageCreate); err != nil {
+		return diskErr("rotate", path, err)
+	}
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
 	if err != nil {
 		return diskErr("rotate", path, err)
@@ -261,7 +302,8 @@ func (s *Store) rotateJournal(epoch int) error {
 	e := &enc{}
 	e.int(s.run)
 	e.int(epoch)
-	if _, err := f.Write(appendRecord(nil, recordJournalHeader, e.b)); err != nil {
+	header := appendRecord(nil, recordJournalHeader, e.b)
+	if _, err := f.Write(header); err != nil {
 		f.Close()
 		return diskErr("rotate", path, err)
 	}
@@ -275,7 +317,27 @@ func (s *Store) rotateJournal(epoch int) error {
 	}
 	s.journal = f
 	s.journalEpoch = epoch
+	s.journalIndex = 0
+	s.ship(ShipJournalOpen, s.run, epoch, 0, header)
+	// Seed the fresh epoch with the current dedup window: recovery that
+	// starts at this rotation's snapshot must still know the request IDs
+	// acked before it.
+	if s.dedupSource != nil {
+		if window := s.dedupSource(); len(window) > 0 {
+			if err := s.appendJournal(recordDedupWindow, encodeDedupWindow(window)); err != nil {
+				return err
+			}
+		}
+	}
 	return nil
+}
+
+// fault consults the journal fault hook for one stage.
+func (s *Store) fault(stage atomicio.Stage) error {
+	if s.journalFault == nil {
+		return nil
+	}
+	return s.journalFault(stage)
 }
 
 // Append writes one observation to the current journal. A snapshot must
@@ -296,19 +358,36 @@ func (s *Store) Append(obs Observation) error {
 }
 
 func (s *Store) append(obs Observation) error {
+	e := &enc{}
+	encodeObservation(e, &obs)
+	return s.appendJournal(recordJournalEntry, e.b)
+}
+
+// appendJournal frames one record of any kind, writes it to the current
+// journal (fsyncing when the store syncs), and ships it. All journal
+// appends — observation entries and dedup records alike — route through
+// here so the fault seam and the replication stream both see every record.
+func (s *Store) appendJournal(kind byte, payload []byte) error {
 	if s.journal == nil {
 		return fmt.Errorf("checkpoint: no open journal; write a snapshot first")
 	}
-	e := &enc{}
-	encodeObservation(e, &obs)
-	if _, err := s.journal.Write(appendRecord(nil, recordJournalEntry, e.b)); err != nil {
+	frame := appendRecord(nil, kind, payload)
+	if err := s.fault(atomicio.StageWrite); err != nil {
+		return diskErr("append", s.journal.Name(), err)
+	}
+	if _, err := s.journal.Write(frame); err != nil {
 		return diskErr("append", s.journal.Name(), err)
 	}
 	if s.sync {
+		if err := s.fault(atomicio.StageSyncFile); err != nil {
+			return diskErr("append", s.journal.Name(), err)
+		}
 		if err := s.journal.Sync(); err != nil {
 			return diskErr("append", s.journal.Name(), err)
 		}
 	}
+	s.ship(ShipJournalRecord, s.run, s.journalEpoch, s.journalIndex, frame)
+	s.journalIndex++
 	return nil
 }
 
@@ -316,7 +395,11 @@ func (s *Store) append(obs Observation) error {
 // embedded run and decision count agree with its name. readable is false
 // when the file could not be read at all — the caller cannot judge it.
 func (s *Store) snapshotIntact(id fileID) (intact, readable bool) {
-	data, err := os.ReadFile(filepath.Join(s.dir, snapName(id)))
+	return snapshotIntactIn(s.dir, id)
+}
+
+func snapshotIntactIn(dir string, id fileID) (intact, readable bool) {
+	data, err := os.ReadFile(filepath.Join(dir, snapName(id)))
 	if err != nil {
 		return false, false
 	}
@@ -325,11 +408,20 @@ func (s *Store) snapshotIntact(id fileID) (intact, readable bool) {
 }
 
 // prune removes snapshot generations and journals beyond the retention
-// window. Retention counts only snapshots that validate — a torn or
-// corrupt newer snapshot must not evict the intact generation recovery
-// would actually fall back to. The current journal epoch is always kept.
+// window. The current journal epoch is always kept.
 func (s *Store) prune() error {
-	snaps, err := s.list(snapPrefix, snapSuffix)
+	return pruneDir(s.dir, fileID{run: s.run, seq: s.journalEpoch})
+}
+
+// pruneDir removes snapshot generations and journals beyond the retention
+// window in dir; cur names the journal epoch currently being written (kept
+// unconditionally). Retention counts only snapshots that validate — a torn
+// or corrupt newer snapshot must not evict the intact generation recovery
+// would actually fall back to. Shared by the writing Store and the
+// replication Applier, which maintains the same retention discipline on the
+// standby's copy of the lineage.
+func pruneDir(dir string, cur fileID) error {
+	snaps, err := listDir(dir, snapPrefix, snapSuffix)
 	if err != nil {
 		return err
 	}
@@ -343,7 +435,7 @@ func (s *Store) prune() error {
 	unreadable := make(map[fileID]bool)
 	for i := len(snaps) - 1; i >= 0 && len(keep) < generations; i-- {
 		id := snaps[i]
-		intact, readable := s.snapshotIntact(id)
+		intact, readable := snapshotIntactIn(dir, id)
 		switch {
 		case intact:
 			keep[id] = true
@@ -355,18 +447,18 @@ func (s *Store) prune() error {
 		if keep[id] || unreadable[id] {
 			continue
 		}
-		if err := os.Remove(filepath.Join(s.dir, snapName(id))); err != nil && !os.IsNotExist(err) {
-			return diskErr("prune", filepath.Join(s.dir, snapName(id)), err)
+		if err := os.Remove(filepath.Join(dir, snapName(id))); err != nil && !os.IsNotExist(err) {
+			return diskErr("prune", filepath.Join(dir, snapName(id)), err)
 		}
 	}
 	// A journal survives if some retained snapshot of its own run can seed
 	// a replay chain through it (snapshot count ≤ journal epoch).
-	journals, err := s.list(journalPrefix, journalSuffix)
+	journals, err := listDir(dir, journalPrefix, journalSuffix)
 	if err != nil {
 		return err
 	}
 	for _, j := range journals {
-		if j.run == s.run && j.seq == s.journalEpoch {
+		if j == cur {
 			continue
 		}
 		needed := false
@@ -383,14 +475,14 @@ func (s *Store) prune() error {
 			}
 		}
 		if !needed {
-			if err := os.Remove(filepath.Join(s.dir, journalName(j))); err != nil && !os.IsNotExist(err) {
-				return diskErr("prune", filepath.Join(s.dir, journalName(j)), err)
+			if err := os.Remove(filepath.Join(dir, journalName(j))); err != nil && !os.IsNotExist(err) {
+				return diskErr("prune", filepath.Join(dir, journalName(j)), err)
 			}
 		}
 	}
 	// Crash leftovers from interrupted snapshot writes are harmless but
 	// accumulate; sweep them while we are here.
-	return atomicio.RemoveTemps(s.dir)
+	return atomicio.RemoveTemps(dir)
 }
 
 // Recovery is the result of reading a checkpoint directory after a crash.
@@ -403,6 +495,12 @@ type Recovery struct {
 	// journal starts at decision 0), in decision order, up to the first
 	// sign of corruption.
 	Tail []Observation
+	// Dedups is the reconstructed idempotent-request window, oldest first:
+	// the newest full-window record seen in the replayed chain plus every
+	// dedup marker after it. Entries whose Decisions exceed the recovered
+	// decision count (markers journaled for observations whose entries were
+	// then torn off) are already filtered out.
+	Dedups []DedupEntry
 	// Report documents the ladder: which files were used, skipped, or cut
 	// short, and why. Purely informational.
 	Report []string
@@ -532,6 +630,18 @@ func (s *Store) recoverRun(run int, snaps, journals []fileID, rec *Recovery) boo
 			break
 		}
 	}
+	// A dedup marker records the decision count *after* its batch; one that
+	// exceeds what this lineage actually recovers would promise decisions
+	// the replay cannot reproduce. (Cannot happen with ordered appends —
+	// markers follow their batch's entries — but recovery never trusts
+	// ordering it didn't verify.)
+	kept := rec.Dedups[:0]
+	for _, mark := range rec.Dedups {
+		if mark.Decisions <= expected {
+			kept = append(kept, mark)
+		}
+	}
+	rec.Dedups = kept
 	return true
 }
 
@@ -589,17 +699,36 @@ func (s *Store) readJournal(id fileID, rec *Recovery) (entries []Observation, cl
 			rec.Report = append(rec.Report, fmt.Sprintf("%s: torn tail after %d entries (%v)", name, len(entries), err))
 			return entries, false
 		}
-		if kind != recordJournalEntry {
+		switch kind {
+		case recordJournalEntry:
+			d := &dec{b: payload}
+			obs := decodeObservation(d)
+			if d.done() != nil {
+				rec.Report = append(rec.Report, fmt.Sprintf("%s: malformed entry after %d entries", name, len(entries)))
+				return entries, false
+			}
+			entries = append(entries, obs)
+		case recordDedupMark:
+			d := &dec{b: payload}
+			mark := decodeDedupEntry(d)
+			if d.done() != nil {
+				rec.Report = append(rec.Report, fmt.Sprintf("%s: malformed dedup marker after %d entries", name, len(entries)))
+				return entries, false
+			}
+			rec.Dedups = append(rec.Dedups, mark)
+		case recordDedupWindow:
+			window, werr := decodeDedupWindow(payload)
+			if werr != nil {
+				rec.Report = append(rec.Report, fmt.Sprintf("%s: malformed dedup window after %d entries (%v)", name, len(entries), werr))
+				return entries, false
+			}
+			// A window record is the full state at its rotation: it
+			// supersedes anything accumulated from older epochs.
+			rec.Dedups = append(rec.Dedups[:0], window...)
+		default:
 			rec.Report = append(rec.Report, fmt.Sprintf("%s: unexpected record kind %d after %d entries", name, kind, len(entries)))
 			return entries, false
 		}
-		d := &dec{b: payload}
-		obs := decodeObservation(d)
-		if d.done() != nil {
-			rec.Report = append(rec.Report, fmt.Sprintf("%s: malformed entry after %d entries", name, len(entries)))
-			return entries, false
-		}
-		entries = append(entries, obs)
 		data = data[size:]
 	}
 	rec.Report = append(rec.Report, fmt.Sprintf("%s: replayed %d entries", name, len(entries)))

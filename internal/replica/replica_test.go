@@ -1,0 +1,345 @@
+package replica
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"moe/internal/checkpoint"
+	"moe/internal/features"
+)
+
+func testObs(i int) checkpoint.Observation {
+	var f features.Vector
+	for j := range f {
+		f[j] = 0.1*float64(j+1) + 0.01*float64((i*5+j)%7)
+	}
+	f[features.Processors] = 8
+	return checkpoint.Observation{
+		Time:           0.5 * float64(i),
+		Features:       f,
+		Rate:           120,
+		RegionStart:    i%3 == 0,
+		AvailableProcs: 8,
+	}
+}
+
+// testState builds a minimal valid snapshot state at the given decision
+// count (stateless policy: nothing to capture).
+func testState(decisions int) *checkpoint.State {
+	return &checkpoint.State{
+		PolicyName: "test",
+		MaxThreads: 8,
+		Decisions:  decisions,
+		LastN:      2,
+		Clock:      float64(decisions),
+		LastAvail:  8,
+		Hist:       map[int]int{2: decisions},
+		Policy:     checkpoint.PolicyState{Kind: checkpoint.PolicyStateless},
+	}
+}
+
+func newPair(t *testing.T) (*Primary, *Standby, *httptest.Server) {
+	t.Helper()
+	sb, err := NewStandby(t.TempDir(), false, nil, t.Logf)
+	if err != nil {
+		t.Fatalf("NewStandby: %v", err)
+	}
+	ts := httptest.NewServer(sb.Handler())
+	t.Cleanup(ts.Close)
+	return NewPrimary(ts.URL, nil, t.Logf), sb, ts
+}
+
+// drivePrimary opens a shipping store in dir, writes a snapshot and n
+// observations flushing after every flushEvery appends, and returns the
+// store directory contents' file names.
+func drivePrimary(t *testing.T, p *Primary, tenant, dir string, n int) {
+	t.Helper()
+	store, err := checkpoint.Open(dir)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	store.SetShipper(p.Shipper(tenant))
+	if err := store.WriteSnapshot(testState(0)); err != nil {
+		t.Fatalf("WriteSnapshot: %v", err)
+	}
+	for i := 0; i < n; i++ {
+		if err := store.Append(testObs(i)); err != nil {
+			t.Fatalf("Append %d: %v", i, err)
+		}
+		if err := p.Flush(tenant); err != nil {
+			t.Fatalf("Flush after %d: %v", i, err)
+		}
+	}
+	store.Close()
+}
+
+func recoveredDecisions(t *testing.T, dir string) int {
+	t.Helper()
+	s, err := checkpoint.Open(dir)
+	if err != nil {
+		t.Fatalf("Open %s: %v", dir, err)
+	}
+	rec, err := s.Recover()
+	if err != nil {
+		t.Fatalf("Recover %s: %v", dir, err)
+	}
+	return rec.Decisions()
+}
+
+func TestShipFlushApplyRoundTrip(t *testing.T) {
+	p, sb, _ := newPair(t)
+	dir := t.TempDir()
+	drivePrimary(t, p, "alpha", dir, 7)
+
+	if lag := p.Lag(); lag != 0 {
+		t.Fatalf("lag %d after clean flushes, want 0", lag)
+	}
+	got := recoveredDecisions(t, filepath.Join(sb.Root(), "alpha"))
+	if got != 7 {
+		t.Fatalf("standby recovered %d decisions, want 7", got)
+	}
+}
+
+func TestDroppedFlushResyncs(t *testing.T) {
+	p, sb, _ := newPair(t)
+	dir := t.TempDir()
+
+	store, err := checkpoint.Open(dir)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	store.SetShipper(p.Shipper("alpha"))
+	if err := store.WriteSnapshot(testState(0)); err != nil {
+		t.Fatalf("WriteSnapshot: %v", err)
+	}
+	if err := store.Append(testObs(0)); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	if err := p.Flush("alpha"); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+
+	// Eat the next flush entirely.
+	p.SetFailpoint(func() bool { return true })
+	if err := store.Append(testObs(1)); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	if err := p.Flush("alpha"); err == nil {
+		t.Fatalf("dropped flush reported success")
+	}
+	if p.Lag() == 0 {
+		t.Fatalf("lag is 0 right after a dropped flush")
+	}
+
+	// Network heals: the next flush carries the gap and resyncs in full.
+	p.SetFailpoint(nil)
+	if err := store.Append(testObs(2)); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	if err := p.Flush("alpha"); err != nil {
+		t.Fatalf("healing Flush: %v", err)
+	}
+	if lag := p.Lag(); lag != 0 {
+		t.Fatalf("lag %d after healing flush, want 0", lag)
+	}
+	store.Close()
+
+	if got := recoveredDecisions(t, filepath.Join(sb.Root(), "alpha")); got != 3 {
+		t.Fatalf("standby recovered %d decisions, want 3", got)
+	}
+}
+
+func TestStandbyRestartHealsViaResync(t *testing.T) {
+	p, sb, ts := newPair(t)
+	dir := t.TempDir()
+	store, err := checkpoint.Open(dir)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	store.SetShipper(p.Shipper("alpha"))
+	if err := store.WriteSnapshot(testState(0)); err != nil {
+		t.Fatalf("WriteSnapshot: %v", err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := store.Append(testObs(i)); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	if err := p.Flush("alpha"); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+
+	// Restart the standby process: same root, fresh appliers. Its in-memory
+	// stream position is gone, so the next incremental flush gets a 409 and
+	// the primary resyncs the folded lineage.
+	ts.Close()
+	sb2, err := NewStandby(sb.Root(), false, nil, t.Logf)
+	if err != nil {
+		t.Fatalf("restart NewStandby: %v", err)
+	}
+	ts2 := httptest.NewServer(sb2.Handler())
+	defer ts2.Close()
+	p.base = ts2.URL
+
+	for i := 3; i < 5; i++ {
+		if err := store.Append(testObs(i)); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	if err := p.Flush("alpha"); err != nil {
+		t.Fatalf("Flush after standby restart: %v", err)
+	}
+	store.Close()
+	if got := recoveredDecisions(t, filepath.Join(sb.Root(), "alpha")); got != 5 {
+		t.Fatalf("standby recovered %d decisions, want 5", got)
+	}
+}
+
+func TestPromotionFencesPrimary(t *testing.T) {
+	p, sb, _ := newPair(t)
+	dir := t.TempDir()
+	store, err := checkpoint.Open(dir)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	store.SetShipper(p.Shipper("alpha"))
+	if err := store.WriteSnapshot(testState(0)); err != nil {
+		t.Fatalf("WriteSnapshot: %v", err)
+	}
+	if err := p.Flush("alpha"); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+
+	term, err := sb.Promote()
+	if err != nil {
+		t.Fatalf("Promote: %v", err)
+	}
+	if term != 2 {
+		t.Fatalf("promoted term %d, want 2 (primary shipped at 1)", term)
+	}
+	// Idempotent.
+	if term2, err := sb.Promote(); err != nil || term2 != term {
+		t.Fatalf("second Promote: term %d err %v", term2, err)
+	}
+
+	if err := store.Append(testObs(0)); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	if err := p.Flush("alpha"); !errors.Is(err, ErrDeposed) {
+		t.Fatalf("flush after promotion: err=%v, want ErrDeposed", err)
+	}
+	if !p.Deposed() {
+		t.Fatalf("primary did not latch deposed")
+	}
+	// Every later flush short-circuits deposed without touching the wire.
+	if err := p.Flush("alpha"); !errors.Is(err, ErrDeposed) {
+		t.Fatalf("later flush: err=%v, want ErrDeposed", err)
+	}
+	store.Close()
+
+	// The promoted term is durable across a standby restart.
+	sb3, err := NewStandby(sb.Root(), false, nil, t.Logf)
+	if err != nil {
+		t.Fatalf("restart promoted standby: %v", err)
+	}
+	if got := sb3.Term(); got != term {
+		t.Fatalf("restarted standby term %d, want %d", got, term)
+	}
+}
+
+func TestStaleRunShipmentsDropped(t *testing.T) {
+	p, sb, _ := newPair(t)
+	dirA := t.TempDir()
+
+	// First store generation for the tenant.
+	s1, err := checkpoint.Open(dirA)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	ship := p.Shipper("alpha")
+	s1.SetShipper(ship)
+	if err := s1.WriteSnapshot(testState(0)); err != nil {
+		t.Fatalf("WriteSnapshot: %v", err)
+	}
+	if err := s1.Append(testObs(0)); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+
+	// The watchdog recycles the tenant: a fresh store claims the next run
+	// over the same directory and announces itself with a snapshot.
+	s2, err := checkpoint.Open(dirA)
+	if err != nil {
+		t.Fatalf("Open gen2: %v", err)
+	}
+	s2.SetShipper(ship)
+	if err := s2.WriteSnapshot(testState(1)); err != nil {
+		t.Fatalf("gen2 WriteSnapshot: %v", err)
+	}
+	if err := s2.Append(testObs(1)); err != nil {
+		t.Fatalf("gen2 Append: %v", err)
+	}
+	// The abandoned generation wakes up and writes a late record: it must
+	// be dropped, not spliced after gen2's artifacts.
+	if err := s1.Append(testObs(9)); err != nil {
+		t.Fatalf("stale Append: %v", err)
+	}
+	if err := p.Flush("alpha"); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	s1.Close()
+	s2.Close()
+
+	got := recoveredDecisions(t, filepath.Join(sb.Root(), "alpha"))
+	if got != 2 {
+		t.Fatalf("standby recovered %d decisions, want 2 (gen2 snapshot@1 + 1 record)", got)
+	}
+}
+
+func TestStandbyStatusAndValidation(t *testing.T) {
+	p, sb, ts := newPair(t)
+	drivePrimary(t, p, "alpha", t.TempDir(), 2)
+
+	resp, err := http.Get(ts.URL + statusPath)
+	if err != nil {
+		t.Fatalf("status: %v", err)
+	}
+	var st Status
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatalf("decode status: %v", err)
+	}
+	resp.Body.Close()
+	if st.Promoted || st.Tenants["alpha"].Records != 2 {
+		t.Fatalf("status %+v, want unpromoted with 2 alpha records", st)
+	}
+
+	// Bad tenant IDs and bad terms are rejected before touching disk.
+	for _, url := range []string{
+		ts.URL + shipPath + "?tenant=../etc",
+		ts.URL + shipPath + "?tenant=ok",
+	} {
+		resp, err := http.Post(url, "application/octet-stream", nil)
+		if err != nil {
+			t.Fatalf("post: %v", err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("%s: status %d, want 400", url, resp.StatusCode)
+		}
+	}
+	if _, err := os.Stat(filepath.Join(sb.Root(), "..", "etc")); err == nil {
+		t.Fatalf("path-traversal tenant created a directory")
+	}
+
+	dirs, err := sb.TenantDirs()
+	if err != nil {
+		t.Fatalf("TenantDirs: %v", err)
+	}
+	if len(dirs) != 1 || dirs[0] != "alpha" {
+		t.Fatalf("TenantDirs %v, want [alpha]", dirs)
+	}
+}

@@ -1,0 +1,331 @@
+package replica
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"moe/internal/atomicio"
+	"moe/internal/checkpoint"
+	"moe/internal/telemetry"
+)
+
+// tenantIDRe matches the serving layer's tenant grammar; the standby
+// validates independently because tenant IDs become directory names here.
+var tenantIDRe = regexp.MustCompile(`^[A-Za-z0-9][A-Za-z0-9._-]{0,63}$`)
+
+// termFile persists the standby's fencing term across restarts, as a bare
+// decimal. Losing it would let a deposed primary re-fence a restarted
+// standby backwards.
+const termFile = "replica-term"
+
+// Standby receives replication groups into per-tenant checkpoint
+// directories under root, and can be promoted: promotion bumps and
+// persists the fencing term, refuses all further shipments, and leaves
+// every tenant directory one Recover away from serving.
+type Standby struct {
+	root string
+	sync bool
+	logf func(format string, args ...any)
+
+	mu       sync.Mutex
+	term     uint64
+	promoted atomic.Bool
+	tenants  map[string]*standbyTenant
+
+	applied   *telemetry.Counter
+	applyErrs *telemetry.Counter
+	rejected  *telemetry.Counter
+	termG     *telemetry.Gauge
+	tenantsG  *telemetry.Gauge
+}
+
+type standbyTenant struct {
+	mu sync.Mutex
+	ap *checkpoint.Applier
+}
+
+// NewStandby opens (creating root if needed) a standby that applies into
+// <root>/<tenant>/. With sync, applied artifacts are fsynced — standby
+// durability matches a syncing primary. reg and logf may be nil.
+func NewStandby(root string, sync bool, reg *telemetry.Registry, logf func(string, ...any)) (*Standby, error) {
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	if err := os.MkdirAll(root, 0o755); err != nil {
+		return nil, fmt.Errorf("replica: standby root: %w", err)
+	}
+	s := &Standby{
+		root:    root,
+		sync:    sync,
+		logf:    logf,
+		tenants: make(map[string]*standbyTenant),
+	}
+	if data, err := os.ReadFile(filepath.Join(root, termFile)); err == nil {
+		if term, perr := strconv.ParseUint(strings.TrimSpace(string(data)), 10, 64); perr == nil {
+			s.term = term
+		} else {
+			return nil, fmt.Errorf("replica: corrupt %s: %w", termFile, perr)
+		}
+	} else if !errors.Is(err, os.ErrNotExist) {
+		return nil, fmt.Errorf("replica: read %s: %w", termFile, err)
+	}
+	if reg != nil {
+		s.applied = reg.Counter("replica_applied_total", "Shipments applied into standby lineages.", "", "")
+		s.applyErrs = reg.Counter("replica_apply_errors_total", "Shipments that failed to apply.", "", "")
+		s.rejected = reg.Counter("replica_rejected_total", "Ship requests refused (fencing or ordering).", "", "")
+		s.termG = reg.Gauge("replica_term", "This standby's fencing term.", "role", "standby")
+		s.termG.Set(float64(s.term))
+		s.tenantsG = reg.Gauge("replica_tenants", "Tenants with replicated lineages.", "", "")
+	}
+	return s, nil
+}
+
+// Term returns the highest fencing term this standby has seen or minted.
+func (s *Standby) Term() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.term
+}
+
+// Promoted reports whether Promote has run.
+func (s *Standby) Promoted() bool { return s.promoted.Load() }
+
+// Root returns the standby's lineage root directory.
+func (s *Standby) Root() string { return s.root }
+
+// persistTermLocked durably records the term; callers hold s.mu.
+func (s *Standby) persistTermLocked() error {
+	path := filepath.Join(s.root, termFile)
+	if err := atomicio.WriteFile(path, []byte(strconv.FormatUint(s.term, 10)+"\n"), 0o644); err != nil {
+		return fmt.Errorf("replica: persist term: %w", err)
+	}
+	s.termG.Set(float64(s.term))
+	return nil
+}
+
+// Promote fences the replication stream and returns the new term. It is
+// idempotent. After Promote returns, no shipment — in flight or future —
+// can modify any tenant directory: the promoted flag is checked again
+// under each tenant's apply lock, and every applier is closed.
+func (s *Standby) Promote() (uint64, error) {
+	s.mu.Lock()
+	if s.promoted.Load() {
+		term := s.term
+		s.mu.Unlock()
+		return term, nil
+	}
+	s.term++
+	if err := s.persistTermLocked(); err != nil {
+		s.term--
+		s.mu.Unlock()
+		return 0, err
+	}
+	s.promoted.Store(true)
+	term := s.term
+	tenants := make([]*standbyTenant, 0, len(s.tenants))
+	for _, st := range s.tenants {
+		tenants = append(tenants, st)
+	}
+	s.mu.Unlock()
+
+	// Taking each tenant's apply lock waits out any in-flight group; the
+	// promoted flag stops everything queued behind it.
+	for _, st := range tenants {
+		st.mu.Lock()
+		if st.ap != nil {
+			if err := st.ap.Close(); err != nil {
+				s.logf("replica: close applier on promote: %v", err)
+			}
+			st.ap = nil
+		}
+		st.mu.Unlock()
+	}
+	s.logf("replica: promoted at term %d", term)
+	return term, nil
+}
+
+// TenantDirs lists the tenant lineage directories currently on disk,
+// sorted. A promoting server resumes each one.
+func (s *Standby) TenantDirs() ([]string, error) {
+	entries, err := os.ReadDir(s.root)
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, e := range entries {
+		if e.IsDir() && tenantIDRe.MatchString(e.Name()) {
+			out = append(out, e.Name())
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+func (s *Standby) tenant(id string) *standbyTenant {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.tenants[id]
+	if st == nil {
+		st = &standbyTenant{}
+		s.tenants[id] = st
+		s.tenantsG.Set(float64(len(s.tenants)))
+	}
+	return st
+}
+
+// Handler returns the standby's HTTP handler; mount it at the server root
+// (it routes /replica/v1/*).
+func (s *Standby) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc(shipPath, s.handleShip)
+	mux.HandleFunc(statusPath, s.handleStatus)
+	return mux
+}
+
+func (s *Standby) handleShip(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	tenant := r.URL.Query().Get("tenant")
+	if !tenantIDRe.MatchString(tenant) {
+		http.Error(w, "bad tenant", http.StatusBadRequest)
+		return
+	}
+	reqTerm, err := strconv.ParseUint(r.Header.Get(termHeader), 10, 64)
+	if err != nil {
+		http.Error(w, "bad term", http.StatusBadRequest)
+		return
+	}
+
+	// Fencing: a promoted standby, or one that has seen a higher term,
+	// refuses. A request at a *higher* term advances ours durably — the
+	// sender is a newer primary than we knew about.
+	s.mu.Lock()
+	if s.promoted.Load() || reqTerm < s.term {
+		cur := s.term
+		s.mu.Unlock()
+		s.rejected.Inc()
+		w.Header().Set(termHeader, strconv.FormatUint(cur, 10))
+		http.Error(w, "fenced", http.StatusForbidden)
+		return
+	}
+	if reqTerm > s.term {
+		s.term = reqTerm
+		if err := s.persistTermLocked(); err != nil {
+			// Keep the raised term in memory but refuse the group: acking
+			// it would promise durability the term file does not have.
+			s.mu.Unlock()
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+	}
+	s.mu.Unlock()
+
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxShipBody+1))
+	if err != nil {
+		http.Error(w, "read body", http.StatusBadRequest)
+		return
+	}
+	if len(body) > maxShipBody {
+		http.Error(w, "group too large", http.StatusRequestEntityTooLarge)
+		return
+	}
+	group, err := checkpoint.DecodeShipments(body)
+	if err != nil {
+		s.applyErrs.Inc()
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+
+	st := s.tenant(tenant)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	// Promotion may have landed while we waited for the lock: nothing may
+	// touch the directories anymore.
+	if s.promoted.Load() {
+		s.rejected.Inc()
+		w.Header().Set(termHeader, strconv.FormatUint(s.Term(), 10))
+		http.Error(w, "fenced", http.StatusForbidden)
+		return
+	}
+	if st.ap == nil {
+		ap, err := checkpoint.NewApplier(filepath.Join(s.root, tenant), s.sync)
+		if err != nil {
+			s.applyErrs.Inc()
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		st.ap = ap
+	}
+	if r.Header.Get(fullHeader) == "1" {
+		if err := st.ap.Reset(); err != nil {
+			s.applyErrs.Inc()
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+	}
+	for i, sh := range group {
+		if err := st.ap.Apply(sh); err != nil {
+			s.applyErrs.Inc()
+			status := http.StatusInternalServerError
+			switch {
+			case errors.Is(err, checkpoint.ErrOutOfOrder):
+				status = http.StatusConflict
+			case errors.Is(err, checkpoint.ErrBadRecord):
+				status = http.StatusBadRequest
+			}
+			s.logf("replica: tenant %s: apply %d/%d: %v", tenant, i, len(group), err)
+			http.Error(w, err.Error(), status)
+			return
+		}
+		s.applied.Inc()
+	}
+	w.WriteHeader(http.StatusOK)
+}
+
+// StatusTenant is one tenant's applied position in a status report.
+type StatusTenant struct {
+	Run     int `json:"run"`
+	Epoch   int `json:"epoch"`
+	Records int `json:"records"`
+}
+
+// Status is the standby's replication state, served as JSON.
+type Status struct {
+	Term     uint64                  `json:"term"`
+	Promoted bool                    `json:"promoted"`
+	Tenants  map[string]StatusTenant `json:"tenants"`
+}
+
+func (s *Standby) handleStatus(w http.ResponseWriter, r *http.Request) {
+	st := Status{Term: s.Term(), Promoted: s.promoted.Load(), Tenants: map[string]StatusTenant{}}
+	s.mu.Lock()
+	tenants := make(map[string]*standbyTenant, len(s.tenants))
+	for id, t := range s.tenants {
+		tenants[id] = t
+	}
+	s.mu.Unlock()
+	for id, t := range tenants {
+		t.mu.Lock()
+		if t.ap != nil {
+			run, epoch, records := t.ap.Tip()
+			st.Tenants[id] = StatusTenant{Run: run, Epoch: epoch, Records: records}
+		}
+		t.mu.Unlock()
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(st)
+}

@@ -18,12 +18,20 @@ import (
 
 // tokenBucket is a standard refill-on-demand token bucket. Rate <= 0
 // disables it (every take succeeds).
+//
+// The retry hint must be an upper bound under concurrency: when k callers
+// are denied in the same refill window, telling each "one token's worth"
+// sends all k back at the same instant to fight over one token — k-1 of
+// them shed again, ad infinitum. pending counts denials not yet satisfied,
+// and each new denial is hinted far enough out that every caller before it
+// can be granted first.
 type tokenBucket struct {
-	mu     sync.Mutex
-	rate   float64 // tokens per second
-	burst  float64
-	tokens float64
-	last   time.Time
+	mu      sync.Mutex
+	rate    float64 // tokens per second
+	burst   float64
+	tokens  float64
+	pending float64 // denied callers presumed waiting for a token
+	last    time.Time
 }
 
 func newTokenBucket(rate float64, burst int) *tokenBucket {
@@ -52,14 +60,23 @@ func (b *tokenBucket) take(now time.Time) (ok bool, retryAfter time.Duration) {
 		b.tokens += now.Sub(b.last).Seconds() * b.rate
 		if b.tokens > b.burst {
 			b.tokens = b.burst
+			// A full bucket means every hinted-away caller could have been
+			// served already; stop padding hints for ghosts that never
+			// returned.
+			b.pending = 0
 		}
 	}
 	b.last = now
 	if b.tokens >= 1 {
 		b.tokens--
+		if b.pending > 0 {
+			b.pending--
+		}
 		return true, 0
 	}
-	return false, time.Duration((1 - b.tokens) / b.rate * float64(time.Second))
+	retry := time.Duration((1 - b.tokens + b.pending) / b.rate * float64(time.Second))
+	b.pending++
+	return false, retry
 }
 
 // slots is the concurrency limiter: a channel-as-semaphore whose capacity

@@ -1,0 +1,119 @@
+package serve
+
+import (
+	"sync"
+	"time"
+
+	"moe/internal/checkpoint"
+)
+
+// Request deduplication. A client that retries a decide request across a
+// failure — a dropped response, a primary death mid-ack — must get the
+// original decisions back instead of advancing the runtime a second time.
+// Each tenant keeps a bounded FIFO window of identified requests
+// (X-Request-Id / request_id); hits answer from the window without touching
+// the runtime. The window is journaled with the batches (dedup markers per
+// batch, the full window at each rotation), so a restart or a promoted
+// standby reconstructs exactly the window that was acked.
+
+// dedupWindow is a bounded insertion-ordered map of request ID → the acked
+// result. Not self-locking: the owning tenant's mutex guards it.
+type dedupWindow struct {
+	cap   int
+	m     map[string]checkpoint.DedupEntry
+	order []string // insertion order, oldest first
+}
+
+func newDedupWindow(capacity int) *dedupWindow {
+	return &dedupWindow{cap: capacity, m: make(map[string]checkpoint.DedupEntry)}
+}
+
+// add remembers one acked request, evicting the oldest past capacity.
+// Re-adding an existing ID refreshes its value without growing the window.
+func (w *dedupWindow) add(e checkpoint.DedupEntry) {
+	if w.cap <= 0 || e.ID == "" {
+		return
+	}
+	e.Threads = append([]int(nil), e.Threads...)
+	if _, ok := w.m[e.ID]; !ok {
+		w.order = append(w.order, e.ID)
+	}
+	w.m[e.ID] = e
+	for len(w.order) > w.cap {
+		delete(w.m, w.order[0])
+		w.order = w.order[1:]
+	}
+}
+
+// lookup returns the remembered result for id, if any. The Threads slice
+// is a copy: hits escape to response writers after the tenant lock drops.
+func (w *dedupWindow) lookup(id string) (checkpoint.DedupEntry, bool) {
+	if id == "" || w.cap <= 0 {
+		return checkpoint.DedupEntry{}, false
+	}
+	e, ok := w.m[id]
+	if ok {
+		e.Threads = append([]int(nil), e.Threads...)
+	}
+	return e, ok
+}
+
+// entries returns the window oldest-first (copies: safe to journal or ship
+// after the tenant lock is released).
+func (w *dedupWindow) entries() []checkpoint.DedupEntry {
+	out := make([]checkpoint.DedupEntry, 0, len(w.order))
+	for _, id := range w.order {
+		e := w.m[id]
+		e.Threads = append([]int(nil), e.Threads...)
+		out = append(out, e)
+	}
+	return out
+}
+
+// load replaces the window with recovered entries (oldest first), keeping
+// the newest cap of them.
+func (w *dedupWindow) load(entries []checkpoint.DedupEntry) {
+	w.m = make(map[string]checkpoint.DedupEntry, len(entries))
+	w.order = w.order[:0]
+	if w.cap > 0 && len(entries) > w.cap {
+		entries = entries[len(entries)-w.cap:]
+	}
+	for _, e := range entries {
+		w.add(e)
+	}
+}
+
+func (w *dedupWindow) len() int { return len(w.order) }
+
+// jitter is a seeded splitmix64 stream that spreads Retry-After hints:
+// spread(d) = d + U[0, d/2). Deterministic per seed, so tests reproduce;
+// distinct per draw, so shed clients do not synchronize into retry storms.
+// The hint stays an upper-bound-style promise — it only ever grows.
+type jitter struct {
+	mu    sync.Mutex
+	state uint64
+}
+
+func newJitter(seed uint64) *jitter { return &jitter{state: seed} }
+
+func (j *jitter) next() uint64 {
+	j.mu.Lock()
+	j.state += 0x9e3779b97f4a7c15
+	z := j.state
+	j.mu.Unlock()
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return z
+}
+
+// spread widens a Retry-After hint by a uniform fraction of itself.
+func (j *jitter) spread(d time.Duration) time.Duration {
+	if d <= 0 {
+		return d
+	}
+	u := float64(j.next()>>11) / float64(uint64(1)<<53) // [0, 1)
+	return d + time.Duration(u*float64(d)/2)
+}

@@ -145,6 +145,13 @@ func (s *Server) drainTenant(t *tenant, deadline time.Time, rep *DrainReport) {
 	if cerr := core.store.Close(); err == nil && cerr != nil {
 		err = cerr
 	}
+	// Ship whatever the final snapshot produced: a drained primary should
+	// leave its standby holding the exact lineage it wrote last.
+	if s.primary != nil {
+		if ferr := s.primary.Flush(t.id); ferr != nil {
+			s.logf("serve: drain: tenant %s replication flush: %v", t.id, ferr)
+		}
+	}
 	t.mu.Lock()
 	t.core = nil // the store is closed; this generation must not serve again
 	t.mu.Unlock()

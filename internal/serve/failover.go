@@ -1,0 +1,135 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+)
+
+// Failover: turning a hot standby into the serving primary.
+//
+// Promotion is explicit — an operator (or orchestrator) decides the old
+// primary is dead and POSTs /v1/promote to the standby. The sequence:
+//
+//  1. The replica layer bumps and persists the fencing term and starts
+//     refusing shipments from any primary still stamping the old term
+//     (the old primary latches Deposed on its next flush and stops acking).
+//  2. Every replicated tenant lineage is resumed into a live runtime, the
+//     same path a restart takes: newest intact snapshot, journal tail
+//     replayed through the real policy, dedup window reconstructed from
+//     its journaled markers. New lineages are floored at the term so they
+//     supersede anything the deposed primary wrote after its last ship.
+//  3. The decision gate opens. From the client's view the service moved:
+//     retries of in-flight requests hit the dedup window (exactly-once),
+//     new requests continue the timeline as if the primary never died.
+
+// PromotedTenant is one tenant's promotion outcome.
+type PromotedTenant struct {
+	ID string `json:"id"`
+	// Decisions the resumed runtime holds — how far the replicated lineage
+	// reached. Zero with a non-empty Err means the tenant will be rebuilt
+	// lazily on its next request instead.
+	Decisions int64  `json:"decisions"`
+	Err       string `json:"err,omitempty"`
+}
+
+// PromoteReport is what a promotion accomplished.
+type PromoteReport struct {
+	Term    uint64           `json:"term"`
+	Tenants []PromotedTenant `json:"tenants"`
+}
+
+// Promote turns this standby into the serving primary: fence, resume every
+// replicated tenant, open the decision gate. Idempotent at the replica
+// layer (the term bumps once); per-tenant resume failures are reported, not
+// fatal — a tenant that cannot resume now is quarantined and rebuilt on
+// demand like any other build failure.
+func (s *Server) Promote(ctx context.Context) (*PromoteReport, error) {
+	if s.standby == nil {
+		return nil, errNotStandby
+	}
+	term, err := s.standby.Promote()
+	if err != nil {
+		return nil, err
+	}
+	s.promoted.Store(term)
+	if s.primary != nil {
+		// Chained replication: ship onward under the new term.
+		s.primary.SetTerm(term)
+	}
+	rep := &PromoteReport{Term: term}
+	ids, err := s.standby.TenantDirs()
+	if err != nil {
+		return nil, err
+	}
+	for _, id := range ids {
+		pt := PromotedTenant{ID: id}
+		t, aerr := s.tenant(id)
+		if aerr != nil {
+			pt.Err = aerr.msg
+			rep.Tenants = append(rep.Tenants, pt)
+			continue
+		}
+		core, aerr := s.ensureCore(ctx, t)
+		if aerr != nil {
+			pt.Err = aerr.msg
+			rep.Tenants = append(rep.Tenants, pt)
+			continue
+		}
+		decided := int64(core.rt.Decisions())
+		pt.Decisions = decided
+		t.mu.Lock()
+		if t.core == core {
+			t.served = decided
+		}
+		t.mu.Unlock()
+		rep.Tenants = append(rep.Tenants, pt)
+	}
+	s.serving.Store(true)
+	s.logf("serve: promoted to primary at term %d (%d tenants resumed)", term, len(rep.Tenants))
+	return rep, nil
+}
+
+var errNotStandby = &apiError{status: http.StatusConflict, code: "not-standby",
+	msg: "this server is not a standby"}
+
+func (e *apiError) Error() string { return e.msg }
+
+// handlePromote is the operator endpoint for Promote.
+func (s *Server) handlePromote(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		s.writeError(w, &apiError{status: http.StatusMethodNotAllowed, code: "method-not-allowed", msg: "POST required"})
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.MaxDeadline)
+	defer cancel()
+	rep, err := s.Promote(ctx)
+	if err != nil {
+		if aerr, ok := err.(*apiError); ok {
+			s.writeError(w, aerr)
+			return
+		}
+		s.writeError(w, &apiError{status: http.StatusInternalServerError, code: "promote-failed", msg: err.Error()})
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(rep)
+}
+
+// SetReplicaFailpoint installs a send-drop hook on the replication client
+// (chaos tests: simulate groups lost on the wire). No-op on a server that
+// is not replicating.
+func (s *Server) SetReplicaFailpoint(fn func() bool) {
+	if s.primary != nil {
+		s.primary.SetFailpoint(fn)
+	}
+}
+
+// ReplicaLag reports shipments buffered but not yet applied by the standby
+// (0 when not replicating).
+func (s *Server) ReplicaLag() int64 {
+	if s.primary == nil {
+		return 0
+	}
+	return s.primary.Lag()
+}

@@ -1,0 +1,158 @@
+package serve
+
+import (
+	"testing"
+	"time"
+
+	"moe/internal/checkpoint"
+)
+
+// TestTokenBucketPendingHints pins the concurrent-denial fix at the
+// capacity edge: k callers denied in the same refill window must be hinted
+// to k distinct future slots — each hint an upper bound that, when honored,
+// finds a token waiting — instead of all being sent back to fight over the
+// first token.
+func TestTokenBucketPendingHints(t *testing.T) {
+	now := time.Unix(3000, 0)
+	b := newTokenBucket(10, 1) // 10/s, burst 1: one token, 100ms apart
+	if ok, _ := b.take(now); !ok {
+		t.Fatal("burst token refused")
+	}
+	want := []time.Duration{100 * time.Millisecond, 200 * time.Millisecond, 300 * time.Millisecond}
+	var hints []time.Duration
+	for i := range want {
+		ok, retry := b.take(now)
+		if ok {
+			t.Fatalf("deny %d: admitted with no tokens", i)
+		}
+		hints = append(hints, retry)
+	}
+	for i := range want {
+		if hints[i] != want[i] {
+			t.Fatalf("hint %d = %v, want %v (hints must spread across callers)", i, hints[i], want[i])
+		}
+	}
+	// Each caller returning exactly at its hint is admitted first try.
+	for i, h := range hints {
+		if ok, retry := b.take(now.Add(h)); !ok {
+			t.Fatalf("caller %d honored its %v hint and was refused again (next hint %v)", i, h, retry)
+		}
+	}
+	// Idle long enough to refill to burst: the ghost callers that never
+	// came back stop padding hints.
+	idle := now.Add(10 * time.Second)
+	if ok, _ := b.take(idle); !ok {
+		t.Fatal("take after idle refused")
+	}
+	if ok, retry := b.take(idle); ok || retry != 100*time.Millisecond {
+		t.Fatalf("hint after idle reset = %v (ok=%v), want 100ms — pending must reset at full bucket", retry, ok)
+	}
+}
+
+// TestJitterSpread pins the Retry-After jitter stream: deterministic per
+// seed, bounded to [d, 1.5d), and actually spreading (a cohort of hints
+// must not collapse onto one instant).
+func TestJitterSpread(t *testing.T) {
+	const d = 100 * time.Millisecond
+	a, b := newJitter(7), newJitter(7)
+	other := newJitter(8)
+	seen := make(map[time.Duration]int)
+	divergent := false
+	for i := 0; i < 1000; i++ {
+		got := a.spread(d)
+		if got2 := b.spread(d); got2 != got {
+			t.Fatalf("draw %d: same seed diverged (%v vs %v)", i, got, got2)
+		}
+		if other.spread(d) != got {
+			divergent = true
+		}
+		if got < d || got >= d+d/2 {
+			t.Fatalf("draw %d: spread(%v) = %v outside [d, 1.5d)", i, d, got)
+		}
+		seen[got]++
+	}
+	if !divergent {
+		t.Fatal("distinct seeds produced identical streams")
+	}
+	if len(seen) < 900 {
+		t.Fatalf("1000 draws landed on only %d distinct hints — cohort would retry in lockstep", len(seen))
+	}
+	if j := newJitter(1); j.spread(0) != 0 || j.spread(-time.Second) != -time.Second {
+		t.Fatal("non-positive hints must pass through unjittered")
+	}
+}
+
+// TestShedHintsJittered proves every refusal leaving the server's shed path
+// carries a jittered hint: same base, different wire values, never below
+// the base promise.
+func TestShedHintsJittered(t *testing.T) {
+	srv, err := NewServer(Config{JitterSeed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := 500 * time.Millisecond
+	seen := make(map[time.Duration]bool)
+	for i := 0; i < 16; i++ {
+		e := srv.shed("test-reason", 503, "x", base)
+		if e.retryAfter < base || e.retryAfter >= base+base/2 {
+			t.Fatalf("shed hint %v outside [base, 1.5*base)", e.retryAfter)
+		}
+		seen[e.retryAfter] = true
+	}
+	if len(seen) < 8 {
+		t.Fatalf("16 sheds produced only %d distinct hints", len(seen))
+	}
+}
+
+// TestDedupWindowBounds pins the window container itself: FIFO eviction at
+// capacity, refresh-in-place, and load keeping only the newest entries.
+func TestDedupWindowBounds(t *testing.T) {
+	w := newDedupWindow(3)
+	for i, id := range []string{"a", "b", "c", "d"} {
+		w.add(checkpoint.DedupEntry{ID: id, Decisions: i + 1, Threads: []int{i}})
+	}
+	if w.len() != 3 {
+		t.Fatalf("len = %d, want 3", w.len())
+	}
+	if _, ok := w.lookup("a"); ok {
+		t.Fatal("oldest entry survived past capacity")
+	}
+	if e, ok := w.lookup("d"); !ok || e.Decisions != 4 {
+		t.Fatal("newest entry missing")
+	}
+	// Refresh does not grow the window or evict.
+	w.add(checkpoint.DedupEntry{ID: "b", Decisions: 9, Threads: []int{9}})
+	if w.len() != 3 {
+		t.Fatalf("refresh grew the window to %d", w.len())
+	}
+	if e, _ := w.lookup("b"); e.Decisions != 9 {
+		t.Fatal("refresh did not update the entry")
+	}
+	// entries round-trips through load; overlong loads keep the newest cap.
+	w2 := newDedupWindow(2)
+	w2.load(w.entries())
+	if w2.len() != 2 {
+		t.Fatalf("load kept %d entries, want cap 2", w2.len())
+	}
+	if _, ok := w2.lookup("b"); ok {
+		t.Fatal("load kept the oldest entry past cap")
+	}
+	if _, ok := w2.lookup("c"); !ok {
+		t.Fatal("load dropped a newest-cap entry")
+	}
+	// Mutating a returned entry must not alias the window.
+	e, _ := w2.lookup("d")
+	if len(e.Threads) > 0 {
+		e.Threads[0] = 77
+		if e2, _ := w2.lookup("d"); e2.Threads[0] == 77 {
+			t.Fatal("lookup aliases window storage")
+		}
+	}
+	// Disabled window: no-ops.
+	off := newDedupWindow(0)
+	off.add(checkpoint.DedupEntry{ID: "x"})
+	if _, ok := off.lookup("x"); ok || off.len() != 0 {
+		t.Fatal("disabled window retained entries")
+	}
+}

@@ -38,6 +38,7 @@ import (
 	"time"
 
 	"moe"
+	"moe/internal/atomicio"
 	"moe/internal/telemetry"
 )
 
@@ -104,6 +105,35 @@ type Config struct {
 	// serve_labels_dropped_total.
 	MaxTenantSeries int
 
+	// ReplicateTo, when set, makes this server a replicating primary: every
+	// committed checkpoint artifact is shipped per tenant to the standby at
+	// this base URL (scheme + host), flushed as one group per batch before
+	// the client is acked. See internal/replica.
+	ReplicateTo string
+	// ReplicaTerm is the fencing term stamped on shipped groups; 0 means 1.
+	// A process promoted out of standby restarts with the promoted term.
+	ReplicaTerm uint64
+	// Standby makes this server a hot standby: it mounts the replication
+	// endpoints, applies incoming lineages under CheckpointRoot (required),
+	// and sheds decision traffic with 503 until promoted via /v1/promote.
+	Standby bool
+
+	// DedupWindow is how many idempotent request IDs (X-Request-Id /
+	// request_id) each tenant remembers, journaled with the batches so the
+	// window survives restart and failover. 0 selects DefDedupWindow;
+	// negative disables deduplication.
+	DedupWindow int
+
+	// JitterSeed seeds the deterministic stream that spreads Retry-After
+	// hints (each shed hint gets + U[0, hint/2)), so shed clients do not
+	// retry in lockstep. 0 selects DefJitterSeed; tests pick fixed seeds
+	// for reproducibility.
+	JitterSeed uint64
+
+	// JournalFault, when set, installs a per-tenant fault hook on every
+	// tenant store's journal write path (disk-fault injection; tests only).
+	JournalFault func(tenant string) atomicio.FaultFn
+
 	// Registry receives the serve_* metric families; nil creates one.
 	Registry *telemetry.Registry
 	// Logf receives operational log lines; nil discards them.
@@ -125,6 +155,8 @@ const (
 	DefBreakerBackoffMax = 30 * time.Second
 	DefProbationRequests = 3
 	DefMaxTenantSeries   = 512
+	DefDedupWindow       = 128
+	DefJitterSeed        = 1
 )
 
 // withDefaults fills zero fields; it does not mutate the caller's copy.
@@ -185,6 +217,21 @@ func (c Config) withDefaults() (Config, error) {
 	}
 	if c.MaxTenantSeries == 0 {
 		c.MaxTenantSeries = DefMaxTenantSeries
+	}
+	if c.Standby && c.CheckpointRoot == "" {
+		return c, fmt.Errorf("serve: Standby requires CheckpointRoot (lineages must land on disk)")
+	}
+	if c.DedupWindow == 0 {
+		c.DedupWindow = DefDedupWindow
+	}
+	if c.DedupWindow < 0 {
+		c.DedupWindow = 0 // explicit opt-out
+	}
+	if c.JitterSeed == 0 {
+		c.JitterSeed = DefJitterSeed
+	}
+	if c.ReplicaTerm == 0 {
+		c.ReplicaTerm = 1
 	}
 	if c.Registry == nil {
 		c.Registry = telemetry.NewRegistry()

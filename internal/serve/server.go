@@ -14,6 +14,7 @@ import (
 
 	"moe"
 	"moe/internal/features"
+	"moe/internal/replica"
 	"moe/internal/telemetry"
 )
 
@@ -29,6 +30,17 @@ type Server struct {
 	slots   *slots
 	tn      tenants
 	metrics serverMetrics
+	jit     *jitter
+
+	// Replication roles (both nil on a standalone server). A server may be
+	// both at once — a promoted standby chaining to its own standby.
+	primary *replica.Primary
+	standby *replica.Standby
+	// serving gates the decision path: false while in standby role (flips
+	// true at promotion). promoted holds the fencing term this server was
+	// promoted at (0 = never), floored into every store run it opens.
+	serving  atomic.Bool
+	promoted atomic.Uint64
 
 	inflight sync.WaitGroup
 	draining atomic.Bool
@@ -51,8 +63,14 @@ func NewServer(cfg Config) (*Server, error) {
 		bucket: newTokenBucket(cfg.Rate, cfg.Burst),
 		slots:  newSlots(cfg.MaxInflight),
 		tn:     tenants{m: make(map[string]*tenant)},
+		jit:    newJitter(cfg.JitterSeed),
 		stop:   make(chan struct{}),
 		logf:   cfg.Logf,
+	}
+	s.serving.Store(!cfg.Standby)
+	if cfg.ReplicateTo != "" {
+		s.primary = replica.NewPrimary(cfg.ReplicateTo, cfg.Registry, cfg.Logf)
+		s.primary.SetTerm(cfg.ReplicaTerm)
 	}
 	// Tenant IDs are caller-controlled; cap the labeled series they can
 	// mint and make the overflow visible (satellite: cardinality cap).
@@ -62,6 +80,15 @@ func NewServer(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("/v1/decide", s.handleDecide)
 	s.mux.HandleFunc("/v1/tenants", s.handleTenants)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	if cfg.Standby {
+		sb, err := replica.NewStandby(cfg.CheckpointRoot, cfg.CheckpointSync, cfg.Registry, cfg.Logf)
+		if err != nil {
+			return nil, err
+		}
+		s.standby = sb
+		s.mux.Handle("/replica/v1/", sb.Handler())
+		s.mux.HandleFunc("/v1/promote", s.handlePromote)
+	}
 	s.mux.Handle("/", telemetry.Mux(s.reg)) // /metrics, /metrics.json, /debug/pprof
 	go s.watchdogLoop()
 	return s, nil
@@ -90,6 +117,7 @@ type serverMetrics struct {
 	breakerTrips     *telemetry.Counter
 	recycles         *telemetry.Counter
 	resumeFailures   *telemetry.Counter
+	dedupHits        *telemetry.Counter
 	tenants          *telemetry.Gauge
 	inflight         *telemetry.Gauge
 	drainSeconds     *telemetry.Gauge
@@ -109,6 +137,7 @@ func (m *serverMetrics) init(reg *telemetry.Registry) {
 	m.breakerTrips = reg.Counter("serve_breaker_trips_total", "Tenant circuit-breaker openings.")
 	m.recycles = reg.Counter("serve_watchdog_recycles_total", "Wedged tenant generations recycled by the watchdog.")
 	m.resumeFailures = reg.Counter("serve_resume_failures_total", "Checkpoint resumes abandoned (poison or wedged journal replay).")
+	m.dedupHits = reg.Counter("serve_dedup_hits_total", "Requests answered from the idempotency window.")
 	m.tenants = reg.Gauge("serve_tenants", "Registered tenants.")
 	m.inflight = reg.Gauge("serve_inflight", "Decision requests currently holding a slot.")
 	m.drainSeconds = reg.Gauge("serve_drain_seconds", "Duration of the last drain.")
@@ -150,10 +179,12 @@ type apiError struct {
 	retryAfter time.Duration
 }
 
-// shed counts a refusal under reason and shapes it into the response.
+// shed counts a refusal under reason and shapes it into the response. Every
+// Retry-After hint leaving here is jittered (+U[0, hint/2)) so a cohort
+// shed together does not return together.
 func (s *Server) shed(reason string, status int, msg string, retryAfter time.Duration) *apiError {
 	s.metrics.shed(reason).Inc()
-	return &apiError{status: status, code: reason, msg: msg, retryAfter: retryAfter}
+	return &apiError{status: status, code: reason, msg: msg, retryAfter: s.jit.spread(retryAfter)}
 }
 
 func (s *Server) deadline() *apiError {
@@ -165,6 +196,11 @@ func (s *Server) deadline() *apiError {
 type decideRequest struct {
 	Tenant       string        `json:"tenant"`
 	Observations []observation `json:"observations"`
+	// RequestID makes the request idempotent within the tenant's dedup
+	// window: a retry carrying the same ID returns the original decisions
+	// instead of re-advancing the runtime. The X-Request-Id header is an
+	// equivalent spelling for single-JSON bodies.
+	RequestID string `json:"request_id,omitempty"`
 }
 
 type observation struct {
@@ -179,6 +215,10 @@ type decideResponse struct {
 	Tenant    string `json:"tenant"`
 	Threads   []int  `json:"threads"`
 	Decisions int64  `json:"decisions"`
+	// Deduped marks a response answered from the idempotency window: these
+	// are the decisions originally acked under this request ID, and the
+	// runtime did not advance again.
+	Deduped bool `json:"deduped,omitempty"`
 }
 
 type errorResponse struct {
@@ -258,6 +298,21 @@ func (s *Server) handleDecide(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, e)
 		return
 	}
+	// Role gates: a standby holds replicated lineages but no live runtimes
+	// until promoted; a deposed primary must stop acking decisions the
+	// moment a promoted standby fences it — acks here would fork history.
+	if !s.serving.Load() {
+		e := s.shed("standby", http.StatusServiceUnavailable, "standby; not serving until promoted", time.Second)
+		status = e.status
+		s.writeError(w, e)
+		return
+	}
+	if s.primary != nil && s.primary.Deposed() {
+		e := s.shed("deposed", http.StatusServiceUnavailable, "deposed by promoted standby", time.Second)
+		status = e.status
+		s.writeError(w, e)
+		return
+	}
 	if ok, retry := s.bucket.take(time.Now()); !ok {
 		e := s.shed("rate", http.StatusTooManyRequests, "request rate over limit", retry)
 		status = e.status
@@ -286,6 +341,9 @@ func (s *Server) handleDecide(w http.ResponseWriter, r *http.Request) {
 		status = http.StatusBadRequest
 		s.writeError(w, &apiError{status: status, code: "bad-request", msg: "malformed JSON: " + err.Error()})
 		return
+	}
+	if req.RequestID == "" {
+		req.RequestID = r.Header.Get("X-Request-Id")
 	}
 	ctx, cancel := context.WithTimeout(r.Context(), deadline)
 	defer cancel()
@@ -357,13 +415,21 @@ func (s *Server) serveOne(ctx context.Context, req *decideRequest) (*decideRespo
 		}
 		obs[i] = o
 	}
+	if len(req.RequestID) > maxRequestID {
+		return nil, &apiError{status: 400, code: "bad-request",
+			msg: fmt.Sprintf("request_id of %d bytes over the %d cap", len(req.RequestID), maxRequestID)}
+	}
 	t, aerr := s.tenant(req.Tenant)
 	if aerr != nil {
 		return nil, aerr
 	}
-	res, aerr := s.decideTenant(ctx, t, obs)
+	res, aerr := s.decideTenant(ctx, t, req.RequestID, obs)
 	if aerr != nil {
 		return nil, aerr
+	}
+	if res.deduped {
+		return &decideResponse{Tenant: t.id, Threads: res.threads,
+			Decisions: res.decisions, Deduped: true}, nil
 	}
 	t.mu.Lock()
 	served := t.served
@@ -371,18 +437,28 @@ func (s *Server) serveOne(ctx context.Context, req *decideRequest) (*decideRespo
 	return &decideResponse{Tenant: t.id, Threads: res.threads, Decisions: served}, nil
 }
 
+// maxRequestID bounds client request IDs (they are journaled).
+const maxRequestID = 128
+
 // decideResult is what the decide goroutine hands back (or leaves behind,
 // if the handler gave up on it).
 type decideResult struct {
 	threads   []int
 	decisions int64 // runtime's lifetime decision count (survives resume)
 	panicked  string
+	// deposed: the commit flush was refused by a promoted standby. The
+	// decision ran locally but must NOT be acked — an ack here would fork
+	// acked history between the fenced primary and the new one.
+	deposed bool
+	// deduped: answered from the idempotency window; the runtime did not
+	// advance and decisions holds the original ack's count.
+	deduped bool
 }
 
 // decideTenant runs one batch on tenant t: breaker gate, core (re)build,
 // the tenant's single decision slot, then the batch itself — all bounded
 // by ctx.
-func (s *Server) decideTenant(ctx context.Context, t *tenant, obs []moe.Observation) (*decideResult, *apiError) {
+func (s *Server) decideTenant(ctx context.Context, t *tenant, reqID string, obs []moe.Observation) (*decideResult, *apiError) {
 	t.mu.Lock()
 	ok, retry := t.brk.admit(time.Now())
 	t.setStateLocked()
@@ -415,7 +491,26 @@ func (s *Server) decideTenant(ctx context.Context, t *tenant, obs []moe.Observat
 			}
 			return nil, s.shed("recycled", http.StatusServiceUnavailable, "tenant recycling", s.cfg.BreakerBackoff)
 		}
-		return s.runDecide(ctx, t, core, obs)
+		// Idempotency check, under the decision slot and after the core (and
+		// with it the journal-recovered window) exists: a request ID we
+		// already acked answers from the window — the runtime must not
+		// advance twice for one logical request, whether the retry hits this
+		// process, a restarted one, or a promoted standby. Holding the slot
+		// serializes the lookup against a concurrent twin's commit.
+		if reqID != "" {
+			t.mu.Lock()
+			hit, ok := t.dedup.lookup(reqID)
+			if ok {
+				t.busySince = time.Time{}
+			}
+			t.mu.Unlock()
+			if ok {
+				<-core.sem
+				s.metrics.dedupHits.Inc()
+				return &decideResult{threads: hit.Threads, decisions: int64(hit.Decisions), deduped: true}, nil
+			}
+		}
+		return s.runDecide(ctx, t, core, reqID, obs)
 	}
 }
 
@@ -424,7 +519,7 @@ func (s *Server) decideTenant(ctx context.Context, t *tenant, obs []moe.Observat
 // running (the watchdog deals with it if it never finishes), bookkeeping
 // happens in finishDecide either way, and the tenant's slot is released
 // only when the batch is truly done.
-func (s *Server) runDecide(ctx context.Context, t *tenant, core *tenantCore, obs []moe.Observation) (*decideResult, *apiError) {
+func (s *Server) runDecide(ctx context.Context, t *tenant, core *tenantCore, reqID string, obs []moe.Observation) (*decideResult, *apiError) {
 	done := make(chan *decideResult, 1)
 	go func() {
 		res := &decideResult{}
@@ -438,6 +533,10 @@ func (s *Server) runDecide(ctx context.Context, t *tenant, core *tenantCore, obs
 			res.threads = core.rt.DecideBatch(obs)
 			res.decisions = int64(core.rt.Decisions())
 		}()
+		// Commit before the handler is released: the dedup marker must be
+		// journaled behind the batch's own entries, and the replication
+		// group must be flushed, before the client can see the ack.
+		s.commitBatch(t, core, reqID, res)
 		s.finishDecide(t, core, res)
 		done <- res
 		<-core.sem
@@ -446,7 +545,11 @@ func (s *Server) runDecide(ctx context.Context, t *tenant, core *tenantCore, obs
 	case res := <-done:
 		if res.panicked != "" {
 			return nil, &apiError{status: http.StatusInternalServerError, code: "tenant-fault",
-				msg: "tenant decision faulted; tenant quarantined", retryAfter: s.cfg.BreakerBackoff}
+				msg: "tenant decision faulted; tenant quarantined", retryAfter: s.jit.spread(s.cfg.BreakerBackoff)}
+		}
+		if res.deposed {
+			return nil, s.shed("deposed", http.StatusServiceUnavailable,
+				"deposed by promoted standby; decision not acknowledged", time.Second)
 		}
 		return res, nil
 	case <-ctx.Done():

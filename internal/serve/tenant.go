@@ -2,6 +2,7 @@ package serve
 
 import (
 	"context"
+	"errors"
 	"path/filepath"
 	"regexp"
 	"sort"
@@ -10,6 +11,7 @@ import (
 
 	"moe"
 	"moe/internal/checkpoint"
+	"moe/internal/replica"
 	"moe/internal/telemetry"
 )
 
@@ -48,6 +50,7 @@ type tenant struct {
 	recycles    int       // watchdog recycles, lifetime
 	served      int64     // decisions served across generations
 	lastDecided []int     // tail of the most recent batch, for /v1/tenants
+	dedup       *dedupWindow
 
 	// rebuild serializes core construction (store open + resume can be
 	// slow); waiters bail out on their request context.
@@ -121,6 +124,7 @@ func (s *Server) tenant(id string) (*tenant, *apiError) {
 	t = &tenant{
 		id:      id,
 		brk:     newBreaker(s.cfg.BreakerBackoff, s.cfg.BreakerBackoffMax, s.cfg.ProbationRequests),
+		dedup:   newDedupWindow(s.cfg.DedupWindow),
 		rebuild: make(chan struct{}, 1),
 		mDecisions: s.reg.Counter("serve_tenant_decisions_total",
 			"Decisions served, per tenant.", "tenant", id),
@@ -172,7 +176,7 @@ func (s *Server) ensureCore(ctx context.Context, t *tenant) (*tenantCore, *apiEr
 		t.mu.Unlock()
 		s.metrics.breakerTrips.Inc()
 		s.logf("serve: tenant %s: build failed, quarantined: %v", t.id, err)
-		return nil, &apiError{status: 503, code: "tenant-build-failed", msg: err.Error(), retryAfter: s.cfg.BreakerBackoff}
+		return nil, &apiError{status: 503, code: "tenant-build-failed", msg: err.Error(), retryAfter: s.jit.spread(s.cfg.BreakerBackoff)}
 	}
 	t.mu.Lock()
 	t.core = core
@@ -209,7 +213,7 @@ func (s *Server) buildCore(t *tenant, gen int) (core *tenantCore, degraded strin
 	if t.dir == "" {
 		return core, "", nil
 	}
-	store, err := checkpoint.OpenOptions(t.dir, checkpoint.Options{DisableSync: !s.cfg.CheckpointSync})
+	store, err := checkpoint.OpenOptions(t.dir, s.storeOptions())
 	if err != nil {
 		if checkpoint.IsDiskError(err) {
 			s.logf("serve: tenant %s: checkpoint store unusable, serving journal-less: %v", t.id, err)
@@ -217,7 +221,9 @@ func (s *Server) buildCore(t *tenant, gen int) (core *tenantCore, degraded strin
 		}
 		return nil, "", err
 	}
-	if !s.boundedResume(t, core.rt, store) {
+	s.wireStore(t, store)
+	ok, dedups := s.boundedResume(t, core.rt, store)
+	if !ok {
 		// Poison or unreadable history: abandon that runtime (the resume
 		// goroutine may still be wedged inside it) and serve cold on a
 		// fresh lineage in the same directory — the newer run number
@@ -226,13 +232,20 @@ func (s *Server) buildCore(t *tenant, gen int) (core *tenantCore, degraded strin
 			return nil, "", err
 		}
 		core = &tenantCore{gen: gen, rt: rt, sem: make(chan struct{}, 1)}
-		if store, err = checkpoint.OpenOptions(t.dir, checkpoint.Options{DisableSync: !s.cfg.CheckpointSync}); err != nil {
+		if store, err = checkpoint.OpenOptions(t.dir, s.storeOptions()); err != nil {
 			if checkpoint.IsDiskError(err) {
 				return core, err.Error(), nil
 			}
 			return nil, "", err
 		}
+		s.wireStore(t, store)
+		dedups = nil
 	}
+	// The dedup window must mirror the runtime state it answers for: replace
+	// it with exactly what recovery saw (possibly nothing) before serving.
+	t.mu.Lock()
+	t.dedup.load(dedups)
+	t.mu.Unlock()
 	if err := core.rt.AttachStore(store, s.cfg.CheckpointEvery); err != nil {
 		// The attach snapshot could not be written (full disk) or the
 		// policy is not capturable: the tenant still serves, journal-less.
@@ -241,42 +254,141 @@ func (s *Server) buildCore(t *tenant, gen int) (core *tenantCore, degraded strin
 		return core, err.Error(), nil
 	}
 	core.store = store
+	// Ship the attach snapshot (and anything folded behind it) right away so
+	// the standby holds a resumable lineage even before the first decision.
+	if s.primary != nil {
+		if err := s.primary.Flush(t.id); err != nil {
+			s.logf("serve: tenant %s: replication bootstrap flush: %v", t.id, err)
+		}
+	}
 	return core, "", nil
+}
+
+// storeOptions is how every tenant store is opened: the configured sync
+// policy, with run numbers floored at the promotion term so a promoted
+// standby's new lineages always supersede anything the deposed primary
+// managed to write before it was fenced.
+func (s *Server) storeOptions() checkpoint.Options {
+	return checkpoint.Options{DisableSync: !s.cfg.CheckpointSync, MinRun: int(s.promoted.Load())}
+}
+
+// wireStore installs the serve-layer hooks on a freshly opened store, before
+// any write can happen: fault injection (tests), the dedup window source
+// (journal rotations persist the full window), and the replication shipper.
+func (s *Server) wireStore(t *tenant, store *checkpoint.Store) {
+	if s.cfg.JournalFault != nil {
+		store.SetJournalFault(s.cfg.JournalFault(t.id))
+	}
+	store.SetDedupWindowSource(func() []checkpoint.DedupEntry {
+		t.mu.Lock()
+		defer t.mu.Unlock()
+		return t.dedup.entries()
+	})
+	if s.primary != nil {
+		store.SetShipper(s.primary.Shipper(t.id))
+	}
 }
 
 // boundedResume replays the tenant's journal through the real policy under
 // a recover and the wedge budget: a poison observation that panics or
 // stalls the policy mid-replay must wedge at most this build attempt,
-// never the server. False means the runtime and store must be abandoned —
-// the replay goroutine may still hold both.
-func (s *Server) boundedResume(t *tenant, rt *moe.Runtime, store *checkpoint.Store) bool {
-	done := make(chan bool, 1)
+// never the server. ok false means the runtime and store must be abandoned —
+// the replay goroutine may still hold both. On success, dedups is the
+// recovered idempotency window (every identified request whose decisions
+// the replayed state actually contains).
+func (s *Server) boundedResume(t *tenant, rt *moe.Runtime, store *checkpoint.Store) (ok bool, dedups []checkpoint.DedupEntry) {
+	type outcome struct {
+		ok     bool
+		dedups []checkpoint.DedupEntry
+	}
+	done := make(chan outcome, 1)
 	go func() {
-		ok := false
+		var out outcome
 		func() {
 			defer func() {
 				if p := recover(); p != nil {
 					s.logf("serve: tenant %s: panic replaying journal (poison entry?): %v", t.id, p)
 				}
 			}()
-			if _, err := rt.Resume(store); err != nil {
+			if rec, err := rt.Resume(store); err != nil {
 				s.logf("serve: tenant %s: resume: %v", t.id, err)
 			} else {
-				ok = true
+				out.ok = true
+				out.dedups = rec.Dedups
 			}
 		}()
-		done <- ok
+		done <- out
 	}()
 	select {
-	case ok := <-done:
-		if !ok {
+	case out := <-done:
+		if !out.ok {
 			s.metrics.resumeFailures.Inc()
 		}
-		return ok
+		return out.ok, out.dedups
 	case <-time.After(s.cfg.WedgeTimeout):
 		s.logf("serve: tenant %s: resume wedged past %s; starting cold", t.id, s.cfg.WedgeTimeout)
 		s.metrics.resumeFailures.Inc()
-		return false
+		return false, nil
+	}
+}
+
+// commitBatch runs in the decide goroutine after a successful batch, before
+// the handler is released: the commit point for exactly-once semantics. For
+// an identified request it journals the dedup marker behind the batch's own
+// entries and admits it to the in-memory window; with replication on, it
+// flushes the tenant's shipment group so the standby holds everything this
+// ack promises before the client can see the ack (flush failure is absorbed
+// — semi-synchronous — and surfaces as replica lag, not a client error).
+// It is also where a journal write failure mid-batch latches the tenant
+// degraded: acked decisions are never lost — they live in memory and in the
+// shipped stream — but the local journal has stopped.
+func (s *Server) commitBatch(t *tenant, core *tenantCore, reqID string, res *decideResult) {
+	if res.panicked != "" {
+		return
+	}
+	t.mu.Lock()
+	current := t.core == core
+	t.mu.Unlock()
+	if !current {
+		return
+	}
+	entry := checkpoint.DedupEntry{
+		ID:        reqID,
+		Decisions: int(res.decisions),
+		Threads:   res.threads,
+	}
+	cerr := core.rt.CheckpointErr()
+	if reqID != "" {
+		if core.store != nil && cerr == nil {
+			if err := core.store.AppendDedup(entry); err != nil {
+				s.logf("serve: tenant %s: journal dedup marker: %v", t.id, err)
+				cerr = err
+			}
+		}
+		t.mu.Lock()
+		if t.core == core {
+			t.dedup.add(entry)
+		}
+		t.mu.Unlock()
+	}
+	if s.primary != nil {
+		if err := s.primary.Flush(t.id); err != nil {
+			if errors.Is(err, replica.ErrDeposed) {
+				res.deposed = true
+			}
+			s.logf("serve: tenant %s: replication flush: %v", t.id, err)
+		}
+	}
+	if core.store != nil && cerr != nil && checkpoint.IsDiskError(cerr) {
+		t.mu.Lock()
+		latch := t.core == core && t.degraded == ""
+		if latch {
+			t.setDegradedLocked(cerr.Error())
+		}
+		t.mu.Unlock()
+		if latch {
+			s.logf("serve: tenant %s: journal failed mid-batch, serving journal-less: %v", t.id, cerr)
+		}
 	}
 }
 

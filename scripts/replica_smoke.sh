@@ -1,0 +1,127 @@
+#!/usr/bin/env bash
+# replica_smoke.sh — two-process hot-standby failover with the real moed
+# binary. A primary replicates every committed checkpoint artifact to a
+# standby over HTTP; clients send identified requests (X-Request-Id). The
+# primary is then killed hard (SIGKILL, no drain), the standby is promoted
+# with `moed -promote`, and the script proves:
+#   1. the standby refused decisions until promoted,
+#   2. every acked decision survived the node loss (counters exact),
+#   3. a retried in-flight request deduplicates instead of re-executing,
+#   4. the deposed primary's decisions are refused after promotion.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+WORK=$(mktemp -d)
+PRIM_PID=""
+SB_PID=""
+cleanup() {
+    [ -n "$PRIM_PID" ] && kill -9 "$PRIM_PID" 2>/dev/null || true
+    [ -n "$SB_PID" ] && kill -9 "$SB_PID" 2>/dev/null || true
+    rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+PRIM_ADDR=127.0.0.1:9178
+SB_ADDR=127.0.0.1:9179
+PRIM="http://$PRIM_ADDR"
+SB="http://$SB_ADDR"
+
+go build -o "$WORK/moed" ./cmd/moed
+
+wait_up() { # wait_up <base-url> <name>
+    for _ in $(seq 1 100); do
+        curl -fsS "$1/healthz" >/dev/null 2>&1 && return 0
+        sleep 0.1
+    done
+    echo "replica-smoke: $2 never came up" >&2
+    exit 1
+}
+
+# body <tenant> <from> <n> — one decide request with a monotone clock.
+body() {
+    python3 - "$1" "$2" "$3" <<'PY'
+import json, sys
+tenant, start, n = sys.argv[1], int(sys.argv[2]), int(sys.argv[3])
+obs = [{"time": 0.25*k,
+        "features": [0.15*(j+1) + 0.02*((k*7+j*3) % 11) for j in range(9)] + [32.0],
+        "region_start": k % 4 == 0, "rate": 100, "available_procs": 32}
+       for k in range(start, start+n)]
+print(json.dumps({"tenant": tenant, "observations": obs}))
+PY
+}
+
+decisions_of() { python3 -c 'import json,sys; print(json.load(sys.stdin)["decisions"])'; }
+
+# decide <base> <tenant> <from> <n> <request-id> — identified decide.
+decide() {
+    body "$2" "$3" "$4" | curl -fsS -X POST -H 'Content-Type: application/json' \
+        -H "X-Request-Id: $5" --data-binary @- "$1/v1/decide"
+}
+
+# Standby first, then the primary pointed at it.
+"$WORK/moed" -listen "$SB_ADDR" -checkpoint-dir "$WORK/sb" -standby -quiet &
+SB_PID=$!
+wait_up "$SB" standby
+"$WORK/moed" -listen "$PRIM_ADDR" -checkpoint-dir "$WORK/prim" -replicate-to "$SB" -quiet &
+PRIM_PID=$!
+wait_up "$PRIM" primary
+echo "replica-smoke: primary on $PRIM_ADDR replicating to standby on $SB_ADDR"
+
+# 1. The standby refuses decisions before promotion (503 standby).
+SB_CODE=$(body early 0 4 | curl -sS -o /dev/null -w '%{http_code}' -X POST \
+    -H 'Content-Type: application/json' --data-binary @- "$SB/v1/decide")
+[ "$SB_CODE" = 503 ] || { echo "replica-smoke: standby served before promotion (status $SB_CODE)" >&2; exit 1; }
+
+# 2. Acked decisions on the primary, each with an idempotency key.
+for i in 0 1 2; do
+    R=$(decide "$PRIM" alpha $((i*8)) 8 "alpha-req-$i")
+    [ "$(echo "$R" | decisions_of)" = $(( (i+1)*8 )) ] \
+        || { echo "replica-smoke: alpha batch $i wrong counter: $R" >&2; exit 1; }
+done
+R=$(decide "$PRIM" beta 0 8 beta-req-0)
+[ "$(echo "$R" | decisions_of)" = 8 ] || { echo "replica-smoke: beta counter: $R" >&2; exit 1; }
+
+# 3. Hard-kill the primary: no drain, no final checkpoint. Everything the
+# clients were acked must already be on the standby.
+kill -9 "$PRIM_PID" && wait "$PRIM_PID" 2>/dev/null || true
+echo "replica-smoke: primary killed (SIGKILL)"
+
+# 4. Promote via the CLI client mode and check the recovered counters.
+"$WORK/moed" -promote "$SB" > "$WORK/promote.json"
+python3 - "$WORK/promote.json" <<'PY'
+import json, sys
+rep = json.load(open(sys.argv[1]))
+ts = {t["id"]: t["decisions"] for t in rep["tenants"]}
+assert rep["term"] >= 2, rep
+assert ts.get("alpha") == 24, ts
+assert ts.get("beta") == 8, ts
+PY
+echo "replica-smoke: standby promoted, counters exact (alpha=24 beta=8)"
+
+# 5. A client retrying its last acked request against the new primary gets
+# the original result back (dedup hit — no double execution).
+R=$(decide "$SB" alpha 16 8 alpha-req-2)
+[ "$(echo "$R" | decisions_of)" = 24 ] \
+    || { echo "replica-smoke: retry re-executed instead of deduplicating: $R" >&2; exit 1; }
+echo "$R" | python3 -c 'import json,sys; assert json.load(sys.stdin).get("deduped") is True' \
+    || { echo "replica-smoke: retry not marked deduped: $R" >&2; exit 1; }
+
+# 6. Fresh traffic continues on the promoted standby.
+R=$(decide "$SB" alpha 24 8 alpha-req-3)
+[ "$(echo "$R" | decisions_of)" = 32 ] || { echo "replica-smoke: post-failover decide: $R" >&2; exit 1; }
+
+# 7. A zombie primary restarted on its old directory at the stale term is
+# fenced: its first decide is refused, not acked.
+"$WORK/moed" -listen "$PRIM_ADDR" -checkpoint-dir "$WORK/prim" -replicate-to "$SB" -quiet &
+PRIM_PID=$!
+wait_up "$PRIM" "restarted primary"
+Z_CODE=$(body alpha 32 4 | curl -sS -o /dev/null -w '%{http_code}' -X POST \
+    -H 'Content-Type: application/json' --data-binary @- "$PRIM/v1/decide")
+[ "$Z_CODE" = 503 ] || { echo "replica-smoke: stale primary acked after promotion (status $Z_CODE)" >&2; exit 1; }
+echo "replica-smoke: stale primary fenced (503, decision not acknowledged)"
+
+# 8. The promoted standby drains cleanly.
+kill -TERM "$SB_PID" && wait "$SB_PID" || { echo "replica-smoke: promoted standby drain failed" >&2; exit 1; }
+SB_PID=""
+
+echo "replica-smoke: OK"

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench bench-smoke serve-smoke replica-smoke
+.PHONY: build test race vet bench bench-smoke serve-smoke replica-smoke evolve-smoke
 
 build:
 	$(GO) build ./...
@@ -24,6 +24,7 @@ bench:
 	$(GO) run ./cmd/moebench -throughput-json BENCH_PR6.json
 	$(GO) run ./cmd/moebench -serve-json BENCH_PR7.json
 	$(GO) run ./cmd/moebench -replica-json BENCH_PR8.json
+	$(GO) run ./cmd/moebench -evolve-json BENCH_PR9.json
 
 # serve-smoke drives the real moed binary end to end: JSON + NDJSON
 # decisions, chaos-tenant quarantine with a healthy bystander, metrics
@@ -39,6 +40,15 @@ serve-smoke:
 # deduplicated retry, and fencing of the restarted stale primary.
 replica-smoke:
 	bash scripts/replica_smoke.sh
+
+# evolve-smoke exercises the full expert lifecycle (birth, probation,
+# admission, retirement, replay determinism, frozen-pool byte-identity)
+# plus the drifting-machine study itself, which hard-fails unless the
+# living pool beats the frozen pool on hmean speedup after drift.
+evolve-smoke:
+	$(GO) test ./internal/core/ -run 'TestEvolution|TestGoldenTrace|TestHealthiest|TestRestore' -count=1
+	$(GO) test . -run 'TestRuntimeRestartEvolvingPool|TestRuntimeResumePoolMismatchTyped' -count=1
+	$(GO) run ./cmd/moebench -evolve-json /tmp/evolve-smoke.json
 
 # bench-smoke is the CI guard: cheap fixed-iteration runs of the sim
 # stepping-loop and batch decision microbenchmarks that fail if either

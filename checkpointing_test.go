@@ -1,6 +1,7 @@
 package moe_test
 
 import (
+	"errors"
 	"math"
 	"os"
 	"path/filepath"
@@ -137,6 +138,136 @@ func TestRuntimeRestartGolden(t *testing.T) {
 				t.Fatal("resumed state is not bit-identical to the uninterrupted state")
 			}
 		})
+	}
+}
+
+// TestRuntimeRestartEvolvingPool is the restart golden test for a LIVING
+// pool: the crash window straddles lifecycle steps, so resume must rebuild
+// evolved pool members from the snapshot's serialized genomes and then
+// replay journal observations THROUGH further births — pool changes and
+// all — to land bit-identical to the uninterrupted run.
+func TestRuntimeRestartEvolvingPool(t *testing.T) {
+	const total, crashAt = 60, 37
+	cfg := moe.EvolutionConfig{Period: 7, Seed: 5, MinAge: 14, MinPool: 2}
+	build := func() moe.Policy {
+		m, err := moe.NewEvolvingMixture(moe.CanonicalExperts(), cfg)
+		if err != nil {
+			t.Fatalf("NewEvolvingMixture: %v", err)
+		}
+		return m
+	}
+
+	refMix := build().(*moe.Mixture)
+	ref, err := moe.NewRuntime(refMix, ckptMaxThreads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([]int, total)
+	for i := 0; i < total; i++ {
+		want[i] = ref.Decide(ckptObservation(i))
+	}
+	if refMix.Snapshot().PoolEpoch == 0 {
+		t.Fatal("no pool changes in the reference run; the restart test is vacuous")
+	}
+	refState, err := ref.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Crash at 37 with snapshots every 10: the last snapshot (30) already
+	// holds evolved members, and the journal tail (31..37) crosses the
+	// lifecycle step at 35.
+	dir := t.TempDir()
+	store, err := moe.OpenCheckpoint(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	crashed := newCkptRuntime(t, build)
+	if err := crashed.AttachStore(store, 10); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]int, 0, total)
+	for i := 0; i < crashAt; i++ {
+		got = append(got, crashed.Decide(ckptObservation(i)))
+	}
+	if err := crashed.CheckpointErr(); err != nil {
+		t.Fatalf("checkpointing failed mid-run: %v", err)
+	}
+
+	store2, err := moe.OpenCheckpoint(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resumed := newCkptRuntime(t, build)
+	if _, err := resumed.Resume(store2); err != nil {
+		t.Fatalf("Resume: %v", err)
+	}
+	if resumed.Decisions() != crashAt {
+		t.Fatalf("resumed to %d decisions, want %d", resumed.Decisions(), crashAt)
+	}
+	for i := crashAt; i < total; i++ {
+		got = append(got, resumed.Decide(ckptObservation(i)))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("decision %d diverged: crashed+resumed chose %d, uninterrupted chose %d", i, got[i], want[i])
+		}
+	}
+	resState, err := resumed.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(encodeStateForTest(t, refState)) != string(encodeStateForTest(t, resState)) {
+		t.Fatal("resumed evolving state is not bit-identical to the uninterrupted state")
+	}
+}
+
+// TestRuntimeResumePoolMismatchTyped: resuming an evolving run into a
+// runtime whose mixture was built with evolution disabled fails with the
+// typed pool-mismatch error instead of silently mis-sizing the pool.
+func TestRuntimeResumePoolMismatchTyped(t *testing.T) {
+	dir := t.TempDir()
+	store, err := moe.OpenCheckpoint(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mix, err := moe.NewEvolvingMixture(moe.CanonicalExperts(), moe.EvolutionConfig{Period: 5, MinAge: 10, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := moe.NewRuntime(mix, ckptMaxThreads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.AttachStore(store, 5); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		rt.Decide(ckptObservation(i))
+	}
+	if err := rt.CheckpointErr(); err != nil {
+		t.Fatal(err)
+	}
+	if mix.Snapshot().PoolEpoch == 0 {
+		t.Fatal("no pool changes; mismatch test is vacuous")
+	}
+
+	store2, err := moe.OpenCheckpoint(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frozen, err := moe.NewMixture(moe.CanonicalExperts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt2, err := moe.NewRuntime(frozen, ckptMaxThreads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt2.Resume(store2); err == nil {
+		t.Fatal("frozen runtime resumed an evolving checkpoint")
+	} else if !errors.Is(err, moe.ErrPoolMismatch) {
+		t.Fatalf("err = %v, want ErrPoolMismatch", err)
 	}
 }
 

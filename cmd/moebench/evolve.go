@@ -1,0 +1,40 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"moe/internal/experiments"
+)
+
+// The evolve study: does a living expert pool beat the same pool frozen,
+// once the machine drifts somewhere the canonical coefficients were never
+// fitted for? internal/experiments holds the study itself; this file is
+// only the CLI artifact plumbing (BENCH_PR9.json).
+
+// writeEvolveJSON runs the drifting-machine study and writes the committed
+// artifact. A living pool that fails to beat the frozen pool is a hard
+// failure: the artifact must never certify a lifecycle that does not pay
+// for itself after drift.
+func writeEvolveJSON(path string) error {
+	rep, err := experiments.RunEvolveStudy(experiments.DefaultEvolveOptions())
+	if err != nil {
+		return err
+	}
+	if rep.LivingAdvantage <= 1 {
+		return fmt.Errorf("living pool hmean speedup %.4f does not beat frozen %.4f",
+			rep.HMeanLivingSpeedup, rep.HMeanFrozenSpeedup)
+	}
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "moebench: evolve hmean speedup living %.3f vs frozen %.3f (%.3fx advantage), wrote %s\n",
+		rep.HMeanLivingSpeedup, rep.HMeanFrozenSpeedup, rep.LivingAdvantage, path)
+	return nil
+}

@@ -140,6 +140,13 @@ var registry = map[string]runner{
 		}
 		return replicaTable(rep), nil
 	},
+	"evolve": func(_ *experiments.Lab, _ experiments.Scale) (*experiments.Table, error) {
+		rep, err := experiments.RunEvolveStudy(experiments.DefaultEvolveOptions())
+		if err != nil {
+			return nil, err
+		}
+		return experiments.EvolveStudyTable(rep), nil
+	},
 }
 
 // order fixes the -all presentation sequence.
@@ -149,6 +156,7 @@ var order = []string{
 	"fig14c", "fig15a", "fig15b", "fig15c", "fig16", "fig17", "cv",
 	"ablation-gating", "ablation-features", "portability", "churn",
 	"chaos", "restart", "telemetry", "throughput", "serve", "replica",
+	"evolve",
 }
 
 func main() {
@@ -165,6 +173,7 @@ func main() {
 	throughputJSON := flag.String("throughput-json", "", "measure decision throughput (single vs batched vs sharded), write the JSON report to this path, and exit")
 	serveJSON := flag.String("serve-json", "", "run the multi-tenant daemon chaos-load study, write the JSON report to this path, and exit")
 	replicaJSON := flag.String("replica-json", "", "run the hot-standby replication study (throughput on vs off, lag, failover), write the JSON report to this path, and exit")
+	evolveJSON := flag.String("evolve-json", "", "run the living-vs-frozen pool drift study, write the JSON report to this path, and exit")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
@@ -215,9 +224,18 @@ func main() {
 		return
 	}
 
-	// The throughput and serve studies need no trained lab; serve them
-	// before the training step when one is the only request.
-	if !*all && (*experiment == "throughput" || *experiment == "serve") && !*list {
+	if *evolveJSON != "" {
+		if err := writeEvolveJSON(*evolveJSON); err != nil {
+			fmt.Fprintf(os.Stderr, "moebench: evolve: %v\n", err)
+			stopCPU()
+			os.Exit(1)
+		}
+		return
+	}
+
+	// The throughput, serve, and evolve studies need no trained lab; serve
+	// them before the training step when one is the only request.
+	if !*all && (*experiment == "throughput" || *experiment == "serve" || *experiment == "evolve") && !*list {
 		t, err := registry[*experiment](nil, experiments.QuickScale())
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "moebench: %s failed: %v\n", *experiment, err)

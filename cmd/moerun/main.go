@@ -22,6 +22,14 @@
 //
 //	moerun -target lu -policy mixture -metrics-addr :9090 -metrics-hold 30s
 //	moerun -target lu -policy mixture -trace-out decisions.ndjson
+//
+// Living pool: -evolve turns on the online expert lifecycle — the mixture
+// births new experts (mutated and refit from the observation history),
+// admits them through probation, and retires persistently dominated ones.
+// Without the flag the pool is frozen and every decision is byte-identical
+// to previous releases.
+//
+//	moerun -target lu -policy mixture -evolve -evolve-period 60 -evolve-seed 7
 package main
 
 import (
@@ -35,7 +43,9 @@ import (
 
 	"moe"
 	"moe/internal/core"
+	"moe/internal/evolve"
 	"moe/internal/experiments"
+	"moe/internal/sim"
 	"moe/internal/telemetry"
 	"moe/internal/trace"
 	"moe/internal/training"
@@ -55,6 +65,9 @@ func main() {
 	metricsAddr := flag.String("metrics-addr", "", "serve Prometheus metrics, JSON and pprof on this address (e.g. :9090; empty = off)")
 	metricsHold := flag.Duration("metrics-hold", 0, "keep the metrics server up this long after the run (with -metrics-addr)")
 	traceOut := flag.String("trace-out", "", "stream an NDJSON decision trace to this file (empty = off)")
+	evolveFlag := flag.Bool("evolve", false, "enable the online expert lifecycle: birth, refit and retirement of experts at runtime (mixture policies only)")
+	evolvePeriod := flag.Int("evolve-period", 0, "decisions between lifecycle steps with -evolve (0 = built-in default)")
+	evolveSeed := flag.Uint64("evolve-seed", 1, "lifecycle RNG seed with -evolve (replays are bit-identical per seed)")
 	flag.Parse()
 
 	if *resume && *checkpointDir == "" {
@@ -132,8 +145,15 @@ func main() {
 	// features); otherwise it runs bare, exactly as before.
 	var rt *moe.Runtime
 	var out *experiments.RunOutcome
-	if *checkpointDir != "" || reg != nil || traceW != nil {
-		p, err := lab.NewPolicy(experiments.PolicyName(*policyName), *target, *seed)
+	if *checkpointDir != "" || reg != nil || traceW != nil || *evolveFlag {
+		var p sim.Policy
+		var err error
+		if *evolveFlag {
+			p, err = lab.NewEvolvingPolicy(experiments.PolicyName(*policyName), *target, *seed,
+				evolve.Config{Period: *evolvePeriod, Seed: *evolveSeed})
+		} else {
+			p, err = lab.NewPolicy(experiments.PolicyName(*policyName), *target, *seed)
+		}
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "moerun: %v\n", err)
 			os.Exit(1)
@@ -217,6 +237,11 @@ func main() {
 			fmt.Printf(" E%d=%.0f%%", i+1, 100*f)
 		}
 		fmt.Printf("  env accuracy=%.0f%%\n", 100*mixStats.MixtureEnvAccuracy)
+		if *evolveFlag {
+			fmt.Printf("  pool: %d experts [%s], %d births, %d retirements (epoch %d)\n",
+				len(mixStats.ExpertNames), strings.Join(mixStats.ExpertNames, " "),
+				mixStats.PoolBirths, mixStats.PoolRetirements, mixStats.PoolEpoch)
+		}
 	}
 
 	if *timeline {

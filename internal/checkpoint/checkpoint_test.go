@@ -9,6 +9,7 @@ import (
 
 	"moe/internal/atomicio"
 	"moe/internal/core"
+	"moe/internal/evolve"
 	"moe/internal/expert"
 	"moe/internal/features"
 	"moe/internal/policy"
@@ -181,6 +182,65 @@ func TestSnapshotRoundTrip(t *testing.T) {
 				t.Fatal("re-encoding decoded state produced different bytes")
 			}
 		})
+	}
+}
+
+// TestSnapshotRoundTripEvolvingPool covers the optional evolution tail: a
+// mixture with the online expert lifecycle enabled exports pool
+// composition, lineage, refit history and emitter RNG state, all of which
+// must survive the wire format bit-exactly — and restoring the snapshot
+// into a freshly built evolving mixture must resume the identical decision
+// stream, pool changes included.
+func TestSnapshotRoundTripEvolvingPool(t *testing.T) {
+	cfg := evolve.Config{Enabled: true, Period: 10, Seed: 3, MinAge: 20, MinPool: 2}
+	build := func() *core.Mixture {
+		m, err := core.NewMixture(expert.Canonical4(), core.Options{Evolution: cfg})
+		if err != nil {
+			t.Fatalf("NewMixture: %v", err)
+		}
+		return m
+	}
+	m := build()
+	drive(m, 0, 120)
+	ps, err := CapturePolicy(m)
+	if err != nil {
+		t.Fatalf("CapturePolicy: %v", err)
+	}
+	if ps.Mixture == nil || ps.Mixture.Evolution == nil {
+		t.Fatal("evolving mixture captured no evolution state")
+	}
+	st := &State{
+		PolicyName: m.Name(), MaxThreads: testMaxThreads, Decisions: 120,
+		LastN: 3, Clock: 30, LastAvail: testMaxThreads,
+		Hist: map[int]int{testMaxThreads: 120}, Policy: ps,
+	}
+	data, err := EncodeSnapshot(st, 2)
+	if err != nil {
+		t.Fatalf("EncodeSnapshot: %v", err)
+	}
+	got, _, err := DecodeSnapshot(data)
+	if err != nil {
+		t.Fatalf("DecodeSnapshot: %v", err)
+	}
+	if !reflect.DeepEqual(st, got) {
+		t.Fatalf("evolving round trip mismatch:\n want %+v\n got  %+v", st.Policy.Mixture.Evolution, got.Policy.Mixture.Evolution)
+	}
+	again, err := EncodeSnapshot(got, 2)
+	if err != nil {
+		t.Fatalf("re-encode: %v", err)
+	}
+	if string(again) != string(data) {
+		t.Fatal("re-encoding decoded evolving state produced different bytes")
+	}
+
+	restored := build()
+	if err := RestorePolicy(restored, got.Policy); err != nil {
+		t.Fatalf("RestorePolicy: %v", err)
+	}
+	want := drive(m, 120, 200)
+	have := drive(restored, 120, 200)
+	if !reflect.DeepEqual(want, have) {
+		t.Fatal("restored evolving mixture diverged from the original")
 	}
 }
 

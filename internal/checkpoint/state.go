@@ -321,6 +321,99 @@ func encodeMixtureState(e *enc, m *core.MixtureState) {
 	e.int(m.Sanitized)
 	e.int(m.Rerouted)
 	e.int(m.Fallback)
+
+	// The evolution section is an optional tail: frozen mixtures append
+	// nothing, so their snapshots are byte-identical to the pre-evolution
+	// format, and the decoder sniffs presence from the bytes remaining.
+	if m.Evolution != nil {
+		encodeEvolutionState(e, m.Evolution)
+	}
+}
+
+func encodeEvolutionState(e *enc, ev *core.EvolutionState) {
+	e.u64(ev.RNG)
+	e.int(ev.Decisions)
+	e.int(ev.Births)
+	e.int(ev.Retirements)
+	e.int(ev.Epoch)
+	e.int(ev.RetiredSel)
+	e.int(ev.PendingThreads)
+
+	e.u64(uint64(len(ev.Pool)))
+	for i := range ev.Pool {
+		p := &ev.Pool[i]
+		e.int(p.SeedIndex)
+		e.str(p.Name)
+		e.int(p.BornAt)
+		e.u64(uint64(len(p.Parents)))
+		for _, name := range p.Parents {
+			e.str(name)
+		}
+		e.str(p.TrainedOn)
+		e.int(p.MaxThreads)
+		e.f64s(p.ThreadCoeffs)
+		e.f64s(p.EnvCoeffs)
+		e.f64s(p.FeatMean)
+		e.f64s(p.FeatStd)
+	}
+
+	e.f64s(ev.HistFeat)
+	e.f64s(ev.HistNorm)
+	e.ints(ev.HistThreads)
+	e.f64s(ev.HistRate)
+
+	e.ints(ev.NicheSel)
+	e.f64s(ev.NicheErr)
+	e.bools(ev.NicheSeen)
+}
+
+func decodeEvolutionState(d *dec) *core.EvolutionState {
+	ev := &core.EvolutionState{}
+	ev.RNG = d.u64()
+	ev.Decisions = d.int()
+	ev.Births = d.int()
+	ev.Retirements = d.int()
+	ev.Epoch = d.int()
+	ev.RetiredSel = d.int()
+	ev.PendingThreads = d.int()
+
+	nPool := d.length(4)
+	if d.err != nil {
+		return nil
+	}
+	ev.Pool = make([]core.PoolMemberState, nPool)
+	for i := range ev.Pool {
+		p := &ev.Pool[i]
+		p.SeedIndex = d.int()
+		p.Name = d.str(maxNameLen)
+		p.BornAt = d.int()
+		nParents := d.length(1)
+		if d.err != nil {
+			return nil
+		}
+		for j := 0; j < nParents; j++ {
+			p.Parents = append(p.Parents, d.str(maxNameLen))
+		}
+		p.TrainedOn = d.str(maxNameLen)
+		p.MaxThreads = d.int()
+		p.ThreadCoeffs = d.f64s()
+		p.EnvCoeffs = d.f64s()
+		p.FeatMean = d.f64s()
+		p.FeatStd = d.f64s()
+	}
+
+	ev.HistFeat = d.f64s()
+	ev.HistNorm = d.f64s()
+	ev.HistThreads = d.ints()
+	ev.HistRate = d.f64s()
+
+	ev.NicheSel = d.ints()
+	ev.NicheErr = d.f64s()
+	ev.NicheSeen = d.bools()
+	if d.err != nil {
+		return nil
+	}
+	return ev
 }
 
 func decodeMixtureState(d *dec) *core.MixtureState {
@@ -410,6 +503,15 @@ func decodeMixtureState(d *dec) *core.MixtureState {
 	m.Fallback = d.int()
 	if d.err != nil {
 		return nil
+	}
+	// The mixture is the last section of the snapshot payload, so leftover
+	// bytes here can only be the optional evolution tail (absent from
+	// frozen-pool and pre-evolution snapshots).
+	if d.remaining() > 0 {
+		m.Evolution = decodeEvolutionState(d)
+		if d.err != nil {
+			return nil
+		}
 	}
 	return m
 }

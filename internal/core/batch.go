@@ -56,6 +56,11 @@ const (
 	// RegimeObserved: decision-detail capture is enabled; every decision
 	// must walk the full path so telemetry sees its internals.
 	RegimeObserved
+	// RegimeEvolving: the online expert lifecycle is enabled, so pool
+	// membership — the deepest standing assumption the fast path compiles
+	// against — can change on any decision. Evolving mixtures always walk
+	// the full path.
+	RegimeEvolving
 )
 
 // String names the regime for logs and test failures.
@@ -71,6 +76,8 @@ func (r Regime) String() string {
 		return "degraded"
 	case RegimeObserved:
 		return "observed"
+	case RegimeEvolving:
+		return "evolving"
 	default:
 		return "invalid"
 	}
@@ -84,6 +91,8 @@ func (m *Mixture) Regime() Regime {
 	switch {
 	case m.detail != nil:
 		return RegimeObserved
+	case m.evo != nil:
+		return RegimeEvolving
 	case len(m.experts) < 2:
 		return RegimeLoneExpert
 	case !m.health.allOK():
@@ -102,14 +111,14 @@ func (m *Mixture) Regime() Regime {
 // change in between can only come from the full Decide path — which is only
 // reachable after the plan already failed.
 type fastScratch struct {
-	errors     []float64 // memoized gating errors (likelihood-scaled)
-	raw        []float64 // memoized raw errors (accuracy statistics)
-	healthEMA  []float64 // memoized post-observation health error EMAs
-	finiteTrue []bool    // all-true: the plan proved every prediction finite
-	selX       []float64 // selector standardization scratch (Dim+1)
-	selScores  []float64 // selector score scratch (k)
-	selSD      []float64 // per-decision selector deviation cache (Dim)
-	predBuf    []float64 // expert regression-input scratch
+	errors     []float64                   // memoized gating errors (likelihood-scaled)
+	raw        []float64                   // memoized raw errors (accuracy statistics)
+	healthEMA  []float64                   // memoized post-observation health error EMAs
+	finiteTrue []bool                      // all-true: the plan proved every prediction finite
+	selX       []float64                   // selector standardization scratch (Dim+1)
+	selScores  []float64                   // selector score scratch (k)
+	selSD      []float64                   // per-decision selector deviation cache (Dim)
+	predBuf    []float64                   // expert regression-input scratch
 	sigma      []*[features.EnvDim]float64 // per-expert cached residual scales
 
 	plannedNorm  float64 // observed environment norm from the last plan

@@ -1,0 +1,356 @@
+package core
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"moe/internal/evolve"
+	"moe/internal/expert"
+	"moe/internal/sim"
+)
+
+// evolvingPair builds a two-expert evolving mixture: A accurate in the
+// norm-10 regime, B badly wrong there. B first, so the cold selector's
+// index-order tie-break serves (and therefore niches) the bad expert before
+// the gating evidence accumulates.
+func evolvingPair(t *testing.T, cfg evolve.Config) *Mixture {
+	t.Helper()
+	cfg.Enabled = true
+	set := expert.Set{envExpert("B", 20, 50), envExpert("A", 4, 10)}
+	m, err := NewMixture(set, Options{Evolution: cfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestEvolutionRequiresResizableSelector(t *testing.T) {
+	set := expert.Set{envExpert("A", 4, 10), envExpert("B", 20, 50)}
+	_, err := NewMixture(set, Options{
+		Selector:  FixedSelector{},
+		Evolution: evolve.Config{Enabled: true},
+	})
+	if err == nil {
+		t.Fatal("evolution over a fixed selector must be refused at construction")
+	}
+}
+
+func TestEvolutionBirthEntersProbation(t *testing.T) {
+	m := evolvingPair(t, evolve.Config{
+		Period: 10,
+		// No retirements: keep the focus on the admission path.
+		MinAge:  1 << 20,
+		MaxPool: 4,
+	})
+	for i := 0; i < 100; i++ {
+		decide(m, 10)
+	}
+	st := m.Snapshot()
+	if st.PoolBirths < 1 {
+		t.Fatalf("no births in 100 decisions at period 10: %+v", st.ExpertNames)
+	}
+	if len(st.ExpertNames) != 2+st.PoolBirths {
+		t.Errorf("pool %v after %d births", st.ExpertNames, st.PoolBirths)
+	}
+	found := false
+	for _, name := range st.ExpertNames {
+		if name == "ev1" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("first newborn not named ev1: %v", st.ExpertNames)
+	}
+	if st.PoolEpoch != st.PoolBirths+st.PoolRetirements {
+		t.Errorf("epoch %d, want births %d + retirements %d",
+			st.PoolEpoch, st.PoolBirths, st.PoolRetirements)
+	}
+	// The newborn must have entered on probation, not good standing: the
+	// first birth happens at decision 10, and immediately after it the
+	// regime must not be all-OK.
+	m2 := evolvingPair(t, evolve.Config{Period: 10, MinAge: 1 << 20, MaxPool: 4})
+	for i := 0; i < 10; i++ {
+		decide(m2, 10)
+	}
+	if m2.Snapshot().PoolBirths != 1 {
+		t.Fatal("expected the first birth at decision 10")
+	}
+	k := len(m2.experts) - 1
+	if got := m2.health.stateOf(k); got != healthProbation {
+		t.Errorf("newborn health = %v, want probation", got)
+	}
+}
+
+func TestEvolutionRetiresDominatedExpert(t *testing.T) {
+	m := evolvingPair(t, evolve.Config{
+		Period:  10,
+		MinAge:  10,
+		MinPool: 1,
+		MaxPool: 1, // no births: pure retirement test
+	})
+	for i := 0; i < 40; i++ {
+		decide(m, 10)
+	}
+	st := m.Snapshot()
+	if st.PoolRetirements < 1 {
+		t.Fatalf("dominated expert not retired in 40 decisions: %v", st.ExpertNames)
+	}
+	for _, name := range st.ExpertNames {
+		if name == "B" {
+			t.Errorf("dominated B still in pool %v", st.ExpertNames)
+		}
+	}
+	// Decision accounting is conserved across the retirement: B's banked
+	// selections still count.
+	if st.Decisions != 40 {
+		t.Errorf("decisions = %d after retirement, want 40", st.Decisions)
+	}
+}
+
+// TestEvolutionReplayDeterminism: two evolving mixtures fed the identical
+// observation stream must make identical decisions and end in identical
+// exported state — births, retirements and all. This is the property that
+// lets the write-ahead journal rebuild an evolved pool after a crash.
+func TestEvolutionReplayDeterminism(t *testing.T) {
+	cfg := evolve.Config{Period: 10, MinAge: 20, MinPool: 1, Seed: 7}
+	m1 := evolvingPair(t, cfg)
+	m2 := evolvingPair(t, cfg)
+	norms := []float64{10, 10, 50, 10, 90, 10, 10, 30}
+	for i := 0; i < 300; i++ {
+		n1 := decide(m1, norms[i%len(norms)])
+		n2 := decide(m2, norms[i%len(norms)])
+		if n1 != n2 {
+			t.Fatalf("replay diverged at decision %d: %d vs %d", i, n1, n2)
+		}
+	}
+	st1, err := m1.ExportState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	st2, err := m2.ExportState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(st1, st2) {
+		t.Error("replayed mixtures exported different state")
+	}
+	if st1.Evolution == nil {
+		t.Fatal("evolving mixture exported no evolution state")
+	}
+	if m1.Snapshot().PoolEpoch == 0 {
+		t.Error("stream produced no pool changes; determinism test is vacuous")
+	}
+}
+
+// TestEvolutionExportRestoreRoundTrip: export mid-run (after the pool has
+// changed shape), restore into a freshly built mixture, and demand the
+// restored mixture tracks the original decision-for-decision.
+func TestEvolutionExportRestoreRoundTrip(t *testing.T) {
+	cfg := evolve.Config{Period: 10, MinAge: 20, MinPool: 1, Seed: 7}
+	m1 := evolvingPair(t, cfg)
+	norms := []float64{10, 10, 50, 10, 90, 10, 10, 30}
+	for i := 0; i < 150; i++ {
+		decide(m1, norms[i%len(norms)])
+	}
+	if m1.Snapshot().PoolEpoch == 0 {
+		t.Fatal("no pool changes before export; round-trip test is vacuous")
+	}
+	st, err := m1.ExportState()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	m2 := evolvingPair(t, cfg)
+	if err := m2.RestoreState(st); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := m2.Snapshot().ExpertNames, m1.Snapshot().ExpertNames; !reflect.DeepEqual(got, want) {
+		t.Fatalf("restored pool %v, want %v", got, want)
+	}
+	for i := 150; i < 300; i++ {
+		n1 := decide(m1, norms[i%len(norms)])
+		n2 := decide(m2, norms[i%len(norms)])
+		if n1 != n2 {
+			t.Fatalf("restored mixture diverged at decision %d: %d vs %d", i, n1, n2)
+		}
+	}
+	e1, err := m1.ExportState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := m2.ExportState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(e1, e2) {
+		t.Error("original and restored mixtures exported different state")
+	}
+}
+
+// TestRestorePoolMismatchTyped pins the typed error on the two
+// irreconcilable restore shapes: a size mismatch without a pool
+// composition, and an evolving snapshot offered to a frozen mixture.
+func TestRestorePoolMismatchTyped(t *testing.T) {
+	two := expert.Set{envExpert("A", 4, 10), envExpert("B", 20, 50)}
+	three := expert.Set{envExpert("A", 4, 10), envExpert("B", 20, 50), envExpert("C", 8, 30)}
+
+	m2, _ := NewMixture(two, Options{})
+	m3, _ := NewMixture(three, Options{})
+	for i := 0; i < 5; i++ {
+		decide(m2, 10)
+	}
+	st, err := m2.ExportState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m3.RestoreState(st); !errors.Is(err, ErrPoolMismatch) {
+		t.Errorf("frozen 2-expert state into 3-expert mixture: err = %v, want ErrPoolMismatch", err)
+	}
+
+	ev := evolvingPair(t, evolve.Config{Period: 10, MinAge: 1 << 20})
+	for i := 0; i < 20; i++ {
+		decide(ev, 10)
+	}
+	evSt, err := ev.ExportState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if evSt.Evolution == nil {
+		t.Fatal("evolving mixture exported no evolution state")
+	}
+	frozen, _ := NewMixture(two, Options{})
+	if err := frozen.RestoreState(evSt); !errors.Is(err, ErrPoolMismatch) {
+		t.Errorf("evolving state into frozen mixture: err = %v, want ErrPoolMismatch", err)
+	}
+}
+
+// TestRestoreRebuildsGrownAndShrunkPool: an evolving mixture restores
+// snapshots whose pool size differs from its construction size in either
+// direction, rebuilding evolved members from their serialized genomes.
+func TestRestoreRebuildsGrownAndShrunkPool(t *testing.T) {
+	grownCfg := evolve.Config{Period: 10, MinAge: 1 << 20, MaxPool: 4}
+	grown := evolvingPair(t, grownCfg)
+	for i := 0; i < 30; i++ {
+		decide(grown, 10)
+	}
+	if grown.Snapshot().PoolBirths < 1 {
+		t.Fatal("no births to test grown-pool restore with")
+	}
+	gSt, err := grown.ExportState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh := evolvingPair(t, grownCfg)
+	if err := fresh.RestoreState(gSt); err != nil {
+		t.Fatalf("grown-pool restore: %v", err)
+	}
+	if got, want := len(fresh.Snapshot().ExpertNames), len(grown.Snapshot().ExpertNames); got != want {
+		t.Errorf("restored pool size %d, want %d", got, want)
+	}
+
+	shrunkCfg := evolve.Config{Period: 10, MinAge: 10, MinPool: 1, MaxPool: 1}
+	shrunk := evolvingPair(t, shrunkCfg)
+	for i := 0; i < 40; i++ {
+		decide(shrunk, 10)
+	}
+	if shrunk.Snapshot().PoolRetirements < 1 {
+		t.Fatal("no retirements to test shrunk-pool restore with")
+	}
+	sSt, err := shrunk.ExportState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh2 := evolvingPair(t, shrunkCfg)
+	if err := fresh2.RestoreState(sSt); err != nil {
+		t.Fatalf("shrunk-pool restore: %v", err)
+	}
+	if got := len(fresh2.Snapshot().ExpertNames); got != 1 {
+		t.Errorf("restored pool size %d, want 1", got)
+	}
+}
+
+// TestRestoreFrozenEraSnapshotIntoEvolvingMixture: a snapshot taken before
+// evolution existed (no evolution tail) restores into an evolving mixture
+// of the same size; the lifecycle simply starts fresh.
+func TestRestoreFrozenEraSnapshotIntoEvolvingMixture(t *testing.T) {
+	set := expert.Set{envExpert("B", 20, 50), envExpert("A", 4, 10)}
+	frozen, _ := NewMixture(set, Options{})
+	for i := 0; i < 15; i++ {
+		decide(frozen, 10)
+	}
+	st, err := frozen.ExportState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Evolution != nil {
+		t.Fatal("frozen mixture exported evolution state")
+	}
+	ev := evolvingPair(t, evolve.Config{Period: 10, MinAge: 1 << 20, MaxPool: 4})
+	if err := ev.RestoreState(st); err != nil {
+		t.Fatalf("frozen-era snapshot into evolving mixture: %v", err)
+	}
+	for i := 0; i < 20; i++ {
+		decide(ev, 10)
+	}
+	if ev.Snapshot().PoolBirths < 1 {
+		t.Error("lifecycle did not start fresh after frozen-era restore")
+	}
+}
+
+// TestEvolutionNewbornNonFiniteQuarantined: a newborn whose environment
+// model goes non-finite is quarantined by the same machinery that guards
+// the seed pool, and the mixture's decisions never leave range while the
+// broken newborn is in the pool — evolution adds members, never new trust.
+func TestEvolutionNewbornNonFiniteQuarantined(t *testing.T) {
+	m := evolvingPair(t, evolve.Config{Period: 1 << 20, MinAge: 1 << 20, MaxPool: 4})
+	for i := 0; i < 10; i++ {
+		decide(m, 10)
+	}
+	broken := false
+	newborn := stubExpert(t, "evX", 8, &broken)
+	m.addPoolExpert(newborn, -1, nil)
+	broken = true
+	for i := 0; i < 10; i++ {
+		if n := decide(m, 10); n < 1 || n > 32 {
+			t.Fatalf("decision %d out of range with broken newborn in pool", n)
+		}
+	}
+	st := m.Snapshot()
+	k := len(st.ExpertNames) - 1
+	if st.ExpertNames[k] != "evX" {
+		t.Fatalf("pool tail = %v, want the injected newborn last", st.ExpertNames)
+	}
+	if !st.Quarantined[k] {
+		t.Error("non-finite newborn not quarantined")
+	}
+	if st.Quarantined[0] || st.Quarantined[1] {
+		t.Error("seed experts quarantined by the newborn's corruption")
+	}
+}
+
+// TestDecideEmptyPoolFallsBack: with zero experts the decision falls
+// through to the OS default and never returns fewer than one thread — the
+// K=0 guard on the selector and fallback paths.
+func TestDecideEmptyPoolFallsBack(t *testing.T) {
+	m, err := NewMixture(expert.Set{envExpert("A", 4, 10)}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.experts = expert.Set{}
+	m.health = newHealthTracker(0)
+	m.pendingValid = false
+
+	n := m.Decide(sim.Decision{Features: stateWithNorm(10), MaxThreads: 8, AvailableProcs: 4})
+	if n < 1 {
+		t.Fatalf("empty pool returned %d threads", n)
+	}
+	if m.Snapshot().FallbackDecisions != 1 {
+		t.Error("empty pool decision not served by the OS-default rung")
+	}
+	// And with no caller caps at all, the floor still holds.
+	n = m.Decide(sim.Decision{Features: stateWithNorm(10)})
+	if n < 1 {
+		t.Fatalf("empty pool, no caps: returned %d threads", n)
+	}
+}

@@ -1,8 +1,10 @@
 package core
 
 import (
+	"reflect"
 	"testing"
 
+	"moe/internal/evolve"
 	"moe/internal/expert"
 	"moe/internal/policy"
 	"moe/internal/sim"
@@ -31,7 +33,12 @@ var goldenThreads = []int{
 
 func goldenScenario(t *testing.T) (*Mixture, sim.Scenario) {
 	t.Helper()
-	mix, err := NewMixture(expert.Canonical4(), Options{})
+	return goldenScenarioOpts(t, Options{})
+}
+
+func goldenScenarioOpts(t *testing.T, opts Options) (*Mixture, sim.Scenario) {
+	t.Helper()
+	mix, err := NewMixture(expert.Canonical4(), opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -130,6 +137,83 @@ func TestGoldenTraceWithDecisionDetail(t *testing.T) {
 	}
 	if len(rec.GatingErrors) != 4 {
 		t.Errorf("gating errors = %v, want one per expert", rec.GatingErrors)
+	}
+}
+
+// TestGoldenTraceZeroEvolution pins the tentpole's compatibility promise: a
+// mixture built with a zero-valued Evolution config (disabled lifecycle) is
+// the frozen mixture — the golden decision trace and the exported state are
+// both unchanged.
+func TestGoldenTraceZeroEvolution(t *testing.T) {
+	mix, scenario := goldenScenarioOpts(t, Options{Evolution: evolve.Config{}})
+	res, err := sim.Run(scenario)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := res.Target()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.DecisionCount != len(goldenThreads) {
+		t.Fatalf("decisions = %d, want %d", tr.DecisionCount, len(goldenThreads))
+	}
+	for i, s := range tr.Samples {
+		if s.Threads != goldenThreads[i] {
+			t.Errorf("step %d: threads = %d, want %d with zero evolution config", i, s.Threads, goldenThreads[i])
+		}
+	}
+	st, err := mix.ExportState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Evolution != nil {
+		t.Error("disabled evolution leaked state into the export")
+	}
+}
+
+// TestGoldenTraceEvolvingReplays runs the golden scenario with the
+// lifecycle ENABLED, twice, and demands bit-identical traces: evolution's
+// only randomness is its seeded emitter stream, so an evolving run is as
+// replayable as a frozen one.
+func TestGoldenTraceEvolvingReplays(t *testing.T) {
+	run := func() (*Mixture, []int) {
+		mix, scenario := goldenScenarioOpts(t, Options{
+			Evolution: evolve.Config{Enabled: true, Period: 20, Seed: 9},
+		})
+		res, err := sim.Run(scenario)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr, err := res.Target()
+		if err != nil {
+			t.Fatal(err)
+		}
+		threads := make([]int, 0, len(tr.Samples))
+		for _, s := range tr.Samples {
+			threads = append(threads, s.Threads)
+		}
+		return mix, threads
+	}
+	m1, t1 := run()
+	m2, t2 := run()
+	if len(t1) != len(t2) {
+		t.Fatalf("replay lengths differ: %d vs %d", len(t1), len(t2))
+	}
+	for i := range t1 {
+		if t1[i] != t2[i] {
+			t.Fatalf("evolving replay diverged at step %d: %d vs %d", i, t1[i], t2[i])
+		}
+	}
+	s1, err := m1.ExportState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := m2.ExportState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(s1, s2) {
+		t.Error("evolving replays exported different state")
 	}
 }
 

@@ -80,6 +80,22 @@ func newHealthTracker(k int) *healthTracker {
 	return &healthTracker{experts: make([]expertHealth, k)}
 }
 
+// addExpert registers a newborn expert. It enters on probation with the
+// full clean-prediction requirement ahead of it and no error history:
+// admission to good standing is earned through scoring, exactly like a
+// quarantined expert re-entering — a newborn never starts in good standing.
+func (h *healthTracker) addExpert() {
+	h.experts = append(h.experts, expertHealth{
+		state:     healthProbation,
+		cleanLeft: probationLength,
+	})
+}
+
+// removeExpert splices out expert k's record.
+func (h *healthTracker) removeExpert(k int) {
+	h.experts = append(h.experts[:k], h.experts[k+1:]...)
+}
+
 // relErr normalizes a raw prediction error by the observed environment
 // magnitude (floored at 1, matching withinEnvTolerance's scale).
 func relErr(rawErr, observedNorm float64) float64 {
@@ -219,13 +235,16 @@ func (h *healthTracker) allQuarantined() bool {
 
 // healthiest returns the usable expert with the lowest rolling error — the
 // "best healthy single expert" rung of the fallback chain — or -1 when all
-// are quarantined. Experts in good standing win over probationary ones at
-// equal error; unscored experts count as error 0 (no evidence against
-// them).
+// are quarantined. A never-scored expert carries no evidence for it either:
+// every scored expert, whatever its error, ranks ahead of every unscored
+// one (a newborn on probation must not outrank a proven veteran). Within
+// each group, lower rolling error wins and good standing beats probation at
+// equal error.
 func (h *healthTracker) healthiest() int {
 	best := -1
 	bestErr := math.Inf(1)
 	bestProb := false
+	bestSeen := false
 	for k := range h.experts {
 		e := &h.experts[k]
 		if e.state == healthQuarantined {
@@ -236,8 +255,19 @@ func (h *healthTracker) healthiest() int {
 			err = e.errEMA
 		}
 		prob := e.state == healthProbation
-		if best == -1 || err < bestErr || (err == bestErr && bestProb && !prob) {
-			best, bestErr, bestProb = k, err, prob
+		better := false
+		switch {
+		case best == -1:
+			better = true
+		case e.seen != bestSeen:
+			better = e.seen
+		case err < bestErr:
+			better = true
+		case err == bestErr && bestProb && !prob:
+			better = true
+		}
+		if better {
+			best, bestErr, bestProb, bestSeen = k, err, prob, e.seen
 		}
 	}
 	return best

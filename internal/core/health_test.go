@@ -116,9 +116,9 @@ func TestHealthReadmissionForgetsOldErrors(t *testing.T) {
 
 func TestHealthiestAndAllQuarantined(t *testing.T) {
 	h := newHealthTracker(3)
-	h.observe(0, true, 10, 10)  // relative error 1
-	h.observe(1, true, 50, 10)  // relative error 5
-	h.observe(2, false, 0, 10)  // quarantined
+	h.observe(0, true, 10, 10) // relative error 1
+	h.observe(1, true, 50, 10) // relative error 5
+	h.observe(2, false, 0, 10) // quarantined
 	if got := h.healthiest(); got != 0 {
 		t.Errorf("healthiest = %d, want 0", got)
 	}
@@ -132,6 +132,33 @@ func TestHealthiestAndAllQuarantined(t *testing.T) {
 	}
 	if got := h.healthiest(); got != -1 {
 		t.Errorf("healthiest of empty pool = %d, want -1", got)
+	}
+}
+
+// TestHealthiestRanksUnscoredBehindScored is the regression test for the
+// ranking bug the living pool exposed: healthiest() treated a never-scored
+// expert's zero error EMA as a perfect record, so a newborn with no
+// evidence at all outranked every proven veteran on the reroute rung. An
+// unscored expert must rank behind every scored one, whatever the scored
+// errors are.
+func TestHealthiestRanksUnscoredBehindScored(t *testing.T) {
+	h := newHealthTracker(1)
+	h.observe(0, true, 30, 10) // scored veteran, relative error 3
+	h.addExpert()              // newborn: probation, never scored
+	if got := h.healthiest(); got != 0 {
+		t.Errorf("healthiest = %d, want the scored veteran over the unscored newborn", got)
+	}
+	// Among several unscored experts the first wins (stable tie-break) —
+	// and scoring any of them immediately promotes it past the rest.
+	h2 := newHealthTracker(0)
+	h2.addExpert()
+	h2.addExpert()
+	if got := h2.healthiest(); got != 0 {
+		t.Errorf("all-unscored healthiest = %d, want 0", got)
+	}
+	h2.observe(1, true, 70, 10) // terrible, but it is evidence
+	if got := h2.healthiest(); got != 1 {
+		t.Errorf("healthiest = %d, want the scored expert despite its error", got)
 	}
 }
 

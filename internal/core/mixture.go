@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"math"
 
+	"moe/internal/evolve"
 	"moe/internal/expert"
 	"moe/internal/features"
 	"moe/internal/sim"
@@ -98,18 +99,33 @@ type Mixture struct {
 	// the next FastPlan may skip the standing-regime recheck. Every other
 	// mutator (Decide, the detail toggles, RestoreState) clears it.
 	fastPrimed bool
+
+	// evo, when non-nil, runs the online expert lifecycle (see
+	// evolution.go): the pool grows and shrinks at runtime. nil — the zero
+	// Options.Evolution — keeps the pool frozen and every code path
+	// byte-identical to the pre-evolution mixture.
+	evo *evolutionState
+
+	// baseline is the construction-time pool, kept so a checkpointed pool
+	// composition can be rebuilt by name from indexes into it (evolved
+	// members carry their full coefficient tables in the snapshot instead).
+	baseline expert.Set
 }
 
 // decisionDetail is the per-decision scratch the telemetry layer reads.
 // Buffers are reused across decisions to keep the instrumented path cheap.
 type decisionDetail struct {
-	repaired int
-	suspect  bool
-	gating   []float64
-	selected int
-	rung     string
-	events   []telemetry.HealthEvent
-	states   []healthState // health states at decision entry, for diffing
+	repaired   int
+	suspect    bool
+	gating     []float64
+	selected   int
+	rung       string
+	events     []telemetry.HealthEvent
+	states     []healthState // health states at decision entry, for diffing
+	poolSize   int           // live pool size (evolution only; 0 otherwise)
+	poolEpoch  int
+	poolEvents []telemetry.PoolEvent
+	poolAges   []int
 }
 
 // Options configures a mixture.
@@ -117,6 +133,11 @@ type Options struct {
 	// Selector picks the gating implementation; nil selects the paper's
 	// hyperplane scheme with default learning rate.
 	Selector Selector
+	// Evolution configures the online expert lifecycle (births,
+	// retirements, diversity maintenance — see evolution.go). The zero
+	// value disables it: the pool stays frozen and the mixture is
+	// byte-identical to one built before evolution existed.
+	Evolution evolve.Config
 }
 
 // NewMixture builds the mixture policy over the given experts.
@@ -128,7 +149,7 @@ func NewMixture(set expert.Set, opts Options) (*Mixture, error) {
 	if sel == nil {
 		sel = NewHyperplaneSelector(len(set), 0)
 	}
-	return &Mixture{
+	m := &Mixture{
 		experts:      set,
 		selector:     sel,
 		health:       newHealthTracker(len(set)),
@@ -137,7 +158,19 @@ func NewMixture(set expert.Set, opts Options) (*Mixture, error) {
 		accurate:     make([]int, len(set)),
 		observations: make([]int, len(set)),
 		errSum:       make([]float64, len(set)),
-	}, nil
+	}
+	if opts.Evolution.Enabled {
+		if _, ok := sel.(resizableSelector); !ok {
+			return nil, fmt.Errorf("core: selector %q cannot track a changing pool; disable evolution or use a resizable selector", sel.Name())
+		}
+		// The pool will be mutated in place: give the mixture its own
+		// backing array, and keep the construction pool for checkpoint
+		// rebuilds.
+		m.experts = append(expert.Set(nil), set...)
+		m.baseline = append(expert.Set(nil), set...)
+		m.evo = newEvolutionState(opts.Evolution.WithDefaults(len(set)), len(set))
+	}
+	return m, nil
 }
 
 // Name implements sim.Policy.
@@ -161,6 +194,10 @@ func (m *Mixture) Decide(d sim.Decision) int {
 	m.sanitized += repaired
 	observedEnv := f.EnvPart()
 	observedNorm := observedEnv.Norm()
+
+	if m.evo != nil {
+		m.evo.events = m.evo.events[:0]
+	}
 
 	det := m.detail
 	if det != nil {
@@ -246,12 +283,15 @@ func (m *Mixture) Decide(d sim.Decision) int {
 				m.health.observe(k, finite[k], raw[k], observedNorm)
 			}
 			m.obsNormSum += observedNorm
+			if m.evo != nil {
+				m.evoRecordScored(raw, observedNorm, d.Rate)
+			}
 			m.selector.Update(m.pendingFeat, errors)
 
 			// Mixture-level accuracy: was the *chosen* expert accurate?
 			chosen := m.selector.Select(m.pendingFeat)
 			m.mixObserved++
-			if withinEnvTolerance(raw[chosen], observedNorm) {
+			if chosen >= 0 && chosen < len(raw) && withinEnvTolerance(raw[chosen], observedNorm) {
 				m.mixAccurate++
 			}
 		}
@@ -285,8 +325,12 @@ func (m *Mixture) Decide(d sim.Decision) int {
 
 	// Select and predict, descending the fallback chain as far as health
 	// requires: selector's choice → healthiest single expert → OS default.
+	// An empty pool (reachable only through evolution's retirements, and
+	// then only transiently) and an out-of-range selector verdict are both
+	// treated as "nothing usable": degrade, never panic.
 	var n int
-	if m.health.allQuarantined() {
+	selected := -1
+	if len(m.experts) == 0 || m.health.allQuarantined() {
 		n = m.fallbackThreads(d)
 		m.fallback++
 		if det != nil {
@@ -295,15 +339,22 @@ func (m *Mixture) Decide(d sim.Decision) int {
 	} else {
 		k := m.selector.Select(sel)
 		rung := "selector"
-		if !m.health.usable(k) {
+		if k < 0 || k >= len(m.experts) || !m.health.usable(k) {
 			k = m.health.healthiest()
 			m.rerouted++
 			rung = "reroute"
 		}
-		m.selections.Add(k)
-		n = m.experts[k].PredictThreads(sel, d.MaxThreads)
+		if k < 0 {
+			n = m.fallbackThreads(d)
+			m.fallback++
+			rung = "os-default"
+		} else {
+			selected = k
+			m.selections.Add(k)
+			n = m.experts[k].PredictThreads(sel, d.MaxThreads)
+		}
 		if det != nil {
-			det.selected = k
+			det.selected = selected
 			det.rung = rung
 		}
 	}
@@ -315,14 +366,27 @@ func (m *Mixture) Decide(d sim.Decision) int {
 	// predictions made from the last trusted state stay pending until a
 	// trustworthy observation arrives to score them.
 	if !suspect {
-		if m.pendingPred == nil {
+		if len(m.pendingPred) != len(m.experts) {
 			m.pendingPred = make([]expert.EnvPrediction, len(m.experts))
 		}
 		for i, e := range m.experts {
 			m.pendingPred[i] = e.PredictEnv(f)
 		}
 		m.pendingFeat = f
-		m.pendingValid = true
+		m.pendingValid = len(m.experts) > 0
+	}
+
+	if m.evo != nil {
+		m.evoFinishDecide(n, suspect, selected, &sel)
+		if det = m.detail; det != nil {
+			det.poolSize = len(m.experts)
+			det.poolEpoch = m.evo.epoch
+			det.poolEvents = append(det.poolEvents[:0], m.evo.events...)
+			det.poolAges = det.poolAges[:0]
+			for _, b := range m.evo.born {
+				det.poolAges = append(det.poolAges, m.evo.decisions-b)
+			}
+		}
 	}
 
 	return n
@@ -335,6 +399,11 @@ func (m *Mixture) fallbackThreads(d sim.Decision) int {
 	limit := d.MaxThreads
 	if limit < 1 {
 		limit = m.experts.MaxThreads()
+	}
+	if limit < 1 {
+		// No caller cap and no experts to borrow one from (the pool can be
+		// momentarily empty under evolution): serial execution, never zero.
+		limit = 1
 	}
 	n := d.AvailableProcs
 	if n < 1 {
@@ -415,6 +484,14 @@ type Stats struct {
 	// disbelieved (see trust.go): not learned from, decided against the
 	// last trusted state instead.
 	SuspectObservations int
+	// ExpertNames names the live pool, indexed like the per-expert slices
+	// above — under evolution the pool is not the construction pool.
+	ExpertNames []string
+	// PoolBirths and PoolRetirements count lifecycle events; PoolEpoch is
+	// their sum, the pool-membership version. All zero with evolution off.
+	PoolBirths      int
+	PoolRetirements int
+	PoolEpoch       int
 }
 
 // Snapshot returns the current analysis statistics.
@@ -433,6 +510,15 @@ func (m *Mixture) Snapshot() Stats {
 		ReroutedDecisions:   m.rerouted,
 		FallbackDecisions:   m.fallback,
 		SuspectObservations: m.trust.suspects,
+		ExpertNames:         m.experts.Names(),
+	}
+	if m.evo != nil {
+		// Selections of retired experts no longer own a histogram bin but
+		// remain decisions that happened.
+		st.Decisions += m.evo.retiredSel
+		st.PoolBirths = m.evo.births
+		st.PoolRetirements = m.evo.retirements
+		st.PoolEpoch = m.evo.epoch
 	}
 	for i := 0; i < k; i++ {
 		st.SelectionFraction[i] = m.selections.Fraction(i)
@@ -487,6 +573,12 @@ func (m *Mixture) DecisionDetail(rec *telemetry.Record) bool {
 	}
 	if len(det.events) > 0 {
 		rec.HealthEvents = append(rec.HealthEvents[:0], det.events...)
+	}
+	if det.poolSize > 0 {
+		rec.PoolSize = det.poolSize
+		rec.PoolEpoch = det.poolEpoch
+		rec.PoolEvents = append(rec.PoolEvents[:0], det.poolEvents...)
+		rec.PoolAges = append(rec.PoolAges[:0], det.poolAges...)
 	}
 	return true
 }

@@ -558,3 +558,65 @@ func (r *RandomSelector) Select(features.Vector) int {
 
 // Update implements Selector.
 func (*RandomSelector) Update(features.Vector, []float64) {}
+
+// Variable-K support (resizableSelector, see evolution.go). FixedSelector
+// deliberately does not implement it: a mixture pinned to one expert has no
+// business evolving its pool, and NewMixture rejects the combination.
+
+// addExpert implements resizableSelector: the newborn inherits a copy of
+// its parent's hyperplane and recent-error record, so it starts owning the
+// parent's region and must differentiate itself through its own scored
+// predictions. parent < 0 seeds a blank slot (zero hyperplane — the even
+// initial partition — and no error history).
+func (h *HyperplaneSelector) addExpert(parent int) {
+	row := make([]float64, features.Dim+1)
+	ema, seen := 0.0, false
+	if parent >= 0 && parent < h.k {
+		copy(row, h.theta[parent])
+		ema, seen = h.errEMA[parent], h.errSeen[parent]
+	}
+	h.theta = append(h.theta, row)
+	h.errEMA = append(h.errEMA, ema)
+	h.errSeen = append(h.errSeen, seen)
+	h.k++
+}
+
+// removeExpert implements resizableSelector: slot k is spliced out and the
+// incumbent index follows its expert (cleared when the incumbent itself
+// retires).
+func (h *HyperplaneSelector) removeExpert(k int) {
+	h.theta = append(h.theta[:k], h.theta[k+1:]...)
+	h.errEMA = append(h.errEMA[:k], h.errEMA[k+1:]...)
+	h.errSeen = append(h.errSeen[:k], h.errSeen[k+1:]...)
+	h.k--
+	switch {
+	case h.incumbent == k:
+		h.incumbent = -1
+	case h.incumbent > k:
+		h.incumbent--
+	}
+}
+
+// addExpert implements resizableSelector. The newborn inherits its parent's
+// accuracy record rather than the automatic win Select grants unseen slots —
+// a newborn must beat the pool, not be handed it.
+func (a *AccuracySelector) addExpert(parent int) {
+	ema, seen := 0.0, false
+	if parent >= 0 && parent < len(a.ema) {
+		ema, seen = a.ema[parent], a.seen[parent]
+	}
+	a.ema = append(a.ema, ema)
+	a.seen = append(a.seen, seen)
+}
+
+// removeExpert implements resizableSelector.
+func (a *AccuracySelector) removeExpert(k int) {
+	a.ema = append(a.ema[:k], a.ema[k+1:]...)
+	a.seen = append(a.seen[:k], a.seen[k+1:]...)
+}
+
+// addExpert implements resizableSelector.
+func (r *RandomSelector) addExpert(int) { r.K++ }
+
+// removeExpert implements resizableSelector.
+func (r *RandomSelector) removeExpert(int) { r.K-- }

@@ -1,13 +1,22 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"math"
 
+	"moe/internal/evolve"
 	"moe/internal/expert"
 	"moe/internal/features"
+	"moe/internal/regress"
 	"moe/internal/stats"
 )
+
+// ErrPoolMismatch reports a snapshot whose expert pool cannot be overlaid
+// on the live mixture: the counts differ and the snapshot carries no pool
+// composition to rebuild from (or carries one the mixture's configuration
+// cannot accept). Callers distinguish it from corruption with errors.Is.
+var ErrPoolMismatch = errors.New("core: snapshot pool does not match mixture pool")
 
 // Checkpoint state export/import. The mixture's entire *online* state — the
 // selector's learned partition, per-expert health records, sensor trust,
@@ -102,6 +111,64 @@ type MixtureState struct {
 	Sanitized    int
 	Rerouted     int
 	Fallback     int
+
+	// Evolution, when non-nil, is the online-lifecycle state: the pool's
+	// composition and lineage plus the emitter bookkeeping. Restoring a
+	// state that carries it REBUILDS the pool to the recorded composition;
+	// nil states require matching pool sizes, as before evolution existed.
+	Evolution *EvolutionState
+}
+
+// PoolMemberState records one live expert for the snapshot. Seed experts
+// (present at construction) are stored as an index into the construction
+// pool — their models are offline artifacts the restoring process already
+// has. Evolved experts ARE online state: their whole Table-1 genome rides
+// in the snapshot.
+type PoolMemberState struct {
+	// SeedIndex is the expert's index in the construction pool, or -1 for
+	// an evolved expert.
+	SeedIndex int
+	// Name is recorded for both kinds: it cross-checks seed identity and
+	// names evolved members.
+	Name string
+	// BornAt is the lifecycle decision count at birth (0 for seeds).
+	BornAt int
+	// Parents are the names of the experts this member was bred from
+	// (evolved members only).
+	Parents []string
+
+	// Evolved-member genome (unused when SeedIndex >= 0).
+	TrainedOn    string
+	MaxThreads   int
+	ThreadCoeffs []float64 // features.Dim weights + bias
+	EnvCoeffs    []float64
+	FeatMean     []float64 // features.Dim training statistics
+	FeatStd      []float64
+}
+
+// EvolutionState is the lifecycle's complete mutable state.
+type EvolutionState struct {
+	RNG            uint64
+	Decisions      int
+	Births         int
+	Retirements    int
+	Epoch          int
+	RetiredSel     int
+	PendingThreads int
+
+	// Pool is the live pool composition, in expert-index order.
+	Pool []PoolMemberState
+
+	// Refit history, oldest-to-newest; HistFeat is n·features.Dim values.
+	HistFeat    []float64
+	HistNorm    []float64
+	HistThreads []int
+	HistRate    []float64
+
+	// Niche bookkeeping, k·expert.NicheCount row-major.
+	NicheSel  []int
+	NicheErr  []float64
+	NicheSeen []bool
 }
 
 // ExportState captures the mixture's full online state as plain data. The
@@ -148,22 +215,95 @@ func (m *Mixture) ExportState() (*MixtureState, error) {
 			st.PendingPred[i] = exportPrediction(p)
 		}
 	}
+	if m.evo != nil {
+		ev, err := m.exportEvolution()
+		if err != nil {
+			return nil, err
+		}
+		st.Evolution = ev
+	}
+	return st, nil
+}
+
+// exportEvolution captures the lifecycle state, including the full genome
+// of every evolved pool member.
+func (m *Mixture) exportEvolution() (*EvolutionState, error) {
+	e := m.evo
+	st := &EvolutionState{
+		RNG:            e.rng.State(),
+		Decisions:      e.decisions,
+		Births:         e.births,
+		Retirements:    e.retirements,
+		Epoch:          e.epoch,
+		RetiredSel:     e.retiredSel,
+		PendingThreads: e.pendingThreads,
+		Pool:           make([]PoolMemberState, len(m.experts)),
+	}
+	for i, ex := range m.experts {
+		mem := PoolMemberState{
+			SeedIndex: e.seedIdx[i],
+			Name:      ex.Name,
+			BornAt:    e.born[i],
+			Parents:   append([]string(nil), e.parents[i]...),
+		}
+		if e.seedIdx[i] < 0 {
+			env := expert.NormEnv(ex)
+			if env == nil {
+				return nil, fmt.Errorf("core: evolved expert %q is not Table-1 form", ex.Name)
+			}
+			mem.TrainedOn = ex.TrainedOn
+			mem.MaxThreads = ex.MaxThreads
+			mem.ThreadCoeffs = ex.Threads.Coefficients()
+			mem.EnvCoeffs = env.Coefficients()
+			mem.FeatMean = append([]float64(nil), ex.FeatMean[:]...)
+			mem.FeatStd = append([]float64(nil), ex.FeatStd[:]...)
+		}
+		st.Pool[i] = mem
+	}
+	for _, s := range e.hist.Export() {
+		st.HistFeat = append(st.HistFeat, s.Feat[:]...)
+		st.HistNorm = append(st.HistNorm, s.NextNorm)
+		st.HistThreads = append(st.HistThreads, s.Threads)
+		st.HistRate = append(st.HistRate, s.Rate)
+	}
+	st.NicheSel, st.NicheErr, st.NicheSeen = e.niche.Export()
 	return st, nil
 }
 
 // RestoreState overlays a previously exported state onto a mixture that was
-// constructed identically (same pool size, same selector kind). It
+// constructed identically (same construction pool, same selector kind). It
 // validates structure and finiteness and refuses garbage rather than
 // adopting it; on error the mixture is unchanged.
+//
+// Pool-size mismatches: a state carrying Evolution (exported from an
+// evolving mixture) REBUILDS the live pool to the recorded composition —
+// seed members resolved by index into the construction pool, evolved
+// members reconstructed from their snapshot genomes — so restore works
+// across any number of births and retirements. A state without Evolution
+// requires the sizes to match and otherwise fails with ErrPoolMismatch.
 func (m *Mixture) RestoreState(st *MixtureState) error {
 	m.fastPrimed = false
 	if st == nil {
 		return fmt.Errorf("core: nil mixture state")
 	}
-	k := len(m.experts)
-	if st.Experts != k {
-		return fmt.Errorf("core: state for %d experts, mixture has %d", st.Experts, k)
+
+	// Resolve the pool the state describes.
+	pool := m.experts
+	if st.Evolution != nil {
+		if m.evo == nil {
+			return fmt.Errorf("%w: snapshot carries an evolving pool but evolution is disabled", ErrPoolMismatch)
+		}
+		var err error
+		if pool, err = m.rebuildPool(st.Evolution); err != nil {
+			return err
+		}
+		if st.Experts != len(pool) {
+			return fmt.Errorf("core: state for %d experts, pool composition holds %d", st.Experts, len(pool))
+		}
+	} else if st.Experts != len(m.experts) {
+		return fmt.Errorf("%w: state for %d experts, mixture has %d", ErrPoolMismatch, st.Experts, len(m.experts))
 	}
+	k := len(pool)
 	if len(st.Health) != k || len(st.Accurate) != k || len(st.Observations) != k || len(st.ErrSum) != k {
 		return fmt.Errorf("core: per-expert state lengths do not match pool size %d", k)
 	}
@@ -217,12 +357,31 @@ func (m *Mixture) RestoreState(st *MixtureState) error {
 			}
 		}
 	}
-	// Validate-then-restore the selector last so any error above leaves the
-	// selector untouched too.
-	if err := restoreSelector(m.selector, &st.Selector, k); err != nil {
+	// Validate the selector state against the resolved pool size; the
+	// apply below is infallible, so any error above leaves the mixture —
+	// selector included — untouched.
+	if err := validateSelectorState(m.selector, &st.Selector, k); err != nil {
 		return err
 	}
+	if st.Evolution != nil {
+		if err := validateEvolution(st.Evolution, k); err != nil {
+			return err
+		}
+	}
 
+	// Commit. Nothing below can fail: every structure is rebuilt at the
+	// resolved size and filled from the validated state.
+	poolChanged := k != len(m.experts)
+	m.experts = pool
+	resizeSelector(m.selector, k)
+	applySelectorState(m.selector, &st.Selector)
+	if poolChanged {
+		m.health = newHealthTracker(k)
+		m.accurate = make([]int, k)
+		m.observations = make([]int, k)
+		m.errSum = make([]float64, k)
+		m.poolShapeChanged()
+	}
 	for i := range m.health.experts {
 		h := st.Health[i]
 		m.health.experts[i] = expertHealth{
@@ -258,7 +417,142 @@ func (m *Mixture) RestoreState(st *MixtureState) error {
 		m.pendingFeat = features.Vector{}
 		m.pendingPred = nil
 	}
+	if m.evo != nil {
+		if st.Evolution != nil {
+			m.restoreEvolution(st.Evolution, k)
+		} else {
+			// A frozen-era snapshot into an evolving mixture: the pool
+			// matches, the lifecycle restarts from scratch.
+			m.evo = newEvolutionState(m.evo.cfg, k)
+		}
+	}
 	return nil
+}
+
+// rebuildPool reconstructs the live pool from a snapshot composition: seed
+// members by index into the construction pool (cross-checked by name),
+// evolved members from their serialized Table-1 genomes.
+func (m *Mixture) rebuildPool(ev *EvolutionState) (expert.Set, error) {
+	if len(ev.Pool) == 0 {
+		return nil, fmt.Errorf("core: evolution state holds an empty pool composition")
+	}
+	pool := make(expert.Set, len(ev.Pool))
+	for i, mem := range ev.Pool {
+		if mem.SeedIndex >= 0 {
+			if mem.SeedIndex >= len(m.baseline) {
+				return nil, fmt.Errorf("core: pool member %d references construction expert %d, pool has %d", i, mem.SeedIndex, len(m.baseline))
+			}
+			base := m.baseline[mem.SeedIndex]
+			if mem.Name != base.Name {
+				return nil, fmt.Errorf("core: pool member %d names %q, construction expert %d is %q", i, mem.Name, mem.SeedIndex, base.Name)
+			}
+			pool[i] = base
+			continue
+		}
+		wm, err := regress.FromCoefficients(mem.ThreadCoeffs)
+		if err != nil {
+			return nil, fmt.Errorf("core: pool member %d (%s): thread predictor: %w", i, mem.Name, err)
+		}
+		em, err := regress.FromCoefficients(mem.EnvCoeffs)
+		if err != nil {
+			return nil, fmt.Errorf("core: pool member %d (%s): environment predictor: %w", i, mem.Name, err)
+		}
+		if len(mem.FeatMean) != features.Dim || len(mem.FeatStd) != features.Dim {
+			return nil, fmt.Errorf("core: pool member %d (%s): training statistics have wrong dimensionality", i, mem.Name)
+		}
+		for j := 0; j < features.Dim; j++ {
+			if !finite(mem.FeatMean[j]) || !finite(mem.FeatStd[j]) || mem.FeatStd[j] < 0 {
+				return nil, fmt.Errorf("core: pool member %d (%s): invalid training statistics", i, mem.Name)
+			}
+		}
+		ex := &expert.Expert{
+			Name:       mem.Name,
+			Threads:    wm,
+			Env:        expert.NormEnvModel{Model: em},
+			MaxThreads: mem.MaxThreads,
+			TrainedOn:  mem.TrainedOn,
+		}
+		copy(ex.FeatMean[:], mem.FeatMean)
+		copy(ex.FeatStd[:], mem.FeatStd)
+		if err := ex.Validate(); err != nil {
+			return nil, fmt.Errorf("core: pool member %d: %w", i, err)
+		}
+		pool[i] = ex
+	}
+	if err := pool.Validate(); err != nil {
+		return nil, fmt.Errorf("core: rebuilt pool: %w", err)
+	}
+	return pool, nil
+}
+
+// validateEvolution structure-checks a lifecycle state against the resolved
+// pool size.
+func validateEvolution(ev *EvolutionState, k int) error {
+	if ev.Decisions < 0 || ev.Births < 0 || ev.Retirements < 0 || ev.Epoch < 0 ||
+		ev.RetiredSel < 0 || ev.PendingThreads < 0 {
+		return fmt.Errorf("core: invalid evolution counters")
+	}
+	n := len(ev.HistNorm)
+	if len(ev.HistFeat) != n*features.Dim || len(ev.HistThreads) != n || len(ev.HistRate) != n {
+		return fmt.Errorf("core: evolution history arrays disagree")
+	}
+	for _, v := range ev.HistFeat {
+		if !finite(v) {
+			return fmt.Errorf("core: non-finite evolution history feature")
+		}
+	}
+	for i := 0; i < n; i++ {
+		if !finite(ev.HistNorm[i]) || !finite(ev.HistRate[i]) || ev.HistThreads[i] < 0 {
+			return fmt.Errorf("core: invalid evolution history sample %d", i)
+		}
+	}
+	nk := k * expert.NicheCount
+	if len(ev.NicheSel) != nk || len(ev.NicheErr) != nk || len(ev.NicheSeen) != nk {
+		return fmt.Errorf("core: evolution niche matrices do not match pool size %d", k)
+	}
+	for i := 0; i < nk; i++ {
+		if ev.NicheSel[i] < 0 || !finite(ev.NicheErr[i]) {
+			return fmt.Errorf("core: invalid evolution niche record")
+		}
+	}
+	for i, mem := range ev.Pool {
+		if mem.BornAt < 0 || mem.BornAt > ev.Decisions {
+			return fmt.Errorf("core: pool member %d born at %d, lifecycle at %d", i, mem.BornAt, ev.Decisions)
+		}
+	}
+	return nil
+}
+
+// restoreEvolution rebuilds the lifecycle state; the caller has validated
+// everything against the resolved pool size k.
+func (m *Mixture) restoreEvolution(ev *EvolutionState, k int) {
+	e := newEvolutionState(m.evo.cfg, k)
+	e.rng.SetState(ev.RNG)
+	e.decisions = ev.Decisions
+	e.births = ev.Births
+	e.retirements = ev.Retirements
+	e.epoch = ev.Epoch
+	e.retiredSel = ev.RetiredSel
+	e.pendingThreads = ev.PendingThreads
+	for i, mem := range ev.Pool {
+		e.seedIdx[i] = mem.SeedIndex
+		e.born[i] = mem.BornAt
+		if len(mem.Parents) > 0 {
+			e.parents[i] = append([]string(nil), mem.Parents...)
+		} else {
+			e.parents[i] = nil
+		}
+	}
+	samples := make([]evolve.Sample, len(ev.HistNorm))
+	for i := range samples {
+		copy(samples[i].Feat[:], ev.HistFeat[i*features.Dim:(i+1)*features.Dim])
+		samples[i].NextNorm = ev.HistNorm[i]
+		samples[i].Threads = ev.HistThreads[i]
+		samples[i].Rate = ev.HistRate[i]
+	}
+	e.hist.Restore(samples)
+	e.niche = evolve.NewNicheStatsFrom(k, ev.NicheSel, ev.NicheErr, ev.NicheSeen)
+	m.evo = e
 }
 
 func finite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
@@ -306,11 +600,15 @@ func exportSelector(s Selector) (SelectorState, error) {
 	}
 }
 
-func restoreSelector(s Selector, st *SelectorState, k int) error {
+// validateSelectorState is the fallible half of selector restoration: it
+// checks st against selector s and pool size k without touching s, so a
+// caller can validate everything before committing anything. k may differ
+// from s's current size — resizeSelector reconciles that at commit time.
+func validateSelectorState(s Selector, st *SelectorState, k int) error {
 	if st.Kind != s.Name() {
 		return fmt.Errorf("core: state for selector %q, mixture uses %q", st.Kind, s.Name())
 	}
-	switch sel := s.(type) {
+	switch s.(type) {
 	case *HyperplaneSelector:
 		if len(st.Theta) != k {
 			return fmt.Errorf("core: %d hyperplanes for %d experts", len(st.Theta), k)
@@ -347,6 +645,63 @@ func restoreSelector(s Selector, st *SelectorState, k int) error {
 		if !finite(st.ScaleEMA) || st.Incumbent < -1 || st.Incumbent >= k {
 			return fmt.Errorf("core: invalid selector scale or incumbent")
 		}
+		return nil
+	case *AccuracySelector:
+		if len(st.ErrEMA) != k || len(st.ErrSeen) != k {
+			return fmt.Errorf("core: accuracy selector state has wrong pool size")
+		}
+		for _, v := range st.ErrEMA {
+			if !finite(v) {
+				return fmt.Errorf("core: non-finite accuracy EMA")
+			}
+		}
+		return nil
+	case FixedSelector:
+		return nil
+	case *RandomSelector:
+		if st.RandState == 0 {
+			return fmt.Errorf("core: zero random-selector state")
+		}
+		return nil
+	default:
+		return fmt.Errorf("core: selector %q is not checkpointable", s.Name())
+	}
+}
+
+// resizeSelector reshapes s to track k experts, discarding per-expert
+// learned state when the size actually changes (applySelectorState
+// immediately overwrites it from the snapshot). A no-op at the current
+// size. FixedSelector has no per-expert state to reshape.
+func resizeSelector(s Selector, k int) {
+	switch sel := s.(type) {
+	case *HyperplaneSelector:
+		if sel.k == k {
+			return
+		}
+		theta := make([][]float64, k)
+		for i := range theta {
+			theta[i] = make([]float64, features.Dim+1)
+		}
+		sel.k = k
+		sel.theta = theta
+		sel.errEMA = make([]float64, k)
+		sel.errSeen = make([]bool, k)
+		sel.incumbent = -1
+	case *AccuracySelector:
+		if len(sel.ema) != k {
+			sel.ema = make([]float64, k)
+			sel.seen = make([]bool, k)
+		}
+	case *RandomSelector:
+		sel.K = k
+	}
+}
+
+// applySelectorState is the infallible half of selector restoration: the
+// state has passed validateSelectorState against s's (post-resize) size.
+func applySelectorState(s Selector, st *SelectorState) {
+	switch sel := s.(type) {
+	case *HyperplaneSelector:
 		for i, row := range st.Theta {
 			copy(sel.theta[i], row)
 		}
@@ -359,29 +714,11 @@ func restoreSelector(s Selector, st *SelectorState, k int) error {
 		copy(sel.errSeen, st.ErrSeen)
 		sel.scaleEMA = st.ScaleEMA
 		sel.incumbent = st.Incumbent
-		return nil
 	case *AccuracySelector:
-		if len(st.ErrEMA) != k || len(st.ErrSeen) != k {
-			return fmt.Errorf("core: accuracy selector state has wrong pool size")
-		}
-		for _, v := range st.ErrEMA {
-			if !finite(v) {
-				return fmt.Errorf("core: non-finite accuracy EMA")
-			}
-		}
 		copy(sel.ema, st.ErrEMA)
 		copy(sel.seen, st.ErrSeen)
-		return nil
-	case FixedSelector:
-		return nil
 	case *RandomSelector:
-		if st.RandState == 0 {
-			return fmt.Errorf("core: zero random-selector state")
-		}
 		sel.state = st.RandState
-		return nil
-	default:
-		return fmt.Errorf("core: selector %q is not checkpointable", s.Name())
 	}
 }
 

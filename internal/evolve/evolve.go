@@ -1,0 +1,136 @@
+// Package evolve implements the online expert lifecycle: quality-diversity
+// emitters that breed candidate experts from the live pool's coefficient
+// tables, a bounded history of raw observations to refit candidates
+// against, and per-niche performance bookkeeping that decides which experts
+// have earned retirement.
+//
+// The package is deliberately inert: it owns no goroutines, reads no
+// clocks, and draws randomness only from its own seeded generator, so a
+// mixture that replays the same decision stream replays the same births and
+// retirements bit-for-bit. internal/core drives the lifecycle from its
+// decision loop; this package only answers "what would the next candidate
+// look like" and "who is dominated".
+package evolve
+
+// RNG is a splitmix64 generator. It is the lifecycle's only randomness
+// source; its state is a single word, exported for checkpointing, so a
+// restored run resumes the exact emitter stream the crashed run would have
+// produced.
+type RNG struct {
+	s uint64
+}
+
+// NewRNG returns a generator seeded with seed (a zero seed is remapped to a
+// fixed odd constant so the stream never degenerates).
+func NewRNG(seed uint64) *RNG {
+	if seed == 0 {
+		seed = 0x9e3779b97f4a7c15
+	}
+	return &RNG{s: seed}
+}
+
+// Uint64 advances the stream.
+func (r *RNG) Uint64() uint64 {
+	r.s += 0x9e3779b97f4a7c15
+	z := r.s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Float64 returns a uniform draw from [0,1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Sym returns a uniform draw from [-1,1).
+func (r *RNG) Sym() float64 { return 2*r.Float64() - 1 }
+
+// Intn returns a uniform draw from [0,n). n must be positive.
+func (r *RNG) Intn(n int) int {
+	return int(r.Uint64() % uint64(n))
+}
+
+// State exposes the generator word for checkpointing.
+func (r *RNG) State() uint64 { return r.s }
+
+// SetState restores a checkpointed generator word.
+func (r *RNG) SetState(s uint64) { r.s = s }
+
+// Config tunes the lifecycle. The zero value means Enabled=false: the pool
+// stays frozen and the mixture behaves — and serializes — exactly as it did
+// before this package existed.
+type Config struct {
+	// Enabled turns the lifecycle on. Everything below is ignored when
+	// false.
+	Enabled bool
+	// Period is how many decisions pass between lifecycle steps (one
+	// retirement test plus at most one birth per step). Default 60.
+	Period int
+	// Seed seeds the emitter RNG. The stream is combined with nothing
+	// else — two runs with the same seed and the same observations evolve
+	// identically. Default 1.
+	Seed uint64
+	// MaxPool caps the pool size; no births happen at the cap. Default
+	// 2·K₀+2 where K₀ is the construction pool size.
+	MaxPool int
+	// MinPool floors the pool size; no retirements happen at the floor.
+	// Default K₀ (the pool never shrinks below its seed diversity).
+	MinPool int
+	// MinAge is how many decisions an expert must have lived before it can
+	// be retired, so a newborn is not culled while still accumulating its
+	// first niche evidence. Default 3·Period.
+	MinAge int
+	// HistoryCap bounds the in-memory ring of scored observations that
+	// candidate refits train on. Default 256.
+	HistoryCap int
+	// RefitMin is the minimum history length before a candidate's
+	// environment predictor is refit from observations rather than mutated
+	// from its parent's. Default 40.
+	RefitMin int
+	// MutationScale scales coefficient perturbations. Default 0.08.
+	MutationScale float64
+	// DominanceMargin is how many times worse than the niche's best an
+	// expert's rolling error must be, in every niche it was selected for,
+	// to count as dominated. Default 1.25.
+	DominanceMargin float64
+}
+
+// WithDefaults fills zero fields with the documented defaults. poolSize is
+// the construction pool size K₀.
+func (c Config) WithDefaults(poolSize int) Config {
+	if c.Period <= 0 {
+		c.Period = 60
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.MaxPool <= 0 {
+		c.MaxPool = 2*poolSize + 2
+	}
+	if c.MinPool <= 0 {
+		c.MinPool = poolSize
+	}
+	if c.MinPool < 1 {
+		c.MinPool = 1
+	}
+	if c.MaxPool < c.MinPool {
+		c.MaxPool = c.MinPool
+	}
+	if c.MinAge <= 0 {
+		c.MinAge = 3 * c.Period
+	}
+	if c.HistoryCap <= 0 {
+		c.HistoryCap = 256
+	}
+	if c.RefitMin <= 0 {
+		c.RefitMin = 40
+	}
+	if c.MutationScale <= 0 {
+		c.MutationScale = 0.08
+	}
+	if c.DominanceMargin <= 1 {
+		c.DominanceMargin = 1.25
+	}
+	return c
+}

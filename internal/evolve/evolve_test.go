@@ -1,0 +1,243 @@
+package evolve
+
+import (
+	"reflect"
+	"testing"
+
+	"moe/internal/expert"
+	"moe/internal/features"
+)
+
+func TestRNGDeterminismAndState(t *testing.T) {
+	a, b := NewRNG(7), NewRNG(7)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same-seed streams diverged at draw %d", i)
+		}
+	}
+	// State/SetState: a restored generator resumes the exact stream.
+	mid := a.State()
+	want := []uint64{a.Uint64(), a.Uint64(), a.Uint64()}
+	c := NewRNG(1)
+	c.SetState(mid)
+	for i, w := range want {
+		if g := c.Uint64(); g != w {
+			t.Fatalf("restored stream draw %d = %d, want %d", i, g, w)
+		}
+	}
+	// A zero seed must not degenerate into a constant stream.
+	z := NewRNG(0)
+	if z.Uint64() == z.Uint64() {
+		t.Fatal("zero-seed stream repeats")
+	}
+	for i := 0; i < 1000; i++ {
+		if f := NewRNG(uint64(i)).Float64(); f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", f)
+		}
+	}
+}
+
+func TestHistoryRingOrder(t *testing.T) {
+	h := NewHistory(4)
+	for i := 1; i <= 7; i++ {
+		h.Append(Sample{Threads: i})
+	}
+	if h.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", h.Len())
+	}
+	got := h.Export()
+	for i, want := range []int{4, 5, 6, 7} {
+		if got[i].Threads != want {
+			t.Fatalf("Export[%d].Threads = %d, want %d (oldest-to-newest)", i, got[i].Threads, want)
+		}
+	}
+	// Restore round-trips, including through another wrap.
+	h2 := NewHistory(4)
+	h2.Restore(got)
+	if !reflect.DeepEqual(h2.Export(), got) {
+		t.Fatal("Restore/Export round-trip changed the samples")
+	}
+	h2.Append(Sample{Threads: 8})
+	if got := h2.Export(); got[0].Threads != 5 || got[3].Threads != 8 {
+		t.Fatalf("post-restore eviction order wrong: %v", got)
+	}
+	// Restoring more samples than capacity keeps the newest.
+	long := make([]Sample, 9)
+	for i := range long {
+		long[i].Threads = i
+	}
+	h3 := NewHistory(4)
+	h3.Restore(long)
+	if got := h3.Export(); got[0].Threads != 5 || got[3].Threads != 8 {
+		t.Fatalf("oversized Restore kept wrong window: %v", got)
+	}
+}
+
+func TestNicheOfPartition(t *testing.T) {
+	niche := func(procs, load1 float64) int {
+		var f features.Vector
+		f[features.Processors] = procs
+		f[features.CPULoad1] = load1
+		return expert.NicheOf(&f)
+	}
+	cases := []struct {
+		procs, load1 float64
+		want         int
+	}{
+		{2, 0, 0}, {2, 2, 1}, // small, idle vs loaded (ratio 1.0)
+		{4, 0, 2}, {8, 8, 3}, // medium
+		{16, 0, 4}, {16, 8, 5}, // large
+		{32, 0, 6}, {32, 30, 7}, // huge
+		{0, 0, 0}, // degenerate: no processors, denom clamps to 1
+	}
+	for _, c := range cases {
+		if got := niche(c.procs, c.load1); got != c.want {
+			t.Errorf("NicheOf(procs=%v, load1=%v) = %d, want %d", c.procs, c.load1, got, c.want)
+		}
+	}
+}
+
+func TestNicheStatsDominated(t *testing.T) {
+	s := NewNicheStats(2)
+	// Expert 1 never selected anywhere: not dominated (no career to judge).
+	if s.Dominated(1, 1.25) {
+		t.Fatal("never-selected expert reported dominated")
+	}
+	// Selected but unscored: still not dominated — retirement needs proof.
+	s.ObserveSelection(1, 3)
+	if s.Dominated(1, 1.25) {
+		t.Fatal("unscored expert reported dominated")
+	}
+	// Scored, but no rival evidence in the niche: not dominated.
+	s.ObserveErr(1, 3, 1.0)
+	if s.Dominated(1, 1.25) {
+		t.Fatal("expert without a proven better rival reported dominated")
+	}
+	// A rival beats it beyond the margin in its only served niche.
+	s.ObserveErr(0, 3, 0.1)
+	if !s.Dominated(1, 1.25) {
+		t.Fatal("beaten-everywhere expert not reported dominated")
+	}
+	// But serving a second niche where it is NOT beaten rescues it.
+	s.ObserveSelection(1, 0)
+	s.ObserveErr(1, 0, 0.05)
+	if s.Dominated(1, 1.25) {
+		t.Fatal("expert with one defensible niche reported dominated")
+	}
+	// Row splicing keeps the margin honest after membership changes.
+	s.AddExpert()
+	if s.K() != 3 {
+		t.Fatalf("K = %d after AddExpert, want 3", s.K())
+	}
+	s.RemoveExpert(0)
+	if s.K() != 2 {
+		t.Fatalf("K = %d after RemoveExpert, want 2", s.K())
+	}
+	// With the dominator gone, expert (now index 0) keeps its history but
+	// no rival beats it anywhere.
+	if s.Dominated(0, 1.25) {
+		t.Fatal("expert reported dominated after its dominator retired")
+	}
+	// Export/NewNicheStatsFrom round-trip.
+	sel, errs, seen := s.Export()
+	s2 := NewNicheStatsFrom(s.K(), sel, errs, seen)
+	if !reflect.DeepEqual(s2, s) {
+		t.Fatal("niche-stats export/import round-trip differs")
+	}
+}
+
+func TestBestInNiche(t *testing.T) {
+	s := NewNicheStats(3)
+	s.ObserveErr(0, 2, 0.5)
+	s.ObserveErr(1, 2, 0.2)
+	s.ObserveErr(2, 2, 0.1)
+	all := func(int) bool { return true }
+	if got := s.BestInNiche(2, all); got != 2 {
+		t.Fatalf("BestInNiche = %d, want 2", got)
+	}
+	// Admissibility filters: with expert 2 excluded, 1 wins.
+	if got := s.BestInNiche(2, func(k int) bool { return k != 2 }); got != 1 {
+		t.Fatalf("filtered BestInNiche = %d, want 1", got)
+	}
+	if got := s.BestInNiche(5, all); got != -1 {
+		t.Fatalf("evidence-free niche returned %d, want -1", got)
+	}
+}
+
+func TestConfigWithDefaults(t *testing.T) {
+	c := Config{}.WithDefaults(4)
+	if c.Period != 60 || c.Seed != 1 || c.MaxPool != 10 || c.MinPool != 4 ||
+		c.MinAge != 180 || c.HistoryCap != 256 || c.RefitMin != 40 {
+		t.Fatalf("zero-config defaults wrong: %+v", c)
+	}
+	// Explicit values survive; MaxPool is floored at MinPool.
+	c = Config{Period: 5, MaxPool: 2, MinPool: 6}.WithDefaults(4)
+	if c.Period != 5 || c.MinPool != 6 || c.MaxPool != 6 || c.MinAge != 15 {
+		t.Fatalf("explicit config mangled: %+v", c)
+	}
+}
+
+// driftHistory builds a history of RefitMin+ samples from a synthetic
+// constrained regime: few processors, modest rates peaking at 8 threads.
+func driftHistory(n int) *History {
+	h := NewHistory(n)
+	for i := 0; i < n; i++ {
+		var f features.Vector
+		f[features.Processors] = 6
+		f[features.CPULoad1] = float64(i % 3)
+		f[features.RunQueueSize] = float64(i % 2)
+		threads := 2 + i%10
+		rate := 100 - 10*absInt(threads-8)
+		h.Append(Sample{Feat: f, NextNorm: 10 + float64(i%5), Threads: threads, Rate: float64(rate)})
+	}
+	return h
+}
+
+func absInt(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+func TestSpawnDeterministicAndValid(t *testing.T) {
+	set := expert.Canonical4()
+	cfg := Config{}.WithDefaults(len(set))
+	hist := driftHistory(cfg.RefitMin + 10)
+
+	spawn := func() *expert.Expert {
+		rng := NewRNG(99)
+		child, err := Spawn("ev1", set[0], set[1], hist, rng, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return child
+	}
+	a, b := spawn(), spawn()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("identical inputs bred different children")
+	}
+	if a.Name != "ev1" || a.Validate() != nil {
+		t.Fatalf("child invalid: %+v err=%v", a, a.Validate())
+	}
+	if a.TrainedOn != "evolved("+set[0].Name+"×"+set[1].Name+")" {
+		t.Fatalf("lineage tag = %q", a.TrainedOn)
+	}
+
+	// Thin history: the env predictor falls back to mutating the parent —
+	// still deterministic, still valid.
+	thin := NewHistory(8)
+	rng := NewRNG(99)
+	solo, err := Spawn("ev2", set[2], nil, thin, rng, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if solo.Validate() != nil || solo.TrainedOn != "evolved("+set[2].Name+")" {
+		t.Fatalf("solo child invalid: %+v", solo)
+	}
+
+	// No parent is a deterministic error, not a panic.
+	if _, err := Spawn("ev3", nil, nil, hist, NewRNG(1), cfg); err == nil {
+		t.Fatal("parentless spawn succeeded")
+	}
+}

@@ -1,0 +1,84 @@
+package evolve
+
+import "moe/internal/features"
+
+// Sample is one scored observation: the sanitized feature vector the
+// mixture decided on, the environment norm actually observed one step later
+// (the same supervised pair the selector learns from), the thread count the
+// mixture committed alongside the features, and the progress rate observed
+// after running with it. NextNorm trains candidate environment predictors;
+// the (Feat, Threads) pairs from high-Rate steps train candidate thread
+// predictors by behavior cloning.
+type Sample struct {
+	Feat     features.Vector
+	NextNorm float64
+	Threads  int
+	Rate     float64
+}
+
+// History is a bounded ring of the newest samples. Iteration order is
+// oldest-to-newest — refits accumulate floating-point sums, so the order
+// must be a pure function of the sample stream for replays to be
+// bit-identical.
+type History struct {
+	buf  []Sample
+	next int // eviction cursor, valid once the ring is full
+}
+
+// NewHistory returns a ring holding at most cap samples.
+func NewHistory(cap int) *History {
+	if cap < 1 {
+		cap = 1
+	}
+	return &History{buf: make([]Sample, 0, cap)}
+}
+
+// Append records one sample, evicting the oldest at capacity.
+func (h *History) Append(s Sample) {
+	if len(h.buf) < cap(h.buf) {
+		h.buf = append(h.buf, s)
+		return
+	}
+	h.buf[h.next] = s
+	h.next++
+	if h.next == len(h.buf) {
+		h.next = 0
+	}
+}
+
+// Len returns the number of samples held.
+func (h *History) Len() int { return len(h.buf) }
+
+// Each visits every sample oldest-to-newest.
+func (h *History) Each(fn func(*Sample)) {
+	if len(h.buf) == cap(h.buf) {
+		for i := h.next; i < len(h.buf); i++ {
+			fn(&h.buf[i])
+		}
+		for i := 0; i < h.next; i++ {
+			fn(&h.buf[i])
+		}
+		return
+	}
+	for i := range h.buf {
+		fn(&h.buf[i])
+	}
+}
+
+// Export returns the samples oldest-to-newest for checkpointing.
+func (h *History) Export() []Sample {
+	out := make([]Sample, 0, len(h.buf))
+	h.Each(func(s *Sample) { out = append(out, *s) })
+	return out
+}
+
+// Restore replaces the ring's contents with samples (assumed
+// oldest-to-newest, as Export produces), keeping the configured capacity
+// and evicting the oldest if there are too many.
+func (h *History) Restore(samples []Sample) {
+	h.buf = h.buf[:0]
+	h.next = 0
+	for _, s := range samples {
+		h.Append(s)
+	}
+}

@@ -1,0 +1,143 @@
+package evolve
+
+import "moe/internal/expert"
+
+// nicheErrDecay weights the newest relative error in each per-niche rolling
+// average. It is slower than the health tracker's EMA on purpose: health
+// reacts to breakage within a handful of steps, retirement judges a career.
+const nicheErrDecay = 0.1
+
+// NicheStats tracks, for every expert in the pool, how often it was
+// selected in each environment niche and its rolling relative
+// environment-prediction error there. Retirement reads it: an expert
+// persistently beaten in every niche it actually served is dominated —
+// its coverage is redundant and its slot is worth recycling. Spawning reads
+// it too: the parent of a candidate is the proven best of a niche.
+//
+// Storage is a flat k×NicheCount matrix so pool membership changes are
+// simple row splices and checkpointing is three slices.
+type NicheStats struct {
+	k    int
+	sel  []int     // selections, row-major [expert][niche]
+	err  []float64 // rolling relative error
+	seen []bool    // err initialized
+}
+
+// NewNicheStats returns empty bookkeeping for a pool of k experts.
+func NewNicheStats(k int) *NicheStats {
+	return &NicheStats{
+		k:    k,
+		sel:  make([]int, k*expert.NicheCount),
+		err:  make([]float64, k*expert.NicheCount),
+		seen: make([]bool, k*expert.NicheCount),
+	}
+}
+
+// K returns the number of experts tracked.
+func (s *NicheStats) K() int { return s.k }
+
+func (s *NicheStats) idx(k, niche int) int { return k*expert.NicheCount + niche }
+
+// AddExpert appends a blank row for a newborn.
+func (s *NicheStats) AddExpert() {
+	s.k++
+	s.sel = append(s.sel, make([]int, expert.NicheCount)...)
+	s.err = append(s.err, make([]float64, expert.NicheCount)...)
+	s.seen = append(s.seen, make([]bool, expert.NicheCount)...)
+}
+
+// RemoveExpert splices out expert k's row.
+func (s *NicheStats) RemoveExpert(k int) {
+	lo, hi := k*expert.NicheCount, (k+1)*expert.NicheCount
+	s.sel = append(s.sel[:lo], s.sel[hi:]...)
+	s.err = append(s.err[:lo], s.err[hi:]...)
+	s.seen = append(s.seen[:lo], s.seen[hi:]...)
+	s.k--
+}
+
+// ObserveErr folds one scored relative error into expert k's record for the
+// niche.
+func (s *NicheStats) ObserveErr(k, niche int, relErr float64) {
+	i := s.idx(k, niche)
+	if s.seen[i] {
+		s.err[i] += nicheErrDecay * (relErr - s.err[i])
+	} else {
+		s.err[i] = relErr
+		s.seen[i] = true
+	}
+}
+
+// ObserveSelection records that expert k was chosen while the environment
+// sat in the niche.
+func (s *NicheStats) ObserveSelection(k, niche int) {
+	s.sel[s.idx(k, niche)]++
+}
+
+// Dominated reports whether expert k has been persistently beaten in every
+// niche it has ever been selected in: each such niche holds another expert
+// whose rolling error there is at least margin times better. An expert
+// never selected anywhere, or lacking scored evidence in a selected niche,
+// is not dominated — retirement requires proof, not absence of it.
+func (s *NicheStats) Dominated(k int, margin float64) bool {
+	served := false
+	for n := 0; n < expert.NicheCount; n++ {
+		i := s.idx(k, n)
+		if s.sel[i] == 0 {
+			continue
+		}
+		served = true
+		if !s.seen[i] {
+			return false
+		}
+		beaten := false
+		for o := 0; o < s.k; o++ {
+			if o == k {
+				continue
+			}
+			j := s.idx(o, n)
+			if s.seen[j] && s.err[i] > margin*s.err[j] {
+				beaten = true
+				break
+			}
+		}
+		if !beaten {
+			return false
+		}
+	}
+	return served
+}
+
+// BestInNiche returns the admissible expert with the lowest scored error in
+// the niche, or -1 when none has evidence there.
+func (s *NicheStats) BestInNiche(niche int, admissible func(int) bool) int {
+	best := -1
+	for k := 0; k < s.k; k++ {
+		i := s.idx(k, niche)
+		if !s.seen[i] || !admissible(k) {
+			continue
+		}
+		if best == -1 || s.err[i] < s.err[s.idx(best, niche)] {
+			best = k
+		}
+	}
+	return best
+}
+
+// Export returns copies of the three matrices for checkpointing.
+func (s *NicheStats) Export() (sel []int, errs []float64, seen []bool) {
+	sel = append([]int(nil), s.sel...)
+	errs = append([]float64(nil), s.err...)
+	seen = append([]bool(nil), s.seen...)
+	return sel, errs, seen
+}
+
+// NewNicheStatsFrom rebuilds bookkeeping from checkpointed matrices. The
+// slices must all be k×NicheCount long.
+func NewNicheStatsFrom(k int, sel []int, errs []float64, seen []bool) *NicheStats {
+	return &NicheStats{
+		k:    k,
+		sel:  append([]int(nil), sel...),
+		err:  append([]float64(nil), errs...),
+		seen: append([]bool(nil), seen...),
+	}
+}

@@ -1,0 +1,196 @@
+package evolve
+
+import (
+	"fmt"
+	"math"
+
+	"moe/internal/expert"
+	"moe/internal/features"
+	"moe/internal/regress"
+)
+
+// cloneRateFraction selects the behavior-cloning training set: only steps
+// whose observed progress rate reached this fraction of the best rate in
+// history count as decisions worth imitating.
+const cloneRateFraction = 0.7
+
+// Spawn breeds one candidate expert from up to two parents and the scored
+// observation history. The candidate is always Table-1-form.
+//
+// The environment predictor — the candidate's selection identity — is refit
+// from history (the (feature, next-norm) pairs the selector itself learns
+// from) once enough samples exist, so a newborn is specialized to the
+// environment actually being observed rather than to whatever regime its
+// parents trained on; with thin history it falls back to mutating parentA's
+// table. The thread predictor is bred QD-style: parentA's table crossed
+// with parentB's (when a second parent exists), pulled toward a
+// behavior-cloning fit of the pool's own high-progress decisions, then
+// mutated. parentB may be nil.
+//
+// Spawn fails — deterministically, given the same inputs — when no valid
+// Table-1 genome can be assembled; the caller skips that birth cycle.
+func Spawn(name string, parentA, parentB *expert.Expert, hist *History, rng *RNG, cfg Config) (*expert.Expert, error) {
+	if parentA == nil {
+		return nil, fmt.Errorf("evolve: spawn without a parent")
+	}
+
+	env, err := breedEnv(parentA, hist, rng, cfg)
+	if err != nil {
+		return nil, err
+	}
+	threads, err := breedThreads(parentA, parentB, hist, rng, cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	child := &expert.Expert{
+		Name:       name,
+		Threads:    threads,
+		Env:        expert.NormEnvModel{Model: env},
+		MaxThreads: parentA.MaxThreads,
+		TrainedOn:  lineageTag(parentA, parentB),
+		FeatMean:   parentA.FeatMean,
+		FeatStd:    parentA.FeatStd,
+	}
+	if parentB != nil && parentB.MaxThreads > child.MaxThreads {
+		child.MaxThreads = parentB.MaxThreads
+	}
+	if hist.Len() >= cfg.RefitMin {
+		child.FeatMean, child.FeatStd = historyStats(hist)
+	}
+	if err := child.Validate(); err != nil {
+		return nil, fmt.Errorf("evolve: candidate rejected: %w", err)
+	}
+	return child, nil
+}
+
+func lineageTag(a, b *expert.Expert) string {
+	if b == nil {
+		return fmt.Sprintf("evolved(%s)", a.Name)
+	}
+	return fmt.Sprintf("evolved(%s×%s)", a.Name, b.Name)
+}
+
+// breedEnv produces the candidate's environment predictor: a refit against
+// history when enough evidence exists, otherwise a mutation of parentA's
+// norm table.
+func breedEnv(parentA *expert.Expert, hist *History, rng *RNG, cfg Config) (*regress.Model, error) {
+	if hist.Len() >= cfg.RefitMin {
+		samples := make([]regress.Sample, 0, hist.Len())
+		hist.Each(func(s *Sample) {
+			samples = append(samples, regress.Sample{X: s.Feat.Slice(), Y: s.NextNorm})
+		})
+		if m, err := regress.Fit(samples, regress.Options{Ridge: 1e-6}); err == nil {
+			if fitted, err := regress.FromCoefficients(clampCoeffs(m.Coefficients())); err == nil {
+				return fitted, nil
+			}
+		}
+		// Singular or out-of-bound fit: fall through to mutation.
+	}
+	pm := expert.NormEnv(parentA)
+	if pm == nil {
+		return nil, fmt.Errorf("evolve: parent %s has no Table-1 environment predictor and history is too thin to refit", parentA.Name)
+	}
+	return expert.MutateModel(pm, cfg.MutationScale, rng.Sym)
+}
+
+// breedThreads produces the candidate's thread predictor: cross the
+// parents, blend halfway toward a behavior clone of the pool's own
+// high-progress decisions when one can be fit, then mutate.
+func breedThreads(parentA, parentB *expert.Expert, hist *History, rng *RNG, cfg Config) (*regress.Model, error) {
+	base := parentA.Threads
+	if parentB != nil {
+		crossed, err := expert.CrossModels(parentA.Threads, parentB.Threads, rng.Float64)
+		if err != nil {
+			return nil, err
+		}
+		base = crossed
+	}
+	if clone := fitClone(hist, cfg); clone != nil {
+		blended, err := expert.CrossModels(base, clone, func() float64 { return 0.5 })
+		if err == nil {
+			base = blended
+		}
+	}
+	return expert.MutateModel(base, cfg.MutationScale, rng.Sym)
+}
+
+// fitClone fits n = w·f to the history's high-rate decisions, or returns
+// nil when the evidence is too thin or the fit fails.
+func fitClone(hist *History, cfg Config) *regress.Model {
+	if hist.Len() < cfg.RefitMin {
+		return nil
+	}
+	maxRate := 0.0
+	hist.Each(func(s *Sample) {
+		if s.Rate > maxRate {
+			maxRate = s.Rate
+		}
+	})
+	if maxRate <= 0 {
+		return nil
+	}
+	var samples []regress.Sample
+	hist.Each(func(s *Sample) {
+		if s.Rate >= cloneRateFraction*maxRate && s.Threads > 0 {
+			samples = append(samples, regress.Sample{X: s.Feat.Slice(), Y: float64(s.Threads)})
+		}
+	})
+	if len(samples) < cfg.RefitMin/2 {
+		return nil
+	}
+	m, err := regress.Fit(samples, regress.Options{Ridge: 1e-6})
+	if err != nil {
+		return nil
+	}
+	m, err = regress.FromCoefficients(clampCoeffs(m.Coefficients()))
+	if err != nil {
+		return nil
+	}
+	return m
+}
+
+// clampCoeffs pulls fitted coefficients inside the loading bound so a
+// wild-but-finite fit degrades to a saturated model instead of a rejected
+// one. Non-finite values are left for FromCoefficients to reject.
+func clampCoeffs(c []float64) []float64 {
+	for i, v := range c {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			continue
+		}
+		if v > regress.MaxCoefficient {
+			c[i] = regress.MaxCoefficient
+		} else if v < -regress.MaxCoefficient {
+			c[i] = -regress.MaxCoefficient
+		}
+	}
+	return c
+}
+
+// historyStats computes per-feature mean and standard deviation over the
+// history, giving a refit candidate training statistics that describe the
+// distribution it was actually fit on.
+func historyStats(hist *History) (mean, std [features.Dim]float64) {
+	n := float64(hist.Len())
+	if n == 0 {
+		return mean, std
+	}
+	hist.Each(func(s *Sample) {
+		for i := 0; i < features.Dim; i++ {
+			mean[i] += s.Feat[i]
+		}
+	})
+	for i := range mean {
+		mean[i] /= n
+	}
+	hist.Each(func(s *Sample) {
+		for i := 0; i < features.Dim; i++ {
+			d := s.Feat[i] - mean[i]
+			std[i] += d * d
+		}
+	})
+	for i := range std {
+		std[i] = math.Sqrt(std[i] / n)
+	}
+	return mean, std
+}

@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"moe/internal/core"
+	"moe/internal/evolve"
 	"moe/internal/expert"
 	"moe/internal/parallel"
 	"moe/internal/policy"
@@ -245,6 +246,30 @@ func (l *Lab) NewPolicy(name PolicyName, target string, seed uint64) (sim.Policy
 		return core.NewMixture(m.set4, core.Options{})
 	default:
 		return nil, fmt.Errorf("experiments: unknown policy %q", name)
+	}
+}
+
+// NewEvolvingPolicy builds the named mixture policy with the online
+// expert lifecycle enabled: the trained pool is the founding generation,
+// and births/retirements run from there. Only mixture policies with a
+// resizable selector can evolve.
+func (l *Lab) NewEvolvingPolicy(name PolicyName, target string, seed uint64, cfg evolve.Config) (sim.Policy, error) {
+	cfg.Enabled = true
+	m, err := l.models(target)
+	if err != nil {
+		return nil, err
+	}
+	switch name {
+	case PolicyMixture:
+		return training.NewMixtureFromPriorOpts(m.prior4, m.set4, core.Options{Evolution: cfg})
+	case PolicyMixture2:
+		return training.NewMixtureFromPriorOpts(m.prior2, m.set2, core.Options{Evolution: cfg})
+	case PolicyMixture8:
+		return training.NewMixtureFromPriorOpts(m.prior8, m.set8, core.Options{Evolution: cfg})
+	case PolicyMixtureNoPretrain:
+		return core.NewMixture(m.set4, core.Options{Evolution: cfg})
+	default:
+		return nil, fmt.Errorf("experiments: policy %q cannot evolve (mixture policies only)", name)
 	}
 }
 

@@ -1,0 +1,117 @@
+package expert
+
+import (
+	"fmt"
+	"math"
+
+	"moe/internal/features"
+	"moe/internal/regress"
+)
+
+// Evolvable-pool support: the expert-layer half of the online lifecycle
+// (internal/evolve holds the emitters and history; internal/core wires the
+// lifecycle into the mixture). An evolved expert is always Table-1-form — a
+// linear thread predictor plus a NormEnvModel — because that is the
+// representation the paper's tables serialize and the only one whose whole
+// genome is a flat coefficient slice that mutation and crossover can act on.
+
+// NicheCount is the number of environment niches the lifecycle tracks
+// per-expert performance in. Niches partition the observable environment the
+// way the paper's scenarios do: by how much hardware is present and how
+// loaded it is. Eight cells (four processor-count buckets × two load
+// regimes) is coarse enough that every niche accumulates evidence within a
+// few hundred decisions and fine enough that "dominated in every niche it
+// was selected for" is a meaningful retirement test rather than a single
+// global average.
+const NicheCount = 8
+
+// NicheOf maps a sanitized feature vector to its environment niche. The
+// partition uses only observable environment features (f5 availability and
+// the ldavg-1/processor load ratio), never model outputs, so every expert —
+// and the frozen and living pools in a comparison run — sees the same niche
+// for the same observation. Thresholds follow the paper's machine classes:
+// small (dual/quad), medium (8-core), large (16-core), huge (32+).
+func NicheOf(f *features.Vector) int {
+	p := f[features.Processors]
+	var bucket int
+	switch {
+	case p < 4:
+		bucket = 0
+	case p < 9:
+		bucket = 1
+	case p < 17:
+		bucket = 2
+	default:
+		bucket = 3
+	}
+	denom := p
+	if denom < 1 {
+		denom = 1
+	}
+	load := 0
+	if f[features.CPULoad1]/denom >= 0.5 {
+		load = 1
+	}
+	return bucket*2 + load
+}
+
+// clampCoeff keeps a mutated coefficient inside the magnitude bound that
+// FromCoefficients enforces, so mutation can never construct a genome the
+// loading boundary would reject.
+func clampCoeff(v float64) float64 {
+	if v > regress.MaxCoefficient {
+		return regress.MaxCoefficient
+	}
+	if v < -regress.MaxCoefficient {
+		return -regress.MaxCoefficient
+	}
+	return v
+}
+
+// MutateModel returns a copy of m with every coefficient perturbed by
+// scale·(1+|c|)·noise(), where noise draws from [-1,1). The (1+|c|) term
+// makes the perturbation relative for large coefficients and absolute for
+// near-zero ones, so a dead weight can be switched on by mutation rather
+// than being stuck at zero forever — the standard QD line-mutation shape.
+// The caller owns the noise source; this package stays deterministic and
+// RNG-free.
+func MutateModel(m *regress.Model, scale float64, noise func() float64) (*regress.Model, error) {
+	if m == nil {
+		return nil, fmt.Errorf("expert: mutate nil model")
+	}
+	c := m.Coefficients()
+	for i, v := range c {
+		c[i] = clampCoeff(v + scale*(1+math.Abs(v))*noise())
+	}
+	return regress.FromCoefficients(c)
+}
+
+// CrossModels blends two models of equal dimensionality coefficient-by-
+// coefficient: child_i = a_i + t·(b_i − a_i) with t drawn per-coefficient
+// from blend. With t beyond [0,1] this is the directional cross of the QD
+// mixing emitters — the child can overshoot either parent along the line
+// joining them.
+func CrossModels(a, b *regress.Model, blend func() float64) (*regress.Model, error) {
+	if a == nil || b == nil {
+		return nil, fmt.Errorf("expert: cross nil model")
+	}
+	ca, cb := a.Coefficients(), b.Coefficients()
+	if len(ca) != len(cb) {
+		return nil, fmt.Errorf("expert: cross models of dim %d and %d", len(ca)-1, len(cb)-1)
+	}
+	for i := range ca {
+		t := blend()
+		ca[i] = clampCoeff(ca[i] + t*(cb[i]-ca[i]))
+	}
+	return regress.FromCoefficients(ca)
+}
+
+// NormEnv returns e's environment predictor model when it is in Table-1
+// form (the only form evolution can breed from), or nil.
+func NormEnv(e *Expert) *regress.Model {
+	n, ok := e.Env.(NormEnvModel)
+	if !ok {
+		return nil
+	}
+	return n.Model
+}

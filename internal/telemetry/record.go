@@ -42,6 +42,19 @@ type Record struct {
 	// HealthEvents are the expert health-state transitions this decision
 	// caused.
 	HealthEvents []HealthEvent `json:"health_events,omitempty"`
+	// PoolSize is the live expert-pool size at the end of the decision.
+	// Zero for policies without an expert pool.
+	PoolSize int `json:"pool_size,omitempty"`
+	// PoolEpoch counts pool-membership changes (births + retirements)
+	// since construction; a reader seeing it advance knows per-expert
+	// series have been re-indexed.
+	PoolEpoch int `json:"pool_epoch,omitempty"`
+	// PoolEvents are the expert births and retirements this decision's
+	// lifecycle step performed (evolution only; almost always empty).
+	PoolEvents []PoolEvent `json:"pool_events,omitempty"`
+	// PoolAges holds each live expert's age in decisions, indexed like the
+	// pool. Filled only when evolution is active.
+	PoolAges []int `json:"pool_ages,omitempty"`
 	// Threads is the decision: the thread count returned to the host.
 	Threads int `json:"threads"`
 	// AvailableProcs is the resolved processor availability the decision
@@ -66,6 +79,15 @@ type HealthEvent struct {
 	Expert int    `json:"expert"`
 	From   string `json:"from"`
 	To     string `json:"to"`
+}
+
+// PoolEvent is one expert-pool membership change: a birth (Kind "birth",
+// with the parents the candidate was bred from) or a retirement (Kind
+// "retire").
+type PoolEvent struct {
+	Kind    string   `json:"kind"`
+	Expert  string   `json:"expert"`
+	Parents []string `json:"parents,omitempty"`
 }
 
 // Sink receives completed decision records. RecordDecision is called under
@@ -134,9 +156,14 @@ type RegistrySink struct {
 	threads     *Gauge
 	ckptErr     *Gauge
 	ckptErrs    *Counter
+	poolSize    *Gauge
+	poolEpoch   *Gauge
+	poolBirths  *Counter
+	poolRetires *Counter
 
 	reg         *Registry
 	selections  []*Counter          // per-expert, grown on demand
+	ages        []*Gauge            // per-expert pool age, grown on demand
 	transitions map[string]*Counter // health transitions by to-state
 	degraded    bool                // last value written to ckptErr
 	batch       *batchMetrics       // moe_decide_batch_* family, lazy (batch.go)
@@ -159,6 +186,10 @@ func NewRegistrySink(reg *Registry) *RegistrySink {
 		threads:     reg.Gauge("moe_threads", "Most recently chosen thread count."),
 		ckptErr:     reg.Gauge("moe_checkpoint_degraded", "1 when the checkpoint store has latched a write failure."),
 		ckptErrs:    reg.Counter("moe_checkpoint_errors_total", "Decisions recorded while checkpointing was degraded."),
+		poolSize:    reg.Gauge("moe_pool_size", "Live expert-pool size."),
+		poolEpoch:   reg.Gauge("moe_pool_epoch", "Pool-membership changes since construction."),
+		poolBirths:  reg.Counter("moe_pool_births_total", "Experts born by the online lifecycle."),
+		poolRetires: reg.Counter("moe_pool_retirements_total", "Experts retired by the online lifecycle."),
 		reg:         reg,
 		transitions: make(map[string]*Counter),
 	}
@@ -198,6 +229,26 @@ func (s *RegistrySink) RecordDecision(rec *Record) {
 		if ev.To == "quarantined" {
 			s.quarantines.Inc()
 		}
+	}
+	if rec.PoolSize > 0 {
+		s.poolSize.Set(float64(rec.PoolSize))
+		s.poolEpoch.Set(float64(rec.PoolEpoch))
+	}
+	for _, ev := range rec.PoolEvents {
+		switch ev.Kind {
+		case "birth":
+			s.poolBirths.Inc()
+		case "retire":
+			s.poolRetires.Inc()
+		}
+	}
+	for i, age := range rec.PoolAges {
+		for len(s.ages) <= i {
+			s.ages = append(s.ages,
+				s.reg.Gauge("moe_pool_expert_age", "Age in decisions of each pool slot.",
+					"expert", strconv.Itoa(len(s.ages))))
+		}
+		s.ages[i].Set(float64(age))
 	}
 	if rec.JournalNanos > 0 {
 		s.jrnLatency.Observe(float64(rec.JournalNanos) / 1e9)

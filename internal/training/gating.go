@@ -208,9 +208,16 @@ func NewMixturePolicy(ds *DataSet, set expert.Set) (*core.Mixture, error) {
 // makes per-run policy construction cheap enough to do inside parallel
 // scenario fan-outs.
 func NewMixtureFromPrior(prior *GatingPrior, set expert.Set) (*core.Mixture, error) {
+	return NewMixtureFromPriorOpts(prior, set, core.Options{})
+}
+
+// NewMixtureFromPriorOpts is NewMixtureFromPrior with extra mixture
+// options (the Selector field is overwritten by the prior's selector).
+func NewMixtureFromPriorOpts(prior *GatingPrior, set expert.Set, opts core.Options) (*core.Mixture, error) {
 	sel, err := prior.NewSelector()
 	if err != nil {
 		return nil, err
 	}
-	return core.NewMixture(set, core.Options{Selector: sel})
+	opts.Selector = sel
+	return core.NewMixture(set, opts)
 }

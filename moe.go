@@ -31,6 +31,7 @@ import (
 	"fmt"
 
 	"moe/internal/core"
+	"moe/internal/evolve"
 	"moe/internal/expert"
 	"moe/internal/features"
 	"moe/internal/sim"
@@ -64,7 +65,16 @@ type (
 	TrainingConfig = training.Config
 	// TrainingData is a labelled dataset of training observations.
 	TrainingData = training.DataSet
+	// EvolutionConfig tunes the online expert lifecycle (see
+	// NewEvolvingMixture). The zero value disables evolution entirely.
+	EvolutionConfig = evolve.Config
 )
+
+// ErrPoolMismatch is returned by checkpoint restore when a snapshot's expert
+// pool cannot be reconciled with the mixture's: the sizes differ without a
+// pool composition to rebuild from, or the snapshot carries an evolving pool
+// into a mixture built with evolution disabled. Match it with errors.Is.
+var ErrPoolMismatch = core.ErrPoolMismatch
 
 // CombineFeatures assembles the full feature vector from code and
 // environment parts.
@@ -113,6 +123,18 @@ func BuildExperts(ds *TrainingData, k int) (ExpertSet, error) {
 // the default (hyperplane) selector learnt purely online, per §5.3.
 func NewMixture(set ExpertSet) (*Mixture, error) {
 	return core.NewMixture(set, core.Options{})
+}
+
+// NewEvolvingMixture builds the runtime mixture with the online expert
+// lifecycle enabled: the pool is no longer frozen at construction — new
+// experts are bred from the incumbents against journaled observation
+// history, admitted through probation, and persistently dominated experts
+// are retired. A zero cfg (beyond Enabled) takes the defaults; Enabled is
+// forced on. The lifecycle is fully deterministic given cfg.Seed and the
+// observation stream, so journal replay reproduces pool changes exactly.
+func NewEvolvingMixture(set ExpertSet, cfg EvolutionConfig) (*Mixture, error) {
+	cfg.Enabled = true
+	return core.NewMixture(set, core.Options{Evolution: cfg})
 }
 
 // NewTrainedMixture builds the configuration the paper evaluates: the

@@ -31,7 +31,7 @@ func FuzzRuntimeDecide(f *testing.F) {
 	f.Add(0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0, uint8(0), false)
 	f.Add(1.0, 8.0, 2.0, 0.5, 10.0, 100.0, 16, uint8(9), true)
 	f.Add(math.NaN(), math.Inf(1), math.Inf(-1), 1e308, math.NaN(), math.Inf(-1), -5, uint8(255), false)
-	f.Add(-1e308, 1e-308, -0.0, 5e-324, -1.0, -1e9, 1 << 30, uint8(42), true)
+	f.Add(-1e308, 1e-308, -0.0, 5e-324, -1.0, -1e9, 1<<30, uint8(42), true)
 	f.Add(1e9, 1e10, -1e10, 32.0, 1e300, 0.0, 0, uint8(77), false)
 
 	f.Fuzz(func(t *testing.T, a, b, c, d, tm, rate float64, avail int, hostile uint8, start bool) {
@@ -40,7 +40,15 @@ func FuzzRuntimeDecide(f *testing.F) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		for _, p := range []moe.Policy{mix, moe.NewDefaultPolicy(), moe.NewOnlinePolicy()} {
+		// An evolving mixture with a one-decision lifecycle period: pool
+		// membership mutates on EVERY step of the loop below, so the ladder's
+		// guarantees are fuzzed across births and retirements too.
+		living, err := moe.NewEvolvingMixture(moe.CanonicalExperts(),
+			moe.EvolutionConfig{Period: 1, MinAge: 2, MinPool: 1, Seed: uint64(hostile) + 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range []moe.Policy{mix, living, moe.NewDefaultPolicy(), moe.NewOnlinePolicy()} {
 			rt, err := moe.NewRuntime(p, maxThreads)
 			if err != nil {
 				t.Fatal(err)
@@ -67,6 +75,61 @@ func FuzzRuntimeDecide(f *testing.F) {
 			clean[4] = 8
 			if n := rt.Decide(moe.Observation{Time: tm + 10, Features: clean}); n < 1 || n > maxThreads {
 				t.Fatalf("%s: decision %d out of range after recovery", p.Name(), n)
+			}
+		}
+	})
+}
+
+// FuzzEvolvingPoolDecide fuzzes the living pool specifically: a long
+// hostile stream with an aggressive lifecycle (births and retirements every
+// few decisions), run twice. Every decision must stay in range, and the two
+// runs must agree exactly — pool mutation under fire is still a pure
+// function of the observation stream.
+func FuzzEvolvingPoolDecide(f *testing.F) {
+	f.Add(0.0, 0.0, 0.0, 0.0, uint8(0), uint64(1))
+	f.Add(math.NaN(), math.Inf(1), -1e308, 5e-324, uint8(255), uint64(7))
+	f.Add(1e9, -1e10, 32.0, 1e300, uint8(42), uint64(99))
+
+	f.Fuzz(func(t *testing.T, a, b, c, d float64, hostile uint8, seed uint64) {
+		const maxThreads = 16
+		run := func() []int {
+			mix, err := moe.NewEvolvingMixture(moe.CanonicalExperts(),
+				moe.EvolutionConfig{Period: 3, MinAge: 6, MinPool: 1, Seed: seed})
+			if err != nil {
+				t.Fatal(err)
+			}
+			rt, err := moe.NewRuntime(mix, maxThreads)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out := make([]int, 0, 40)
+			for i := 0; i < 40; i++ {
+				obs := moe.Observation{
+					Time:           float64(i),
+					Features:       buildFuzzFeatures(a, b, c, d, hostile+uint8(i)),
+					Rate:           100 + float64(i%7),
+					AvailableProcs: 1 + i%maxThreads,
+				}
+				if i%3 == 0 {
+					// Interleave clean observations so health recovery and
+					// admission paths run, not just quarantine.
+					var clean moe.Features
+					clean[4] = 8
+					obs.Features = clean
+				}
+				n := rt.Decide(obs)
+				if n < 1 || n > maxThreads {
+					t.Fatalf("evolving decision %d outside [1, %d] at step %d", n, maxThreads, i)
+				}
+				out = append(out, n)
+			}
+			return out
+		}
+		first := run()
+		second := run()
+		for i := range first {
+			if first[i] != second[i] {
+				t.Fatalf("evolving replay diverged at step %d: %d vs %d", i, first[i], second[i])
 			}
 		}
 	})

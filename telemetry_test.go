@@ -292,3 +292,68 @@ func BenchmarkDecideInstrumented(b *testing.B) {
 		rt.Decide(ckptObservation(i % 256))
 	}
 }
+
+// TestPoolTelemetrySeries pins the moe_pool_* family: an evolving runtime
+// must publish pool size, epoch, birth/retirement counters and per-slot
+// ages that agree with the mixture's own snapshot — and a frozen mixture
+// must leave the whole family untouched.
+func TestPoolTelemetrySeries(t *testing.T) {
+	mix, err := moe.NewEvolvingMixture(moe.CanonicalExperts(),
+		moe.EvolutionConfig{Period: 10, MinAge: 20, MinPool: 2, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := moe.NewRuntime(mix, ckptMaxThreads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := telemetry.NewRegistry()
+	rt.SetTelemetry(telemetry.NewRegistrySink(reg))
+	for i := 0; i < 120; i++ {
+		rt.Decide(ckptObservation(i))
+	}
+
+	st := mix.Snapshot()
+	if st.PoolBirths == 0 {
+		t.Fatal("lifecycle never fired; the test is vacuous")
+	}
+	if got := reg.Counter("moe_pool_births_total", "").Value(); got != int64(st.PoolBirths) {
+		t.Errorf("moe_pool_births_total = %d, want %d", got, st.PoolBirths)
+	}
+	if got := reg.Counter("moe_pool_retirements_total", "").Value(); got != int64(st.PoolRetirements) {
+		t.Errorf("moe_pool_retirements_total = %d, want %d", got, st.PoolRetirements)
+	}
+	if got := reg.Gauge("moe_pool_size", "").Value(); got != float64(len(st.ExpertNames)) {
+		t.Errorf("moe_pool_size = %v, want %d", got, len(st.ExpertNames))
+	}
+	if got := reg.Gauge("moe_pool_epoch", "").Value(); got != float64(st.PoolEpoch) {
+		t.Errorf("moe_pool_epoch = %v, want %d", got, st.PoolEpoch)
+	}
+	// Founding experts have lived every decision; their age gauge must say
+	// so (slot 0 is a founder: retirements here are bounded by MinPool=2,
+	// and the lowest-index retiree rule never fires before MinAge).
+	if got := reg.Gauge("moe_pool_expert_age", "", "expert", "0").Value(); got <= 0 {
+		t.Errorf("moe_pool_expert_age{expert=0} = %v, want > 0", got)
+	}
+
+	// Frozen mixture: the family stays at zero.
+	frozen, err := moe.NewMixture(moe.CanonicalExperts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	frt, err := moe.NewRuntime(frozen, ckptMaxThreads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	freg := telemetry.NewRegistry()
+	frt.SetTelemetry(telemetry.NewRegistrySink(freg))
+	for i := 0; i < 60; i++ {
+		frt.Decide(ckptObservation(i))
+	}
+	if got := freg.Counter("moe_pool_births_total", "").Value(); got != 0 {
+		t.Errorf("frozen pool published %d births", got)
+	}
+	if got := freg.Gauge("moe_pool_size", "").Value(); got != 0 {
+		t.Errorf("frozen pool published size %v (family must stay silent)", got)
+	}
+}

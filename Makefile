@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench bench-smoke serve-smoke replica-smoke evolve-smoke
+.PHONY: build test race vet bench bench-smoke serve-smoke replica-smoke evolve-smoke stream-smoke
 
 build:
 	$(GO) build ./...
@@ -25,6 +25,7 @@ bench:
 	$(GO) run ./cmd/moebench -serve-json BENCH_PR7.json
 	$(GO) run ./cmd/moebench -replica-json BENCH_PR8.json
 	$(GO) run ./cmd/moebench -evolve-json BENCH_PR9.json
+	$(GO) run ./cmd/moebench -stream-json BENCH_PR10.json
 
 # serve-smoke drives the real moed binary end to end: JSON + NDJSON
 # decisions, chaos-tenant quarantine with a healthy bystander, metrics
@@ -41,6 +42,13 @@ serve-smoke:
 replica-smoke:
 	bash scripts/replica_smoke.sh
 
+# stream-smoke drives the wire streaming transport across two real moed
+# processes: 10k decisions over 8 pipelined sessions with checkpoint-sync
+# and journal group commit on, a SIGTERM that must drain clean (exit 0),
+# and a restart that must resume every tenant's decision counter exactly.
+stream-smoke:
+	bash scripts/stream_smoke.sh
+
 # evolve-smoke exercises the full expert lifecycle (birth, probation,
 # admission, retirement, replay determinism, frozen-pool byte-identity)
 # plus the drifting-machine study itself, which hard-fails unless the
@@ -51,12 +59,13 @@ evolve-smoke:
 	$(GO) run ./cmd/moebench -evolve-json /tmp/evolve-smoke.json
 
 # bench-smoke is the CI guard: cheap fixed-iteration runs of the sim
-# stepping-loop and batch decision microbenchmarks that fail if either
-# steady-state loop ever allocates again. Timing is not asserted (CI
+# stepping-loop, batch decision, and wire codec microbenchmarks that fail
+# if any steady-state loop ever allocates again. Timing is not asserted (CI
 # machines are too noisy); the allocs/op == 0 invariant is.
 bench-smoke:
 	$(GO) test ./internal/sim -run=NONE -bench 'StepLoop' -benchmem -benchtime=100x -count=2 | tee bench-smoke.txt
 	$(GO) test . -run=NONE -bench 'DecideBatchSteady' -benchmem -benchtime=100x -count=2 | tee -a bench-smoke.txt
+	$(GO) test ./internal/wire -run=NONE -bench 'WireRoundTrip' -benchmem -benchtime=100x -count=2 | tee -a bench-smoke.txt
 	@if grep -E '[1-9][0-9]* allocs/op' bench-smoke.txt; then \
 		echo 'bench-smoke: a steady-state hot loop allocates'; exit 1; \
 	fi

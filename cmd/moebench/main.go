@@ -133,6 +133,13 @@ var registry = map[string]runner{
 		}
 		return serveTable(rep), nil
 	},
+	"stream": func(_ *experiments.Lab, _ experiments.Scale) (*experiments.Table, error) {
+		rep, err := runStream(defaultStreamOpts())
+		if err != nil {
+			return nil, err
+		}
+		return streamTable(rep), nil
+	},
 	"replica": func(_ *experiments.Lab, _ experiments.Scale) (*experiments.Table, error) {
 		rep, err := runReplica(defaultReplicaOpts())
 		if err != nil {
@@ -155,8 +162,8 @@ var order = []string{
 	"fig10", "fig11", "fig12", "fig13a", "fig13b", "fig14a", "fig14b",
 	"fig14c", "fig15a", "fig15b", "fig15c", "fig16", "fig17", "cv",
 	"ablation-gating", "ablation-features", "portability", "churn",
-	"chaos", "restart", "telemetry", "throughput", "serve", "replica",
-	"evolve",
+	"chaos", "restart", "telemetry", "throughput", "serve", "stream",
+	"replica", "evolve",
 }
 
 func main() {
@@ -172,6 +179,11 @@ func main() {
 	benchJSON := flag.String("bench-json", "", "measure both engines on the canonical scenario, write the JSON report to this path, and exit")
 	throughputJSON := flag.String("throughput-json", "", "measure decision throughput (single vs batched vs sharded), write the JSON report to this path, and exit")
 	serveJSON := flag.String("serve-json", "", "run the multi-tenant daemon chaos-load study, write the JSON report to this path, and exit")
+	streamJSON := flag.String("stream-json", "", "run the transport study (json vs ndjson vs wire, plus journal group commit), write the JSON report to this path, and exit")
+	streamDrive := flag.String("stream-drive", "", "client mode: stream -stream-decisions across -stream-tenants wire sessions against this moed base URL, print a JSON summary, and exit")
+	streamTenants := flag.Int("stream-tenants", 8, "tenant sessions for -stream-drive")
+	streamDecisions := flag.Int("stream-decisions", 10000, "total decisions for -stream-drive")
+	streamBase := flag.Int("stream-base", 0, "per-tenant decisions already served (resume check for -stream-drive; responses must count up from it)")
 	replicaJSON := flag.String("replica-json", "", "run the hot-standby replication study (throughput on vs off, lag, failover), write the JSON report to this path, and exit")
 	evolveJSON := flag.String("evolve-json", "", "run the living-vs-frozen pool drift study, write the JSON report to this path, and exit")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -215,6 +227,24 @@ func main() {
 		return
 	}
 
+	if *streamJSON != "" {
+		if err := writeStreamJSON(*streamJSON); err != nil {
+			fmt.Fprintf(os.Stderr, "moebench: stream: %v\n", err)
+			stopCPU()
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *streamDrive != "" {
+		if err := driveStream(*streamDrive, *streamTenants, *streamDecisions, *streamBase); err != nil {
+			fmt.Fprintf(os.Stderr, "moebench: stream-drive: %v\n", err)
+			stopCPU()
+			os.Exit(1)
+		}
+		return
+	}
+
 	if *replicaJSON != "" {
 		if err := writeReplicaJSON(*replicaJSON); err != nil {
 			fmt.Fprintf(os.Stderr, "moebench: replica: %v\n", err)
@@ -233,9 +263,9 @@ func main() {
 		return
 	}
 
-	// The throughput, serve, and evolve studies need no trained lab; serve
-	// them before the training step when one is the only request.
-	if !*all && (*experiment == "throughput" || *experiment == "serve" || *experiment == "evolve") && !*list {
+	// The throughput, serve, stream, and evolve studies need no trained lab;
+	// serve them before the training step when one is the only request.
+	if !*all && (*experiment == "throughput" || *experiment == "serve" || *experiment == "stream" || *experiment == "evolve") && !*list {
 		t, err := registry[*experiment](nil, experiments.QuickScale())
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "moebench: %s failed: %v\n", *experiment, err)

@@ -8,8 +8,10 @@
 //	moed -listen :7077 -checkpoint-dir /var/lib/moed
 //
 // Endpoints: POST /v1/decide (JSON, or NDJSON stream with Content-Type
-// application/x-ndjson), GET /v1/tenants, /healthz, /metrics,
-// /metrics.json, /debug/pprof. See DESIGN.md §13.
+// application/x-ndjson), POST /v1/stream (upgrade to the binary wire
+// protocol; also served raw on -stream-addr), GET /v1/tenants,
+// /healthz, /metrics, /metrics.json, /debug/pprof. See DESIGN.md
+// §13 and §16.
 package main
 
 import (
@@ -18,6 +20,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -30,6 +33,8 @@ import (
 func main() {
 	var (
 		listen          = flag.String("listen", ":7077", "address to serve on")
+		streamAddr      = flag.String("stream-addr", "", "TCP address for the raw wire streaming transport (empty = HTTP-only; POST /v1/stream upgrades either way)")
+		groupCommit     = flag.Duration("group-commit-window", 0, "with -checkpoint-sync, share journal fsyncs across batches inside this window (0 = fsync per batch; try 1ms)")
 		checkpointDir   = flag.String("checkpoint-dir", "", "root directory for per-tenant checkpoint lineages (empty = ephemeral tenants)")
 		checkpointEvery = flag.Int("checkpoint-every", serve.DefCheckpointEvery, "snapshot cadence in decisions per tenant")
 		checkpointSync  = flag.Bool("checkpoint-sync", false, "fsync every journal append (safer, slower)")
@@ -61,23 +66,24 @@ func main() {
 		logf = func(string, ...any) {}
 	}
 	cfg := serve.Config{
-		MaxThreads:      *maxThreads,
-		CheckpointRoot:  *checkpointDir,
-		CheckpointEvery: *checkpointEvery,
-		CheckpointSync:  *checkpointSync,
-		MaxTenants:      *maxTenants,
-		MaxInflight:     *maxInflight,
-		Rate:            *rate,
-		Burst:           *burst,
-		DefaultDeadline: time.Duration(*deadlineMs) * time.Millisecond,
-		MaxBatch:        *maxBatch,
-		WedgeTimeout:    *wedgeTimeout,
-		DrainWindow:     *drainWindow,
-		ReplicateTo:     *replicateTo,
-		ReplicaTerm:     *replicaTerm,
-		Standby:         *standby,
-		DedupWindow:     *dedupWindow,
-		Logf:            logf,
+		MaxThreads:        *maxThreads,
+		CheckpointRoot:    *checkpointDir,
+		CheckpointEvery:   *checkpointEvery,
+		CheckpointSync:    *checkpointSync,
+		GroupCommitWindow: *groupCommit,
+		MaxTenants:        *maxTenants,
+		MaxInflight:       *maxInflight,
+		Rate:              *rate,
+		Burst:             *burst,
+		DefaultDeadline:   time.Duration(*deadlineMs) * time.Millisecond,
+		MaxBatch:          *maxBatch,
+		WedgeTimeout:      *wedgeTimeout,
+		DrainWindow:       *drainWindow,
+		ReplicateTo:       *replicateTo,
+		ReplicaTerm:       *replicaTerm,
+		Standby:           *standby,
+		DedupWindow:       *dedupWindow,
+		Logf:              logf,
 	}
 	if *faultInjection {
 		cfg.PolicyBuild = serve.FaultInjectionBuild(serve.DefaultPolicyBuild)
@@ -113,6 +119,20 @@ func main() {
 		httpSrv.Close() // in-flight already flushed by Drain
 		drained <- code
 	}()
+
+	if *streamAddr != "" {
+		ln, err := net.Listen("tcp", *streamAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		logf("moed: wire streaming on %s", *streamAddr)
+		go func() {
+			if err := srv.ServeStream(ln); err != nil {
+				logf("moed: stream listener: %v", err)
+			}
+		}()
+	}
 
 	role := "solo"
 	switch {

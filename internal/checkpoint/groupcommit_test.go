@@ -1,0 +1,165 @@
+package checkpoint
+
+import (
+	"errors"
+	"fmt"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"moe/internal/atomicio"
+)
+
+func groupStore(t *testing.T, g *GroupCommitter, name string) *Store {
+	t.Helper()
+	s, err := OpenOptions(filepath.Join(t.TempDir(), name), Options{GroupCommit: g})
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	t.Cleanup(func() { s.Close() })
+	if err := s.WriteSnapshot(minimalState()); err != nil {
+		t.Fatalf("snapshot: %v", err)
+	}
+	return s
+}
+
+func minimalState() *State {
+	return &State{PolicyName: "default", MaxThreads: 8,
+		Policy: PolicyState{Kind: PolicyStateless}}
+}
+
+// TestGroupCommitSharesFsyncs proves the core claim: appends from multiple
+// stores inside one window become durable through a shared fsync, with the
+// savings counted, and every waiter observes success.
+func TestGroupCommitSharesFsyncs(t *testing.T) {
+	g := NewGroupCommitter(5 * time.Millisecond)
+	const stores = 4
+	ss := make([]*Store, stores)
+	for i := range ss {
+		ss[i] = groupStore(t, g, fmt.Sprintf("t%d", i))
+	}
+	// All four tenants append a 3-observation batch and commit
+	// concurrently: one fsync per batch (at most), not one per append,
+	// with batches landing in a shared flush window.
+	var wg sync.WaitGroup
+	errs := make([]error, stores)
+	for i := range ss {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for k := 0; k < 3; k++ {
+				if err := ss[i].Append(Observation{Time: float64(k)}); err != nil {
+					errs[i] = err
+					return
+				}
+			}
+			errs[i] = ss[i].Sync()
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("store %d: %v", i, err)
+		}
+	}
+	fsyncs, saved := g.Stats()
+	// Invariant: issued + saved = what per-append fsync would have issued.
+	if fsyncs+saved != stores*3 {
+		t.Fatalf("accounting: fsyncs %d + saved %d != %d appends", fsyncs, saved, stores*3)
+	}
+	if fsyncs != stores || saved != stores*2 {
+		t.Fatalf("fsyncs=%d saved=%d, want one fsync per batch (%d) and the rest saved", fsyncs, saved, stores)
+	}
+	// Everything promised durable must actually be on disk and replayable.
+	for i := range ss {
+		ss[i].Close()
+		rec, err := ss[i].Recover()
+		if err != nil {
+			t.Fatalf("recover %d: %v", i, err)
+		}
+		if rec.Decisions() != 3 {
+			t.Fatalf("store %d recovered %d decisions, want 3", i, rec.Decisions())
+		}
+	}
+}
+
+// TestGroupCommitZeroWindowIsPassThrough pins the degenerate configs: a
+// zero window fsyncs immediately on Sync, and a store without a committer
+// keeps today's per-append fsync with Sync a no-op.
+func TestGroupCommitZeroWindowIsPassThrough(t *testing.T) {
+	g := NewGroupCommitter(0)
+	s := groupStore(t, g, "zero")
+	if err := s.Append(Observation{Time: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	fsyncs, saved := g.Stats()
+	if fsyncs != 1 || saved != 0 {
+		t.Fatalf("zero window: fsyncs=%d saved=%d, want 1/0", fsyncs, saved)
+	}
+
+	plain, err := OpenOptions(filepath.Join(t.TempDir(), "plain"), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer plain.Close()
+	if err := plain.WriteSnapshot(minimalState()); err != nil {
+		t.Fatal(err)
+	}
+	if err := plain.Append(Observation{Time: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := plain.Sync(); err != nil {
+		t.Fatalf("Sync on a plain store must be a no-op, got %v", err)
+	}
+}
+
+// TestGroupCommitSyncFaultIsDiskError routes an injected fsync failure at
+// the Sync commit point through the DiskError type, the same classification
+// a per-append fsync failure gets (the serving layer latches degraded on it).
+func TestGroupCommitSyncFaultIsDiskError(t *testing.T) {
+	g := NewGroupCommitter(time.Millisecond)
+	s := groupStore(t, g, "fault")
+	if err := s.Append(Observation{Time: 1}); err != nil {
+		t.Fatal(err)
+	}
+	injected := errors.New("injected EIO")
+	s.SetJournalFault(func(stage atomicio.Stage) error {
+		if stage == atomicio.StageSyncFile {
+			return injected
+		}
+		return nil
+	})
+	err := s.Sync()
+	if err == nil || !IsDiskError(err) || !errors.Is(err, injected) {
+		t.Fatalf("Sync fault = %v, want DiskError wrapping the injection", err)
+	}
+	// The dirty flag must survive a failed Sync so a retry still commits.
+	s.SetJournalFault(nil)
+	if err := s.Sync(); err != nil {
+		t.Fatalf("retry after cleared fault: %v", err)
+	}
+}
+
+// TestGroupCommitDirtyFlushedOnClose: a group-committed store closed with
+// deferred appends still syncs them (drain path safety).
+func TestGroupCommitDirtyFlushedOnClose(t *testing.T) {
+	g := NewGroupCommitter(time.Hour) // window never fires on its own
+	s := groupStore(t, g, "close")
+	if err := s.Append(Observation{Time: 42}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := s.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Decisions() != 1 {
+		t.Fatalf("recovered %d decisions after close, want 1", rec.Decisions())
+	}
+}

@@ -55,6 +55,14 @@ type Store struct {
 	// modeling EIO/ENOSPC surfacing to the caller.
 	journalFault atomicio.FaultFn
 
+	// gc, when attached, takes over journal durability: appends skip the
+	// inline fsync (marking the journal dirty instead) and Sync is the
+	// batch commit point, sharing one fsync across every store that
+	// reached the committer inside its flush window (groupcommit.go).
+	gc         *GroupCommitter
+	dirty      bool
+	dirtyCount int // appends whose fsync was deferred to the next Sync
+
 	// shipper observes every durable artifact for replication (ship.go).
 	shipper func(Shipment)
 	// dedupSource seeds each fresh journal epoch with the current dedup
@@ -83,6 +91,11 @@ type Options struct {
 	// in lineage order — anything the deposed primary replicated before the
 	// promotion, even if the replicated history had seen fewer runs.
 	MinRun int
+
+	// GroupCommit, when non-nil (and sync enabled), shares journal fsyncs
+	// across every store attached to the same committer: appends defer
+	// their fsync to the next Store.Sync, which is the batch commit point.
+	GroupCommit *GroupCommitter
 }
 
 // generations is how many snapshot generations (snapshot + its journal)
@@ -101,7 +114,7 @@ func OpenOptions(dir string, opts Options) (*Store, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, diskErr("open", dir, err)
 	}
-	s := &Store{dir: dir, sync: !opts.DisableSync}
+	s := &Store{dir: dir, sync: !opts.DisableSync, gc: opts.GroupCommit}
 	snaps, err := s.list(snapPrefix, snapSuffix)
 	if err != nil {
 		return nil, err
@@ -161,7 +174,8 @@ func (s *Store) Run() int { return s.run }
 // epoch started (meaningful once a snapshot has been written).
 func (s *Store) JournalEpoch() int { return s.journalEpoch }
 
-// Close closes the current journal (syncing it first).
+// Close closes the current journal (syncing it first — any deferred
+// group-commit dirtiness is flushed here, not lost).
 func (s *Store) Close() error {
 	if s.journal == nil {
 		return nil
@@ -171,6 +185,8 @@ func (s *Store) Close() error {
 		err = cerr
 	}
 	s.journal = nil
+	s.dirty = false
+	s.dirtyCount = 0
 	return err
 }
 
@@ -378,7 +394,13 @@ func (s *Store) appendJournal(kind byte, payload []byte) error {
 	if _, err := s.journal.Write(frame); err != nil {
 		return diskErr("append", s.journal.Name(), err)
 	}
-	if s.sync {
+	switch {
+	case s.sync && s.gc != nil:
+		// Group commit: durability is deferred to the next Sync, the batch
+		// commit point. The record is written, not yet promised.
+		s.dirty = true
+		s.dirtyCount++
+	case s.sync:
 		if err := s.fault(atomicio.StageSyncFile); err != nil {
 			return diskErr("append", s.journal.Name(), err)
 		}

@@ -65,7 +65,7 @@ func TestAdmissionBoundUnderStorm(t *testing.T) {
 			defer wg.Done()
 			id := fmt.Sprintf("storm-%d", w%5)
 			for i := 0; i < perWorker; i++ {
-				status, _, eresp, hdr := postDecide(t, ts.URL, id, wire(tenantStream(id, i*batch, batch)), 2000)
+				status, _, eresp, hdr := postDecide(t, ts.URL, id, toWire(tenantStream(id, i*batch, batch)), 2000)
 				switch status {
 				case http.StatusOK:
 					served.Add(1)
@@ -108,7 +108,7 @@ func TestRateLimitSheds429(t *testing.T) {
 	srv, ts := newTestServer(t, Config{Rate: 20, Burst: 5})
 	var ok200, shed429 int
 	for i := 0; i < 40; i++ {
-		status, _, eresp, hdr := postDecide(t, ts.URL, "rated", wire(tenantStream("rated", i, 1)), 0)
+		status, _, eresp, hdr := postDecide(t, ts.URL, "rated", toWire(tenantStream("rated", i, 1)), 0)
 		switch status {
 		case http.StatusOK:
 			ok200++

@@ -80,6 +80,11 @@ func (s *Server) Drain(window time.Duration) (*DrainReport, error) {
 		rep.Tenants++
 		s.drainTenant(t, deadline, rep)
 	}
+	// Stream sessions close last: their in-flight frames were flushed with
+	// the inflight group in phase 1 (late arrivals got "draining" error
+	// frames), so by here every promised response has been written and the
+	// client sees a clean EOF instead of a mid-response reset.
+	s.closeStreamSessions()
 	rep.Elapsed = time.Since(start)
 	s.metrics.drainSeconds.Set(rep.Elapsed.Seconds())
 	if rep.Clean() {

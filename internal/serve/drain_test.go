@@ -31,7 +31,7 @@ func TestDrainCheckpointsAndRestartResumesBitIdentically(t *testing.T) {
 	for r := 0; r < 5; r++ {
 		for _, id := range ids {
 			stream := tenantStream(id, r*batch, batch)
-			resp := mustDecide(t, ts1.URL, id, wire(stream))
+			resp := mustDecide(t, ts1.URL, id, toWire(stream))
 			acked[id] = append(acked[id], stream...)
 			got[id] = append(got[id], resp.Threads...)
 		}
@@ -53,7 +53,7 @@ func TestDrainCheckpointsAndRestartResumesBitIdentically(t *testing.T) {
 		go func(id string) {
 			defer wg.Done()
 			stream := tenantStream(id, 5*batch, batch)
-			status, resp, eresp, _ := postDecide(t, ts1.URL, id, wire(stream), 0)
+			status, resp, eresp, _ := postDecide(t, ts1.URL, id, toWire(stream), 0)
 			o := outcome{id: id, stream: stream, status: status}
 			switch {
 			case status == http.StatusOK:
@@ -99,7 +99,7 @@ func TestDrainCheckpointsAndRestartResumesBitIdentically(t *testing.T) {
 		t.Fatal("second drain must refuse")
 	}
 	// Draining servers shed new work with 503 "draining".
-	status, _, eresp, _ := postDecide(t, ts1.URL, "alpha", wire(tenantStream("alpha", 999, 1)), 0)
+	status, _, eresp, _ := postDecide(t, ts1.URL, "alpha", toWire(tenantStream("alpha", 999, 1)), 0)
 	if status != http.StatusServiceUnavailable || eresp.Code != "draining" {
 		t.Fatalf("post-drain request: status %d code %q, want 503 draining", status, eresp.Code)
 	}
@@ -110,7 +110,7 @@ func TestDrainCheckpointsAndRestartResumesBitIdentically(t *testing.T) {
 	for r := 0; r < 3; r++ {
 		for _, id := range ids {
 			stream := tenantStream(id, len(acked[id]), batch)
-			resp := mustDecide(t, ts2.URL, id, wire(stream))
+			resp := mustDecide(t, ts2.URL, id, toWire(stream))
 			// The resumed decision count proves state carried across: the
 			// runtime's counter includes every pre-restart decision.
 			if want := int64(len(acked[id]) + batch); resp.Decisions != want {

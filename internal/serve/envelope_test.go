@@ -31,9 +31,9 @@ func TestPanicQuarantineAndProbation(t *testing.T) {
 	const batch = 10
 	// Decisions 1..40 are clean; the batch holding decision 50 faults.
 	for r := 0; r < 4; r++ {
-		mustDecide(t, ts.URL, id, wire(tenantStream(id, r*batch, batch)))
+		mustDecide(t, ts.URL, id, toWire(tenantStream(id, r*batch, batch)))
 	}
-	status, _, eresp, _ := postDecide(t, ts.URL, id, wire(tenantStream(id, 40, batch)), 0)
+	status, _, eresp, _ := postDecide(t, ts.URL, id, toWire(tenantStream(id, 40, batch)), 0)
 	if status != http.StatusInternalServerError || eresp.Code != "tenant-fault" {
 		t.Fatalf("faulting batch: status %d code %q, want 500 tenant-fault", status, eresp.Code)
 	}
@@ -41,7 +41,7 @@ func TestPanicQuarantineAndProbation(t *testing.T) {
 		t.Fatalf("serve_panics_recovered_total = %d, want 1", v)
 	}
 	// Quarantined: shed with a retry hint, no decision attempted.
-	status, _, eresp, hdr := postDecide(t, ts.URL, id, wire(tenantStream(id, 40, batch)), 0)
+	status, _, eresp, hdr := postDecide(t, ts.URL, id, toWire(tenantStream(id, 40, batch)), 0)
 	if status != http.StatusServiceUnavailable || eresp.Code != "quarantined" {
 		t.Fatalf("quarantined request: status %d code %q, want 503 quarantined", status, eresp.Code)
 	}
@@ -51,11 +51,11 @@ func TestPanicQuarantineAndProbation(t *testing.T) {
 	// After the backoff: probation serves on a fresh generation (ephemeral
 	// tenant, so its decision counter restarts).
 	time.Sleep(150 * time.Millisecond)
-	resp := mustDecide(t, ts.URL, id, wire(tenantStream(id, 40, batch)))
+	resp := mustDecide(t, ts.URL, id, toWire(tenantStream(id, 40, batch)))
 	if resp.Decisions != batch {
 		t.Fatalf("probation generation decisions = %d, want %d (fresh runtime)", resp.Decisions, batch)
 	}
-	mustDecide(t, ts.URL, id, wire(tenantStream(id, 50, batch)))
+	mustDecide(t, ts.URL, id, toWire(tenantStream(id, 50, batch)))
 	srv.tn.mu.RLock()
 	tn := srv.tn.m[id]
 	srv.tn.mu.RUnlock()
@@ -89,14 +89,14 @@ func TestWatchdogRecyclesWedgedTenant(t *testing.T) {
 			return p, nil
 		},
 	})
-	mustDecide(t, ts.URL, "wedger", wire(tenantStream("wedger", 0, 3)))
+	mustDecide(t, ts.URL, "wedger", toWire(tenantStream("wedger", 0, 3)))
 	// This batch hits the stalled 5th decision and must miss its deadline.
-	status, _, eresp, _ := postDecide(t, ts.URL, "wedger", wire(tenantStream("wedger", 3, 3)), 150)
+	status, _, eresp, _ := postDecide(t, ts.URL, "wedger", toWire(tenantStream("wedger", 3, 3)), 150)
 	if status != http.StatusGatewayTimeout || eresp.Code != "deadline-exceeded" {
 		t.Fatalf("wedged batch: status %d code %q, want 504 deadline-exceeded", status, eresp.Code)
 	}
 	// The bystander is untouched while the wedger is stuck.
-	mustDecide(t, ts.URL, "bystander", wire(tenantStream("bystander", 0, 8)))
+	mustDecide(t, ts.URL, "bystander", toWire(tenantStream("bystander", 0, 8)))
 	// Give the watchdog a sweep past the wedge budget, then serve again.
 	deadline := time.Now().Add(2 * time.Second)
 	for srv.metrics.recycles.Value() == 0 && time.Now().Before(deadline) {
@@ -105,7 +105,7 @@ func TestWatchdogRecyclesWedgedTenant(t *testing.T) {
 	if srv.metrics.recycles.Value() == 0 {
 		t.Fatal("watchdog never recycled the wedged tenant")
 	}
-	resp := mustDecide(t, ts.URL, "wedger", wire(tenantStream("wedger", 0, 3)))
+	resp := mustDecide(t, ts.URL, "wedger", toWire(tenantStream("wedger", 0, 3)))
 	if len(resp.Threads) != 3 {
 		t.Fatalf("recycled tenant served %d threads, want 3", len(resp.Threads))
 	}
@@ -126,13 +126,13 @@ func TestDegradedStoreServesJournalLess(t *testing.T) {
 	}
 	srv, ts := newTestServer(t, Config{CheckpointRoot: root})
 	// The blocked tenant serves anyway...
-	resp := mustDecide(t, ts.URL, "blocked", wire(tenantStream("blocked", 0, 8)))
+	resp := mustDecide(t, ts.URL, "blocked", toWire(tenantStream("blocked", 0, 8)))
 	want := soloThreads(t, tenantStream("blocked", 0, 8))
 	if len(resp.Threads) != len(want) {
 		t.Fatalf("degraded tenant served %d threads, want %d", len(resp.Threads), len(want))
 	}
 	// ...and a healthy sibling still gets real persistence.
-	mustDecide(t, ts.URL, "fine", wire(tenantStream("fine", 0, 8)))
+	mustDecide(t, ts.URL, "fine", toWire(tenantStream("fine", 0, 8)))
 	if _, err := os.Stat(filepath.Join(root, "fine")); err != nil {
 		t.Fatalf("healthy sibling got no checkpoint directory: %v", err)
 	}

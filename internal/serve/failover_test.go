@@ -161,7 +161,7 @@ func runKillScenario(t *testing.T, variant string, killAt int, steps []step,
 	url := pair.primTS.URL
 	killed := false
 	reqID := func(st step) string { return fmt.Sprintf("req-%s-%d", st.tenant, st.idx) }
-	obsOf := func(st step) []observation { return wire(streams[st.tenant][st.idx : st.idx+1]) }
+	obsOf := func(st step) []observation { return toWire(streams[st.tenant][st.idx : st.idx+1]) }
 
 	promote := func() {
 		pair.kill()
@@ -259,7 +259,7 @@ func TestPromotionFencesLivePrimary(t *testing.T) {
 	solo := soloThreads(t, stream)
 	var acked []int
 	for k := 0; k < 3; k++ {
-		status, out, eresp := postDecideID(t, pair.primTS.URL, "alpha", fmt.Sprintf("req-alpha-%d", k), wire(stream[k:k+1]))
+		status, out, eresp := postDecideID(t, pair.primTS.URL, "alpha", fmt.Sprintf("req-alpha-%d", k), toWire(stream[k:k+1]))
 		if status != http.StatusOK {
 			t.Fatalf("pre-promote step %d: status %d (%+v)", k, status, eresp)
 		}
@@ -276,7 +276,7 @@ func TestPromotionFencesLivePrimary(t *testing.T) {
 
 	// The old primary is alive and does not know yet. Its next decision must
 	// be fenced before the ack — 503, never a 200 that forks history.
-	status, _, eresp := postDecideID(t, pair.primTS.URL, "alpha", "req-alpha-3", wire(stream[3:4]))
+	status, _, eresp := postDecideID(t, pair.primTS.URL, "alpha", "req-alpha-3", toWire(stream[3:4]))
 	if status != http.StatusServiceUnavailable || eresp.Code != "deposed" {
 		t.Fatalf("deposed primary answered %d code %q, want 503 deposed", status, eresp.Code)
 	}
@@ -284,7 +284,7 @@ func TestPromotionFencesLivePrimary(t *testing.T) {
 		t.Fatal("primary did not latch deposed after fenced flush")
 	}
 	// From here the gate refuses before the decision path runs at all.
-	status, _, eresp = postDecideID(t, pair.primTS.URL, "alpha", "req-alpha-3", wire(stream[3:4]))
+	status, _, eresp = postDecideID(t, pair.primTS.URL, "alpha", "req-alpha-3", toWire(stream[3:4]))
 	if status != http.StatusServiceUnavailable || eresp.Code != "deposed" {
 		t.Fatalf("latched primary answered %d code %q, want 503 deposed", status, eresp.Code)
 	}
@@ -292,7 +292,7 @@ func TestPromotionFencesLivePrimary(t *testing.T) {
 	// The client retries the fenced request on the new primary and finishes
 	// the trace there.
 	for k := 3; k < total; k++ {
-		status, out, eresp := postDecideID(t, pair.sbTS.URL, "alpha", fmt.Sprintf("req-alpha-%d", k), wire(stream[k:k+1]))
+		status, out, eresp := postDecideID(t, pair.sbTS.URL, "alpha", fmt.Sprintf("req-alpha-%d", k), toWire(stream[k:k+1]))
 		if status != http.StatusOK {
 			t.Fatalf("post-promote step %d: status %d (%+v)", k, status, eresp)
 		}
@@ -341,7 +341,7 @@ func TestFailoverChaosIsolation(t *testing.T) {
 	}
 	ackedHealthy := []int{}
 	decide := func(url, id string, k, deadlineMs int) (int, *decideResponse, *errorResponse) {
-		body, _ := json.Marshal(decideRequest{Tenant: id, Observations: wire(streams[id][k : k+1]),
+		body, _ := json.Marshal(decideRequest{Tenant: id, Observations: toWire(streams[id][k : k+1]),
 			RequestID: fmt.Sprintf("req-%s-%d", id, k)})
 		req, _ := http.NewRequest(http.MethodPost, url+"/v1/decide", bytes.NewReader(body))
 		req.Header.Set("Content-Type", "application/json")
@@ -459,7 +459,7 @@ func TestJournalFaultDegradesTenantE2E(t *testing.T) {
 	solo := soloThreads(t, stream)
 	var acked []int
 	for k := 0; k < total; k++ {
-		status, out, eresp := postDecideID(t, ts.URL, "faulty", "", wire(stream[k:k+1]))
+		status, out, eresp := postDecideID(t, ts.URL, "faulty", "", toWire(stream[k:k+1]))
 		if status != http.StatusOK {
 			t.Fatalf("step %d: status %d (%+v) — a disk fault must never fail a decision", k, status, eresp)
 		}
@@ -504,7 +504,7 @@ func TestJournalFaultDegradesTenantE2E(t *testing.T) {
 	// Restart on the same root, fault gone: the journal prefix from before
 	// the fault (3 appends succeeded; the 4th died) recovers cleanly.
 	_, ts2 := newTestServer(t, Config{CheckpointRoot: root, CheckpointEvery: 0})
-	status, out, eresp := postDecideID(t, ts2.URL, "faulty", "", wire(stream[3:4]))
+	status, out, eresp := postDecideID(t, ts2.URL, "faulty", "", toWire(stream[3:4]))
 	if status != http.StatusOK {
 		t.Fatalf("post-restart: status %d (%+v)", status, eresp)
 	}
@@ -522,11 +522,11 @@ func TestRequestIDDedup(t *testing.T) {
 	_, ts := newTestServer(t, Config{CheckpointRoot: root})
 	stream := tenantStream("idem", 0, 4)
 
-	status, first, eresp := postDecideID(t, ts.URL, "idem", "r1", wire(stream[0:2]))
+	status, first, eresp := postDecideID(t, ts.URL, "idem", "r1", toWire(stream[0:2]))
 	if status != http.StatusOK {
 		t.Fatalf("first: status %d (%+v)", status, eresp)
 	}
-	status, again, _ := postDecideID(t, ts.URL, "idem", "r1", wire(stream[0:2]))
+	status, again, _ := postDecideID(t, ts.URL, "idem", "r1", toWire(stream[0:2]))
 	if status != http.StatusOK || !again.Deduped {
 		t.Fatalf("retry: status %d deduped %v, want 200 dedup hit", status, again.Deduped)
 	}
@@ -535,7 +535,7 @@ func TestRequestIDDedup(t *testing.T) {
 			again.Threads, again.Decisions, first.Threads, first.Decisions)
 	}
 	// The header spelling is equivalent for single-JSON bodies.
-	body, _ := json.Marshal(decideRequest{Tenant: "idem", Observations: wire(stream[0:2])})
+	body, _ := json.Marshal(decideRequest{Tenant: "idem", Observations: toWire(stream[0:2])})
 	req, _ := http.NewRequest(http.MethodPost, ts.URL+"/v1/decide", bytes.NewReader(body))
 	req.Header.Set("Content-Type", "application/json")
 	req.Header.Set("X-Request-Id", "r1")
@@ -551,14 +551,14 @@ func TestRequestIDDedup(t *testing.T) {
 	}
 
 	// Unidentified requests advance normally.
-	status, out, _ := postDecideID(t, ts.URL, "idem", "", wire(stream[2:3]))
+	status, out, _ := postDecideID(t, ts.URL, "idem", "", toWire(stream[2:3]))
 	if status != http.StatusOK || out.Decisions != 3 {
 		t.Fatalf("anonymous request: status %d decisions %d, want 200/3", status, out.Decisions)
 	}
 
 	// A replacement process recovers the window from the journal markers.
 	_, ts2 := newTestServer(t, Config{CheckpointRoot: root})
-	status, rec, _ := postDecideID(t, ts2.URL, "idem", "r1", wire(stream[0:2]))
+	status, rec, _ := postDecideID(t, ts2.URL, "idem", "r1", toWire(stream[0:2]))
 	if status != http.StatusOK || !rec.Deduped {
 		t.Fatalf("post-restart retry: status %d deduped %v, want dedup hit", status, rec.Deduped)
 	}
@@ -566,7 +566,7 @@ func TestRequestIDDedup(t *testing.T) {
 		t.Fatalf("post-restart dedup answer %v != original %v", rec.Threads, first.Threads)
 	}
 	// An oversized ID is refused before it can reach the journal.
-	status, _, eresp = postDecideID(t, ts2.URL, "idem", strings.Repeat("x", maxRequestID+1), wire(stream[3:4]))
+	status, _, eresp = postDecideID(t, ts2.URL, "idem", strings.Repeat("x", maxRequestID+1), toWire(stream[3:4]))
 	if status != http.StatusBadRequest {
 		t.Fatalf("oversized request ID: status %d, want 400", status)
 	}

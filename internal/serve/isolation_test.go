@@ -39,7 +39,7 @@ func TestFaultIsolationAcrossTenants(t *testing.T) {
 			defer wg.Done()
 			var threads []int
 			for r := 0; r < rounds; r++ {
-				stream := wire(tenantStream(id, r*batch, batch))
+				stream := toWire(tenantStream(id, r*batch, batch))
 				status, resp, eresp, _ := postDecide(t, ts.URL, id, stream, 5000)
 				if status != http.StatusOK {
 					fail <- fmt.Sprintf("healthy tenant %s round %d: status %d (%+v)", id, r, status, eresp)
@@ -59,7 +59,7 @@ func TestFaultIsolationAcrossTenants(t *testing.T) {
 			for r := 0; r < rounds; r++ {
 				// Chaos tenants shed, fault, and time out; only the
 				// envelope's verdicts below matter.
-				postDecide(t, ts.URL, id, wire(tenantStream(id, r*batch, batch)), 400)
+				postDecide(t, ts.URL, id, toWire(tenantStream(id, r*batch, batch)), 400)
 			}
 		}(id)
 	}

@@ -65,6 +65,11 @@ type Config struct {
 	// daemon trades the journal tail in the page cache for serving
 	// throughput; snapshots stay atomic and fsynced either way.
 	CheckpointSync bool
+	// GroupCommitWindow, with CheckpointSync on, amortizes journal fsyncs:
+	// appends defer the fsync and every batch commits through one shared
+	// fsync per flush window (commit-before-ack unchanged — the sync still
+	// happens before any ack leaves). Zero keeps per-append fsync.
+	GroupCommitWindow time.Duration
 
 	// MaxTenants bounds the registry; creation past it sheds with 503.
 	MaxTenants int
@@ -123,6 +128,13 @@ type Config struct {
 	// window survives restart and failover. 0 selects DefDedupWindow;
 	// negative disables deduplication.
 	DedupWindow int
+
+	// DisableStreamCoalesce turns off request coalescing on the streaming
+	// transport: concurrent frames for one tenant run one DecideBatch per
+	// frame instead of merging under the tenant's decision slot. Decisions
+	// are byte-identical either way (the PR 6 batch contract); this exists
+	// as the benchmark ablation arm.
+	DisableStreamCoalesce bool
 
 	// JitterSeed seeds the deterministic stream that spreads Retry-After
 	// hints (each shed hint gets + U[0, hint/2)), so shed clients do not
@@ -226,6 +238,9 @@ func (c Config) withDefaults() (Config, error) {
 	}
 	if c.DedupWindow < 0 {
 		c.DedupWindow = 0 // explicit opt-out
+	}
+	if c.GroupCommitWindow < 0 {
+		c.GroupCommitWindow = 0
 	}
 	if c.JitterSeed == 0 {
 		c.JitterSeed = DefJitterSeed

@@ -48,7 +48,7 @@ func tenantStream(id string, from, n int) []moe.Observation {
 
 // wire converts runtime observations to their JSON form, the exact body a
 // client would post.
-func wire(obs []moe.Observation) []observation {
+func toWire(obs []moe.Observation) []observation {
 	out := make([]observation, len(obs))
 	for i, o := range obs {
 		fs := make([]float64, len(o.Features))
@@ -219,9 +219,9 @@ func TestRejectsBadRequests(t *testing.T) {
 		code   string
 	}{
 		{"no observations", "ok-tenant", nil, "bad-request"},
-		{"oversized batch", "ok-tenant", wire(tenantStream("ok-tenant", 0, 9)), "bad-request"},
-		{"bad tenant id", "no/slashes", wire(tenantStream("x", 0, 1)), "bad-tenant"},
-		{"empty tenant id", "", wire(tenantStream("x", 0, 1)), "bad-tenant"},
+		{"oversized batch", "ok-tenant", toWire(tenantStream("ok-tenant", 0, 9)), "bad-request"},
+		{"bad tenant id", "no/slashes", toWire(tenantStream("x", 0, 1)), "bad-tenant"},
+		{"empty tenant id", "", toWire(tenantStream("x", 0, 1)), "bad-tenant"},
 		{"oversized features", "ok-tenant", []observation{{Features: make([]float64, features.Dim+1)}}, "bad-request"},
 	}
 	for _, tc := range cases {
@@ -241,7 +241,7 @@ func TestServesAndCountsDecisions(t *testing.T) {
 	stream := tenantStream("solo-check", 0, 48)
 	var got []int
 	for i := 0; i < 48; i += 16 {
-		resp := mustDecide(t, ts.URL, "solo-check", wire(stream[i:i+16]))
+		resp := mustDecide(t, ts.URL, "solo-check", toWire(stream[i:i+16]))
 		got = append(got, resp.Threads...)
 		if want := int64(i + 16); resp.Decisions != want {
 			t.Fatalf("decisions after %d served = %d, want %d", i+16, resp.Decisions, want)
@@ -262,7 +262,7 @@ func TestNDJSONStreaming(t *testing.T) {
 	var body bytes.Buffer
 	enc := json.NewEncoder(&body)
 	for i := 0; i < 32; i += 8 {
-		if err := enc.Encode(decideRequest{Tenant: "ndjson-tenant", Observations: wire(stream[i : i+8])}); err != nil {
+		if err := enc.Encode(decideRequest{Tenant: "ndjson-tenant", Observations: toWire(stream[i : i+8])}); err != nil {
 			t.Fatal(err)
 		}
 	}

@@ -6,6 +6,8 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"mime"
+	"net"
 	"net/http"
 	"strconv"
 	"sync"
@@ -13,6 +15,7 @@ import (
 	"time"
 
 	"moe"
+	"moe/internal/checkpoint"
 	"moe/internal/features"
 	"moe/internal/replica"
 	"moe/internal/telemetry"
@@ -30,7 +33,20 @@ type Server struct {
 	slots   *slots
 	tn      tenants
 	metrics serverMetrics
+	stream  streamMetrics
 	jit     *jitter
+
+	// gcommit amortizes journal fsyncs across tenants when GroupCommitWindow
+	// is set (nil otherwise; stores then fsync per append as before).
+	gcommit *checkpoint.GroupCommitter
+
+	// Streaming transport state: registered listeners (ServeStream) and open
+	// sessions. Close closes listeners; Drain closes sessions last, after
+	// their in-flight frames were flushed through the inflight group.
+	sessMu     sync.Mutex
+	sessions   map[net.Conn]struct{}
+	listeners  []net.Listener
+	sessClosed bool
 
 	// Replication roles (both nil on a standalone server). A server may be
 	// both at once — a promoted standby chaining to its own standby.
@@ -76,8 +92,14 @@ func NewServer(cfg Config) (*Server, error) {
 	// mint and make the overflow visible (satellite: cardinality cap).
 	s.reg.SetSeriesLimit(cfg.MaxTenantSeries, "serve_labels_dropped_total")
 	s.metrics.init(s.reg)
+	s.stream.init(s.reg)
+	if cfg.CheckpointSync && cfg.GroupCommitWindow > 0 {
+		s.gcommit = checkpoint.NewGroupCommitter(cfg.GroupCommitWindow)
+		s.gcommit.SetMetrics(s.stream.gcFsyncs, s.stream.gcSaved)
+	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/v1/decide", s.handleDecide)
+	s.mux.HandleFunc("/v1/stream", s.handleStream)
 	s.mux.HandleFunc("/v1/tenants", s.handleTenants)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	if cfg.Standby {
@@ -101,10 +123,21 @@ func (s *Server) Handler() http.Handler { return s.mux }
 // breaker counts from it).
 func (s *Server) Registry() *telemetry.Registry { return s.reg }
 
-// Close stops the watchdog without draining. Safe to call more than once
-// and after Drain.
+// GroupCommitStats reports journal fsyncs issued and saved by the group
+// committer; zeros when group commit is off.
+func (s *Server) GroupCommitStats() (fsyncs, saved int64) {
+	if s.gcommit == nil {
+		return 0, 0
+	}
+	return s.gcommit.Stats()
+}
+
+// Close stops the watchdog and closes stream listeners without draining.
+// Safe to call more than once and after Drain. Open stream sessions are
+// left to finish (Drain closes them; a process exit kills them anyway).
 func (s *Server) Close() {
 	s.stopOnce.Do(func() { close(s.stop) })
+	s.closeStreamListeners()
 }
 
 // serverMetrics is the daemon-level serve_* family set (per-tenant series
@@ -332,7 +365,10 @@ func (s *Server) handleDecide(w http.ResponseWriter, r *http.Request) {
 	}()
 
 	deadline := s.requestDeadline(r)
-	if r.Header.Get("Content-Type") == "application/x-ndjson" {
+	// Parse the media type properly: "application/x-ndjson; charset=utf-8"
+	// is NDJSON too, and an exact string match would silently mis-route it
+	// to the single-JSON path (where the second line is trailing garbage).
+	if mt, _, err := mime.ParseMediaType(r.Header.Get("Content-Type")); err == nil && mt == "application/x-ndjson" {
 		s.serveNDJSON(w, r, deadline)
 		return
 	}
@@ -366,13 +402,21 @@ func (s *Server) serveNDJSON(w http.ResponseWriter, r *http.Request, deadline ti
 	const maxLines = 4096
 	dec := json.NewDecoder(io.LimitReader(r.Body, 64<<20))
 	var reqs []decideRequest
-	var decodeErr string
-	for len(reqs) < maxLines {
+	var decodeErr, decodeCode string
+	for {
 		var req decideRequest
 		if err := dec.Decode(&req); err != nil {
 			if !errors.Is(err, io.EOF) {
-				decodeErr = "malformed NDJSON line: " + err.Error()
+				decodeErr, decodeCode = "malformed NDJSON line: "+err.Error(), "bad-request"
 			}
+			break
+		}
+		if len(reqs) == maxLines {
+			// Never truncate silently: the client must learn its lines past
+			// the cap were not served, or it will treat the stream as fully
+			// acked. Served lines still get their responses below.
+			decodeErr = fmt.Sprintf("stream over the %d-line cap; later lines not served", maxLines)
+			decodeCode = "too-many-lines"
 			break
 		}
 		reqs = append(reqs, req)
@@ -394,7 +438,7 @@ func (s *Server) serveNDJSON(w http.ResponseWriter, r *http.Request, deadline ti
 		}
 	}
 	if decodeErr != "" {
-		enc.Encode(errorResponse{Error: decodeErr, Code: "bad-request"})
+		enc.Encode(errorResponse{Error: decodeErr, Code: decodeCode})
 	}
 }
 

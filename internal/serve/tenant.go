@@ -56,6 +56,14 @@ type tenant struct {
 	// slow); waiters bail out on their request context.
 	rebuild chan struct{}
 
+	// Streaming coalescer state: admitted frames queue on coalPending and
+	// a single flusher goroutine (alive while coalActive) drains them in
+	// merged DecideBatch groups. Guarded by coalMu, never t.mu — enqueue
+	// must stay cheap and the flusher blocks on the decision slot.
+	coalMu      sync.Mutex
+	coalPending []*streamReq
+	coalActive  bool
+
 	// Per-tenant label set. Handles are created once at registration; past
 	// the registry's cardinality cap they are detached (still usable,
 	// never exposed) and counted in serve_labels_dropped_total.
@@ -269,7 +277,11 @@ func (s *Server) buildCore(t *tenant, gen int) (core *tenantCore, degraded strin
 // standby's new lineages always supersede anything the deposed primary
 // managed to write before it was fenced.
 func (s *Server) storeOptions() checkpoint.Options {
-	return checkpoint.Options{DisableSync: !s.cfg.CheckpointSync, MinRun: int(s.promoted.Load())}
+	return checkpoint.Options{
+		DisableSync: !s.cfg.CheckpointSync,
+		MinRun:      int(s.promoted.Load()),
+		GroupCommit: s.gcommit, // nil = per-append fsync as before
+	}
 }
 
 // wireStore installs the serve-layer hooks on a freshly opened store, before
@@ -370,6 +382,15 @@ func (s *Server) commitBatch(t *tenant, core *tenantCore, reqID string, res *dec
 			t.dedup.add(entry)
 		}
 		t.mu.Unlock()
+	}
+	// With group commit attached, appends deferred their fsync; this Sync is
+	// the commit point that makes the batch (and its marker) durable before
+	// the ack. Without a committer it is a no-op.
+	if core.store != nil && cerr == nil {
+		if err := core.store.Sync(); err != nil {
+			s.logf("serve: tenant %s: group commit sync: %v", t.id, err)
+			cerr = err
+		}
 	}
 	if s.primary != nil {
 		if err := s.primary.Flush(t.id); err != nil {

@@ -1,0 +1,146 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"math"
+	"testing"
+
+	"moe"
+)
+
+// FuzzWireRoundTrip drives the codec from both ends:
+//
+//  1. The input bytes seed a structured decide request and result;
+//     decode(encode(x)) must equal x bit-for-bit.
+//  2. The raw input bytes are fed straight to the frame reader and every
+//     payload parser; hostile bytes may be rejected but must never panic,
+//     over-allocate, or be silently accepted with a bad checksum.
+func FuzzWireRoundTrip(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(AppendHello(nil))
+	f.Add(AppendDecide(nil, 3, 250, "tenant-a", "req-1", []moe.Observation{{Time: 1.5, Rate: 100, AvailableProcs: 8}}))
+	f.Add(AppendResult(nil, &Result{Seq: 1, Decisions: 7, Threads: []int{1, 2, 3}}))
+	f.Add(AppendError(nil, 2, 50, "rate", "over limit"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		roundTripFromSeed(t, data)
+		hostileNeverPanics(t, data)
+	})
+}
+
+// take reads n bytes from *data, zero-padded at the end of input.
+func take(data *[]byte, n int) []byte {
+	out := make([]byte, n)
+	m := copy(out, *data)
+	*data = (*data)[m:]
+	return out
+}
+
+func roundTripFromSeed(t *testing.T, data []byte) {
+	seq := binary.LittleEndian.Uint64(take(&data, 8))
+	deadline := binary.LittleEndian.Uint64(take(&data, 8)) % (1 << 32)
+	tenant := string(bytes.Map(printable, take(&data, int(take(&data, 1)[0])%maxTenantLen)))
+	reqID := string(bytes.Map(printable, take(&data, int(take(&data, 1)[0])%maxRequestIDLen)))
+	nobs := int(take(&data, 1)[0]) % 9
+	obs := make([]moe.Observation, nobs)
+	for i := range obs {
+		obs[i].Time = math.Float64frombits(binary.LittleEndian.Uint64(take(&data, 8)))
+		obs[i].Rate = math.Float64frombits(binary.LittleEndian.Uint64(take(&data, 8)))
+		obs[i].AvailableProcs = int(int32(binary.LittleEndian.Uint32(take(&data, 4))))
+		obs[i].RegionStart = take(&data, 1)[0]%2 == 1
+		for j := range obs[i].Features {
+			obs[i].Features[j] = math.Float64frombits(binary.LittleEndian.Uint64(take(&data, 8)))
+		}
+	}
+
+	frame := AppendDecide(nil, seq, deadline, tenant, reqID, obs)
+	kind, payload, size, err := frameAt(frame)
+	if err != nil || kind != FrameDecide || size != len(frame) {
+		t.Fatalf("own decide frame rejected: kind=%#x size=%d err=%v", kind, size, err)
+	}
+	var d Decide
+	if err := ParseDecide(payload, &d); err != nil {
+		t.Fatalf("own decide payload rejected: %v", err)
+	}
+	if d.Seq != seq || d.DeadlineMs != deadline || string(d.Tenant) != tenant || string(d.RequestID) != reqID || len(d.Obs) != nobs {
+		t.Fatalf("decide round trip mismatch: %+v", d)
+	}
+	for i := range obs {
+		a, b := obs[i], d.Obs[i]
+		if math.Float64bits(a.Time) != math.Float64bits(b.Time) ||
+			math.Float64bits(a.Rate) != math.Float64bits(b.Rate) ||
+			a.AvailableProcs != b.AvailableProcs || a.RegionStart != b.RegionStart {
+			t.Fatalf("obs %d scalar mismatch", i)
+		}
+		for j := range a.Features {
+			if math.Float64bits(a.Features[j]) != math.Float64bits(b.Features[j]) {
+				t.Fatalf("obs %d feature %d mismatch", i, j)
+			}
+		}
+	}
+
+	threads := make([]int, nobs)
+	for i := range threads {
+		threads[i] = int(int16(seq)) + i
+	}
+	rframe := AppendResult(nil, &Result{Seq: seq, Decisions: int64(deadline), Deduped: nobs%2 == 0, Threads: threads})
+	kind, payload, _, err = frameAt(rframe)
+	if err != nil || kind != FrameResult {
+		t.Fatalf("own result frame rejected: %v", err)
+	}
+	var res Result
+	if err := ParseResult(payload, &res); err != nil {
+		t.Fatalf("own result payload rejected: %v", err)
+	}
+	if res.Seq != seq || res.Decisions != int64(deadline) || len(res.Threads) != nobs {
+		t.Fatalf("result round trip mismatch: %+v", res)
+	}
+	for i := range threads {
+		if res.Threads[i] != threads[i] {
+			t.Fatalf("thread %d mismatch", i)
+		}
+	}
+}
+
+func printable(r rune) rune { return 'a' + (r % 26) }
+
+func hostileNeverPanics(t *testing.T, data []byte) {
+	rd := NewReader(bytes.NewReader(data))
+	var d Decide
+	var res Result
+	var e Error
+	for i := 0; i < 64; i++ {
+		kind, payload, _, err := rd.Next()
+		if err != nil {
+			break
+		}
+		// Whatever the reader accepted passed the checksum; the payload
+		// parsers must classify it without panicking either way.
+		switch kind {
+		case FrameHello:
+			_, _ = ParseHello(payload)
+		case FrameDecide:
+			_ = ParseDecide(payload, &d)
+		case FrameResult:
+			_ = ParseResult(payload, &res)
+		case FrameError:
+			_ = ParseError(payload, &e)
+		}
+	}
+	// The parsers must also survive raw bytes that never passed framing.
+	_ = ParseDecide(data, &d)
+	_ = ParseResult(data, &res)
+	_ = ParseError(data, &e)
+	_, _ = ParseHello(data)
+	_ = HelloPrefix(data)
+	_, _, _, _ = frameAt(data)
+	// And a reader over an interrupted stream must end, not hang or panic.
+	short := io.LimitReader(bytes.NewReader(data), int64(len(data)/2))
+	srd := NewReader(short)
+	for {
+		if _, _, _, err := srd.Next(); err != nil {
+			break
+		}
+	}
+}

@@ -1,0 +1,464 @@
+// Package wire is the binary framing for the streaming decide transport:
+// the precompiled fast path the JSON API demotes from. It follows the
+// checkpoint record conventions — a length prefix, a kind byte, and a
+// CRC-32C trailer over everything the length covers — so a reader can
+// decide for any byte prefix whether it starts a complete, uncorrupted
+// frame, and reject everything else (torn tail, bit-flip, foreign bytes,
+// version skew) without interpreting it.
+//
+// Frame layout (integers little-endian):
+//
+//	length  u32      byte count of kind‖payload (length and crc excluded)
+//	kind    byte     frame kind
+//	payload [length-1]byte
+//	crc     u32      CRC-32C over kind‖payload
+//
+// Payloads use the checkpoint codec idiom: uvarint/varint integers,
+// uvarint-length-prefixed byte strings, fixed 8-byte IEEE-754 floats so
+// every observation field round-trips bit-identically.
+//
+// Both directions are allocation-free in steady state: encoders append
+// into a caller-owned buffer, decoders parse into caller-owned structs
+// whose byte-slice fields alias the frame buffer (valid until the next
+// frame is read) and whose slices are reused across frames.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+
+	"moe"
+	"moe/internal/features"
+)
+
+// Version is the protocol version carried in the hello frame. A session
+// opens with each side sending hello; version skew is refused with a typed
+// error frame, never misinterpreted.
+const Version = 1
+
+// Frame kinds.
+const (
+	// FrameHello opens a session in both directions: magic + version.
+	FrameHello = 0x01
+	// FrameDecide is a client decide request (one batch of observations).
+	FrameDecide = 0x02
+	// FrameResult is the server's successful answer to one decide frame.
+	FrameResult = 0x03
+	// FrameError is the server's per-frame refusal — the wire spelling of
+	// the HTTP error ladder (429/503/504 become codes, not statuses).
+	FrameError = 0x04
+)
+
+// helloMagic opens every hello payload; it is deliberately different from
+// the checkpoint record magic ("MOEC") so a journal can never be mistaken
+// for a session and vice versa.
+var helloMagic = [4]byte{'M', 'O', 'E', 'W'}
+
+// MaxFrame bounds kind+payload so a corrupt or hostile length field cannot
+// demand an absurd allocation. A max-batch decide frame (1024 observations,
+// full feature vectors) is ~100 KiB; 4 MiB is ample headroom.
+const MaxFrame = 4 << 20
+
+// Field caps, matching what the serving layer will accept anyway: tenants
+// are capped at 64 bytes by the tenant ID grammar, request IDs at 128 by
+// the serve layer and 256 by the checkpoint journal. The wire enforces the
+// loosest layer's bound; the server applies its own on top.
+const (
+	maxTenantLen    = 256
+	maxRequestIDLen = 256
+	maxErrStringLen = 1 << 10
+)
+
+// ErrBadFrame is wrapped by every framing rejection. A session that sees
+// one mid-stream must close: after a framing defect the byte stream has no
+// recoverable record boundary.
+var ErrBadFrame = errors.New("wire: bad frame")
+
+// ErrVersion reports a well-framed hello from an incompatible protocol
+// version — refuse the session, do not demote (the peer speaks wire, just
+// not ours).
+var ErrVersion = errors.New("wire: unsupported version")
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// Decide is a parsed decide frame. Tenant and RequestID alias the frame
+// buffer (copy to retain past the next read); Obs reuses its backing array
+// across parses into the same struct.
+type Decide struct {
+	Seq        uint64
+	DeadlineMs uint64
+	Tenant     []byte
+	RequestID  []byte
+	Obs        []moe.Observation
+}
+
+// Result is a parsed result frame. Threads reuses its backing array across
+// parses into the same struct.
+type Result struct {
+	Seq       uint64
+	Decisions int64
+	Deduped   bool
+	Threads   []int
+}
+
+// Error is a parsed error frame. Code and Msg alias the frame buffer.
+type Error struct {
+	Seq          uint64
+	RetryAfterMs int64
+	Code         []byte
+	Msg          []byte
+}
+
+// beginFrame reserves the length prefix and writes the kind byte; endFrame
+// backfills the length and appends the CRC. Everything appended between the
+// two calls is the payload.
+func beginFrame(b []byte, kind byte) ([]byte, int) {
+	mark := len(b)
+	return append(b, 0, 0, 0, 0, kind), mark
+}
+
+func endFrame(b []byte, mark int) []byte {
+	body := b[mark+4:] // kind‖payload
+	binary.LittleEndian.PutUint32(b[mark:], uint32(len(body)))
+	return binary.LittleEndian.AppendUint32(b, crc32.Checksum(body, crcTable))
+}
+
+func appendBytes(b []byte, s string) []byte {
+	b = binary.AppendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+func appendF64(b []byte, v float64) []byte {
+	return binary.LittleEndian.AppendUint64(b, math.Float64bits(v))
+}
+
+func appendBool(b []byte, v bool) []byte {
+	if v {
+		return append(b, 1)
+	}
+	return append(b, 0)
+}
+
+// AppendHello appends a hello frame.
+func AppendHello(b []byte) []byte {
+	b, mark := beginFrame(b, FrameHello)
+	b = append(b, helloMagic[:]...)
+	b = append(b, Version)
+	return endFrame(b, mark)
+}
+
+// AppendDecide appends one decide frame. deadlineMs 0 lets the server pick
+// its default deadline; requestID "" skips idempotency.
+func AppendDecide(b []byte, seq, deadlineMs uint64, tenant, requestID string, obs []moe.Observation) []byte {
+	b, mark := beginFrame(b, FrameDecide)
+	b = binary.AppendUvarint(b, seq)
+	b = binary.AppendUvarint(b, deadlineMs)
+	b = appendBytes(b, tenant)
+	b = appendBytes(b, requestID)
+	b = binary.AppendUvarint(b, uint64(len(obs)))
+	for i := range obs {
+		o := &obs[i]
+		b = appendF64(b, o.Time)
+		b = appendF64(b, o.Rate)
+		b = binary.AppendVarint(b, int64(o.AvailableProcs))
+		b = appendBool(b, o.RegionStart)
+		b = binary.AppendUvarint(b, uint64(len(o.Features)))
+		for _, f := range o.Features {
+			b = appendF64(b, f)
+		}
+	}
+	return endFrame(b, mark)
+}
+
+// AppendResult appends one result frame.
+func AppendResult(b []byte, r *Result) []byte {
+	b, mark := beginFrame(b, FrameResult)
+	b = binary.AppendUvarint(b, r.Seq)
+	b = binary.AppendVarint(b, r.Decisions)
+	b = appendBool(b, r.Deduped)
+	b = binary.AppendUvarint(b, uint64(len(r.Threads)))
+	for _, t := range r.Threads {
+		b = binary.AppendVarint(b, int64(t))
+	}
+	return endFrame(b, mark)
+}
+
+// AppendError appends one error frame.
+func AppendError(b []byte, seq uint64, retryAfterMs int64, code, msg string) []byte {
+	b, mark := beginFrame(b, FrameError)
+	b = binary.AppendUvarint(b, seq)
+	b = binary.AppendVarint(b, retryAfterMs)
+	b = appendBytes(b, code)
+	b = appendBytes(b, msg)
+	return endFrame(b, mark)
+}
+
+// cur is the bounds-checked payload cursor: every read validates the
+// remaining input and latches the first error, so parsing arbitrary bytes
+// can never panic or over-allocate (the checkpoint dec idiom, with
+// zero-copy byte strings).
+type cur struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (c *cur) fail(err error) {
+	if c.err == nil {
+		c.err = err
+	}
+}
+
+func (c *cur) remaining() int { return len(c.b) - c.off }
+
+func (c *cur) u64() uint64 {
+	if c.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(c.b[c.off:])
+	if n <= 0 {
+		c.fail(fmt.Errorf("%w: truncated uvarint", ErrBadFrame))
+		return 0
+	}
+	c.off += n
+	return v
+}
+
+func (c *cur) i64() int64 {
+	if c.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(c.b[c.off:])
+	if n <= 0 {
+		c.fail(fmt.Errorf("%w: truncated varint", ErrBadFrame))
+		return 0
+	}
+	c.off += n
+	return v
+}
+
+func (c *cur) f64() float64 {
+	if c.err != nil {
+		return 0
+	}
+	if c.remaining() < 8 {
+		c.fail(fmt.Errorf("%w: truncated float", ErrBadFrame))
+		return 0
+	}
+	v := math.Float64frombits(binary.LittleEndian.Uint64(c.b[c.off:]))
+	c.off += 8
+	return v
+}
+
+func (c *cur) bool() bool {
+	if c.err != nil {
+		return false
+	}
+	if c.remaining() < 1 {
+		c.fail(fmt.Errorf("%w: truncated bool", ErrBadFrame))
+		return false
+	}
+	v := c.b[c.off]
+	c.off++
+	switch v {
+	case 0:
+		return false
+	case 1:
+		return true
+	default:
+		c.fail(fmt.Errorf("%w: invalid bool byte %d", ErrBadFrame, v))
+		return false
+	}
+}
+
+// bytes returns a length-prefixed byte string aliasing the payload.
+func (c *cur) bytes(maxLen int) []byte {
+	n := c.u64()
+	if c.err != nil {
+		return nil
+	}
+	if n > uint64(maxLen) || n > uint64(c.remaining()) {
+		c.fail(fmt.Errorf("%w: byte string length %d over limit", ErrBadFrame, n))
+		return nil
+	}
+	s := c.b[c.off : c.off+int(n) : c.off+int(n)]
+	c.off += int(n)
+	return s
+}
+
+func (c *cur) done() error {
+	if c.err != nil {
+		return c.err
+	}
+	if c.remaining() != 0 {
+		return fmt.Errorf("%w: %d trailing payload bytes", ErrBadFrame, c.remaining())
+	}
+	return nil
+}
+
+// ParseHello validates a hello payload and returns the peer's version.
+// A malformed hello yields ErrBadFrame (the peer is not speaking wire —
+// demote); a well-formed hello of another version yields ErrVersion
+// (refuse, do not demote).
+func ParseHello(payload []byte) (byte, error) {
+	if len(payload) != len(helloMagic)+1 {
+		return 0, fmt.Errorf("%w: hello payload of %d bytes", ErrBadFrame, len(payload))
+	}
+	for i, m := range helloMagic {
+		if payload[i] != m {
+			return 0, fmt.Errorf("%w: wrong hello magic", ErrBadFrame)
+		}
+	}
+	v := payload[len(helloMagic)]
+	if v != Version {
+		return v, fmt.Errorf("%w: peer speaks version %d, want %d", ErrVersion, v, Version)
+	}
+	return v, nil
+}
+
+// minObsBytes is the smallest possible encoded observation (two floats, a
+// varint, a bool, a zero feature count); hostile observation counts are
+// bounded against it before anything is grown.
+const minObsBytes = 8 + 8 + 1 + 1 + 1
+
+// ParseDecide parses a decide payload into d, reusing d.Obs's backing
+// array. Tenant and RequestID alias payload.
+func ParseDecide(payload []byte, d *Decide) error {
+	c := cur{b: payload}
+	d.Seq = c.u64()
+	d.DeadlineMs = c.u64()
+	d.Tenant = c.bytes(maxTenantLen)
+	d.RequestID = c.bytes(maxRequestIDLen)
+	n := c.u64()
+	if c.err == nil && n > uint64(c.remaining()/minObsBytes) {
+		c.fail(fmt.Errorf("%w: observation count %d exceeds payload", ErrBadFrame, n))
+	}
+	d.Obs = d.Obs[:0]
+	for i := uint64(0); i < n && c.err == nil; i++ {
+		var o moe.Observation
+		o.Time = c.f64()
+		o.Rate = c.f64()
+		ap := c.i64()
+		if c.err == nil && (ap < math.MinInt32 || ap > math.MaxInt32) {
+			c.fail(fmt.Errorf("%w: available_procs %d out of range", ErrBadFrame, ap))
+		}
+		o.AvailableProcs = int(ap)
+		o.RegionStart = c.bool()
+		nf := c.u64()
+		if c.err == nil && nf > features.Dim {
+			c.fail(fmt.Errorf("%w: %d features, max %d", ErrBadFrame, nf, features.Dim))
+		}
+		for j := uint64(0); j < nf && c.err == nil; j++ {
+			o.Features[j] = c.f64()
+		}
+		if c.err == nil {
+			d.Obs = append(d.Obs, o)
+		}
+	}
+	return c.done()
+}
+
+// maxThreadsPerResult bounds a result's thread list (one decision per
+// observation, so the decide batch cap is the natural ceiling).
+const maxThreadsPerResult = 1 << 16
+
+// ParseResult parses a result payload into r, reusing r.Threads's backing
+// array.
+func ParseResult(payload []byte, r *Result) error {
+	c := cur{b: payload}
+	r.Seq = c.u64()
+	r.Decisions = c.i64()
+	r.Deduped = c.bool()
+	n := c.u64()
+	if c.err == nil && (n > maxThreadsPerResult || n > uint64(c.remaining())) {
+		c.fail(fmt.Errorf("%w: thread count %d exceeds payload", ErrBadFrame, n))
+	}
+	r.Threads = r.Threads[:0]
+	for i := uint64(0); i < n && c.err == nil; i++ {
+		v := c.i64()
+		if c.err == nil {
+			r.Threads = append(r.Threads, int(v))
+		}
+	}
+	return c.done()
+}
+
+// ParseError parses an error payload into e. Code and Msg alias payload.
+func ParseError(payload []byte, e *Error) error {
+	c := cur{b: payload}
+	e.Seq = c.u64()
+	e.RetryAfterMs = c.i64()
+	e.Code = c.bytes(maxErrStringLen)
+	e.Msg = c.bytes(maxErrStringLen)
+	return c.done()
+}
+
+// Reader reads frames off a byte stream into one reusable buffer. The
+// returned payload aliases that buffer and is valid until the next call.
+type Reader struct {
+	r   io.Reader
+	buf []byte
+	hdr [4]byte
+}
+
+// NewReader wraps r (callers hand it something buffered; Reader issues two
+// reads per frame).
+func NewReader(r io.Reader) *Reader { return &Reader{r: r} }
+
+// Next reads one frame: kind, payload (aliasing the internal buffer), and
+// the total bytes consumed off the stream. A clean EOF at a frame boundary
+// returns io.EOF; a partial frame returns io.ErrUnexpectedEOF; any framing
+// defect returns an error wrapping ErrBadFrame — after which the stream has
+// no recoverable frame boundary and the session must close.
+func (rd *Reader) Next() (kind byte, payload []byte, size int, err error) {
+	if _, err := io.ReadFull(rd.r, rd.hdr[:]); err != nil {
+		if errors.Is(err, io.EOF) {
+			return 0, nil, 0, io.EOF
+		}
+		return 0, nil, 0, err
+	}
+	n := binary.LittleEndian.Uint32(rd.hdr[:])
+	if n < 1 || n > MaxFrame {
+		return 0, nil, 0, fmt.Errorf("%w: frame length %d", ErrBadFrame, n)
+	}
+	need := int(n) + 4 // kind‖payload plus the crc trailer
+	if cap(rd.buf) < need {
+		rd.buf = make([]byte, need)
+	}
+	rd.buf = rd.buf[:need]
+	if _, err := io.ReadFull(rd.r, rd.buf); err != nil {
+		if errors.Is(err, io.EOF) {
+			return 0, nil, 0, io.ErrUnexpectedEOF
+		}
+		return 0, nil, 0, err
+	}
+	body := rd.buf[:n]
+	want := binary.LittleEndian.Uint32(rd.buf[n:])
+	if got := crc32.Checksum(body, crcTable); got != want {
+		return 0, nil, 0, fmt.Errorf("%w: checksum mismatch (%08x != %08x)", ErrBadFrame, got, want)
+	}
+	return body[0], body[1:], 4 + need, nil
+}
+
+// HelloPrefix reports whether b (the first bytes of a stream) could be the
+// start of a valid hello frame. The serving layer peeks this before
+// committing to the wire protocol: anything else on the first bytes —
+// typically a '{' from a client posting JSON at the stream endpoint — is
+// demoted to the JSON ladder instead of being rejected byte by byte.
+func HelloPrefix(b []byte) bool {
+	// A hello frame is exactly: len=6 | kind | magic | version | crc.
+	want := [9]byte{6, 0, 0, 0, FrameHello, helloMagic[0], helloMagic[1], helloMagic[2], helloMagic[3]}
+	if len(b) > len(want) {
+		b = b[:len(want)]
+	}
+	for i := range b {
+		if b[i] != want[i] {
+			return false
+		}
+	}
+	return true
+}

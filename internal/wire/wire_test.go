@@ -1,0 +1,297 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"io"
+	"math"
+	"testing"
+
+	"moe"
+)
+
+func testObs(k int) moe.Observation {
+	o := moe.Observation{
+		Time:           0.25 * float64(k),
+		Rate:           100 + float64(k%13),
+		RegionStart:    k%4 == 0,
+		AvailableProcs: 16,
+	}
+	for j := range o.Features {
+		o.Features[j] = 0.15*float64(j+1) + 0.02*float64((k*7+j*3)%11)
+	}
+	return o
+}
+
+func TestHelloRoundTrip(t *testing.T) {
+	b := AppendHello(nil)
+	rd := NewReader(bytes.NewReader(b))
+	kind, payload, size, err := rd.Next()
+	if err != nil {
+		t.Fatalf("Next: %v", err)
+	}
+	if kind != FrameHello {
+		t.Fatalf("kind = %#x, want hello", kind)
+	}
+	if size != len(b) {
+		t.Fatalf("size = %d, want %d", size, len(b))
+	}
+	v, err := ParseHello(payload)
+	if err != nil {
+		t.Fatalf("ParseHello: %v", err)
+	}
+	if v != Version {
+		t.Fatalf("version = %d, want %d", v, Version)
+	}
+}
+
+func TestHelloVersionSkew(t *testing.T) {
+	b := AppendHello(nil)
+	// Rewrite the version byte and fix up the checksum the way a future
+	// peer would: a well-formed frame of another version.
+	body := b[4 : len(b)-4]
+	body[len(body)-1] = Version + 1
+	binary.LittleEndian.PutUint32(b[len(b)-4:], crcSum(body))
+	rd := NewReader(bytes.NewReader(b))
+	_, payload, _, err := rd.Next()
+	if err != nil {
+		t.Fatalf("Next: %v", err)
+	}
+	if _, err := ParseHello(payload); !errors.Is(err, ErrVersion) {
+		t.Fatalf("ParseHello = %v, want ErrVersion", err)
+	}
+}
+
+func crcSum(b []byte) uint32 { return crc32.Checksum(b, crcTable) }
+
+func TestDecideRoundTrip(t *testing.T) {
+	obs := make([]moe.Observation, 7)
+	for k := range obs {
+		obs[k] = testObs(k)
+	}
+	// Hostile-friendly floats must survive bit-identically.
+	obs[2].Time = math.NaN()
+	obs[3].Rate = math.Inf(1)
+	obs[4].Features[0] = math.Copysign(0, -1)
+	b := AppendDecide(nil, 42, 1500, "tenant-a", "req-001", obs)
+
+	rd := NewReader(bytes.NewReader(b))
+	kind, payload, _, err := rd.Next()
+	if err != nil || kind != FrameDecide {
+		t.Fatalf("Next: kind=%#x err=%v", kind, err)
+	}
+	var d Decide
+	if err := ParseDecide(payload, &d); err != nil {
+		t.Fatalf("ParseDecide: %v", err)
+	}
+	if d.Seq != 42 || d.DeadlineMs != 1500 {
+		t.Fatalf("seq/deadline = %d/%d", d.Seq, d.DeadlineMs)
+	}
+	if string(d.Tenant) != "tenant-a" || string(d.RequestID) != "req-001" {
+		t.Fatalf("tenant/id = %q/%q", d.Tenant, d.RequestID)
+	}
+	if len(d.Obs) != len(obs) {
+		t.Fatalf("obs count = %d, want %d", len(d.Obs), len(obs))
+	}
+	for i := range obs {
+		want, got := obs[i], d.Obs[i]
+		if math.Float64bits(want.Time) != math.Float64bits(got.Time) ||
+			math.Float64bits(want.Rate) != math.Float64bits(got.Rate) ||
+			want.RegionStart != got.RegionStart || want.AvailableProcs != got.AvailableProcs {
+			t.Fatalf("obs %d scalar mismatch: %+v vs %+v", i, want, got)
+		}
+		for j := range want.Features {
+			if math.Float64bits(want.Features[j]) != math.Float64bits(got.Features[j]) {
+				t.Fatalf("obs %d feature %d mismatch", i, j)
+			}
+		}
+	}
+}
+
+func TestResultErrorRoundTrip(t *testing.T) {
+	b := AppendResult(nil, &Result{Seq: 9, Decisions: 1234, Deduped: true, Threads: []int{1, 8, 16, 3}})
+	b = AppendError(b, 10, 250, "rate", "request rate over limit")
+
+	rd := NewReader(bytes.NewReader(b))
+	kind, payload, _, err := rd.Next()
+	if err != nil || kind != FrameResult {
+		t.Fatalf("Next: kind=%#x err=%v", kind, err)
+	}
+	var res Result
+	if err := ParseResult(payload, &res); err != nil {
+		t.Fatalf("ParseResult: %v", err)
+	}
+	if res.Seq != 9 || res.Decisions != 1234 || !res.Deduped {
+		t.Fatalf("result = %+v", res)
+	}
+	if len(res.Threads) != 4 || res.Threads[0] != 1 || res.Threads[3] != 3 {
+		t.Fatalf("threads = %v", res.Threads)
+	}
+
+	kind, payload, _, err = rd.Next()
+	if err != nil || kind != FrameError {
+		t.Fatalf("Next: kind=%#x err=%v", kind, err)
+	}
+	var e Error
+	if err := ParseError(payload, &e); err != nil {
+		t.Fatalf("ParseError: %v", err)
+	}
+	if e.Seq != 10 || e.RetryAfterMs != 250 || string(e.Code) != "rate" || string(e.Msg) != "request rate over limit" {
+		t.Fatalf("error = %+v", e)
+	}
+
+	if _, _, _, err := rd.Next(); !errors.Is(err, io.EOF) {
+		t.Fatalf("want clean EOF, got %v", err)
+	}
+}
+
+func TestReaderRejectsCorruption(t *testing.T) {
+	good := AppendDecide(nil, 1, 0, "t", "", []moe.Observation{testObs(0)})
+
+	// Flip one payload byte: checksum must catch it.
+	flipped := append([]byte(nil), good...)
+	flipped[10] ^= 0x40
+	if _, _, _, err := NewReader(bytes.NewReader(flipped)).Next(); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("bit flip: err = %v, want ErrBadFrame", err)
+	}
+
+	// Zero length and absurd length are rejected before any allocation.
+	for _, n := range []uint32{0, MaxFrame + 1, math.MaxUint32} {
+		hostile := append([]byte(nil), good...)
+		binary.LittleEndian.PutUint32(hostile, n)
+		if _, _, _, err := NewReader(bytes.NewReader(hostile)).Next(); !errors.Is(err, ErrBadFrame) {
+			t.Fatalf("length %d: err = %v, want ErrBadFrame", n, err)
+		}
+	}
+
+	// Every truncation point is a partial frame, never a panic.
+	for cut := 1; cut < len(good); cut++ {
+		_, _, _, err := NewReader(bytes.NewReader(good[:cut])).Next()
+		if err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+
+	// A decide payload claiming more observations than its bytes can hold.
+	var d Decide
+	b := binary.AppendUvarint(nil, 1)              // seq
+	b = binary.AppendUvarint(b, 0)                 // deadline
+	b = append(b, 1, 't')                          // tenant
+	b = append(b, 0)                               // request id
+	b = binary.AppendUvarint(b, math.MaxUint32>>1) // hostile obs count
+	if err := ParseDecide(b, &d); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("hostile count: err = %v, want ErrBadFrame", err)
+	}
+}
+
+func TestHelloPrefix(t *testing.T) {
+	hello := AppendHello(nil)
+	if !HelloPrefix(hello) {
+		t.Fatal("hello frame not recognized")
+	}
+	for cut := 0; cut <= 9; cut++ {
+		if !HelloPrefix(hello[:cut]) {
+			t.Fatalf("hello prefix of %d bytes not recognized", cut)
+		}
+	}
+	if HelloPrefix([]byte(`{"tenant":"a"}`)) {
+		t.Fatal("JSON body mistaken for hello")
+	}
+	if HelloPrefix(AppendDecide(nil, 1, 0, "t", "", []moe.Observation{testObs(0)})) {
+		t.Fatal("decide frame mistaken for hello")
+	}
+}
+
+// TestWireRoundTripSteadyStateAllocs pins both directions of the codec at
+// zero allocations once buffers are warm — the bar bench-smoke enforces.
+func TestWireRoundTripSteadyStateAllocs(t *testing.T) {
+	obs := make([]moe.Observation, 4)
+	for k := range obs {
+		obs[k] = testObs(k)
+	}
+	var buf []byte
+	var d Decide
+	var res Result
+	resIn := Result{Seq: 7, Decisions: 99, Threads: []int{4, 8, 12, 16}}
+	// Warm the reusable buffers once.
+	buf = AppendDecide(buf[:0], 1, 0, "tenant-a", "req", obs)
+	buf = AppendResult(buf, &resIn)
+	allocs := testing.AllocsPerRun(100, func() {
+		buf = AppendDecide(buf[:0], 1, 0, "tenant-a", "req", obs)
+		kind, payload, size, err := frameAt(buf)
+		if err != nil || kind != FrameDecide {
+			t.Fatalf("frame: %v", err)
+		}
+		if err := ParseDecide(payload, &d); err != nil {
+			t.Fatal(err)
+		}
+		buf = AppendResult(buf[:size], &resIn)
+		kind, payload, _, err = frameAt(buf[size:])
+		if err != nil || kind != FrameResult {
+			t.Fatalf("frame: %v", err)
+		}
+		if err := ParseResult(payload, &res); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("wire round trip allocates %.1f/op in steady state, want 0", allocs)
+	}
+}
+
+// frameAt parses one frame at the start of b without a Reader (test-side
+// helper mirroring Reader.Next's validation on an in-memory buffer).
+func frameAt(b []byte) (kind byte, payload []byte, size int, err error) {
+	if len(b) < 4 {
+		return 0, nil, 0, io.ErrUnexpectedEOF
+	}
+	n := binary.LittleEndian.Uint32(b)
+	if n < 1 || n > MaxFrame {
+		return 0, nil, 0, ErrBadFrame
+	}
+	if len(b) < int(4+n+4) {
+		return 0, nil, 0, io.ErrUnexpectedEOF
+	}
+	body := b[4 : 4+n]
+	want := binary.LittleEndian.Uint32(b[4+n:])
+	if crcSum(body) != want {
+		return 0, nil, 0, ErrBadFrame
+	}
+	return body[0], body[1:], int(4 + n + 4), nil
+}
+
+// BenchmarkWireRoundTrip is the bench-smoke guard: encode one 4-observation
+// decide frame, parse it back, encode its result, parse that back — all
+// into reused buffers. allocs/op must be 0.
+func BenchmarkWireRoundTrip(b *testing.B) {
+	obs := make([]moe.Observation, 4)
+	for k := range obs {
+		obs[k] = testObs(k)
+	}
+	var buf []byte
+	var d Decide
+	var res Result
+	resIn := Result{Seq: 7, Decisions: 99, Threads: []int{4, 8, 12, 16}}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = AppendDecide(buf[:0], uint64(i), 0, "tenant-a", "req", obs)
+		kind, payload, size, err := frameAt(buf)
+		if err != nil || kind != FrameDecide {
+			b.Fatalf("frame: %v", err)
+		}
+		if err := ParseDecide(payload, &d); err != nil {
+			b.Fatal(err)
+		}
+		buf = AppendResult(buf[:size], &resIn)
+		kind, payload, _, err = frameAt(buf[size:])
+		if err != nil || kind != FrameResult {
+			b.Fatalf("frame: %v", err)
+		}
+		if err := ParseResult(payload, &res); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,272 @@
+// Package moeclient is the wire-protocol client for the moed streaming
+// transport (DESIGN.md §16): one TCP or upgraded-HTTP connection carrying
+// length-prefixed, CRC-framed decide requests and responses, pipelined —
+// many requests may be in flight before the first response arrives, which
+// is what lets the server's per-tenant coalescer merge them into shared
+// DecideBatch commits.
+//
+// The client is deliberately small: Send queues a frame, Flush pushes the
+// buffer, Recv blocks for the next response (responses come back in frame
+// arrival order), and Do is the synchronous convenience wrapper. A Client
+// is safe for one writer goroutine plus one reader goroutine (the usual
+// pipelining split); it is not a connection pool.
+package moeclient
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"net/url"
+	"strings"
+	"time"
+
+	"moe"
+	"moe/internal/wire"
+)
+
+// Response is one decide outcome, either a result or a typed refusal.
+type Response struct {
+	Seq       uint64
+	Decisions int64
+	Threads   []int
+	Deduped   bool
+	// Err is non-nil for an error frame; it is a *ServerError carrying the
+	// typed code (rate, capacity, deadline-exceeded, quarantined, ...).
+	Err error
+}
+
+// ServerError is a typed refusal from the server.
+type ServerError struct {
+	Code       string
+	Msg        string
+	RetryAfter time.Duration
+	Seq        uint64
+}
+
+func (e *ServerError) Error() string {
+	return fmt.Sprintf("moed: %s: %s", e.Code, e.Msg)
+}
+
+// Client is one streaming session.
+type Client struct {
+	conn net.Conn
+	bw   *bufio.Writer
+	rd   *wire.Reader
+	wbuf []byte
+	res  wire.Result
+	werr error
+}
+
+// Dial opens a wire session against a raw TCP stream listener
+// (moed -stream-addr).
+func Dial(addr string, timeout time.Duration) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	return handshake(conn)
+}
+
+// DialHTTP opens a wire session by upgrading POST /v1/stream on an HTTP
+// base URL (http://host:port). The upgrade is a raw 101 exchange on a
+// plain TCP connection; the session then speaks frames both ways.
+func DialHTTP(baseURL string, timeout time.Duration) (*Client, error) {
+	u, err := url.Parse(baseURL)
+	if err != nil {
+		return nil, err
+	}
+	if u.Scheme != "http" {
+		return nil, fmt.Errorf("moeclient: unsupported scheme %q (http only)", u.Scheme)
+	}
+	host := u.Host
+	if u.Port() == "" {
+		host = net.JoinHostPort(u.Host, "80")
+	}
+	conn, err := net.DialTimeout("tcp", host, timeout)
+	if err != nil {
+		return nil, err
+	}
+	req := "POST /v1/stream HTTP/1.1\r\nHost: " + u.Host +
+		"\r\nConnection: Upgrade\r\nUpgrade: moe-wire/1\r\nContent-Length: 0\r\n\r\n"
+	if _, err := conn.Write([]byte(req)); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	br := bufio.NewReaderSize(conn, 64<<10)
+	status, err := br.ReadString('\n')
+	if err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("moeclient: reading upgrade status: %w", err)
+	}
+	if !strings.Contains(status, " 101 ") {
+		conn.Close()
+		return nil, fmt.Errorf("moeclient: upgrade refused: %s", strings.TrimSpace(status))
+	}
+	for { // drain response headers to the blank line; frames follow
+		line, err := br.ReadString('\n')
+		if err != nil {
+			conn.Close()
+			return nil, fmt.Errorf("moeclient: reading upgrade headers: %w", err)
+		}
+		if line == "\r\n" || line == "\n" {
+			break
+		}
+	}
+	return handshakeBuffered(conn, br)
+}
+
+// FromConn wraps an already-connected stream without performing the
+// handshake — for harnesses that speak their own (possibly hostile) hello.
+func FromConn(conn net.Conn) *Client {
+	return &Client{
+		conn: conn,
+		bw:   bufio.NewWriterSize(conn, 64<<10),
+		rd:   wire.NewReader(bufio.NewReaderSize(conn, 64<<10)),
+	}
+}
+
+// SendRaw queues raw bytes on the session and flushes them — hostile-frame
+// test harnesses only; a misframed write desyncs the session by design.
+func (c *Client) SendRaw(b []byte) error {
+	if c.werr != nil {
+		return c.werr
+	}
+	if _, err := c.bw.Write(b); err != nil {
+		c.werr = err
+		return err
+	}
+	return c.Flush()
+}
+
+func handshake(conn net.Conn) (*Client, error) {
+	return handshakeBuffered(conn, bufio.NewReaderSize(conn, 64<<10))
+}
+
+func handshakeBuffered(conn net.Conn, br *bufio.Reader) (*Client, error) {
+	c := &Client{conn: conn, bw: bufio.NewWriterSize(conn, 64<<10), rd: wire.NewReader(br)}
+	c.wbuf = wire.AppendHello(c.wbuf[:0])
+	if _, err := c.bw.Write(c.wbuf); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	if err := c.bw.Flush(); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	kind, payload, _, err := c.rd.Next()
+	if err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("moeclient: reading server hello: %w", err)
+	}
+	switch kind {
+	case wire.FrameHello:
+		if _, err := wire.ParseHello(payload); err != nil {
+			conn.Close()
+			return nil, fmt.Errorf("moeclient: server hello: %w", err)
+		}
+	case wire.FrameError:
+		var e wire.Error
+		if perr := wire.ParseError(payload, &e); perr == nil {
+			conn.Close()
+			return nil, &ServerError{Code: string(e.Code), Msg: string(e.Msg), Seq: e.Seq}
+		}
+		fallthrough
+	default:
+		conn.Close()
+		return nil, fmt.Errorf("moeclient: unexpected handshake frame kind %#x", kind)
+	}
+	return c, nil
+}
+
+// Send queues one decide frame without flushing; pair with Flush (or rely
+// on a following Do). seq is echoed back in the matching response; with
+// pipelining, responses arrive in Send order. deadlineMs of 0 takes the
+// server default.
+func (c *Client) Send(seq, deadlineMs uint64, tenant, requestID string, obs []moe.Observation) error {
+	if c.werr != nil {
+		return c.werr
+	}
+	c.wbuf = wire.AppendDecide(c.wbuf[:0], seq, deadlineMs, tenant, requestID, obs)
+	if _, err := c.bw.Write(c.wbuf); err != nil {
+		c.werr = err
+		return err
+	}
+	return nil
+}
+
+// Flush pushes every queued frame to the connection.
+func (c *Client) Flush() error {
+	if c.werr != nil {
+		return c.werr
+	}
+	if err := c.bw.Flush(); err != nil {
+		c.werr = err
+		return err
+	}
+	return nil
+}
+
+// Recv blocks for the next response frame. The returned Response's Threads
+// slice is owned by the caller; a *ServerError in Err is a per-request
+// refusal, not a session failure (the session stays usable). A transport
+// or framing error is returned as the function error and ends the session.
+func (c *Client) Recv() (*Response, error) {
+	for {
+		kind, payload, _, err := c.rd.Next()
+		if err != nil {
+			return nil, err
+		}
+		switch kind {
+		case wire.FrameResult:
+			if err := wire.ParseResult(payload, &c.res); err != nil {
+				return nil, err
+			}
+			out := &Response{
+				Seq:       c.res.Seq,
+				Decisions: c.res.Decisions,
+				Deduped:   c.res.Deduped,
+				Threads:   append([]int(nil), c.res.Threads...),
+			}
+			return out, nil
+		case wire.FrameError:
+			var e wire.Error
+			if err := wire.ParseError(payload, &e); err != nil {
+				return nil, err
+			}
+			return &Response{Seq: e.Seq, Err: &ServerError{
+				Code:       string(e.Code),
+				Msg:        string(e.Msg),
+				RetryAfter: time.Duration(e.RetryAfterMs) * time.Millisecond,
+				Seq:        e.Seq,
+			}}, nil
+		case wire.FrameHello:
+			// Tolerated mid-stream; keep reading.
+		default:
+			return nil, fmt.Errorf("moeclient: unexpected frame kind %#x", kind)
+		}
+	}
+}
+
+// Do is the synchronous round trip: Send + Flush + Recv. Do not mix with
+// in-flight pipelined requests on other goroutines.
+func (c *Client) Do(seq, deadlineMs uint64, tenant, requestID string, obs []moe.Observation) (*Response, error) {
+	if err := c.Send(seq, deadlineMs, tenant, requestID, obs); err != nil {
+		return nil, err
+	}
+	if err := c.Flush(); err != nil {
+		return nil, err
+	}
+	return c.Recv()
+}
+
+// Close flushes and closes the session. The server drains any responses
+// still owed to earlier frames into the closed connection harmlessly.
+func (c *Client) Close() error {
+	ferr := c.bw.Flush()
+	cerr := c.conn.Close()
+	if ferr != nil && !errors.Is(ferr, net.ErrClosed) {
+		return ferr
+	}
+	return cerr
+}
